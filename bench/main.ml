@@ -1,0 +1,150 @@
+(* Benchmark harness: reproduces every figure of the paper's evaluation
+   (Figures 2-9), the Section 7 extension experiments, and a set of
+   Bechamel micro-benchmarks over the engine's operators.
+
+     dune exec bench/main.exe                    # everything, default scale
+     dune exec bench/main.exe -- --figure 3      # one figure
+     dune exec bench/main.exe -- --scale 1.0     # paper-sized instances
+     dune exec bench/main.exe -- --micro         # micro-benchmarks only
+
+   The environment variable PPR_BENCH_SCALE overrides the default scale. *)
+
+let default_scale =
+  match Sys.getenv_opt "PPR_BENCH_SCALE" with
+  | Some s -> (try float_of_string s with _ -> 0.7)
+  | None -> 0.7
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--figure NAME] [--scale S] [--seeds N] [--micro] [--csv FILE]\n\
+     figures: %s\n"
+    (String.concat ", " Experiments.Figures.names);
+  exit 2
+
+type options = {
+  mutable figure : string;
+  mutable scale : float;
+  mutable seeds : int;
+  mutable micro_only : bool;
+  mutable csv : string option;
+}
+
+let parse_args () =
+  let opts =
+    { figure = "all"; scale = default_scale; seeds = 3; micro_only = false;
+      csv = None }
+  in
+  let rec go = function
+    | [] -> ()
+    | "--figure" :: v :: rest ->
+      opts.figure <- v;
+      go rest
+    | "--scale" :: v :: rest ->
+      (try opts.scale <- float_of_string v with _ -> usage ());
+      go rest
+    | "--seeds" :: v :: rest ->
+      (try opts.seeds <- int_of_string v with _ -> usage ());
+      go rest
+    | "--micro" :: rest ->
+      opts.micro_only <- true;
+      go rest
+    | "--csv" :: v :: rest ->
+      opts.csv <- Some v;
+      go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  opts
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per engine hot spot.                 *)
+
+let micro_tests () =
+  let open Bechamel in
+  let db = Conjunctive.Encode.coloring_database () in
+  let rng = Graphlib.Rng.make 11 in
+  let g = Graphlib.Generators.random ~rng ~n:16 ~m:48 in
+  let cq = Conjunctive.Encode.coloring_query_of_graph ~mode:Conjunctive.Encode.Boolean g in
+  let jg = lazy (Conjunctive.Joingraph.build cq) in
+  let bucket_plan = lazy (Ppr_core.Bucket.compile cq) in
+  let ep_plan = lazy (Ppr_core.Early_projection.compile cq) in
+  let edge = Conjunctive.Database.find db Conjunctive.Encode.edge_relation_name in
+  let wide =
+    (* A 3^8-tuple relation for join/project throughput measurements. *)
+    let schema = Relalg.Schema.of_list [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+    let rel = Relalg.Relation.create schema in
+    let rec fill prefix depth =
+      if depth = 0 then
+        ignore (Relalg.Relation.add rel (Relalg.Tuple.of_list (List.rev prefix)))
+      else
+        List.iter (fun c -> fill (c :: prefix) (depth - 1)) [ 1; 2; 3 ]
+    in
+    fill [] 8;
+    rel
+  in
+  [
+    Test.make ~name:"ops/natural_join(3^8 x edge)"
+      (Staged.stage (fun () -> Relalg.Ops.natural_join wide edge));
+    Test.make ~name:"ops/project(3^8 -> 4 cols)"
+      (Staged.stage (fun () ->
+           Relalg.Ops.project wide (Relalg.Schema.of_list [ 0; 2; 4; 6 ])));
+    Test.make ~name:"ops/semijoin(3^8 by edge)"
+      (Staged.stage (fun () -> Relalg.Ops.semijoin wide edge));
+    Test.make ~name:"graph/mcs-order(n=16,m=48)"
+      (Staged.stage (fun () ->
+           Graphlib.Order.mcs (Lazy.force jg).Conjunctive.Joingraph.graph));
+    Test.make ~name:"graph/min-fill(n=16,m=48)"
+      (Staged.stage (fun () ->
+           Graphlib.Order.min_fill (Lazy.force jg).Conjunctive.Joingraph.graph));
+    Test.make ~name:"planner/bucket-compile(m=48)"
+      (Staged.stage (fun () -> Ppr_core.Bucket.compile cq));
+    Test.make ~name:"planner/bucket-exec(m=48)"
+      (Staged.stage (fun () -> Ppr_core.Exec.run db (Lazy.force bucket_plan)));
+    Test.make ~name:"planner/early-proj-exec(m=48)"
+      (Staged.stage (fun () ->
+           try ignore (Ppr_core.Exec.run ~limits:(Relalg.Limits.create ()) db (Lazy.force ep_plan))
+           with Relalg.Limits.Exceeded _ -> ()));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let tests = Test.make_grouped ~name:"micro" ~fmt:"%s %s" (micro_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Printf.printf "\n== Micro-benchmarks (ns per run, OLS estimate) ==\n";
+  Hashtbl.iter
+    (fun _measure per_test ->
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> Printf.printf "%-40s %12.0f ns\n" name est
+          | _ -> Printf.printf "%-40s %12s\n" name "n/a")
+        per_test)
+    results;
+  print_newline ()
+
+let () =
+  let opts = parse_args () in
+  let csv_channel = Option.map open_out opts.csv in
+  Experiments.Sweep.set_csv_channel csv_channel;
+  at_exit (fun () -> Option.iter close_out csv_channel);
+  if not opts.micro_only then begin
+    match Experiments.Figures.by_name opts.figure with
+    | Some f ->
+      Printf.printf
+        "Projection Pushing Revisited — figure reproduction (scale %.2f, %d seeds)\n"
+        opts.scale opts.seeds;
+      f ~scale:opts.scale ~seeds:opts.seeds
+    | None -> usage ()
+  end;
+  if opts.micro_only || opts.figure = "all" then run_micro ()

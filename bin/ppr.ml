@@ -1,0 +1,543 @@
+(* ppr — command-line driver for the projection-pushing library.
+
+   Subcommands:
+     generate    emit a 3-COLOR instance (edge list or DOT)
+     sql         print a query's SQL under one of the five schemes
+     run         run one or all methods on an instance and report
+     treewidth   bounds / exact treewidth of an instance's join graph
+     experiment  reproduce one of the paper's figures *)
+
+open Cmdliner
+
+(* Run a subcommand body, turning expected exceptions into clean
+   diagnostics instead of "internal error" dumps. *)
+let guarded f =
+  try f () with
+  | Failure msg | Invalid_argument msg ->
+    Printf.eprintf "ppr: %s\n" msg;
+    exit 1
+  | Not_found ->
+    Printf.eprintf "ppr: a referenced relation or column does not exist\n";
+    exit 1
+  | Relalg.Limits.Exceeded msg ->
+    Printf.eprintf "ppr: resource guard tripped — %s\n" msg;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Shared instance specification.                                      *)
+
+type family =
+  | Random
+  | Augmented_path
+  | Ladder
+  | Augmented_ladder
+  | Augmented_circular_ladder
+  | Pentagon
+  | Cycle
+  | Clique
+  | Sat3
+  | Sat2
+
+let family_conv =
+  let parse = function
+    | "random" -> Ok Random
+    | "augmented-path" | "apath" -> Ok Augmented_path
+    | "ladder" -> Ok Ladder
+    | "augmented-ladder" | "aladder" -> Ok Augmented_ladder
+    | "augmented-circular-ladder" | "acladder" -> Ok Augmented_circular_ladder
+    | "pentagon" -> Ok Pentagon
+    | "cycle" -> Ok Cycle
+    | "clique" -> Ok Clique
+    | "sat3" | "3sat" -> Ok Sat3
+    | "sat2" | "2sat" -> Ok Sat2
+    | s -> Error (`Msg (Printf.sprintf "unknown family %S" s))
+  in
+  let print ppf f =
+    Format.pp_print_string ppf
+      (match f with
+      | Random -> "random"
+      | Augmented_path -> "augmented-path"
+      | Ladder -> "ladder"
+      | Augmented_ladder -> "augmented-ladder"
+      | Augmented_circular_ladder -> "augmented-circular-ladder"
+      | Pentagon -> "pentagon"
+      | Cycle -> "cycle"
+      | Clique -> "clique"
+      | Sat3 -> "sat3"
+      | Sat2 -> "sat2")
+  in
+  Arg.conv (parse, print)
+
+let family_arg =
+  Arg.(
+    value
+    & opt family_conv Random
+    & info [ "family"; "f" ] ~docv:"FAMILY"
+        ~doc:
+          "Instance family: random, augmented-path, ladder, \
+           augmented-ladder, augmented-circular-ladder, cycle, clique, \
+           pentagon, sat3, sat2 (for SAT, --order is the variable count \
+           and --density the clause ratio).")
+
+let order_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "order"; "n" ] ~docv:"N" ~doc:"Instance order (family parameter).")
+
+let density_arg =
+  Arg.(
+    value & opt float 3.0
+    & info [ "density"; "d" ] ~docv:"D"
+        ~doc:"Edge density m/n for random instances.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let free_fraction_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "free" ] ~docv:"FRACTION"
+        ~doc:
+          "Fraction of variables kept in the target schema (0 = Boolean \
+           query; the paper's non-Boolean setting is 0.2).")
+
+let build_cnf ~k ~order ~density ~seed =
+  let rng = Graphlib.Rng.make seed in
+  let num_clauses = max 1 (int_of_float (density *. float_of_int order)) in
+  Conjunctive.Cnf.random_ksat ~rng ~k ~num_vars:(max k order) ~num_clauses
+
+let build_graph family ~order ~density ~seed =
+  let module Gen = Graphlib.Generators in
+  match family with
+  | Sat3 | Sat2 -> invalid_arg "build_graph: SAT families have no graph"
+  | Random ->
+    let rng = Graphlib.Rng.make seed in
+    let m =
+      let wanted = int_of_float (Float.round (density *. float_of_int order)) in
+      max 1 (min wanted (order * (order - 1) / 2))
+    in
+    Gen.random ~rng ~n:order ~m
+  | Augmented_path -> Gen.augmented_path order
+  | Ladder -> Gen.ladder order
+  | Augmented_ladder -> Gen.augmented_ladder order
+  | Augmented_circular_ladder -> Gen.augmented_circular_ladder order
+  | Pentagon -> Gen.pentagon
+  | Cycle -> Gen.cycle order
+  | Clique -> Gen.clique order
+
+(* Every subcommand works from a (database, query) pair so the SAT
+   families slot in beside the coloring ones. *)
+let build_instance family ~order ~density ~seed ~free_fraction =
+  let mode =
+    if free_fraction <= 0.0 then Conjunctive.Encode.Boolean
+    else Conjunctive.Encode.Fraction free_fraction
+  in
+  let rng = Graphlib.Rng.make (seed + 104729) in
+  match family with
+  | Sat3 | Sat2 ->
+    let k = if family = Sat3 then 3 else 2 in
+    let cnf = build_cnf ~k ~order ~density ~seed in
+    ( Conjunctive.Encode.sat_database cnf,
+      Conjunctive.Encode.sat_query ~mode ~rng cnf )
+  | _ ->
+    let g = build_graph family ~order ~density ~seed in
+    let edges =
+      if family = Pentagon then Graphlib.Generators.pentagon_edges
+      else Graphlib.Graph.edges g
+    in
+    ( Conjunctive.Encode.coloring_database (),
+      Conjunctive.Encode.coloring_query ~mode ~rng ~edges () )
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+
+let generate_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of an edge list.")
+  in
+  let run family order density seed dot =
+    match family with
+    | Sat3 | Sat2 ->
+      let k = if family = Sat3 then 3 else 2 in
+      let cnf = build_cnf ~k ~order ~density ~seed in
+      Format.printf "%a@." Conjunctive.Cnf.pp cnf
+    | _ ->
+    let g = build_graph family ~order ~density ~seed in
+    if dot then print_string (Graphlib.Dot.graph g)
+    else begin
+      Printf.printf "# order %d, size %d, density %.3f\n" (Graphlib.Graph.order g)
+        (Graphlib.Graph.size g) (Graphlib.Graph.density g);
+      List.iter (fun (u, v) -> Printf.printf "%d %d\n" u v) (Graphlib.Graph.edges g)
+    end
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a 3-COLOR instance graph.")
+    Term.(const run $ family_arg $ order_arg $ density_arg $ seed_arg $ dot)
+
+(* ------------------------------------------------------------------ *)
+(* sql                                                                 *)
+
+let method_names =
+  [ "naive"; "straightforward"; "early-projection"; "reordering"; "bucket-elimination" ]
+
+let method_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "method"; "m" ] ~docv:"METHOD"
+        ~doc:
+          "Evaluation method (naive, straightforward, early-projection, \
+           reordering, bucket-elimination); all five when omitted.")
+
+let sql_of_method cq name =
+  let rng = Graphlib.Rng.make 17 in
+  match name with
+  | "naive" -> Sqlgen.Translate.naive cq
+  | "straightforward" -> Sqlgen.Translate.straightforward cq
+  | "early-projection" -> Sqlgen.Translate.early_projection cq
+  | "reordering" -> Sqlgen.Translate.reordering ~rng cq
+  | "bucket-elimination" -> Sqlgen.Translate.bucket_elimination ~rng cq
+  | other -> failwith (Printf.sprintf "unknown method %S" other)
+
+let sql_cmd =
+  let run family order density seed free_fraction meth =
+    guarded @@ fun () ->
+    let _db, cq = build_instance family ~order ~density ~seed ~free_fraction in
+    let chosen = match meth with Some m -> [ m ] | None -> method_names in
+    List.iter
+      (fun name ->
+        Printf.printf "-- %s\n%s\n" name (Sqlgen.Pretty.query (sql_of_method cq name)))
+      chosen
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Print the SQL the paper's schemes generate.")
+    Term.(
+      const run $ family_arg $ order_arg $ density_arg $ seed_arg
+      $ free_fraction_arg $ method_arg)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+
+let run_cmd =
+  let max_tuples =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "max-tuples" ] ~docv:"N"
+          ~doc:"Abort when an intermediate relation exceeds N tuples.")
+  in
+  let run family order density seed free_fraction meth max_tuples =
+    guarded @@ fun () ->
+    let db, cq = build_instance family ~order ~density ~seed ~free_fraction in
+    Format.printf "query: %d atoms, %d variables, %d free@." (Conjunctive.Cq.atom_count cq)
+      (Conjunctive.Cq.var_count cq)
+      (List.length cq.Conjunctive.Cq.free);
+    let methods =
+      match meth with
+      | Some "naive" -> [ Ppr_core.Driver.Naive Ppr_core.Naive.default_search ]
+      | Some "straightforward" -> [ Ppr_core.Driver.Straightforward ]
+      | Some "early-projection" -> [ Ppr_core.Driver.Early_projection ]
+      | Some "reordering" -> [ Ppr_core.Driver.Reorder ]
+      | Some "bucket-elimination" -> [ Ppr_core.Driver.Bucket_elimination ]
+      | Some other -> failwith (Printf.sprintf "unknown method %S" other)
+      | None -> Ppr_core.Driver.all_paper_methods
+    in
+    List.iter
+      (fun m ->
+        let limits = Relalg.Limits.create ~max_tuples () in
+        let rng = Graphlib.Rng.make (seed + 31) in
+        let outcome = Ppr_core.Driver.run ~rng ~limits m db cq in
+        Format.printf "%a@." Ppr_core.Driver.pp_outcome outcome)
+      methods
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run evaluation methods on an instance and report.")
+    Term.(
+      const run $ family_arg $ order_arg $ density_arg $ seed_arg
+      $ free_fraction_arg $ method_arg $ max_tuples)
+
+(* ------------------------------------------------------------------ *)
+(* treewidth                                                           *)
+
+let treewidth_cmd =
+  let exact_flag =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Also compute the exact treewidth (exponential).")
+  in
+  let dot_flag =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:"Emit the join graph and its heuristic tree decomposition as DOT.")
+  in
+  let run family order density seed free_fraction exact dot =
+    guarded @@ fun () ->
+    let _db, cq = build_instance family ~order ~density ~seed ~free_fraction in
+    let jg = Conjunctive.Joingraph.build cq in
+    let g = jg.Conjunctive.Joingraph.graph in
+    if dot then begin
+      print_string (Graphlib.Dot.graph ~name:"join_graph" g);
+      let td =
+        Graphlib.Treedec.of_elimination_order g (Graphlib.Treewidth.best_order g)
+      in
+      print_string (Graphlib.Dot.tree_decomposition ~name:"decomposition" td)
+    end;
+    Printf.printf "join graph: %d vertices, %d edges\n" (Graphlib.Graph.order g)
+      (Graphlib.Graph.size g);
+    Printf.printf "treewidth lower bound (degeneracy): %d\n"
+      (Graphlib.Treewidth.lower_bound g);
+    Printf.printf "treewidth upper bound (best heuristic): %d\n"
+      (Graphlib.Treewidth.upper_bound g);
+    let order_mcs = Conjunctive.Joingraph.mcs_variable_order cq in
+    Printf.printf "bucket-elimination induced width (MCS order): %d\n"
+      (Ppr_core.Bucket.induced_width cq order_mcs);
+    if exact then
+      match Graphlib.Treewidth.exact g with
+      | Some tw ->
+        Printf.printf "exact treewidth: %d (join width %d by Theorem 1)\n" tw (tw + 1)
+      | None -> Printf.printf "exact treewidth: graph too large\n"
+  in
+  Cmd.v
+    (Cmd.info "treewidth" ~doc:"Treewidth bounds of an instance's join graph.")
+    Term.(
+      const run $ family_arg $ order_arg $ density_arg $ seed_arg
+      $ free_fraction_arg $ exact_flag $ dot_flag)
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+
+let explain_cmd =
+  let run family order density seed free_fraction meth =
+    guarded @@ fun () ->
+    let db, cq = build_instance family ~order ~density ~seed ~free_fraction in
+    let meth =
+      match meth with
+      | Some "naive" -> Ppr_core.Driver.Naive Ppr_core.Naive.default_search
+      | Some "straightforward" -> Ppr_core.Driver.Straightforward
+      | Some "early-projection" -> Ppr_core.Driver.Early_projection
+      | Some "reordering" -> Ppr_core.Driver.Reorder
+      | Some "bucket-elimination" | None -> Ppr_core.Driver.Bucket_elimination
+      | Some other -> failwith (Printf.sprintf "unknown method %S" other)
+    in
+    let plan = Ppr_core.Driver.compile ~rng:(Graphlib.Rng.make (seed + 31)) meth db cq in
+    let node, result = Ppr_core.Explain.analyze db plan in
+    print_string (Ppr_core.Explain.render node);
+    Printf.printf "result: %d tuples\n" (Relalg.Relation.cardinality result);
+    match Ppr_core.Explain.largest_misestimate node with
+    | Some (worst, ratio) ->
+      Printf.printf "largest misestimate (%.1fx): %s\n" ratio
+        worst.Ppr_core.Explain.description
+    | None -> Printf.printf "all estimates exact\n"
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Run a plan and show per-operator statistics.")
+    Term.(
+      const run $ family_arg $ order_arg $ density_arg $ seed_arg
+      $ free_fraction_arg $ method_arg)
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+
+let experiment_cmd =
+  let figure_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FIGURE"
+          ~doc:"Figure to reproduce: 2-9, sat, minibucket, yannakakis, all.")
+  in
+  let scale_arg =
+    Arg.(value & opt float 0.7 & info [ "scale" ] ~docv:"S" ~doc:"Instance-size scale.")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per cell (median).")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Also write machine-readable rows to FILE.")
+  in
+  let run figure scale seeds csv =
+    let channel = Option.map open_out csv in
+    Experiments.Sweep.set_csv_channel channel;
+    Fun.protect
+      ~finally:(fun () -> Option.iter close_out channel)
+      (fun () ->
+        match Experiments.Figures.by_name figure with
+        | Some f -> f ~scale ~seeds
+        | None ->
+          Printf.eprintf "unknown figure %S; available: %s\n" figure
+            (String.concat ", " Experiments.Figures.names);
+          exit 2)
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's figures.")
+    Term.(const run $ figure_arg $ scale_arg $ seeds_arg $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+(* query: run an arbitrary Datalog-style query                         *)
+
+let query_cmd =
+  let query_text =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query"; "q" ] ~docv:"RULE"
+          ~doc:"The query, e.g. 'ok(X) :- edge(X,Y), edge(Y,X).'")
+  in
+  let query_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file" ] ~docv:"FILE" ~doc:"Read the query from a file.")
+  in
+  let data_dir =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "data" ] ~docv:"DIR"
+          ~doc:
+            "Directory of <relation>.tsv files (see Relalg.Io); defaults \
+             to the built-in 3-COLOR edge relation.")
+  in
+  let sql_flag =
+    Arg.(value & flag & info [ "show-sql" ] ~doc:"Also print the SQL of the plan.")
+  in
+  let run query_text query_file data_dir meth show_sql =
+    guarded @@ fun () ->
+    let source =
+      match (query_text, query_file) with
+      | Some q, None -> q
+      | None, Some path ->
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      | _ ->
+        prerr_endline "query: give exactly one of --query or --file";
+        exit 2
+    in
+    let parsed = Conjunctive.Parse.query_exn source in
+    let db =
+      match data_dir with
+      | Some dir -> Conjunctive.Database.load_dir dir
+      | None -> Conjunctive.Encode.coloring_database ()
+    in
+    let cq = parsed.Conjunctive.Parse.query in
+    let meth =
+      match meth with
+      | Some "naive" -> Ppr_core.Driver.Naive Ppr_core.Naive.default_search
+      | Some "straightforward" -> Ppr_core.Driver.Straightforward
+      | Some "early-projection" -> Ppr_core.Driver.Early_projection
+      | Some "reordering" -> Ppr_core.Driver.Reorder
+      | Some "bucket-elimination" | None -> Ppr_core.Driver.Bucket_elimination
+      | Some other -> failwith (Printf.sprintf "unknown method %S" other)
+    in
+    let plan = Ppr_core.Driver.compile meth db cq in
+    if show_sql then
+      print_string
+        (Sqlgen.Pretty.query
+           (Sqlgen.Translate.of_plan ~namer:parsed.Conjunctive.Parse.namer cq plan));
+    let result = Ppr_core.Exec.run db plan in
+    let schema = Relalg.Relation.schema result in
+    (match cq.Conjunctive.Cq.free with
+    | [] ->
+      Printf.printf "%s: %b\n" parsed.Conjunctive.Parse.head_name
+        (not (Relalg.Relation.is_empty result))
+    | free ->
+      Printf.printf "%s(%s): %d answers\n" parsed.Conjunctive.Parse.head_name
+        (String.concat ", " (List.map parsed.Conjunctive.Parse.namer free))
+        (Relalg.Relation.cardinality result);
+      List.iter
+        (fun tup ->
+          Printf.printf "  %s\n"
+            (String.concat ", "
+               (List.map
+                  (fun v ->
+                    string_of_int
+                      (Relalg.Tuple.get tup (Relalg.Schema.index schema v)))
+                  free)))
+        (Relalg.Relation.to_sorted_list result))
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a Datalog-style project-join query.")
+    Term.(const run $ query_text $ query_file $ data_dir $ method_arg $ sql_flag)
+
+(* ------------------------------------------------------------------ *)
+(* acyclic: hypergraph structure report                                *)
+
+let acyclic_cmd =
+  let run family order density seed free_fraction =
+    guarded @@ fun () ->
+    let db, cq = build_instance family ~order ~density ~seed ~free_fraction in
+    let hg = Hypergraphs.Hypergraph.of_query cq in
+    let acyclic = Hypergraphs.Gyo.is_acyclic hg in
+    Printf.printf "hypergraph: %d vertices, %d hyperedges\n"
+      (Hypergraphs.Hypergraph.vertex_count hg)
+      (Hypergraphs.Hypergraph.edge_count hg);
+    Printf.printf "alpha-acyclic (GYO): %b\n" acyclic;
+    let ghw, _ = Hypergraphs.Hypertree.ghw_upper_bound hg in
+    Printf.printf "generalized hypertree width (heuristic upper bound): %d\n" ghw;
+    if acyclic then begin
+      let t0 = Unix.gettimeofday () in
+      match Hypergraphs.Yannakakis.evaluate db cq with
+      | Some result ->
+        Printf.printf "Yannakakis: %d answers in %.4fs\n"
+          (Relalg.Relation.cardinality result)
+          (Unix.gettimeofday () -. t0)
+      | None -> ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "acyclic"
+       ~doc:"GYO acyclicity, hypertree width, and Yannakakis evaluation.")
+    Term.(
+      const run $ family_arg $ order_arg $ density_arg $ seed_arg
+      $ free_fraction_arg)
+
+(* ------------------------------------------------------------------ *)
+(* minimize                                                            *)
+
+let minimize_cmd =
+  let run family order density seed free_fraction =
+    guarded @@ fun () ->
+    let _db, cq = build_instance family ~order ~density ~seed ~free_fraction in
+    Format.printf "query:  %a@." Conjunctive.Cq.pp cq;
+    let t0 = Unix.gettimeofday () in
+    let core, removed = Minimize.Core_of.minimize cq in
+    Format.printf "core:   %a@." Conjunctive.Cq.pp core;
+    Printf.printf "removed %d of %d atoms in %.4fs\n" removed
+      (Conjunctive.Cq.atom_count cq)
+      (Unix.gettimeofday () -. t0)
+  in
+  Cmd.v
+    (Cmd.info "minimize"
+       ~doc:"Compute the Chandra-Merlin core of an instance's query.")
+    Term.(
+      const run $ family_arg $ order_arg $ density_arg $ seed_arg
+      $ free_fraction_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let setup_logs () =
+  (* PPR_LOG=debug|info|warning enables diagnostic logging. *)
+  Logs.set_reporter (Logs.format_reporter ());
+  match Sys.getenv_opt "PPR_LOG" with
+  | Some "debug" -> Logs.set_level (Some Logs.Debug)
+  | Some "info" -> Logs.set_level (Some Logs.Info)
+  | Some "warning" -> Logs.set_level (Some Logs.Warning)
+  | _ -> Logs.set_level None
+
+let () =
+  setup_logs ();
+  let info =
+    Cmd.info "ppr" ~version:"1.0.0"
+      ~doc:"Structural join optimization: projection pushing revisited."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; sql_cmd; run_cmd; query_cmd; treewidth_cmd;
+            acyclic_cmd; explain_cmd; minimize_cmd; experiment_cmd;
+          ]))

@@ -1,0 +1,57 @@
+(* Random 3-COLOR workload: the paper's core experiment in miniature.
+
+   Generates random instances across the colorability phase transition
+   and shows how each method's running time and intermediate-result
+   width behave — the phenomenon Figures 3-5 quantify.
+
+     dune exec examples/coloring.exe [-- ORDER] *)
+
+let () =
+  let order =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 14
+  in
+  let db = Conjunctive.Encode.coloring_database () in
+  Printf.printf
+    "Random 3-COLOR at order %d, scaling density across the phase \
+     transition (~2.3):\n\n"
+    order;
+  Printf.printf "%-8s %-8s %-10s %s\n" "density" "3-col?" "method" "outcome";
+  List.iter
+    (fun density ->
+      let rng = Graphlib.Rng.make 7 in
+      let m =
+        max 1
+          (min
+             (int_of_float (density *. float_of_int order))
+             (order * (order - 1) / 2))
+      in
+      let g = Graphlib.Generators.random ~rng ~n:order ~m in
+      let cq =
+        Conjunctive.Encode.coloring_query_of_graph
+          ~mode:Conjunctive.Encode.Boolean g
+      in
+      let colorable =
+        Ppr_core.Exec.nonempty db (Ppr_core.Bucket.compile cq)
+      in
+      List.iter
+        (fun meth ->
+          let limits = Relalg.Limits.create ~max_tuples:500_000 () in
+          let o = Ppr_core.Driver.run ~limits meth db cq in
+          Printf.printf "%-8.1f %-8b %-18s %s  (width %d, max card %d)\n"
+            density colorable
+            (Ppr_core.Driver.method_name meth)
+            (if o.Ppr_core.Driver.timed_out then "timeout"
+             else Printf.sprintf "%.4fs" o.Ppr_core.Driver.exec_seconds)
+            o.Ppr_core.Driver.max_arity o.Ppr_core.Driver.max_cardinality)
+        [
+          Ppr_core.Driver.Straightforward;
+          Ppr_core.Driver.Early_projection;
+          Ppr_core.Driver.Reorder;
+          Ppr_core.Driver.Bucket_elimination;
+        ];
+      print_newline ())
+    [ 1.0; 2.0; 3.0; 5.0 ];
+  Printf.printf
+    "Bucket elimination keeps the intermediate width near the join \
+     graph's treewidth; the straightforward order lets it grow with the \
+     instance.\n"

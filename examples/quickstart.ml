@@ -1,0 +1,58 @@
+(* Quickstart: the paper's Appendix A pentagon, end to end.
+
+   Builds the 3-COLOR query for the 5-cycle, prints the SQL each of the
+   five schemes generates, evaluates all of them, and verifies they
+   agree — then peeks at the theory: treewidth, join width, and the
+   bucket-elimination plan.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. The instance: Appendix A's pentagon, with its exact atom order. *)
+  let edges = Graphlib.Generators.pentagon_edges in
+  let cq = Conjunctive.Encode.coloring_query ~edges () in
+  let db = Conjunctive.Encode.coloring_database () in
+  Format.printf "Conjunctive query:@.  %a@.@." Conjunctive.Cq.pp cq;
+
+  (* 2. SQL under the five schemes. *)
+  let translations =
+    [
+      ("naive (A.1)", Sqlgen.Translate.naive cq);
+      ("straightforward (A.2)", Sqlgen.Translate.straightforward cq);
+      ("early projection (A.3)", Sqlgen.Translate.early_projection cq);
+      ("reordering (A.4)", Sqlgen.Translate.reordering cq);
+      ("bucket elimination (A.5)", Sqlgen.Translate.bucket_elimination cq);
+    ]
+  in
+  List.iter
+    (fun (name, sql) -> Format.printf "-- %s@.%s@." name (Sqlgen.Pretty.query sql))
+    translations;
+
+  (* 3. Evaluate the SQL and the direct plans; everything must agree. *)
+  Format.printf "Evaluation (the pentagon is 3-colorable, so every method \
+                 finds all 3 colors for the kept vertex):@.";
+  List.iter
+    (fun (name, sql) ->
+      let _, rel = Sqlgen.Eval.query db sql in
+      Format.printf "  %-26s -> %d tuples@." name (Relalg.Relation.cardinality rel))
+    translations;
+  List.iter
+    (fun meth ->
+      let outcome = Ppr_core.Driver.run meth db cq in
+      Format.printf "  plan: %a@." Ppr_core.Driver.pp_outcome outcome)
+    Ppr_core.Driver.all_paper_methods;
+
+  (* 4. The theory behind the speedup. *)
+  let jg = Conjunctive.Joingraph.build cq in
+  let tw =
+    match Graphlib.Treewidth.exact jg.Conjunctive.Joingraph.graph with
+    | Some tw -> tw
+    | None -> assert false
+  in
+  let jet = Conjunctive.Jet.heuristic cq in
+  Format.printf
+    "@.Theory check: treewidth(C5) = %d, so the join width is %d \
+     (Theorem 1); the heuristic join-expression tree has width %d and the \
+     bucket-elimination plan width is %d.@."
+    tw (tw + 1) (Conjunctive.Jet.width jet)
+    (Ppr_core.Plan.width (Ppr_core.Bucket.compile cq))

@@ -1,0 +1,71 @@
+(* Symbolic bucket elimination: the same schedule, BDDs instead of
+   relations.
+
+   The paper descends from BDD-based CSP solving ([29, 30]) and points
+   back at symbolic model checking's quantification scheduling (§7).
+   This example runs one query both ways, shows the agreement, counts
+   models symbolically, and peeks at the BDD sizes along the way.
+
+     dune exec examples/symbolic.exe *)
+
+let () =
+  let db = Conjunctive.Encode.coloring_database () in
+  let rng = Graphlib.Rng.make 99 in
+  let g = Graphlib.Generators.random ~rng ~n:12 ~m:16 in
+  let cq =
+    Conjunctive.Encode.coloring_query_of_graph ~mode:Conjunctive.Encode.Boolean g
+  in
+  let order = Ppr_core.Bucket.variable_order cq in
+
+  (* Relational run. *)
+  let t0 = Unix.gettimeofday () in
+  let relational =
+    Ppr_core.Exec.nonempty db (Ppr_core.Bucket.compile ~order cq)
+  in
+  let t_rel = Unix.gettimeofday () -. t0 in
+
+  (* Symbolic run over the same elimination order. *)
+  let t0 = Unix.gettimeofday () in
+  let m, result, enc = Ppr_core.Symbolic.run ~order db cq in
+  let t_sym = Unix.gettimeofday () -. t0 in
+  let symbolic = not (Bdd.is_zero result) in
+
+  Printf.printf "instance: n=%d m=%d, elimination order shared by both engines\n"
+    (Graphlib.Graph.order g) (Graphlib.Graph.size g);
+  Printf.printf "relational: %-5b  (%.4fs)\n" relational t_rel;
+  Printf.printf "symbolic:   %-5b  (%.4fs, %d bits/var, %d BDD nodes allocated)\n"
+    symbolic t_sym enc.Ppr_core.Symbolic.bits (Bdd.live_nodes m);
+  assert (relational = symbolic);
+
+  (* Counting: keep some variables free and count answers without ever
+     materializing them. *)
+  let cq_free =
+    Conjunctive.Encode.coloring_query_of_graph
+      ~mode:(Conjunctive.Encode.Fraction 0.25)
+      ~rng:(Graphlib.Rng.split rng) g
+  in
+  let symbolic_count = Ppr_core.Symbolic.answer_count db cq_free in
+  let relational_count =
+    Relalg.Relation.cardinality
+      (Ppr_core.Exec.run db (Ppr_core.Bucket.compile cq_free))
+  in
+  Printf.printf
+    "answer count over %d free variables: symbolic %.0f, relational %d\n"
+    (List.length cq_free.Conjunctive.Cq.free)
+    symbolic_count relational_count;
+  assert (int_of_float symbolic_count = relational_count);
+
+  (* The raw BDD layer, briefly: a 3-bit adder-ish sanity demo. *)
+  let bm = Bdd.manager ~num_vars:3 () in
+  let x = Bdd.var bm 0 and y = Bdd.var bm 1 and z = Bdd.var bm 2 in
+  let parity = Bdd.mk_xor bm x (Bdd.mk_xor bm y z) in
+  Printf.printf "\nBDD layer: parity(x,y,z) has %d nodes and %.0f models\n"
+    (Bdd.size bm parity) (Bdd.sat_count bm parity);
+  match Bdd.any_sat bm parity with
+  | Some witness ->
+    Printf.printf "a witness: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (v, b) -> Printf.sprintf "x%d=%b" v b)
+            witness))
+  | None -> assert false

@@ -1,0 +1,217 @@
+(* Array-backed hash-consed ROBDD. Node 0 is the constant false, node 1
+   the constant true; every other node is (var, low, high) with
+   low <> high and var strictly smaller than its children's. *)
+
+type node = int
+
+type manager = {
+  nvars : int;
+  mutable variable : int array;  (* per node *)
+  mutable low : int array;
+  mutable high : int array;
+  mutable next : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  and_cache : (int * int, int) Hashtbl.t;
+  not_cache : (int, int) Hashtbl.t;
+  exists_cache : (int * int, int) Hashtbl.t;
+}
+
+let terminal_variable = max_int
+
+let manager ?(initial_capacity = 1024) ~num_vars () =
+  if num_vars < 0 then invalid_arg "Bdd.manager: negative num_vars";
+  let cap = max 2 initial_capacity in
+  let m =
+    {
+      nvars = num_vars;
+      variable = Array.make cap terminal_variable;
+      low = Array.make cap 0;
+      high = Array.make cap 0;
+      next = 2;
+      unique = Hashtbl.create cap;
+      and_cache = Hashtbl.create cap;
+      not_cache = Hashtbl.create cap;
+      exists_cache = Hashtbl.create cap;
+    }
+  in
+  m
+
+let num_vars m = m.nvars
+let zero _ : node = 0
+let one _ : node = 1
+let is_zero (n : node) = n = 0
+let is_one (n : node) = n = 1
+let equal (a : node) (b : node) = a = b
+
+let grow m =
+  let cap = Array.length m.variable in
+  if m.next >= cap then begin
+    let blit fresh old =
+      Array.blit old 0 fresh 0 cap;
+      fresh
+    in
+    m.variable <- blit (Array.make (2 * cap) terminal_variable) m.variable;
+    m.low <- blit (Array.make (2 * cap) 0) m.low;
+    m.high <- blit (Array.make (2 * cap) 0) m.high
+  end
+
+let mk m v lo hi =
+  if lo = hi then lo
+  else
+    match Hashtbl.find_opt m.unique (v, lo, hi) with
+    | Some n -> n
+    | None ->
+      grow m;
+      let n = m.next in
+      m.next <- n + 1;
+      m.variable.(n) <- v;
+      m.low.(n) <- lo;
+      m.high.(n) <- hi;
+      Hashtbl.add m.unique (v, lo, hi) n;
+      n
+
+let check_var m i =
+  if i < 0 || i >= m.nvars then
+    invalid_arg (Printf.sprintf "Bdd: variable %d out of range [0,%d)" i m.nvars)
+
+let var m i =
+  check_var m i;
+  mk m i 0 1
+
+let nvar m i =
+  check_var m i;
+  mk m i 1 0
+
+let rec mk_not m n =
+  if n = 0 then 1
+  else if n = 1 then 0
+  else
+    match Hashtbl.find_opt m.not_cache n with
+    | Some r -> r
+    | None ->
+      let r = mk m m.variable.(n) (mk_not m m.low.(n)) (mk_not m m.high.(n)) in
+      Hashtbl.add m.not_cache n r;
+      r
+
+let rec mk_and m a b =
+  if a = b then a
+  else if a = 0 || b = 0 then 0
+  else if a = 1 then b
+  else if b = 1 then a
+  else begin
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt m.and_cache key with
+    | Some r -> r
+    | None ->
+      let va = m.variable.(a) and vb = m.variable.(b) in
+      let v = min va vb in
+      let a0, a1 = if va = v then (m.low.(a), m.high.(a)) else (a, a) in
+      let b0, b1 = if vb = v then (m.low.(b), m.high.(b)) else (b, b) in
+      let r = mk m v (mk_and m a0 b0) (mk_and m a1 b1) in
+      Hashtbl.add m.and_cache key r;
+      r
+  end
+
+(* De Morgan keeps the cache pressure on a single binary operation. *)
+let mk_or m a b = mk_not m (mk_and m (mk_not m a) (mk_not m b))
+
+let mk_xor m a b =
+  mk_or m (mk_and m a (mk_not m b)) (mk_and m (mk_not m a) b)
+
+let ite m c t e = mk_or m (mk_and m c t) (mk_and m (mk_not m c) e)
+
+let rec exists m v n =
+  if n = 0 || n = 1 then n
+  else begin
+    let vn = m.variable.(n) in
+    if vn > v then n
+    else
+      match Hashtbl.find_opt m.exists_cache (v, n) with
+      | Some r -> r
+      | None ->
+        let r =
+          if vn = v then mk_or m m.low.(n) m.high.(n)
+          else mk m vn (exists m v m.low.(n)) (exists m v m.high.(n))
+        in
+        Hashtbl.add m.exists_cache (v, n) r;
+        r
+  end
+
+let exists_many m vars n =
+  (* Quantify bottom-most variables first: cheaper intermediate BDDs. *)
+  List.fold_left
+    (fun acc v -> exists m v acc)
+    n
+    (List.sort (fun a b -> compare b a) vars)
+
+let support m n =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go n =
+    if n > 1 && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      Hashtbl.replace vars m.variable.(n) ();
+      go m.low.(n);
+      go m.high.(n)
+    end
+  in
+  go n;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let size m n =
+  let seen = Hashtbl.create 64 in
+  let rec go n acc =
+    if n <= 1 || Hashtbl.mem seen n then acc
+    else begin
+      Hashtbl.add seen n ();
+      go m.low.(n) (go m.high.(n) (acc + 1))
+    end
+  in
+  go n 0
+
+let sat_count m n =
+  let cache = Hashtbl.create 64 in
+  (* Count over variables strictly below [from]. *)
+  let rec count n from =
+    if n = 0 then 0.0
+    else if n = 1 then Float.pow 2.0 (float_of_int (m.nvars - from))
+    else begin
+      let v = m.variable.(n) in
+      let base =
+        match Hashtbl.find_opt cache n with
+        | Some c -> c
+        | None ->
+          let c =
+            (count m.low.(n) (v + 1) +. count m.high.(n) (v + 1)) /. 2.0
+          in
+          Hashtbl.add cache n c;
+          c
+      in
+      (* [base] counts over vars below v, halved once; rescale to count
+         over vars below [from]. *)
+      base *. Float.pow 2.0 (float_of_int (v - from + 1))
+    end
+  in
+  count n 0
+
+let eval m n assignment =
+  if Array.length assignment < m.nvars then
+    invalid_arg "Bdd.eval: assignment too short";
+  let rec go n =
+    if n = 0 then false
+    else if n = 1 then true
+    else if assignment.(m.variable.(n)) then go m.high.(n)
+    else go m.low.(n)
+  in
+  go n
+
+let any_sat m n =
+  let rec go n acc =
+    if n = 0 then None
+    else if n = 1 then Some (List.rev acc)
+    else if m.high.(n) <> 0 then go m.high.(n) ((m.variable.(n), true) :: acc)
+    else go m.low.(n) ((m.variable.(n), false) :: acc)
+  in
+  go n []
+
+let live_nodes m = m.next - 2

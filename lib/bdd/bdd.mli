@@ -1,0 +1,66 @@
+(** Reduced ordered binary decision diagrams (ROBDDs), hash-consed.
+
+    The paper grew out of BDD-based CSP solving (Rish–Dechter [29], San
+    Miguel Aguirre–Vardi [30]) and its conclusion points to symbolic
+    model checking's quantification scheduling [9] — all of which
+    manipulate constraint sets as BDDs and eliminate variables by
+    existential quantification. This package provides exactly what
+    symbolic bucket elimination needs: conjunction, disjunction,
+    negation, single-variable quantification, support sets, and model
+    counting.
+
+    Variables are integers [0 .. num_vars-1]; variable [0] is at the top
+    of every diagram. Nodes are hash-consed, so structural equality of
+    the abstract handles is semantic equivalence. *)
+
+type manager
+type node
+
+val manager : ?initial_capacity:int -> num_vars:int -> unit -> manager
+(** @raise Invalid_argument if [num_vars < 0]. *)
+
+val num_vars : manager -> int
+val zero : manager -> node
+val one : manager -> node
+val var : manager -> int -> node
+(** The function "variable [i] is true".
+    @raise Invalid_argument if out of range. *)
+
+val nvar : manager -> int -> node
+(** The negated variable. *)
+
+val is_zero : node -> bool
+val is_one : node -> bool
+val equal : node -> node -> bool
+
+val mk_not : manager -> node -> node
+val mk_and : manager -> node -> node -> node
+val mk_or : manager -> node -> node -> node
+val mk_xor : manager -> node -> node -> node
+val ite : manager -> node -> node -> node -> node
+
+val exists : manager -> int -> node -> node
+(** Existentially quantify one variable. *)
+
+val exists_many : manager -> int list -> node -> node
+
+val support : manager -> node -> int list
+(** Variables the function actually depends on, ascending. *)
+
+val size : manager -> node -> int
+(** Internal nodes reachable from the root (terminals excluded). *)
+
+val sat_count : manager -> node -> float
+(** Number of satisfying assignments over all [num_vars] variables. *)
+
+val eval : manager -> node -> bool array -> bool
+(** @raise Invalid_argument if the assignment is shorter than
+    [num_vars]. *)
+
+val any_sat : manager -> node -> (int * bool) list option
+(** A partial assignment (variables along one 1-path) satisfying the
+    function, or [None] for the zero function. Unmentioned variables
+    are don't-cares. *)
+
+val live_nodes : manager -> int
+(** Total hash-consed nodes allocated so far (a growth diagnostic). *)

@@ -1,0 +1,102 @@
+module Cq = Conjunctive.Cq
+module Iset = Set.Make (Int)
+
+let variable_order ?rng cq = Conjunctive.Joingraph.mcs_variable_order ?rng cq
+
+let check_order cq order =
+  if List.sort Stdlib.compare (Array.to_list order) <> Cq.vars cq then
+    invalid_arg "Bucket: order is not a permutation of the query variables"
+
+(* One elimination pass, generic in the relation stand-in ['a] so the plan
+   builder and the symbolic width analysis share the control flow. Each
+   item carries its scope. [note] observes every processed bucket with the
+   scope of the joined relation and the scope kept after projection. *)
+let eliminate (type a) cq order ~(of_atom : Cq.atom -> a)
+    ~(join : (Iset.t * a) list -> a) ~(project : a -> keep:Iset.t -> a)
+    ~(note : joined:Iset.t -> kept:Iset.t -> unit) : (Iset.t * a) list =
+  check_order cq order;
+  if cq.Cq.atoms = [] then invalid_arg "Bucket: no atoms";
+  let n = Array.length order in
+  let position = Hashtbl.create (max n 1) in
+  Array.iteri (fun i v -> Hashtbl.replace position v i) order;
+  let free = Iset.of_list cq.Cq.free in
+  let buckets = Array.make (max n 1) [] in
+  let final = ref [] in
+  let place limit ((scope, _) as item) =
+    let dest =
+      Iset.fold
+        (fun v acc ->
+          let p = Hashtbl.find position v in
+          if p < limit then max acc p else acc)
+        scope (-1)
+    in
+    if dest < 0 then final := item :: !final
+    else buckets.(dest) <- item :: buckets.(dest)
+  in
+  List.iter
+    (fun atom -> place n (Iset.of_list (Cq.atom_vars atom), of_atom atom))
+    cq.Cq.atoms;
+  for i = n - 1 downto 0 do
+    match List.rev buckets.(i) with
+    | [] -> ()
+    | items ->
+      let scope =
+        List.fold_left (fun acc (s, _) -> Iset.union acc s) Iset.empty items
+      in
+      let joined = join items in
+      let v = order.(i) in
+      let keep = if Iset.mem v free then scope else Iset.remove v scope in
+      note ~joined:scope ~kept:keep;
+      let result =
+        if Iset.equal keep scope then joined else project joined ~keep
+      in
+      place i (keep, result)
+  done;
+  List.rev !final
+
+let compile ?rng ?order cq =
+  let order = match order with Some o -> o | None -> variable_order ?rng cq in
+  let pieces =
+    eliminate cq order
+      ~of_atom:(fun atom -> Plan.Atom atom)
+      ~join:(fun items -> Plan.left_deep (List.map snd items))
+      ~project:(fun plan ~keep -> Plan.Project (plan, Iset.elements keep))
+      ~note:(fun ~joined:_ ~kept:_ -> ())
+  in
+  Plan.project_to (Plan.left_deep (List.map snd pieces)) cq.Cq.free
+
+let induced_width cq order =
+  let width = ref 0 in
+  let _ =
+    eliminate cq order
+      ~of_atom:(fun _ -> ())
+      ~join:(fun _ -> ())
+      ~project:(fun () ~keep:_ -> ())
+      ~note:(fun ~joined:_ ~kept -> width := max !width (Iset.cardinal kept))
+  in
+  !width
+
+let optimal_induced_width cq =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (perms rest))
+        l
+  in
+  (* Free variables must keep the lowest positions: the elimination loop
+     never projects them, so only orders listing them first are the
+     orders bucket elimination actually uses. *)
+  let bound =
+    List.filter (fun v -> not (List.mem v cq.Cq.free)) (Cq.vars cq)
+  in
+  let candidates =
+    List.map
+      (fun p -> Array.of_list (cq.Cq.free @ p))
+      (perms bound)
+  in
+  List.fold_left
+    (fun acc order -> min acc (induced_width cq order))
+    max_int candidates

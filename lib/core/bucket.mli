@@ -1,0 +1,47 @@
+(** The bucket-elimination method (Section 5).
+
+    Variables are numbered along an order — by default the
+    maximum-cardinality-search order on the join graph, seeded with the
+    target schema, as in the paper. Each atom starts in the bucket of its
+    highest-numbered variable. Buckets are processed from the highest
+    down: the bucket's relations are joined, the bucket's variable is
+    projected out (unless free), and the result moves to the bucket of
+    its highest remaining variable. Theorem 2: with the best order the
+    largest intermediate arity equals the join graph's treewidth. *)
+
+val variable_order : ?rng:Graphlib.Rng.t -> Conjunctive.Cq.t -> int array
+(** The MCS variable order (ascending paper numbering: free variables
+    occupy the lowest positions and are eliminated last). *)
+
+module Iset : Set.S with type elt = int
+
+val eliminate :
+  Conjunctive.Cq.t -> int array ->
+  of_atom:(Conjunctive.Cq.atom -> 'a) ->
+  join:((Iset.t * 'a) list -> 'a) ->
+  project:('a -> keep:Iset.t -> 'a) ->
+  note:(joined:Iset.t -> kept:Iset.t -> unit) ->
+  (Iset.t * 'a) list
+(** The bucket-elimination control flow, generic in the relation
+    stand-in ['a] — shared by the plan builder, the symbolic (BDD)
+    engine, and the width analyses. Items carry their scopes; [join]
+    combines one bucket's payloads, [project] receives the scope to
+    keep (the bucket variable is dropped unless free), [note] observes
+    each processed bucket. Returns the surviving pieces.
+    @raise Invalid_argument if [order] is not a permutation of the
+    query's variables or the query has no atoms. *)
+
+val compile :
+  ?rng:Graphlib.Rng.t -> ?order:int array -> Conjunctive.Cq.t -> Plan.t
+(** Build the bucket-elimination plan along the order (default
+    {!variable_order}). @raise Invalid_argument if [order] is not a
+    permutation of the query's variables, or the query has no atoms. *)
+
+val induced_width : Conjunctive.Cq.t -> int array -> int
+(** Arity of the widest relation produced by bucket elimination along
+    the order — computed symbolically from schemas only (the process,
+    as the paper notes, does not depend on the data). *)
+
+val optimal_induced_width : Conjunctive.Cq.t -> int
+(** Minimum induced width over all variable orders, by exhaustive
+    enumeration. Factorial; small queries only (Theorem 2 checks). *)

@@ -1,0 +1,98 @@
+module Cq = Conjunctive.Cq
+module Database = Conjunctive.Database
+module Relation = Relalg.Relation
+module Iset = Set.Make (Int)
+
+type env = {
+  atom_card : (string, float) Hashtbl.t;
+  domains : (int, float) Hashtbl.t;
+}
+
+(* Distinct values a variable can take: the union of the distinct values
+   in every base-relation column where the variable occurs. *)
+let environment db cq =
+  let atom_card = Hashtbl.create 16 in
+  let domains = Hashtbl.create 64 in
+  let values_per_var : (int, Iset.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun atom ->
+      let rel = Database.find db atom.Cq.rel in
+      if not (Hashtbl.mem atom_card atom.Cq.rel) then
+        Hashtbl.add atom_card atom.Cq.rel
+          (float_of_int (Relation.cardinality rel));
+      List.iteri
+        (fun col v ->
+          let seen =
+            Option.value ~default:Iset.empty (Hashtbl.find_opt values_per_var v)
+          in
+          let seen =
+            Relation.fold
+              (fun tup acc -> Iset.add (Relalg.Tuple.get tup col) acc)
+              rel seen
+          in
+          Hashtbl.replace values_per_var v seen)
+        atom.Cq.vars)
+    cq.Cq.atoms;
+  Hashtbl.iter
+    (fun v seen ->
+      Hashtbl.replace domains v (float_of_int (max 1 (Iset.cardinal seen))))
+    values_per_var;
+  { atom_card; domains }
+
+let atom_cardinality env atom =
+  Option.value ~default:1.0 (Hashtbl.find_opt env.atom_card atom.Cq.rel)
+
+let domain_size env v = Option.value ~default:1.0 (Hashtbl.find_opt env.domains v)
+
+let join_estimate env (card_l, vars_l) (card_r, vars_r) =
+  let shared = Iset.inter vars_l vars_r in
+  let divisor =
+    Iset.fold (fun v acc -> acc *. domain_size env v) shared 1.0
+  in
+  (card_l *. card_r /. divisor, Iset.union vars_l vars_r)
+
+let rec analyze env = function
+  | Plan.Atom atom ->
+    (atom_cardinality env atom, Iset.of_list (Cq.atom_vars atom), 0.0)
+  | Plan.Join (l, r) ->
+    let cl, vl, kl = analyze env l in
+    let cr, vr, kr = analyze env r in
+    let card, vars = join_estimate env (cl, vl) (cr, vr) in
+    (card, vars, kl +. kr +. card)
+  | Plan.Project (sub, kept) ->
+    let c, _, k = analyze env sub in
+    let vars = Iset.of_list kept in
+    (* Projection can only shrink; bound by the product of the kept
+       variables' domains. *)
+    let cap = Iset.fold (fun v acc -> acc *. domain_size env v) vars 1.0 in
+    let card = Float.min c cap in
+    (card, vars, k +. card)
+
+let estimate env plan =
+  let card, _, _ = analyze env plan in
+  card
+
+let plan_cost env plan =
+  let _, _, cost = analyze env plan in
+  cost
+
+let order_cost env atoms perm =
+  let n = Array.length perm in
+  if n = 0 then 0.0
+  else begin
+    let first = atoms.(perm.(0)) in
+    let card = ref (atom_cardinality env first) in
+    let vars = ref (Iset.of_list (Cq.atom_vars first)) in
+    let cost = ref 0.0 in
+    for i = 1 to n - 1 do
+      let atom = atoms.(perm.(i)) in
+      let card', vars' =
+        join_estimate env (!card, !vars)
+          (atom_cardinality env atom, Iset.of_list (Cq.atom_vars atom))
+      in
+      card := card';
+      vars := vars';
+      cost := !cost +. card'
+    done;
+    !cost
+  end

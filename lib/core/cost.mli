@@ -1,0 +1,30 @@
+(** Cardinality estimation, for the cost-based (naive) planner.
+
+    The model is the textbook one — System-R style independence and
+    uniformity: joining on a shared variable divides the product of the
+    input cardinalities by the variable's domain size. With the paper's
+    tiny databases this information is nearly useless, which is the
+    point of the experimental setup; the model exists so the plan-space
+    search has something to optimize, as PostgreSQL's planner did. *)
+
+type env
+
+val environment : Conjunctive.Database.t -> Conjunctive.Cq.t -> env
+(** Precompute per-atom cardinalities and per-variable domain sizes. *)
+
+val atom_cardinality : env -> Conjunctive.Cq.atom -> float
+val domain_size : env -> int -> float
+(** Distinct values observed for the variable across the base-relation
+    columns where it occurs; [1.0] for an unseen variable. *)
+
+val estimate : env -> Plan.t -> float
+(** Estimated cardinality of the plan's result. *)
+
+val plan_cost : env -> Plan.t -> float
+(** Total estimated tuples materialized across all operators — the
+    quantity the search minimizes. *)
+
+val order_cost : env -> Conjunctive.Cq.atom array -> int array -> float
+(** [order_cost env atoms perm]: cost of the left-deep join that scans
+    [atoms.(perm.(0)), atoms.(perm.(1)), ...] without projection — the
+    genetic planner's fitness function, computed incrementally. *)

@@ -1,0 +1,101 @@
+type meth =
+  | Naive of Naive.search
+  | Straightforward
+  | Early_projection
+  | Reorder
+  | Bucket_elimination
+  | Minibucket of int
+  | Hybrid
+
+let all_paper_methods =
+  [
+    Naive Naive.default_search;
+    Straightforward;
+    Early_projection;
+    Reorder;
+    Bucket_elimination;
+  ]
+
+let method_name = function
+  | Naive Naive.Dp -> "naive(dp)"
+  | Naive Naive.Dp_bushy -> "naive(dp-bushy)"
+  | Naive (Naive.Genetic _) -> "naive(geqo)"
+  | Naive (Naive.Auto _) -> "naive"
+  | Straightforward -> "straightforward"
+  | Early_projection -> "early-projection"
+  | Reorder -> "reordering"
+  | Bucket_elimination -> "bucket-elimination"
+  | Minibucket i -> Printf.sprintf "minibucket(%d)" i
+  | Hybrid -> "hybrid"
+
+type outcome = {
+  meth : meth;
+  compile_seconds : float;
+  exec_seconds : float;
+  plan_width : int;
+  max_arity : int;
+  max_cardinality : int;
+  tuples_produced : int;
+  result_cardinality : int option;
+  nonempty : bool option;
+  timed_out : bool;
+}
+
+let compile ?rng meth db cq =
+  match meth with
+  | Naive search -> Naive.compile ~search db cq
+  | Straightforward -> Straightforward.compile cq
+  | Early_projection -> Early_projection.compile cq
+  | Reorder -> Reorder.compile ?rng cq
+  | Bucket_elimination -> Bucket.compile ?rng cq
+  | Minibucket i_bound -> Minibucket.compile ?rng ~i_bound cq
+  | Hybrid -> Hybrid.compile ?rng db cq
+
+let log_src =
+  Logs.Src.create "ppr.driver" ~doc:"Method compilation and execution"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let run ?rng ?limits meth db cq =
+  let clock = Unix.gettimeofday in
+  let t0 = clock () in
+  let plan = compile ?rng meth db cq in
+  let t1 = clock () in
+  Log.debug (fun m ->
+      m "%s: compiled in %.4fs (width %d, %d joins, %d projections)"
+        (method_name meth) (t1 -. t0) (Plan.width plan) (Plan.join_count plan)
+        (Plan.projection_count plan));
+  let stats = Relalg.Stats.create () in
+  let limits = match limits with Some l -> l | None -> Relalg.Limits.create () in
+  let result =
+    try Some (Exec.run ~stats ~limits db plan)
+    with Relalg.Limits.Exceeded reason ->
+      Log.info (fun m -> m "%s: aborted — %s" (method_name meth) reason);
+      None
+  in
+  let t2 = clock () in
+  Log.debug (fun m ->
+      m "%s: executed in %.4fs (%s)" (method_name meth) (t2 -. t1)
+        (Format.asprintf "%a" Relalg.Stats.pp stats));
+  {
+    meth;
+    compile_seconds = t1 -. t0;
+    exec_seconds = t2 -. t1;
+    plan_width = Plan.width plan;
+    max_arity = stats.Relalg.Stats.max_arity;
+    max_cardinality = stats.Relalg.Stats.max_cardinality;
+    tuples_produced = stats.Relalg.Stats.tuples_produced;
+    result_cardinality = Option.map Relalg.Relation.cardinality result;
+    nonempty = Option.map (fun r -> not (Relalg.Relation.is_empty r)) result;
+    timed_out = result = None;
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "%-18s compile=%.4fs exec=%s width=%d/%d max_card=%d result=%s"
+    (method_name o.meth) o.compile_seconds
+    (if o.timed_out then "timeout" else Printf.sprintf "%.4fs" o.exec_seconds)
+    o.plan_width o.max_arity o.max_cardinality
+    (match o.result_cardinality with
+    | Some c -> string_of_int c
+    | None -> "-")

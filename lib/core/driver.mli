@@ -1,0 +1,42 @@
+(** Running one method on one query, with the measurements the paper
+    reports: compile (plan construction) time, execution time, and the
+    size/width of intermediate results. *)
+
+type meth =
+  | Naive of Naive.search
+  | Straightforward
+  | Early_projection
+  | Reorder
+  | Bucket_elimination
+  | Minibucket of int  (** i-bound *)
+  | Hybrid  (** cost-scored portfolio of structural plans *)
+
+val all_paper_methods : meth list
+(** The five methods of the paper's experiments, naive first. *)
+
+val method_name : meth -> string
+
+type outcome = {
+  meth : meth;
+  compile_seconds : float;
+  exec_seconds : float;
+  plan_width : int;      (** analytic: largest node schema in the plan *)
+  max_arity : int;       (** measured: widest intermediate relation *)
+  max_cardinality : int; (** measured: largest intermediate relation *)
+  tuples_produced : int;
+  result_cardinality : int option;  (** [None] when resources ran out *)
+  nonempty : bool option;
+  timed_out : bool;
+}
+
+val compile :
+  ?rng:Graphlib.Rng.t -> meth -> Conjunctive.Database.t -> Conjunctive.Cq.t ->
+  Plan.t
+
+val run :
+  ?rng:Graphlib.Rng.t -> ?limits:Relalg.Limits.t ->
+  meth -> Conjunctive.Database.t -> Conjunctive.Cq.t -> outcome
+(** Compile, execute, and measure. A {!Relalg.Limits.Exceeded} abort is
+    reported as [timed_out = true] rather than raised. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,29 @@
+module Cq = Conjunctive.Cq
+
+let live_after cq i =
+  let max_occur = Cq.max_occur cq in
+  let atoms = Array.of_list cq.Cq.atoms in
+  let seen = Hashtbl.create 32 in
+  for j = 0 to min i (Array.length atoms - 1) do
+    List.iter (fun v -> Hashtbl.replace seen v ()) atoms.(j).Cq.vars
+  done;
+  let live v =
+    List.mem v cq.Cq.free
+    || match Hashtbl.find_opt max_occur v with Some last -> last > i | None -> false
+  in
+  List.sort Stdlib.compare
+    (Hashtbl.fold (fun v () acc -> if live v then v :: acc else acc) seen [])
+
+let compile cq =
+  match cq.Cq.atoms with
+  | [] -> invalid_arg "Early_projection.compile: no atoms"
+  | first :: rest ->
+    let _, plan =
+      List.fold_left
+        (fun (i, plan) atom ->
+          let joined = Plan.Join (plan, Plan.Atom atom) in
+          (i + 1, Plan.project_to joined (live_after cq i)))
+        (1, Plan.project_to (Plan.Atom first) (live_after cq 0))
+        rest
+    in
+    Plan.project_to plan cq.Cq.free

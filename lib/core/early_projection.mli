@@ -1,0 +1,15 @@
+(** The "early projection" method (Section 4): process the atoms in
+    listing order, and as soon as a variable's last occurrence has been
+    joined, project it out (unless it is free). This is the paper's
+    [max_occur]-driven rewriting with nested subqueries, expressed over
+    plans. *)
+
+val compile : Conjunctive.Cq.t -> Plan.t
+(** A left-deep join chain with a projection inserted after each join at
+    which at least one variable dies. @raise Invalid_argument on a query
+    with no atoms. *)
+
+val live_after : Conjunctive.Cq.t -> int -> int list
+(** [live_after cq i] — the variables still needed after the first [i+1]
+    atoms have been joined: those occurring in a later atom or free.
+    Sorted. *)

@@ -1,0 +1,32 @@
+module Relation = Relalg.Relation
+module Schema = Relalg.Schema
+module Ops = Relalg.Ops
+module Database = Conjunctive.Database
+
+type join_algorithm = Hash | Merge
+
+let rec run ?(join_algorithm = Hash) ?stats ?limits db = function
+  | Plan.Atom atom -> Database.eval_atom ?stats ?limits db atom
+  | Plan.Join (l, r) ->
+    let rl = run ~join_algorithm ?stats ?limits db l in
+    let rr = run ~join_algorithm ?stats ?limits db r in
+    let join =
+      match join_algorithm with
+      | Hash -> Ops.natural_join ?stats ?limits
+      | Merge -> Ops.merge_join ?stats ?limits
+    in
+    join rl rr
+  | Plan.Project (sub, kept) ->
+    let rsub = run ~join_algorithm ?stats ?limits db sub in
+    (* Keep the input's column order for the retained variables; the
+       variable set, not the order, is what projection means here. *)
+    let target =
+      Schema.restrict (Relation.schema rsub) ~keep:(fun v -> List.mem v kept)
+    in
+    if Schema.arity target <> List.length (List.sort_uniq Stdlib.compare kept)
+    then
+      invalid_arg "Exec: projection keeps a variable absent from its input";
+    Ops.project ?stats ?limits rsub target
+
+let nonempty ?join_algorithm ?stats ?limits db plan =
+  not (Relation.is_empty (run ?join_algorithm ?stats ?limits db plan))

@@ -1,0 +1,23 @@
+(** Plan execution against a database.
+
+    The result's schema lists the plan's output variables; Boolean plans
+    (empty schema) evaluate to the 0-ary relation containing the empty
+    tuple when the join is nonempty and to the empty relation otherwise. *)
+
+type join_algorithm = Hash | Merge
+
+val run :
+  ?join_algorithm:join_algorithm ->
+  ?stats:Relalg.Stats.t -> ?limits:Relalg.Limits.t ->
+  Conjunctive.Database.t -> Plan.t -> Relalg.Relation.t
+(** Execute a plan. [join_algorithm] defaults to [Hash] (the paper
+    forced hash joins in PostgreSQL); [Merge] runs the same plans over
+    sort-merge joins for the join-algorithm ablation.
+    @raise Relalg.Limits.Exceeded when a resource guard trips.
+    @raise Not_found if an atom names an unregistered relation. *)
+
+val nonempty :
+  ?join_algorithm:join_algorithm ->
+  ?stats:Relalg.Stats.t -> ?limits:Relalg.Limits.t ->
+  Conjunctive.Database.t -> Plan.t -> bool
+(** The Boolean answer: whether the query result is nonempty. *)

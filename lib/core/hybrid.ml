@@ -1,0 +1,57 @@
+module Cq = Conjunctive.Cq
+module Joingraph = Conjunctive.Joingraph
+
+type candidate = {
+  label : string;
+  plan : Plan.t;
+  estimated_cost : float;
+  width : int;
+}
+
+let order_from_graph_heuristic cq heuristic =
+  let jg = Joingraph.build cq in
+  Joingraph.variable_order_of jg (heuristic jg.Joingraph.graph)
+
+let candidates ?rng db cq =
+  let env = Cost.environment db cq in
+  let weight = Weighted.weights_from_database db cq in
+  let rng_for label =
+    (* Derive independent deterministic streams when the caller gave
+       none, so the portfolio is reproducible. *)
+    match rng with
+    | Some rng -> Graphlib.Rng.split rng
+    | None -> Graphlib.Rng.make (Hashtbl.hash label)
+  in
+  let bucket_candidates =
+    [
+      ("bucket/mcs", Bucket.variable_order cq);
+      ("bucket/min-degree", order_from_graph_heuristic cq Graphlib.Order.min_degree);
+      ("bucket/min-fill", order_from_graph_heuristic cq Graphlib.Order.min_fill);
+      ("bucket/weighted", Weighted.variable_order ~weight cq);
+      ( "bucket/annealed",
+        order_from_graph_heuristic cq (fun g ->
+            fst (Graphlib.Anneal.anneal ~rng:(rng_for "anneal") g)) );
+    ]
+    |> List.map (fun (label, order) -> (label, Bucket.compile ~order cq))
+  in
+  let others =
+    [
+      ("early-projection", Early_projection.compile cq);
+      ("reordering", Reorder.compile ?rng cq);
+    ]
+  in
+  List.map
+    (fun (label, plan) ->
+      {
+        label;
+        plan;
+        estimated_cost = Cost.plan_cost env plan;
+        width = Plan.width plan;
+      })
+    (bucket_candidates @ others)
+  |> List.sort (fun a b -> compare a.estimated_cost b.estimated_cost)
+
+let compile ?rng db cq =
+  match candidates ?rng db cq with
+  | best :: _ -> best.plan
+  | [] -> invalid_arg "Hybrid.compile: no candidates"

@@ -1,0 +1,29 @@
+(** Hybrid structural + cost-based planning (the paper's §7 fourth
+    research direction).
+
+    Pure structural optimization picks one variable order from one
+    heuristic and trusts it; pure cost-based optimization searches a
+    huge plan space with a weak model. The hybrid here takes the best of
+    both at negligible cost: enumerate a {e small} portfolio of
+    structurally-sound candidates — bucket elimination under MCS,
+    min-degree, min-fill and weighted orders, annealed variants, plus
+    the early-projection and reordering plans — score each with the
+    {!Cost} model, and return the cheapest. The search space is a
+    handful of plans instead of factorially many, so compile time stays
+    trivial while bad heuristic luck gets filtered out. *)
+
+type candidate = {
+  label : string;
+  plan : Plan.t;
+  estimated_cost : float;
+  width : int;
+}
+
+val candidates :
+  ?rng:Graphlib.Rng.t -> Conjunctive.Database.t -> Conjunctive.Cq.t ->
+  candidate list
+(** The scored portfolio, cheapest first. *)
+
+val compile :
+  ?rng:Graphlib.Rng.t -> Conjunctive.Database.t -> Conjunctive.Cq.t -> Plan.t
+(** The cheapest candidate's plan. *)

@@ -1,0 +1,78 @@
+module Cq = Conjunctive.Cq
+module Iset = Set.Make (Int)
+
+(* First-fit partition of a bucket's items into groups whose combined
+   scope has at most [i_bound] variables; an item too wide on its own
+   still gets its own group (the cap then matches the atom's arity). *)
+let partition ~i_bound items =
+  let fits group_scope scope =
+    Iset.cardinal (Iset.union group_scope scope) <= i_bound
+  in
+  List.fold_left
+    (fun groups ((scope, _) as item) ->
+      let rec insert = function
+        | [] -> [ (scope, [ item ]) ]
+        | (gscope, members) :: rest when fits gscope scope ->
+          (Iset.union gscope scope, item :: members) :: rest
+        | g :: rest -> g :: insert rest
+      in
+      insert groups)
+    [] items
+  |> List.map (fun (gscope, members) -> (gscope, List.rev members))
+
+let compile ?rng ?order ~i_bound cq =
+  if i_bound < 1 then invalid_arg "Minibucket.compile: i_bound < 1";
+  if cq.Cq.atoms = [] then invalid_arg "Minibucket.compile: no atoms";
+  let order =
+    match order with Some o -> o | None -> Bucket.variable_order ?rng cq
+  in
+  if List.sort Stdlib.compare (Array.to_list order) <> Cq.vars cq then
+    invalid_arg "Minibucket: order is not a permutation of the query variables";
+  let n = Array.length order in
+  let position = Hashtbl.create (max n 1) in
+  Array.iteri (fun i v -> Hashtbl.replace position v i) order;
+  let free = Iset.of_list cq.Cq.free in
+  let buckets = Array.make (max n 1) [] in
+  let final = ref [] in
+  let place limit ((scope, _) as item) =
+    let dest =
+      Iset.fold
+        (fun v acc ->
+          let p = Hashtbl.find position v in
+          if p < limit then max acc p else acc)
+        scope (-1)
+    in
+    if dest < 0 then final := item :: !final
+    else buckets.(dest) <- item :: buckets.(dest)
+  in
+  List.iter
+    (fun atom -> place n (Iset.of_list (Cq.atom_vars atom), Plan.Atom atom))
+    cq.Cq.atoms;
+  for i = n - 1 downto 0 do
+    match List.rev buckets.(i) with
+    | [] -> ()
+    | items ->
+      let v = order.(i) in
+      let groups = partition ~i_bound items in
+      List.iter
+        (fun (gscope, members) ->
+          let joined = Plan.left_deep (List.map snd members) in
+          let keep = if Iset.mem v free then gscope else Iset.remove v gscope in
+          let plan =
+            if Iset.equal keep gscope then joined
+            else Plan.Project (joined, Iset.elements keep)
+          in
+          place i (keep, plan))
+        groups
+  done;
+  Plan.project_to
+    (Plan.left_deep (List.map snd (List.rev !final)))
+    cq.Cq.free
+
+type verdict = Definitely_empty | Maybe_nonempty of Relalg.Relation.t
+
+let evaluate ?rng ?order ?stats ?limits ~i_bound db cq =
+  let plan = compile ?rng ?order ~i_bound cq in
+  let result = Exec.run ?stats ?limits db plan in
+  if Relalg.Relation.is_empty result then Definitely_empty
+  else Maybe_nonempty result

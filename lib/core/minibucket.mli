@@ -1,0 +1,28 @@
+(** Mini-bucket elimination (Dechter), the approximation the paper's
+    conclusion lists as future work.
+
+    Exact bucket elimination joins {e all} relations of a bucket before
+    projecting; with a low-treewidth order unavailable, that join can be
+    wide. The mini-bucket scheme partitions each bucket into groups whose
+    combined scope stays within an [i_bound], joins each group separately
+    and projects the bucket's variable out of {e each} — trading
+    exactness for a hard width cap. The result is an {e upper bound}:
+    every true answer survives, but spurious tuples may appear. An empty
+    mini-bucket result therefore proves the query empty, while a nonempty
+    one is only a "maybe". *)
+
+val compile :
+  ?rng:Graphlib.Rng.t -> ?order:int array -> i_bound:int ->
+  Conjunctive.Cq.t -> Plan.t
+(** Plan computing the upper-bound relation. Plan width is at most
+    [max i_bound (largest atom arity)].
+    @raise Invalid_argument if [i_bound < 1]. *)
+
+type verdict =
+  | Definitely_empty
+  | Maybe_nonempty of Relalg.Relation.t  (** the upper-bound relation *)
+
+val evaluate :
+  ?rng:Graphlib.Rng.t -> ?order:int array -> ?stats:Relalg.Stats.t ->
+  ?limits:Relalg.Limits.t -> i_bound:int ->
+  Conjunctive.Database.t -> Conjunctive.Cq.t -> verdict

@@ -1,0 +1,44 @@
+(** Physical project-join plans.
+
+    Every evaluation strategy in this library — naive, straightforward,
+    early projection, reordering, bucket elimination, mini-buckets —
+    compiles the query to the same plan language, and a single executor
+    ({!Exec}) touches the data. A plan node's schema is its "working
+    label" in the paper's sense, so a plan's width is directly comparable
+    to join-expression-tree widths and to treewidth bounds. *)
+
+type t =
+  | Atom of Conjunctive.Cq.atom
+      (** scan one atom occurrence (with repeated-variable selection) *)
+  | Join of t * t  (** natural join on shared variables *)
+  | Project of t * int list
+      (** keep exactly these variables (must be a subset of the input's) *)
+
+val schema : t -> int list
+(** Variables produced by the plan, sorted.
+    @raise Invalid_argument if a projection keeps an absent variable. *)
+
+val width : t -> int
+(** Largest node schema in the plan — the analytic counterpart of the
+    executor's measured [max_arity]. *)
+
+val join_count : t -> int
+val projection_count : t -> int
+val node_count : t -> int
+
+val left_deep : t list -> t
+(** Fold plans into a left-deep join chain.
+    @raise Invalid_argument on the empty list. *)
+
+val project_to : t -> int list -> t
+(** Append a projection unless it would be the identity. *)
+
+val atoms : t -> Conjunctive.Cq.atom list
+(** Atom occurrences in left-to-right order. *)
+
+val answers_query : Conjunctive.Cq.t -> t -> bool
+(** Sanity check used by every strategy: the plan scans exactly the
+    query's atoms (as a multiset) and produces exactly the target
+    schema (the paper's emulated-Boolean queries keep one variable). *)
+
+val pp : ?namer:(int -> string) -> unit -> Format.formatter -> t -> unit

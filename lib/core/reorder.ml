@@ -1,0 +1,46 @@
+module Cq = Conjunctive.Cq
+
+let permutation ?rng cq =
+  let atoms = Array.of_list cq.Cq.atoms in
+  let m = Array.length atoms in
+  let remaining = ref (List.init m Fun.id) in
+  let order = ref [] in
+  while !remaining <> [] do
+    (* Occurrence counts of each variable among the remaining atoms. *)
+    let occ = Hashtbl.create 32 in
+    List.iter
+      (fun i ->
+        List.iter
+          (fun v ->
+            Hashtbl.replace occ v
+              (1 + Option.value ~default:0 (Hashtbl.find_opt occ v)))
+          (Cq.atom_vars atoms.(i)))
+      !remaining;
+    let unique_vars i =
+      List.length
+        (List.filter (fun v -> Hashtbl.find occ v = 1) (Cq.atom_vars atoms.(i)))
+    in
+    let shared_vars i =
+      List.length
+        (List.filter (fun v -> Hashtbl.find occ v > 1) (Cq.atom_vars atoms.(i)))
+    in
+    let scored =
+      List.map (fun i -> ((unique_vars i, -shared_vars i), i)) !remaining
+    in
+    let best_score =
+      List.fold_left (fun acc (s, _) -> max acc s) (min_int, min_int) scored
+    in
+    let ties = List.filter_map (fun (s, i) -> if s = best_score then Some i else None) scored in
+    let pick =
+      match (rng, ties) with
+      | _, [] -> assert false
+      | None, i :: _ -> i
+      | Some rng, ties -> Graphlib.Rng.pick rng ties
+    in
+    order := pick :: !order;
+    remaining := List.filter (fun i -> i <> pick) !remaining
+  done;
+  Array.of_list (List.rev !order)
+
+let compile ?rng cq =
+  Early_projection.compile (Cq.permute_atoms cq (permutation ?rng cq))

@@ -1,0 +1,13 @@
+(** The "reordering" method (Section 4): greedily permute the atoms so
+    variables can be projected as early as possible, then apply early
+    projection along the permuted order.
+
+    The greedy rule is the paper's: repeatedly pick the atom with the
+    most variables occurring in no other remaining atom; break ties by
+    the fewest variables shared with the remaining atoms; break further
+    ties randomly (or by listing order when no generator is supplied). *)
+
+val permutation : ?rng:Graphlib.Rng.t -> Conjunctive.Cq.t -> int array
+(** [permutation cq].(i) is the index of the atom processed i-th. *)
+
+val compile : ?rng:Graphlib.Rng.t -> Conjunctive.Cq.t -> Plan.t

@@ -1,0 +1,60 @@
+module Cq = Conjunctive.Cq
+module Database = Conjunctive.Database
+module Relation = Relalg.Relation
+module Schema = Relalg.Schema
+module Ops = Relalg.Ops
+
+let share_variable a b =
+  not (Schema.is_disjoint (Relation.schema a) (Relation.schema b))
+
+let reduce_to_fixpoint ?stats ?limits ?(max_passes = 10) rels =
+  let m = Array.length rels in
+  let changed_any = ref false in
+  let continue_ = ref true in
+  let passes = ref 0 in
+  while !continue_ && !passes < max_passes do
+    continue_ := false;
+    incr passes;
+    for i = 0 to m - 1 do
+      for j = 0 to m - 1 do
+        if i <> j && share_variable rels.(i) rels.(j) then begin
+          let before = Relation.cardinality rels.(i) in
+          let reduced = Ops.semijoin ?stats ?limits rels.(i) rels.(j) in
+          if Relation.cardinality reduced < before then begin
+            rels.(i) <- reduced;
+            changed_any := true;
+            continue_ := true
+          end
+        end
+      done
+    done
+  done;
+  !changed_any
+
+let reduced_instance ?stats ?limits ?max_passes db cq =
+  let atoms = Array.of_list cq.Cq.atoms in
+  let rels =
+    Array.map (fun atom -> Database.eval_atom ?stats ?limits db atom) atoms
+  in
+  let changed = reduce_to_fixpoint ?stats ?limits ?max_passes rels in
+  let reduced_db = Database.create () in
+  let rewritten =
+    Array.to_list
+      (Array.mapi
+         (fun i _atom ->
+           let name = Printf.sprintf "__reduced_%d" i in
+           (* The reduced relation's schema is the atom's distinct
+              variables; the rewritten atom uses them positionally. *)
+           Database.add reduced_db name rels.(i);
+           { Cq.rel = name; vars = Schema.attrs (Relation.schema rels.(i)) })
+         atoms)
+  in
+  (reduced_db, { cq with Cq.atoms = rewritten }, changed)
+
+let tuples_removed ?limits db cq =
+  let atoms = Array.of_list cq.Cq.atoms in
+  let rels = Array.map (fun atom -> Database.eval_atom ?limits db atom) atoms in
+  let before = Array.fold_left (fun acc r -> acc + Relation.cardinality r) 0 rels in
+  ignore (reduce_to_fixpoint ?limits rels);
+  let after = Array.fold_left (fun acc r -> acc + Relation.cardinality r) 0 rels in
+  before - after

@@ -1,0 +1,26 @@
+(** Semijoin reduction (Wong–Youssefi [34]) as a preprocessing pass.
+
+    Repeatedly semijoin every atom's relation against every other atom
+    sharing a variable, until fixpoint: each pass deletes tuples that
+    cannot participate in any answer. The paper points out that for its
+    3-COLOR queries this is {e useless} — projecting a column of the
+    [edge] relation yields every color, so nothing is ever deleted —
+    which is exactly why it could study join/projection ordering in
+    isolation. This module makes that claim checkable, and provides the
+    pass for workloads where it does help (selective relations, as in
+    mediator queries). *)
+
+val reduced_instance :
+  ?stats:Relalg.Stats.t -> ?limits:Relalg.Limits.t -> ?max_passes:int ->
+  Conjunctive.Database.t -> Conjunctive.Cq.t ->
+  Conjunctive.Database.t * Conjunctive.Cq.t * bool
+(** Materialize each atom, reduce to fixpoint (at most [max_passes]
+    sweeps, default 10), and return a fresh database with one relation
+    per atom occurrence, the rewritten query over those relations, and
+    whether any tuple was removed. The rewritten query has the same
+    answers as the original. *)
+
+val tuples_removed :
+  ?limits:Relalg.Limits.t -> Conjunctive.Database.t -> Conjunctive.Cq.t -> int
+(** Total tuples the reduction deletes — [0] exactly when the pass is
+    useless, as on the paper's coloring queries. *)

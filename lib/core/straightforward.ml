@@ -1,0 +1,6 @@
+module Cq = Conjunctive.Cq
+
+let compile cq =
+  if cq.Cq.atoms = [] then invalid_arg "Straightforward.compile: no atoms";
+  let scans = List.map (fun atom -> Plan.Atom atom) cq.Cq.atoms in
+  Plan.project_to (Plan.left_deep scans) cq.Cq.free

@@ -1,0 +1,7 @@
+(** The "straightforward" method (Section 3): join the atoms left-deep in
+    exactly the order they are listed, with a single final projection.
+    This is the paper's baseline — it bypasses the cost-based search (so
+    it compiles in negligible time) but ignores projection pushing. *)
+
+val compile : Conjunctive.Cq.t -> Plan.t
+(** @raise Invalid_argument on a query with no atoms. *)

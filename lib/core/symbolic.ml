@@ -1,0 +1,107 @@
+module Cq = Conjunctive.Cq
+module Database = Conjunctive.Database
+module Relation = Relalg.Relation
+module Tuple = Relalg.Tuple
+
+type encoding = {
+  bits : int;
+  position : (int, int) Hashtbl.t;
+  order : int array;
+}
+
+let bits_needed max_value =
+  let rec go bits capacity =
+    if capacity > max_value then bits else go (bits + 1) (capacity * 2)
+  in
+  go 1 2
+
+let max_value_in db cq =
+  List.fold_left
+    (fun acc atom ->
+      let rel = Database.find db atom.Cq.rel in
+      Relation.fold
+        (fun tup acc ->
+          Array.fold_left
+            (fun acc v ->
+              if v < 0 then
+                invalid_arg "Symbolic: negative values are not encodable";
+              max acc v)
+            acc tup)
+        rel acc)
+    0 cq.Cq.atoms
+
+let run ?rng ?order db cq =
+  let order =
+    match order with Some o -> o | None -> Bucket.variable_order ?rng cq
+  in
+  let n = Array.length order in
+  let position = Hashtbl.create (max n 1) in
+  Array.iteri (fun i v -> Hashtbl.replace position v i) order;
+  let bits = bits_needed (max_value_in db cq) in
+  let enc = { bits; position; order } in
+  let m = Bdd.manager ~num_vars:(max 1 (n * bits)) () in
+  (* The variable eliminated first (highest position) owns the topmost
+     bits, so its quantification stays near the BDD roots. *)
+  let bit_index v j = (((n - 1 - Hashtbl.find position v) * bits) + j) in
+  let literal v j value =
+    if (value lsr (bits - 1 - j)) land 1 = 1 then Bdd.var m (bit_index v j)
+    else Bdd.nvar m (bit_index v j)
+  in
+  let encode_binding v value =
+    let rec go j acc =
+      if j >= bits then acc else go (j + 1) (Bdd.mk_and m acc (literal v j value))
+    in
+    go 0 (Bdd.one m)
+  in
+  let atom_bdd atom =
+    let rel = Database.eval_atom db atom in
+    let vars = Array.of_list (Cq.atom_vars atom) in
+    Relation.fold
+      (fun tup acc ->
+        let row = ref (Bdd.one m) in
+        Array.iteri
+          (fun col v -> row := Bdd.mk_and m !row (encode_binding v (Tuple.get tup col)))
+          vars;
+        Bdd.mk_or m acc !row)
+      rel (Bdd.zero m)
+  in
+  (* Payloads carry their own scope alongside the function, so the
+     projection step knows which variable's bits to quantify. *)
+  let final =
+    Bucket.eliminate cq order ~of_atom:(fun atom ->
+        (Bucket.Iset.of_list (Cq.atom_vars atom), atom_bdd atom))
+      ~join:(fun items ->
+        List.fold_left
+          (fun (scope, f) (_, (s, g)) ->
+            (Bucket.Iset.union scope s, Bdd.mk_and m f g))
+          (Bucket.Iset.empty, Bdd.one m)
+          items)
+      ~project:(fun (scope, f) ~keep ->
+        let dropped = Bucket.Iset.diff scope keep in
+        let bits_to_drop =
+          Bucket.Iset.fold
+            (fun v acc -> List.init bits (bit_index v) @ acc)
+            dropped []
+        in
+        (keep, Bdd.exists_many m bits_to_drop f))
+      ~note:(fun ~joined:_ ~kept:_ -> ())
+  in
+  let result =
+    List.fold_left
+      (fun acc (_, (_, f)) -> Bdd.mk_and m acc f)
+      (Bdd.one m) final
+  in
+  (m, result, enc)
+
+let satisfiable ?rng ?order db cq =
+  let m, result, _ = run ?rng ?order db cq in
+  ignore m;
+  not (Bdd.is_zero result)
+
+let answer_count ?rng ?order db cq =
+  let m, result, enc = run ?rng ?order db cq in
+  let total_bits = Bdd.num_vars m in
+  let free_bits = enc.bits * List.length cq.Cq.free in
+  Bdd.sat_count m result /. Float.pow 2.0 (float_of_int (total_bits - free_bits))
+
+let peak_size = Bdd.size

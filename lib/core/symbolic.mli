@@ -1,0 +1,47 @@
+(** Symbolic bucket elimination: the same variable-elimination schedule,
+    executed over BDDs instead of relations.
+
+    This is the quantification-scheduling view the paper inherits from
+    symbolic model checking [24, 9] and BDD-based CSP solving [29, 30]:
+    each atom's relation becomes a Boolean function over bit-blasted
+    query variables, a bucket's join is conjunction, and projecting a
+    variable out is existential quantification of its bits. The
+    elimination order controls BDD sizes exactly as it controls
+    intermediate-relation widths.
+
+    Encoding: query variables take the positions of the elimination
+    order; each gets [bits] Boolean variables (enough for the largest
+    value in the database), the variable eliminated first owning the
+    topmost bits. Values are encoded in binary directly. *)
+
+type encoding = {
+  bits : int;                        (** bits per query variable *)
+  position : (int, int) Hashtbl.t;   (** query var -> order position *)
+  order : int array;                 (** the elimination order used *)
+}
+
+val satisfiable :
+  ?rng:Graphlib.Rng.t -> ?order:int array ->
+  Conjunctive.Database.t -> Conjunctive.Cq.t -> bool
+(** Decide nonemptiness of the (Boolean core of the) query by symbolic
+    bucket elimination. Agrees with relational evaluation on every
+    query. *)
+
+val answer_count :
+  ?rng:Graphlib.Rng.t -> ?order:int array ->
+  Conjunctive.Database.t -> Conjunctive.Cq.t -> float
+(** Cardinality of the query's answer: the model count of the result
+    function over the free variables' bits (the full count of
+    satisfying assignments of all variables when the target schema is
+    empty counts 1 for nonempty, 0 for empty). *)
+
+val run :
+  ?rng:Graphlib.Rng.t -> ?order:int array ->
+  Conjunctive.Database.t -> Conjunctive.Cq.t ->
+  Bdd.manager * Bdd.node * encoding
+(** The raw result: the manager, the final BDD over the free variables'
+    bits, and the encoding used — for callers that want to inspect or
+    further combine the symbolic answer. *)
+
+val peak_size : Bdd.manager -> Bdd.node -> int
+(** Alias of {!Bdd.size}, for reporting. *)

@@ -1,0 +1,92 @@
+module Cq = Conjunctive.Cq
+module Joingraph = Conjunctive.Joingraph
+module G = Graphlib.Graph
+module Iset = G.Iset
+
+let weights_from_database db cq =
+  let env = Cost.environment db cq in
+  fun v -> Float.log2 (Float.max 2.0 (Cost.domain_size env v))
+
+(* Greedy weighted elimination on the join graph: repeatedly eliminate
+   (assigning positions n-1 down to 0) the cheapest live vertex, where a
+   vertex costs the total weight of its not-yet-eliminated neighborhood
+   in the working fill graph. Free variables are only eliminated once
+   every bound variable is gone, which pins them to the lowest
+   positions. *)
+let vertex_order ?rng ~weight ~free_vertices g =
+  let n = G.order g in
+  let work = G.copy g in
+  let remaining = ref (Iset.of_list (G.vertices g)) in
+  let order = Array.make n 0 in
+  let live_neighbors v = Iset.inter (G.neighbors work v) (Iset.remove v !remaining) in
+  let cost v = Iset.fold (fun w acc -> acc +. weight w) (live_neighbors v) 0.0 in
+  for idx = n - 1 downto 0 do
+    let bound = Iset.diff !remaining free_vertices in
+    let candidates =
+      if Iset.is_empty bound then Iset.elements !remaining else Iset.elements bound
+    in
+    let best_cost =
+      List.fold_left (fun acc v -> Float.min acc (cost v)) infinity candidates
+    in
+    let ties = List.filter (fun v -> cost v <= best_cost +. 1e-12) candidates in
+    let v =
+      match (rng, ties) with
+      | _, [] -> assert false
+      | None, v :: _ -> v
+      | Some rng, ties -> Graphlib.Rng.pick rng ties
+    in
+    order.(idx) <- v;
+    G.complete_among work (Iset.elements (live_neighbors v));
+    remaining := Iset.remove v !remaining
+  done;
+  order
+
+let variable_order ?rng ~weight cq =
+  let jg = Joingraph.build cq in
+  let free_vertices =
+    Iset.of_list
+      (List.map (Hashtbl.find jg.Joingraph.to_vertex) cq.Cq.free)
+  in
+  let vertex_weight vtx = weight jg.Joingraph.of_vertex.(vtx) in
+  let ord =
+    vertex_order ?rng ~weight:vertex_weight ~free_vertices jg.Joingraph.graph
+  in
+  Joingraph.variable_order_of jg ord
+
+(* Mirror of Bucket.induced_width's symbolic elimination, weighing the
+   kept scope instead of counting it. *)
+let weighted_induced_width cq ~weight order =
+  let module Vset = Set.Make (Int) in
+  let widest = ref 0.0 in
+  let n = Array.length order in
+  let position = Hashtbl.create (max n 1) in
+  Array.iteri (fun i v -> Hashtbl.replace position v i) order;
+  let free = Vset.of_list cq.Cq.free in
+  let buckets = Array.make (max n 1) [] in
+  let place limit scope =
+    let dest =
+      Vset.fold
+        (fun v acc ->
+          let p = Hashtbl.find position v in
+          if p < limit then max acc p else acc)
+        scope (-1)
+    in
+    if dest >= 0 then buckets.(dest) <- scope :: buckets.(dest)
+  in
+  List.iter
+    (fun atom -> place n (Vset.of_list (Cq.atom_vars atom)))
+    cq.Cq.atoms;
+  for i = n - 1 downto 0 do
+    match buckets.(i) with
+    | [] -> ()
+    | scopes ->
+      let scope = List.fold_left Vset.union Vset.empty scopes in
+      let v = order.(i) in
+      let keep = if Vset.mem v free then scope else Vset.remove v scope in
+      widest := Float.max !widest (Vset.fold (fun v acc -> acc +. weight v) keep 0.0);
+      place i keep
+  done;
+  !widest
+
+let compile ?rng ~weight cq =
+  Bucket.compile ~order:(variable_order ?rng ~weight cq) cq

@@ -1,0 +1,36 @@
+(** Weighted structural optimization (the paper's §7 fourth direction:
+    combining structural and cost-based optimization via {e weighted}
+    attributes).
+
+    Plain bucket elimination minimizes the {e number} of attributes in
+    intermediate results; when attributes have different widths — more
+    distinct values, or more bytes — the right quantity is the sum of
+    the attribute weights. With [weight v = log2 (domain size of v)],
+    the weighted width of a scope bounds [log2] of the intermediate
+    relation's cardinality, so minimizing it minimizes the worst-case
+    intermediate size rather than the column count. *)
+
+val weights_from_database :
+  Conjunctive.Database.t -> Conjunctive.Cq.t -> int -> float
+(** [weights_from_database db cq] maps each variable to [log2] of the
+    number of distinct values it can take (from the base-relation
+    columns where it occurs); [1.0] for unseen variables. *)
+
+val variable_order :
+  ?rng:Graphlib.Rng.t -> weight:(int -> float) -> Conjunctive.Cq.t ->
+  int array
+(** A greedy weighted elimination order over the join graph: eliminate
+    (from the highest position down) the variable whose live neighbors
+    weigh least, free variables pinned to the lowest positions as in the
+    MCS order. *)
+
+val weighted_induced_width :
+  Conjunctive.Cq.t -> weight:(int -> float) -> int array -> float
+(** The largest total weight of a bucket result's scope along the order
+    (the weighted analogue of {!Bucket.induced_width}); [2 ** result]
+    bounds every intermediate cardinality of the bucket plan. *)
+
+val compile :
+  ?rng:Graphlib.Rng.t -> weight:(int -> float) -> Conjunctive.Cq.t ->
+  Plan.t
+(** Bucket elimination along the weighted order. *)

@@ -1,0 +1,90 @@
+module Relation = Relalg.Relation
+module Schema = Relalg.Schema
+module Tuple = Relalg.Tuple
+
+type domains = (int, Relation.t) Hashtbl.t
+
+type result = { domains : domains; emptied : bool; revisions : int }
+
+(* Directed arcs (x, y, allowed) with allowed over scope [x; y]. *)
+let arcs_of (t : Instance.t) =
+  List.concat_map
+    (fun c ->
+      match c.Instance.scope with
+      | [ x; y ] ->
+        let flipped =
+          let schema = Schema.of_list [ 1; 0 ] in
+          let rel = Relation.create schema in
+          Relation.iter
+            (fun tup ->
+              ignore
+                (Relation.add rel (Tuple.of_list [ Tuple.get tup 1; Tuple.get tup 0 ])))
+            c.Instance.allowed;
+          rel
+        in
+        [ (x, y, c.Instance.allowed); (y, x, flipped) ]
+      | _ -> [])
+    t.Instance.constraints
+
+(* Remove from x's domain the values with no support in y's. *)
+let revise domains (x, y, allowed) =
+  let dx : Relation.t = Hashtbl.find domains x in
+  let dy : Relation.t = Hashtbl.find domains y in
+  let supported vx =
+    Relation.fold
+      (fun tup ok ->
+        ok
+        || (Tuple.get tup 0 = vx
+           && Relation.mem dy (Tuple.of_list [ Tuple.get tup 1 ])))
+      allowed false
+  in
+  let kept = Relalg.Ops.select dx (fun tup -> supported (Tuple.get tup 0)) in
+  if Relation.cardinality kept < Relation.cardinality dx then begin
+    Hashtbl.replace domains x kept;
+    true
+  end
+  else false
+
+let run (t : Instance.t) =
+  let domains : domains = Hashtbl.create t.Instance.num_vars in
+  for v = 0 to t.Instance.num_vars - 1 do
+    Hashtbl.replace domains v
+      (Relation.of_list (Schema.of_list [ 0 ])
+         (List.map (fun value -> [ value ]) t.Instance.domain))
+  done;
+  (* Unary constraints seed the domains. *)
+  List.iter
+    (fun c ->
+      match c.Instance.scope with
+      | [ x ] ->
+        let dx = Hashtbl.find domains x in
+        Hashtbl.replace domains x
+          (Relalg.Ops.select dx (fun tup -> Relation.mem c.Instance.allowed tup))
+      | _ -> ())
+    t.Instance.constraints;
+  let arcs = arcs_of t in
+  let queue = Queue.create () in
+  List.iter (fun arc -> Queue.add arc queue) arcs;
+  let revisions = ref 0 in
+  let emptied = ref false in
+  while not (Queue.is_empty queue || !emptied) do
+    let ((x, _, _) as arc) = Queue.pop queue in
+    incr revisions;
+    if revise domains arc then begin
+      if Relation.is_empty (Hashtbl.find domains x) then emptied := true
+      else
+        (* Re-enqueue arcs pointing at x. *)
+        List.iter
+          (fun ((_, y, _) as other) -> if y = x then Queue.add other queue)
+          arcs
+    end
+  done;
+  { domains; emptied = !emptied; revisions = !revisions }
+
+let is_arc_consistent t =
+  let { domains; emptied; _ } = run t in
+  (not emptied)
+  && Hashtbl.fold
+       (fun _ d acc ->
+         acc && Relation.cardinality d = List.length t.Instance.domain)
+       domains true

@@ -1,0 +1,26 @@
+(** Arc consistency (AC-3) over binary constraints.
+
+    The CSP community's standard preprocessing: shrink each variable's
+    domain until every value has a support in every binary constraint.
+    On a query instance this is exactly the Wong–Youssefi semijoin
+    reduction specialised to unary "domain" relations — the test suite
+    checks that correspondence — and, like it, it is provably useless on
+    the paper's coloring queries (every color supports every other). *)
+
+type domains = (int, Relalg.Relation.t) Hashtbl.t
+(** Current domain of each variable, as a unary relation. *)
+
+type result = {
+  domains : domains;
+  emptied : bool;      (** some domain became empty: unsatisfiable *)
+  revisions : int;     (** arcs revised until fixpoint *)
+}
+
+val run : Instance.t -> result
+(** AC-3 over the instance's binary constraints (wider constraints are
+    ignored by this propagator, as in classic AC-3). Initial domains
+    are the instance's value list. *)
+
+val is_arc_consistent : Instance.t -> bool
+(** No revision shrinks anything: the instance was already arc
+    consistent. *)

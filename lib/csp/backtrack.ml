@@ -1,0 +1,78 @@
+module Relation = Relalg.Relation
+module Tuple = Relalg.Tuple
+
+type result = Satisfiable of int array | Unsatisfiable
+
+let default_order (t : Instance.t) =
+  let degree = Array.make t.Instance.num_vars 0 in
+  List.iter
+    (fun c ->
+      List.iter (fun v -> degree.(v) <- degree.(v) + 1) c.Instance.scope)
+    t.Instance.constraints;
+  let order = Array.init t.Instance.num_vars Fun.id in
+  Array.sort (fun a b -> compare (degree.(b), a) (degree.(a), b)) order;
+  order
+
+(* A constraint supports the partial assignment when some allowed tuple
+   matches every already-assigned scope position. The relations here are
+   tiny (paper setting), so scanning is fine. *)
+let supported (assignment : int array) (c : Instance.constraint_) =
+  let scope = Array.of_list c.Instance.scope in
+  Relation.fold
+    (fun tup ok ->
+      ok
+      ||
+      let matches = ref true in
+      Array.iteri
+        (fun pos v ->
+          if assignment.(v) >= 0 && Tuple.get tup pos <> assignment.(v) then
+            matches := false)
+        scope;
+      !matches)
+    c.Instance.allowed false
+
+let search ?var_order (t : Instance.t) ~on_solution =
+  let order = match var_order with Some o -> o | None -> default_order t in
+  if Array.length order <> t.Instance.num_vars then
+    invalid_arg "Backtrack: order length mismatch";
+  let assignment = Array.make t.Instance.num_vars (-1) in
+  let touching = Array.make t.Instance.num_vars [] in
+  List.iter
+    (fun c ->
+      List.iter (fun v -> touching.(v) <- c :: touching.(v)) c.Instance.scope)
+    t.Instance.constraints;
+  let rec assign depth =
+    if depth >= t.Instance.num_vars then on_solution assignment
+    else begin
+      let v = order.(depth) in
+      let rec try_values = function
+        | [] -> true
+        | value :: rest ->
+          assignment.(v) <- value;
+          let ok = List.for_all (supported assignment) touching.(v) in
+          let keep_going = if ok then assign (depth + 1) else true in
+          assignment.(v) <- -1;
+          if keep_going then try_values rest else false
+      in
+      try_values t.Instance.domain
+    end
+  in
+  ignore (assign 0)
+
+let solve ?var_order t =
+  let found = ref None in
+  let on_solution assignment =
+    found := Some (Array.copy assignment);
+    false (* stop *)
+  in
+  (try search ?var_order t ~on_solution with Exit -> ());
+  match !found with Some a -> Satisfiable a | None -> Unsatisfiable
+
+let count_solutions ?(limit = max_int) t =
+  let count = ref 0 in
+  let on_solution _ =
+    incr count;
+    !count < limit
+  in
+  search t ~on_solution;
+  !count

@@ -1,0 +1,15 @@
+(** A chronological backtracking solver with forward checking — the
+    search-based counterpart to bucket elimination ("resolution versus
+    search", Rish–Dechter [29]). Used as an independent oracle to
+    cross-check every query-evaluation strategy in the test suite. *)
+
+type result = Satisfiable of int array | Unsatisfiable
+
+val solve : ?var_order:int array -> Instance.t -> result
+(** Variables are assigned along [var_order] (default: most-constrained
+    first by static degree); forward checking prunes neighbor domains.
+    Complete: always terminates with the correct verdict. *)
+
+val count_solutions : ?limit:int -> Instance.t -> int
+(** Number of satisfying assignments, stopping at [limit] (default
+    [max_int]). Exponential; small instances only. *)

@@ -1,0 +1,34 @@
+module Relation = Relalg.Relation
+module Schema = Relalg.Schema
+module Cq = Conjunctive.Cq
+
+let satisfiable ?rng ?limits (t : Instance.t) =
+  let cq, db = Instance.to_query t in
+  let plan = Ppr_core.Bucket.compile ?rng cq in
+  Ppr_core.Exec.nonempty ?limits db plan
+
+(* Fix v := value by adding a unary constraint. *)
+let restrict t v value =
+  let allowed = Relation.of_list (Schema.of_list [ 0 ]) [ [ value ] ] in
+  {
+    t with
+    Instance.constraints =
+      { Instance.scope = [ v ]; allowed } :: t.Instance.constraints;
+  }
+
+let solution ?rng ?limits (t : Instance.t) =
+  if not (satisfiable ?rng ?limits t) then None
+  else begin
+    let current = ref t in
+    let assignment = Array.make t.Instance.num_vars 0 in
+    for v = 0 to t.Instance.num_vars - 1 do
+      let value =
+        List.find
+          (fun value -> satisfiable ?rng ?limits (restrict !current v value))
+          t.Instance.domain
+      in
+      assignment.(v) <- value;
+      current := restrict !current v value
+    done;
+    Some assignment
+  end

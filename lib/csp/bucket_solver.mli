@@ -1,0 +1,14 @@
+(** Bucket elimination as a CSP decision procedure (Dechter [13]) — the
+    same algorithm the paper imports into query evaluation, here running
+    natively on a CSP instance by translating to the Boolean query and
+    executing the bucket-elimination plan. *)
+
+val satisfiable :
+  ?rng:Graphlib.Rng.t -> ?limits:Relalg.Limits.t -> Instance.t -> bool
+
+val solution :
+  ?rng:Graphlib.Rng.t -> ?limits:Relalg.Limits.t -> Instance.t ->
+  int array option
+(** A satisfying assignment, reconstructed by fixing variables one at a
+    time and re-running the decision procedure — demonstrating the
+    standard reduction of the search problem to the decision problem. *)

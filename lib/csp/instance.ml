@@ -1,0 +1,78 @@
+module Relation = Relalg.Relation
+module Schema = Relalg.Schema
+module Tuple = Relalg.Tuple
+module Cq = Conjunctive.Cq
+module Database = Conjunctive.Database
+
+type constraint_ = { scope : int list; allowed : Relation.t }
+
+type t = {
+  num_vars : int;
+  domain : int list;
+  constraints : constraint_ list;
+}
+
+let make ~num_vars ~domain ~constraints =
+  if domain = [] then invalid_arg "Instance.make: empty domain";
+  List.iter
+    (fun c ->
+      if List.length c.scope <> Relation.arity c.allowed then
+        invalid_arg "Instance.make: scope/arity mismatch";
+      if List.sort_uniq Stdlib.compare c.scope <> List.sort Stdlib.compare c.scope
+      then invalid_arg "Instance.make: repeated variable in scope";
+      List.iter
+        (fun v ->
+          if v < 0 || v >= num_vars then
+            invalid_arg "Instance.make: scope variable out of range")
+        c.scope)
+    constraints;
+  { num_vars; domain; constraints }
+
+let of_query db cq =
+  let vars = Cq.vars cq in
+  let renumber = Hashtbl.create (List.length vars) in
+  List.iteri (fun i v -> Hashtbl.add renumber v i) vars;
+  let constraints =
+    List.map
+      (fun atom ->
+        let rel = Database.eval_atom db atom in
+        {
+          scope = List.map (Hashtbl.find renumber) (Cq.atom_vars atom);
+          allowed = rel;
+        })
+      cq.Cq.atoms
+  in
+  let domain =
+    List.sort_uniq Stdlib.compare
+      (List.concat_map
+         (fun c ->
+           Relation.fold (fun tup acc -> Tuple.to_list tup @ acc) c.allowed [])
+         constraints)
+  in
+  let domain = if domain = [] then [ 0 ] else domain in
+  make ~num_vars:(List.length vars) ~domain ~constraints
+
+let to_query t =
+  let db = Database.create () in
+  let atoms =
+    List.mapi
+      (fun i c ->
+        let name = Printf.sprintf "c%d" i in
+        (* Base relations are positional: columns 0..k-1. *)
+        let schema = Schema.of_list (List.init (List.length c.scope) Fun.id) in
+        let rel = Relation.create ~size_hint:(Relation.cardinality c.allowed) schema in
+        Relation.iter (fun tup -> ignore (Relation.add rel tup)) c.allowed;
+        Database.add db name rel;
+        { Cq.rel = name; vars = c.scope })
+      t.constraints
+  in
+  (Cq.make ~atoms ~free:[], db)
+
+let satisfied_by t assignment =
+  if Array.length assignment <> t.num_vars then
+    invalid_arg "Instance.satisfied_by: assignment length mismatch";
+  List.for_all
+    (fun c ->
+      let tup = Array.of_list (List.map (fun v -> assignment.(v)) c.scope) in
+      Relation.mem c.allowed tup)
+    t.constraints

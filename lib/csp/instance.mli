@@ -1,0 +1,34 @@
+(** Constraint-satisfaction instances.
+
+    Solving a CSP is exactly evaluating a Boolean project-join query over
+    the constraint relations (Kolaitis–Vardi [26]) — the equivalence the
+    paper exploits to import bucket elimination. An instance is a set of
+    variables, a shared value universe, and constraints that pair a
+    variable scope with an allowed-tuples relation. *)
+
+type constraint_ = {
+  scope : int list;             (** distinct variables *)
+  allowed : Relalg.Relation.t;  (** arity must equal the scope length *)
+}
+
+type t = {
+  num_vars : int;
+  domain : int list;            (** candidate values for every variable *)
+  constraints : constraint_ list;
+}
+
+val make : num_vars:int -> domain:int list -> constraints:constraint_ list -> t
+(** @raise Invalid_argument on scope/arity mismatch, out-of-range or
+    repeated scope variables, or an empty domain. *)
+
+val of_query : Conjunctive.Database.t -> Conjunctive.Cq.t -> t
+(** Constraints from atoms (repeated-variable atoms become selections);
+    the domain is the union of values in the constraint relations;
+    variables are renumbered densely, preserving order. *)
+
+val to_query : t -> Conjunctive.Cq.t * Conjunctive.Database.t
+(** The Boolean query whose nonemptiness is this instance's
+    satisfiability; one relation per distinct constraint. *)
+
+val satisfied_by : t -> int array -> bool
+(** Check a full assignment (indexed by variable). *)

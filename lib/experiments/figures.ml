@@ -1,0 +1,655 @@
+module Driver = Ppr_core.Driver
+module Encode = Conjunctive.Encode
+module Generators = Graphlib.Generators
+module Rng = Graphlib.Rng
+
+let scaled scale n = max 3 (int_of_float (Float.round (scale *. float_of_int n)))
+
+let seed_list seeds = List.init (max 1 seeds) (fun i -> 1000 + i)
+
+let shared_db = lazy (Encode.coloring_database ())
+
+(* The stand-in for the paper's wall-clock timeouts: a run is cut off once
+   an intermediate relation (or the whole run) materializes this many
+   tuples. Tight enough that hopeless cells fail fast; the winning
+   methods never come near it at bench scales. *)
+let limits_factory () =
+  Relalg.Limits.create ~max_tuples:300_000 ~max_total:3_000_000 ()
+
+let paper_methods =
+  [
+    ("straightfwd", Driver.Straightforward);
+    ("early-proj", Driver.Early_projection);
+    ("reordering", Driver.Reorder);
+    ("bucket-elim", Driver.Bucket_elimination);
+  ]
+
+(* A figure panel: one table of method columns over a swept parameter. *)
+let panel ~title ~x_label ~xs ~seeds ~instance =
+  Sweep.print_header ~title ~columns:(List.map fst paper_methods) ~x_label;
+  List.iter
+    (fun x ->
+      let cells =
+        List.map
+          (fun (_, meth) ->
+            Sweep.run_cell ~limits_factory ~seeds:(seed_list seeds)
+              ~instance:(instance x) ~meth ())
+          paper_methods
+      in
+      Sweep.print_row ~x:(Printf.sprintf "%g" x) ~cells)
+    xs;
+  Sweep.print_footer ()
+
+
+let random_coloring ~mode ~n ~density ~seed =
+  let rng = Rng.make seed in
+  (* Clamp to the simple-graph maximum: scaled-down orders can push the
+     paper's densities past n*(n-1)/2; at least one edge is needed by the
+     encoder. *)
+  let m =
+    let wanted = int_of_float (Float.round (density *. float_of_int n)) in
+    max 1 (min wanted (n * (n - 1) / 2))
+  in
+  let g = Generators.random ~rng ~n ~m in
+  let query_rng = Rng.split rng in
+  (Lazy.force shared_db, Encode.coloring_query_of_graph ~mode ~rng:query_rng g)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: compile time.                                             *)
+
+let dp_atom_limit = 20
+
+let figure2 ~scale ~seeds =
+  ignore scale;
+  let num_vars = 5 in
+  let densities = [ 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8. ] in
+  Printf.printf
+    "\n== Figure 2: compile time, naive vs straightforward (3-SAT, %d variables) ==\n"
+    num_vars;
+  Printf.printf "%-10s%16s%16s%16s%16s%16s\n" "density" "naive-dp" "naive-geqo"
+    "straightfwd" "exec(geqo)" "geqo/sf cost";
+  Printf.printf "%s\n" (String.make 90 '-');
+  List.iter
+    (fun density ->
+      let m = int_of_float (density *. float_of_int num_vars) in
+      let per_seed seed =
+        let rng = Rng.make seed in
+        let cnf = Conjunctive.Cnf.random_ksat ~rng ~k:3 ~num_vars ~num_clauses:m in
+        let db = Encode.sat_database cnf in
+        let cq = Encode.sat_query ~mode:Encode.Boolean cnf in
+        let time f =
+          let t0 = Unix.gettimeofday () in
+          let v = f () in
+          (Unix.gettimeofday () -. t0, v)
+        in
+        let dp =
+          if m > dp_atom_limit then None
+          else Some (fst (time (fun () -> Ppr_core.Naive.compile ~search:Ppr_core.Naive.Dp db cq)))
+        in
+        let genetic_search =
+          Ppr_core.Naive.Genetic { Ppr_core.Naive.default_genetic with seed }
+        in
+        let geqo_time, geqo_plan =
+          time (fun () -> Ppr_core.Naive.compile ~search:genetic_search db cq)
+        in
+        let sf = fst (time (fun () -> Ppr_core.Straightforward.compile cq)) in
+        let exec_time =
+          fst
+            (time (fun () ->
+                 try
+                   ignore
+                     (Ppr_core.Exec.run ~limits:(limits_factory ()) db geqo_plan)
+                 with Relalg.Limits.Exceeded _ -> ()))
+        in
+        (* The paper: the genetic plan "is apparently no better than the
+           straightforward order" — compare estimated costs directly. *)
+        let env = Ppr_core.Cost.environment db cq in
+        let quality =
+          Ppr_core.Cost.plan_cost env geqo_plan
+          /. Float.max 1.0
+               (Ppr_core.Cost.plan_cost env (Ppr_core.Straightforward.compile cq))
+        in
+        (dp, geqo_time, sf, exec_time, quality)
+      in
+      let results = List.map per_seed (seed_list seeds) in
+      let med f = Sweep.median (List.map f results) in
+      let dp_cell =
+        let known = List.filter_map (fun (dp, _, _, _, _) -> dp) results in
+        if known = [] then "timeout"
+        else Printf.sprintf "%.4fs" (Sweep.median known)
+      in
+      Printf.printf "%-10g%16s%15.4fs%15.6fs%15.4fs%15.2fx\n" density dp_cell
+        (med (fun (_, g, _, _, _) -> g))
+        (med (fun (_, _, s, _, _) -> s))
+        (med (fun (_, _, _, e, _) -> e))
+        (med (fun (_, _, _, _, q) -> q)))
+    densities;
+  Printf.printf
+    "(naive-dp 'timeout': beyond the %d-join exhaustive-search cutoff, as \
+     PostgreSQL's planner degrades past geqo_threshold)\n%!"
+    dp_atom_limit
+
+(* ------------------------------------------------------------------ *)
+(* Figures 3-5: random 3-COLOR.                                        *)
+
+let both_modes ~figure ~x_label ~xs ~seeds ~instance_of =
+  List.iter
+    (fun (mode_name, mode) ->
+      panel
+        ~title:(Printf.sprintf "%s — %s" figure mode_name)
+        ~x_label ~xs ~seeds
+        ~instance:(fun x ~seed -> instance_of ~mode ~x ~seed))
+    [ ("Boolean", Encode.Boolean); ("non-Boolean (20% free)", Encode.Fraction 0.2) ]
+
+let figure3 ~scale ~seeds =
+  let n = scaled scale 20 in
+  both_modes
+    ~figure:(Printf.sprintf "Figure 3: 3-COLOR density scaling, order %d" n)
+    ~x_label:"density"
+    ~xs:[ 0.5; 1.0; 1.5; 2.0; 2.5; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0 ]
+    ~seeds
+    ~instance_of:(fun ~mode ~x ~seed -> random_coloring ~mode ~n ~density:x ~seed)
+
+let order_scaling ~figure ~density ~orders ~seeds =
+  both_modes ~figure ~x_label:"order" ~xs:(List.map float_of_int orders) ~seeds
+    ~instance_of:(fun ~mode ~x ~seed ->
+      random_coloring ~mode ~n:(int_of_float x) ~density ~seed)
+
+let figure4 ~scale ~seeds =
+  let orders = List.map (scaled scale) [ 10; 15; 20; 25; 30; 35 ] in
+  order_scaling
+    ~figure:"Figure 4: 3-COLOR order scaling, density 3.0"
+    ~density:3.0 ~orders ~seeds
+
+let figure5 ~scale ~seeds =
+  let orders = List.map (scaled scale) [ 15; 18; 21; 24; 27; 30 ] in
+  order_scaling
+    ~figure:"Figure 5: 3-COLOR order scaling, density 6.0"
+    ~density:6.0 ~orders ~seeds
+
+(* ------------------------------------------------------------------ *)
+(* Figures 6-9: structured families.                                   *)
+
+let structured ~figure ~family ~orders ~seeds =
+  let orders = List.sort_uniq Stdlib.compare orders in
+  both_modes ~figure ~x_label:"order" ~xs:(List.map float_of_int orders) ~seeds
+    ~instance_of:(fun ~mode ~x ~seed ->
+      let g = family (int_of_float x) in
+      let rng = Rng.make seed in
+      (Lazy.force shared_db, Encode.coloring_query_of_graph ~mode ~rng g))
+
+(* The paper scales structured orders 5..50, but its own slow methods
+   time out around order 7 and the non-Boolean panels struggle past 20;
+   the per-family ranges below keep every interesting crossover while
+   letting hopeless cells fail fast. *)
+let figure6 ~scale ~seeds =
+  structured ~figure:"Figure 6: augmented path queries"
+    ~family:Generators.augmented_path
+    ~orders:(List.map (scaled scale) [ 5; 10; 20; 30; 40; 50 ])
+    ~seeds
+
+let figure7 ~scale ~seeds =
+  structured ~figure:"Figure 7: ladder queries" ~family:Generators.ladder
+    ~orders:(List.map (scaled scale) [ 5; 10; 15; 20; 25; 30 ])
+    ~seeds
+
+let figure8 ~scale ~seeds =
+  structured ~figure:"Figure 8: augmented ladder queries"
+    ~family:Generators.augmented_ladder
+    ~orders:(List.map (scaled scale) [ 3; 5; 7; 10; 14; 18 ])
+    ~seeds
+
+let figure9 ~scale ~seeds =
+  structured ~figure:"Figure 9: augmented circular ladder queries"
+    ~family:Generators.augmented_circular_ladder
+    ~orders:(List.map (scaled scale) [ 3; 5; 7; 10; 14; 18 ])
+    ~seeds
+
+(* ------------------------------------------------------------------ *)
+(* Section 7 extensions.                                               *)
+
+let sat_instance ~k ~mode ~num_vars ~density ~seed =
+  let rng = Rng.make seed in
+  let m = max 1 (int_of_float (density *. float_of_int num_vars)) in
+  let cnf = Conjunctive.Cnf.random_ksat ~rng ~k ~num_vars ~num_clauses:m in
+  let db = Encode.sat_database cnf in
+  (db, Encode.sat_query ~mode ~rng:(Rng.split rng) cnf)
+
+let figure_sat ~scale ~seeds =
+  List.iter
+    (fun k ->
+      let n = scaled scale 20 in
+      panel
+        ~title:(Printf.sprintf "Section 7: %d-SAT density scaling, %d variables (Boolean)" k n)
+        ~x_label:"density"
+        ~xs:[ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0 ]
+        ~seeds
+        ~instance:(fun density ~seed ->
+          sat_instance ~k ~mode:Encode.Boolean ~num_vars:n ~density ~seed))
+    [ 3; 2 ]
+
+let figure_minibucket ~scale ~seeds =
+  let n = scaled scale 16 in
+  let density = 4.0 in
+  Printf.printf
+    "\n== Extension: mini-bucket i-bound ablation (3-COLOR, order %d, density %g) ==\n"
+    n density;
+  Printf.printf "%-10s%16s%16s\n" "i-bound" "median time" "agreement";
+  Printf.printf "%s\n" (String.make 42 '-');
+  let instances =
+    List.map
+      (fun seed ->
+        let db, cq =
+          random_coloring ~mode:Encode.Boolean ~n ~density ~seed
+        in
+        let truth =
+          (Driver.run ~limits:(limits_factory ()) Driver.Bucket_elimination db cq)
+            .Driver.nonempty
+        in
+        (db, cq, truth))
+      (seed_list seeds)
+  in
+  List.iter
+    (fun i_bound ->
+      let samples =
+        List.map
+          (fun (db, cq, truth) ->
+            let t0 = Unix.gettimeofday () in
+            let verdict =
+              try
+                match
+                  Ppr_core.Minibucket.evaluate ~limits:(limits_factory ())
+                    ~i_bound db cq
+                with
+                | Ppr_core.Minibucket.Definitely_empty -> Some false
+                | Ppr_core.Minibucket.Maybe_nonempty _ -> Some true
+              with Relalg.Limits.Exceeded _ -> None
+            in
+            let dt = Unix.gettimeofday () -. t0 in
+            let agrees =
+              match (verdict, truth) with
+              | Some v, Some t -> Some (v = t)
+              | _ -> None
+            in
+            (dt, agrees))
+          instances
+      in
+      let times = List.map fst samples in
+      let agreements = List.filter_map snd samples in
+      let agree_frac =
+        if agreements = [] then 0.0
+        else
+          float_of_int (List.length (List.filter Fun.id agreements))
+          /. float_of_int (List.length agreements)
+      in
+      Printf.printf "%-10d%15.4fs%15.0f%%\n" i_bound (Sweep.median times)
+        (100. *. agree_frac))
+    [ 2; 3; 4; 6; 8; 10 ];
+  Printf.printf
+    "(mini-buckets upper-bound the answer: 'nonempty' may be spurious at low \
+     i-bounds; agreement should rise to 100%% as the bound grows)\n%!"
+
+let figure_yannakakis ~scale ~seeds =
+  let orders = List.map (scaled scale) [ 5; 10; 20; 40 ] in
+  Printf.printf
+    "\n== Extension: Yannakakis vs bucket elimination on acyclic (augmented path) queries ==\n";
+  Printf.printf "%-10s%16s%16s%16s\n" "order" "yannakakis" "bucket-elim" "early-proj";
+  Printf.printf "%s\n" (String.make 58 '-');
+  List.iter
+    (fun order ->
+      let time_method meth =
+        Sweep.run_cell ~limits_factory ~seeds:(seed_list seeds)
+          ~instance:(fun ~seed ->
+            let rng = Rng.make seed in
+            ( Lazy.force shared_db,
+              Encode.coloring_query_of_graph ~mode:Encode.Boolean ~rng
+                (Generators.augmented_path order) ))
+          ~meth ()
+      in
+      let yk_times =
+        List.map
+          (fun seed ->
+            let rng = Rng.make seed in
+            let db = Lazy.force shared_db in
+            let cq =
+              Encode.coloring_query_of_graph ~mode:Encode.Boolean ~rng
+                (Generators.augmented_path order)
+            in
+            let t0 = Unix.gettimeofday () in
+            (match
+               Hypergraphs.Yannakakis.evaluate ~limits:(limits_factory ()) db cq
+             with
+            | Some _ -> ()
+            | None -> failwith "augmented path should be acyclic");
+            Unix.gettimeofday () -. t0)
+          (seed_list seeds)
+      in
+      let be = time_method Driver.Bucket_elimination in
+      let ep = time_method Driver.Early_projection in
+      let show (c : Sweep.cell) =
+        if c.Sweep.timeout_fraction > 0.5 then "timeout"
+        else Printf.sprintf "%.4fs" c.Sweep.median_seconds
+      in
+      Printf.printf "%-10d%15.4fs%16s%16s\n" order (Sweep.median yk_times)
+        (show be) (show ep))
+    orders;
+  print_newline ()
+
+(* Ablation: which variable-order heuristic should bucket elimination
+   use? The paper follows [7,29,30] in choosing MCS; min-fill is the
+   modern default in the CSP literature. *)
+let figure_orders ~scale ~seeds =
+  let n = scaled scale 18 in
+  let density = 2.5 in
+  Printf.printf
+    "\n== Ablation: bucket-elimination variable orders (3-COLOR, order %d, density %g) ==\n"
+    n density;
+  Printf.printf "%-12s%16s%16s\n" "order-heur" "median time" "induced-width";
+  Printf.printf "%s\n" (String.make 44 '-');
+  let heuristics =
+    [
+      ("mcs", fun _seed cq -> Ppr_core.Bucket.variable_order cq);
+      ( "min-degree",
+        fun _seed cq ->
+          let jg = Conjunctive.Joingraph.build cq in
+          Conjunctive.Joingraph.variable_order_of jg
+            (Graphlib.Order.min_degree jg.Conjunctive.Joingraph.graph) );
+      ( "min-fill",
+        fun _seed cq ->
+          let jg = Conjunctive.Joingraph.build cq in
+          Conjunctive.Joingraph.variable_order_of jg
+            (Graphlib.Order.min_fill jg.Conjunctive.Joingraph.graph) );
+      ( "random",
+        fun seed cq ->
+          let jg = Conjunctive.Joingraph.build cq in
+          Conjunctive.Joingraph.variable_order_of jg
+            (Graphlib.Order.random ~rng:(Rng.make (seed + 5))
+               jg.Conjunctive.Joingraph.graph) );
+    ]
+  in
+  List.iter
+    (fun (name, order_of) ->
+      let samples =
+        List.map
+          (fun seed ->
+            let db, cq = random_coloring ~mode:Encode.Boolean ~n ~density ~seed in
+            let order = order_of seed cq in
+            let width = Ppr_core.Bucket.induced_width cq order in
+            let t0 = Unix.gettimeofday () in
+            (try
+               ignore
+                 (Ppr_core.Exec.run ~limits:(limits_factory ()) db
+                    (Ppr_core.Bucket.compile ~order cq))
+             with Relalg.Limits.Exceeded _ -> ());
+            (Unix.gettimeofday () -. t0, float_of_int width))
+          (seed_list seeds)
+      in
+      Printf.printf "%-12s%15.4fs%16.1f\n" name
+        (Sweep.median (List.map fst samples))
+        (Sweep.median (List.map snd samples)))
+    heuristics;
+  Printf.printf
+    "(the paper's MCS choice should track min-fill closely and beat random \
+     decisively)\n%!"
+
+(* Ablation: weighted attributes (§7 future work) on a mixed-domain
+   workload — a fraction of the constraints range over 9 colors instead
+   of 3, so counting columns and weighing them disagree. *)
+let figure_weighted ~scale ~seeds =
+  let n = scaled scale 16 in
+  let density = 2.0 in
+  Printf.printf
+    "\n== Ablation: weighted vs unweighted orders (mixed 3/9-color, order %d, density %g) ==\n"
+    n density;
+  Printf.printf "%-12s%16s%16s\n" "order" "median time" "max-card";
+  Printf.printf "%s\n" (String.make 44 '-');
+  let mixed_db =
+    let db = Conjunctive.Database.create () in
+    let pairs k =
+      let rows = ref [] in
+      for a = 1 to k do
+        for b = 1 to k do
+          if a <> b then rows := [ a; b ] :: !rows
+        done
+      done;
+      Relalg.Relation.of_list (Relalg.Schema.of_list [ 0; 1 ]) !rows
+    in
+    Conjunctive.Database.add db "edge3" (pairs 3);
+    Conjunctive.Database.add db "edge9" (pairs 9);
+    db
+  in
+  let instance seed =
+    let rng = Rng.make seed in
+    let m = int_of_float (density *. float_of_int n) in
+    let g = Generators.random ~rng ~n ~m in
+    let atoms =
+      List.map
+        (fun (u, v) ->
+          let rel = if Rng.int rng 4 = 0 then "edge9" else "edge3" in
+          { Conjunctive.Cq.rel; vars = [ u; v ] })
+        (Graphlib.Graph.edges g)
+    in
+    (mixed_db, Conjunctive.Cq.make ~atoms ~free:[])
+  in
+  let run_with order_of =
+    List.map
+      (fun seed ->
+        let db, cq = instance seed in
+        let order = order_of db cq in
+        let stats = Relalg.Stats.create () in
+        let t0 = Unix.gettimeofday () in
+        (try
+           ignore
+             (Ppr_core.Exec.run ~stats ~limits:(limits_factory ()) db
+                (Ppr_core.Bucket.compile ~order cq))
+         with Relalg.Limits.Exceeded _ -> ());
+        ( Unix.gettimeofday () -. t0,
+          float_of_int stats.Relalg.Stats.max_cardinality ))
+      (seed_list seeds)
+  in
+  List.iter
+    (fun (name, order_of) ->
+      let samples = run_with order_of in
+      Printf.printf "%-12s%15.4fs%16.0f\n" name
+        (Sweep.median (List.map fst samples))
+        (Sweep.median (List.map snd samples)))
+    [
+      ("mcs", fun _db cq -> Ppr_core.Bucket.variable_order cq);
+      ( "weighted",
+        fun db cq ->
+          let weight = Ppr_core.Weighted.weights_from_database db cq in
+          Ppr_core.Weighted.variable_order ~weight cq );
+    ];
+  Printf.printf
+    "(weighted orders should cut the largest intermediate relation on \
+     mixed-width schemas)\n%!"
+
+(* The symbolic (BDD) engine against the relational one — the lineage
+   the paper comes from ([29,30]; §7's quantification scheduling). Both
+   run the identical bucket-elimination schedule; what differs is the
+   data structure carrying each bucket's result. *)
+let figure_symbolic ~scale ~seeds =
+  let density = 2.5 in
+  let orders =
+    List.sort_uniq Stdlib.compare (List.map (scaled scale) [ 8; 12; 16; 20; 24 ])
+  in
+  Printf.printf
+    "\n== Extension: symbolic (BDD) vs relational bucket elimination (3-COLOR, density %g) ==\n"
+    density;
+  Printf.printf "%-10s%16s%16s%16s\n" "order" "relational" "symbolic" "agree";
+  Printf.printf "%s\n" (String.make 58 '-');
+  List.iter
+    (fun n ->
+      let samples =
+        List.map
+          (fun seed ->
+            let db, cq = random_coloring ~mode:Encode.Boolean ~n ~density ~seed in
+            let order = Ppr_core.Bucket.variable_order cq in
+            let t0 = Unix.gettimeofday () in
+            let relational =
+              try
+                Some
+                  (Ppr_core.Exec.nonempty ~limits:(limits_factory ()) db
+                     (Ppr_core.Bucket.compile ~order cq))
+              with Relalg.Limits.Exceeded _ -> None
+            in
+            let t1 = Unix.gettimeofday () in
+            let symbolic = Ppr_core.Symbolic.satisfiable ~order db cq in
+            let t2 = Unix.gettimeofday () in
+            let agree =
+              match relational with Some r -> r = symbolic | None -> true
+            in
+            (t1 -. t0, t2 -. t1, agree))
+          (seed_list seeds)
+      in
+      let med f = Sweep.median (List.map f samples) in
+      Printf.printf "%-10d%15.4fs%15.4fs%16s\n" n
+        (med (fun (r, _, _) -> r))
+        (med (fun (_, s, _) -> s))
+        (if List.for_all (fun (_, _, a) -> a) samples then "yes" else "NO"))
+    orders;
+  Printf.printf
+    "(identical elimination schedules; the BDD pays hash-consing overhead \
+     but compresses wide intermediate results)\n%!"
+
+(* Ablation: the hybrid portfolio against its strongest member. On
+   uniform 3-COLOR the MCS bucket plan usually wins outright, so the
+   interesting cases are the mixed-domain instances where the weighted
+   order matters — the hybrid should track the best column everywhere. *)
+let figure_hybrid ~scale ~seeds =
+  let n = scaled scale 14 in
+  Printf.printf
+    "\n== Ablation: hybrid portfolio vs fixed strategies (mixed 3/9-color, order %d) ==\n"
+    n;
+  Printf.printf "%-10s%16s%16s%16s\n" "density" "bucket-elim" "early-proj" "hybrid";
+  Printf.printf "%s\n" (String.make 58 '-');
+  let mixed_db =
+    let db = Conjunctive.Database.create () in
+    let pairs k =
+      let rows = ref [] in
+      for a = 1 to k do
+        for b = 1 to k do
+          if a <> b then rows := [ a; b ] :: !rows
+        done
+      done;
+      Relalg.Relation.of_list (Relalg.Schema.of_list [ 0; 1 ]) !rows
+    in
+    Conjunctive.Database.add db "edge3" (pairs 3);
+    Conjunctive.Database.add db "edge9" (pairs 9);
+    db
+  in
+  let instance density ~seed =
+    let rng = Rng.make seed in
+    let m =
+      max 1 (min (int_of_float (density *. float_of_int n)) (n * (n - 1) / 2))
+    in
+    let g = Generators.random ~rng ~n ~m in
+    let atoms =
+      List.map
+        (fun (u, v) ->
+          let rel = if Rng.int rng 4 = 0 then "edge9" else "edge3" in
+          { Conjunctive.Cq.rel; vars = [ u; v ] })
+        (Graphlib.Graph.edges g)
+    in
+    (mixed_db, Conjunctive.Cq.make ~atoms ~free:[])
+  in
+  List.iter
+    (fun density ->
+      let cells =
+        List.map
+          (fun meth ->
+            Sweep.run_cell ~limits_factory ~seeds:(seed_list seeds)
+              ~instance:(instance density) ~meth ())
+          [ Driver.Bucket_elimination; Driver.Early_projection; Driver.Hybrid ]
+      in
+      Printf.printf "%-10g" density;
+      List.iter
+        (fun (c : Sweep.cell) ->
+          Printf.printf "%16s"
+            (if c.Sweep.timeout_fraction > 0.5 then "timeout"
+             else Printf.sprintf "%.4fs" c.Sweep.median_seconds))
+        cells;
+      print_newline ())
+    [ 1.0; 1.5; 2.0; 2.5; 3.0 ];
+  Printf.printf
+    "(the hybrid picks per-instance among MCS/min-fill/weighted/annealed \
+     bucket orders and the greedy plans by estimated cost)\n%!"
+
+(* §7 future work #1: "study scalability with respect to relation size".
+   Fix the query shape and scale the color count k — the edge relation
+   grows as k(k-1) while the structure (and so each method's width)
+   stays put. *)
+let figure_relsize ~scale ~seeds =
+  let n = scaled scale 12 in
+  let density = 2.0 in
+  Printf.printf
+    "\n== Section 7: relation-size scaling (k-COLOR, order %d, density %g) ==\n"
+    n density;
+  Sweep.print_header
+    ~title:"k-COLOR: edge relation of k(k-1) tuples"
+    ~columns:(List.map fst paper_methods) ~x_label:"k";
+  List.iter
+    (fun k ->
+      let db = Encode.coloring_database ~k () in
+      let cells =
+        List.map
+          (fun (_, meth) ->
+            Sweep.run_cell ~limits_factory ~seeds:(seed_list seeds)
+              ~instance:(fun ~seed ->
+                let rng = Rng.make seed in
+                let m =
+                  max 1
+                    (min
+                       (int_of_float (density *. float_of_int n))
+                       (n * (n - 1) / 2))
+                in
+                (db, Encode.coloring_query_of_graph ~mode:Encode.Boolean
+                       ~rng (Generators.random ~rng ~n ~m)))
+              ~meth ())
+          paper_methods
+      in
+      Sweep.print_row ~x:(string_of_int k) ~cells)
+    [ 3; 5; 8; 12; 20; 32 ];
+  Sweep.print_footer ()
+
+let all ~scale ~seeds =
+  figure2 ~scale ~seeds;
+  figure3 ~scale ~seeds;
+  figure4 ~scale ~seeds;
+  figure5 ~scale ~seeds;
+  figure6 ~scale ~seeds;
+  figure7 ~scale ~seeds;
+  figure8 ~scale ~seeds;
+  figure9 ~scale ~seeds;
+  figure_sat ~scale ~seeds;
+  figure_minibucket ~scale ~seeds;
+  figure_yannakakis ~scale ~seeds;
+  figure_orders ~scale ~seeds;
+  figure_weighted ~scale ~seeds;
+  figure_relsize ~scale ~seeds;
+  figure_symbolic ~scale ~seeds;
+  figure_hybrid ~scale ~seeds
+
+let table =
+  [
+    ("2", figure2);
+    ("3", figure3);
+    ("4", figure4);
+    ("5", figure5);
+    ("6", figure6);
+    ("7", figure7);
+    ("8", figure8);
+    ("9", figure9);
+    ("sat", figure_sat);
+    ("minibucket", figure_minibucket);
+    ("yannakakis", figure_yannakakis);
+    ("orders", figure_orders);
+    ("weighted", figure_weighted);
+    ("relsize", figure_relsize);
+    ("symbolic", figure_symbolic);
+    ("hybrid", figure_hybrid);
+    ("all", all);
+  ]
+
+let by_name name = List.assoc_opt name table
+let names = List.map fst table

@@ -1,0 +1,69 @@
+(** One entry per figure of the paper's evaluation (and per extension
+    experiment from its conclusion). Every function prints the series the
+    figure plots, taking medians over [seeds] instances; [scale] shrinks
+    or grows instance sizes relative to the paper's (the default bench
+    run uses [scale < 1] so the whole suite finishes in minutes — shapes,
+    not absolute numbers, are the reproduction target). *)
+
+val figure2 : scale:float -> seeds:int -> unit
+(** Compile-time density scaling (naive DP, naive GEQO, straightforward)
+    on 3-SAT with 5 variables. *)
+
+val figure3 : scale:float -> seeds:int -> unit
+(** 3-COLOR density scaling at fixed order; Boolean and 20%-free panels. *)
+
+val figure4 : scale:float -> seeds:int -> unit
+(** 3-COLOR order scaling at density 3.0. *)
+
+val figure5 : scale:float -> seeds:int -> unit
+(** 3-COLOR order scaling at density 6.0. *)
+
+val figure6 : scale:float -> seeds:int -> unit
+(** Augmented-path order scaling. *)
+
+val figure7 : scale:float -> seeds:int -> unit
+(** Ladder order scaling. *)
+
+val figure8 : scale:float -> seeds:int -> unit
+(** Augmented-ladder order scaling. *)
+
+val figure9 : scale:float -> seeds:int -> unit
+(** Augmented-circular-ladder order scaling. *)
+
+val figure_sat : scale:float -> seeds:int -> unit
+(** Section 7's claim: 3-SAT and 2-SAT behave like 3-COLOR. *)
+
+val figure_minibucket : scale:float -> seeds:int -> unit
+(** Extension: mini-bucket i-bound ablation against exact bucket
+    elimination (time and answer agreement). *)
+
+val figure_yannakakis : scale:float -> seeds:int -> unit
+(** Extension: Yannakakis on acyclic instances versus bucket elimination
+    and early projection. *)
+
+val figure_orders : scale:float -> seeds:int -> unit
+(** Ablation: variable-order heuristics for bucket elimination (MCS,
+    min-degree, min-fill, random). *)
+
+val figure_weighted : scale:float -> seeds:int -> unit
+(** Ablation: weighted vs unweighted elimination orders on a
+    mixed-domain workload. *)
+
+val figure_relsize : scale:float -> seeds:int -> unit
+(** §7 future work: scalability in the base-relation size (k-COLOR with
+    growing k). *)
+
+val figure_symbolic : scale:float -> seeds:int -> unit
+(** Extension: the BDD engine vs the relational engine on one schedule. *)
+
+val figure_hybrid : scale:float -> seeds:int -> unit
+(** Ablation: the cost-scored hybrid portfolio against fixed
+    strategies on a mixed-domain workload. *)
+
+val all : scale:float -> seeds:int -> unit
+
+val by_name : string -> (scale:float -> seeds:int -> unit) option
+(** Look up a figure printer by its bench name ("2".."9", "sat",
+    "minibucket", "yannakakis", "all"). *)
+
+val names : string list

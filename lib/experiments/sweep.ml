@@ -1,0 +1,120 @@
+type sample = {
+  seconds : float;
+  timed_out : bool;
+  nonempty : bool option;
+  max_arity : int;
+}
+
+type cell = {
+  median_seconds : float;
+  timeout_fraction : float;
+  nonempty_fraction : float;
+  median_max_arity : int;
+}
+
+let median values =
+  match List.sort Stdlib.compare values with
+  | [] -> invalid_arg "Sweep.median: empty"
+  | sorted ->
+    let n = List.length sorted in
+    let nth i = List.nth sorted i in
+    if n mod 2 = 1 then nth (n / 2)
+    else (nth ((n / 2) - 1) +. nth (n / 2)) /. 2.0
+
+let int_median values =
+  int_of_float (median (List.map float_of_int values))
+
+let aggregate samples =
+  let n = List.length samples in
+  let timeouts = List.filter (fun s -> s.timed_out) samples in
+  let finished = List.filter (fun s -> not s.timed_out) samples in
+  let nonempty_count =
+    List.length (List.filter (fun s -> s.nonempty = Some true) finished)
+  in
+  {
+    median_seconds =
+      median
+        (List.map (fun s -> if s.timed_out then infinity else s.seconds) samples);
+    timeout_fraction = float_of_int (List.length timeouts) /. float_of_int n;
+    nonempty_fraction =
+      (if finished = [] then 0.0
+       else float_of_int nonempty_count /. float_of_int (List.length finished));
+    median_max_arity = int_median (List.map (fun s -> s.max_arity) samples);
+  }
+
+let run_cell ?(limits_factory = fun () -> Relalg.Limits.create ()) ~seeds
+    ~instance ~meth () =
+  let run_one seed =
+    let db, cq = instance ~seed in
+    let rng = Graphlib.Rng.make (seed * 7919) in
+    let outcome =
+      Ppr_core.Driver.run ~rng ~limits:(limits_factory ()) meth db cq
+    in
+    {
+      seconds =
+        outcome.Ppr_core.Driver.compile_seconds
+        +. outcome.Ppr_core.Driver.exec_seconds;
+      timed_out = outcome.Ppr_core.Driver.timed_out;
+      nonempty = outcome.Ppr_core.Driver.nonempty;
+      max_arity = outcome.Ppr_core.Driver.max_arity;
+    }
+  in
+  aggregate (List.map run_one seeds)
+
+let column_width = 16
+
+(* Optional machine-readable sink; the header/columns of the panel being
+   printed are remembered so rows can be attributed. *)
+let csv_channel = ref None
+let csv_header_written = ref false
+let current_panel = ref ("", ([] : string list))
+
+let set_csv_channel ch =
+  csv_channel := ch;
+  csv_header_written := false
+
+let csv_escape s =
+  if String.contains s ',' || String.contains s '"' then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv_row ~x cells =
+  match !csv_channel with
+  | None -> ()
+  | Some oc ->
+    if not !csv_header_written then begin
+      output_string oc
+        "panel,x,method,median_seconds,timeout_fraction,nonempty_fraction\n";
+      csv_header_written := true
+    end;
+    let title, columns = !current_panel in
+    List.iter2
+      (fun column cell ->
+        Printf.fprintf oc "%s,%s,%s,%s,%.3f,%.3f\n" (csv_escape title)
+          (csv_escape x) (csv_escape column)
+          (if cell.median_seconds = infinity then "timeout"
+           else Printf.sprintf "%.6f" cell.median_seconds)
+          cell.timeout_fraction cell.nonempty_fraction)
+      columns cells
+
+let print_header ~title ~columns ~x_label =
+  current_panel := (title, columns);
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%-10s" x_label;
+  List.iter (fun c -> Printf.printf "%*s" column_width c) columns;
+  print_newline ();
+  Printf.printf "%s\n"
+    (String.make (10 + (column_width * List.length columns)) '-')
+
+let format_cell cell =
+  if cell.timeout_fraction > 0.5 then "timeout"
+  else Printf.sprintf "%.4fs/%.0f%%" cell.median_seconds (100. *. cell.nonempty_fraction)
+
+let print_row ~x ~cells =
+  Printf.printf "%-10s" x;
+  List.iter (fun c -> Printf.printf "%*s" column_width (format_cell c)) cells;
+  print_newline ();
+  csv_row ~x cells
+
+let print_footer () =
+  Printf.printf "(cells: median seconds / %% of finished seeds nonempty; 'timeout' = resource guard tripped)\n%!"

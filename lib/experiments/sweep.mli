@@ -1,0 +1,44 @@
+(** Shared machinery for the scalability experiments: run a set of
+    methods over generated instances, take medians over seeds, and print
+    aligned series — one printed block per paper figure. *)
+
+type sample = {
+  seconds : float;
+  timed_out : bool;
+  nonempty : bool option;
+  max_arity : int;
+}
+
+type cell = {
+  median_seconds : float;
+      (** median over seeds; timeouts count as [infinity] *)
+  timeout_fraction : float;
+  nonempty_fraction : float;  (** over the seeds that finished *)
+  median_max_arity : int;
+}
+
+val median : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val run_cell :
+  ?limits_factory:(unit -> Relalg.Limits.t) ->
+  seeds:int list ->
+  instance:(seed:int -> Conjunctive.Database.t * Conjunctive.Cq.t) ->
+  meth:Ppr_core.Driver.meth ->
+  unit -> cell
+(** One (x-value, method) cell: generate the instance per seed, run the
+    method, aggregate. Each seed also seeds the method's own random
+    tie-breaking. *)
+
+val print_header : title:string -> columns:string list -> x_label:string -> unit
+val print_row : x:string -> cells:cell list -> unit
+(** A timeout-majority cell prints as [timeout]; otherwise the median
+    time in seconds with the nonempty fraction. *)
+
+val print_footer : unit -> unit
+
+val set_csv_channel : out_channel option -> unit
+(** When set, every {!print_row} also appends machine-readable lines
+    [title,x,method,median_seconds,timeout_fraction,nonempty_fraction]
+    to the channel (one per cell; a CSV header is written once).
+    Intended for regenerating the figures with external plotting. *)

@@ -1,0 +1,49 @@
+type params = {
+  iterations : int;
+  initial_temperature : float;
+  cooling : float;
+}
+
+let default_params =
+  { iterations = 2000; initial_temperature = 1.0; cooling = 0.995 }
+
+let improve ?(params = default_params) ~rng g order =
+  let n = Array.length order in
+  let current = Array.copy order in
+  let current_width = ref (Order.induced_width g current) in
+  let best = Array.copy current in
+  let best_width = ref !current_width in
+  let temperature = ref params.initial_temperature in
+  if n >= 2 then
+    for _ = 1 to params.iterations do
+      let i = Rng.int rng n and j = Rng.int rng n in
+      if i <> j then begin
+        let swap () =
+          let tmp = current.(i) in
+          current.(i) <- current.(j);
+          current.(j) <- tmp
+        in
+        swap ();
+        let width = Order.induced_width g current in
+        let delta = float_of_int (width - !current_width) in
+        let accept =
+          delta <= 0.0
+          || (!temperature > 1e-9
+             && Rng.float rng 1.0 < Float.exp (-.delta /. !temperature))
+        in
+        if accept then begin
+          current_width := width;
+          if width < !best_width then begin
+            best_width := width;
+            Array.blit current 0 best 0 n
+          end
+        end
+        else swap ()
+      end;
+      temperature := !temperature *. params.cooling
+    done;
+  (best, !best_width)
+
+let anneal ?params ~rng g =
+  let start = Treewidth.best_order g in
+  improve ?params ~rng g start

@@ -1,0 +1,25 @@
+(** Local search over elimination orders (the paper's §7 pointer to
+    treewidth approximation [6], and the classic simulated-annealing
+    counterpart of its cost-based citations [25]).
+
+    Starting from a heuristic order, repeatedly swap two positions and
+    accept the move if it does not increase the induced width — or, at
+    positive temperature, with the Metropolis probability. A cheap way
+    to shave a level or two of width off MCS/min-fill orders on
+    instances where the greedy heuristics get stuck. *)
+
+type params = {
+  iterations : int;        (** swap proposals (default 2000) *)
+  initial_temperature : float;  (** in width units (default 1.0) *)
+  cooling : float;         (** per-iteration multiplier (default 0.995) *)
+}
+
+val default_params : params
+
+val improve :
+  ?params:params -> rng:Rng.t -> Graph.t -> Order.t -> Order.t * int
+(** [improve ~rng g order] returns an order whose induced width is at
+    most the input's, and that width. The input is not mutated. *)
+
+val anneal : ?params:params -> rng:Rng.t -> Graph.t -> Order.t * int
+(** Start from the best greedy heuristic and improve. *)

@@ -1,0 +1,55 @@
+module Iset = Graph.Iset
+
+(* Eliminating along (the reverse of) an MCS order is fill-free iff the
+   graph is chordal: check that each vertex's later neighbors already form
+   a clique around the earliest of them. *)
+let zero_fill g ord =
+  let n = Array.length ord in
+  let number = Array.make (Graph.order g) 0 in
+  Array.iteri (fun i v -> number.(v) <- i) ord;
+  let ok = ref true in
+  for i = n - 1 downto 0 do
+    let v = ord.(i) in
+    let earlier = Iset.filter (fun w -> number.(w) < i) (Graph.neighbors g v) in
+    match Iset.elements earlier with
+    | [] -> ()
+    | ws ->
+      let pivot =
+        List.fold_left
+          (fun best w -> if number.(w) > number.(best) then w else best)
+          (List.hd ws) ws
+      in
+      List.iter
+        (fun w -> if w <> pivot && not (Graph.has_edge g pivot w) then ok := false)
+        ws
+  done;
+  !ok
+
+let is_chordal g = zero_fill g (Order.mcs g)
+
+let perfect_elimination_order g =
+  let ord = Order.mcs g in
+  if zero_fill g ord then Some ord else None
+
+let max_cliques g =
+  match perfect_elimination_order g with
+  | None -> invalid_arg "Chordal.max_cliques: graph is not chordal"
+  | Some ord ->
+    let number = Array.make (Graph.order g) 0 in
+    Array.iteri (fun i v -> number.(v) <- i) ord;
+    let candidate v =
+      let earlier =
+        Iset.filter (fun w -> number.(w) < number.(v)) (Graph.neighbors g v)
+      in
+      List.sort Stdlib.compare (v :: Iset.elements earlier)
+    in
+    let cliques = List.map candidate (Graph.vertices g) in
+    let subsumed c =
+      List.exists
+        (fun c' ->
+          c != c'
+          && List.length c < List.length c'
+          && List.for_all (fun x -> List.mem x c') c)
+        cliques
+    in
+    List.sort_uniq Stdlib.compare (List.filter (fun c -> not (subsumed c)) cliques)

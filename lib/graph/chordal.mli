@@ -1,0 +1,16 @@
+(** Chordality testing (Tarjan–Yannakakis).
+
+    A graph is chordal iff eliminating along the reverse of an MCS order
+    introduces no fill edge; chordal graphs are exactly those whose
+    treewidth is witnessed without triangulating further. The paper cites
+    this algorithm [31] both for the MCS order and for acyclicity testing. *)
+
+val is_chordal : Graph.t -> bool
+
+val perfect_elimination_order : Graph.t -> Order.t option
+(** An elimination order with zero fill if the graph is chordal. *)
+
+val max_cliques : Graph.t -> int list list
+(** The maximal cliques of a {e chordal} graph, one per vertex-with-
+    followers along a perfect elimination order, deduplicated.
+    @raise Invalid_argument if the graph is not chordal. *)

@@ -1,0 +1,29 @@
+let default_label v = Printf.sprintf "v%d" v
+
+let graph ?(name = "g") ?(label = default_label) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  List.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%s\"];\n" v (label v)))
+    (Graph.vertices g);
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  n%d -- n%d;\n" u v))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let tree_decomposition ?(name = "td") ?(label = default_label) td =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n  node [shape=box];\n" name);
+  Array.iteri
+    (fun i bag ->
+      let contents =
+        String.concat ", " (List.map label (Graph.Iset.elements bag))
+      in
+      Buffer.add_string buf (Printf.sprintf "  b%d [label=\"{%s}\"];\n" i contents))
+    td.Treedec.bags;
+  List.iter
+    (fun (i, j) -> Buffer.add_string buf (Printf.sprintf "  b%d -- b%d;\n" i j))
+    (Graph.edges td.Treedec.tree);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,8 @@
+(** Graphviz (DOT) rendering of graphs and tree decompositions, for
+    inspecting generated instances and decompositions by eye. *)
+
+val graph : ?name:string -> ?label:(int -> string) -> Graph.t -> string
+(** DOT source for an undirected graph. *)
+
+val tree_decomposition : ?name:string -> ?label:(int -> string) -> Treedec.t -> string
+(** DOT source showing each bag's contents. *)

@@ -1,0 +1,104 @@
+let random ~rng ~n ~m =
+  let possible = n * (n - 1) / 2 in
+  if m > possible then
+    invalid_arg
+      (Printf.sprintf "Generators.random: %d edges requested, only %d possible" m
+         possible);
+  let g = Graph.create n in
+  let rec fill remaining =
+    if remaining > 0 then begin
+      let u, v = Rng.sample_distinct_pair rng n in
+      if Graph.add_edge g u v then fill (remaining - 1) else fill remaining
+    end
+  in
+  fill m;
+  g
+
+let random_density ~rng ~n ~density =
+  let m = int_of_float (Float.round (density *. float_of_int n)) in
+  random ~rng ~n ~m
+
+let path n =
+  let g = Graph.create (n + 1) in
+  for i = 0 to n - 1 do
+    ignore (Graph.add_edge g i (i + 1))
+  done;
+  g
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle: need at least 3 vertices";
+  let g = path (n - 1) in
+  ignore (Graph.add_edge g (n - 1) 0);
+  g
+
+let clique n =
+  let g = Graph.create n in
+  Graph.complete_among g (Graph.vertices g);
+  g
+
+let star n =
+  let g = Graph.create (n + 1) in
+  for leaf = 1 to n do
+    ignore (Graph.add_edge g 0 leaf)
+  done;
+  g
+
+let grid rows cols =
+  let g = Graph.create (rows * cols) in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then ignore (Graph.add_edge g (id r c) (id r (c + 1)));
+      if r + 1 < rows then ignore (Graph.add_edge g (id r c) (id (r + 1) c))
+    done
+  done;
+  g
+
+(* Path vertices are 0..n, the pendant of path vertex i is n+1+i. *)
+let augmented_path n =
+  let g = Graph.create (2 * (n + 1)) in
+  for i = 0 to n - 1 do
+    ignore (Graph.add_edge g i (i + 1))
+  done;
+  for i = 0 to n do
+    ignore (Graph.add_edge g i (n + 1 + i))
+  done;
+  g
+
+(* Rung i joins rail vertices 2i (left) and 2i+1 (right). *)
+let ladder n =
+  if n < 1 then invalid_arg "Generators.ladder: need at least one rung";
+  let g = Graph.create (2 * n) in
+  for i = 0 to n - 1 do
+    ignore (Graph.add_edge g (2 * i) ((2 * i) + 1));
+    if i + 1 < n then begin
+      ignore (Graph.add_edge g (2 * i) (2 * (i + 1)));
+      ignore (Graph.add_edge g ((2 * i) + 1) ((2 * (i + 1)) + 1))
+    end
+  done;
+  g
+
+(* Ladder vertices keep their ids; the pendant of vertex v is 2n + v. *)
+let augmented_ladder n =
+  let base = ladder n in
+  let g = Graph.create (4 * n) in
+  List.iter (fun (u, v) -> ignore (Graph.add_edge g u v)) (Graph.edges base);
+  for v = 0 to (2 * n) - 1 do
+    ignore (Graph.add_edge g v ((2 * n) + v))
+  done;
+  g
+
+let augmented_circular_ladder n =
+  if n < 3 then
+    invalid_arg "Generators.augmented_circular_ladder: need at least 3 rungs";
+  let g = augmented_ladder n in
+  ignore (Graph.add_edge g 0 (2 * (n - 1)));
+  ignore (Graph.add_edge g 1 ((2 * (n - 1)) + 1));
+  g
+
+(* Appendix A lists the pentagon's atoms as
+   edge(v1,v2), edge(v1,v5), edge(v4,v5), edge(v3,v4), edge(v2,v3);
+   vertices are 0-based here. *)
+let pentagon_edges = [ (0, 1); (0, 4); (3, 4); (2, 3); (1, 2) ]
+
+let pentagon = Graph.of_edges 5 pentagon_edges

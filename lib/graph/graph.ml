@@ -1,0 +1,105 @@
+module Iset = Set.Make (Int)
+
+type t = { n : int; mutable m : int; adj : Iset.t array }
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative order";
+  { n; m = 0; adj = Array.make (max n 1) Iset.empty }
+
+let order t = t.n
+let size t = t.m
+
+let density t = if t.n = 0 then 0. else float_of_int t.m /. float_of_int t.n
+
+let check_vertex t v =
+  if v < 0 || v >= t.n then
+    invalid_arg (Printf.sprintf "Graph: vertex %d out of range [0,%d)" v t.n)
+
+let add_edge t u v =
+  check_vertex t u;
+  check_vertex t v;
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if Iset.mem v t.adj.(u) then false
+  else begin
+    t.adj.(u) <- Iset.add v t.adj.(u);
+    t.adj.(v) <- Iset.add u t.adj.(v);
+    t.m <- t.m + 1;
+    true
+  end
+
+let has_edge t u v =
+  check_vertex t u;
+  check_vertex t v;
+  Iset.mem v t.adj.(u)
+
+let neighbors t v =
+  check_vertex t v;
+  t.adj.(v)
+
+let degree t v = Iset.cardinal (neighbors t v)
+
+let vertices t = List.init t.n Fun.id
+
+let edges t =
+  List.concat_map
+    (fun u -> Iset.fold (fun v acc -> if u < v then (u, v) :: acc else acc) t.adj.(u) [])
+    (vertices t)
+  |> List.sort Stdlib.compare
+
+let of_edges n edge_list =
+  let g = create n in
+  List.iter (fun (u, v) -> ignore (add_edge g u v)) edge_list;
+  g
+
+let copy t = { t with adj = Array.copy t.adj }
+
+let equal a b = a.n = b.n && a.m = b.m && Array.for_all2 Iset.equal a.adj b.adj
+
+let is_connected t =
+  if t.n <= 1 then true
+  else begin
+    let seen = Array.make t.n false in
+    let rec visit v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        Iset.iter visit t.adj.(v)
+      end
+    in
+    visit 0;
+    Array.for_all Fun.id seen
+  end
+
+let fold_vertices f t init = List.fold_left (fun acc v -> f v acc) init (vertices t)
+let fold_edges f t init = List.fold_left (fun acc (u, v) -> f u v acc) init (edges t)
+
+let induced_subgraph t vs =
+  let kept = Array.of_list (Iset.elements vs) in
+  let back = Hashtbl.create (Array.length kept) in
+  Array.iteri (fun i v -> Hashtbl.add back v i) kept;
+  let g = create (Array.length kept) in
+  Array.iteri
+    (fun i v ->
+      Iset.iter
+        (fun w ->
+          match Hashtbl.find_opt back w with
+          | Some j when i < j -> ignore (add_edge g i j)
+          | _ -> ())
+        t.adj.(v))
+    kept;
+  (g, kept)
+
+let complete_among t vs =
+  let rec pairs = function
+    | [] -> ()
+    | u :: rest ->
+      List.iter (fun v -> ignore (add_edge t u v)) rest;
+      pairs rest
+  in
+  pairs vs
+
+let pp ppf t =
+  Format.fprintf ppf "graph(n=%d, m=%d)[%a]" t.n t.m
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf (u, v) -> Format.fprintf ppf "%d-%d" u v))
+    (edges t)

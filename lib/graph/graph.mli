@@ -1,0 +1,55 @@
+(** Simple undirected graphs over vertices [0 .. order-1].
+
+    These are the 3-COLOR instances of the paper and, separately, the join
+    graphs of queries. Self-loops and parallel edges are rejected. *)
+
+module Iset : Set.S with type elt = int
+
+type t
+
+val create : int -> t
+(** An edgeless graph with the given number of vertices.
+    @raise Invalid_argument on a negative order. *)
+
+val order : t -> int
+(** Number of vertices. *)
+
+val size : t -> int
+(** Number of edges. *)
+
+val density : t -> float
+(** Edges over vertices, the paper's scaling parameter [m/n]. *)
+
+val add_edge : t -> int -> int -> bool
+(** Add an undirected edge; returns [false] if it was already present.
+    @raise Invalid_argument on a self-loop or an out-of-range endpoint. *)
+
+val has_edge : t -> int -> int -> bool
+val neighbors : t -> int -> Iset.t
+val degree : t -> int -> int
+
+val vertices : t -> int list
+val edges : t -> (int * int) list
+(** Each edge once, as [(u, v)] with [u < v], sorted lexicographically. *)
+
+val of_edges : int -> (int * int) list -> t
+(** Graph of the given order with the listed edges (duplicates merged). *)
+
+val copy : t -> t
+val equal : t -> t -> bool
+
+val is_connected : t -> bool
+(** True for the empty and one-vertex graphs. *)
+
+val fold_vertices : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val induced_subgraph : t -> Iset.t -> t * int array
+(** [induced_subgraph g vs] relabels the kept vertices densely; the
+    returned array maps new indices back to the original vertices. *)
+
+val complete_among : t -> int list -> unit
+(** Add every edge between the listed vertices (clique completion, used by
+    elimination and by join-graph construction). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,140 @@
+module Iset = Graph.Iset
+
+type t = int array
+
+let is_permutation g ord =
+  Array.length ord = Graph.order g
+  &&
+  let seen = Array.make (Graph.order g) false in
+  Array.for_all
+    (fun v ->
+      v >= 0 && v < Graph.order g && not seen.(v) && (seen.(v) <- true; true))
+    ord
+
+(* Pick an element of [candidates] with the maximal [score]; break ties
+   with [rng] when given, else by smallest vertex id (so the default is
+   deterministic). *)
+let argmax ?rng ~score candidates =
+  let best, ties =
+    List.fold_left
+      (fun (best, ties) v ->
+        let s = score v in
+        if s > best then (s, [ v ])
+        else if s = best then (best, v :: ties)
+        else (best, ties))
+      (min_int, []) candidates
+  in
+  ignore best;
+  match (rng, ties) with
+  | _, [] -> invalid_arg "Order.argmax: no candidates"
+  | None, ties -> List.fold_left min max_int ties
+  | Some rng, ties -> Rng.pick rng ties
+
+let mcs ?(initial = []) ?rng g =
+  let n = Graph.order g in
+  let numbered = Array.make n false in
+  let weight = Array.make n 0 in
+  let ord = Array.make n 0 in
+  let place idx v =
+    ord.(idx) <- v;
+    numbered.(v) <- true;
+    Iset.iter (fun w -> weight.(w) <- weight.(w) + 1) (Graph.neighbors g v)
+  in
+  List.iteri
+    (fun idx v ->
+      if numbered.(v) then invalid_arg "Order.mcs: duplicate initial vertex";
+      place idx v)
+    initial;
+  let next_index = ref (List.length initial) in
+  while !next_index < n do
+    let candidates =
+      List.filter (fun v -> not numbered.(v)) (Graph.vertices g)
+    in
+    let v = argmax ?rng ~score:(fun v -> weight.(v)) candidates in
+    place !next_index v;
+    incr next_index
+  done;
+  ord
+
+(* Shared scaffolding for the greedy elimination heuristics: repeatedly
+   eliminate the best-scoring vertex from a working fill graph, assigning
+   numbers n, n-1, ..., 1. [score] sees the current fill graph and the set
+   of remaining vertices; higher is better. *)
+let greedy_elimination ?rng ~score g =
+  let n = Graph.order g in
+  let work = Graph.copy g in
+  let remaining = ref (Iset.of_list (Graph.vertices g)) in
+  let ord = Array.make n 0 in
+  for idx = n - 1 downto 0 do
+    let candidates = Iset.elements !remaining in
+    let v = argmax ?rng ~score:(score work !remaining) candidates in
+    ord.(idx) <- v;
+    let nbrs = Iset.inter (Graph.neighbors work v) (Iset.remove v !remaining) in
+    Graph.complete_among work (Iset.elements nbrs);
+    remaining := Iset.remove v !remaining
+  done;
+  ord
+
+let live_neighbors work remaining v =
+  Iset.inter (Graph.neighbors work v) (Iset.remove v remaining)
+
+let min_degree ?rng g =
+  let score work remaining v =
+    -Iset.cardinal (live_neighbors work remaining v)
+  in
+  greedy_elimination ?rng ~score g
+
+let fill_edges_needed work remaining v =
+  let nbrs = Iset.elements (live_neighbors work remaining v) in
+  let rec count = function
+    | [] -> 0
+    | u :: rest ->
+      List.fold_left
+        (fun acc w -> if Graph.has_edge work u w then acc else acc + 1)
+        0 rest
+      + count rest
+  in
+  count nbrs
+
+let min_fill ?rng g =
+  let score work remaining v = -fill_edges_needed work remaining v in
+  greedy_elimination ?rng ~score g
+
+let identity g = Array.of_list (Graph.vertices g)
+
+let random ~rng g =
+  let ord = identity g in
+  Rng.shuffle rng ord;
+  ord
+
+let eliminate_along g ord ~on_eliminate =
+  let work = Graph.copy g in
+  let remaining = ref (Iset.of_list (Graph.vertices g)) in
+  for idx = Array.length ord - 1 downto 0 do
+    let v = ord.(idx) in
+    let nbrs = live_neighbors work !remaining v in
+    on_eliminate v nbrs;
+    Graph.complete_among work (Iset.elements nbrs);
+    remaining := Iset.remove v !remaining
+  done;
+  work
+
+let induced_width g ord =
+  let width = ref 0 in
+  let record _v nbrs = width := max !width (Iset.cardinal nbrs) in
+  ignore (eliminate_along g ord ~on_eliminate:record);
+  !width
+
+let fill_graph g ord = eliminate_along g ord ~on_eliminate:(fun _ _ -> ())
+
+let all_orders g =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (perms rest))
+        l
+  in
+  List.map Array.of_list (perms (Graph.vertices g))

@@ -1,0 +1,44 @@
+(** Vertex elimination orders and their induced width.
+
+    Bucket elimination processes variables along an order; the largest
+    scope it ever creates is the order's {e induced width}. The paper's
+    Theorem 2 states that the minimum induced width over all orders is
+    the treewidth, and its implementation uses the maximum-cardinality
+    search (MCS) order of Tarjan and Yannakakis as a heuristic. *)
+
+type t = int array
+(** A permutation of the vertices; [t.(i)] is the vertex numbered [i+1]
+    in the paper's 1-based convention. Bucket elimination eliminates the
+    {e highest}-numbered vertex first. *)
+
+val is_permutation : Graph.t -> t -> bool
+
+val mcs : ?initial:int list -> ?rng:Rng.t -> Graph.t -> t
+(** Maximum-cardinality search: number vertices [1..n], each time picking
+    an unnumbered vertex adjacent to the most numbered ones. [initial]
+    vertices (the target schema, in the paper) are numbered first, in the
+    given order. Ties break via [rng] when given, else by smallest id. *)
+
+val min_degree : ?rng:Rng.t -> Graph.t -> t
+(** Greedy minimum-degree elimination order: the vertex eliminated first
+    (numbered last) always has minimum degree in the current fill graph. *)
+
+val min_fill : ?rng:Rng.t -> Graph.t -> t
+(** Greedy minimum-fill elimination order: eliminate the vertex whose
+    elimination adds the fewest fill edges. *)
+
+val identity : Graph.t -> t
+val random : rng:Rng.t -> Graph.t -> t
+
+val induced_width : Graph.t -> t -> int
+(** Width of the elimination process along the order: vertices are
+    eliminated from the highest number down, each elimination turning the
+    remaining neighbors into a clique; the result is the largest number
+    of remaining neighbors seen. *)
+
+val fill_graph : Graph.t -> t -> Graph.t
+(** The triangulation induced by eliminating along the order (original
+    edges plus all fill edges). The result is chordal. *)
+
+val all_orders : Graph.t -> t list
+(** Every permutation; for exhaustive checks on small graphs only. *)

@@ -1,0 +1,99 @@
+module Iset = Graph.Iset
+
+type t = { bags : Iset.t array; tree : Graph.t }
+
+let width t =
+  Array.fold_left (fun acc bag -> max acc (Iset.cardinal bag)) 0 t.bags - 1
+
+let node_count t = Array.length t.bags
+
+let is_tree g =
+  Graph.is_connected g && Graph.size g = max 0 (Graph.order g - 1)
+
+let is_valid g t =
+  let n = Graph.order g in
+  let covers_vertices =
+    List.for_all
+      (fun v -> Array.exists (fun bag -> Iset.mem v bag) t.bags)
+      (Graph.vertices g)
+  in
+  let covers_edges =
+    List.for_all
+      (fun (u, v) ->
+        Array.exists (fun bag -> Iset.mem u bag && Iset.mem v bag) t.bags)
+      (Graph.edges g)
+  in
+  let connected_occurrences v =
+    let holders =
+      List.filter
+        (fun i -> Iset.mem v t.bags.(i))
+        (List.init (node_count t) Fun.id)
+    in
+    match holders with
+    | [] -> true
+    | first :: _ ->
+      let holder_set = Iset.of_list holders in
+      let seen = Hashtbl.create 16 in
+      let rec visit i =
+        if not (Hashtbl.mem seen i) then begin
+          Hashtbl.add seen i ();
+          Iset.iter
+            (fun j -> if Iset.mem j holder_set then visit j)
+            (Graph.neighbors t.tree i)
+        end
+      in
+      visit first;
+      List.for_all (Hashtbl.mem seen) holders
+  in
+  Array.length t.bags = Graph.order t.tree
+  && is_tree t.tree && covers_vertices && covers_edges
+  && List.for_all connected_occurrences (List.init n Fun.id)
+
+let of_elimination_order g ord =
+  let n = Graph.order g in
+  if n = 0 then { bags = [||]; tree = Graph.create 0 }
+  else begin
+    let fill = Order.fill_graph g ord in
+    let number = Array.make n 0 in
+    Array.iteri (fun i v -> number.(v) <- i) ord;
+    (* Node i of the decomposition is the bag of vertex ord.(i). *)
+    let bag_of i =
+      let v = ord.(i) in
+      let lower = Iset.filter (fun w -> number.(w) < i) (Graph.neighbors fill v) in
+      Iset.add v lower
+    in
+    let bags = Array.init n bag_of in
+    let tree = Graph.create n in
+    for i = 1 to n - 1 do
+      let lower = Iset.remove ord.(i) bags.(i) in
+      let parent =
+        if Iset.is_empty lower then i - 1
+        else Iset.fold (fun w best -> max number.(w) best) lower (-1)
+      in
+      ignore (Graph.add_edge tree i parent)
+    done;
+    { bags; tree }
+  end
+
+let trivial g =
+  {
+    bags = [| Iset.of_list (Graph.vertices g) |];
+    tree = Graph.create 1;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>tree decomposition (%d nodes, width %d)" (node_count t)
+    (width t);
+  Array.iteri
+    (fun i bag ->
+      Format.fprintf ppf "@,  bag %d: {%a}  nbrs: %a" i
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Format.pp_print_int)
+        (Iset.elements bag)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        (Iset.elements (Graph.neighbors t.tree i)))
+    t.bags;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,32 @@
+(** Tree decompositions.
+
+    A tree decomposition of a graph [G = (V, E)] is a tree whose nodes
+    carry bags of vertices such that (1) the bags cover [V], (2) every
+    edge of [E] lies inside some bag, and (3) for each vertex the bags
+    containing it form a connected subtree. Its width is the largest bag
+    size minus one (Section 5 of the paper). *)
+
+type t = {
+  bags : Graph.Iset.t array;  (** bag of each decomposition node *)
+  tree : Graph.t;             (** the decomposition tree itself *)
+}
+
+val width : t -> int
+(** Largest bag size minus one; [-1] for a decomposition with no nodes. *)
+
+val node_count : t -> int
+
+val is_valid : Graph.t -> t -> bool
+(** Checks all three tree-decomposition conditions against the graph,
+    and that [tree] is in fact a tree (connected and acyclic). *)
+
+val of_elimination_order : Graph.t -> Order.t -> t
+(** The standard decomposition read off an elimination order: the bag of
+    vertex [v] is [v] plus its lower-numbered neighbors in the fill
+    graph; each non-root bag hangs off the bag of the highest-numbered
+    vertex below it. Width equals {!Order.induced_width} of the order. *)
+
+val trivial : Graph.t -> t
+(** The one-bag decomposition (width [n-1]). *)
+
+val pp : Format.formatter -> t -> unit

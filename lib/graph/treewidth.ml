@@ -1,0 +1,89 @@
+module Iset = Graph.Iset
+
+let candidate_orders ?rng g =
+  [ Order.mcs ?rng g; Order.min_degree ?rng g; Order.min_fill ?rng g ]
+
+let best_order ?rng g =
+  let orders = candidate_orders ?rng g in
+  let widths = List.map (fun ord -> (Order.induced_width g ord, ord)) orders in
+  snd (List.fold_left min (List.hd widths) (List.tl widths))
+
+let upper_bound ?rng g = Order.induced_width g (best_order ?rng g)
+
+(* Degeneracy: peel minimum-degree vertices (no fill), track the largest
+   minimum degree encountered. *)
+let lower_bound g =
+  let work = Graph.copy g in
+  let remaining = ref (Iset.of_list (Graph.vertices g)) in
+  let bound = ref 0 in
+  while not (Iset.is_empty !remaining) do
+    let live_degree v =
+      Iset.cardinal (Iset.inter (Graph.neighbors work v) (Iset.remove v !remaining))
+    in
+    let v =
+      Iset.fold
+        (fun v best -> if live_degree v < live_degree best then v else best)
+        !remaining
+        (Iset.min_elt !remaining)
+    in
+    bound := max !bound (live_degree v);
+    remaining := Iset.remove v !remaining
+  done;
+  !bound
+
+(* Exact treewidth as a memoized recursion over the set of not-yet-
+   eliminated vertices. The fill graph after eliminating a set depends
+   only on the set, so a vertex's degree within [mask] can be recovered
+   without tracking fill edges: w is a fill-neighbor of v iff some path
+   joins them through eliminated vertices only. *)
+let exact ?(max_order = 24) g =
+  let n = Graph.order g in
+  if n > max_order then None
+  else if n <= 1 then Some 0
+  else begin
+    let adj = Array.init n (fun v -> Graph.neighbors g v) in
+    let degree_in_mask mask v =
+      (* BFS from v: neighbors inside the mask count; neighbors outside
+         (eliminated) are traversed. *)
+      let seen = Array.make n false in
+      seen.(v) <- true;
+      let count = ref 0 in
+      let queue = Queue.create () in
+      Queue.add v queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Iset.iter
+          (fun w ->
+            if not seen.(w) then begin
+              seen.(w) <- true;
+              if mask land (1 lsl w) <> 0 then incr count
+              else Queue.add w queue
+            end)
+          adj.(u)
+      done;
+      !count
+    in
+    let memo = Hashtbl.create 4096 in
+    let rec tw mask =
+      match Hashtbl.find_opt memo mask with
+      | Some w -> w
+      | None ->
+        let members =
+          List.filter (fun v -> mask land (1 lsl v) <> 0) (List.init n Fun.id)
+        in
+        let w =
+          match members with
+          | [] | [ _ ] -> 0
+          | _ ->
+            List.fold_left
+              (fun best v ->
+                let d = degree_in_mask mask v in
+                if d >= best then best
+                else max d (min best (tw (mask lxor (1 lsl v)))))
+              max_int members
+        in
+        Hashtbl.add memo mask w;
+        w
+    in
+    Some (tw ((1 lsl n) - 1))
+  end

@@ -1,0 +1,21 @@
+(** Treewidth: bounds and exact computation.
+
+    Finding the treewidth is NP-hard (Arnborg–Corneil–Proskurowski), which
+    is exactly why the paper falls back on the MCS heuristic; the exact
+    solver here exists to validate Theorems 1 and 2 on small instances
+    and to measure how far the heuristics stray. *)
+
+val upper_bound : ?rng:Rng.t -> Graph.t -> int
+(** Best induced width among the MCS, min-degree and min-fill orders. *)
+
+val lower_bound : Graph.t -> int
+(** The degeneracy (maximum over the elimination process of the minimum
+    degree), a classic treewidth lower bound. *)
+
+val exact : ?max_order:int -> Graph.t -> int option
+(** Exact treewidth by memoized search over elimination prefixes.
+    Exponential in the number of vertices; returns [None] when the graph
+    has more than [max_order] (default 24) vertices. *)
+
+val best_order : ?rng:Rng.t -> Graph.t -> Order.t
+(** The heuristic order realizing {!upper_bound}. *)

@@ -1,0 +1,53 @@
+module Iset = Graphlib.Graph.Iset
+
+type reduction = {
+  acyclic : bool;
+  elimination : (int * int option) list;
+}
+
+(* Quadratic passes rather than the linear-time original: our hypergraphs
+   have at most a few hundred edges. An edge is an ear when its vertices
+   shared with other live edges all fit inside one other live edge. *)
+let reduce hg =
+  let m = Hypergraph.edge_count hg in
+  let live = Array.make m true in
+  let live_count = ref m in
+  let elimination = ref [] in
+  let shared_vertices i =
+    let others = ref Iset.empty in
+    for j = 0 to m - 1 do
+      if j <> i && live.(j) then
+        others := Iset.union !others (Hypergraph.edge hg j)
+    done;
+    Iset.inter (Hypergraph.edge hg i) !others
+  in
+  let find_parent i shared =
+    if Iset.is_empty shared then Some None
+    else begin
+      let rec go j =
+        if j >= m then None
+        else if j <> i && live.(j) && Iset.subset shared (Hypergraph.edge hg j)
+        then Some (Some j)
+        else go (j + 1)
+      in
+      go 0
+    end
+  in
+  let progress = ref true in
+  while !progress && !live_count > 0 do
+    progress := false;
+    for i = 0 to m - 1 do
+      if live.(i) then begin
+        match find_parent i (shared_vertices i) with
+        | Some parent ->
+          live.(i) <- false;
+          decr live_count;
+          elimination := (i, parent) :: !elimination;
+          progress := true
+        | None -> ()
+      end
+    done
+  done;
+  { acyclic = !live_count = 0; elimination = List.rev !elimination }
+
+let is_acyclic hg = (reduce hg).acyclic

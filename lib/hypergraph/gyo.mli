@@ -1,0 +1,20 @@
+(** GYO (Graham / Yu–Ozsoyoglu) reduction: the linear-time acyclicity
+    test of Tarjan and Yannakakis [31].
+
+    Repeatedly (1) remove {e ear} hyperedges — those whose vertices are
+    covered, except for vertices private to them, by another hyperedge —
+    and (2) remove vertices occurring in a single hyperedge. A hypergraph
+    is alpha-acyclic iff this reduces it to nothing. The elimination
+    witness doubles as a join tree (see {!Jointree}). *)
+
+type reduction = {
+  acyclic : bool;
+  elimination : (int * int option) list;
+      (** Hyperedge indices in elimination order, each with the index of
+          the surviving hyperedge it was absorbed into ([None] for the
+          last edge of its connected component). *)
+}
+
+val reduce : Hypergraph.t -> reduction
+
+val is_acyclic : Hypergraph.t -> bool

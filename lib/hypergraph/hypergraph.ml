@@ -1,0 +1,53 @@
+module Iset = Graphlib.Graph.Iset
+
+type t = { hyperedges : Iset.t array }
+
+let create ~edges =
+  let hyperedges =
+    Array.of_list
+      (List.map
+         (fun e ->
+           if e = [] then invalid_arg "Hypergraph.create: empty hyperedge";
+           Iset.of_list e)
+         edges)
+  in
+  { hyperedges }
+
+let of_query cq =
+  create
+    ~edges:(List.map Conjunctive.Cq.atom_vars cq.Conjunctive.Cq.atoms)
+
+let edge_count t = Array.length t.hyperedges
+let edge t i = t.hyperedges.(i)
+let edges t = Array.to_list t.hyperedges
+
+let vertices t =
+  Iset.elements (Array.fold_left Iset.union Iset.empty t.hyperedges)
+
+let vertex_count t = List.length (vertices t)
+
+let primal_graph t =
+  let vars = vertices t in
+  let to_vertex = Hashtbl.create (List.length vars) in
+  List.iteri (fun i v -> Hashtbl.add to_vertex v i) vars;
+  let of_vertex = Array.of_list vars in
+  let g = Graphlib.Graph.create (List.length vars) in
+  Array.iter
+    (fun e ->
+      Graphlib.Graph.complete_among g
+        (List.map (Hashtbl.find to_vertex) (Iset.elements e)))
+    t.hyperedges;
+  (g, to_vertex, of_vertex)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>hypergraph (%d vertices, %d edges)" (vertex_count t)
+    (edge_count t);
+  Array.iteri
+    (fun i e ->
+      Format.fprintf ppf "@,  e%d: {%a}" i
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        (Iset.elements e))
+    t.hyperedges;
+  Format.fprintf ppf "@]"

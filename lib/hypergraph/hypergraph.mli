@@ -1,0 +1,28 @@
+(** Hypergraphs of queries: one hyperedge per atom, over the query's
+    variables. The substrate for acyclicity (GYO), join trees and the
+    Yannakakis algorithm — the semijoin-based techniques the paper's
+    conclusion points to (Wong–Youssefi [34], Yannakakis [35]). *)
+
+type t
+
+val create : edges:int list list -> t
+(** Hyperedges as variable lists; duplicates within an edge are merged.
+    Empty hyperedges are rejected. *)
+
+val of_query : Conjunctive.Cq.t -> t
+(** One hyperedge per atom (the target schema is {e not} added). *)
+
+val edge_count : t -> int
+val edge : t -> int -> Graphlib.Graph.Iset.t
+val edges : t -> Graphlib.Graph.Iset.t list
+val vertices : t -> int list
+(** All variables, sorted. *)
+
+val vertex_count : t -> int
+
+val primal_graph : t -> Graphlib.Graph.t * (int, int) Hashtbl.t * int array
+(** The primal (Gaifman) graph: vertices are variables, each hyperedge a
+    clique; with the variable-to-vertex mapping both ways. For a query
+    without free variables this is its join graph. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,96 @@
+module Iset = Graphlib.Graph.Iset
+module G = Graphlib.Graph
+module Td = Graphlib.Treedec
+
+type t = {
+  tree : G.t;
+  chi : Iset.t array;
+  lambda : int list array;
+}
+
+let width t =
+  Array.fold_left (fun acc cover -> max acc (List.length cover)) 0 t.lambda
+
+let is_valid hg t =
+  let nodes = Array.length t.chi in
+  nodes = G.order t.tree
+  && Array.length t.lambda = nodes
+  (* (1) every hyperedge inside some bag *)
+  && List.for_all
+       (fun e -> Array.exists (fun bag -> Iset.subset e bag) t.chi)
+       (Hypergraph.edges hg)
+  (* (2) connectedness, via the tree-decomposition validator over the
+     primal graph restricted to edge coverage we already checked: build a
+     Treedec and reuse its machinery on a vertex-renamed graph. *)
+  && begin
+       let vars = Hypergraph.vertices hg in
+       let to_vertex = Hashtbl.create (List.length vars) in
+       List.iteri (fun i v -> Hashtbl.add to_vertex v i) vars;
+       let primal, _, _ = Hypergraph.primal_graph hg in
+       let bags =
+         Array.map
+           (fun bag -> Iset.map (fun v -> Hashtbl.find to_vertex v) bag)
+           t.chi
+       in
+       Td.is_valid primal { Td.bags; tree = t.tree }
+     end
+  (* (3) covers *)
+  && Array.for_all2
+       (fun bag cover ->
+         let covered =
+           List.fold_left
+             (fun acc i -> Iset.union acc (Hypergraph.edge hg i))
+             Iset.empty cover
+         in
+         Iset.subset bag covered)
+       t.chi t.lambda
+
+(* Greedy set cover of one bag. *)
+let cover_bag hg bag =
+  let m = Hypergraph.edge_count hg in
+  let rec go uncovered cover =
+    if Iset.is_empty uncovered then List.rev cover
+    else begin
+      let best = ref (-1) and best_gain = ref 0 in
+      for i = 0 to m - 1 do
+        let gain = Iset.cardinal (Iset.inter (Hypergraph.edge hg i) uncovered) in
+        if gain > !best_gain then begin
+          best := i;
+          best_gain := gain
+        end
+      done;
+      if !best < 0 then
+        invalid_arg "Hypertree: bag variable not covered by any hyperedge";
+      go (Iset.diff uncovered (Hypergraph.edge hg !best)) (!best :: cover)
+    end
+  in
+  go bag []
+
+let of_tree_decomposition hg td ~of_vertex =
+  let chi =
+    Array.map (fun bag -> Iset.map (fun vtx -> of_vertex.(vtx)) bag) td.Td.bags
+  in
+  let lambda = Array.map (cover_bag hg) chi in
+  { tree = G.copy td.Td.tree; chi; lambda }
+
+let ghw_upper_bound hg =
+  let primal, _, of_vertex = Hypergraph.primal_graph hg in
+  let candidates =
+    [
+      Graphlib.Order.mcs primal;
+      Graphlib.Order.min_degree primal;
+      Graphlib.Order.min_fill primal;
+    ]
+  in
+  let decompositions =
+    List.map
+      (fun ord ->
+        of_tree_decomposition hg (Td.of_elimination_order primal ord) ~of_vertex)
+      candidates
+  in
+  List.fold_left
+    (fun ((best_w, _) as best) htd ->
+      let w = width htd in
+      if w < best_w then (w, htd) else best)
+    (width (List.hd decompositions), List.hd decompositions)
+    (List.tl decompositions)

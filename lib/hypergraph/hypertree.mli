@@ -1,0 +1,40 @@
+(** Generalized hypertree decompositions (Gottlob–Leone–Scarcello [21],
+    the width notion the paper's §7 lists beside treewidth).
+
+    A generalized hypertree decomposition of a hypergraph is a tree
+    decomposition of its primal graph whose every bag is additionally
+    {e covered} by a set of hyperedges; its width is the largest cover
+    size. Acyclic hypergraphs are exactly those of width 1, and the
+    width never exceeds treewidth + 1 (each vertex is in some edge).
+    For bounded-arity relations (the paper's setting) the notions
+    coincide up to constants, which is why the paper focuses on
+    treewidth; this module exists for the varying-arity workloads of
+    §7. *)
+
+module Iset = Graphlib.Graph.Iset
+
+type t = {
+  tree : Graphlib.Graph.t;
+  chi : Iset.t array;      (** variable bag of each node *)
+  lambda : int list array; (** covering hyperedge indices of each node *)
+}
+
+val width : t -> int
+(** Largest cover size (NOT minus one, following the literature). *)
+
+val is_valid : Hypergraph.t -> t -> bool
+(** Generalized-hypertree conditions: (1) every hyperedge is contained
+    in some bag, (2) each variable's bags form a connected subtree,
+    (3) each bag is covered by the union of its lambda edges. *)
+
+val of_tree_decomposition :
+  Hypergraph.t -> Graphlib.Treedec.t -> of_vertex:int array -> t
+(** Cover each bag of a (primal-graph) tree decomposition greedily with
+    hyperedges. [of_vertex] maps decomposition vertices to hypergraph
+    variables. @raise Invalid_argument if a bag variable appears in no
+    hyperedge. *)
+
+val ghw_upper_bound : Hypergraph.t -> int * t
+(** Heuristic generalized hypertree width: best heuristic elimination
+    order on the primal graph, decompose, cover. Returns the width and
+    its witness. Acyclic hypergraphs are guaranteed width 1. *)

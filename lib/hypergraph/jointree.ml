@@ -1,0 +1,51 @@
+module Iset = Graphlib.Graph.Iset
+
+type t = { parent : int array; order : int list }
+
+let of_gyo hg (red : Gyo.reduction) =
+  if not red.Gyo.acyclic then None
+  else begin
+    let m = Hypergraph.edge_count hg in
+    let parent = Array.make m (-1) in
+    List.iter
+      (fun (i, p) -> parent.(i) <- Option.value ~default:(-1) p)
+      red.Gyo.elimination;
+    Some { parent; order = List.map fst red.Gyo.elimination }
+  end
+
+let build hg = of_gyo hg (Gyo.reduce hg)
+
+let roots t =
+  List.filter (fun i -> t.parent.(i) = -1) (List.init (Array.length t.parent) Fun.id)
+
+let is_valid hg t =
+  let m = Hypergraph.edge_count hg in
+  Array.length t.parent = m
+  && List.sort Stdlib.compare t.order = List.init m Fun.id
+  &&
+  (* Every node precedes its parent in the bottom-up order. *)
+  (let position = Array.make m 0 in
+   List.iteri (fun idx i -> position.(i) <- idx) t.order;
+   Array.for_all Fun.id
+     (Array.mapi
+        (fun i p -> p = -1 || position.(i) < position.(p))
+        t.parent))
+  &&
+  (* Running intersection: walking bottom-up, the variables an edge
+     shares with anything later must all pass through its parent. *)
+  let ok = ref true in
+  List.iter
+    (fun i ->
+      let rest = ref Iset.empty in
+      let position = Array.make m 0 in
+      List.iteri (fun idx j -> position.(j) <- idx) t.order;
+      for j = 0 to m - 1 do
+        if position.(j) > position.(i) then
+          rest := Iset.union !rest (Hypergraph.edge hg j)
+      done;
+      let shared = Iset.inter (Hypergraph.edge hg i) !rest in
+      match t.parent.(i) with
+      | -1 -> if not (Iset.is_empty shared) then ok := false
+      | p -> if not (Iset.subset shared (Hypergraph.edge hg p)) then ok := false)
+    t.order;
+  !ok

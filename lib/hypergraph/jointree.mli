@@ -1,0 +1,28 @@
+(** Join trees of acyclic queries.
+
+    A join tree has one node per hyperedge, and for every variable the
+    nodes containing it form a connected subtree (the same running-
+    intersection property as tree decompositions). Acyclic hypergraphs
+    are exactly those admitting one; it is read off the GYO elimination
+    order. *)
+
+type t = {
+  parent : int array;
+      (** parent hyperedge index; [-1] for roots (one per connected
+          component) *)
+  order : int list;
+      (** a bottom-up traversal order: every node appears before its
+          parent *)
+}
+
+val of_gyo : Hypergraph.t -> Gyo.reduction -> t option
+(** [None] when the reduction found the hypergraph cyclic. *)
+
+val build : Hypergraph.t -> t option
+(** GYO-reduce and convert. *)
+
+val is_valid : Hypergraph.t -> t -> bool
+(** Checks the connected-subtree property for every variable and that
+    [parent] is acyclic with a consistent traversal order. *)
+
+val roots : t -> int list

@@ -1,0 +1,71 @@
+module Iset = Graphlib.Graph.Iset
+module Relation = Relalg.Relation
+module Schema = Relalg.Schema
+module Ops = Relalg.Ops
+module Cq = Conjunctive.Cq
+module Database = Conjunctive.Database
+
+let is_acyclic_query cq = Gyo.is_acyclic (Hypergraph.of_query cq)
+
+let evaluate ?stats ?limits db cq =
+  let hg = Hypergraph.of_query cq in
+  match Jointree.build hg with
+  | None -> None
+  | Some jt ->
+    let atoms = Array.of_list cq.Cq.atoms in
+    let rels =
+      Array.map (fun atom -> Database.eval_atom ?stats ?limits db atom) atoms
+    in
+    (* Upward semijoin pass: parents reduced by children, bottom-up. *)
+    List.iter
+      (fun i ->
+        let p = jt.Jointree.parent.(i) in
+        if p >= 0 then rels.(p) <- Ops.semijoin ?stats ?limits rels.(p) rels.(i))
+      jt.Jointree.order;
+    (* Downward pass: children reduced by parents, top-down. *)
+    List.iter
+      (fun i ->
+        let p = jt.Jointree.parent.(i) in
+        if p >= 0 then rels.(i) <- Ops.semijoin ?stats ?limits rels.(i) rels.(p))
+      (List.rev jt.Jointree.order);
+    (* Join-project pass: merge children into parents, keeping only
+       variables still needed by unmerged nodes or the target schema. *)
+    let m = Array.length atoms in
+    let live = Array.make m true in
+    let free = Iset.of_list cq.Cq.free in
+    let needed_later () =
+      let acc = ref free in
+      for j = 0 to m - 1 do
+        if live.(j) then acc := Iset.union !acc (Hypergraph.edge hg j)
+      done;
+      !acc
+    in
+    let components = ref [] in
+    List.iter
+      (fun i ->
+        live.(i) <- false;
+        let p = jt.Jointree.parent.(i) in
+        if p < 0 then components := rels.(i) :: !components
+        else begin
+          let joined = Ops.natural_join ?stats ?limits rels.(p) rels.(i) in
+          let keep = needed_later () in
+          let target =
+            Schema.restrict (Relation.schema joined) ~keep:(fun v ->
+                Iset.mem v keep)
+          in
+          rels.(p) <- Ops.project ?stats ?limits joined target
+        end)
+      jt.Jointree.order;
+    let project_free rel =
+      let target =
+        Schema.restrict (Relation.schema rel) ~keep:(fun v -> Iset.mem v free)
+      in
+      Ops.project ?stats ?limits rel target
+    in
+    let answer =
+      match List.map project_free !components with
+      | [] -> invalid_arg "Yannakakis: query without atoms"
+      | first :: rest ->
+        List.fold_left (fun acc r -> Ops.natural_join ?stats ?limits acc r) first rest
+    in
+    Some answer

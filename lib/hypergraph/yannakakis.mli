@@ -1,0 +1,19 @@
+(** Yannakakis's algorithm for acyclic queries [35].
+
+    Three sweeps over a join tree: an upward semijoin pass (each node
+    reduced by its children), a downward pass (each child reduced by its
+    parent), and an upward join-project pass that assembles the answer
+    while keeping only variables still needed above — guaranteeing
+    intermediate results no larger than [input + output]. This is the
+    semijoin technique of Wong–Youssefi [34] that the paper's setup
+    deliberately neutralizes (projecting an [edge] column yields all
+    colors) and lists as future work for varying-arity workloads. *)
+
+val evaluate :
+  ?stats:Relalg.Stats.t -> ?limits:Relalg.Limits.t ->
+  Conjunctive.Database.t -> Conjunctive.Cq.t -> Relalg.Relation.t option
+(** [None] when the query is cyclic; otherwise the full answer
+    (projected onto the target schema, or the 0-ary relation for a
+    Boolean query). *)
+
+val is_acyclic_query : Conjunctive.Cq.t -> bool

@@ -1,0 +1,41 @@
+module Cq = Conjunctive.Cq
+
+let without cq index =
+  let atoms = List.filteri (fun i _ -> i <> index) cq.Cq.atoms in
+  let bound = List.concat_map (fun a -> a.Cq.vars) atoms in
+  if atoms = [] then None
+  else if List.for_all (fun v -> List.mem v bound) cq.Cq.free then
+    Some { cq with Cq.atoms }
+  else None
+
+(* Dropping atom [i] keeps the query equivalent iff the original maps
+   homomorphically into the reduced query (the reverse inclusion is the
+   identity homomorphism). *)
+let droppable cq index =
+  match without cq index with
+  | None -> None
+  | Some reduced ->
+    if Homomorphism.exists_homomorphism ~from_:cq ~into:reduced then
+      Some reduced
+    else None
+
+let minimize cq =
+  let rec shrink current removed =
+    let m = Cq.atom_count current in
+    let rec try_atom i =
+      if i >= m then None
+      else
+        match droppable current i with
+        | Some reduced -> Some reduced
+        | None -> try_atom (i + 1)
+    in
+    match try_atom 0 with
+    | Some reduced -> shrink reduced (removed + 1)
+    | None -> (current, removed)
+  in
+  shrink cq 0
+
+let is_minimal cq =
+  let m = Cq.atom_count cq in
+  let rec go i = i >= m || (droppable cq i = None && go (i + 1)) in
+  go 0

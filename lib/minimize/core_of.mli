@@ -1,0 +1,21 @@
+(** Join minimization: computing the core of a conjunctive query
+    (Chandra–Merlin; the paper's §7 third research direction).
+
+    The {e core} of a query is an equivalent subquery with the fewest
+    atoms; it is unique up to renaming. It is computed by repeatedly
+    dropping an atom when the remaining query still maps homomorphically
+    onto... more precisely, when the full query maps into the reduced one
+    (which, with the trivial inclusion the other way, makes them
+    equivalent). Every containment test runs through
+    {!Homomorphism.exists_homomorphism}, i.e., through bucket
+    elimination over a canonical database — the application the paper
+    proposes for its own techniques. *)
+
+val minimize : Conjunctive.Cq.t -> Conjunctive.Cq.t * int
+(** The core (atoms keep their relative listing order) and the number of
+    atoms removed. An atom whose removal would orphan a free variable is
+    never dropped. *)
+
+val is_minimal : Conjunctive.Cq.t -> bool
+(** No single atom can be dropped. Cores are exactly the minimal
+    queries. *)

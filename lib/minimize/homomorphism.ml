@@ -1,0 +1,120 @@
+module Cq = Conjunctive.Cq
+module Database = Conjunctive.Database
+module Relation = Relalg.Relation
+module Schema = Relalg.Schema
+
+let canonical_database cq =
+  let code = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace code v i) (Cq.vars cq);
+  let db = Database.create () in
+  List.iter
+    (fun atom ->
+      let arity = List.length atom.Cq.vars in
+      let rel =
+        if Database.mem db atom.Cq.rel then begin
+          let existing = Database.find db atom.Cq.rel in
+          if Relation.arity existing <> arity then
+            invalid_arg
+              (Printf.sprintf
+                 "Homomorphism: relation %s used with arities %d and %d"
+                 atom.Cq.rel (Relation.arity existing) arity);
+          existing
+        end
+        else begin
+          let fresh = Relation.create (Schema.of_list (List.init arity Fun.id)) in
+          Database.add db atom.Cq.rel fresh;
+          fresh
+        end
+      in
+      let tuple =
+        Array.of_list (List.map (Hashtbl.find code) atom.Cq.vars)
+      in
+      ignore (Relation.add rel tuple))
+    cq.Cq.atoms;
+  (db, code)
+
+let check_compatible ~from_ ~into =
+  if List.length from_.Cq.free <> List.length into.Cq.free then
+    invalid_arg "Homomorphism: target schemas have different sizes";
+  List.iter
+    (fun atom ->
+      List.iter
+        (fun atom' ->
+          if
+            atom.Cq.rel = atom'.Cq.rel
+            && List.length atom.Cq.vars <> List.length atom'.Cq.vars
+          then
+            invalid_arg
+              (Printf.sprintf "Homomorphism: relation %s used with two arities"
+                 atom.Cq.rel))
+        into.Cq.atoms)
+    from_.Cq.atoms
+
+(* Pin variable [v] of the source query to constant [value] by adding a
+   fresh singleton unary relation. *)
+let pin db cq counter v value =
+  incr counter;
+  let name = Printf.sprintf "__pin_%d" !counter in
+  Database.add db name (Relation.of_list (Schema.of_list [ 0 ]) [ [ value ] ]);
+  { cq with Cq.atoms = { Cq.rel = name; vars = [ v ] } :: cq.Cq.atoms }
+
+let decide db cq =
+  (* Evaluate as a Boolean query: drop the target schema, which the
+     caller has already pinned. *)
+  let boolean = { cq with Cq.free = [] } in
+  Ppr_core.Exec.nonempty db (Ppr_core.Bucket.compile boolean)
+
+let homomorphism ~from_ ~into =
+  check_compatible ~from_ ~into;
+  if from_.Cq.atoms = [] then Some []
+  else begin
+    let db, code = canonical_database into in
+    (* A relation symbol used by [from_] but absent from [into] is empty
+       in the canonical database: no homomorphism can exist. *)
+    if
+      List.exists
+        (fun atom -> not (Database.mem db atom.Cq.rel))
+        from_.Cq.atoms
+    then None
+    else begin
+    let counter = ref 0 in
+    (* Head condition: free variables correspond pointwise. *)
+    let pinned_head =
+      List.fold_left2
+        (fun q v_from v_into -> pin db q counter v_from (Hashtbl.find code v_into))
+        from_ from_.Cq.free into.Cq.free
+    in
+    if not (decide db pinned_head) then None
+    else begin
+      (* Extract a witness by fixing variables one at a time. *)
+      let candidates =
+        Hashtbl.fold (fun _ c acc -> c :: acc) code []
+        |> List.sort_uniq Stdlib.compare
+      in
+      let decode =
+        let table = Hashtbl.create 16 in
+        Hashtbl.iter (fun v c -> Hashtbl.replace table c v) code;
+        Hashtbl.find table
+      in
+      let assignment = ref [] in
+      let current = ref pinned_head in
+      List.iter
+        (fun v ->
+          let value =
+            List.find
+              (fun c -> decide db (pin db !current counter v c))
+              candidates
+          in
+          current := pin db !current counter v value;
+          assignment := (v, decode value) :: !assignment)
+        (Cq.vars from_);
+      Some (List.rev !assignment)
+    end
+    end
+  end
+
+let exists_homomorphism ~from_ ~into = homomorphism ~from_ ~into <> None
+
+let contained q1 q2 = exists_homomorphism ~from_:q2 ~into:q1
+
+let equivalent q1 q2 = contained q1 q2 && contained q2 q1

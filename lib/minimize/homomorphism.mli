@@ -1,0 +1,40 @@
+(** Query homomorphisms, containment, and canonical databases
+    (Chandra–Merlin).
+
+    The paper's introduction contrasts structural optimization with the
+    Chandra–Merlin approach of minimizing the {e number} of joins, which
+    needs an NP-hard homomorphism test; its conclusion notes that the
+    test is itself a conjunctive query over a {e canonical database} — so
+    the bucket-elimination machinery of this library is exactly the tool
+    to evaluate it. This module closes that loop: homomorphism existence
+    is decided by running the source query, compiled with
+    {!Ppr_core.Bucket}, over the target's canonical database, and a
+    witness is extracted by pinning one variable at a time.
+
+    Conventions: a homomorphism [h : Q1 -> Q2] maps [Q1]'s variables to
+    [Q2]'s so that every atom of [Q1] lands on an atom of [Q2] and the
+    i-th free variable of [Q1] maps to the i-th free variable of [Q2].
+    Its existence is equivalent to [Q2]'s answers being contained in
+    [Q1]'s over every database. *)
+
+val canonical_database :
+  Conjunctive.Cq.t -> Conjunctive.Database.t * (int, int) Hashtbl.t
+(** The frozen query: each variable becomes a dense constant (the
+    returned mapping), each atom a tuple of its relation. Relations
+    sharing a symbol accumulate one tuple per atom. *)
+
+val homomorphism :
+  from_:Conjunctive.Cq.t -> into:Conjunctive.Cq.t -> (int * int) list option
+(** A homomorphism from [from_] to [into], as an assignment from
+    [from_]'s variables to [into]'s, or [None] if there is none.
+    @raise Invalid_argument if the target schemas have different sizes
+    or the queries disagree on a relation symbol's arity. *)
+
+val exists_homomorphism :
+  from_:Conjunctive.Cq.t -> into:Conjunctive.Cq.t -> bool
+
+val contained : Conjunctive.Cq.t -> Conjunctive.Cq.t -> bool
+(** [contained q1 q2]: over every database, [q1]'s answers are a subset
+    of [q2]'s — decided as [exists_homomorphism ~from_:q2 ~into:q1]. *)
+
+val equivalent : Conjunctive.Cq.t -> Conjunctive.Cq.t -> bool

@@ -1,0 +1,60 @@
+type literal = { var : int; positive : bool }
+type clause = literal list
+type t = { num_vars : int; clauses : clause list }
+
+let make ~num_vars ~clauses =
+  List.iter
+    (fun clause ->
+      if clause = [] then invalid_arg "Cnf.make: empty clause";
+      List.iter
+        (fun lit ->
+          if lit.var < 0 || lit.var >= num_vars then
+            invalid_arg (Printf.sprintf "Cnf.make: variable %d out of range" lit.var))
+        clause)
+    clauses;
+  { num_vars; clauses }
+
+let random_ksat ~rng ~k ~num_vars ~num_clauses =
+  if k > num_vars then invalid_arg "Cnf.random_ksat: k exceeds num_vars";
+  let random_clause () =
+    let vars = Array.of_list (List.init num_vars Fun.id) in
+    Graphlib.Rng.shuffle rng vars;
+    List.init k (fun i -> { var = vars.(i); positive = Graphlib.Rng.bool rng })
+  in
+  make ~num_vars ~clauses:(List.init num_clauses (fun _ -> random_clause ()))
+
+let eval t assignment =
+  List.for_all
+    (List.exists (fun lit -> assignment.(lit.var) = lit.positive))
+    t.clauses
+
+let brute_force_satisfiable t =
+  if t.num_vars > 22 then
+    invalid_arg "Cnf.brute_force_satisfiable: too many variables";
+  let assignment = Array.make (max t.num_vars 1) false in
+  let rec try_var v =
+    if v >= t.num_vars then eval t assignment
+    else begin
+      assignment.(v) <- false;
+      try_var (v + 1)
+      ||
+      (assignment.(v) <- true;
+       try_var (v + 1))
+    end
+  in
+  try_var 0
+
+let pp_literal ppf lit =
+  Format.fprintf ppf "%sx%d" (if lit.positive then "" else "~") lit.var
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " /\\ ")
+       (fun ppf clause ->
+         Format.fprintf ppf "(%a)"
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.fprintf ppf " \\/ ")
+              pp_literal)
+           clause))
+    t.clauses

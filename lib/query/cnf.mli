@@ -1,0 +1,27 @@
+(** CNF formulas and random k-SAT instances.
+
+    Section 7 of the paper reports that the 3-SAT and 2-SAT query families
+    behave like the 3-COLOR family; this module provides those instances.
+    Variables are numbered from 0; a literal is a variable paired with a
+    polarity. *)
+
+type literal = { var : int; positive : bool }
+type clause = literal list
+type t = { num_vars : int; clauses : clause list }
+
+val make : num_vars:int -> clauses:clause list -> t
+(** @raise Invalid_argument on an out-of-range variable or empty clause. *)
+
+val random_ksat : rng:Graphlib.Rng.t -> k:int -> num_vars:int -> num_clauses:int -> t
+(** Uniform k-SAT: each clause draws [k] distinct variables and
+    independent random polarities. Duplicate clauses are allowed, as in
+    the standard fixed-clause-length model. *)
+
+val eval : t -> bool array -> bool
+(** Truth of the formula under an assignment. *)
+
+val brute_force_satisfiable : t -> bool
+(** Exhaustive check; exponential, for cross-validation on small
+    instances only. @raise Invalid_argument beyond 22 variables. *)
+
+val pp : Format.formatter -> t -> unit

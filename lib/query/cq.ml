@@ -1,0 +1,105 @@
+type atom = { rel : string; vars : int list }
+type t = { atoms : atom list; free : int list }
+
+let atom_vars atom =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun v ->
+      if Hashtbl.mem seen v then false
+      else begin
+        Hashtbl.add seen v ();
+        true
+      end)
+    atom.vars
+
+let vars t =
+  List.sort_uniq Stdlib.compare
+    (List.concat_map (fun a -> a.vars) t.atoms @ t.free)
+
+let check t =
+  let bound = List.concat_map (fun a -> a.vars) t.atoms in
+  if List.exists (fun a -> a.vars = []) t.atoms then
+    Error "atom with no variables"
+  else
+    match List.find_opt (fun v -> not (List.mem v bound)) t.free with
+    | Some v -> Error (Printf.sprintf "free variable v%d occurs in no atom" v)
+    | None ->
+      if List.sort_uniq Stdlib.compare t.free <> List.sort Stdlib.compare t.free
+      then Error "duplicate free variable"
+      else Ok ()
+
+let make ~atoms ~free =
+  let t = { atoms; free } in
+  match check t with Ok () -> t | Error msg -> invalid_arg ("Cq.make: " ^ msg)
+
+let var_count t = List.length (vars t)
+let atom_count t = List.length t.atoms
+let is_boolean t = List.length t.free <= 1
+
+let occurrences t =
+  let table = Hashtbl.create 64 in
+  List.iteri
+    (fun idx atom ->
+      List.iter
+        (fun v ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt table v) in
+          if not (List.mem idx prev) then Hashtbl.replace table v (idx :: prev))
+        atom.vars)
+    t.atoms;
+  Hashtbl.iter (fun v idxs -> Hashtbl.replace table v (List.rev idxs)) table;
+  table
+
+let min_occur t =
+  let occ = occurrences t in
+  let table = Hashtbl.create (Hashtbl.length occ) in
+  Hashtbl.iter
+    (fun v idxs ->
+      match idxs with
+      | first :: _ -> Hashtbl.replace table v first
+      | [] -> ())
+    occ;
+  table
+
+let max_occur t =
+  let occ = occurrences t in
+  let table = Hashtbl.create (Hashtbl.length occ) in
+  Hashtbl.iter
+    (fun v idxs ->
+      match List.rev idxs with
+      | last :: _ -> Hashtbl.replace table v last
+      | [] -> ())
+    occ;
+  table
+
+let permute_atoms t rho =
+  let atoms = Array.of_list t.atoms in
+  let n = Array.length atoms in
+  if Array.length rho <> n then invalid_arg "Cq.permute_atoms: length mismatch";
+  let seen = Array.make n false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n || seen.(i) then
+        invalid_arg "Cq.permute_atoms: not a permutation"
+      else seen.(i) <- true)
+    rho;
+  { t with atoms = Array.to_list (Array.map (fun i -> atoms.(i)) rho) }
+
+let pp_var ppf v = Format.fprintf ppf "v%d" v
+
+let pp_atom ppf atom =
+  Format.fprintf ppf "%s(%a)" atom.rel
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       pp_var)
+    atom.vars
+
+let pp ppf t =
+  Format.fprintf ppf "pi_{%a}(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       pp_var)
+    t.free
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " |><| ")
+       pp_atom)
+    t.atoms

@@ -1,0 +1,50 @@
+(** Project-join (conjunctive) queries.
+
+    A query is [pi_{free}(R_1 |><| ... |><| R_m)]: a list of atoms — each a
+    relation symbol applied to variables — plus the target schema [free]
+    (the paper's {i S_Q}). Boolean queries are emulated, exactly as in the
+    paper, by a single-variable target schema; truly empty target schemas
+    are also supported.
+
+    Invariant (checked by {!check}): every free variable occurs in some
+    atom, and atom variable lists are non-empty. *)
+
+type atom = { rel : string; vars : int list }
+(** One occurrence of a relation. A variable may repeat inside an atom
+    (e.g. [edge(x,x)]); the evaluator enforces the implied equality. *)
+
+type t = { atoms : atom list; free : int list }
+
+val make : atoms:atom list -> free:int list -> t
+(** Builds and {!check}s a query. *)
+
+val check : t -> (unit, string) result
+(** Diagnoses violated invariants. *)
+
+val atom_vars : atom -> int list
+(** Distinct variables of an atom, in first-occurrence order. *)
+
+val vars : t -> int list
+(** All variables, sorted, without duplicates. *)
+
+val var_count : t -> int
+val atom_count : t -> int
+val is_boolean : t -> bool
+(** True when at most one variable is kept — the paper's Boolean setup. *)
+
+val occurrences : t -> (int, int list) Hashtbl.t
+(** Maps each variable to the indices (0-based, in listing order) of the
+    atoms it occurs in, ascending. *)
+
+val min_occur : t -> (int, int) Hashtbl.t
+(** First atom index containing each variable — the paper's [min_occur]. *)
+
+val max_occur : t -> (int, int) Hashtbl.t
+(** Last atom index containing each variable — the paper's [max_occur]. *)
+
+val permute_atoms : t -> int array -> t
+(** [permute_atoms q rho] lists atom [rho.(i)] at position [i].
+    @raise Invalid_argument if [rho] is not a permutation. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [pi_{v..}(edge(v0,v1) |><| ...)]. *)

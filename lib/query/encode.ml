@@ -1,0 +1,106 @@
+module Relation = Relalg.Relation
+module Schema = Relalg.Schema
+
+type mode = Boolean | Emulated_boolean | Fraction of float
+
+let edge_relation_name = "edge"
+
+let free_variables ~mode ~rng ~vars_in_listing_order =
+  match mode with
+  | Boolean -> []
+  | Emulated_boolean -> (
+    match vars_in_listing_order with
+    | [] -> invalid_arg "Encode: no variables"
+    | v :: _ -> [ v ])
+  | Fraction f ->
+    let rng =
+      match rng with
+      | Some rng -> rng
+      | None -> invalid_arg "Encode: Fraction mode needs ~rng"
+    in
+    let distinct = List.sort_uniq Stdlib.compare vars_in_listing_order in
+    let wanted =
+      int_of_float (Float.round (f *. float_of_int (List.length distinct)))
+    in
+    let shuffled = Graphlib.Rng.shuffle_list rng distinct in
+    List.sort Stdlib.compare (List.filteri (fun i _ -> i < wanted) shuffled)
+
+let coloring_query ?(mode = Emulated_boolean) ?rng ~edges () =
+  if edges = [] then invalid_arg "Encode.coloring_query: no edges";
+  let atoms =
+    List.map (fun (u, v) -> { Cq.rel = edge_relation_name; vars = [ u; v ] }) edges
+  in
+  let vars_in_listing_order = List.concat_map (fun (u, v) -> [ u; v ]) edges in
+  let free = free_variables ~mode ~rng ~vars_in_listing_order in
+  Cq.make ~atoms ~free
+
+let coloring_query_of_graph ?mode ?rng g =
+  coloring_query ?mode ?rng ~edges:(Graphlib.Graph.edges g) ()
+
+let coloring_database ?(k = 3) () =
+  let rows = ref [] in
+  for a = 1 to k do
+    for b = 1 to k do
+      if a <> b then rows := [ a; b ] :: !rows
+    done
+  done;
+  let db = Database.create () in
+  Database.add db edge_relation_name
+    (Relation.of_list (Schema.of_list [ 0; 1 ]) !rows);
+  db
+
+let polarity_string clause =
+  String.concat ""
+    (List.map (fun lit -> if lit.Cnf.positive then "1" else "0") clause)
+
+let sat_relation_name clause = "sat_" ^ polarity_string clause
+
+let check_distinct_clause clause =
+  let vars = List.map (fun lit -> lit.Cnf.var) clause in
+  if List.length (List.sort_uniq Stdlib.compare vars) <> List.length vars then
+    invalid_arg "Encode.sat_query: repeated variable within a clause"
+
+let sat_query ?(mode = Emulated_boolean) ?rng cnf =
+  if cnf.Cnf.clauses = [] then invalid_arg "Encode.sat_query: no clauses";
+  let atoms =
+    List.map
+      (fun clause ->
+        check_distinct_clause clause;
+        {
+          Cq.rel = sat_relation_name clause;
+          vars = List.map (fun lit -> lit.Cnf.var) clause;
+        })
+      cnf.Cnf.clauses
+  in
+  let vars_in_listing_order =
+    List.concat_map (List.map (fun lit -> lit.Cnf.var)) cnf.Cnf.clauses
+  in
+  let free = free_variables ~mode ~rng ~vars_in_listing_order in
+  Cq.make ~atoms ~free
+
+(* All assignments over {0,1}^k satisfying the polarity pattern: every
+   row except the unique falsifying one. *)
+let pattern_relation clause =
+  let k = List.length clause in
+  let polarities = Array.of_list (List.map (fun lit -> lit.Cnf.positive) clause) in
+  let schema = Schema.of_list (List.init k Fun.id) in
+  let rel = Relation.create ~size_hint:(1 lsl k) schema in
+  for code = 0 to (1 lsl k) - 1 do
+    let row = Array.init k (fun i -> (code lsr i) land 1) in
+    let satisfied =
+      Array.exists2 (fun value positive -> (value = 1) = positive) row polarities
+    in
+    if satisfied then ignore (Relation.add rel row)
+  done;
+  rel
+
+let sat_database cnf =
+  let db = Database.create () in
+  List.iter
+    (fun clause ->
+      let name = sat_relation_name clause in
+      if not (Database.mem db name) then Database.add db name (pattern_relation clause))
+    cnf.Cnf.clauses;
+  db
+
+let variable_namer i = Printf.sprintf "v%d" (i + 1)

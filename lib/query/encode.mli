@@ -1,0 +1,44 @@
+(** Encoding combinatorial instances as project-join queries (Section 2).
+
+    The k-COLOR encoding maps a graph to a query over one binary [edge]
+    relation holding every pair of distinct colors; the query is nonempty
+    over that database iff the graph is k-colorable. The k-SAT encoding
+    maps each clause to an atom over one relation per polarity pattern,
+    holding the satisfying assignments of that pattern. *)
+
+type mode =
+  | Boolean           (** empty target schema: a true Boolean query *)
+  | Emulated_boolean  (** the paper's emulation: keep one variable *)
+  | Fraction of float (** keep this fraction of the (non-isolated)
+                          variables, chosen at random — the paper uses
+                          [Fraction 0.2] *)
+
+val edge_relation_name : string
+
+val coloring_query :
+  ?mode:mode -> ?rng:Graphlib.Rng.t -> edges:(int * int) list -> unit -> Cq.t
+(** Query [pi(|><| edge(u,v))] with atoms in the given listing order.
+    [mode] defaults to [Emulated_boolean]; [Fraction] requires [rng].
+    @raise Invalid_argument on an empty edge list. *)
+
+val coloring_query_of_graph :
+  ?mode:mode -> ?rng:Graphlib.Rng.t -> Graphlib.Graph.t -> Cq.t
+(** As {!coloring_query}, listing the graph's edges lexicographically. *)
+
+val coloring_database : ?k:int -> unit -> Database.t
+(** The [edge] relation over colors [1..k] (default 3): all ordered pairs
+    of distinct colors — 6 tuples for 3 colors. *)
+
+val sat_relation_name : Cnf.clause -> string
+(** E.g. ["sat_101"] for a 3-clause with polarities [+,-,+]. *)
+
+val sat_query : ?mode:mode -> ?rng:Graphlib.Rng.t -> Cnf.t -> Cq.t
+(** One atom per clause over the clause's variables (which must be
+    distinct within each clause). *)
+
+val sat_database : Cnf.t -> Database.t
+(** The polarity-pattern relations actually used by the formula, each
+    holding the assignments (over [{0,1}]) satisfying the pattern. *)
+
+val variable_namer : int -> string
+(** The paper's 1-based naming: variable [i] prints as ["v<i+1>"]. *)

@@ -1,0 +1,436 @@
+module Iset = Graphlib.Graph.Iset
+module G = Graphlib.Graph
+module Td = Graphlib.Treedec
+
+type t = {
+  parent : int array;
+  children : int list array;
+  working : Iset.t array;
+  projected : Iset.t array;
+  leaf_atom : int option array;
+  root : int;
+}
+
+let node_count t = Array.length t.parent
+
+let width t =
+  Array.fold_left (fun acc l -> max acc (Iset.cardinal l)) 0 t.working
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 2: mark-and-sweep simplification of a tree decomposition. *)
+
+let atom_vertex_set jg atom =
+  Iset.of_list
+    (List.map (Hashtbl.find jg.Joingraph.to_vertex) (Cq.atom_vars atom))
+
+let find_host bags vset =
+  let n = Array.length bags in
+  let rec go i =
+    if i >= n then invalid_arg "Jet: no bag hosts a relation's clique"
+    else if Iset.subset vset bags.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
+(* The Steiner closure of the marked nodes for one attribute: within the
+   (connected) subtree of bags containing the attribute, repeatedly shed
+   non-marked leaves; what remains is exactly the union of the pairwise
+   paths between marked nodes — the fixpoint of the paper's lines 6-10. *)
+let steiner_closure tree holders markers =
+  if Iset.cardinal markers <= 1 then markers
+  else begin
+    let live = ref holders in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Iset.iter
+        (fun i ->
+          if not (Iset.mem i markers) then begin
+            let deg =
+              Iset.cardinal (Iset.inter (G.neighbors tree i) !live)
+            in
+            if deg <= 1 then begin
+              live := Iset.remove i !live;
+              changed := true
+            end
+          end)
+        !live
+    done;
+    !live
+  end
+
+let connect_components tree =
+  (* Link one representative of each connected component to the first
+     component's representative, turning a forest into a tree. *)
+  let n = G.order tree in
+  if n = 0 then ()
+  else begin
+    let comp = Array.make n (-1) in
+    let rec visit c v =
+      if comp.(v) = -1 then begin
+        comp.(v) <- c;
+        Iset.iter (visit c) (G.neighbors tree v)
+      end
+    in
+    let reps = ref [] in
+    for v = 0 to n - 1 do
+      if comp.(v) = -1 then begin
+        visit v v;
+        reps := v :: !reps
+      end
+    done;
+    match List.rev !reps with
+    | [] | [ _ ] -> ()
+    | anchor :: rest -> List.iter (fun r -> ignore (G.add_edge tree anchor r)) rest
+  end
+
+let mark_and_sweep cq jg (td : Td.t) =
+  let atoms = Array.of_list cq.Cq.atoms in
+  if Array.length atoms = 0 then invalid_arg "Jet.mark_and_sweep: no atoms";
+  let n = Array.length td.Td.bags in
+  let free_vset =
+    Iset.of_list (List.map (Hashtbl.find jg.Joingraph.to_vertex) cq.Cq.free)
+  in
+  let marks = Array.make n Iset.empty in
+  (* Lines 1-5: place every relation (and the target schema) in a bag. *)
+  let r =
+    Array.map
+      (fun atom ->
+        let vset = atom_vertex_set jg atom in
+        let host = find_host td.Td.bags vset in
+        marks.(host) <- Iset.union marks.(host) vset;
+        host)
+      atoms
+  in
+  let target_host = find_host td.Td.bags free_vset in
+  marks.(target_host) <- Iset.union marks.(target_host) free_vset;
+  (* Lines 6-10 as per-attribute Steiner closure. *)
+  let attrs =
+    Array.fold_left Iset.union Iset.empty td.Td.bags
+  in
+  Iset.iter
+    (fun x ->
+      let holders = ref Iset.empty and markers = ref Iset.empty in
+      for i = 0 to n - 1 do
+        if Iset.mem x td.Td.bags.(i) then holders := Iset.add i !holders;
+        if Iset.mem x marks.(i) then markers := Iset.add i !markers
+      done;
+      let closed = steiner_closure td.Td.tree !holders !markers in
+      Iset.iter (fun i -> marks.(i) <- Iset.add x marks.(i)) closed)
+    attrs;
+  (* Lines 11-19: drop unmarked labels and empty nodes. *)
+  let survivors =
+    List.filter (fun i -> not (Iset.is_empty marks.(i))) (List.init n Fun.id)
+  in
+  let survivors = if survivors = [] then [ target_host ] else survivors in
+  let fresh_id = Hashtbl.create (List.length survivors) in
+  List.iteri (fun idx old -> Hashtbl.add fresh_id old idx) survivors;
+  let bags = Array.of_list (List.map (fun old -> marks.(old)) survivors) in
+  let tree = G.create (Array.length bags) in
+  List.iter
+    (fun (u, v) ->
+      match (Hashtbl.find_opt fresh_id u, Hashtbl.find_opt fresh_id v) with
+      | Some u', Some v' -> ignore (G.add_edge tree u' v')
+      | _ -> ())
+    (G.edges td.Td.tree);
+  connect_components tree;
+  let remap old =
+    match Hashtbl.find_opt fresh_id old with Some i -> i | None -> 0
+  in
+  ({ Td.bags; tree }, Array.map remap r, remap target_host)
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 3, with definitional labels.                              *)
+
+let of_tree_decomposition cq jg td =
+  let atoms = Array.of_list cq.Cq.atoms in
+  let std, r, target_host = mark_and_sweep cq jg td in
+  let k = Array.length std.Td.bags in
+  let m = Array.length atoms in
+  let total = k + m in
+  let root = target_host in
+  (* Combined adjacency: simplified-decomposition edges plus one leaf per
+     atom hanging off its host. *)
+  let adjacency = Array.make total [] in
+  let connect a b =
+    adjacency.(a) <- b :: adjacency.(a);
+    adjacency.(b) <- a :: adjacency.(b)
+  in
+  List.iter (fun (u, v) -> connect u v) (G.edges std.Td.tree);
+  Array.iteri (fun j host -> connect host (k + j)) r;
+  (* Root the tree. *)
+  let parent = Array.make total (-1) in
+  let children = Array.make total [] in
+  let visited = Array.make total false in
+  let bfs = Queue.create () in
+  Queue.add root bfs;
+  visited.(root) <- true;
+  let topo = ref [] in
+  while not (Queue.is_empty bfs) do
+    let u = Queue.pop bfs in
+    topo := u :: !topo;
+    List.iter
+      (fun v ->
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          parent.(v) <- u;
+          children.(u) <- v :: children.(u);
+          Queue.add v bfs
+        end)
+      adjacency.(u)
+  done;
+  let bottom_up = !topo in
+  (* Occurrence counting: a variable is live at node u iff it occurs in an
+     atom outside u's subtree or belongs to the target schema. *)
+  let total_occ = Hashtbl.create 64 in
+  Array.iter
+    (fun atom ->
+      List.iter
+        (fun v ->
+          Hashtbl.replace total_occ v
+            (1 + Option.value ~default:0 (Hashtbl.find_opt total_occ v)))
+        (Cq.atom_vars atom))
+    atoms;
+  let subtree_occ = Array.make total [] in
+  let free_set = Iset.of_list cq.Cq.free in
+  let working = Array.make total Iset.empty in
+  let projected = Array.make total Iset.empty in
+  let leaf_atom = Array.make total None in
+  List.iter
+    (fun u ->
+      let own =
+        if u >= k then begin
+          let j = u - k in
+          leaf_atom.(u) <- Some j;
+          Cq.atom_vars atoms.(j)
+        end
+        else []
+      in
+      let counts = Hashtbl.create 16 in
+      let bump v d =
+        Hashtbl.replace counts v
+          (d + Option.value ~default:0 (Hashtbl.find_opt counts v))
+      in
+      List.iter (fun v -> bump v 1) own;
+      List.iter
+        (fun c -> List.iter (fun (v, d) -> bump v d) subtree_occ.(c))
+        children.(u);
+      subtree_occ.(u) <- Hashtbl.fold (fun v d acc -> (v, d) :: acc) counts [];
+      let occurs_outside v =
+        Iset.mem v free_set
+        || Option.value ~default:0 (Hashtbl.find_opt counts v)
+           < Hashtbl.find total_occ v
+      in
+      working.(u) <-
+        (if u >= k then Iset.of_list own
+         else
+           List.fold_left
+             (fun acc c -> Iset.union acc projected.(c))
+             Iset.empty children.(u));
+      projected.(u) <-
+        (if u = root then Iset.inter working.(u) free_set
+         else Iset.filter occurs_outside working.(u)))
+    bottom_up;
+  { parent; children; working; projected; leaf_atom; root }
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 1: a join-expression tree is a tree decomposition.        *)
+
+let to_tree_decomposition _cq jg t =
+  let to_vtx label =
+    Iset.map (fun v -> Hashtbl.find jg.Joingraph.to_vertex v) label
+  in
+  let bags = Array.map to_vtx t.working in
+  let tree = G.create (node_count t) in
+  Array.iteri
+    (fun v p -> if p >= 0 then ignore (G.add_edge tree v p))
+    t.parent;
+  { Td.bags; tree }
+
+(* ------------------------------------------------------------------ *)
+
+let is_valid cq t =
+  let n = node_count t in
+  let atoms = Array.of_list cq.Cq.atoms in
+  let m = Array.length atoms in
+  let structure_ok =
+    n = Array.length t.children
+    && n = Array.length t.working
+    && n = Array.length t.projected
+    && n = Array.length t.leaf_atom
+    && t.root >= 0 && t.root < n
+    && t.parent.(t.root) = -1
+    &&
+    let ok = ref true in
+    Array.iteri
+      (fun v p ->
+        if v <> t.root then
+          if p < 0 || p >= n || not (List.mem v t.children.(p)) then ok := false)
+      t.parent;
+    Array.iteri
+      (fun u cs -> List.iter (fun c -> if t.parent.(c) <> u then ok := false) cs)
+      t.children;
+    !ok
+  in
+  if not structure_ok then false
+  else begin
+    (* Reachability from the root. *)
+    let seen = Array.make n false in
+    let rec visit u =
+      seen.(u) <- true;
+      List.iter visit t.children.(u)
+    in
+    visit t.root;
+    if not (Array.for_all Fun.id seen) then false
+    else begin
+      let leaves = List.filter (fun u -> t.children.(u) = []) (List.init n Fun.id) in
+      let atom_of_leaf =
+        List.filter_map (fun u -> t.leaf_atom.(u)) leaves
+      in
+      let bijective =
+        List.length leaves = m
+        && List.length atom_of_leaf = m
+        && List.sort_uniq Stdlib.compare atom_of_leaf = List.init m Fun.id
+        && Array.for_all
+             (fun u ->
+               match t.leaf_atom.(u) with
+               | Some _ -> t.children.(u) = []
+               | None -> true)
+             (Array.of_list (List.init n Fun.id))
+      in
+      if not bijective then false
+      else begin
+        (* Recompute definitional labels and compare. *)
+        let rebuilt = ref true in
+        let free_set = Iset.of_list cq.Cq.free in
+        let total_occ = Hashtbl.create 64 in
+        Array.iter
+          (fun atom ->
+            List.iter
+              (fun v ->
+                Hashtbl.replace total_occ v
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt total_occ v)))
+              (Cq.atom_vars atom))
+          atoms;
+        let rec check u : (int * int) list =
+          let own =
+            match t.leaf_atom.(u) with
+            | Some j -> Cq.atom_vars atoms.(j)
+            | None -> []
+          in
+          let counts = Hashtbl.create 16 in
+          let bump v d =
+            Hashtbl.replace counts v
+              (d + Option.value ~default:0 (Hashtbl.find_opt counts v))
+          in
+          List.iter (fun v -> bump v 1) own;
+          List.iter (fun c -> List.iter (fun (v, d) -> bump v d) (check c))
+            t.children.(u);
+          let expected_working =
+            match t.leaf_atom.(u) with
+            | Some j -> Iset.of_list (Cq.atom_vars atoms.(j))
+            | None ->
+              List.fold_left
+                (fun acc c -> Iset.union acc t.projected.(c))
+                Iset.empty t.children.(u)
+          in
+          let occurs_outside v =
+            Iset.mem v free_set
+            || Option.value ~default:0 (Hashtbl.find_opt counts v)
+               < Hashtbl.find total_occ v
+          in
+          let expected_projected =
+            if u = t.root then Iset.inter t.working.(u) free_set
+            else Iset.filter occurs_outside t.working.(u)
+          in
+          if not (Iset.equal expected_working t.working.(u)) then rebuilt := false;
+          if not (Iset.equal expected_projected t.projected.(u)) then
+            rebuilt := false;
+          Hashtbl.fold (fun v d acc -> (v, d) :: acc) counts []
+        in
+        ignore (check t.root);
+        (* The target schema must survive to the root. *)
+        !rebuilt && Iset.subset free_set t.working.(t.root)
+      end
+    end
+  end
+
+let exact_join_width ?(max_atoms = 14) cq =
+  let atoms = Array.of_list cq.Cq.atoms in
+  let m = Array.length atoms in
+  if m = 0 || m > max_atoms then None
+  else begin
+    let atom_vars = Array.map (fun a -> Iset.of_list (Cq.atom_vars a)) atoms in
+    let free = Iset.of_list cq.Cq.free in
+    let full = (1 lsl m) - 1 in
+    (* The projected label of any subtree over atom set [mask]: variables
+       occurring both inside and outside, plus the target schema. *)
+    let vars_of mask =
+      let acc = ref Iset.empty in
+      for i = 0 to m - 1 do
+        if mask land (1 lsl i) <> 0 then acc := Iset.union !acc atom_vars.(i)
+      done;
+      !acc
+    in
+    let live mask =
+      let inside = vars_of mask and outside = vars_of (full lxor mask) in
+      Iset.union (Iset.inter inside outside) (Iset.inter inside free)
+    in
+    let live_table = Array.init (full + 1) live in
+    let width = Array.make (full + 1) max_int in
+    let popcount mask =
+      let rec go mask acc =
+        if mask = 0 then acc else go (mask lsr 1) (acc + (mask land 1))
+      in
+      go mask 0
+    in
+    for mask = 1 to full do
+      if popcount mask = 1 then begin
+        let rec bit i = if mask land (1 lsl i) <> 0 then i else bit (i + 1) in
+        width.(mask) <- Iset.cardinal atom_vars.(bit 0)
+      end
+      else begin
+        let sub = ref ((mask - 1) land mask) in
+        while !sub > 0 do
+          let other = mask lxor !sub in
+          if !sub < other then begin
+            (* Each unordered partition once. *)
+            let working =
+              Iset.cardinal (Iset.union live_table.(!sub) live_table.(other))
+            in
+            let candidate =
+              max working (max width.(!sub) width.(other))
+            in
+            if candidate < width.(mask) then width.(mask) <- candidate
+          end;
+          sub := (!sub - 1) land mask
+        done
+      end
+    done;
+    Some width.(full)
+  end
+
+let heuristic ?rng cq =
+  let jg = Joingraph.build cq in
+  let ord = Graphlib.Treewidth.best_order ?rng jg.Joingraph.graph in
+  let td = Td.of_elimination_order jg.Joingraph.graph ord in
+  of_tree_decomposition cq jg td
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>join-expression tree (%d nodes, width %d, root %d)"
+    (node_count t) (width t) t.root;
+  for u = 0 to node_count t - 1 do
+    Format.fprintf ppf "@,  node %d parent=%d%s Lw={%a} Lp={%a}" u t.parent.(u)
+      (match t.leaf_atom.(u) with
+      | Some j -> Printf.sprintf " atom#%d" j
+      | None -> "")
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_int)
+      (Iset.elements t.working.(u))
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_int)
+      (Iset.elements t.projected.(u))
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,83 @@
+(** Join-expression trees (Section 5).
+
+    A join-expression tree describes a bottom-up evaluation order for a
+    project-join query: leaves are the query's atoms, and every node [u]
+    carries a {e working label} [L_w(u)] (the attributes of the relation
+    computed at [u]) and a {e projected label} [L_p(u)] (the attributes
+    kept after projecting early — those occurring outside [u]'s subtree,
+    plus the target schema). The width of the tree is the largest working
+    label; the {e join width} of the query is the least width over all
+    its join-expression trees, and Theorem 1 states it equals the join
+    graph's treewidth plus one.
+
+    This module implements the paper's Algorithms 1–3: converting a
+    join-expression tree to a tree decomposition of the join graph
+    (Algorithm 1 / Lemma 1), simplifying a tree decomposition by
+    mark-and-sweep (Algorithm 2 / Lemma 2), and converting a simplified
+    decomposition back into a join-expression tree (Algorithm 3 /
+    Lemma 3). Labels are the {e definitional} ones — projected labels are
+    recomputed from actual outside-occurrences, which can only shrink
+    widths relative to Algorithm 3's formula. *)
+
+module Iset = Graphlib.Graph.Iset
+
+type t = {
+  parent : int array;            (** [-1] at the root *)
+  children : int list array;
+  working : Iset.t array;        (** [L_w], over query variables *)
+  projected : Iset.t array;      (** [L_p] *)
+  leaf_atom : int option array;  (** atom index carried by each leaf *)
+  root : int;
+}
+
+val node_count : t -> int
+
+val width : t -> int
+(** Maximum working-label size. *)
+
+val is_valid : Cq.t -> t -> bool
+(** Structural tree checks, a bijection between leaves and atoms, and the
+    label equations: leaf working labels are their atom's variables,
+    internal working labels are the union of the children's projected
+    labels, and projected labels are exactly the working attributes that
+    occur outside the subtree (or in the target schema); the root keeps
+    the target schema. *)
+
+val mark_and_sweep :
+  Cq.t -> Joingraph.t -> Graphlib.Treedec.t ->
+  Graphlib.Treedec.t * int array * int
+(** Algorithm 2. Returns the simplified decomposition, the mapping from
+    atom index to the (surviving) node holding it, and the node chosen
+    for the target schema. Deviation from the paper, needed for
+    disconnected join graphs: when removing empty bags splits the tree,
+    the components (which provably share no surviving attribute) are
+    re-linked by bridge edges, keeping the result a valid decomposition
+    of the same width. *)
+
+val of_tree_decomposition : Cq.t -> Joingraph.t -> Graphlib.Treedec.t -> t
+(** Algorithm 3 over a mark-and-sweep-simplified decomposition, with
+    definitional labels. The result has width at most the decomposition's
+    width plus one (Lemma 3). *)
+
+val to_tree_decomposition : Cq.t -> Joingraph.t -> t -> Graphlib.Treedec.t
+(** Algorithm 1: reinterpret working labels as bags. The result is a
+    valid tree decomposition of the join graph with width exactly
+    [width t - 1] (Lemma 1). *)
+
+val heuristic : ?rng:Graphlib.Rng.t -> Cq.t -> t
+(** A good join-expression tree: build the join graph, find the best
+    heuristic elimination order, decompose, and convert. Its width is an
+    upper bound on the join width. *)
+
+val exact_join_width : ?max_atoms:int -> Cq.t -> int option
+(** The exact join width, by dynamic programming over atom subsets: a
+    subtree over atom set [S] has a fixed projected label (the variables
+    of [S] occurring outside [S], plus the target schema) regardless of
+    its internal shape, so
+    [W(S) = min over binary partitions (T, S\T) of
+      max (W T) (W (S\T)) |live T ∪ live (S\T)|].
+    Exponential ([O(3^m)]); [None] beyond [max_atoms] (default 14).
+    By Theorem 1 the result equals the join graph's treewidth plus one —
+    verified independently in the test suite. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+type t = {
+  graph : Graphlib.Graph.t;
+  to_vertex : (int, int) Hashtbl.t;
+  of_vertex : int array;
+}
+
+let build cq =
+  let variables = Cq.vars cq in
+  let to_vertex = Hashtbl.create (List.length variables) in
+  List.iteri (fun i v -> Hashtbl.add to_vertex v i) variables;
+  let of_vertex = Array.of_list variables in
+  let graph = Graphlib.Graph.create (List.length variables) in
+  let clique vs =
+    Graphlib.Graph.complete_among graph
+      (List.map (Hashtbl.find to_vertex) vs)
+  in
+  List.iter (fun atom -> clique (Cq.atom_vars atom)) cq.Cq.atoms;
+  clique cq.Cq.free;
+  { graph; to_vertex; of_vertex }
+
+let variable_order_of t ord = Array.map (fun vtx -> t.of_vertex.(vtx)) ord
+
+let treewidth_upper_bound cq =
+  let jg = build cq in
+  Graphlib.Treewidth.upper_bound jg.graph
+
+let mcs_variable_order ?rng cq =
+  let jg = build cq in
+  let initial = List.map (Hashtbl.find jg.to_vertex) cq.Cq.free in
+  let ord = Graphlib.Order.mcs ~initial ?rng jg.graph in
+  variable_order_of jg ord

@@ -1,0 +1,23 @@
+(** The join graph of a query (Section 5).
+
+    Nodes are the query's variables; each atom contributes a clique over
+    its variables, and the target schema contributes one more clique.
+    Because query variables are arbitrary integers while {!Graphlib.Graph}
+    vertices are dense, the construction also returns the mapping. *)
+
+type t = {
+  graph : Graphlib.Graph.t;
+  to_vertex : (int, int) Hashtbl.t;  (** query variable -> graph vertex *)
+  of_vertex : int array;             (** graph vertex -> query variable *)
+}
+
+val build : Cq.t -> t
+
+val variable_order_of : t -> Graphlib.Order.t -> int array
+(** Translate a vertex elimination order back to query variables. *)
+
+val treewidth_upper_bound : Cq.t -> int
+val mcs_variable_order : ?rng:Graphlib.Rng.t -> Cq.t -> int array
+(** The paper's variable order for bucket elimination: MCS on the join
+    graph, seeded with the target schema's variables. Returned over query
+    variables, ascending paper numbering (position [0] is numbered 1). *)

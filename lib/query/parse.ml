@@ -1,0 +1,158 @@
+type parsed = {
+  query : Cq.t;
+  head_name : string;
+  namer : int -> string;
+  variable_names : string list;
+}
+
+type error = { position : int; message : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "query parse error at offset %d: %s" e.position e.message
+
+exception Err of error
+
+let fail position message = raise (Err { position; message })
+
+(* ------------------------------------------------------------------ *)
+
+type token = Ident of string | Lparen | Rparen | Comma | Turnstile | Period
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\n' || c = '\t' || c = '\r' then incr i
+    else if c = '%' then
+      while !i < n && src.[!i] <> '\n' do incr i done
+    else if c = '(' then (tokens := (!i, Lparen) :: !tokens; incr i)
+    else if c = ')' then (tokens := (!i, Rparen) :: !tokens; incr i)
+    else if c = ',' then (tokens := (!i, Comma) :: !tokens; incr i)
+    else if c = '.' then (tokens := (!i, Period) :: !tokens; incr i)
+    else if c = ':' then begin
+      if !i + 1 < n && src.[!i + 1] = '-' then begin
+        tokens := (!i, Turnstile) :: !tokens;
+        i := !i + 2
+      end
+      else fail !i "expected ':-'"
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      tokens := (start, Ident (String.sub src start (!i - start))) :: !tokens
+    end
+    else fail !i (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+
+type state = { mutable tokens : (int * token) list; length : int }
+
+let advance st =
+  match st.tokens with
+  | [] -> fail st.length "unexpected end of input"
+  | t :: rest ->
+    st.tokens <- rest;
+    t
+
+let peek st = match st.tokens with [] -> None | t :: _ -> Some t
+
+let expect st expected describe =
+  let position, token = advance st in
+  if token <> expected then fail position ("expected " ^ describe)
+
+let ident st =
+  match advance st with
+  | _, Ident name -> name
+  | position, _ -> fail position "expected an identifier"
+
+(* name(arg, arg, ...) with a possibly empty argument list. *)
+let atom st =
+  let name = ident st in
+  expect st Lparen "'('";
+  let args =
+    match peek st with
+    | Some (_, Rparen) ->
+      ignore (advance st);
+      []
+    | _ ->
+      let rec more acc =
+        let arg = ident st in
+        match advance st with
+        | _, Comma -> more (arg :: acc)
+        | _, Rparen -> List.rev (arg :: acc)
+        | position, _ -> fail position "expected ',' or ')'"
+      in
+      more []
+  in
+  (name, args)
+
+let query src =
+  try
+    let st = { tokens = tokenize src; length = String.length src } in
+    let head_name, head_args = atom st in
+    expect st Turnstile "':-'";
+    let rec body acc =
+      let a = atom st in
+      match peek st with
+      | Some (_, Comma) ->
+        ignore (advance st);
+        body (a :: acc)
+      | _ -> List.rev (a :: acc)
+    in
+    let atoms = body [] in
+    (match peek st with
+    | Some (_, Period) -> ignore (advance st)
+    | _ -> ());
+    (match peek st with
+    | Some (position, _) -> fail position "trailing input after query"
+    | None -> ());
+    (* Number variables in first-appearance order (head first). *)
+    let numbering = Hashtbl.create 16 in
+    let names = ref [] in
+    let number name =
+      match Hashtbl.find_opt numbering name with
+      | Some v -> v
+      | None ->
+        let v = Hashtbl.length numbering in
+        Hashtbl.add numbering name v;
+        names := name :: !names;
+        v
+    in
+    let free = List.map number head_args in
+    let cq_atoms =
+      List.map
+        (fun (rel, args) -> { Cq.rel; vars = List.map number args })
+        atoms
+    in
+    let variable_names = List.rev !names in
+    let name_array = Array.of_list variable_names in
+    let namer v =
+      if v >= 0 && v < Array.length name_array then name_array.(v)
+      else Printf.sprintf "v%d" v
+    in
+    match Cq.check { Cq.atoms = cq_atoms; free } with
+    | Error msg -> fail 0 msg
+    | Ok () ->
+      Ok
+        {
+          query = { Cq.atoms = cq_atoms; free };
+          head_name;
+          namer;
+          variable_names;
+        }
+  with Err e -> Error e
+
+let query_exn src =
+  match query src with
+  | Ok parsed -> parsed
+  | Error e -> failwith (Format.asprintf "%a" pp_error e)

@@ -1,0 +1,32 @@
+(** Parsing conjunctive queries from Datalog-style text.
+
+    Syntax:
+    {[
+      answer(X, Z) :- edge(X, Y), edge(Y, Z).
+    ]}
+    — a head atom naming the target schema, [:-], a comma-separated
+    body, an optional final period. Identifiers are
+    [[A-Za-z0-9_]+]; every argument is a variable (constants are not
+    part of the project-join fragment — pin values with singleton
+    relations instead, as {!Minimize.Homomorphism} does). A Boolean
+    query has an empty head argument list: [q() :- ...]. Comments run
+    from [%] to end of line.
+
+    Variables are numbered in first-appearance order; the returned
+    namer maps them back to their source names (and is suitable for
+    {!Sqlgen.Translate} and {!Ppr_core.Plan.pp}). *)
+
+type parsed = {
+  query : Cq.t;
+  head_name : string;
+  namer : int -> string;
+  variable_names : string list;  (** in numbering order *)
+}
+
+type error = { position : int; message : string }
+
+val query : string -> (parsed, error) result
+val query_exn : string -> parsed
+(** @raise Failure with a position-annotated message. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,37 @@
+module Table = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+let count = Relation.cardinality
+
+let count_distinct rel attr =
+  let pos = Schema.index (Relation.schema rel) attr in
+  let seen = Hashtbl.create 16 in
+  Relation.iter (fun tup -> Hashtbl.replace seen (Tuple.get tup pos) ()) rel;
+  Hashtbl.length seen
+
+let group_count rel group =
+  let positions = Schema.positions group (Relation.schema rel) in
+  let counts = Table.create 16 in
+  Relation.iter
+    (fun tup ->
+      let key = Tuple.project tup positions in
+      Table.replace counts key
+        (1 + Option.value ~default:0 (Table.find_opt counts key)))
+    rel;
+  Table.fold (fun key n acc -> (key, n) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> Tuple.compare a b)
+
+let fold_attr rel attr f =
+  let pos = Schema.index (Relation.schema rel) attr in
+  Relation.fold
+    (fun tup acc ->
+      let v = Tuple.get tup pos in
+      match acc with None -> Some v | Some best -> Some (f best v))
+    rel None
+
+let min_value rel attr = fold_attr rel attr min
+let max_value rel attr = fold_attr rel attr max

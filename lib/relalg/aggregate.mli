@@ -1,0 +1,18 @@
+(** Simple aggregation over relations: counting and group-by counting.
+    Enough for the experiment reporting and for downstream users who
+    need result-size summaries (full SQL aggregation is out of scope —
+    the paper's queries are pure project-joins). *)
+
+val count : Relation.t -> int
+(** Cardinality (alias of {!Relation.cardinality}). *)
+
+val count_distinct : Relation.t -> Schema.attr -> int
+(** Distinct values of one attribute. @raise Not_found if absent. *)
+
+val group_count : Relation.t -> Schema.t -> (Tuple.t * int) list
+(** Number of rows per value combination of the given attributes,
+    sorted by group tuple. @raise Not_found if an attribute is absent. *)
+
+val min_value : Relation.t -> Schema.attr -> int option
+val max_value : Relation.t -> Schema.attr -> int option
+(** Extremes of one attribute; [None] on the empty relation. *)

@@ -1,0 +1,80 @@
+let row_to_line tup =
+  String.concat "\t" (List.map string_of_int (Tuple.to_list tup))
+
+let write oc rel =
+  output_string oc
+    (String.concat "\t"
+       (List.map string_of_int (Schema.attrs (Relation.schema rel))));
+  output_char oc '\n';
+  List.iter
+    (fun tup ->
+      output_string oc (row_to_line tup);
+      output_char oc '\n')
+    (Relation.to_sorted_list rel)
+
+let to_string rel =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (String.concat "\t"
+       (List.map string_of_int (Schema.attrs (Relation.schema rel))));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun tup ->
+      Buffer.add_string buf (row_to_line tup);
+      Buffer.add_char buf '\n')
+    (Relation.to_sorted_list rel);
+  Buffer.contents buf
+
+let parse_ints line what =
+  if String.trim line = "" then []
+  else
+    List.map
+      (fun field ->
+        match int_of_string_opt (String.trim field) with
+        | Some v -> v
+        | None -> failwith (Printf.sprintf "Io: malformed %s: %S" what line))
+      (String.split_on_char '\t' line)
+
+let of_lines lines =
+  let significant =
+    List.filter (fun l -> not (String.length l > 0 && l.[0] = '#')) lines
+  in
+  match significant with
+  | [] -> failwith "Io: missing header line"
+  | header :: rows ->
+    let attrs = parse_ints header "header" in
+    let rel = Relation.create (Schema.of_list attrs) in
+    List.iter
+      (fun line ->
+        (* A blank line is the 0-ary tuple when the schema is empty, and
+           trailing whitespace otherwise. *)
+        let values = parse_ints line "row" in
+        if values = [] && attrs <> [] then ()
+        else ignore (Relation.add rel (Tuple.of_list values)))
+      rows;
+    rel
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  (* Drop the trailing fragment after the final newline. *)
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  of_lines lines
+
+let read ic =
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  of_lines (List.rev !lines)
+
+let save path rel =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc rel)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)

@@ -1,0 +1,20 @@
+(** Plain-text serialization of relations.
+
+    Format: a header line with the attribute identifiers separated by
+    tabs, then one row per line of tab-separated integers. A relation of
+    arity 0 has an empty header; its single possible tuple serializes as
+    an empty line. Lines starting with ['#'] are comments. *)
+
+val write : out_channel -> Relation.t -> unit
+val to_string : Relation.t -> string
+
+val read : in_channel -> Relation.t
+(** @raise Failure on a malformed header or row. *)
+
+val of_string : string -> Relation.t
+
+val save : string -> Relation.t -> unit
+(** Write to a file path. *)
+
+val load : string -> Relation.t
+(** Read from a file path. @raise Sys_error if unreadable. *)

@@ -1,0 +1,19 @@
+exception Exceeded of string
+
+type t = { max_tuples : int; max_total : int; mutable total : int }
+
+let create ?(max_tuples = 2_000_000) ?(max_total = 20_000_000) () =
+  { max_tuples; max_total; total = 0 }
+
+let unlimited () = { max_tuples = max_int; max_total = max_int; total = 0 }
+
+let charge t n =
+  t.total <- t.total + n;
+  if t.total > t.max_total then
+    raise (Exceeded (Printf.sprintf "total tuple budget %d exhausted" t.max_total))
+
+let check_cardinality t n =
+  if n > t.max_tuples then
+    raise (Exceeded (Printf.sprintf "intermediate relation exceeds %d tuples" t.max_tuples))
+
+let total_charged t = t.total

@@ -1,0 +1,28 @@
+(** Resource guards.
+
+    The paper's experiments time out slow methods; in this reproduction a
+    run is aborted instead when an intermediate relation grows beyond a
+    tuple cap or a whole-query tuple budget is exhausted. Benches report
+    such aborts as timeouts. *)
+
+exception Exceeded of string
+(** Raised by the engine when a guard trips; the payload says which. *)
+
+type t
+
+val create : ?max_tuples:int -> ?max_total:int -> unit -> t
+(** [max_tuples] caps the cardinality of any single intermediate relation
+    (default [2_000_000]); [max_total] caps the total number of tuples
+    materialized over the whole run (default [20_000_000]). *)
+
+val unlimited : unit -> t
+(** Guards that never trip. *)
+
+val charge : t -> int -> unit
+(** Account for [n] freshly materialized tuples.
+    @raise Exceeded when the total budget runs out. *)
+
+val check_cardinality : t -> int -> unit
+(** @raise Exceeded when a single relation passes the per-relation cap. *)
+
+val total_charged : t -> int

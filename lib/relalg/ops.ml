@@ -1,0 +1,232 @@
+module Key_table = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+let note_result stats limits rel =
+  (match limits with
+  | Some l -> Limits.check_cardinality l (Relation.cardinality rel)
+  | None -> ());
+  match stats with
+  | Some st ->
+    Stats.record_relation st ~arity:(Relation.arity rel)
+      ~cardinality:(Relation.cardinality rel)
+  | None -> ()
+
+let guarded_add limits rel tup =
+  if Relation.add rel tup then begin
+    match limits with
+    | Some l ->
+      Limits.charge l 1;
+      Limits.check_cardinality l (Relation.cardinality rel)
+    | None -> ()
+  end
+
+(* Hash join. The build side is the smaller input; the probe side streams.
+   Output columns are always [r] then [s \ r], regardless of which side was
+   built on, so the operator is deterministic for callers. *)
+let natural_join ?stats ?limits r s =
+  Option.iter Stats.record_join stats;
+  let sr = Relation.schema r and ss = Relation.schema s in
+  let common = Schema.inter sr ss in
+  let out_schema = Schema.union sr ss in
+  let key_r = Schema.positions common sr in
+  let key_s = Schema.positions common ss in
+  let rest_s = Schema.positions (Schema.diff ss sr) ss in
+  let out =
+    Relation.create
+      ~size_hint:(max 16 (max (Relation.cardinality r) (Relation.cardinality s)))
+      out_schema
+  in
+  let emit tr ts =
+    guarded_add limits out (Tuple.concat tr (Tuple.project ts rest_s))
+  in
+  let build_on_r = Relation.cardinality r <= Relation.cardinality s in
+  let build, build_key = if build_on_r then (r, key_r) else (s, key_s) in
+  let probe, probe_key = if build_on_r then (s, key_s) else (r, key_r) in
+  let table = Key_table.create (max 16 (Relation.cardinality build)) in
+  Relation.iter
+    (fun tup ->
+      let key = Tuple.project tup build_key in
+      let bucket = try Key_table.find table key with Not_found -> [] in
+      Key_table.replace table key (tup :: bucket))
+    build;
+  Relation.iter
+    (fun tup ->
+      let key = Tuple.project tup probe_key in
+      match Key_table.find_opt table key with
+      | None -> ()
+      | Some bucket ->
+        List.iter
+          (fun mate -> if build_on_r then emit mate tup else emit tup mate)
+          bucket)
+    probe;
+  note_result stats limits out;
+  out
+
+let product ?stats ?limits r s =
+  if not (Schema.is_disjoint (Relation.schema r) (Relation.schema s)) then
+    invalid_arg "Ops.product: schemas intersect";
+  natural_join ?stats ?limits r s
+
+(* Sort-merge join: sort both sides by their shared-attribute key, then
+   sweep matching runs. Output matches [natural_join] exactly. *)
+let merge_join ?stats ?limits r s =
+  Option.iter Stats.record_join stats;
+  let sr = Relation.schema r and ss = Relation.schema s in
+  let common = Schema.inter sr ss in
+  let out_schema = Schema.union sr ss in
+  let key_r = Schema.positions common sr in
+  let key_s = Schema.positions common ss in
+  let rest_s = Schema.positions (Schema.diff ss sr) ss in
+  let sorted rel key =
+    let rows = Array.of_list (Relation.to_list rel) in
+    let by_key a b = Tuple.compare (Tuple.project a key) (Tuple.project b key) in
+    Array.sort by_key rows;
+    rows
+  in
+  let rows_r = sorted r key_r and rows_s = sorted s key_s in
+  let out =
+    Relation.create
+      ~size_hint:(max 16 (max (Array.length rows_r) (Array.length rows_s)))
+      out_schema
+  in
+  let nr = Array.length rows_r and ns = Array.length rows_s in
+  let key_of rows key i = Tuple.project rows.(i) key in
+  let run_end rows key start =
+    let k = key_of rows key start in
+    let rec go i =
+      if i < Array.length rows && Tuple.equal (key_of rows key i) k then go (i + 1)
+      else i
+    in
+    go (start + 1)
+  in
+  let i = ref 0 and j = ref 0 in
+  while !i < nr && !j < ns do
+    let c = Tuple.compare (key_of rows_r key_r !i) (key_of rows_s key_s !j) in
+    if c < 0 then incr i
+    else if c > 0 then incr j
+    else begin
+      let i_end = run_end rows_r key_r !i and j_end = run_end rows_s key_s !j in
+      for a = !i to i_end - 1 do
+        for b = !j to j_end - 1 do
+          guarded_add limits out
+            (Tuple.concat rows_r.(a) (Tuple.project rows_s.(b) rest_s))
+        done
+      done;
+      i := i_end;
+      j := j_end
+    end
+  done;
+  note_result stats limits out;
+  out
+
+let equijoin ?stats ?limits ~on r s =
+  if not (Schema.is_disjoint (Relation.schema r) (Relation.schema s)) then
+    invalid_arg "Ops.equijoin: schemas intersect";
+  Option.iter Stats.record_join stats;
+  let sr = Relation.schema r and ss = Relation.schema s in
+  let key_r = Array.of_list (List.map (fun (a, _) -> Schema.index sr a) on) in
+  let key_s = Array.of_list (List.map (fun (_, b) -> Schema.index ss b) on) in
+  let out = Relation.create ~size_hint:(max 16 (Relation.cardinality r)) (Schema.union sr ss) in
+  let table = Key_table.create (max 16 (Relation.cardinality s)) in
+  Relation.iter
+    (fun tup ->
+      let key = Tuple.project tup key_s in
+      let bucket = try Key_table.find table key with Not_found -> [] in
+      Key_table.replace table key (tup :: bucket))
+    s;
+  Relation.iter
+    (fun tup ->
+      match Key_table.find_opt table (Tuple.project tup key_r) with
+      | None -> ()
+      | Some bucket ->
+        List.iter (fun mate -> guarded_add limits out (Tuple.concat tup mate)) bucket)
+    r;
+  note_result stats limits out;
+  out
+
+let project ?stats ?limits r sub =
+  Option.iter Stats.record_projection stats;
+  let positions = Schema.positions sub (Relation.schema r) in
+  let out = Relation.create ~size_hint:(max 16 (Relation.cardinality r)) sub in
+  Relation.iter (fun tup -> guarded_add limits out (Tuple.project tup positions)) r;
+  note_result stats limits out;
+  out
+
+let project_away ?stats ?limits r dropped =
+  let keep a = not (List.mem a dropped) in
+  let sub = Schema.restrict (Relation.schema r) ~keep in
+  project ?stats ?limits r sub
+
+let select ?stats ?limits r pred =
+  Option.iter Stats.record_selection stats;
+  let out =
+    Relation.create ~size_hint:(max 16 (Relation.cardinality r)) (Relation.schema r)
+  in
+  Relation.iter (fun tup -> if pred tup then guarded_add limits out tup) r;
+  note_result stats limits out;
+  out
+
+let select_eq ?stats ?limits r attr value =
+  let i = Schema.index (Relation.schema r) attr in
+  select ?stats ?limits r (fun tup -> Tuple.get tup i = value)
+
+let select_attr_eq ?stats ?limits r a b =
+  let ia = Schema.index (Relation.schema r) a in
+  let ib = Schema.index (Relation.schema r) b in
+  select ?stats ?limits r (fun tup -> Tuple.get tup ia = Tuple.get tup ib)
+
+let rename r mapping =
+  let fresh =
+    Array.map
+      (fun a -> match List.assoc_opt a mapping with Some b -> b | None -> a)
+      (Schema.to_array (Relation.schema r))
+  in
+  let out = Relation.create ~size_hint:(Relation.cardinality r) (Schema.of_array fresh) in
+  Relation.iter (fun tup -> ignore (Relation.add out tup)) r;
+  out
+
+let aligned name r s =
+  if not (Schema.equal_as_set (Relation.schema r) (Relation.schema s)) then
+    invalid_arg (name ^ ": schemas are not permutations of each other");
+  Relation.reorder s (Relation.schema r)
+
+let union ?stats ?limits r s =
+  let s = aligned "Ops.union" r s in
+  let out = Relation.copy r in
+  Relation.iter (fun tup -> guarded_add limits out tup) s;
+  note_result stats limits out;
+  out
+
+let inter ?stats ?limits r s =
+  let s = aligned "Ops.inter" r s in
+  select ?stats ?limits r (fun tup -> Relation.mem s tup)
+
+let diff ?stats ?limits r s =
+  let s = aligned "Ops.diff" r s in
+  select ?stats ?limits r (fun tup -> not (Relation.mem s tup))
+
+(* Semi/antijoin: hash the join-key projection of [s], filter [r]. *)
+let key_set s key_positions =
+  let keys = Key_table.create (max 16 (Relation.cardinality s)) in
+  Relation.iter
+    (fun tup -> Key_table.replace keys (Tuple.project tup key_positions) ())
+    s;
+  keys
+
+let semijoin ?stats ?limits r s =
+  let common = Schema.inter (Relation.schema r) (Relation.schema s) in
+  let key_r = Schema.positions common (Relation.schema r) in
+  let key_s = Schema.positions common (Relation.schema s) in
+  let keys = key_set s key_s in
+  select ?stats ?limits r (fun tup -> Key_table.mem keys (Tuple.project tup key_r))
+
+let antijoin ?stats ?limits r s =
+  let common = Schema.inter (Relation.schema r) (Relation.schema s) in
+  let key_r = Schema.positions common (Relation.schema r) in
+  let key_s = Schema.positions common (Relation.schema s) in
+  let keys = key_set s key_s in
+  select ?stats ?limits r (fun tup -> not (Key_table.mem keys (Tuple.project tup key_r)))

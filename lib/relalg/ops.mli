@@ -1,0 +1,69 @@
+(** Relational-algebra operators.
+
+    Every operator materializes its result (set semantics). All operators
+    accept optional {!Stats.t} and {!Limits.t} so callers can measure the
+    quantities the paper studies — maximum intermediate arity and
+    cardinality — and bound runaway evaluations.
+
+    @raise Limits.Exceeded when a guard trips. *)
+
+val natural_join : ?stats:Stats.t -> ?limits:Limits.t -> Relation.t -> Relation.t -> Relation.t
+(** [natural_join r s] joins on all attributes the schemas share; the
+    result schema is [r]'s schema followed by [s]'s remaining attributes.
+    Implemented as a hash join, building on the smaller input. Degenerates
+    to the cartesian product when the schemas are disjoint. *)
+
+val product : ?stats:Stats.t -> ?limits:Limits.t -> Relation.t -> Relation.t -> Relation.t
+(** Cartesian product. @raise Invalid_argument if schemas intersect. *)
+
+val merge_join : ?stats:Stats.t -> ?limits:Limits.t -> Relation.t -> Relation.t -> Relation.t
+(** Sort-merge implementation of {!natural_join}: same contract, same
+    result, different cost profile (sorting both inputs on the shared
+    attributes, then merging run by run). Exists for the join-algorithm
+    ablation; the paper forced hash joins in PostgreSQL, which
+    {!natural_join} mirrors. *)
+
+val equijoin :
+  ?stats:Stats.t -> ?limits:Limits.t -> on:(Schema.attr * Schema.attr) list ->
+  Relation.t -> Relation.t -> Relation.t
+(** [equijoin ~on r s] joins on the explicit attribute pairs (left
+    attribute from [r], right from [s]); both columns are kept, as SQL
+    does. The schemas must be disjoint (qualified column names from
+    different aliases). An empty [on] is the cartesian product.
+    @raise Not_found if a pair names an absent attribute. *)
+
+val project : ?stats:Stats.t -> ?limits:Limits.t -> Relation.t -> Schema.t -> Relation.t
+(** [project r s] keeps the columns of [s] (in [s]'s order), eliminating
+    duplicates. @raise Not_found if [s] is not a subset of [r]'s schema. *)
+
+val project_away : ?stats:Stats.t -> ?limits:Limits.t -> Relation.t -> Schema.attr list -> Relation.t
+(** Drop the listed attributes, keeping the rest in relation order.
+    Attributes not present are ignored. *)
+
+val select : ?stats:Stats.t -> ?limits:Limits.t -> Relation.t -> (Tuple.t -> bool) -> Relation.t
+(** Generic selection; the schema is unchanged. *)
+
+val select_eq : ?stats:Stats.t -> ?limits:Limits.t -> Relation.t -> Schema.attr -> int -> Relation.t
+(** Rows whose attribute equals a constant. *)
+
+val select_attr_eq : ?stats:Stats.t -> ?limits:Limits.t -> Relation.t -> Schema.attr -> Schema.attr -> Relation.t
+(** Rows where two attributes agree. *)
+
+val rename : Relation.t -> (Schema.attr * Schema.attr) list -> Relation.t
+(** [rename r mapping] renames attributes per the association list
+    (attributes absent from the list keep their names). Tuples are shared,
+    not copied. @raise Invalid_argument if renaming creates duplicates. *)
+
+val union : ?stats:Stats.t -> ?limits:Limits.t -> Relation.t -> Relation.t -> Relation.t
+(** Set union. The second relation is reordered to the first's schema.
+    @raise Invalid_argument if the schemas are not permutations. *)
+
+val inter : ?stats:Stats.t -> ?limits:Limits.t -> Relation.t -> Relation.t -> Relation.t
+val diff : ?stats:Stats.t -> ?limits:Limits.t -> Relation.t -> Relation.t -> Relation.t
+
+val semijoin : ?stats:Stats.t -> ?limits:Limits.t -> Relation.t -> Relation.t -> Relation.t
+(** [semijoin r s] keeps the rows of [r] that join with some row of [s]
+    (the Wong–Youssefi reducer; see also {!antijoin}). *)
+
+val antijoin : ?stats:Stats.t -> ?limits:Limits.t -> Relation.t -> Relation.t -> Relation.t
+(** Rows of [r] that join with no row of [s]. *)

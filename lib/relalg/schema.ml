@@ -1,0 +1,60 @@
+type attr = int
+
+(* The attribute array is never mutated after construction; [index] is a
+   linear scan, which beats a hash table at the arities this engine sees
+   (relations of arity 2, intermediate results rarely beyond a few tens). *)
+type t = attr array
+
+let check_distinct a =
+  let seen = Hashtbl.create (Array.length a) in
+  Array.iter
+    (fun x ->
+      if Hashtbl.mem seen x then
+        invalid_arg (Printf.sprintf "Schema: duplicate attribute %d" x)
+      else Hashtbl.add seen x ())
+    a
+
+let of_array a =
+  let a = Array.copy a in
+  check_distinct a;
+  a
+
+let of_list l = of_array (Array.of_list l)
+
+let empty : t = [||]
+let arity = Array.length
+let attrs t = Array.to_list t
+let to_array t = Array.copy t
+
+let mem t x = Array.exists (fun y -> y = x) t
+
+let index t x =
+  let n = Array.length t in
+  let rec go i = if i >= n then raise Not_found else if t.(i) = x then i else go (i + 1) in
+  go 0
+
+let equal (a : t) (b : t) = a = b
+
+let equal_as_set a b =
+  Array.length a = Array.length b
+  && Array.for_all (fun x -> mem b x) a
+
+let inter a b = Array.of_list (List.filter (fun x -> mem b x) (attrs a))
+let diff a b = Array.of_list (List.filter (fun x -> not (mem b x)) (attrs a))
+let union a b = Array.append a (diff b a)
+
+let is_disjoint a b = not (Array.exists (fun x -> mem b x) a)
+let subset a b = Array.for_all (fun x -> mem b x) a
+
+let positions sub whole = Array.map (fun x -> index whole x) sub
+
+let restrict t ~keep = Array.of_list (List.filter keep (attrs t))
+
+let default_namer x = Printf.sprintf "v%d" x
+
+let pp ?(namer = default_namer) () ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf x -> Format.pp_print_string ppf (namer x)))
+    (attrs t)

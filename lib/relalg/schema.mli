@@ -1,0 +1,55 @@
+(** Relation schemas: ordered lists of distinct attributes.
+
+    An attribute is an integer identifier (a query variable, or an interned
+    column name). Order matters — column [i] of every tuple holds the value
+    of attribute [i] of the schema — but most algebraic laws in this library
+    are stated up to column order; see {!Relation.equal_modulo_order}. *)
+
+type attr = int
+
+type t
+(** An immutable schema. *)
+
+val of_list : attr list -> t
+(** @raise Invalid_argument if the list contains duplicates. *)
+
+val of_array : attr array -> t
+(** Like {!of_list}; the array is copied. *)
+
+val empty : t
+val arity : t -> int
+val attrs : t -> attr list
+val to_array : t -> attr array
+(** A fresh copy; mutating it does not affect the schema. *)
+
+val mem : t -> attr -> bool
+val index : t -> attr -> int
+(** Position of an attribute. @raise Not_found if absent. *)
+
+val equal : t -> t -> bool
+(** Same attributes in the same order. *)
+
+val equal_as_set : t -> t -> bool
+
+val inter : t -> t -> t
+(** Attributes common to both, in the order of the first schema. *)
+
+val diff : t -> t -> t
+(** Attributes of the first schema not in the second, keeping order. *)
+
+val union : t -> t -> t
+(** First schema followed by the second's attributes not already present. *)
+
+val is_disjoint : t -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b] iff every attribute of [a] appears in [b]. *)
+
+val positions : t -> t -> int array
+(** [positions sub whole] maps each attribute of [sub] to its column in
+    [whole]. @raise Not_found if [sub] is not a subset of [whole]. *)
+
+val restrict : t -> keep:(attr -> bool) -> t
+(** Attributes satisfying [keep], preserving order. *)
+
+val pp : ?namer:(attr -> string) -> unit -> Format.formatter -> t -> unit
+(** Pretty-printer; the default namer prints [vN]. *)

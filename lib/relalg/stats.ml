@@ -1,0 +1,41 @@
+type t = {
+  mutable joins : int;
+  mutable projections : int;
+  mutable selections : int;
+  mutable max_cardinality : int;
+  mutable max_arity : int;
+  mutable tuples_produced : int;
+}
+
+let create () =
+  {
+    joins = 0;
+    projections = 0;
+    selections = 0;
+    max_cardinality = 0;
+    max_arity = 0;
+    tuples_produced = 0;
+  }
+
+let reset t =
+  t.joins <- 0;
+  t.projections <- 0;
+  t.selections <- 0;
+  t.max_cardinality <- 0;
+  t.max_arity <- 0;
+  t.tuples_produced <- 0
+
+let record_join t = t.joins <- t.joins + 1
+let record_projection t = t.projections <- t.projections + 1
+let record_selection t = t.selections <- t.selections + 1
+
+let record_relation t ~arity ~cardinality =
+  if cardinality > t.max_cardinality then t.max_cardinality <- cardinality;
+  if arity > t.max_arity then t.max_arity <- arity;
+  t.tuples_produced <- t.tuples_produced + cardinality
+
+let pp ppf t =
+  Format.fprintf ppf
+    "joins=%d projections=%d selections=%d max_card=%d max_arity=%d produced=%d"
+    t.joins t.projections t.selections t.max_cardinality t.max_arity
+    t.tuples_produced

@@ -1,0 +1,30 @@
+(** Execution statistics.
+
+    The quantities the paper reasons about — the arity (width) and
+    cardinality of intermediate results — are recorded here by the
+    operators so experiments can report measured widths, not only
+    analytic ones. *)
+
+type t = {
+  mutable joins : int;        (** join operations performed *)
+  mutable projections : int;  (** projection operations performed *)
+  mutable selections : int;
+  mutable max_cardinality : int;
+      (** largest intermediate (or final) relation materialized *)
+  mutable max_arity : int;
+      (** widest intermediate relation: the measured "working label" size *)
+  mutable tuples_produced : int;
+      (** total tuples materialized across all operators *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val record_join : t -> unit
+val record_projection : t -> unit
+val record_selection : t -> unit
+
+val record_relation : t -> arity:int -> cardinality:int -> unit
+(** Fold one operator result into the running maxima and totals. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+type table = {
+  by_name : (string, int) Hashtbl.t;
+  mutable by_code : string array;
+  mutable next : int;
+}
+
+let create () = { by_name = Hashtbl.create 64; by_code = Array.make 64 ""; next = 0 }
+
+let grow t =
+  let cap = Array.length t.by_code in
+  if t.next >= cap then begin
+    let fresh = Array.make (2 * cap) "" in
+    Array.blit t.by_code 0 fresh 0 cap;
+    t.by_code <- fresh
+  end
+
+let intern t s =
+  match Hashtbl.find_opt t.by_name s with
+  | Some code -> code
+  | None ->
+    let code = t.next in
+    grow t;
+    t.by_code.(code) <- s;
+    Hashtbl.add t.by_name s code;
+    t.next <- code + 1;
+    code
+
+let find t s = Hashtbl.find_opt t.by_name s
+
+let name t code =
+  if code < 0 || code >= t.next then raise Not_found else t.by_code.(code)
+
+let size t = t.next

@@ -1,0 +1,25 @@
+(** String interning.
+
+    The engine stores tuples as machine-integer arrays for speed; anything
+    that is naturally a string (an attribute name coming from SQL, a value
+    in a mediator-style relation) is interned through a [Symbol.table]
+    before it enters a relation, and resolved back only for display. *)
+
+type table
+(** A mutable two-way map between strings and dense integer codes. *)
+
+val create : unit -> table
+(** A fresh, empty table. Codes are assigned from [0] upward. *)
+
+val intern : table -> string -> int
+(** [intern t s] returns the code of [s], allocating one on first use. *)
+
+val find : table -> string -> int option
+(** [find t s] is the code of [s], if it was interned before. *)
+
+val name : table -> int -> string
+(** [name t code] is the string that was interned as [code].
+    @raise Not_found if [code] was never assigned. *)
+
+val size : table -> int
+(** Number of interned strings. *)

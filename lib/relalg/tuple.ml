@@ -1,0 +1,45 @@
+type t = int array
+
+let arity = Array.length
+let get (tup : t) i = tup.(i)
+let of_list = Array.of_list
+let to_list = Array.to_list
+
+let equal (a : t) (b : t) =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec same i = i >= n || (a.(i) = b.(i) && same (i + 1)) in
+  same 0
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec cmp i =
+      if i >= la then 0
+      else
+        let c = Stdlib.compare a.(i) b.(i) in
+        if c <> 0 then c else cmp (i + 1)
+    in
+    cmp 0
+
+(* FNV-1a folded over all columns, truncated to OCaml's non-negative
+   immediate-int range. *)
+let hash (tup : t) =
+  let h = ref 0x1000193 in
+  for i = 0 to Array.length tup - 1 do
+    h := (!h lxor tup.(i)) * 0x100000001b3
+  done;
+  !h land max_int
+
+let project (tup : t) positions = Array.map (fun i -> tup.(i)) positions
+
+let concat = Array.append
+
+let pp ppf tup =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    (to_list tup)

@@ -1,0 +1,30 @@
+(** Tuples: fixed-arity rows of integer values.
+
+    A tuple never escapes the relation that owns it with a different arity
+    than the relation's schema; the engine enforces this at insertion. *)
+
+type t = int array
+
+val arity : t -> int
+
+val get : t -> int -> int
+(** [get tup i] is the value in column [i] (0-based). *)
+
+val of_list : int list -> t
+val to_list : t -> int list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val hash : t -> int
+(** FNV-1a over every column; unlike the polymorphic hash it does not
+    truncate wide tuples, which matters for the high-arity intermediate
+    results the straightforward method produces. *)
+
+val project : t -> int array -> t
+(** [project tup positions] is the tuple made of the listed columns,
+    in the listed order. Positions may repeat. *)
+
+val concat : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+type column = { qualifier : string; name : string }
+type equality = { left : column; right : column }
+
+type table_ref = { relation : string; alias : string; columns : string list }
+
+type from_tree =
+  | Relation of table_ref
+  | Join of { left : from_tree; right : from_tree; on : equality list }
+  | Subquery of { body : query; alias : string }
+
+and query = {
+  select : column list;
+  from : from_tree list;
+  where : equality list;
+}
+
+let col qualifier name = { qualifier; name }
+let eq left right = { left; right }
+
+let aliases q =
+  let acc = ref [] in
+  let push a = if not (List.mem a !acc) then acc := a :: !acc in
+  let rec tree = function
+    | Relation r -> push r.alias
+    | Join { left; right; _ } ->
+      tree left;
+      tree right
+    | Subquery { body; alias } ->
+      query body;
+      push alias
+  and query q = List.iter tree q.from in
+  query q;
+  List.rev !acc
+
+let rec subquery_count_tree = function
+  | Relation _ -> 0
+  | Join { left; right; _ } -> subquery_count_tree left + subquery_count_tree right
+  | Subquery { body; _ } -> 1 + subquery_count body
+
+and subquery_count q =
+  List.fold_left (fun acc t -> acc + subquery_count_tree t) 0 q.from
+
+let rec join_count_tree = function
+  | Relation _ -> 0
+  | Join { left; right; _ } -> 1 + join_count_tree left + join_count_tree right
+  | Subquery { body; _ } -> join_count body
+
+and join_count q =
+  List.fold_left (fun acc t -> acc + join_count_tree t) 0 q.from

@@ -1,0 +1,41 @@
+(** Abstract syntax for the SQL fragment the paper emits.
+
+    Only what the five translation schemes need: [SELECT DISTINCT] over a
+    [FROM] clause that is either a comma-separated item list with a
+    [WHERE] conjunction of column equalities (the naive scheme) or a
+    parenthesized [JOIN ... ON] tree with nested subqueries (all other
+    schemes). *)
+
+type column = { qualifier : string; name : string }
+(** [e1.v2] — [qualifier] is a table alias or a subquery alias. *)
+
+type equality = { left : column; right : column }
+
+type table_ref = {
+  relation : string;      (** base relation name, e.g. [edge] *)
+  alias : string;         (** [e1] *)
+  columns : string list;  (** renamed column list, e.g. [(v1, v2)] *)
+}
+
+type from_tree =
+  | Relation of table_ref
+  | Join of { left : from_tree; right : from_tree; on : equality list }
+      (** an empty [on] prints as [ON (TRUE)], as in the paper's
+          Appendix A.4 *)
+  | Subquery of { body : query; alias : string }
+
+and query = {
+  select : column list;    (** always [SELECT DISTINCT] *)
+  from : from_tree list;   (** comma-separated *)
+  where : equality list;   (** empty for join-style queries *)
+}
+
+val col : string -> string -> column
+val eq : column -> column -> equality
+
+val aliases : query -> string list
+(** Every table and subquery alias, in first-appearance order.
+    Useful for checking alias uniqueness. *)
+
+val subquery_count : query -> int
+val join_count : query -> int

@@ -1,0 +1,120 @@
+module Relation = Relalg.Relation
+module Schema = Relalg.Schema
+module Tuple = Relalg.Tuple
+module Ops = Relalg.Ops
+module Database = Conjunctive.Database
+
+(* Qualified column names are interned per evaluation; attribute ids are
+   therefore globally consistent within one query. *)
+type context = { db : Database.t; symbols : Relalg.Symbol.table }
+
+let attr ctx (c : Ast.column) =
+  Relalg.Symbol.intern ctx.symbols (c.Ast.qualifier ^ "." ^ c.Ast.name)
+
+let rebuild_with_schema rel schema =
+  if Schema.arity schema <> Relation.arity rel then
+    failwith "Eval: column-count mismatch";
+  let out = Relation.create ~size_hint:(Relation.cardinality rel) schema in
+  Relation.iter (fun tup -> ignore (Relation.add out tup)) rel;
+  out
+
+let scan ctx (r : Ast.table_ref) =
+  let base =
+    try Database.find ctx.db r.Ast.relation
+    with Not_found -> failwith ("Eval: unknown relation " ^ r.Ast.relation)
+  in
+  let schema =
+    Schema.of_list
+      (List.map (fun name -> attr ctx (Ast.col r.Ast.alias name)) r.Ast.columns)
+  in
+  rebuild_with_schema base schema
+
+(* Split equalities into cross-relation join pairs and same-side filters,
+   relative to two operand schemas. *)
+let classify_equalities ctx sl sr eqs =
+  List.fold_left
+    (fun (pairs, post) (e : Ast.equality) ->
+      let a = attr ctx e.Ast.left and b = attr ctx e.Ast.right in
+      match (Schema.mem sl a, Schema.mem sr b, Schema.mem sl b, Schema.mem sr a) with
+      | true, true, _, _ -> ((a, b) :: pairs, post)
+      | _, _, true, true -> ((b, a) :: pairs, post)
+      | _ -> (pairs, e :: post))
+    ([], []) eqs
+
+let apply_filter ?stats ?limits ctx rel (e : Ast.equality) =
+  let a = attr ctx e.Ast.left and b = attr ctx e.Ast.right in
+  let schema = Relation.schema rel in
+  if Schema.mem schema a && Schema.mem schema b then
+    Ops.select_attr_eq ?stats ?limits rel a b
+  else failwith ("Eval: condition references an out-of-scope column")
+
+let rec eval_tree ?stats ?limits ctx = function
+  | Ast.Relation r -> scan ctx r
+  | Ast.Join { left; right; on } ->
+    let rl = eval_tree ?stats ?limits ctx left in
+    let rr = eval_tree ?stats ?limits ctx right in
+    let pairs, post =
+      classify_equalities ctx (Relation.schema rl) (Relation.schema rr) on
+    in
+    let joined = Ops.equijoin ?stats ?limits ~on:pairs rl rr in
+    List.fold_left (apply_filter ?stats ?limits ctx) joined post
+  | Ast.Subquery { body; alias } ->
+    let names, rel = eval_query ?stats ?limits ctx body in
+    let schema =
+      Schema.of_list (List.map (fun n -> attr ctx (Ast.col alias n)) names)
+    in
+    rebuild_with_schema rel schema
+
+and eval_query ?stats ?limits ctx (q : Ast.query) =
+  (* Fold FROM items left-deep; attach each WHERE equality at the first
+     point both of its columns are in scope. *)
+  let joined =
+    match q.Ast.from with
+    | [] -> failwith "Eval: empty FROM"
+    | first :: rest ->
+      let initial = eval_tree ?stats ?limits ctx first in
+      let acc, pending =
+        List.fold_left
+          (fun (acc, pending) item ->
+            let next = eval_tree ?stats ?limits ctx item in
+            let pairs, rest =
+              classify_equalities ctx (Relation.schema acc)
+                (Relation.schema next) pending
+            in
+            (Ops.equijoin ?stats ?limits ~on:pairs acc next, rest))
+          (initial, q.Ast.where) rest
+      in
+      List.fold_left (apply_filter ?stats ?limits ctx) acc pending
+  in
+  let names = List.map (fun (c : Ast.column) -> c.Ast.name) q.Ast.select in
+  let positions =
+    Array.of_list
+      (List.map
+         (fun c ->
+           let a = attr ctx c in
+           try Schema.index (Relation.schema joined) a
+           with Not_found ->
+             failwith ("Eval: unknown column " ^ Pretty.column c))
+         q.Ast.select)
+  in
+  let out_schema = Schema.of_list (List.init (List.length names) Fun.id) in
+  let out = Relation.create ~size_hint:(Relation.cardinality joined) out_schema in
+  Relation.iter (fun tup -> ignore (Relation.add out (Tuple.project tup positions))) joined;
+  (match stats with
+  | Some st ->
+    Relalg.Stats.record_projection st;
+    Relalg.Stats.record_relation st ~arity:(Relation.arity out)
+      ~cardinality:(Relation.cardinality out)
+  | None -> ());
+  (match limits with
+  | Some l -> Relalg.Limits.check_cardinality l (Relation.cardinality out)
+  | None -> ());
+  (names, out)
+
+let query ?stats ?limits db q =
+  let ctx = { db; symbols = Relalg.Symbol.create () } in
+  eval_query ?stats ?limits ctx q
+
+let nonempty ?stats ?limits db q =
+  let _, rel = query ?stats ?limits db q in
+  not (Relation.is_empty rel)

@@ -1,0 +1,23 @@
+(** Evaluating SQL ASTs against a database — the stand-in for the paper's
+    PostgreSQL backend.
+
+    JOIN trees evaluate bottom-up in their parenthesized order (hash
+    joins, as the paper configured); a naive-style FROM list with WHERE
+    equalities is folded left-deep, each equality applied as soon as both
+    of its columns are in scope — the behaviour of a planner that keeps
+    the textual order. Every SELECT is DISTINCT. The evaluator exists to
+    cross-check the SQL translators against direct plan execution; they
+    must agree tuple-for-tuple. *)
+
+val query :
+  ?stats:Relalg.Stats.t -> ?limits:Relalg.Limits.t ->
+  Conjunctive.Database.t -> Ast.query -> string list * Relalg.Relation.t
+(** Returns the output column names (bare, in SELECT order) and the
+    result; the relation's schema is positional — attribute [i] is the
+    [i]-th SELECT column.
+    @raise Failure on an unknown relation, alias or column.
+    @raise Relalg.Limits.Exceeded when a guard trips. *)
+
+val nonempty :
+  ?stats:Relalg.Stats.t -> ?limits:Relalg.Limits.t ->
+  Conjunctive.Database.t -> Ast.query -> bool

@@ -1,0 +1,193 @@
+type error = { position : int; message : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "SQL parse error at offset %d: %s" e.position e.message
+
+exception Err of error
+
+let fail position message = raise (Err { position; message })
+
+(* ------------------------------------------------------------------ *)
+(* Tokens                                                              *)
+
+type token =
+  | Ident of string
+  | Kw of string  (* uppercased keyword *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Equals
+  | Semicolon
+
+let keywords =
+  [ "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "JOIN"; "ON"; "AS"; "AND"; "TRUE" ]
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let push position token = tokens := (position, token) :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\n' || c = '\t' || c = '\r' then incr i
+    else if c = '(' then (push !i Lparen; incr i)
+    else if c = ')' then (push !i Rparen; incr i)
+    else if c = ',' then (push !i Comma; incr i)
+    else if c = '.' then (push !i Dot; incr i)
+    else if c = '=' then (push !i Equals; incr i)
+    else if c = ';' then (push !i Semicolon; incr i)
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let word = String.sub src start (!i - start) in
+      let upper = String.uppercase_ascii word in
+      if List.mem upper keywords then push start (Kw upper)
+      else push start (Ident word)
+    end
+    else fail !i (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Recursive descent over the token list.                              *)
+
+type state = { mutable tokens : (int * token) list; length : int }
+
+let peek st = match st.tokens with [] -> None | t :: _ -> Some t
+
+let advance st =
+  match st.tokens with
+  | [] -> fail st.length "unexpected end of input"
+  | t :: rest ->
+    st.tokens <- rest;
+    t
+
+let expect st expected describe =
+  let position, token = advance st in
+  if token <> expected then fail position ("expected " ^ describe)
+
+let expect_kw st kw = expect st (Kw kw) kw
+
+let ident st =
+  match advance st with
+  | _, Ident name -> name
+  | position, _ -> fail position "expected an identifier"
+
+let column st =
+  let qualifier = ident st in
+  expect st Dot "'.'";
+  let name = ident st in
+  { Ast.qualifier; name }
+
+let rec comma_separated st parse =
+  let first = parse st in
+  match peek st with
+  | Some (_, Comma) ->
+    ignore (advance st);
+    first :: comma_separated st parse
+  | _ -> [ first ]
+
+let equality st =
+  let left = column st in
+  expect st Equals "'='";
+  let right = column st in
+  { Ast.left; right }
+
+let conditions st =
+  match peek st with
+  | Some (_, Kw "TRUE") ->
+    ignore (advance st);
+    []
+  | _ ->
+    let rec more acc =
+      match peek st with
+      | Some (_, Kw "AND") ->
+        ignore (advance st);
+        more (equality st :: acc)
+      | _ -> List.rev acc
+    in
+    more [ equality st ]
+
+let table_ref st name =
+  let alias = ident st in
+  expect st Lparen "'('";
+  let columns = comma_separated st ident in
+  expect st Rparen "')'";
+  { Ast.relation = name; alias; columns }
+
+(* A FROM operand: a table reference, a parenthesized join tree, or a
+   parenthesized subquery with an alias. After an operand, an optional
+   JOIN makes the operand the left side of a binary join. *)
+let rec from_tree st =
+  let left = operand st in
+  match peek st with
+  | Some (_, Kw "JOIN") ->
+    ignore (advance st);
+    let right = operand st in
+    expect_kw st "ON";
+    expect st Lparen "'('";
+    let on = conditions st in
+    expect st Rparen "')'";
+    Ast.Join { left; right; on }
+  | _ -> left
+
+and operand st =
+  match peek st with
+  | Some (_, Ident name) ->
+    ignore (advance st);
+    Ast.Relation (table_ref st name)
+  | Some (_, Lparen) -> (
+    ignore (advance st);
+    match peek st with
+    | Some (_, Kw "SELECT") ->
+      let body = query_body st in
+      expect st Rparen "')'";
+      expect_kw st "AS";
+      let alias = ident st in
+      Ast.Subquery { body; alias }
+    | _ ->
+      let tree = from_tree st in
+      expect st Rparen "')'";
+      tree)
+  | Some (position, _) -> fail position "expected a table, join or subquery"
+  | None -> fail st.length "unexpected end of input in FROM"
+
+and query_body st =
+  expect_kw st "SELECT";
+  expect_kw st "DISTINCT";
+  let select = comma_separated st column in
+  expect_kw st "FROM";
+  let from = comma_separated st from_tree in
+  let where =
+    match peek st with
+    | Some (_, Kw "WHERE") ->
+      ignore (advance st);
+      conditions st
+    | _ -> []
+  in
+  { Ast.select; from; where }
+
+let query src =
+  try
+    let st = { tokens = tokenize src; length = String.length src } in
+    let q = query_body st in
+    (match peek st with
+    | Some (_, Semicolon) -> ignore (advance st)
+    | _ -> ());
+    (match peek st with
+    | Some (position, _) -> fail position "trailing input after statement"
+    | None -> ());
+    Ok q
+  with Err e -> Error e
+
+let query_exn src =
+  match query src with
+  | Ok q -> q
+  | Error e -> failwith (Format.asprintf "%a" pp_error e)

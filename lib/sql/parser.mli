@@ -1,0 +1,19 @@
+(** Parsing the SQL fragment this library emits, back into {!Ast}.
+
+    Accepts exactly the grammar of {!Pretty} (and insignificant
+    whitespace variations): [SELECT DISTINCT] column lists, FROM lists
+    over table references with column renamings, parenthesized
+    [JOIN ... ON] trees, [( SELECT ... ) AS t] subqueries, [TRUE] and
+    conjunctions of column equalities, and an optional [WHERE]. The
+    round trip [parse (Pretty.query q) = Ok q] holds structurally for
+    every query the translators produce. *)
+
+type error = { position : int; message : string }
+
+val query : string -> (Ast.query, error) result
+(** Parse one statement (with or without the trailing semicolon). *)
+
+val query_exn : string -> Ast.query
+(** @raise Failure with a position-annotated message. *)
+
+val pp_error : Format.formatter -> error -> unit

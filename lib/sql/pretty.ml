@@ -1,0 +1,59 @@
+let column (c : Ast.column) = c.Ast.qualifier ^ "." ^ c.Ast.name
+
+let equality (e : Ast.equality) = column e.Ast.left ^ " = " ^ column e.Ast.right
+
+let conditions = function
+  | [] -> "TRUE"
+  | conds -> String.concat " AND " (List.map equality conds)
+
+let table_ref (r : Ast.table_ref) =
+  Printf.sprintf "%s %s (%s)" r.Ast.relation r.Ast.alias
+    (String.concat "," r.Ast.columns)
+
+let indentation depth = String.make (3 * depth) ' '
+
+(* Subqueries open an indented block; joins between plain relations stay
+   inline, with the right operand parenthesized when it is itself a join
+   (the paper's evaluation-forcing parentheses). *)
+let rec render_tree buf depth tree =
+  match tree with
+  | Ast.Relation _ | Ast.Subquery _ -> render_operand buf depth tree
+  | Ast.Join { left; right; on } ->
+    render_operand buf depth left;
+    Buffer.add_string buf " JOIN ";
+    render_operand buf depth right;
+    Buffer.add_string buf (" ON (" ^ conditions on ^ ")")
+
+and render_operand buf depth tree =
+  match tree with
+  | Ast.Relation r -> Buffer.add_string buf (table_ref r)
+  | Ast.Join _ ->
+    Buffer.add_string buf "(";
+    render_tree buf depth tree;
+    Buffer.add_string buf ")"
+  | Ast.Subquery { body; alias } ->
+    Buffer.add_string buf "(\n";
+    render_query buf (depth + 1) body;
+    Buffer.add_string buf ("\n" ^ indentation depth ^ ") AS " ^ alias)
+
+and render_query buf depth q =
+  let pad = indentation depth in
+  Buffer.add_string buf
+    (pad ^ "SELECT DISTINCT "
+    ^ String.concat ", " (List.map column q.Ast.select));
+  Buffer.add_string buf ("\n" ^ pad ^ "FROM ");
+  List.iteri
+    (fun i tree ->
+      if i > 0 then Buffer.add_string buf (",\n" ^ pad ^ "     ");
+      render_tree buf depth tree)
+    q.Ast.from;
+  if q.Ast.where <> [] then
+    Buffer.add_string buf ("\n" ^ pad ^ "WHERE " ^ conditions q.Ast.where)
+
+let query q =
+  let buf = Buffer.create 256 in
+  render_query buf 0 q;
+  Buffer.add_string buf ";\n";
+  Buffer.contents buf
+
+let pp ppf q = Format.pp_print_string ppf (query q)

@@ -1,0 +1,12 @@
+(** SQL rendering in the paper's Appendix A style: [SELECT DISTINCT] on
+    its own line, nested subqueries indented by three spaces, [ON]
+    conditions after the closing parenthesis of the joined item, an empty
+    condition printed as [TRUE], and a terminating semicolon. *)
+
+val query : Ast.query -> string
+(** The full statement, semicolon-terminated, trailing newline. *)
+
+val column : Ast.column -> string
+val equality : Ast.equality -> string
+
+val pp : Format.formatter -> Ast.query -> unit

@@ -1,0 +1,297 @@
+module Cq = Conjunctive.Cq
+
+let default_namer = Conjunctive.Encode.variable_namer
+
+let atom_alias i = "e" ^ string_of_int (i + 1)
+
+let table_ref namer i (atom : Cq.atom) =
+  {
+    Ast.relation = atom.Cq.rel;
+    alias = atom_alias i;
+    columns = List.map namer atom.Cq.vars;
+  }
+
+(* First atom index containing each variable, and the free-variable
+   SELECT list (or the paper's one-variable emulation). *)
+let first_occurrence cq = Cq.min_occur cq
+
+let representative_select namer cq =
+  let p = first_occurrence cq in
+  match cq.Cq.free with
+  | [] -> (
+    match cq.Cq.atoms with
+    | { Cq.vars = v :: _; _ } :: _ -> [ Ast.col (atom_alias 0) (namer v) ]
+    | _ -> invalid_arg "Translate: query without atoms")
+  | free ->
+    List.map (fun v -> Ast.col (atom_alias (Hashtbl.find p v)) (namer v)) free
+
+let naive ?(namer = default_namer) cq =
+  if cq.Cq.atoms = [] then invalid_arg "Translate.naive: no atoms";
+  let p = first_occurrence cq in
+  let where =
+    List.concat
+      (List.mapi
+         (fun j atom ->
+           List.filter_map
+             (fun v ->
+               let first = Hashtbl.find p v in
+               if first < j then
+                 Some
+                   (Ast.eq
+                      (Ast.col (atom_alias first) (namer v))
+                      (Ast.col (atom_alias j) (namer v)))
+               else None)
+             (Cq.atom_vars atom))
+         cq.Cq.atoms)
+  in
+  {
+    Ast.select = representative_select namer cq;
+    from = List.mapi (fun i atom -> Ast.Relation (table_ref namer i atom)) cq.Cq.atoms;
+    where;
+  }
+
+let join_conditions namer p j atom =
+  List.filter_map
+    (fun v ->
+      let first = Hashtbl.find p v in
+      if first < j then
+        Some
+          (Ast.eq
+             (Ast.col (atom_alias first) (namer v))
+             (Ast.col (atom_alias j) (namer v)))
+      else None)
+    (Cq.atom_vars atom)
+
+let straightforward ?(namer = default_namer) cq =
+  let atoms = Array.of_list cq.Cq.atoms in
+  if Array.length atoms = 0 then invalid_arg "Translate.straightforward: no atoms";
+  let p = first_occurrence cq in
+  let rec chain j =
+    (* Join tree over atoms 0..j, with atom j outermost-left. *)
+    if j = 0 then Ast.Relation (table_ref namer 0 atoms.(0))
+    else
+      Ast.Join
+        {
+          left = Ast.Relation (table_ref namer j atoms.(j));
+          right = chain (j - 1);
+          on = join_conditions namer p j atoms.(j);
+        }
+  in
+  {
+    Ast.select = representative_select namer cq;
+    from = [ chain (Array.length atoms - 1) ];
+    where = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Early projection (Appendix A.3). Subquery boundaries sit at each
+   variable's last occurrence; a level spanning atoms (j+1 .. hi) SELECTs
+   the variables live at hi, sourcing each from its last occurrence
+   within the level, or from the inner subquery's alias. *)
+
+let early_projection ?(namer = default_namer) cq =
+  let atoms = Array.of_list cq.Cq.atoms in
+  let m = Array.length atoms in
+  if m = 0 then invalid_arg "Translate.early_projection: no atoms";
+  let occurrences = Cq.occurrences cq in
+  let free = cq.Cq.free in
+  let min_occ v = List.hd (Hashtbl.find occurrences v) in
+  let max_occ v =
+    (* Free variables stay live beyond the last atom, as in the paper's
+       implementation (max_occur[j] = |E| + 1). *)
+    if List.mem v free then m
+    else List.fold_left max (-1) (Hashtbl.find occurrences v)
+  in
+  let last_occurrence_at_most v hi =
+    List.fold_left
+      (fun acc i -> if i <= hi then max acc i else acc)
+      (-1)
+      (Hashtbl.find occurrences v)
+  in
+  let boundary i =
+    (* A subquery boundary below atom i+1: some variable dies at atom i. *)
+    i < m - 1 && List.exists (fun v -> max_occ v = i) (Cq.atom_vars atoms.(i))
+  in
+  let all_vars = Cq.vars cq in
+  let live hi =
+    List.filter (fun v -> min_occ v <= hi && hi <= max_occ v) all_vars
+  in
+  let fresh_subquery = ref 0 in
+  let rec build hi =
+    (* The query over atoms 0..hi. *)
+    let rec find_boundary j = if j < 0 then None else if boundary j then Some j else find_boundary (j - 1) in
+    let cut = find_boundary (hi - 1) in
+    let inner, bottom =
+      match cut with
+      | Some j ->
+        incr fresh_subquery;
+        let alias = "t" ^ string_of_int !fresh_subquery in
+        (Some (alias, Ast.Subquery { body = build j; alias }), j + 1)
+      | None -> (None, 0)
+    in
+    (* Source of a variable for references made by atom k (or by the
+       SELECT when k = hi+1): its last occurrence strictly below k if
+       within the level, else the subquery alias. *)
+    let source_below k v =
+      let last =
+        List.fold_left
+          (fun acc i -> if i < k then max acc i else acc)
+          (-1)
+          (Hashtbl.find occurrences v)
+      in
+      if last >= bottom then Ast.col (atom_alias last) (namer v)
+      else
+        match inner with
+        | Some (alias, _) -> Ast.col alias (namer v)
+        | None ->
+          invalid_arg "Translate.early_projection: variable has no source"
+    in
+    let conds k =
+      List.filter_map
+        (fun v ->
+          if min_occ v < k then
+            Some (Ast.eq (source_below k v) (Ast.col (atom_alias k) (namer v)))
+          else None)
+        (Cq.atom_vars atoms.(k))
+    in
+    let base =
+      match inner with
+      | Some (_, sub) ->
+        Ast.Join
+          {
+            left = Ast.Relation (table_ref namer bottom atoms.(bottom));
+            right = sub;
+            on = conds bottom;
+          }
+      | None -> Ast.Relation (table_ref namer bottom atoms.(bottom))
+    in
+    let rec pile k acc =
+      if k > hi then acc
+      else
+        pile (k + 1)
+          (Ast.Join
+             {
+               left = Ast.Relation (table_ref namer k atoms.(k));
+               right = acc;
+               on = conds k;
+             })
+    in
+    let tree = pile (bottom + 1) base in
+    let select =
+      if hi = m - 1 then
+        (* Outermost query: the target schema (or the one-variable
+           emulation, sourced from the top atom). *)
+        match free with
+        | [] -> (
+          match atoms.(hi).Cq.vars with
+          | v :: _ -> [ Ast.col (atom_alias (last_occurrence_at_most v hi)) (namer v) ]
+          | [] -> invalid_arg "Translate: atom without variables")
+        | free -> List.map (fun v -> source_below (hi + 1) v) free
+      else
+        List.map
+          (fun v ->
+            let last = last_occurrence_at_most v hi in
+            if last >= bottom then Ast.col (atom_alias last) (namer v)
+            else
+              match inner with
+              | Some (alias, _) -> Ast.col alias (namer v)
+              | None -> invalid_arg "Translate.early_projection: dead select")
+          (live hi)
+    in
+    { Ast.select; from = [ tree ]; where = [] }
+  in
+  build (m - 1)
+
+let reordering ?(namer = default_namer) ?rng cq =
+  let rho = Ppr_core.Reorder.permutation ?rng cq in
+  early_projection ~namer (Cq.permute_atoms cq rho)
+
+(* ------------------------------------------------------------------ *)
+(* Generic plan-to-SQL emission.                                       *)
+
+module Vmap = Map.Make (Int)
+
+let of_plan ?(namer = default_namer) cq plan =
+  let atom_counter = ref 0 in
+  let subquery_counter = ref 0 in
+  let rec emit = function
+    | Ppr_core.Plan.Atom atom ->
+      let vars = Cq.atom_vars atom in
+      if List.length vars <> List.length atom.Cq.vars then
+        invalid_arg "Translate.of_plan: atom with a repeated variable";
+      let i = !atom_counter in
+      incr atom_counter;
+      let alias = atom_alias i in
+      let sources =
+        List.fold_left
+          (fun acc v -> Vmap.add v (Ast.col alias (namer v)) acc)
+          Vmap.empty vars
+      in
+      ( Ast.Relation
+          { Ast.relation = atom.Cq.rel; alias; columns = List.map namer atom.Cq.vars },
+        sources )
+    | Ppr_core.Plan.Join (l, r) ->
+      let tl, sl = emit l in
+      let tr, sr = emit r in
+      let on =
+        Vmap.fold
+          (fun v cl acc ->
+            match Vmap.find_opt v sr with
+            | Some cr -> Ast.eq cl cr :: acc
+            | None -> acc)
+          sl []
+        |> List.rev
+      in
+      let sources = Vmap.union (fun _ cl _ -> Some cl) sl sr in
+      (Ast.Join { left = tl; right = tr; on }, sources)
+    | Ppr_core.Plan.Project (sub, kept) ->
+      let tsub, ssub = emit sub in
+      let kept = List.sort_uniq Stdlib.compare kept in
+      (* SQL cannot SELECT zero columns: keep one witness variable. *)
+      let kept =
+        if kept = [] then [ fst (Vmap.min_binding ssub) ] else kept
+      in
+      incr subquery_counter;
+      let alias = "t" ^ string_of_int !subquery_counter in
+      let body =
+        {
+          Ast.select = List.map (fun v -> Vmap.find v ssub) kept;
+          from = [ tsub ];
+          where = [];
+        }
+      in
+      let sources =
+        List.fold_left
+          (fun acc v -> Vmap.add v (Ast.col alias (namer v)) acc)
+          Vmap.empty kept
+      in
+      (Ast.Subquery { body; alias }, sources)
+  in
+  let top tree sources =
+    let select =
+      match cq.Cq.free with
+      | [] -> [ snd (Vmap.min_binding sources) ]
+      | free -> List.map (fun v -> Vmap.find v sources) free
+    in
+    { Ast.select; from = [ tree ]; where = [] }
+  in
+  match plan with
+  | Ppr_core.Plan.Project (sub, kept)
+    when List.sort_uniq Stdlib.compare kept
+         = List.sort_uniq Stdlib.compare cq.Cq.free
+         && kept <> [] ->
+    let tsub, ssub = emit sub in
+    {
+      Ast.select = List.map (fun v -> Vmap.find v ssub) (List.sort_uniq Stdlib.compare kept);
+      from = [ tsub ];
+      where = [];
+    }
+  | Ppr_core.Plan.Project (sub, []) when cq.Cq.free = [] ->
+    let tsub, ssub = emit sub in
+    top tsub ssub
+  | plan ->
+    let tree, sources = emit plan in
+    top tree sources
+
+let bucket_elimination ?(namer = default_namer) ?rng ?order cq =
+  of_plan ~namer cq (Ppr_core.Bucket.compile ?rng ?order cq)

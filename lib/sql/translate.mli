@@ -1,0 +1,45 @@
+(** The paper's five CQ-to-SQL translation schemes (Sections 3, 4, 6.1),
+    plus a generic plan-to-SQL emitter.
+
+    Table aliases are [e1, e2, ...] in atom listing order; subquery
+    aliases are [t1, t2, ...] in order of creation (innermost first).
+    Variables print through [namer] (default: the paper's 1-based [vN]).
+
+    Boolean queries (empty target schema) are emitted in the paper's
+    emulated form — SQL cannot select zero columns — by keeping one
+    representative variable; the representative is the first variable of
+    the relevant atom, which may differ from the appendix's sample output
+    (the appendix's own choice varies between methods). *)
+
+val naive : ?namer:(int -> string) -> Conjunctive.Cq.t -> Ast.query
+(** All atoms in the FROM clause; every non-first occurrence of a
+    variable equated with its first occurrence in the WHERE clause. *)
+
+val straightforward : ?namer:(int -> string) -> Conjunctive.Cq.t -> Ast.query
+(** Explicit left-deep JOIN ... ON chain, listed in reverse order with
+    parentheses forcing evaluation from [e1] upward, as in Appendix A.2. *)
+
+val early_projection : ?namer:(int -> string) -> Conjunctive.Cq.t -> Ast.query
+(** Nested subqueries cut at each variable's last occurrence; each
+    subquery SELECTs the variables live at its top atom, so a dying
+    variable is dropped by the enclosing SELECT — the appendix's exact
+    scheme (Appendix A.3). *)
+
+val reordering :
+  ?namer:(int -> string) -> ?rng:Graphlib.Rng.t -> Conjunctive.Cq.t -> Ast.query
+(** {!early_projection} applied to the greedily permuted atom list
+    (Appendix A.4). *)
+
+val bucket_elimination :
+  ?namer:(int -> string) -> ?rng:Graphlib.Rng.t -> ?order:int array ->
+  Conjunctive.Cq.t -> Ast.query
+(** One subquery per processed bucket along the MCS variable order
+    (Appendix A.5), via {!of_plan} on the bucket-elimination plan. *)
+
+val of_plan :
+  ?namer:(int -> string) -> Conjunctive.Cq.t -> Ppr_core.Plan.t -> Ast.query
+(** Emit any plan as SQL: joins become JOIN ... ON on the shared
+    variables, projections become subquery boundaries. A projection to
+    zero columns keeps one witness column (SQL cannot select none); the
+    enclosing query never references it.
+    @raise Invalid_argument on an atom with a repeated variable. *)

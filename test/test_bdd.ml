@@ -1,0 +1,279 @@
+(* BDD package tests (laws, counting, quantification) and symbolic
+   bucket elimination against the relational engine. *)
+
+open Helpers
+module Encode = Conjunctive.Encode
+module G = Graphlib.Graph
+
+let mgr () = Bdd.manager ~num_vars:6 ()
+
+(* ------------------------------------------------------------------ *)
+(* Terminals and variables                                             *)
+
+let test_terminals () =
+  let m = mgr () in
+  check_bool "zero" true (Bdd.is_zero (Bdd.zero m));
+  check_bool "one" true (Bdd.is_one (Bdd.one m));
+  check_bool "distinct" false (Bdd.equal (Bdd.zero m) (Bdd.one m));
+  Alcotest.check_raises "range check"
+    (Invalid_argument "Bdd: variable 6 out of range [0,6)") (fun () ->
+      ignore (Bdd.var (mgr ()) 6))
+
+let test_hash_consing () =
+  let m = mgr () in
+  check_bool "same variable shares a node" true
+    (Bdd.equal (Bdd.var m 2) (Bdd.var m 2));
+  let a = Bdd.mk_and m (Bdd.var m 0) (Bdd.var m 1) in
+  let b = Bdd.mk_and m (Bdd.var m 1) (Bdd.var m 0) in
+  check_bool "commutativity is structural" true (Bdd.equal a b)
+
+(* Random BDDs over 6 variables, built from random formulas. *)
+type formula =
+  | Fvar of int
+  | Fnot of formula
+  | Fand of formula * formula
+  | For of formula * formula
+  | Fxor of formula * formula
+
+let formula_gen =
+  QCheck.Gen.(
+    sized_size (int_range 1 7) (fun size ->
+        fix
+          (fun self size ->
+            if size <= 1 then map (fun v -> Fvar v) (int_range 0 5)
+            else
+              oneof
+                [
+                  map (fun f -> Fnot f) (self (size - 1));
+                  map2 (fun a b -> Fand (a, b)) (self (size / 2)) (self (size / 2));
+                  map2 (fun a b -> For (a, b)) (self (size / 2)) (self (size / 2));
+                  map2 (fun a b -> Fxor (a, b)) (self (size / 2)) (self (size / 2));
+                ])
+          size))
+
+let rec build m = function
+  | Fvar v -> Bdd.var m v
+  | Fnot f -> Bdd.mk_not m (build m f)
+  | Fand (a, b) -> Bdd.mk_and m (build m a) (build m b)
+  | For (a, b) -> Bdd.mk_or m (build m a) (build m b)
+  | Fxor (a, b) -> Bdd.mk_xor m (build m a) (build m b)
+
+let rec eval_formula assignment = function
+  | Fvar v -> assignment.(v)
+  | Fnot f -> not (eval_formula assignment f)
+  | Fand (a, b) -> eval_formula assignment a && eval_formula assignment b
+  | For (a, b) -> eval_formula assignment a || eval_formula assignment b
+  | Fxor (a, b) -> eval_formula assignment a <> eval_formula assignment b
+
+let rec pp_formula ppf = function
+  | Fvar v -> Format.fprintf ppf "x%d" v
+  | Fnot f -> Format.fprintf ppf "~%a" pp_formula f
+  | Fand (a, b) -> Format.fprintf ppf "(%a & %a)" pp_formula a pp_formula b
+  | For (a, b) -> Format.fprintf ppf "(%a | %a)" pp_formula a pp_formula b
+  | Fxor (a, b) -> Format.fprintf ppf "(%a ^ %a)" pp_formula a pp_formula b
+
+let formula_arbitrary =
+  QCheck.make ~print:(Format.asprintf "%a" pp_formula) formula_gen
+
+let all_assignments =
+  List.init 64 (fun code -> Array.init 6 (fun v -> (code lsr v) land 1 = 1))
+
+let prop_bdd_matches_formula =
+  qtest ~count:200 "BDD evaluates exactly as the formula" formula_arbitrary
+    (fun f ->
+      let m = mgr () in
+      let node = build m f in
+      List.for_all
+        (fun assignment -> Bdd.eval m node assignment = eval_formula assignment f)
+        all_assignments)
+
+let prop_bdd_canonical =
+  qtest ~count:100 "equivalent formulas share one node"
+    (QCheck.pair formula_arbitrary formula_arbitrary) (fun (f, g) ->
+      let m = mgr () in
+      let nf = build m f and ng = build m g in
+      let equivalent =
+        List.for_all
+          (fun a -> eval_formula a f = eval_formula a g)
+          all_assignments
+      in
+      Bdd.equal nf ng = equivalent)
+
+let prop_sat_count =
+  qtest ~count:150 "sat_count matches exhaustive counting" formula_arbitrary
+    (fun f ->
+      let m = mgr () in
+      let node = build m f in
+      let expected =
+        List.length (List.filter (fun a -> eval_formula a f) all_assignments)
+      in
+      Float.abs (Bdd.sat_count m node -. float_of_int expected) < 1e-6)
+
+let prop_exists =
+  qtest ~count:150 "exists v f = f[v:=0] | f[v:=1]"
+    (QCheck.pair formula_arbitrary (QCheck.int_range 0 5)) (fun (f, v) ->
+      let m = mgr () in
+      let node = build m f in
+      let quantified = Bdd.exists m v node in
+      List.for_all
+        (fun a ->
+          let a0 = Array.copy a and a1 = Array.copy a in
+          a0.(v) <- false;
+          a1.(v) <- true;
+          Bdd.eval m quantified a
+          = (eval_formula a0 f || eval_formula a1 f))
+        all_assignments)
+
+let prop_support =
+  qtest ~count:150 "support contains exactly the relevant variables"
+    formula_arbitrary (fun f ->
+      let m = mgr () in
+      let node = build m f in
+      let relevant v =
+        List.exists
+          (fun a ->
+            let flipped = Array.copy a in
+            flipped.(v) <- not flipped.(v);
+            eval_formula a f <> eval_formula flipped f)
+          all_assignments
+      in
+      Bdd.support m node = List.filter relevant [ 0; 1; 2; 3; 4; 5 ])
+
+let prop_any_sat =
+  qtest ~count:150 "any_sat returns a genuine witness" formula_arbitrary
+    (fun f ->
+      let m = mgr () in
+      let node = build m f in
+      match Bdd.any_sat m node with
+      | None -> Bdd.is_zero node
+      | Some partial ->
+        let a = Array.make 6 false in
+        List.iter (fun (v, b) -> a.(v) <- b) partial;
+        Bdd.eval m node a)
+
+let prop_ite_definition =
+  qtest ~count:100 "ite c t e = (c & t) | (~c & e)"
+    (QCheck.triple formula_arbitrary formula_arbitrary formula_arbitrary)
+    (fun (c, t, e) ->
+      let m = mgr () in
+      let nc = build m c and nt = build m t and ne = build m e in
+      let via_ite = Bdd.ite m nc nt ne in
+      List.for_all
+        (fun a ->
+          Bdd.eval m via_ite a
+          = (if eval_formula a c then eval_formula a t else eval_formula a e))
+        all_assignments)
+
+let prop_size_bounded =
+  qtest ~count:100 "size is positive for non-terminals and 0 for constants"
+    formula_arbitrary (fun f ->
+      let m = mgr () in
+      let node = build m f in
+      if Bdd.is_zero node || Bdd.is_one node then Bdd.size m node = 0
+      else Bdd.size m node > 0)
+
+let test_exists_many_empty_and_all () =
+  let m = mgr () in
+  let f = Bdd.mk_and m (Bdd.var m 0) (Bdd.var m 5) in
+  check_bool "empty list is identity" true (Bdd.equal f (Bdd.exists_many m [] f));
+  check_bool "quantifying everything yields one" true
+    (Bdd.is_one (Bdd.exists_many m [ 0; 1; 2; 3; 4; 5 ] f));
+  check_bool "quantifying everything from zero yields zero" true
+    (Bdd.is_zero (Bdd.exists_many m [ 0; 1; 2; 3; 4; 5 ] (Bdd.zero m)))
+
+let test_exists_many_order_independent () =
+  let m = mgr () in
+  let f =
+    Bdd.mk_or m
+      (Bdd.mk_and m (Bdd.var m 0) (Bdd.var m 3))
+      (Bdd.mk_and m (Bdd.var m 1) (Bdd.mk_not m (Bdd.var m 4)))
+  in
+  let a = Bdd.exists_many m [ 0; 3 ] f in
+  let b = Bdd.exists m 3 (Bdd.exists m 0 f) in
+  check_bool "same result" true (Bdd.equal a b)
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic bucket elimination                                         *)
+
+let prop_symbolic_matches_relational =
+  qtest ~count:60 "symbolic satisfiability = oracle (3-COLOR)"
+    graph_arbitrary (fun g ->
+      let cq = coloring_query g in
+      Ppr_core.Symbolic.satisfiable coloring_db cq = brute_force_colorable g)
+
+let prop_symbolic_counts_boolean =
+  qtest ~count:40 "Boolean answer count is 0 or 1" graph_arbitrary (fun g ->
+      let cq = coloring_query g in
+      let count = Ppr_core.Symbolic.answer_count coloring_db cq in
+      Float.abs (count -. if brute_force_colorable g then 1.0 else 0.0) < 1e-6)
+
+let prop_symbolic_counts_free =
+  qtest ~count:40 "free-variable answer count = relational cardinality"
+    tiny_graph_arbitrary (fun g ->
+      let cq =
+        coloring_query ~mode:(Conjunctive.Encode.Fraction 0.4) ~seed:(G.order g)
+          g
+      in
+      let relational =
+        Relalg.Relation.cardinality
+          (Ppr_core.Exec.run coloring_db (Ppr_core.Bucket.compile cq))
+      in
+      Float.abs
+        (Ppr_core.Symbolic.answer_count coloring_db cq
+        -. float_of_int relational)
+      < 1e-6)
+
+let prop_symbolic_sat =
+  qtest ~count:40 "symbolic SAT decision matches brute force"
+    (QCheck.map
+       (fun (num_vars, num_clauses, seed) ->
+         Conjunctive.Cnf.random_ksat ~rng:(rng seed) ~k:3
+           ~num_vars:(max 3 num_vars) ~num_clauses)
+       QCheck.(triple (int_range 3 8) (int_range 1 20) (int_range 0 1000)))
+    (fun cnf ->
+      let cq = Encode.sat_query ~mode:Encode.Boolean cnf in
+      let db = Encode.sat_database cnf in
+      Ppr_core.Symbolic.satisfiable db cq
+      = Conjunctive.Cnf.brute_force_satisfiable cnf)
+
+let test_symbolic_encoding_shape () =
+  let cq = coloring_query Graphlib.Generators.pentagon in
+  let m, result, enc = Ppr_core.Symbolic.run coloring_db cq in
+  (* Colors 1..3 need 2 bits. *)
+  check_int "bits per variable" 2 enc.Ppr_core.Symbolic.bits;
+  check_int "manager variables" 10 (Bdd.num_vars m);
+  check_bool "pentagon satisfiable" true (not (Bdd.is_zero result))
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ( "nodes",
+        [
+          Alcotest.test_case "terminals" `Quick test_terminals;
+          Alcotest.test_case "hash consing" `Quick test_hash_consing;
+        ] );
+      ( "laws",
+        [
+          prop_bdd_matches_formula;
+          prop_bdd_canonical;
+          prop_sat_count;
+          prop_exists;
+          prop_support;
+          prop_any_sat;
+          prop_ite_definition;
+          prop_size_bounded;
+          Alcotest.test_case "exists_many edge cases" `Quick
+            test_exists_many_empty_and_all;
+          Alcotest.test_case "exists_many" `Quick
+            test_exists_many_order_independent;
+        ] );
+      ( "symbolic bucket elimination",
+        [
+          prop_symbolic_matches_relational;
+          prop_symbolic_counts_boolean;
+          prop_symbolic_counts_free;
+          prop_symbolic_sat;
+          Alcotest.test_case "encoding shape" `Quick
+            test_symbolic_encoding_shape;
+        ] );
+    ]

@@ -1,0 +1,248 @@
+(* CSP bridge tests: instance construction, the query translation in
+   both directions, the backtracking solver, and bucket elimination as a
+   CSP decision procedure. *)
+
+open Helpers
+module Instance = Csp.Instance
+module Backtrack = Csp.Backtrack
+module Bucket_solver = Csp.Bucket_solver
+module Encode = Conjunctive.Encode
+module Cq = Conjunctive.Cq
+module Relation = Relalg.Relation
+module G = Graphlib.Graph
+
+let coloring_instance g =
+  Instance.of_query coloring_db (coloring_query g)
+
+(* ------------------------------------------------------------------ *)
+(* Instance                                                            *)
+
+let test_instance_validation () =
+  let allowed = relation [ 0; 1 ] [ [ 1; 2 ] ] in
+  Alcotest.check_raises "scope arity"
+    (Invalid_argument "Instance.make: scope/arity mismatch") (fun () ->
+      ignore
+        (Instance.make ~num_vars:3 ~domain:[ 1 ]
+           ~constraints:[ { Instance.scope = [ 0 ]; allowed } ]));
+  Alcotest.check_raises "repeated scope var"
+    (Invalid_argument "Instance.make: repeated variable in scope") (fun () ->
+      ignore
+        (Instance.make ~num_vars:3 ~domain:[ 1 ]
+           ~constraints:[ { Instance.scope = [ 0; 0 ]; allowed } ]));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Instance.make: scope variable out of range") (fun () ->
+      ignore
+        (Instance.make ~num_vars:1 ~domain:[ 1 ]
+           ~constraints:[ { Instance.scope = [ 0; 5 ]; allowed } ]));
+  Alcotest.check_raises "empty domain"
+    (Invalid_argument "Instance.make: empty domain") (fun () ->
+      ignore (Instance.make ~num_vars:1 ~domain:[] ~constraints:[]))
+
+let test_of_query_shape () =
+  let t = coloring_instance Graphlib.Generators.pentagon in
+  check_int "5 variables" 5 t.Instance.num_vars;
+  check_int "5 constraints" 5 (List.length t.Instance.constraints);
+  Alcotest.(check (list int)) "domain = colors" [ 1; 2; 3 ] t.Instance.domain
+
+let test_satisfied_by () =
+  let t = coloring_instance (Graphlib.Generators.cycle 3) in
+  check_bool "proper coloring accepted" true
+    (Instance.satisfied_by t [| 1; 2; 3 |]);
+  check_bool "monochromatic rejected" false
+    (Instance.satisfied_by t [| 1; 1; 2 |])
+
+let test_to_query_roundtrip () =
+  let t = coloring_instance (Graphlib.Generators.cycle 5) in
+  let cq, db = Instance.to_query t in
+  check_int "atom per constraint" 5 (Cq.atom_count cq);
+  check_bool "boolean query" true (cq.Cq.free = []);
+  check_bool "satisfiable via query" true
+    (Ppr_core.Exec.nonempty db (Ppr_core.Bucket.compile cq))
+
+(* ------------------------------------------------------------------ *)
+(* Backtracking solver                                                 *)
+
+let prop_backtrack_matches_oracle =
+  qtest ~count:60 "backtracking = oracle on colorings" graph_arbitrary (fun g ->
+      match Backtrack.solve (coloring_instance g) with
+      | Backtrack.Satisfiable assignment ->
+        brute_force_colorable g
+        && Instance.satisfied_by (coloring_instance g) assignment
+      | Backtrack.Unsatisfiable -> not (brute_force_colorable g))
+
+let test_backtrack_var_order_respected () =
+  let t = coloring_instance (Graphlib.Generators.path 3) in
+  (* Any fixed order must still find an answer. *)
+  match Backtrack.solve ~var_order:[| 3; 2; 1; 0 |] t with
+  | Backtrack.Satisfiable _ -> ()
+  | Backtrack.Unsatisfiable -> Alcotest.fail "paths are colorable"
+
+let test_count_solutions () =
+  (* A triangle has 3! = 6 proper 3-colorings. *)
+  let t = coloring_instance (Graphlib.Generators.cycle 3) in
+  check_int "triangle colorings" 6 (Backtrack.count_solutions t);
+  check_int "limit respected" 2 (Backtrack.count_solutions ~limit:2 t);
+  (* K4 has none. *)
+  check_int "K4 colorings" 0
+    (Backtrack.count_solutions (coloring_instance (Graphlib.Generators.clique 4)))
+
+let prop_count_matches_query_cardinality =
+  qtest ~count:40 "solution count = full-query cardinality"
+    tiny_graph_arbitrary (fun g ->
+      (* Keep every non-isolated vertex free: the query's answer
+         enumerates all proper colorings. *)
+      let vars =
+        List.filter (fun v -> G.degree g v > 0) (G.vertices g)
+      in
+      match vars with
+      | [] -> true
+      | _ ->
+        let cq =
+          Cq.make
+            ~atoms:
+              (List.map
+                 (fun (u, v) -> { Cq.rel = "edge"; vars = [ u; v ] })
+                 (G.edges g))
+            ~free:vars
+        in
+        let result = Ppr_core.Exec.run coloring_db (Ppr_core.Bucket.compile cq) in
+        let inst = Instance.of_query coloring_db cq in
+        Relation.cardinality result = Backtrack.count_solutions inst)
+
+(* ------------------------------------------------------------------ *)
+(* Bucket elimination as CSP solver                                    *)
+
+let prop_bucket_solver_matches_backtrack =
+  qtest ~count:50 "bucket decision = backtracking decision" graph_arbitrary
+    (fun g ->
+      let t = coloring_instance g in
+      Bucket_solver.satisfiable t
+      = (match Backtrack.solve t with
+        | Backtrack.Satisfiable _ -> true
+        | Backtrack.Unsatisfiable -> false))
+
+let prop_bucket_solver_solutions_valid =
+  qtest ~count:30 "extracted solutions satisfy the instance"
+    tiny_graph_arbitrary (fun g ->
+      let t = coloring_instance g in
+      match Bucket_solver.solution t with
+      | None -> not (brute_force_colorable g)
+      | Some assignment -> Instance.satisfied_by t assignment)
+
+let test_bucket_solver_sat_instance () =
+  (* A 2-SAT instance through the whole pipeline. *)
+  let lit var positive = { Conjunctive.Cnf.var; positive } in
+  let f =
+    Conjunctive.Cnf.make ~num_vars:3
+      ~clauses:
+        [
+          [ lit 0 true; lit 1 true ];
+          [ lit 0 false; lit 2 true ];
+          [ lit 1 false; lit 2 false ];
+        ]
+  in
+  let cq = Encode.sat_query ~mode:Encode.Boolean f in
+  let db = Encode.sat_database f in
+  let t = Instance.of_query db cq in
+  check_bool "satisfiable" true (Bucket_solver.satisfiable t);
+  match Bucket_solver.solution t with
+  | None -> Alcotest.fail "should have a solution"
+  | Some a ->
+    (* Variables were renumbered in sorted order 0,1,2 — unchanged here. *)
+    check_bool "assignment satisfies formula" true
+      (Conjunctive.Cnf.eval f (Array.map (fun v -> v = 1) a))
+
+(* ------------------------------------------------------------------ *)
+(* Arc consistency                                                     *)
+
+let prop_ac3_useless_on_coloring =
+  (* The CSP twin of the semijoin-uselessness claim: every color supports
+     every other, so AC-3 never shrinks a 3-COLOR instance. *)
+  qtest ~count:40 "AC-3 shrinks nothing on coloring instances"
+    graph_arbitrary (fun g ->
+      Csp.Arc_consistency.is_arc_consistent (coloring_instance g))
+
+let test_ac3_propagates_pins () =
+  (* x < y < z as binary "successor" constraints over {0,1,2} with z
+     pinned to 2 forces x = 0, y = 1. *)
+  let succ = relation [ 0; 1 ] [ [ 0; 1 ]; [ 1; 2 ] ] in
+  let pin = relation [ 0 ] [ [ 2 ] ] in
+  let t =
+    Instance.make ~num_vars:3 ~domain:[ 0; 1; 2 ]
+      ~constraints:
+        [
+          { Instance.scope = [ 0; 1 ]; allowed = succ };
+          { Instance.scope = [ 1; 2 ]; allowed = succ };
+          { Instance.scope = [ 2 ]; allowed = pin };
+        ]
+  in
+  let result = Csp.Arc_consistency.run t in
+  check_bool "consistent" false result.Csp.Arc_consistency.emptied;
+  let domain_of v =
+    sorted_rows (Hashtbl.find result.Csp.Arc_consistency.domains v)
+  in
+  Alcotest.(check (list (list int))) "x forced to 0" [ [ 0 ] ] (domain_of 0);
+  Alcotest.(check (list (list int))) "y forced to 1" [ [ 1 ] ] (domain_of 1)
+
+let test_ac3_detects_emptiness () =
+  (* Two contradictory pins on one variable. *)
+  let t =
+    Instance.make ~num_vars:2 ~domain:[ 0; 1 ]
+      ~constraints:
+        [
+          { Instance.scope = [ 0 ]; allowed = relation [ 0 ] [ [ 0 ] ] };
+          { Instance.scope = [ 0; 1 ]; allowed = relation [ 0; 1 ] [ [ 1; 1 ] ] };
+        ]
+  in
+  check_bool "wipeout detected" true (Csp.Arc_consistency.run t).Csp.Arc_consistency.emptied
+
+let prop_ac3_sound =
+  (* AC-3 never deletes a value used by an actual solution. *)
+  qtest ~count:40 "AC-3 keeps all solution values" tiny_graph_arbitrary
+    (fun g ->
+      let t = coloring_instance g in
+      let result = Csp.Arc_consistency.run t in
+      match Backtrack.solve t with
+      | Backtrack.Unsatisfiable -> true
+      | Backtrack.Satisfiable assignment ->
+        (not result.Csp.Arc_consistency.emptied)
+        && Array.for_all Fun.id
+             (Array.mapi
+                (fun v value ->
+                  Relation.mem
+                    (Hashtbl.find result.Csp.Arc_consistency.domains v)
+                    (Relalg.Tuple.of_list [ value ]))
+                assignment))
+
+let () =
+  Alcotest.run "csp"
+    [
+      ( "instance",
+        [
+          Alcotest.test_case "validation" `Quick test_instance_validation;
+          Alcotest.test_case "of_query" `Quick test_of_query_shape;
+          Alcotest.test_case "satisfied_by" `Quick test_satisfied_by;
+          Alcotest.test_case "to_query roundtrip" `Quick test_to_query_roundtrip;
+        ] );
+      ( "backtracking",
+        [
+          prop_backtrack_matches_oracle;
+          Alcotest.test_case "explicit var order" `Quick
+            test_backtrack_var_order_respected;
+          Alcotest.test_case "count solutions" `Quick test_count_solutions;
+          prop_count_matches_query_cardinality;
+        ] );
+      ( "arc consistency",
+        [
+          prop_ac3_useless_on_coloring;
+          Alcotest.test_case "propagates pins" `Quick test_ac3_propagates_pins;
+          Alcotest.test_case "detects wipeout" `Quick test_ac3_detects_emptiness;
+          prop_ac3_sound;
+        ] );
+      ( "bucket solver",
+        [
+          prop_bucket_solver_matches_backtrack;
+          prop_bucket_solver_solutions_valid;
+          Alcotest.test_case "sat pipeline" `Quick test_bucket_solver_sat_instance;
+        ] );
+    ]

@@ -1,0 +1,78 @@
+(* Tests for the experiment harness: median/aggregation logic, cell
+   execution, and the figure registry the bench and CLI dispatch on. *)
+
+open Helpers
+
+let test_median () =
+  Alcotest.(check (float 1e-9)) "odd" 2.0 (Experiments.Sweep.median [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "even" 2.5
+    (Experiments.Sweep.median [ 4.; 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "single" 7.0 (Experiments.Sweep.median [ 7. ]);
+  check_bool "timeouts dominate" true
+    (Experiments.Sweep.median [ 1.0; infinity; infinity ] = infinity);
+  Alcotest.check_raises "empty" (Invalid_argument "Sweep.median: empty")
+    (fun () -> ignore (Experiments.Sweep.median []))
+
+let test_run_cell_aggregates () =
+  let instance ~seed =
+    let g = random_graph ~seed ~n:6 ~m:7 in
+    (coloring_db, coloring_query g)
+  in
+  let cell =
+    Experiments.Sweep.run_cell ~seeds:[ 1; 2; 3 ] ~instance
+      ~meth:Ppr_core.Driver.Bucket_elimination ()
+  in
+  check_bool "no timeouts on tiny instances" true
+    (cell.Experiments.Sweep.timeout_fraction = 0.0);
+  check_bool "finite median" true
+    (Float.is_finite cell.Experiments.Sweep.median_seconds);
+  check_bool "nonempty fraction within [0,1]" true
+    (cell.Experiments.Sweep.nonempty_fraction >= 0.0
+    && cell.Experiments.Sweep.nonempty_fraction <= 1.0)
+
+let test_run_cell_reports_timeouts () =
+  let instance ~seed =
+    let g = Graphlib.Generators.augmented_ladder (10 + (seed mod 2)) in
+    (coloring_db, coloring_query g)
+  in
+  let cell =
+    Experiments.Sweep.run_cell
+      ~limits_factory:(fun () -> Relalg.Limits.create ~max_tuples:50 ())
+      ~seeds:[ 1; 2; 3 ] ~instance ~meth:Ppr_core.Driver.Straightforward ()
+  in
+  Alcotest.(check (float 1e-9)) "all timed out" 1.0
+    cell.Experiments.Sweep.timeout_fraction;
+  check_bool "median is infinite" true
+    (cell.Experiments.Sweep.median_seconds = infinity)
+
+let test_figures_registry () =
+  check_bool "has all core figures" true
+    (List.for_all
+       (fun name -> Experiments.Figures.by_name name <> None)
+       [ "2"; "3"; "4"; "5"; "6"; "7"; "8"; "9"; "sat"; "minibucket";
+         "yannakakis"; "orders"; "weighted"; "relsize"; "symbolic"; "hybrid"; "all" ]);
+  check_bool "unknown rejected" true (Experiments.Figures.by_name "nope" = None);
+  check_bool "names nonempty" true (List.length Experiments.Figures.names >= 17)
+
+let test_one_figure_runs () =
+  (* Smoke-run the cheapest figure end to end at minimal size. *)
+  match Experiments.Figures.by_name "yannakakis" with
+  | None -> Alcotest.fail "figure missing"
+  | Some f -> f ~scale:0.2 ~seeds:1
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "median" `Quick test_median;
+          Alcotest.test_case "cell aggregation" `Quick test_run_cell_aggregates;
+          Alcotest.test_case "timeout reporting" `Quick
+            test_run_cell_reports_timeouts;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "registry" `Quick test_figures_registry;
+          Alcotest.test_case "smoke run" `Quick test_one_figure_runs;
+        ] );
+    ]

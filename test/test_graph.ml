@@ -1,0 +1,383 @@
+(* Tests for the graph toolkit: generators, elimination orders,
+   chordality, tree decompositions, treewidth. *)
+
+open Helpers
+module G = Graphlib.Graph
+module Gen = Graphlib.Generators
+module Order = Graphlib.Order
+module Treedec = Graphlib.Treedec
+module Treewidth = Graphlib.Treewidth
+module Chordal = Graphlib.Chordal
+
+(* ------------------------------------------------------------------ *)
+(* Graph basics                                                        *)
+
+let test_graph_basics () =
+  let g = G.create 4 in
+  check_bool "new edge" true (G.add_edge g 0 1);
+  check_bool "duplicate" false (G.add_edge g 1 0);
+  check_bool "has_edge symmetric" true (G.has_edge g 1 0);
+  check_int "size" 1 (G.size g);
+  check_int "degree" 1 (G.degree g 0);
+  Alcotest.check_raises "self-loop" (Invalid_argument "Graph.add_edge: self-loop")
+    (fun () -> ignore (G.add_edge g 2 2));
+  Alcotest.(check (list (pair int int))) "edges canonical" [ (0, 1) ] (G.edges g)
+
+let test_graph_connectivity () =
+  check_bool "empty connected" true (G.is_connected (G.create 0));
+  check_bool "singleton connected" true (G.is_connected (G.create 1));
+  check_bool "two isolated" false (G.is_connected (G.create 2));
+  check_bool "path connected" true (G.is_connected (Gen.path 5));
+  let g = G.of_edges 4 [ (0, 1); (2, 3) ] in
+  check_bool "two components" false (G.is_connected g)
+
+let test_induced_subgraph () =
+  let g = Gen.cycle 5 in
+  let sub, back = G.induced_subgraph g (G.Iset.of_list [ 0; 1; 2 ]) in
+  check_int "kept vertices" 3 (G.order sub);
+  check_int "kept edges" 2 (G.size sub);
+  Alcotest.(check (array int)) "back map" [| 0; 1; 2 |] back
+
+let test_complete_among () =
+  let g = G.create 5 in
+  G.complete_among g [ 1; 2; 4 ];
+  check_int "clique edges" 3 (G.size g);
+  check_bool "edge present" true (G.has_edge g 1 4)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+let test_random_generator () =
+  let g = random_graph ~seed:1 ~n:10 ~m:20 in
+  check_int "order" 10 (G.order g);
+  check_int "size exact" 20 (G.size g);
+  Alcotest.check_raises "too many edges"
+    (Invalid_argument "Generators.random: 100 edges requested, only 45 possible")
+    (fun () -> ignore (random_graph ~seed:1 ~n:10 ~m:100))
+
+let test_random_deterministic () =
+  let a = random_graph ~seed:42 ~n:8 ~m:12 in
+  let b = random_graph ~seed:42 ~n:8 ~m:12 in
+  check_bool "same seed, same graph" true (G.equal a b);
+  let c = random_graph ~seed:43 ~n:8 ~m:12 in
+  check_bool "different seed differs (overwhelmingly)" false (G.equal a c)
+
+let test_structured_counts () =
+  (* Vertex/edge counts stated in the generator docs (Figure 1). *)
+  let n = 7 in
+  let ap = Gen.augmented_path n in
+  check_int "aug path vertices" (2 * (n + 1)) (G.order ap);
+  check_int "aug path edges" ((2 * n) + 1) (G.size ap);
+  check_bool "aug path is a tree" true
+    (G.is_connected ap && G.size ap = G.order ap - 1);
+  let l = Gen.ladder n in
+  check_int "ladder vertices" (2 * n) (G.order l);
+  check_int "ladder edges" ((3 * n) - 2) (G.size l);
+  let al = Gen.augmented_ladder n in
+  check_int "aug ladder vertices" (4 * n) (G.order al);
+  check_int "aug ladder edges" ((5 * n) - 2) (G.size al);
+  let acl = Gen.augmented_circular_ladder n in
+  check_int "aug circ ladder vertices" (4 * n) (G.order acl);
+  check_int "aug circ ladder edges" (5 * n) (G.size acl)
+
+let test_pentagon () =
+  check_int "pentagon order" 5 (G.order Gen.pentagon);
+  check_int "pentagon size" 5 (G.size Gen.pentagon);
+  check_bool "pentagon = C5" true (G.equal Gen.pentagon (Gen.cycle 5))
+
+let test_grid_and_star () =
+  let g = Gen.grid 3 4 in
+  check_int "grid vertices" 12 (G.order g);
+  check_int "grid edges" 17 (G.size g);
+  let s = Gen.star 6 in
+  check_int "star edges" 6 (G.size s);
+  check_int "star center degree" 6 (G.degree s 0)
+
+(* ------------------------------------------------------------------ *)
+(* Elimination orders                                                  *)
+
+let test_mcs_initial () =
+  let g = Gen.path 4 in
+  let ord = Order.mcs ~initial:[ 3; 1 ] g in
+  check_int "first initial" 3 ord.(0);
+  check_int "second initial" 1 ord.(1);
+  check_bool "permutation" true (Order.is_permutation g ord)
+
+let test_mcs_duplicate_initial () =
+  Alcotest.check_raises "duplicate initial"
+    (Invalid_argument "Order.mcs: duplicate initial vertex") (fun () ->
+      ignore (Order.mcs ~initial:[ 0; 0 ] (Gen.path 3)))
+
+let test_induced_width_known () =
+  (* Trees have width 1 under any decent order; cliques n-1 under all. *)
+  let tree = Gen.augmented_path 5 in
+  check_int "tree width via mcs" 1 (Order.induced_width tree (Order.mcs tree));
+  let k5 = Gen.clique 5 in
+  check_int "clique width" 4 (Order.induced_width k5 (Order.identity k5));
+  let c6 = Gen.cycle 6 in
+  check_int "cycle width via min-fill" 2
+    (Order.induced_width c6 (Order.min_fill c6))
+
+let test_bad_order_wider () =
+  (* On a star, eliminating the center first clutters everything. *)
+  let s = Gen.star 5 in
+  let center_first = Array.of_list (List.rev (G.vertices s)) in
+  (* order.(n-1) = 0 = the center: eliminated first. *)
+  check_int "center-first width" 5 (Order.induced_width s center_first);
+  check_int "leaves-first width" 1 (Order.induced_width s (Order.min_degree s))
+
+let prop_orders_are_permutations =
+  qtest "heuristic orders are permutations" graph_arbitrary (fun g ->
+      Order.is_permutation g (Order.mcs g)
+      && Order.is_permutation g (Order.min_degree g)
+      && Order.is_permutation g (Order.min_fill g))
+
+let prop_fill_graph_contains_original =
+  qtest "fill graph contains the original edges" graph_arbitrary (fun g ->
+      let fill = Order.fill_graph g (Order.mcs g) in
+      List.for_all (fun (u, v) -> G.has_edge fill u v) (G.edges g))
+
+let prop_fill_graph_chordal =
+  qtest "fill graph is chordal" graph_arbitrary (fun g ->
+      Chordal.is_chordal (Order.fill_graph g (Order.min_fill g)))
+
+(* ------------------------------------------------------------------ *)
+(* Chordality                                                          *)
+
+let test_chordal_known () =
+  check_bool "tree chordal" true (Chordal.is_chordal (Gen.augmented_path 6));
+  check_bool "clique chordal" true (Chordal.is_chordal (Gen.clique 6));
+  check_bool "C4 not chordal" false (Chordal.is_chordal (Gen.cycle 4));
+  check_bool "C5 not chordal" false (Chordal.is_chordal (Gen.cycle 5));
+  check_bool "triangle chordal" true (Chordal.is_chordal (Gen.cycle 3))
+
+let test_chordal_peo () =
+  match Chordal.perfect_elimination_order (Gen.clique 4) with
+  | Some ord ->
+    check_bool "peo is permutation" true
+      (Order.is_permutation (Gen.clique 4) ord)
+  | None -> Alcotest.fail "clique must have a PEO"
+
+let test_max_cliques () =
+  let cliques = Chordal.max_cliques (Gen.clique 4) in
+  Alcotest.(check (list (list int))) "K4 single max clique" [ [ 0; 1; 2; 3 ] ]
+    cliques;
+  let path_cliques = Chordal.max_cliques (Gen.path 3) in
+  check_int "path maximal cliques = edges" 3 (List.length path_cliques);
+  Alcotest.check_raises "non-chordal rejected"
+    (Invalid_argument "Chordal.max_cliques: graph is not chordal") (fun () ->
+      ignore (Chordal.max_cliques (Gen.cycle 4)))
+
+let prop_chordal_zero_fill =
+  qtest "chordal graphs need no fill along MCS" graph_arbitrary (fun g ->
+      (not (Chordal.is_chordal g))
+      || G.size (Order.fill_graph g (Order.mcs g)) = G.size g)
+
+(* ------------------------------------------------------------------ *)
+(* Tree decompositions                                                 *)
+
+let prop_decomposition_valid =
+  qtest "decomposition from any heuristic order is valid" graph_arbitrary
+    (fun g ->
+      List.for_all
+        (fun ord -> Treedec.is_valid g (Treedec.of_elimination_order g ord))
+        [ Order.mcs g; Order.min_degree g; Order.min_fill g ])
+
+let prop_decomposition_width_is_induced_width =
+  qtest "decomposition width = induced width" graph_arbitrary (fun g ->
+      let ord = Order.min_fill g in
+      Treedec.width (Treedec.of_elimination_order g ord)
+      = Order.induced_width g ord)
+
+let test_trivial_decomposition () =
+  let g = Gen.cycle 5 in
+  let td = Treedec.trivial g in
+  check_bool "valid" true (Treedec.is_valid g td);
+  check_int "width n-1" 4 (Treedec.width td)
+
+let test_invalid_decomposition_detected () =
+  let g = Gen.path 2 in
+  (* Bags that miss edge (1,2). *)
+  let bad =
+    {
+      Treedec.bags = [| G.Iset.of_list [ 0; 1 ]; G.Iset.of_list [ 2 ] |];
+      tree = G.of_edges 2 [ (0, 1) ];
+    }
+  in
+  check_bool "edge coverage violation detected" false (Treedec.is_valid g bad);
+  (* Disconnected occurrences of vertex 0. *)
+  let bad2 =
+    {
+      Treedec.bags =
+        [|
+          G.Iset.of_list [ 0; 1 ]; G.Iset.of_list [ 1; 2 ]; G.Iset.of_list [ 0 ];
+        |];
+      tree = G.of_edges 3 [ (0, 1); (1, 2) ];
+    }
+  in
+  check_bool "connectivity violation detected" false (Treedec.is_valid g bad2)
+
+(* ------------------------------------------------------------------ *)
+(* Treewidth                                                           *)
+
+let test_treewidth_known_values () =
+  let check_tw name expected g =
+    match Treewidth.exact g with
+    | Some tw -> check_int name expected tw
+    | None -> Alcotest.fail (name ^ ": exact solver refused")
+  in
+  check_tw "tree" 1 (Gen.augmented_path 4);
+  check_tw "cycle" 2 (Gen.cycle 7);
+  check_tw "clique K5" 4 (Gen.clique 5);
+  check_tw "ladder" 2 (Gen.ladder 5);
+  check_tw "augmented ladder" 2 (Gen.augmented_ladder 3);
+  check_tw "circular-augmented ladder" 3 (Gen.augmented_circular_ladder 3);
+  check_tw "3x3 grid" 3 (Gen.grid 3 3);
+  check_tw "star" 1 (Gen.star 8);
+  check_tw "single vertex" 0 (G.create 1)
+
+let test_treewidth_refuses_large () =
+  Alcotest.(check (option int)) "beyond cutoff" None
+    (Treewidth.exact ~max_order:5 (Gen.cycle 6))
+
+let prop_bounds_bracket_exact =
+  qtest "lower <= exact <= upper" tiny_graph_arbitrary (fun g ->
+      match Treewidth.exact g with
+      | None -> true
+      | Some tw ->
+        Treewidth.lower_bound g <= tw && tw <= Treewidth.upper_bound g)
+
+let prop_exact_is_min_over_orders =
+  qtest ~count:30 "exact = min induced width over all orders"
+    (QCheck.map
+       (fun (n, m, seed) ->
+         let m = max 1 (min m (n * (n - 1) / 2)) in
+         random_graph ~seed ~n ~m)
+       QCheck.(triple (int_range 2 5) (int_range 1 10) (int_range 0 1000)))
+    (fun g ->
+      match Treewidth.exact g with
+      | None -> true
+      | Some tw ->
+        let best =
+          List.fold_left
+            (fun acc ord -> min acc (Order.induced_width g ord))
+            max_int (Order.all_orders g)
+        in
+        tw = best)
+
+let prop_best_order_realizes_upper_bound =
+  qtest "best_order realizes upper_bound" graph_arbitrary (fun g ->
+      Order.induced_width g (Treewidth.best_order g) = Treewidth.upper_bound g)
+
+(* ------------------------------------------------------------------ *)
+(* Annealing                                                           *)
+
+let prop_anneal_never_worse =
+  qtest ~count:40 "annealing never increases the induced width"
+    graph_arbitrary (fun g ->
+      let rng = rng (G.size g) in
+      let start = Order.mcs g in
+      let improved, width = Graphlib.Anneal.improve ~rng g start in
+      Order.is_permutation g improved
+      && width = Order.induced_width g improved
+      && width <= Order.induced_width g start)
+
+let prop_anneal_bounded_by_exact =
+  qtest ~count:25 "annealed width >= exact treewidth" tiny_graph_arbitrary
+    (fun g ->
+      match Treewidth.exact g with
+      | None -> true
+      | Some tw ->
+        let _, width = Graphlib.Anneal.anneal ~rng:(rng 7) g in
+        width >= tw)
+
+let test_anneal_fixes_a_bad_order () =
+  (* Start from the pathological center-first star order; annealing must
+     find width 1. *)
+  let s = Gen.star 6 in
+  let center_first = Array.of_list (List.rev (G.vertices s)) in
+  check_int "bad start" 6 (Order.induced_width s center_first);
+  let _, width =
+    Graphlib.Anneal.improve
+      ~params:{ Graphlib.Anneal.default_params with iterations = 5000 }
+      ~rng:(rng 3) s center_first
+  in
+  check_int "annealed to a tree order" 1 width
+
+(* ------------------------------------------------------------------ *)
+(* DOT rendering                                                       *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_dot_output () =
+  let g = Gen.path 2 in
+  let dot = Graphlib.Dot.graph g in
+  check_bool "mentions edge" true (contains dot "n0 -- n1");
+  let td = Treedec.of_elimination_order g (Order.mcs g) in
+  check_bool "td render nonempty" true
+    (String.length (Graphlib.Dot.tree_decomposition td) > 20)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "basics" `Quick test_graph_basics;
+          Alcotest.test_case "connectivity" `Quick test_graph_connectivity;
+          Alcotest.test_case "induced subgraph" `Quick test_induced_subgraph;
+          Alcotest.test_case "complete_among" `Quick test_complete_among;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "random" `Quick test_random_generator;
+          Alcotest.test_case "deterministic" `Quick test_random_deterministic;
+          Alcotest.test_case "structured counts" `Quick test_structured_counts;
+          Alcotest.test_case "pentagon" `Quick test_pentagon;
+          Alcotest.test_case "grid and star" `Quick test_grid_and_star;
+        ] );
+      ( "orders",
+        [
+          Alcotest.test_case "mcs initial" `Quick test_mcs_initial;
+          Alcotest.test_case "mcs duplicate initial" `Quick
+            test_mcs_duplicate_initial;
+          Alcotest.test_case "known widths" `Quick test_induced_width_known;
+          Alcotest.test_case "bad order is wider" `Quick test_bad_order_wider;
+          prop_orders_are_permutations;
+          prop_fill_graph_contains_original;
+          prop_fill_graph_chordal;
+        ] );
+      ( "chordal",
+        [
+          Alcotest.test_case "known graphs" `Quick test_chordal_known;
+          Alcotest.test_case "perfect elimination order" `Quick test_chordal_peo;
+          Alcotest.test_case "max cliques" `Quick test_max_cliques;
+          prop_chordal_zero_fill;
+        ] );
+      ( "tree decomposition",
+        [
+          prop_decomposition_valid;
+          prop_decomposition_width_is_induced_width;
+          Alcotest.test_case "trivial" `Quick test_trivial_decomposition;
+          Alcotest.test_case "invalid detected" `Quick
+            test_invalid_decomposition_detected;
+        ] );
+      ( "treewidth",
+        [
+          Alcotest.test_case "known values" `Quick test_treewidth_known_values;
+          Alcotest.test_case "refuses large" `Quick test_treewidth_refuses_large;
+          prop_bounds_bracket_exact;
+          prop_exact_is_min_over_orders;
+          prop_best_order_realizes_upper_bound;
+        ] );
+      ( "anneal",
+        [
+          prop_anneal_never_worse;
+          prop_anneal_bounded_by_exact;
+          Alcotest.test_case "fixes a bad order" `Quick
+            test_anneal_fixes_a_bad_order;
+        ] );
+      ("dot", [ Alcotest.test_case "rendering" `Quick test_dot_output ]);
+    ]

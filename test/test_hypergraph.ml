@@ -1,0 +1,292 @@
+(* Hypergraph tests: GYO acyclicity, join trees, and the Yannakakis
+   algorithm against the other evaluation strategies. *)
+
+open Helpers
+module H = Hypergraphs.Hypergraph
+module Gyo = Hypergraphs.Gyo
+module Jointree = Hypergraphs.Jointree
+module Yannakakis = Hypergraphs.Yannakakis
+module Encode = Conjunctive.Encode
+module Cq = Conjunctive.Cq
+module G = Graphlib.Graph
+module Relation = Relalg.Relation
+
+(* ------------------------------------------------------------------ *)
+(* Hypergraph basics                                                   *)
+
+let test_hypergraph_construction () =
+  let hg = H.create ~edges:[ [ 0; 1 ]; [ 1; 2; 2 ]; [ 3 ] ] in
+  check_int "edges" 3 (H.edge_count hg);
+  check_int "vertices" 4 (H.vertex_count hg);
+  check_int "duplicate vertices merged" 2 (G.Iset.cardinal (H.edge hg 1));
+  Alcotest.check_raises "empty hyperedge"
+    (Invalid_argument "Hypergraph.create: empty hyperedge") (fun () ->
+      ignore (H.create ~edges:[ [] ]))
+
+let test_primal_graph () =
+  let hg = H.create ~edges:[ [ 0; 1; 2 ]; [ 2; 3 ] ] in
+  let g, to_vertex, of_vertex = H.primal_graph hg in
+  check_int "4 vertices" 4 (G.order g);
+  check_int "triangle + edge" 4 (G.size g);
+  check_int "mapping roundtrip" 3 of_vertex.(Hashtbl.find to_vertex 3)
+
+let test_of_query () =
+  let cq = coloring_query Graphlib.Generators.pentagon in
+  let hg = H.of_query cq in
+  check_int "one edge per atom" 5 (H.edge_count hg)
+
+(* ------------------------------------------------------------------ *)
+(* GYO reduction                                                       *)
+
+let acyclic_cases =
+  [
+    ("single edge", [ [ 0; 1 ] ], true);
+    ("path", [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ] ], true);
+    ("star", [ [ 0; 1 ]; [ 0; 2 ]; [ 0; 3 ] ], true);
+    ("triangle of binary edges", [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ], false);
+    ("triangle covered by ternary", [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ]; [ 0; 1; 2 ] ], true);
+    ("C4", [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 3; 0 ] ], false);
+    ("duplicate edges", [ [ 0; 1 ]; [ 0; 1 ] ], true);
+    ("two components", [ [ 0; 1 ]; [ 2; 3 ] ], true);
+    ("component with cycle", [ [ 0; 1 ]; [ 4; 5 ]; [ 5; 6 ]; [ 6; 4 ] ], false);
+  ]
+
+let test_gyo_known_cases () =
+  List.iter
+    (fun (name, edges, expected) ->
+      check_bool name expected (Gyo.is_acyclic (H.create ~edges)))
+    acyclic_cases
+
+let test_gyo_elimination_complete_when_acyclic () =
+  let hg = H.create ~edges:[ [ 0; 1 ]; [ 1; 2 ]; [ 1; 3 ] ] in
+  let red = Gyo.reduce hg in
+  check_bool "acyclic" true red.Gyo.acyclic;
+  check_int "all edges eliminated" 3 (List.length red.Gyo.elimination)
+
+let prop_tree_queries_acyclic =
+  qtest ~count:40 "tree-shaped coloring queries are acyclic"
+    (QCheck.map
+       (fun n -> Graphlib.Generators.augmented_path n)
+       QCheck.(int_range 1 10))
+    (fun g -> Yannakakis.is_acyclic_query (coloring_query g))
+
+let prop_cyclic_graphs_detected =
+  qtest ~count:40 "queries over graphs with cycles are cyclic"
+    (QCheck.map (fun n -> Graphlib.Generators.cycle n) QCheck.(int_range 3 10))
+    (fun g -> not (Yannakakis.is_acyclic_query (coloring_query g)))
+
+(* ------------------------------------------------------------------ *)
+(* Join trees                                                          *)
+
+let test_jointree_valid_on_acyclic () =
+  let hg = H.create ~edges:[ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 1; 4 ] ] in
+  match Jointree.build hg with
+  | None -> Alcotest.fail "path+branch should be acyclic"
+  | Some jt ->
+    check_bool "valid join tree" true (Jointree.is_valid hg jt);
+    check_int "one root" 1 (List.length (Jointree.roots jt))
+
+let test_jointree_none_on_cyclic () =
+  let hg = H.create ~edges:[ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+  check_bool "no join tree for cyclic" true (Jointree.build hg = None)
+
+let test_jointree_forest_components () =
+  let hg = H.create ~edges:[ [ 0; 1 ]; [ 2; 3 ] ] in
+  match Jointree.build hg with
+  | None -> Alcotest.fail "disconnected acyclic"
+  | Some jt ->
+    check_int "two roots" 2 (List.length (Jointree.roots jt));
+    check_bool "still valid" true (Jointree.is_valid hg jt)
+
+let prop_jointree_valid_on_random_trees =
+  qtest ~count:40 "join trees from GYO are valid"
+    (QCheck.map
+       (fun (n, seed) ->
+         (* Random tree: attach each vertex to a random earlier one. *)
+         let rng = rng seed in
+         let g = G.create n in
+         for v = 1 to n - 1 do
+           ignore (G.add_edge g v (Graphlib.Rng.int rng v))
+         done;
+         g)
+       QCheck.(pair (int_range 2 12) (int_range 0 1000)))
+    (fun g ->
+      let hg = H.of_query (coloring_query g) in
+      match Jointree.build hg with
+      | None -> false
+      | Some jt -> Jointree.is_valid hg jt)
+
+(* ------------------------------------------------------------------ *)
+(* Yannakakis                                                          *)
+
+let test_yannakakis_rejects_cyclic () =
+  let cq = coloring_query (Graphlib.Generators.cycle 5) in
+  check_bool "cyclic query refused" true
+    (Yannakakis.evaluate coloring_db cq = None)
+
+let prop_yannakakis_boolean_agrees =
+  qtest ~count:50 "Yannakakis = oracle on random trees (Boolean)"
+    (QCheck.map
+       (fun (n, seed) ->
+         let rng = rng seed in
+         let g = G.create n in
+         for v = 1 to n - 1 do
+           ignore (G.add_edge g v (Graphlib.Rng.int rng v))
+         done;
+         g)
+       QCheck.(pair (int_range 2 12) (int_range 0 1000)))
+    (fun g ->
+      let cq = coloring_query g in
+      match Yannakakis.evaluate coloring_db cq with
+      | None -> false
+      | Some result ->
+        (not (Relation.is_empty result)) = brute_force_colorable g)
+
+let prop_yannakakis_free_agrees_with_bucket =
+  qtest ~count:40 "Yannakakis = bucket elimination (free variables)"
+    (QCheck.map
+       (fun (n, seed) ->
+         let rng = rng seed in
+         let g = G.create n in
+         for v = 1 to n - 1 do
+           ignore (G.add_edge g v (Graphlib.Rng.int rng v))
+         done;
+         (g, seed))
+       QCheck.(pair (int_range 2 10) (int_range 0 1000)))
+    (fun (g, seed) ->
+      let cq = coloring_query ~mode:(Encode.Fraction 0.3) ~seed g in
+      match Yannakakis.evaluate coloring_db cq with
+      | None -> false
+      | Some result ->
+        let reference =
+          Ppr_core.Exec.run coloring_db (Ppr_core.Bucket.compile cq)
+        in
+        Relation.equal_modulo_order result reference)
+
+let test_yannakakis_intermediate_sizes_bounded () =
+  (* The selling point: on an acyclic query the joins never blow up. *)
+  let g = Graphlib.Generators.augmented_path 20 in
+  let cq = coloring_query g in
+  let stats = Relalg.Stats.create () in
+  match Yannakakis.evaluate ~stats coloring_db cq with
+  | None -> Alcotest.fail "tree should be acyclic"
+  | Some _ ->
+    check_bool "largest intermediate stays small" true
+      (stats.Relalg.Stats.max_cardinality <= 64)
+
+let test_yannakakis_star_query () =
+  (* Star with repeated relation and shared center variable. *)
+  let g = Graphlib.Generators.star 6 in
+  let cq = coloring_query ~mode:(Encode.Fraction 0.3) ~seed:11 g in
+  match Yannakakis.evaluate coloring_db cq with
+  | None -> Alcotest.fail "star is acyclic"
+  | Some result ->
+    let reference = Ppr_core.Exec.run coloring_db (Ppr_core.Bucket.compile cq) in
+    check_bool "matches bucket elimination" true
+      (Relation.equal_modulo_order result reference)
+
+(* ------------------------------------------------------------------ *)
+(* Hypertree decompositions                                            *)
+
+let test_hypertree_acyclic_width_one () =
+  (* Path hypergraph: acyclic, so generalized hypertree width 1. *)
+  let hg = H.create ~edges:[ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ] ] in
+  let w, htd = Hypergraphs.Hypertree.ghw_upper_bound hg in
+  check_int "width 1" 1 w;
+  check_bool "valid" true (Hypergraphs.Hypertree.is_valid hg htd)
+
+let test_hypertree_triangle_width_two () =
+  let hg = H.create ~edges:[ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+  let w, htd = Hypergraphs.Hypertree.ghw_upper_bound hg in
+  check_int "triangle needs two edges per bag" 2 w;
+  check_bool "valid" true (Hypergraphs.Hypertree.is_valid hg htd)
+
+let test_hypertree_ternary_cover () =
+  (* A wide hyperedge covers its whole clique alone. *)
+  let hg = H.create ~edges:[ [ 0; 1; 2; 3 ]; [ 3; 4 ] ] in
+  let w, htd = Hypergraphs.Hypertree.ghw_upper_bound hg in
+  check_int "one edge per bag" 1 w;
+  check_bool "valid" true (Hypergraphs.Hypertree.is_valid hg htd)
+
+let test_hypertree_validator_rejects_bad_cover () =
+  let hg = H.create ~edges:[ [ 0; 1 ]; [ 1; 2 ] ] in
+  let _, htd = Hypergraphs.Hypertree.ghw_upper_bound hg in
+  let bad = { htd with Hypergraphs.Hypertree.lambda = Array.map (fun _ -> []) htd.Hypergraphs.Hypertree.lambda } in
+  check_bool "empty covers rejected" false (Hypergraphs.Hypertree.is_valid hg bad)
+
+let prop_hypertree_valid_and_bounded =
+  qtest ~count:50 "heuristic GHD is valid, and width <= treewidth+1"
+    graph_arbitrary (fun g ->
+      let cq = coloring_query g in
+      let hg = H.of_query cq in
+      let w, htd = Hypergraphs.Hypertree.ghw_upper_bound hg in
+      let primal, _, _ = H.primal_graph hg in
+      Hypergraphs.Hypertree.is_valid hg htd
+      && w >= 1
+      && w <= Graphlib.Treewidth.upper_bound primal + 1)
+
+let prop_hypertree_acyclic_iff_width_one =
+  qtest ~count:40 "acyclic implies heuristic width 1"
+    (QCheck.map
+       (fun (n, seed) ->
+         let rng = rng seed in
+         let g = G.create n in
+         for v = 1 to n - 1 do
+           ignore (G.add_edge g v (Graphlib.Rng.int rng v))
+         done;
+         g)
+       QCheck.(pair (int_range 2 12) (int_range 0 1000)))
+    (fun g ->
+      let hg = H.of_query (coloring_query g) in
+      let w, _ = Hypergraphs.Hypertree.ghw_upper_bound hg in
+      w = 1)
+
+let () =
+  Alcotest.run "hypergraph"
+    [
+      ( "hypergraph",
+        [
+          Alcotest.test_case "construction" `Quick test_hypergraph_construction;
+          Alcotest.test_case "primal graph" `Quick test_primal_graph;
+          Alcotest.test_case "of_query" `Quick test_of_query;
+        ] );
+      ( "gyo",
+        [
+          Alcotest.test_case "known cases" `Quick test_gyo_known_cases;
+          Alcotest.test_case "elimination complete" `Quick
+            test_gyo_elimination_complete_when_acyclic;
+          prop_tree_queries_acyclic;
+          prop_cyclic_graphs_detected;
+        ] );
+      ( "join tree",
+        [
+          Alcotest.test_case "valid on acyclic" `Quick
+            test_jointree_valid_on_acyclic;
+          Alcotest.test_case "none on cyclic" `Quick test_jointree_none_on_cyclic;
+          Alcotest.test_case "forest components" `Quick
+            test_jointree_forest_components;
+          prop_jointree_valid_on_random_trees;
+        ] );
+      ( "hypertree",
+        [
+          Alcotest.test_case "acyclic width 1" `Quick
+            test_hypertree_acyclic_width_one;
+          Alcotest.test_case "triangle width 2" `Quick
+            test_hypertree_triangle_width_two;
+          Alcotest.test_case "wide edge covers alone" `Quick
+            test_hypertree_ternary_cover;
+          Alcotest.test_case "bad cover rejected" `Quick
+            test_hypertree_validator_rejects_bad_cover;
+          prop_hypertree_valid_and_bounded;
+          prop_hypertree_acyclic_iff_width_one;
+        ] );
+      ( "yannakakis",
+        [
+          Alcotest.test_case "rejects cyclic" `Quick test_yannakakis_rejects_cyclic;
+          prop_yannakakis_boolean_agrees;
+          prop_yannakakis_free_agrees_with_bucket;
+          Alcotest.test_case "bounded intermediates" `Quick
+            test_yannakakis_intermediate_sizes_bounded;
+          Alcotest.test_case "star query" `Quick test_yannakakis_star_query;
+        ] );
+    ]

@@ -1,0 +1,242 @@
+(* Join-expression trees and the paper's Theorem 1: the join width of a
+   project-join query is the treewidth of its join graph plus one. The
+   conversions of Algorithms 1-3 are exercised in both directions. *)
+
+open Helpers
+module Cq = Conjunctive.Cq
+module Jet = Conjunctive.Jet
+module Joingraph = Conjunctive.Joingraph
+module Encode = Conjunctive.Encode
+module G = Graphlib.Graph
+module Order = Graphlib.Order
+module Treedec = Graphlib.Treedec
+module Treewidth = Graphlib.Treewidth
+
+let jet_of ?(mode = Encode.Boolean) ?(order_of = Treewidth.best_order) g =
+  let cq = coloring_query ~mode g in
+  let jg = Joingraph.build cq in
+  let ord = order_of jg.Joingraph.graph in
+  let td = Treedec.of_elimination_order jg.Joingraph.graph ord in
+  (cq, jg, td, Jet.of_tree_decomposition cq jg td)
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests on the pentagon (the paper's running example).           *)
+
+let test_pentagon_jet () =
+  let cq, _, _, jet = jet_of Graphlib.Generators.pentagon in
+  check_bool "valid" true (Jet.is_valid cq jet);
+  (* tw(C5) = 2, so the join width is 3. *)
+  check_int "width tw+1" 3 (Jet.width jet);
+  check_int "one leaf per atom + internal nodes" 5
+    (List.length
+       (List.filter Option.is_some (Array.to_list jet.Jet.leaf_atom)))
+
+let test_pentagon_jet_to_decomposition () =
+  let cq, jg, _, jet = jet_of Graphlib.Generators.pentagon in
+  let td = Jet.to_tree_decomposition cq jg jet in
+  check_bool "Algorithm 1 output is a valid decomposition" true
+    (Treedec.is_valid jg.Joingraph.graph td);
+  check_int "width drops by one" (Jet.width jet - 1) (Treedec.width td)
+
+let test_single_atom_query () =
+  let cq = Cq.make ~atoms:[ { Cq.rel = "edge"; vars = [ 0; 1 ] } ] ~free:[] in
+  let jg = Joingraph.build cq in
+  let td = Treedec.of_elimination_order jg.Joingraph.graph (Order.mcs jg.Joingraph.graph) in
+  let jet = Jet.of_tree_decomposition cq jg td in
+  check_bool "valid" true (Jet.is_valid cq jet);
+  check_int "width = atom arity" 2 (Jet.width jet)
+
+let test_mark_and_sweep_hosts_all_atoms () =
+  let cq = coloring_query (Graphlib.Generators.ladder 4) in
+  let jg = Joingraph.build cq in
+  let td =
+    Treedec.of_elimination_order jg.Joingraph.graph
+      (Treewidth.best_order jg.Joingraph.graph)
+  in
+  let simplified, hosts, _root = Jet.mark_and_sweep cq jg td in
+  Array.iteri
+    (fun atom_idx host ->
+      let atom = List.nth cq.Cq.atoms atom_idx in
+      let vset =
+        Jet.Iset.of_list
+          (List.map (Hashtbl.find jg.Joingraph.to_vertex) (Cq.atom_vars atom))
+      in
+      check_bool "host bag covers atom" true
+        (Jet.Iset.subset vset simplified.Treedec.bags.(host)))
+    hosts;
+  check_bool "simplified decomposition no wider" true
+    (Treedec.width simplified <= Treedec.width td)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1, property-tested on random graphs.                        *)
+
+(* Direction 1 (Lemma 3): from a tree decomposition of width k we get a
+   join-expression tree of width <= k+1 — with the optimal decomposition,
+   width exactly tw+1 by combining with direction 2. *)
+let prop_jet_from_decomposition_valid =
+  qtest ~count:80 "Algorithm 2+3 produce a valid jet" graph_arbitrary (fun g ->
+      let cq, _, _, jet = jet_of g in
+      Jet.is_valid cq jet)
+
+let prop_jet_width_bounded =
+  qtest ~count:80 "jet width <= decomposition width + 1" graph_arbitrary
+    (fun g ->
+      let _, _, td, jet = jet_of g in
+      Jet.width jet <= Treedec.width td + 1)
+
+(* Direction 2 (Lemma 1): any jet reinterprets as a tree decomposition of
+   width (jet width - 1); hence jet width >= tw+1. *)
+let prop_jet_to_decomposition_valid =
+  qtest ~count:80 "Algorithm 1 yields a valid decomposition" graph_arbitrary
+    (fun g ->
+      let cq, jg, _, jet = jet_of g in
+      let td = Jet.to_tree_decomposition cq jg jet in
+      Treedec.is_valid jg.Joingraph.graph td
+      && Treedec.width td = Jet.width jet - 1)
+
+(* Both directions together on exactly-solved instances: join width
+   realized by the optimal order equals treewidth + 1. *)
+let prop_theorem1_exact =
+  qtest ~count:40 "Theorem 1: join width = treewidth + 1" tiny_graph_arbitrary
+    (fun g ->
+      let cq = coloring_query g in
+      let jg = Joingraph.build cq in
+      match Treewidth.exact jg.Joingraph.graph with
+      | None -> true
+      | Some tw ->
+        (* Optimal width is achieved by some elimination order; find it
+           exhaustively on these tiny graphs. *)
+        let best_order =
+          List.fold_left
+            (fun best ord ->
+              if
+                Order.induced_width jg.Joingraph.graph ord
+                < Order.induced_width jg.Joingraph.graph best
+              then ord
+              else best)
+            (Order.mcs jg.Joingraph.graph)
+            (Order.all_orders jg.Joingraph.graph)
+        in
+        let td = Treedec.of_elimination_order jg.Joingraph.graph best_order in
+        let jet = Jet.of_tree_decomposition cq jg td in
+        (* Upper bound realized... *)
+        Jet.width jet <= tw + 1
+        (* ...and no jet can do better, by Lemma 1: its decomposition
+           would beat the treewidth. *)
+        && Jet.width jet >= tw + 1)
+
+(* Third, fully independent verification: a direct DP over all binary
+   join-expression trees. *)
+let prop_theorem1_via_dp =
+  qtest ~count:40 "Theorem 1: exact join-width DP = treewidth + 1"
+    tiny_graph_arbitrary (fun g ->
+      let cq = coloring_query g in
+      let jg = Joingraph.build cq in
+      match
+        (Jet.exact_join_width cq, Treewidth.exact jg.Joingraph.graph)
+      with
+      | Some w, Some tw -> w = tw + 1
+      | _ -> true)
+
+let prop_theorem1_via_dp_non_boolean =
+  qtest ~count:30 "join-width DP = treewidth + 1 with free variables"
+    tiny_graph_arbitrary (fun g ->
+      let cq = coloring_query ~mode:(Encode.Fraction 0.3) ~seed:(G.size g) g in
+      let jg = Joingraph.build cq in
+      match
+        (Jet.exact_join_width cq, Treewidth.exact jg.Joingraph.graph)
+      with
+      | Some w, Some tw -> w = tw + 1
+      | _ -> true)
+
+let prop_heuristic_at_least_exact =
+  qtest ~count:40 "heuristic jet width >= exact join width"
+    tiny_graph_arbitrary (fun g ->
+      let cq = coloring_query g in
+      match Jet.exact_join_width cq with
+      | None -> true
+      | Some w -> Jet.width (Jet.heuristic cq) >= w)
+
+(* Non-Boolean queries: the theorem extends with the target schema added
+   to the join graph as a clique. *)
+let prop_theorem1_non_boolean =
+  qtest ~count:40 "Theorem 1 with free variables" tiny_graph_arbitrary (fun g ->
+      let cq = coloring_query ~mode:(Encode.Fraction 0.3) ~seed:(G.size g) g in
+      let jg = Joingraph.build cq in
+      let cq_ok =
+        let jet = Jet.heuristic cq in
+        Jet.is_valid cq jet
+        &&
+        let td = Jet.to_tree_decomposition cq jg jet in
+        Treedec.is_valid jg.Joingraph.graph td
+      in
+      cq_ok)
+
+let prop_free_vars_reach_root =
+  qtest ~count:60 "free variables survive to the root" graph_arbitrary (fun g ->
+      let cq = coloring_query ~mode:(Encode.Fraction 0.4) ~seed:(G.order g) g in
+      let jet = Jet.heuristic cq in
+      let free = Jet.Iset.of_list cq.Cq.free in
+      Jet.Iset.subset free jet.Jet.projected.(jet.Jet.root))
+
+(* The heuristic jet under the trivial one-bag decomposition: widths
+   equal the full variable count (sanity of the width definition). *)
+let test_trivial_decomposition_jet () =
+  let g = Graphlib.Generators.cycle 4 in
+  let cq = coloring_query g in
+  let jg = Joingraph.build cq in
+  let td = Treedec.trivial jg.Joingraph.graph in
+  let jet = Jet.of_tree_decomposition cq jg td in
+  check_bool "valid" true (Jet.is_valid cq jet);
+  check_bool "width within n" true (Jet.width jet <= 4)
+
+(* Disconnected queries: mark-and-sweep must bridge components. *)
+let test_disconnected_query () =
+  let g = G.of_edges 6 [ (0, 1); (2, 3); (4, 5) ] in
+  let cq, jg, _, jet = jet_of g in
+  check_bool "valid on disconnected join graph" true (Jet.is_valid cq jet);
+  let td = Jet.to_tree_decomposition cq jg jet in
+  check_bool "decomposition still valid" true
+    (Treedec.is_valid jg.Joingraph.graph td)
+
+let test_is_valid_rejects_corruption () =
+  let _, _, _, jet = jet_of Graphlib.Generators.pentagon in
+  let cq = coloring_query Graphlib.Generators.pentagon in
+  (* Corrupt a working label. *)
+  let bad = { jet with Jet.working = Array.copy jet.Jet.working } in
+  bad.Jet.working.(bad.Jet.root) <- Jet.Iset.add 99 bad.Jet.working.(bad.Jet.root);
+  check_bool "corrupted labels rejected" false (Jet.is_valid cq bad)
+
+let () =
+  Alcotest.run "jet"
+    [
+      ( "pentagon",
+        [
+          Alcotest.test_case "jet construction" `Quick test_pentagon_jet;
+          Alcotest.test_case "jet -> decomposition" `Quick
+            test_pentagon_jet_to_decomposition;
+          Alcotest.test_case "single atom" `Quick test_single_atom_query;
+          Alcotest.test_case "mark-and-sweep hosts" `Quick
+            test_mark_and_sweep_hosts_all_atoms;
+        ] );
+      ( "theorem 1",
+        [
+          prop_jet_from_decomposition_valid;
+          prop_jet_width_bounded;
+          prop_jet_to_decomposition_valid;
+          prop_theorem1_exact;
+          prop_theorem1_via_dp;
+          prop_theorem1_via_dp_non_boolean;
+          prop_heuristic_at_least_exact;
+          prop_theorem1_non_boolean;
+          prop_free_vars_reach_root;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "trivial decomposition" `Quick
+            test_trivial_decomposition_jet;
+          Alcotest.test_case "disconnected query" `Quick test_disconnected_query;
+          Alcotest.test_case "corruption rejected" `Quick
+            test_is_valid_rejects_corruption;
+        ] );
+    ]

@@ -1,0 +1,315 @@
+(* Chandra–Merlin machinery: canonical databases, homomorphisms,
+   containment, and core minimization — all decided through bucket
+   elimination, as the paper's conclusion proposes. *)
+
+open Helpers
+module Cq = Conjunctive.Cq
+module Hom = Minimize.Homomorphism
+module Core_of = Minimize.Core_of
+module Relation = Relalg.Relation
+module G = Graphlib.Graph
+
+let edge u v = { Cq.rel = "edge"; vars = [ u; v ] }
+let q atoms free = Cq.make ~atoms ~free
+
+(* ------------------------------------------------------------------ *)
+(* Canonical database                                                  *)
+
+let test_canonical_database () =
+  let cq = q [ edge 10 20; edge 20 30 ] [] in
+  let db, code = Hom.canonical_database cq in
+  let rel = Conjunctive.Database.find db "edge" in
+  check_int "two tuples" 2 (Relation.cardinality rel);
+  check_int "codes dense" 3 (Hashtbl.length code);
+  check_bool "first atom frozen" true
+    (Relation.mem rel
+       (Relalg.Tuple.of_list [ Hashtbl.find code 10; Hashtbl.find code 20 ]))
+
+let test_canonical_database_arity_clash () =
+  let bad =
+    q [ { Cq.rel = "r"; vars = [ 0; 1 ] }; { Cq.rel = "r"; vars = [ 0; 1; 2 ] } ] []
+  in
+  Alcotest.check_raises "arity clash"
+    (Invalid_argument "Homomorphism: relation r used with arities 2 and 3")
+    (fun () -> ignore (Hom.canonical_database bad))
+
+(* ------------------------------------------------------------------ *)
+(* Homomorphisms                                                       *)
+
+let verify_hom from_ into assignment =
+  (* Check the witness really is a homomorphism. *)
+  let map v = List.assoc v assignment in
+  List.for_all
+    (fun atom ->
+      List.exists
+        (fun atom' ->
+          atom.Cq.rel = atom'.Cq.rel
+          && List.map map atom.Cq.vars = atom'.Cq.vars)
+        into.Cq.atoms)
+    from_.Cq.atoms
+  && List.for_all2 (fun a b -> map a = b) from_.Cq.free into.Cq.free
+
+let test_hom_path_into_edge () =
+  (* A Boolean path of length 2 maps into a single edge by folding. *)
+  let path = q [ edge 0 1; edge 1 2 ] [] in
+  let loop = q [ edge 0 1; edge 1 0 ] [] in
+  match Hom.homomorphism ~from_:path ~into:loop with
+  | None -> Alcotest.fail "path must fold into the 2-loop"
+  | Some h -> check_bool "witness valid" true (verify_hom path loop h)
+
+let test_hom_respects_direction () =
+  (* Atoms are directed tuples: containment quantifies over all
+     databases, so edge(x,y) and edge(y,x) are different constraints
+     even though the 3-COLOR database happens to be symmetric. *)
+  let triangle = q [ edge 0 1; edge 1 2; edge 2 0 ] [] in
+  let two_loop = q [ edge 0 1; edge 1 0 ] [] in
+  check_bool "directed triangle does not 2-fold" false
+    (Hom.exists_homomorphism ~from_:triangle ~into:two_loop);
+  check_bool "single atom maps anywhere with its symbol" true
+    (Hom.exists_homomorphism ~from_:(q [ edge 0 1 ] []) ~into:triangle);
+  check_bool "2-loop needs a 2-loop" false
+    (Hom.exists_homomorphism ~from_:two_loop ~into:triangle)
+
+let test_hom_head_preservation () =
+  (* With free variables the mapping is pinned positionally. *)
+  let q1 = q [ edge 0 1 ] [ 0 ] in
+  let q2 = q [ edge 5 6 ] [ 6 ] in
+  (* 0 must map to 6, but 0 is the source of the edge and 6 the target:
+     edge(6,?) does not exist in q2's canonical database. *)
+  check_bool "head blocks the fold" false
+    (Hom.exists_homomorphism ~from_:q1 ~into:q2);
+  let q3 = q [ edge 5 6 ] [ 5 ] in
+  check_bool "aligned heads succeed" true
+    (Hom.exists_homomorphism ~from_:q1 ~into:q3)
+
+let test_hom_size_mismatch () =
+  Alcotest.check_raises "schema size"
+    (Invalid_argument "Homomorphism: target schemas have different sizes")
+    (fun () ->
+      ignore
+        (Hom.exists_homomorphism ~from_:(q [ edge 0 1 ] [ 0 ])
+           ~into:(q [ edge 0 1 ] [])))
+
+let prop_hom_witnesses_valid =
+  qtest ~count:30 "extracted witnesses are homomorphisms"
+    (QCheck.pair tiny_graph_arbitrary tiny_graph_arbitrary) (fun (g1, g2) ->
+      let q1 = coloring_query g1 and q2 = coloring_query g2 in
+      match Hom.homomorphism ~from_:q1 ~into:q2 with
+      | None -> true
+      | Some h -> verify_hom q1 q2 h)
+
+let prop_hom_reflexive =
+  qtest ~count:30 "every query maps into itself" tiny_graph_arbitrary (fun g ->
+      let cq = coloring_query g in
+      Hom.exists_homomorphism ~from_:cq ~into:cq)
+
+(* Ground truth by brute force: a CQ homomorphism between Boolean
+   coloring queries is a homomorphism of the atom *digraphs* (atoms are
+   directed tuples). *)
+let digraph_hom_exists arcs_g vars_g arcs_h vars_h =
+  let vars_g = Array.of_list vars_g and vars_h = Array.of_list vars_h in
+  let n = Array.length vars_g in
+  let assignment = Hashtbl.create n in
+  let rec go i =
+    if i >= n then
+      List.for_all
+        (fun (u, v) ->
+          List.mem (Hashtbl.find assignment u, Hashtbl.find assignment v) arcs_h)
+        arcs_g
+    else
+      Array.exists
+        (fun img ->
+          Hashtbl.replace assignment vars_g.(i) img;
+          let ok = go (i + 1) in
+          Hashtbl.remove assignment vars_g.(i);
+          ok)
+        vars_h
+  in
+  go 0
+
+let prop_hom_matches_digraph_homomorphism =
+  qtest ~count:25 "CQ homomorphism = atom-digraph homomorphism"
+    (QCheck.pair tiny_graph_arbitrary tiny_graph_arbitrary) (fun (g, h) ->
+      let q1 = coloring_query g and q2 = coloring_query h in
+      let arcs q =
+        List.map
+          (fun a ->
+            match a.Cq.vars with [ u; v ] -> (u, v) | _ -> assert false)
+          q.Cq.atoms
+      in
+      Hom.exists_homomorphism ~from_:q1 ~into:q2
+      = digraph_hom_exists (arcs q1) (Cq.vars q1) (arcs q2) (Cq.vars q2))
+
+(* ------------------------------------------------------------------ *)
+(* Containment and equivalence                                         *)
+
+let test_containment_adding_atoms_restricts () =
+  let small = q [ edge 0 1 ] [ 0 ] in
+  let big = q [ edge 0 1; edge 1 2 ] [ 0 ] in
+  check_bool "big contained in small" true (Hom.contained big small);
+  (* And in fact they are equivalent: edge(1,2) folds onto edge(0,1)'s
+     image... no — 1 would need to map to both targets; check. *)
+  check_bool "small contained in big iff fold exists"
+    (Hom.exists_homomorphism ~from_:big ~into:small)
+    (Hom.contained small big)
+
+let test_equivalent_renaming () =
+  let q1 = q [ edge 0 1; edge 1 2 ] [ 0 ] in
+  let q2 = q [ edge 7 3; edge 3 9 ] [ 7 ] in
+  check_bool "alpha-equivalent queries" true (Hom.equivalent q1 q2)
+
+(* ------------------------------------------------------------------ *)
+(* Core minimization                                                   *)
+
+let test_minimize_duplicate_atoms () =
+  let redundant = q [ edge 0 1; edge 0 1; edge 0 1 ] [] in
+  let core, removed = Core_of.minimize redundant in
+  check_int "two dropped" 2 removed;
+  check_int "one atom" 1 (Cq.atom_count core)
+
+let test_minimize_fan () =
+  (* edge(x,y) /\ edge(x,z) Boolean: z folds onto y. *)
+  let fan = q [ edge 0 1; edge 0 2 ] [] in
+  let core, removed = Core_of.minimize fan in
+  check_int "one dropped" 1 removed;
+  check_int "single atom core" 1 (Cq.atom_count core)
+
+let test_minimize_respects_free () =
+  (* Same fan, but both leaves are free: nothing can fold. *)
+  let fan = q [ edge 0 1; edge 0 2 ] [ 1; 2 ] in
+  let core, removed = Core_of.minimize fan in
+  check_int "nothing dropped" 0 removed;
+  check_int "both atoms stay" 2 (Cq.atom_count core)
+
+let test_minimize_triangle_minimal () =
+  let triangle = q [ edge 0 1; edge 1 2; edge 2 0 ] [] in
+  let _, removed = Core_of.minimize triangle in
+  check_int "triangle is a core" 0 removed;
+  check_bool "is_minimal" true (Core_of.is_minimal triangle)
+
+let test_minimize_shared_target () =
+  (* edge(x,y) /\ edge(z,y): z folds onto x. *)
+  let shared = q [ edge 0 1; edge 2 1 ] [] in
+  let core, removed = Core_of.minimize shared in
+  check_int "one dropped" 1 removed;
+  check_int "single atom core" 1 (Cq.atom_count core)
+
+let test_minimize_directed_c4 () =
+  (* The directed 4-cycle is its own core: a cycle cannot map into the
+     acyclic digraph left after dropping any atom. *)
+  let c4 = q [ edge 0 1; edge 1 2; edge 2 3; edge 3 0 ] [] in
+  let _, removed = Core_of.minimize c4 in
+  check_int "directed C4 is minimal" 0 removed;
+  (* Its symmetric closure, however, folds onto a 2-loop via parity. *)
+  let sym_c4 =
+    q
+      [
+        edge 0 1; edge 1 0; edge 1 2; edge 2 1;
+        edge 2 3; edge 3 2; edge 3 0; edge 0 3;
+      ]
+      []
+  in
+  let core, _ = Core_of.minimize sym_c4 in
+  check_int "symmetric C4 folds to the 2-loop" 2 (Cq.atom_count core);
+  check_bool "core equivalent" true (Hom.equivalent sym_c4 core)
+
+let test_minimize_multi_symbol () =
+  (* Dropping an atom can remove a relation symbol entirely; the
+     containment test must then fail cleanly (the symbol is empty in the
+     canonical database), not crash. Regression for a Not_found. *)
+  let q =
+    Cq.make
+      ~atoms:
+        [
+          { Cq.rel = "r"; vars = [ 0; 1 ] };
+          { Cq.rel = "s"; vars = [ 1; 2 ] };
+          { Cq.rel = "r"; vars = [ 0; 1 ] };
+        ]
+      ~free:[]
+  in
+  let core, removed = Core_of.minimize q in
+  check_int "duplicate r dropped, s kept" 1 removed;
+  check_int "core atoms" 2 (Cq.atom_count core);
+  check_bool "s survives" true
+    (List.exists (fun a -> a.Cq.rel = "s") core.Cq.atoms)
+
+let prop_minimize_sat_queries =
+  qtest ~count:20 "minimization terminates and preserves SAT queries"
+    (QCheck.map
+       (fun (n, m, seed) ->
+         Conjunctive.Cnf.random_ksat ~rng:(rng seed) ~k:3 ~num_vars:(max 3 n)
+           ~num_clauses:m)
+       QCheck.(triple (int_range 3 6) (int_range 1 10) (int_range 0 1000)))
+    (fun cnf ->
+      let cq = Conjunctive.Encode.sat_query ~mode:Conjunctive.Encode.Boolean cnf in
+      let core, _ = Core_of.minimize cq in
+      Hom.equivalent cq core)
+
+let prop_minimize_equivalent =
+  qtest ~count:20 "core is equivalent to the original" tiny_graph_arbitrary
+    (fun g ->
+      let cq = coloring_query g in
+      let core, _ = Core_of.minimize cq in
+      Hom.equivalent cq core)
+
+let prop_minimize_idempotent =
+  qtest ~count:20 "minimize is idempotent" tiny_graph_arbitrary (fun g ->
+      let cq = coloring_query g in
+      let core, _ = Core_of.minimize cq in
+      Core_of.is_minimal core && snd (Core_of.minimize core) = 0)
+
+let prop_minimize_preserves_answers =
+  qtest ~count:20 "core computes the same answers" tiny_graph_arbitrary
+    (fun g ->
+      let cq = coloring_query ~mode:(Conjunctive.Encode.Fraction 0.3)
+          ~seed:(G.order g) g
+      in
+      let core, _ = Core_of.minimize cq in
+      let run q = Ppr_core.Exec.run coloring_db (Ppr_core.Bucket.compile q) in
+      Relation.equal_modulo_order (run cq) (run core))
+
+let () =
+  Alcotest.run "minimize"
+    [
+      ( "canonical database",
+        [
+          Alcotest.test_case "construction" `Quick test_canonical_database;
+          Alcotest.test_case "arity clash" `Quick
+            test_canonical_database_arity_clash;
+        ] );
+      ( "homomorphism",
+        [
+          Alcotest.test_case "path folds" `Quick test_hom_path_into_edge;
+          Alcotest.test_case "direction matters" `Quick
+            test_hom_respects_direction;
+          Alcotest.test_case "head preserved" `Quick test_hom_head_preservation;
+          Alcotest.test_case "size mismatch" `Quick test_hom_size_mismatch;
+          prop_hom_witnesses_valid;
+          prop_hom_reflexive;
+          prop_hom_matches_digraph_homomorphism;
+        ] );
+      ( "containment",
+        [
+          Alcotest.test_case "atoms restrict" `Quick
+            test_containment_adding_atoms_restricts;
+          Alcotest.test_case "alpha equivalence" `Quick test_equivalent_renaming;
+        ] );
+      ( "core",
+        [
+          Alcotest.test_case "duplicates" `Quick test_minimize_duplicate_atoms;
+          Alcotest.test_case "fan folds" `Quick test_minimize_fan;
+          Alcotest.test_case "free vars pin" `Quick test_minimize_respects_free;
+          Alcotest.test_case "triangle minimal" `Quick
+            test_minimize_triangle_minimal;
+          Alcotest.test_case "shared target folds" `Quick
+            test_minimize_shared_target;
+          Alcotest.test_case "directed C4 folds" `Quick
+            test_minimize_directed_c4;
+          Alcotest.test_case "multi-symbol drop" `Quick
+            test_minimize_multi_symbol;
+          prop_minimize_sat_queries;
+          prop_minimize_equivalent;
+          prop_minimize_idempotent;
+          prop_minimize_preserves_answers;
+        ] );
+    ]

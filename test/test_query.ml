@@ -1,0 +1,411 @@
+(* Tests for conjunctive queries, join graphs, encoders and databases. *)
+
+open Helpers
+module Cq = Conjunctive.Cq
+module Encode = Conjunctive.Encode
+module Cnf = Conjunctive.Cnf
+module Database = Conjunctive.Database
+module Joingraph = Conjunctive.Joingraph
+module G = Graphlib.Graph
+module Relation = Relalg.Relation
+
+let edge u v = { Cq.rel = "edge"; vars = [ u; v ] }
+
+(* ------------------------------------------------------------------ *)
+(* Cq                                                                  *)
+
+let test_cq_invariants () =
+  Alcotest.check_raises "free var must occur"
+    (Invalid_argument "Cq.make: free variable v9 occurs in no atom") (fun () ->
+      ignore (Cq.make ~atoms:[ edge 0 1 ] ~free:[ 9 ]));
+  Alcotest.check_raises "duplicate free"
+    (Invalid_argument "Cq.make: duplicate free variable") (fun () ->
+      ignore (Cq.make ~atoms:[ edge 0 1 ] ~free:[ 0; 0 ]));
+  Alcotest.check_raises "empty atom"
+    (Invalid_argument "Cq.make: atom with no variables") (fun () ->
+      ignore (Cq.make ~atoms:[ { Cq.rel = "r"; vars = [] } ] ~free:[]))
+
+let test_cq_accessors () =
+  let q = Cq.make ~atoms:[ edge 3 1; edge 1 2 ] ~free:[ 2 ] in
+  Alcotest.(check (list int)) "vars sorted" [ 1; 2; 3 ] (Cq.vars q);
+  check_int "var count" 3 (Cq.var_count q);
+  check_int "atom count" 2 (Cq.atom_count q);
+  check_bool "boolean-ish" true (Cq.is_boolean q);
+  let mo = Cq.max_occur q and mn = Cq.min_occur q in
+  check_int "max_occur of v1" 1 (Hashtbl.find mo 1);
+  check_int "min_occur of v1" 0 (Hashtbl.find mn 1);
+  check_int "max_occur of v3" 0 (Hashtbl.find mo 3)
+
+let test_cq_atom_vars_repeated () =
+  let atom = { Cq.rel = "r"; vars = [ 1; 2; 1; 3; 2 ] } in
+  Alcotest.(check (list int)) "distinct, first-occurrence order" [ 1; 2; 3 ]
+    (Cq.atom_vars atom)
+
+let test_cq_permute () =
+  let q = Cq.make ~atoms:[ edge 0 1; edge 1 2; edge 2 3 ] ~free:[] in
+  let p = Cq.permute_atoms q [| 2; 0; 1 |] in
+  Alcotest.(check (list int)) "first atom now e3" [ 2; 3 ]
+    (List.hd p.Cq.atoms).Cq.vars;
+  Alcotest.check_raises "bad permutation"
+    (Invalid_argument "Cq.permute_atoms: not a permutation") (fun () ->
+      ignore (Cq.permute_atoms q [| 0; 0; 1 |]))
+
+let test_cq_occurrences () =
+  let q = Cq.make ~atoms:[ edge 0 1; edge 1 2; edge 0 2 ] ~free:[] in
+  let occ = Cq.occurrences q in
+  Alcotest.(check (list int)) "v0 occurrences" [ 0; 2 ] (Hashtbl.find occ 0);
+  Alcotest.(check (list int)) "v1 occurrences" [ 0; 1 ] (Hashtbl.find occ 1);
+  Alcotest.(check (list int)) "v2 occurrences" [ 1; 2 ] (Hashtbl.find occ 2)
+
+(* ------------------------------------------------------------------ *)
+(* Join graph                                                          *)
+
+let test_joingraph_pentagon () =
+  let q = coloring_query Graphlib.Generators.pentagon in
+  let jg = Joingraph.build q in
+  check_int "5 variables" 5 (G.order jg.Joingraph.graph);
+  check_int "5 edges (C5)" 5 (G.size jg.Joingraph.graph)
+
+let test_joingraph_free_clique () =
+  (* Free variables form a clique even if never co-occurring in atoms. *)
+  let q = Cq.make ~atoms:[ edge 0 1; edge 2 3 ] ~free:[ 0; 2 ] in
+  let jg = Joingraph.build q in
+  let v0 = Hashtbl.find jg.Joingraph.to_vertex 0 in
+  let v2 = Hashtbl.find jg.Joingraph.to_vertex 2 in
+  check_bool "free clique edge" true (G.has_edge jg.Joingraph.graph v0 v2)
+
+let test_mcs_variable_order_free_first () =
+  let q = Cq.make ~atoms:[ edge 0 1; edge 1 2; edge 2 3 ] ~free:[ 2; 0 ] in
+  let order = Joingraph.mcs_variable_order q in
+  check_int "free first" 2 order.(0);
+  check_int "free second" 0 order.(1);
+  Alcotest.(check (list int)) "order is permutation of vars" [ 0; 1; 2; 3 ]
+    (List.sort compare (Array.to_list order))
+
+let prop_joingraph_shape =
+  qtest "join graph of Boolean coloring query = instance graph"
+    graph_arbitrary (fun g ->
+      let q = coloring_query g in
+      let jg = Joingraph.build q in
+      let non_isolated =
+        List.filter (fun v -> G.degree g v > 0) (G.vertices g)
+      in
+      G.order jg.Joingraph.graph = List.length non_isolated
+      && G.size jg.Joingraph.graph = G.size g)
+
+(* ------------------------------------------------------------------ *)
+(* Coloring encoder                                                    *)
+
+let test_coloring_database () =
+  let db = Encode.coloring_database () in
+  let edge_rel = Database.find db "edge" in
+  check_int "6 tuples for 3 colors" 6 (Relation.cardinality edge_rel);
+  let db4 = Encode.coloring_database ~k:4 () in
+  check_int "12 tuples for 4 colors" 12
+    (Relation.cardinality (Database.find db4 "edge"))
+
+let test_coloring_query_modes () =
+  let g = Graphlib.Generators.cycle 5 in
+  let boolean = coloring_query ~mode:Encode.Boolean g in
+  Alcotest.(check (list int)) "boolean: no free" [] boolean.Cq.free;
+  let emulated = coloring_query ~mode:Encode.Emulated_boolean g in
+  check_int "emulated keeps one var" 1 (List.length emulated.Cq.free);
+  let fraction = coloring_query ~mode:(Encode.Fraction 0.4) ~seed:5 g in
+  check_int "40% of 5 = 2 free" 2 (List.length fraction.Cq.free);
+  Alcotest.check_raises "fraction needs rng"
+    (Invalid_argument "Encode: Fraction mode needs ~rng") (fun () ->
+      ignore (coloring_query ~mode:(Encode.Fraction 0.4) g))
+
+let test_coloring_isolated_vertices () =
+  (* An isolated vertex appears in no atom; Fraction mode must never pick
+     it as a free variable. *)
+  let g = G.of_edges 5 [ (0, 1) ] in
+  for seed = 0 to 20 do
+    let q = coloring_query ~mode:(Encode.Fraction 0.9) ~seed g in
+    List.iter
+      (fun v -> check_bool "free var occurs" true (v = 0 || v = 1))
+      q.Cq.free
+  done
+
+let test_coloring_atom_order_matches_listing () =
+  let edges = [ (3, 4); (0, 1); (1, 3) ] in
+  let q = Encode.coloring_query ~mode:Encode.Boolean ~edges () in
+  Alcotest.(check (list (list int))) "atoms in listing order"
+    [ [ 3; 4 ]; [ 0; 1 ]; [ 1; 3 ] ]
+    (List.map (fun a -> a.Cq.vars) q.Cq.atoms)
+
+let prop_coloring_nonempty_iff_colorable =
+  qtest ~count:60 "query nonempty iff 3-colorable (bucket elimination)"
+    graph_arbitrary (fun g ->
+      let q = coloring_query g in
+      let plan = Ppr_core.Bucket.compile q in
+      Ppr_core.Exec.nonempty coloring_db plan = brute_force_colorable g)
+
+let prop_coloring_4color =
+  qtest ~count:30 "4-COLOR database works too" graph_arbitrary (fun g ->
+      let q = coloring_query g in
+      let db4 = Encode.coloring_database ~k:4 () in
+      let plan = Ppr_core.Bucket.compile q in
+      Ppr_core.Exec.nonempty db4 plan = brute_force_colorable ~colors:4 g)
+
+(* ------------------------------------------------------------------ *)
+(* CNF and the SAT encoder                                             *)
+
+let lit var positive = { Cnf.var; positive }
+
+let test_cnf_validation () =
+  Alcotest.check_raises "empty clause"
+    (Invalid_argument "Cnf.make: empty clause") (fun () ->
+      ignore (Cnf.make ~num_vars:2 ~clauses:[ [] ]));
+  Alcotest.check_raises "variable range"
+    (Invalid_argument "Cnf.make: variable 5 out of range") (fun () ->
+      ignore (Cnf.make ~num_vars:2 ~clauses:[ [ lit 5 true ] ]))
+
+let test_cnf_eval () =
+  (* (x0 \/ ~x1) /\ (~x0 \/ x1) — satisfied by equal assignments. *)
+  let f =
+    Cnf.make ~num_vars:2
+      ~clauses:[ [ lit 0 true; lit 1 false ]; [ lit 0 false; lit 1 true ] ]
+  in
+  check_bool "00" true (Cnf.eval f [| false; false |]);
+  check_bool "01" false (Cnf.eval f [| false; true |]);
+  check_bool "11" true (Cnf.eval f [| true; true |]);
+  check_bool "satisfiable" true (Cnf.brute_force_satisfiable f)
+
+let test_cnf_random_shape () =
+  let rng = rng 3 in
+  let f = Cnf.random_ksat ~rng ~k:3 ~num_vars:10 ~num_clauses:25 in
+  check_int "clause count" 25 (List.length f.Cnf.clauses);
+  List.iter
+    (fun clause ->
+      check_int "clause width" 3 (List.length clause);
+      let vars = List.map (fun l -> l.Cnf.var) clause in
+      check_int "distinct vars" 3 (List.length (List.sort_uniq compare vars)))
+    f.Cnf.clauses
+
+let test_sat_relation_names () =
+  Alcotest.(check string) "pattern name" "sat_101"
+    (Encode.sat_relation_name [ lit 0 true; lit 1 false; lit 2 true ])
+
+let test_sat_database_contents () =
+  let f = Cnf.make ~num_vars:3 ~clauses:[ [ lit 0 true; lit 1 false ] ] in
+  let db = Encode.sat_database f in
+  let rel = Database.find db "sat_10" in
+  (* All (a,b) in {0,1}^2 with a=1 or b=0: only (0,1) is excluded. *)
+  check_int "3 of 4 assignments" 3 (Relation.cardinality rel);
+  check_bool "falsifier excluded" false
+    (Relation.mem rel (Relalg.Tuple.of_list [ 0; 1 ]))
+
+let cnf_arbitrary =
+  let gen =
+    QCheck.Gen.(
+      int_range 3 6 >>= fun num_vars ->
+      int_range 1 12 >>= fun num_clauses ->
+      int_range 0 10_000 >>= fun seed ->
+      return (Cnf.random_ksat ~rng:(rng seed) ~k:3 ~num_vars ~num_clauses))
+  in
+  QCheck.make ~print:(Format.asprintf "%a" Cnf.pp) gen
+
+let prop_sat_query_matches_brute_force =
+  qtest ~count:60 "SAT query nonempty iff satisfiable" cnf_arbitrary (fun f ->
+      let q = Encode.sat_query ~mode:Encode.Boolean f in
+      let db = Encode.sat_database f in
+      let plan = Ppr_core.Bucket.compile q in
+      Ppr_core.Exec.nonempty db plan = Cnf.brute_force_satisfiable f)
+
+let test_sat_repeated_var_rejected () =
+  let f = Cnf.make ~num_vars:2 ~clauses:[ [ lit 0 true; lit 0 false ] ] in
+  Alcotest.check_raises "tautological clause rejected"
+    (Invalid_argument "Encode.sat_query: repeated variable within a clause")
+    (fun () -> ignore (Encode.sat_query ~mode:Encode.Boolean f))
+
+(* ------------------------------------------------------------------ *)
+(* Database / atom evaluation                                          *)
+
+let test_eval_atom_basic () =
+  let db = Encode.coloring_database () in
+  let rel = Database.eval_atom db (edge 7 3) in
+  Alcotest.(check (list int)) "schema is the atom's vars" [ 7; 3 ]
+    (Relalg.Schema.attrs (Relation.schema rel));
+  check_int "6 tuples" 6 (Relation.cardinality rel)
+
+let test_eval_atom_repeated_var () =
+  let db = Encode.coloring_database () in
+  (* edge(x, x): no monochromatic pair exists. *)
+  let rel = Database.eval_atom db { Cq.rel = "edge"; vars = [ 4; 4 ] } in
+  check_int "arity collapses" 1 (Relation.arity rel);
+  check_int "empty (no equal pair)" 0 (Relation.cardinality rel)
+
+let test_eval_atom_arity_mismatch () =
+  let db = Encode.coloring_database () in
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument
+       "Database.eval_atom: atom edge has arity 3, relation has 2") (fun () ->
+      ignore (Database.eval_atom db { Cq.rel = "edge"; vars = [ 1; 2; 3 ] }))
+
+let test_database_names () =
+  let db = Database.create () in
+  Database.add db "b" (relation [ 0 ] []);
+  Database.add db "a" (relation [ 0 ] []);
+  Alcotest.(check (list string)) "sorted names" [ "a"; "b" ] (Database.names db);
+  check_bool "mem" true (Database.mem db "a");
+  check_bool "not mem" false (Database.mem db "c")
+
+(* ------------------------------------------------------------------ *)
+(* Datalog-style parsing                                               *)
+
+let test_parse_basic () =
+  let parsed =
+    Conjunctive.Parse.query_exn
+      "answer(X, Z) :- edge(X, Y), edge(Y, Z). % a comment"
+  in
+  check_int "two atoms" 2 (Cq.atom_count parsed.Conjunctive.Parse.query);
+  (* Head variables are numbered first: X=0, Z=1, then Y=2. *)
+  Alcotest.(check (list int)) "free vars are X and Z" [ 0; 1 ]
+    parsed.Conjunctive.Parse.query.Cq.free;
+  Alcotest.(check string) "head name" "answer" parsed.Conjunctive.Parse.head_name;
+  Alcotest.(check (list string)) "names in appearance order" [ "X"; "Z"; "Y" ]
+    parsed.Conjunctive.Parse.variable_names;
+  Alcotest.(check string) "namer" "Y" (parsed.Conjunctive.Parse.namer 2)
+
+let test_parse_boolean_head () =
+  let parsed = Conjunctive.Parse.query_exn "q() :- edge(A, B)." in
+  Alcotest.(check (list int)) "empty target schema" []
+    parsed.Conjunctive.Parse.query.Cq.free
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Conjunctive.Parse.query src with
+      | Ok _ -> Alcotest.fail ("should not parse: " ^ src)
+      | Error _ -> ())
+    [
+      "";
+      "q(X)";                         (* no body *)
+      "q(X) :- ";                     (* empty body *)
+      "q(X) :- edge(X Y)";            (* missing comma *)
+      "q(X) :- edge(X,Y). extra";     (* trailing garbage *)
+      "q(X) :- edge(Y,Z).";           (* head variable not bound *)
+      "q(X) : edge(X,Y).";            (* broken turnstile *)
+    ]
+
+let test_parse_and_evaluate () =
+  (* Squares of the color graph: pairs at distance 2 (all pairs here). *)
+  let parsed =
+    Conjunctive.Parse.query_exn "reach2(A, C) :- edge(A, B), edge(B, C)."
+  in
+  let result =
+    Ppr_core.Exec.run (Encode.coloring_database ())
+      (Ppr_core.Bucket.compile parsed.Conjunctive.Parse.query)
+  in
+  (* Any ordered pair (including equal colors) is reachable in 2 steps. *)
+  check_int "9 pairs" 9 (Relation.cardinality result)
+
+let prop_parse_pp_roundtrip =
+  qtest ~count:40 "printing a parsed query and reparsing is stable"
+    graph_arbitrary (fun g ->
+      (* Render via the Datalog syntax by hand and reparse. *)
+      let cq = coloring_query g in
+      let atom_str a =
+        Printf.sprintf "edge(%s)"
+          (String.concat ","
+             (List.map (fun v -> Printf.sprintf "V%d" v) a.Cq.vars))
+      in
+      let src =
+        Printf.sprintf "q() :- %s."
+          (String.concat ", " (List.map atom_str cq.Cq.atoms))
+      in
+      let parsed = Conjunctive.Parse.query_exn src in
+      Cq.atom_count parsed.Conjunctive.Parse.query = Cq.atom_count cq
+      && Ppr_core.Exec.nonempty coloring_db
+           (Ppr_core.Bucket.compile parsed.Conjunctive.Parse.query)
+         = Ppr_core.Exec.nonempty coloring_db (Ppr_core.Bucket.compile cq))
+
+(* ------------------------------------------------------------------ *)
+(* Database directory persistence                                      *)
+
+let test_database_dir_roundtrip () =
+  let db = Database.create () in
+  Database.add db "edge" (relation [ 0; 1 ] [ [ 1; 2 ]; [ 2; 1 ] ]);
+  Database.add db "node" (relation [ 0 ] [ [ 1 ]; [ 2 ] ]);
+  let dir = Filename.temp_file "pprdb" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      if Sys.file_exists dir then Sys.rmdir dir)
+    (fun () ->
+      Database.save_dir db dir;
+      let back = Database.load_dir dir in
+      Alcotest.(check (list string)) "names" [ "edge"; "node" ] (Database.names back);
+      check_bool "edge contents" true
+        (Relation.equal (Database.find db "edge") (Database.find back "edge"));
+      check_bool "node contents" true
+        (Relation.equal (Database.find db "node") (Database.find back "node")))
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "cq",
+        [
+          Alcotest.test_case "invariants" `Quick test_cq_invariants;
+          Alcotest.test_case "accessors" `Quick test_cq_accessors;
+          Alcotest.test_case "repeated vars in atom" `Quick
+            test_cq_atom_vars_repeated;
+          Alcotest.test_case "permutation" `Quick test_cq_permute;
+          Alcotest.test_case "occurrences" `Quick test_cq_occurrences;
+        ] );
+      ( "join graph",
+        [
+          Alcotest.test_case "pentagon" `Quick test_joingraph_pentagon;
+          Alcotest.test_case "free clique" `Quick test_joingraph_free_clique;
+          Alcotest.test_case "mcs puts free first" `Quick
+            test_mcs_variable_order_free_first;
+          prop_joingraph_shape;
+        ] );
+      ( "coloring encoder",
+        [
+          Alcotest.test_case "database" `Quick test_coloring_database;
+          Alcotest.test_case "modes" `Quick test_coloring_query_modes;
+          Alcotest.test_case "isolated vertices" `Quick
+            test_coloring_isolated_vertices;
+          Alcotest.test_case "atom listing order" `Quick
+            test_coloring_atom_order_matches_listing;
+          prop_coloring_nonempty_iff_colorable;
+          prop_coloring_4color;
+        ] );
+      ( "sat encoder",
+        [
+          Alcotest.test_case "cnf validation" `Quick test_cnf_validation;
+          Alcotest.test_case "cnf eval" `Quick test_cnf_eval;
+          Alcotest.test_case "random shape" `Quick test_cnf_random_shape;
+          Alcotest.test_case "relation names" `Quick test_sat_relation_names;
+          Alcotest.test_case "database contents" `Quick
+            test_sat_database_contents;
+          Alcotest.test_case "repeated var rejected" `Quick
+            test_sat_repeated_var_rejected;
+          prop_sat_query_matches_brute_force;
+        ] );
+      ( "database",
+        [
+          Alcotest.test_case "eval atom" `Quick test_eval_atom_basic;
+          Alcotest.test_case "repeated variable" `Quick
+            test_eval_atom_repeated_var;
+          Alcotest.test_case "arity mismatch" `Quick
+            test_eval_atom_arity_mismatch;
+          Alcotest.test_case "names" `Quick test_database_names;
+          Alcotest.test_case "directory round trip" `Quick
+            test_database_dir_roundtrip;
+        ] );
+      ( "datalog parsing",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "boolean head" `Quick test_parse_boolean_head;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "parse and evaluate" `Quick
+            test_parse_and_evaluate;
+          prop_parse_pp_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,405 @@
+(* SQL layer tests: AST utilities, the Appendix A golden conversions for
+   the pentagon, and agreement between SQL evaluation and direct plan
+   execution on random instances. *)
+
+open Helpers
+module Ast = Sqlgen.Ast
+module Pretty = Sqlgen.Pretty
+module Translate = Sqlgen.Translate
+module Eval = Sqlgen.Eval
+module Encode = Conjunctive.Encode
+module Cq = Conjunctive.Cq
+module Relation = Relalg.Relation
+
+let pentagon_cq =
+  Encode.coloring_query ~edges:Graphlib.Generators.pentagon_edges ()
+
+let pentagon_boolean =
+  Encode.coloring_query ~mode:Encode.Boolean
+    ~edges:Graphlib.Generators.pentagon_edges ()
+
+(* ------------------------------------------------------------------ *)
+(* AST utilities                                                       *)
+
+let test_ast_aliases () =
+  let q = Translate.early_projection pentagon_cq in
+  let aliases = Ast.aliases q in
+  check_int "unique aliases" (List.length aliases)
+    (List.length (List.sort_uniq compare aliases));
+  check_bool "has e1" true (List.mem "e1" aliases);
+  check_bool "has t1" true (List.mem "t1" aliases)
+
+let test_ast_counts () =
+  let straightforward = Translate.straightforward pentagon_cq in
+  check_int "4 joins for 5 atoms" 4 (Ast.join_count straightforward);
+  check_int "no subqueries" 0 (Ast.subquery_count straightforward);
+  let naive = Translate.naive pentagon_cq in
+  check_int "naive has no joins" 0 (Ast.join_count naive);
+  let bucket = Translate.bucket_elimination pentagon_boolean in
+  check_bool "bucket has subqueries" true (Ast.subquery_count bucket >= 3)
+
+(* ------------------------------------------------------------------ *)
+(* Golden pentagon conversions (Appendix A).                           *)
+(*                                                                     *)
+(* The naive and straightforward forms match the appendix text exactly *)
+(* (modulo its <DISTINCT> notation and choice of the emulated SELECT   *)
+(* variable, which the appendix itself varies between methods). The    *)
+(* early-projection and bucket forms pin this implementation's         *)
+(* deterministic output, which has the same boundary/nesting structure *)
+(* as the appendix samples.                                            *)
+
+let golden_naive =
+  "SELECT DISTINCT e1.v1\n\
+   FROM edge e1 (v1,v2),\n\
+  \     edge e2 (v1,v5),\n\
+  \     edge e3 (v4,v5),\n\
+  \     edge e4 (v3,v4),\n\
+  \     edge e5 (v2,v3)\n\
+   WHERE e1.v1 = e2.v1 AND e2.v5 = e3.v5 AND e3.v4 = e4.v4 AND e1.v2 = e5.v2 \
+   AND e4.v3 = e5.v3;\n"
+
+let golden_straightforward =
+  "SELECT DISTINCT e1.v1\n\
+   FROM edge e5 (v2,v3) JOIN (edge e4 (v3,v4) JOIN (edge e3 (v4,v5) JOIN \
+   (edge e2 (v1,v5) JOIN edge e1 (v1,v2) ON (e1.v1 = e2.v1)) ON (e2.v5 = \
+   e3.v5)) ON (e3.v4 = e4.v4)) ON (e1.v2 = e5.v2 AND e4.v3 = e5.v3);\n"
+
+let golden_early_projection =
+  "SELECT DISTINCT t1.v1\n\
+   FROM edge e5 (v2,v3) JOIN (\n\
+  \   SELECT DISTINCT t2.v1, t2.v2, e4.v3, e4.v4\n\
+  \   FROM edge e4 (v3,v4) JOIN (\n\
+  \      SELECT DISTINCT e2.v1, e1.v2, e3.v4, e3.v5\n\
+  \      FROM edge e3 (v4,v5) JOIN (edge e2 (v1,v5) JOIN edge e1 (v1,v2) ON \
+   (e1.v1 = e2.v1)) ON (e2.v5 = e3.v5)\n\
+  \   ) AS t2 ON (t2.v4 = e4.v4)\n\
+   ) AS t1 ON (t1.v2 = e5.v2 AND t1.v3 = e5.v3);\n"
+
+let check_golden name expected query =
+  Alcotest.(check string) name expected (Pretty.query query)
+
+let test_golden_naive () =
+  check_golden "naive matches Appendix A.1" golden_naive
+    (Translate.naive pentagon_cq)
+
+let test_golden_straightforward () =
+  check_golden "straightforward matches Appendix A.2" golden_straightforward
+    (Translate.straightforward pentagon_cq)
+
+let test_golden_early_projection () =
+  check_golden "early projection structure" golden_early_projection
+    (Translate.early_projection pentagon_cq)
+
+let test_bucket_structure () =
+  (* The bucket conversion nests one subquery per processed bucket; for
+     the pentagon under the MCS order that's 3 inner buckets. *)
+  let q = Translate.bucket_elimination pentagon_cq in
+  check_int "three subqueries" 3 (Ast.subquery_count q);
+  check_int "four joins" 4 (Ast.join_count q)
+
+let test_reordering_structure () =
+  let q = Translate.reordering pentagon_cq in
+  (* Same SQL scheme as early projection, over the permuted listing. *)
+  check_bool "has subqueries" true (Ast.subquery_count q >= 1);
+  check_int "four joins" 4 (Ast.join_count q)
+
+(* ------------------------------------------------------------------ *)
+(* ON (TRUE) when a join shares nothing (Appendix A.4).                *)
+
+let test_on_true_rendering () =
+  let q =
+    {
+      Ast.select = [ Ast.col "e1" "v1" ];
+      from =
+        [
+          Ast.Join
+            {
+              left =
+                Ast.Relation
+                  { Ast.relation = "edge"; alias = "e1"; columns = [ "v1"; "v2" ] };
+              right =
+                Ast.Relation
+                  { Ast.relation = "edge"; alias = "e2"; columns = [ "v3"; "v4" ] };
+              on = [];
+            };
+        ];
+      where = [];
+    }
+  in
+  check_bool "prints TRUE" true
+    (let s = Pretty.query q in
+     let rec contains i =
+       i + 9 <= String.length s
+       && (String.sub s i 9 = "ON (TRUE)" || contains (i + 1))
+     in
+     contains 0)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation: all translators agree with plan execution.              *)
+
+let translators =
+  [
+    ("naive", fun cq -> Translate.naive cq);
+    ("straightforward", fun cq -> Translate.straightforward cq);
+    ("early projection", fun cq -> Translate.early_projection cq);
+    ("reordering", fun cq -> Translate.reordering ~rng:(rng 3) cq);
+    ("bucket elimination", fun cq -> Translate.bucket_elimination ~rng:(rng 3) cq);
+  ]
+
+let test_pentagon_all_translations_agree () =
+  List.iter
+    (fun (name, translate) ->
+      let _, rel = Eval.query coloring_db (translate pentagon_cq) in
+      check_int (name ^ " cardinality") 3 (Relation.cardinality rel))
+    translators
+
+let prop_sql_agrees_with_plans_boolean =
+  qtest ~count:40 "SQL nonemptiness = oracle (emulated Boolean)"
+    graph_arbitrary (fun g ->
+      let cq = coloring_query ~mode:Encode.Emulated_boolean g in
+      let expected = brute_force_colorable g in
+      List.for_all
+        (fun (_, translate) ->
+          Eval.nonempty coloring_db (translate cq) = expected)
+        translators)
+
+let prop_sql_agrees_with_plans_free =
+  qtest ~count:30 "SQL answers = plan answers (free variables)"
+    graph_arbitrary (fun g ->
+      let cq = coloring_query ~mode:(Encode.Fraction 0.3) ~seed:(G.order g) g in
+      if cq.Conjunctive.Cq.free = [] then true
+      else begin
+        let reference =
+          Ppr_core.Exec.run coloring_db (Ppr_core.Bucket.compile cq)
+        in
+        let reference_rows =
+          (* Columns of the plan result, reordered to the free list. *)
+          List.sort compare
+            (List.map
+               (fun tup ->
+                 List.map
+                   (fun v ->
+                     Relalg.Tuple.get tup
+                       (Relalg.Schema.index (Relation.schema reference) v))
+                   cq.Conjunctive.Cq.free)
+               (Relation.to_list reference))
+        in
+        List.for_all
+          (fun (_, translate) ->
+            let names, rel = Eval.query coloring_db (translate cq) in
+            let name_of v = Encode.variable_namer v in
+            let positions =
+              List.map
+                (fun v ->
+                  let rec index i = function
+                    | [] -> Alcotest.fail ("missing column " ^ name_of v)
+                    | n :: _ when n = name_of v -> i
+                    | _ :: rest -> index (i + 1) rest
+                  in
+                  index 0 names)
+                cq.Conjunctive.Cq.free
+            in
+            let rows =
+              List.sort compare
+                (List.map
+                   (fun tup ->
+                     List.map (fun p -> Relalg.Tuple.get tup p) positions)
+                   (Relation.to_list rel))
+            in
+            rows = reference_rows)
+          translators
+      end)
+
+module G = Graphlib.Graph
+
+let prop_of_plan_roundtrip =
+  qtest ~count:40 "of_plan SQL evaluates like the plan itself"
+    graph_arbitrary (fun g ->
+      let cq = coloring_query ~mode:Encode.Emulated_boolean g in
+      List.for_all
+        (fun plan ->
+          let sql = Translate.of_plan cq plan in
+          let _, rel = Eval.query coloring_db sql in
+          let direct = Ppr_core.Exec.run coloring_db plan in
+          Relation.cardinality rel = Relation.cardinality direct)
+        [
+          Ppr_core.Straightforward.compile cq;
+          Ppr_core.Early_projection.compile cq;
+          Ppr_core.Bucket.compile cq;
+          Ppr_core.Minibucket.compile ~i_bound:3 cq;
+        ])
+
+(* ------------------------------------------------------------------ *)
+(* Evaluator details                                                   *)
+
+let test_eval_unknown_relation () =
+  let q =
+    {
+      Ast.select = [ Ast.col "x" "a" ];
+      from = [ Ast.Relation { Ast.relation = "nope"; alias = "x"; columns = [ "a" ] } ];
+      where = [];
+    }
+  in
+  Alcotest.check_raises "unknown relation" (Failure "Eval: unknown relation nope")
+    (fun () -> ignore (Eval.query coloring_db q))
+
+let test_eval_where_applied_late () =
+  (* A WHERE equality between the first and last FROM items must still
+     be enforced. *)
+  let q = Translate.naive pentagon_cq in
+  let _, rel = Eval.query coloring_db q in
+  check_int "pentagon colorings of one vertex" 3 (Relation.cardinality rel)
+
+let test_eval_output_names () =
+  let cq =
+    Encode.coloring_query ~mode:(Encode.Fraction 0.4)
+      ~rng:(rng 4) ~edges:Graphlib.Generators.pentagon_edges ()
+  in
+  let names, rel = Eval.query coloring_db (Translate.bucket_elimination cq) in
+  check_int "one column per free var" (List.length cq.Conjunctive.Cq.free)
+    (List.length names);
+  check_int "arity matches" (List.length names) (Relation.arity rel)
+
+let test_limits_propagate () =
+  let g = Graphlib.Generators.augmented_ladder 10 in
+  let cq = coloring_query ~mode:Encode.Emulated_boolean g in
+  let limits = Relalg.Limits.create ~max_tuples:50 ~max_total:500 () in
+  Alcotest.check_raises "guard trips in SQL eval"
+    (Relalg.Limits.Exceeded "intermediate relation exceeds 50 tuples")
+    (fun () ->
+      ignore (Eval.query ~limits coloring_db (Translate.straightforward cq)))
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+
+let test_parse_simple () =
+  let src = "SELECT DISTINCT e1.v1 FROM edge e1 (v1,v2);" in
+  match Sqlgen.Parser.query src with
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Sqlgen.Parser.pp_error e)
+  | Ok q ->
+    check_int "one select column" 1 (List.length q.Ast.select);
+    check_int "one from item" 1 (List.length q.Ast.from)
+
+let test_parse_on_true () =
+  let src =
+    "SELECT DISTINCT e1.v1 FROM edge e1 (v1,v2) JOIN edge e2 (v3,v4) ON (TRUE)"
+  in
+  match Sqlgen.Parser.query src with
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Sqlgen.Parser.pp_error e)
+  | Ok q -> (
+    match q.Ast.from with
+    | [ Ast.Join { on = []; _ } ] -> ()
+    | _ -> Alcotest.fail "expected a join with empty conditions")
+
+let test_parse_errors () =
+  let cases =
+    [
+      ("", "unexpected end");
+      ("SELECT e1.v1 FROM edge e1 (v1)", "DISTINCT");
+      ("SELECT DISTINCT e1.v1", "unexpected end");
+      ("SELECT DISTINCT e1.v1 FROM edge e1 (v1) garbage garbage", "trailing");
+      ("SELECT DISTINCT e1.v1 FROM edge e1 (v1); extra", "trailing");
+      ("SELECT DISTINCT @ FROM edge e1 (v1)", "unexpected character");
+    ]
+  in
+  List.iter
+    (fun (src, _hint) ->
+      match Sqlgen.Parser.query src with
+      | Ok _ -> Alcotest.fail ("should not parse: " ^ src)
+      | Error _ -> ())
+    cases
+
+let prop_parser_roundtrip =
+  qtest ~count:40 "parse (pretty q) = q for every translator"
+    graph_arbitrary (fun g ->
+      let cq = coloring_query ~mode:Encode.Emulated_boolean g in
+      let cq_free = coloring_query ~mode:(Encode.Fraction 0.3) ~seed:(G.order g) g in
+      List.for_all
+        (fun q -> Sqlgen.Parser.query_exn (Pretty.query q) = q)
+        [
+          Translate.naive cq;
+          Translate.straightforward cq;
+          Translate.early_projection cq;
+          Translate.reordering ~rng:(rng 3) cq;
+          Translate.bucket_elimination ~rng:(rng 3) cq;
+          Translate.naive cq_free;
+          Translate.bucket_elimination ~rng:(rng 3) cq_free;
+        ])
+
+let prop_parser_whitespace_insensitive =
+  qtest ~count:30 "parsing survives whitespace mangling"
+    (QCheck.pair graph_arbitrary (QCheck.int_range 0 1000)) (fun (g, seed) ->
+      let cq = coloring_query ~mode:Encode.Emulated_boolean g in
+      let text = Pretty.query (Translate.bucket_elimination cq) in
+      (* Replace every whitespace run with a random amount of mixed
+         spaces/newlines/tabs. *)
+      let rng = rng seed in
+      let buf = Buffer.create (String.length text) in
+      String.iter
+        (fun c ->
+          if c = ' ' || c = '\n' || c = '\t' then begin
+            Buffer.add_char buf ' ';
+            for _ = 1 to Graphlib.Rng.int rng 3 do
+              Buffer.add_char buf
+                (List.nth [ ' '; '\n'; '\t' ] (Graphlib.Rng.int rng 3))
+            done
+          end
+          else Buffer.add_char buf c)
+        text;
+      Sqlgen.Parser.query_exn (Buffer.contents buf)
+      = Sqlgen.Parser.query_exn text)
+
+let test_parse_then_eval () =
+  (* A full loop: translate, print, parse, evaluate. *)
+  let sql_text = Pretty.query (Translate.bucket_elimination pentagon_cq) in
+  let q = Sqlgen.Parser.query_exn sql_text in
+  let _, rel = Eval.query coloring_db q in
+  check_int "pentagon answer survives the round trip" 3
+    (Relation.cardinality rel)
+
+let () =
+  Alcotest.run "sql"
+    [
+      ( "ast",
+        [
+          Alcotest.test_case "aliases" `Quick test_ast_aliases;
+          Alcotest.test_case "counts" `Quick test_ast_counts;
+        ] );
+      ( "golden pentagon",
+        [
+          Alcotest.test_case "naive (A.1)" `Quick test_golden_naive;
+          Alcotest.test_case "straightforward (A.2)" `Quick
+            test_golden_straightforward;
+          Alcotest.test_case "early projection (A.3)" `Quick
+            test_golden_early_projection;
+          Alcotest.test_case "bucket structure (A.5)" `Quick
+            test_bucket_structure;
+          Alcotest.test_case "reordering structure (A.4)" `Quick
+            test_reordering_structure;
+          Alcotest.test_case "ON (TRUE)" `Quick test_on_true_rendering;
+        ] );
+      ( "evaluation agreement",
+        [
+          Alcotest.test_case "pentagon, all methods" `Quick
+            test_pentagon_all_translations_agree;
+          prop_sql_agrees_with_plans_boolean;
+          prop_sql_agrees_with_plans_free;
+          prop_of_plan_roundtrip;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "simple" `Quick test_parse_simple;
+          Alcotest.test_case "ON (TRUE)" `Quick test_parse_on_true;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          prop_parser_roundtrip;
+          prop_parser_whitespace_insensitive;
+          Alcotest.test_case "parse then eval" `Quick test_parse_then_eval;
+        ] );
+      ( "evaluator",
+        [
+          Alcotest.test_case "unknown relation" `Quick test_eval_unknown_relation;
+          Alcotest.test_case "late WHERE" `Quick test_eval_where_applied_late;
+          Alcotest.test_case "output names" `Quick test_eval_output_names;
+          Alcotest.test_case "limits propagate" `Quick test_limits_propagate;
+        ] );
+    ]
