@@ -1,0 +1,25 @@
+.PHONY: all check build test bench fmt clean
+
+all: check
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+check: build test
+
+bench:
+	dune exec bench/main.exe
+
+# Requires ocamlformat; no-op-safe when it is not installed.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt --auto-promote; \
+	else \
+		echo "ocamlformat not installed; skipping"; \
+	fi
+
+clean:
+	dune clean

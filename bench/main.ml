@@ -103,7 +103,15 @@ let micro_tests () =
     Test.make ~name:"planner/early-proj-exec(m=48)"
       (Staged.stage (fun () ->
            try ignore (Ppr_core.Exec.run ~limits:(Relalg.Limits.create ()) db (Lazy.force ep_plan))
-           with Relalg.Limits.Exceeded _ -> ()));
+           with Relalg.Limits.Abort _ -> ()));
+    Test.make ~name:"supervise/ladder-rescue(m=48)"
+      (* Chaos kills the first rung mid-join; the measurement covers the
+         abort, the retry, and the report bookkeeping. *)
+      (Staged.stage (fun () ->
+           ignore
+             (Supervise.run
+                ~chaos:(Supervise.Chaos.after_tuples ~attempts:[ 0 ] 64)
+                Ppr_core.Driver.Bucket_elimination db cq)));
   ]
 
 let run_micro () =

@@ -19,8 +19,9 @@ let guarded f =
   | Not_found ->
     Printf.eprintf "ppr: a referenced relation or column does not exist\n";
     exit 1
-  | Relalg.Limits.Exceeded msg ->
-    Printf.eprintf "ppr: resource guard tripped — %s\n" msg;
+  | Relalg.Limits.Abort reason ->
+    Printf.eprintf "ppr: resource guard tripped — %s\n"
+      (Relalg.Limits.describe reason);
     exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -225,7 +226,56 @@ let run_cmd =
       & info [ "max-tuples" ] ~docv:"N"
           ~doc:"Abort when an intermediate relation exceeds N tuples.")
   in
-  let run family order density seed free_fraction meth max_tuples =
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Abort a method once it has run for SECONDS of wall clock.")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Abort a method after it has executed N operators.")
+  in
+  let ladder =
+    Arg.(
+      value & flag
+      & info [ "ladder" ]
+          ~doc:
+            "On abort, retry down the graceful-degradation ladder \
+             (e.g. bucket elimination falls back to mini-bucket, \
+             reordering, then the straightforward plan) and print the \
+             per-attempt report.")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Inject a deterministic fault into the first attempt: 'op:N' \
+             aborts when the N-th operator starts, 'tuples:K' after K \
+             charged tuples, 'seed:S' at an operator drawn from seed S. \
+             Combine with --ladder to watch the rescue.")
+  in
+  let parse_chaos spec =
+    match String.split_on_char ':' spec with
+    | [ "op"; n ] -> Supervise.Chaos.at_operator ~attempts:[ 0 ] (int_of_string n)
+    | [ "tuples"; k ] ->
+      Supervise.Chaos.after_tuples ~attempts:[ 0 ] (int_of_string k)
+    | [ "seed"; s ] ->
+      Supervise.Chaos.seeded ~attempts:[ 0 ] ~seed:(int_of_string s)
+        ~max_operator:32 ()
+    | _ ->
+      failwith
+        (Printf.sprintf "bad --chaos spec %S (want op:N, tuples:K or seed:S)"
+           spec)
+  in
+  let run family order density seed free_fraction meth max_tuples deadline fuel
+      use_ladder chaos =
     guarded @@ fun () ->
     let db, cq = build_instance family ~order ~density ~seed ~free_fraction in
     Format.printf "query: %d atoms, %d variables, %d free@." (Conjunctive.Cq.atom_count cq)
@@ -238,22 +288,46 @@ let run_cmd =
       | Some "early-projection" -> [ Ppr_core.Driver.Early_projection ]
       | Some "reordering" -> [ Ppr_core.Driver.Reorder ]
       | Some "bucket-elimination" -> [ Ppr_core.Driver.Bucket_elimination ]
+      | Some "hybrid" -> [ Ppr_core.Driver.Hybrid ]
       | Some other -> failwith (Printf.sprintf "unknown method %S" other)
       | None -> Ppr_core.Driver.all_paper_methods
     in
+    let chaos = Option.map parse_chaos chaos in
+    let budget =
+      let b =
+        Supervise.Budget.with_max_cardinality max_tuples
+          Supervise.Budget.default
+      in
+      let b =
+        match deadline with
+        | Some s -> Supervise.Budget.with_deadline s b
+        | None -> b
+      in
+      match fuel with Some n -> Supervise.Budget.with_fuel n b | None -> b
+    in
     List.iter
       (fun m ->
-        let limits = Relalg.Limits.create ~max_tuples () in
         let rng = Graphlib.Rng.make (seed + 31) in
-        let outcome = Ppr_core.Driver.run ~rng ~limits m db cq in
-        Format.printf "%a@." Ppr_core.Driver.pp_outcome outcome)
+        if use_ladder then begin
+          let report = Supervise.run ~rng ~budget ?chaos m db cq in
+          Format.printf "%a" Supervise.pp_report report
+        end
+        else begin
+          let limits = Supervise.Budget.to_limits budget in
+          (match chaos with
+          | Some c -> Supervise.Chaos.arm c ~attempt:0 limits
+          | None -> ());
+          let outcome = Ppr_core.Driver.run ~rng ~limits m db cq in
+          Format.printf "%a@." Ppr_core.Driver.pp_outcome outcome
+        end)
       methods
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run evaluation methods on an instance and report.")
     Term.(
       const run $ family_arg $ order_arg $ density_arg $ seed_arg
-      $ free_fraction_arg $ method_arg $ max_tuples)
+      $ free_fraction_arg $ method_arg $ max_tuples $ deadline $ fuel
+      $ ladder $ chaos)
 
 (* ------------------------------------------------------------------ *)
 (* treewidth                                                           *)

@@ -40,8 +40,12 @@ let () =
           Printf.printf "%-8.1f %-8b %-18s %s  (width %d, max card %d)\n"
             density colorable
             (Ppr_core.Driver.method_name meth)
-            (if o.Ppr_core.Driver.timed_out then "timeout"
-             else Printf.sprintf "%.4fs" o.Ppr_core.Driver.exec_seconds)
+            (match o.Ppr_core.Driver.status with
+            | Ppr_core.Driver.Aborted a ->
+              Printf.sprintf "abort(%s)"
+                (Relalg.Limits.reason_label a.Ppr_core.Driver.reason)
+            | Ppr_core.Driver.Completed ->
+              Printf.sprintf "%.4fs" o.Ppr_core.Driver.exec_seconds)
             o.Ppr_core.Driver.max_arity o.Ppr_core.Driver.max_cardinality)
         [
           Ppr_core.Driver.Straightforward;

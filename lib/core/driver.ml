@@ -6,6 +6,7 @@ type meth =
   | Bucket_elimination
   | Minibucket of int
   | Hybrid
+  | Hybrid_rank of int
 
 let all_paper_methods =
   [
@@ -27,6 +28,14 @@ let method_name = function
   | Bucket_elimination -> "bucket-elimination"
   | Minibucket i -> Printf.sprintf "minibucket(%d)" i
   | Hybrid -> "hybrid"
+  | Hybrid_rank n -> Printf.sprintf "hybrid#%d" n
+
+type abort = {
+  reason : Relalg.Limits.reason;
+  partial_stats : Relalg.Stats.t;
+}
+
+type status = Completed | Aborted of abort
 
 type outcome = {
   meth : meth;
@@ -38,8 +47,13 @@ type outcome = {
   tuples_produced : int;
   result_cardinality : int option;
   nonempty : bool option;
-  timed_out : bool;
+  status : status;
 }
+
+let timed_out o = match o.status with Completed -> false | Aborted _ -> true
+
+let abort_reason o =
+  match o.status with Completed -> None | Aborted a -> Some a.reason
 
 let compile ?rng meth db cq =
   match meth with
@@ -50,6 +64,7 @@ let compile ?rng meth db cq =
   | Bucket_elimination -> Bucket.compile ?rng cq
   | Minibucket i_bound -> Minibucket.compile ?rng ~i_bound cq
   | Hybrid -> Hybrid.compile ?rng db cq
+  | Hybrid_rank n -> Hybrid.nth_plan ?rng n db cq
 
 let log_src =
   Logs.Src.create "ppr.driver" ~doc:"Method compilation and execution"
@@ -67,11 +82,13 @@ let run ?rng ?limits meth db cq =
         (Plan.projection_count plan));
   let stats = Relalg.Stats.create () in
   let limits = match limits with Some l -> l | None -> Relalg.Limits.create () in
-  let result =
-    try Some (Exec.run ~stats ~limits db plan)
-    with Relalg.Limits.Exceeded reason ->
-      Log.info (fun m -> m "%s: aborted — %s" (method_name meth) reason);
-      None
+  let result, status =
+    try (Some (Exec.run ~stats ~limits db plan), Completed)
+    with Relalg.Limits.Abort reason ->
+      Log.info (fun m ->
+          m "%s: aborted — %s" (method_name meth)
+            (Relalg.Limits.describe reason));
+      (None, Aborted { reason; partial_stats = Relalg.Stats.copy stats })
   in
   let t2 = clock () in
   Log.debug (fun m ->
@@ -87,14 +104,17 @@ let run ?rng ?limits meth db cq =
     tuples_produced = stats.Relalg.Stats.tuples_produced;
     result_cardinality = Option.map Relalg.Relation.cardinality result;
     nonempty = Option.map (fun r -> not (Relalg.Relation.is_empty r)) result;
-    timed_out = result = None;
+    status;
   }
 
 let pp_outcome ppf o =
   Format.fprintf ppf
     "%-18s compile=%.4fs exec=%s width=%d/%d max_card=%d result=%s"
     (method_name o.meth) o.compile_seconds
-    (if o.timed_out then "timeout" else Printf.sprintf "%.4fs" o.exec_seconds)
+    (match o.status with
+    | Completed -> Printf.sprintf "%.4fs" o.exec_seconds
+    | Aborted a ->
+      Printf.sprintf "abort(%s)" (Relalg.Limits.reason_label a.reason))
     o.plan_width o.max_arity o.max_cardinality
     (match o.result_cardinality with
     | Some c -> string_of_int c

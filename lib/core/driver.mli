@@ -10,11 +10,22 @@ type meth =
   | Bucket_elimination
   | Minibucket of int  (** i-bound *)
   | Hybrid  (** cost-scored portfolio of structural plans *)
+  | Hybrid_rank of int
+      (** the portfolio's n-th cheapest candidate (0 = {!Hybrid});
+          the degradation ladder walks down these ranks *)
 
 val all_paper_methods : meth list
 (** The five methods of the paper's experiments, naive first. *)
 
 val method_name : meth -> string
+
+type abort = {
+  reason : Relalg.Limits.reason;  (** why the run died *)
+  partial_stats : Relalg.Stats.t;
+      (** snapshot of the execution statistics at the moment of abort *)
+}
+
+type status = Completed | Aborted of abort
 
 type outcome = {
   meth : meth;
@@ -26,8 +37,14 @@ type outcome = {
   tuples_produced : int;
   result_cardinality : int option;  (** [None] when resources ran out *)
   nonempty : bool option;
-  timed_out : bool;
+  status : status;  (** typed abort taxonomy; [Completed] on success *)
 }
+
+val timed_out : outcome -> bool
+(** [status <> Completed]; kept as the historical name for "the run was
+    cut short", whatever the reason. *)
+
+val abort_reason : outcome -> Relalg.Limits.reason option
 
 val compile :
   ?rng:Graphlib.Rng.t -> meth -> Conjunctive.Database.t -> Conjunctive.Cq.t ->
@@ -36,7 +53,8 @@ val compile :
 val run :
   ?rng:Graphlib.Rng.t -> ?limits:Relalg.Limits.t ->
   meth -> Conjunctive.Database.t -> Conjunctive.Cq.t -> outcome
-(** Compile, execute, and measure. A {!Relalg.Limits.Exceeded} abort is
-    reported as [timed_out = true] rather than raised. *)
+(** Compile, execute, and measure. A {!Relalg.Limits.Abort} is caught and
+    reported as [Aborted] (with the typed reason and the stats gathered up
+    to that point) rather than raised. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

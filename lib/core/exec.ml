@@ -19,12 +19,14 @@ let rec run ?(join_algorithm = Hash) ?stats ?limits db = function
   | Plan.Project (sub, kept) ->
     let rsub = run ~join_algorithm ?stats ?limits db sub in
     (* Keep the input's column order for the retained variables; the
-       variable set, not the order, is what projection means here. *)
+       variable set, not the order, is what projection means here. Build
+       the kept-set once instead of scanning the list per variable. *)
+    let kept_set = Hashtbl.create (List.length kept) in
+    List.iter (fun v -> Hashtbl.replace kept_set v ()) kept;
     let target =
-      Schema.restrict (Relation.schema rsub) ~keep:(fun v -> List.mem v kept)
+      Schema.restrict (Relation.schema rsub) ~keep:(Hashtbl.mem kept_set)
     in
-    if Schema.arity target <> List.length (List.sort_uniq Stdlib.compare kept)
-    then
+    if Schema.arity target <> Hashtbl.length kept_set then
       invalid_arg "Exec: projection keeps a variable absent from its input";
     Ops.project ?stats ?limits rsub target
 

@@ -13,7 +13,7 @@ val run :
 (** Execute a plan. [join_algorithm] defaults to [Hash] (the paper
     forced hash joins in PostgreSQL); [Merge] runs the same plans over
     sort-merge joins for the join-algorithm ablation.
-    @raise Relalg.Limits.Exceeded when a resource guard trips.
+    @raise Relalg.Limits.Abort when a resource guard trips.
     @raise Not_found if an atom names an unregistered relation. *)
 
 val nonempty :

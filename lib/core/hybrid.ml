@@ -55,3 +55,11 @@ let compile ?rng db cq =
   match candidates ?rng db cq with
   | best :: _ -> best.plan
   | [] -> invalid_arg "Hybrid.compile: no candidates"
+
+let nth_plan ?rng n db cq =
+  if n < 0 then invalid_arg "Hybrid.nth_plan: negative rank";
+  match candidates ?rng db cq with
+  | [] -> invalid_arg "Hybrid.nth_plan: no candidates"
+  | cands ->
+    let clamped = min n (List.length cands - 1) in
+    (List.nth cands clamped).plan

@@ -27,3 +27,12 @@ val candidates :
 val compile :
   ?rng:Graphlib.Rng.t -> Conjunctive.Database.t -> Conjunctive.Cq.t -> Plan.t
 (** The cheapest candidate's plan. *)
+
+val nth_plan :
+  ?rng:Graphlib.Rng.t -> int -> Conjunctive.Database.t -> Conjunctive.Cq.t ->
+  Plan.t
+(** The [n]-th cheapest candidate's plan ([nth_plan 0] = {!compile});
+    ranks past the end of the portfolio clamp to the last (cheapest-risk)
+    candidate. The supervisor's degradation ladder retries down these
+    ranks when the best candidate aborts.
+    @raise Invalid_argument if [n < 0]. *)

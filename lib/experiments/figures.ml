@@ -99,7 +99,7 @@ let figure2 ~scale ~seeds =
                  try
                    ignore
                      (Ppr_core.Exec.run ~limits:(limits_factory ()) db geqo_plan)
-                 with Relalg.Limits.Exceeded _ -> ()))
+                 with Relalg.Limits.Abort _ -> ()))
         in
         (* The paper: the genetic plan "is apparently no better than the
            straightforward order" — compare estimated costs directly. *)
@@ -263,7 +263,7 @@ let figure_minibucket ~scale ~seeds =
                 with
                 | Ppr_core.Minibucket.Definitely_empty -> Some false
                 | Ppr_core.Minibucket.Maybe_nonempty _ -> Some true
-              with Relalg.Limits.Exceeded _ -> None
+              with Relalg.Limits.Abort _ -> None
             in
             let dt = Unix.gettimeofday () -. t0 in
             let agrees =
@@ -327,7 +327,7 @@ let figure_yannakakis ~scale ~seeds =
       let be = time_method Driver.Bucket_elimination in
       let ep = time_method Driver.Early_projection in
       let show (c : Sweep.cell) =
-        if c.Sweep.timeout_fraction > 0.5 then "timeout"
+        if c.Sweep.abort_fraction > 0.5 then "timeout"
         else Printf.sprintf "%.4fs" c.Sweep.median_seconds
       in
       Printf.printf "%-10d%15.4fs%16s%16s\n" order (Sweep.median yk_times)
@@ -380,7 +380,7 @@ let figure_orders ~scale ~seeds =
                ignore
                  (Ppr_core.Exec.run ~limits:(limits_factory ()) db
                     (Ppr_core.Bucket.compile ~order cq))
-             with Relalg.Limits.Exceeded _ -> ());
+             with Relalg.Limits.Abort _ -> ());
             (Unix.gettimeofday () -. t0, float_of_int width))
           (seed_list seeds)
       in
@@ -442,7 +442,7 @@ let figure_weighted ~scale ~seeds =
            ignore
              (Ppr_core.Exec.run ~stats ~limits:(limits_factory ()) db
                 (Ppr_core.Bucket.compile ~order cq))
-         with Relalg.Limits.Exceeded _ -> ());
+         with Relalg.Limits.Abort _ -> ());
         ( Unix.gettimeofday () -. t0,
           float_of_int stats.Relalg.Stats.max_cardinality ))
       (seed_list seeds)
@@ -491,7 +491,7 @@ let figure_symbolic ~scale ~seeds =
                 Some
                   (Ppr_core.Exec.nonempty ~limits:(limits_factory ()) db
                      (Ppr_core.Bucket.compile ~order cq))
-              with Relalg.Limits.Exceeded _ -> None
+              with Relalg.Limits.Abort _ -> None
             in
             let t1 = Unix.gettimeofday () in
             let symbolic = Ppr_core.Symbolic.satisfiable ~order db cq in
@@ -566,7 +566,7 @@ let figure_hybrid ~scale ~seeds =
       List.iter
         (fun (c : Sweep.cell) ->
           Printf.printf "%16s"
-            (if c.Sweep.timeout_fraction > 0.5 then "timeout"
+            (if c.Sweep.abort_fraction > 0.5 then "timeout"
              else Printf.sprintf "%.4fs" c.Sweep.median_seconds))
         cells;
       print_newline ())
@@ -612,6 +612,69 @@ let figure_relsize ~scale ~seeds =
     [ 3; 5; 8; 12; 20; 32 ];
   Sweep.print_footer ()
 
+(* Robustness extension: under a deliberately tight budget, the wide
+   methods abort; the supervisor's degradation ladder turns those aborts
+   into answers. Cells show the typed abort reason, or the median time
+   with the fraction of seeds that needed a rescue. *)
+let figure_resilience ~scale ~seeds =
+  let n = scaled scale 16 in
+  let cap_card = 300 and cap_total = 100_000 in
+  let tight () =
+    Relalg.Limits.create ~max_tuples:cap_card ~max_total:cap_total ()
+  in
+  let budget =
+    Supervise.Budget.(
+      with_max_cardinality cap_card (with_max_total cap_total default))
+  in
+  let columns = [ "straightfwd"; "bucket-elim"; "bucket+ladder" ] in
+  Printf.printf
+    "\n== Supervised execution: typed aborts and ladder rescues (order %d) ==\n"
+    n;
+  Printf.printf "%-10s%18s%18s%18s\n" "density" (List.nth columns 0)
+    (List.nth columns 1) (List.nth columns 2);
+  Printf.printf "%s\n" (String.make 64 '-');
+  let fmt_cell (c : Sweep.cell) =
+    if c.Sweep.abort_fraction > 0.5 then
+      match c.Sweep.abort_breakdown with
+      | (label, _) :: _ -> "abort:" ^ label
+      | [] -> "timeout"
+    else if c.Sweep.rescued_fraction > 0.0 then
+      Printf.sprintf "%.3fs r%.0f%%" c.Sweep.median_seconds
+        (100. *. c.Sweep.rescued_fraction)
+    else Printf.sprintf "%.4fs" c.Sweep.median_seconds
+  in
+  List.iter
+    (fun density ->
+      let instance ~seed =
+        let rng = Rng.make seed in
+        let m =
+          max 1
+            (min
+               (int_of_float (density *. float_of_int n))
+               (n * (n - 1) / 2))
+        in
+        ( Lazy.force shared_db,
+          Encode.coloring_query_of_graph ~mode:Encode.Boolean ~rng
+            (Generators.random ~rng ~n ~m) )
+      in
+      let unsup meth =
+        Sweep.run_cell ~limits_factory:tight ~seeds:(seed_list seeds)
+          ~instance ~meth ()
+      in
+      let sup =
+        Sweep.run_cell ~budget
+          ~ladder:(Supervise.default_ladder Driver.Bucket_elimination)
+          ~seeds:(seed_list seeds) ~instance ~meth:Driver.Bucket_elimination ()
+      in
+      Printf.printf "%-10g%18s%18s%18s\n" density
+        (fmt_cell (unsup Driver.Straightforward))
+        (fmt_cell (unsup Driver.Bucket_elimination))
+        (fmt_cell sup))
+    [ 2.0; 3.0; 4.0 ];
+  Printf.printf
+    "(rNN%% = seeds rescued by retrying down minibucket -> reordering -> \
+     straightforward; mini-bucket rescues are upper bounds)\n%!"
+
 let all ~scale ~seeds =
   figure2 ~scale ~seeds;
   figure3 ~scale ~seeds;
@@ -628,7 +691,8 @@ let all ~scale ~seeds =
   figure_weighted ~scale ~seeds;
   figure_relsize ~scale ~seeds;
   figure_symbolic ~scale ~seeds;
-  figure_hybrid ~scale ~seeds
+  figure_hybrid ~scale ~seeds;
+  figure_resilience ~scale ~seeds
 
 let table =
   [
@@ -648,6 +712,7 @@ let table =
     ("relsize", figure_relsize);
     ("symbolic", figure_symbolic);
     ("hybrid", figure_hybrid);
+    ("resilience", figure_resilience);
     ("all", all);
   ]
 

@@ -60,6 +60,10 @@ val figure_hybrid : scale:float -> seeds:int -> unit
 (** Ablation: the cost-scored hybrid portfolio against fixed
     strategies on a mixed-domain workload. *)
 
+val figure_resilience : scale:float -> seeds:int -> unit
+(** Robustness extension: typed abort reasons under tight budgets, and
+    the fraction of runs the {!Supervise} degradation ladder rescues. *)
+
 val all : scale:float -> seeds:int -> unit
 
 val by_name : string -> (scale:float -> seeds:int -> unit) option

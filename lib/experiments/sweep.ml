@@ -1,16 +1,24 @@
 type sample = {
   seconds : float;
-  timed_out : bool;
+  status : Ppr_core.Driver.status;  (* of the final attempt *)
+  rescued : bool;
   nonempty : bool option;
   max_arity : int;
 }
 
 type cell = {
   median_seconds : float;
-  timeout_fraction : float;
+  abort_fraction : float;
+  abort_breakdown : (string * float) list;
+  rescued_fraction : float;
   nonempty_fraction : float;
   median_max_arity : int;
 }
+
+let aborted s =
+  match s.status with
+  | Ppr_core.Driver.Completed -> false
+  | Ppr_core.Driver.Aborted _ -> true
 
 let median values =
   match List.sort Stdlib.compare values with
@@ -26,38 +34,80 @@ let int_median values =
 
 let aggregate samples =
   let n = List.length samples in
-  let timeouts = List.filter (fun s -> s.timed_out) samples in
-  let finished = List.filter (fun s -> not s.timed_out) samples in
+  let aborts = List.filter aborted samples in
+  let finished = List.filter (fun s -> not (aborted s)) samples in
   let nonempty_count =
     List.length (List.filter (fun s -> s.nonempty = Some true) finished)
+  in
+  let breakdown =
+    (* Fraction of all samples whose final attempt died for each reason,
+       sorted by label for stable output. *)
+    let tally = Hashtbl.create 7 in
+    List.iter
+      (fun s ->
+        match s.status with
+        | Ppr_core.Driver.Completed -> ()
+        | Ppr_core.Driver.Aborted a ->
+          let label = Relalg.Limits.reason_label a.Ppr_core.Driver.reason in
+          Hashtbl.replace tally label
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tally label)))
+      samples;
+    Hashtbl.fold
+      (fun label count acc ->
+        (label, float_of_int count /. float_of_int n) :: acc)
+      tally []
+    |> List.sort Stdlib.compare
   in
   {
     median_seconds =
       median
-        (List.map (fun s -> if s.timed_out then infinity else s.seconds) samples);
-    timeout_fraction = float_of_int (List.length timeouts) /. float_of_int n;
+        (List.map (fun s -> if aborted s then infinity else s.seconds) samples);
+    abort_fraction = float_of_int (List.length aborts) /. float_of_int n;
+    abort_breakdown = breakdown;
+    rescued_fraction =
+      float_of_int (List.length (List.filter (fun s -> s.rescued) samples))
+      /. float_of_int n;
     nonempty_fraction =
       (if finished = [] then 0.0
        else float_of_int nonempty_count /. float_of_int (List.length finished));
     median_max_arity = int_median (List.map (fun s -> s.max_arity) samples);
   }
 
-let run_cell ?(limits_factory = fun () -> Relalg.Limits.create ()) ~seeds
-    ~instance ~meth () =
+let run_cell ?(limits_factory = fun () -> Relalg.Limits.create ()) ?ladder
+    ?budget ~seeds ~instance ~meth () =
   let run_one seed =
     let db, cq = instance ~seed in
     let rng = Graphlib.Rng.make (seed * 7919) in
-    let outcome =
-      Ppr_core.Driver.run ~rng ~limits:(limits_factory ()) meth db cq
-    in
-    {
-      seconds =
-        outcome.Ppr_core.Driver.compile_seconds
-        +. outcome.Ppr_core.Driver.exec_seconds;
-      timed_out = outcome.Ppr_core.Driver.timed_out;
-      nonempty = outcome.Ppr_core.Driver.nonempty;
-      max_arity = outcome.Ppr_core.Driver.max_arity;
-    }
+    match ladder with
+    | None ->
+      let outcome =
+        Ppr_core.Driver.run ~rng ~limits:(limits_factory ()) meth db cq
+      in
+      {
+        seconds =
+          outcome.Ppr_core.Driver.compile_seconds
+          +. outcome.Ppr_core.Driver.exec_seconds;
+        status = outcome.Ppr_core.Driver.status;
+        rescued = false;
+        nonempty = outcome.Ppr_core.Driver.nonempty;
+        max_arity = outcome.Ppr_core.Driver.max_arity;
+      }
+    | Some ladder ->
+      let budget = Option.value budget ~default:Supervise.Budget.default in
+      let report = Supervise.run ~rng ~budget ~ladder meth db cq in
+      let final =
+        match (report.Supervise.result, List.rev report.Supervise.attempts) with
+        | Some outcome, _ -> outcome
+        | None, last :: _ -> last.Supervise.outcome
+        | None, [] -> assert false (* run always makes at least one attempt *)
+      in
+      {
+        seconds = report.Supervise.total_seconds;
+        status = final.Ppr_core.Driver.status;
+        rescued = report.Supervise.rescued;
+        nonempty = final.Ppr_core.Driver.nonempty;
+        max_arity = final.Ppr_core.Driver.max_arity;
+      }
   in
   aggregate (List.map run_one seeds)
 
@@ -78,23 +128,32 @@ let csv_escape s =
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 
+let breakdown_string cell =
+  String.concat "|"
+    (List.map
+       (fun (label, f) -> Printf.sprintf "%s:%.3f" label f)
+       cell.abort_breakdown)
+
 let csv_row ~x cells =
   match !csv_channel with
   | None -> ()
   | Some oc ->
     if not !csv_header_written then begin
       output_string oc
-        "panel,x,method,median_seconds,timeout_fraction,nonempty_fraction\n";
+        "panel,x,method,median_seconds,abort_fraction,abort_reasons,\
+         rescued_fraction,nonempty_fraction\n";
       csv_header_written := true
     end;
     let title, columns = !current_panel in
     List.iter2
       (fun column cell ->
-        Printf.fprintf oc "%s,%s,%s,%s,%.3f,%.3f\n" (csv_escape title)
+        Printf.fprintf oc "%s,%s,%s,%s,%.3f,%s,%.3f,%.3f\n" (csv_escape title)
           (csv_escape x) (csv_escape column)
           (if cell.median_seconds = infinity then "timeout"
            else Printf.sprintf "%.6f" cell.median_seconds)
-          cell.timeout_fraction cell.nonempty_fraction)
+          cell.abort_fraction
+          (csv_escape (breakdown_string cell))
+          cell.rescued_fraction cell.nonempty_fraction)
       columns cells
 
 let print_header ~title ~columns ~x_label =
@@ -107,8 +166,14 @@ let print_header ~title ~columns ~x_label =
     (String.make (10 + (column_width * List.length columns)) '-')
 
 let format_cell cell =
-  if cell.timeout_fraction > 0.5 then "timeout"
-  else Printf.sprintf "%.4fs/%.0f%%" cell.median_seconds (100. *. cell.nonempty_fraction)
+  if cell.abort_fraction > 0.5 then begin
+    match cell.abort_breakdown with
+    | [ (label, _) ] -> Printf.sprintf "abort:%s" label
+    | _ -> "timeout"
+  end
+  else
+    Printf.sprintf "%.4fs/%.0f%%" cell.median_seconds
+      (100. *. cell.nonempty_fraction)
 
 let print_row ~x ~cells =
   Printf.printf "%-10s" x;
@@ -117,4 +182,6 @@ let print_row ~x ~cells =
   csv_row ~x cells
 
 let print_footer () =
-  Printf.printf "(cells: median seconds / %% of finished seeds nonempty; 'timeout' = resource guard tripped)\n%!"
+  Printf.printf
+    "(cells: median seconds / %% of finished seeds nonempty; \
+     'abort:REASON'/'timeout' = resource guard tripped)\n%!"

@@ -1,18 +1,29 @@
 (** Shared machinery for the scalability experiments: run a set of
     methods over generated instances, take medians over seeds, and print
-    aligned series — one printed block per paper figure. *)
+    aligned series — one printed block per paper figure.
+
+    Aborts are tracked per typed reason (deadline, tuple budget,
+    cardinality, fuel, injected), and cells can optionally run under the
+    {!Supervise} degradation ladder, in which case rescued runs — aborted
+    once but completed by a lower rung — are counted separately. *)
 
 type sample = {
   seconds : float;
-  timed_out : bool;
+  status : Ppr_core.Driver.status;
+      (** of the final (or only) attempt for this seed *)
+  rescued : bool;  (** a ladder rung below the first completed the run *)
   nonempty : bool option;
   max_arity : int;
 }
 
 type cell = {
   median_seconds : float;
-      (** median over seeds; timeouts count as [infinity] *)
-  timeout_fraction : float;
+      (** median over seeds; aborted seeds count as [infinity] *)
+  abort_fraction : float;  (** seeds whose final attempt aborted *)
+  abort_breakdown : (string * float) list;
+      (** fraction of seeds per {!Relalg.Limits.reason_label}, sorted;
+          sums to [abort_fraction] *)
+  rescued_fraction : float;  (** seeds rescued by the ladder *)
   nonempty_fraction : float;  (** over the seeds that finished *)
   median_max_arity : int;
 }
@@ -22,23 +33,32 @@ val median : float list -> float
 
 val run_cell :
   ?limits_factory:(unit -> Relalg.Limits.t) ->
+  ?ladder:Ppr_core.Driver.meth list ->
+  ?budget:Supervise.Budget.t ->
   seeds:int list ->
   instance:(seed:int -> Conjunctive.Database.t * Conjunctive.Cq.t) ->
   meth:Ppr_core.Driver.meth ->
   unit -> cell
 (** One (x-value, method) cell: generate the instance per seed, run the
     method, aggregate. Each seed also seeds the method's own random
-    tie-breaking. *)
+    tie-breaking. When [ladder] is given the run goes through
+    {!Supervise.run} with that cascade and [budget] (default
+    {!Supervise.Budget.default}), and rescues are counted; otherwise a
+    single unsupervised run uses [limits_factory]. *)
 
 val print_header : title:string -> columns:string list -> x_label:string -> unit
+
 val print_row : x:string -> cells:cell list -> unit
-(** A timeout-majority cell prints as [timeout]; otherwise the median
-    time in seconds with the nonempty fraction. *)
+(** An abort-majority cell prints as [abort:REASON] (or [timeout] when
+    reasons are mixed); otherwise the median time in seconds with the
+    nonempty fraction. *)
 
 val print_footer : unit -> unit
 
 val set_csv_channel : out_channel option -> unit
 (** When set, every {!print_row} also appends machine-readable lines
-    [title,x,method,median_seconds,timeout_fraction,nonempty_fraction]
-    to the channel (one per cell; a CSV header is written once).
-    Intended for regenerating the figures with external plotting. *)
+    [title,x,method,median_seconds,abort_fraction,abort_reasons,rescued_fraction,nonempty_fraction]
+    to the channel (one per cell; a CSV header is written once;
+    [abort_reasons] packs the per-reason breakdown as
+    [label:fraction|label:fraction]). Intended for regenerating the
+    figures with external plotting. *)

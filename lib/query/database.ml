@@ -28,6 +28,7 @@ let load_dir dir =
   t
 
 let eval_atom ?stats ?limits t atom =
+  (match limits with Some l -> Relalg.Limits.tick_operator l | None -> ());
   let base = find t atom.Cq.rel in
   let positions = Array.of_list atom.Cq.vars in
   if Array.length positions <> Relation.arity base then

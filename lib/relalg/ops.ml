@@ -5,6 +5,11 @@ module Key_table = Hashtbl.Make (struct
   let hash = Tuple.hash
 end)
 
+(* Every operator spends one unit of fuel up front; the tick also polls
+   the deadline and chaos hook so aborts land at operator boundaries even
+   when the operator itself produces nothing. *)
+let tick = function Some l -> Limits.tick_operator l | None -> ()
+
 let note_result stats limits rel =
   (match limits with
   | Some l -> Limits.check_cardinality l (Relation.cardinality rel)
@@ -28,6 +33,7 @@ let guarded_add limits rel tup =
    Output columns are always [r] then [s \ r], regardless of which side was
    built on, so the operator is deterministic for callers. *)
 let natural_join ?stats ?limits r s =
+  tick limits;
   Option.iter Stats.record_join stats;
   let sr = Relation.schema r and ss = Relation.schema s in
   let common = Schema.inter sr ss in
@@ -74,6 +80,7 @@ let product ?stats ?limits r s =
 (* Sort-merge join: sort both sides by their shared-attribute key, then
    sweep matching runs. Output matches [natural_join] exactly. *)
 let merge_join ?stats ?limits r s =
+  tick limits;
   Option.iter Stats.record_join stats;
   let sr = Relation.schema r and ss = Relation.schema s in
   let common = Schema.inter sr ss in
@@ -126,6 +133,7 @@ let merge_join ?stats ?limits r s =
 let equijoin ?stats ?limits ~on r s =
   if not (Schema.is_disjoint (Relation.schema r) (Relation.schema s)) then
     invalid_arg "Ops.equijoin: schemas intersect";
+  tick limits;
   Option.iter Stats.record_join stats;
   let sr = Relation.schema r and ss = Relation.schema s in
   let key_r = Array.of_list (List.map (fun (a, _) -> Schema.index sr a) on) in
@@ -149,6 +157,7 @@ let equijoin ?stats ?limits ~on r s =
   out
 
 let project ?stats ?limits r sub =
+  tick limits;
   Option.iter Stats.record_projection stats;
   let positions = Schema.positions sub (Relation.schema r) in
   let out = Relation.create ~size_hint:(max 16 (Relation.cardinality r)) sub in
@@ -162,6 +171,7 @@ let project_away ?stats ?limits r dropped =
   project ?stats ?limits r sub
 
 let select ?stats ?limits r pred =
+  tick limits;
   Option.iter Stats.record_selection stats;
   let out =
     Relation.create ~size_hint:(max 16 (Relation.cardinality r)) (Relation.schema r)
@@ -195,6 +205,7 @@ let aligned name r s =
   Relation.reorder s (Relation.schema r)
 
 let union ?stats ?limits r s =
+  tick limits;
   let s = aligned "Ops.union" r s in
   let out = Relation.copy r in
   Relation.iter (fun tup -> guarded_add limits out tup) s;

@@ -5,7 +5,10 @@
     quantities the paper studies — maximum intermediate arity and
     cardinality — and bound runaway evaluations.
 
-    @raise Limits.Exceeded when a guard trips. *)
+    Each operator spends one unit of {!Limits} fuel on entry and charges
+    per materialized tuple, so deadlines and budgets fire mid-operator.
+
+    @raise Limits.Abort when a guard trips (see {!Limits.reason}). *)
 
 val natural_join : ?stats:Stats.t -> ?limits:Limits.t -> Relation.t -> Relation.t -> Relation.t
 (** [natural_join r s] joins on all attributes the schemas share; the

@@ -17,6 +17,8 @@ let create () =
     tuples_produced = 0;
   }
 
+let copy t = { t with joins = t.joins }
+
 let reset t =
   t.joins <- 0;
   t.projections <- 0;

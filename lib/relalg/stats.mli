@@ -20,6 +20,9 @@ type t = {
 val create : unit -> t
 val reset : t -> unit
 
+val copy : t -> t
+(** An independent snapshot (used to freeze partial stats at an abort). *)
+
 val record_join : t -> unit
 val record_projection : t -> unit
 val record_selection : t -> unit

@@ -1,0 +1,42 @@
+type trigger = At_operator of int | After_tuples of int
+
+type t = {
+  label : string;
+  trigger : trigger;
+  reason : Relalg.Limits.reason;
+  attempts : int list option;
+}
+
+let make ?(label = "chaos") ?reason ?attempts trigger =
+  let reason =
+    match reason with Some r -> r | None -> Relalg.Limits.Injected label
+  in
+  { label; trigger; reason; attempts }
+
+let at_operator ?label ?reason ?attempts n =
+  if n < 1 then invalid_arg "Chaos.at_operator: operators are 1-based";
+  make ?label ?reason ?attempts (At_operator n)
+
+let after_tuples ?label ?reason ?attempts k =
+  if k < 0 then invalid_arg "Chaos.after_tuples: negative tuple count";
+  make ?label ?reason ?attempts (After_tuples k)
+
+let seeded ?label ?reason ?attempts ~seed ~max_operator () =
+  if max_operator < 1 then invalid_arg "Chaos.seeded: max_operator < 1";
+  let rng = Graphlib.Rng.make seed in
+  at_operator ?label ?reason ?attempts (1 + Graphlib.Rng.int rng max_operator)
+
+let arm t ~attempt limits =
+  let in_scope =
+    match t.attempts with None -> true | Some l -> List.mem attempt l
+  in
+  if in_scope then
+    Relalg.Limits.set_hook limits
+      (Some
+         (fun ~ops ~total ->
+           let fire =
+             match t.trigger with
+             | At_operator n -> ops >= n
+             | After_tuples k -> total >= k
+           in
+           if fire then raise (Relalg.Limits.Abort t.reason)))

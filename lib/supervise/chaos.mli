@@ -1,0 +1,46 @@
+(** Deterministic fault injection.
+
+    A chaos fault arms the {!Relalg.Limits} hook so a run aborts at a
+    precisely reproducible point — when the N-th operator starts, or once
+    K tuples have been charged — with a chosen typed reason. Tests use it
+    to prove the degradation ladder and the abort taxonomy behave under
+    every failure mode without relying on real clocks or huge inputs. *)
+
+type trigger =
+  | At_operator of int
+      (** fire when the [n]-th operator (1-based) begins executing *)
+  | After_tuples of int
+      (** fire once at least [k] tuples have been charged — i.e. inside
+          an operator's inner loop, mid-join *)
+
+type t = {
+  label : string;
+  trigger : trigger;
+  reason : Relalg.Limits.reason;
+      (** what the fault reports as; defaults to [Injected label], but a
+          fault can impersonate e.g. [Deadline] to exercise that path
+          deterministically *)
+  attempts : int list option;
+      (** ladder attempt indices (0-based) the fault arms on; [None] hits
+          every attempt. Faults restricted to early attempts let tests
+          prove a rescue. *)
+}
+
+val at_operator :
+  ?label:string -> ?reason:Relalg.Limits.reason -> ?attempts:int list ->
+  int -> t
+
+val after_tuples :
+  ?label:string -> ?reason:Relalg.Limits.reason -> ?attempts:int list ->
+  int -> t
+
+val seeded :
+  ?label:string -> ?reason:Relalg.Limits.reason -> ?attempts:int list ->
+  seed:int -> max_operator:int -> unit -> t
+(** An [At_operator] fault whose position is drawn uniformly from
+    [1, max_operator] by a {!Graphlib.Rng} seeded with [seed] — the same
+    seed always yields the same fault. *)
+
+val arm : t -> attempt:int -> Relalg.Limits.t -> unit
+(** Install the fault's hook on the limits if this attempt index is in
+    its scope; otherwise leave the limits untouched. *)

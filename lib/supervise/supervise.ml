@@ -1,0 +1,155 @@
+module Budget = Budget
+module Chaos = Chaos
+module Driver = Ppr_core.Driver
+
+type attempt = {
+  rung : int;
+  meth : Driver.meth;
+  budget : Budget.t;
+  backoff_seconds : float;
+  outcome : Driver.outcome;
+  approximate : bool;
+}
+
+type report = {
+  attempts : attempt list;
+  result : Driver.outcome option;
+  rescued : bool;
+  total_seconds : float;
+}
+
+let log_src = Logs.Src.create "ppr.supervise" ~doc:"Supervised execution"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let is_approximate = function
+  | Driver.Minibucket _ -> true
+  | Driver.Naive _ | Driver.Straightforward | Driver.Early_projection
+  | Driver.Reorder | Driver.Bucket_elimination | Driver.Hybrid
+  | Driver.Hybrid_rank _ ->
+    false
+
+let default_ladder = function
+  | Driver.Bucket_elimination ->
+    [
+      Driver.Bucket_elimination; Driver.Minibucket 3; Driver.Reorder;
+      Driver.Straightforward;
+    ]
+  | Driver.Hybrid ->
+    [
+      Driver.Hybrid_rank 0; Driver.Hybrid_rank 1; Driver.Hybrid_rank 2;
+      Driver.Straightforward;
+    ]
+  | Driver.Hybrid_rank n ->
+    [
+      Driver.Hybrid_rank n; Driver.Hybrid_rank (n + 1);
+      Driver.Hybrid_rank (n + 2); Driver.Straightforward;
+    ]
+  | Driver.Minibucket i when i > 1 ->
+    [
+      Driver.Minibucket i; Driver.Minibucket (i - 1); Driver.Reorder;
+      Driver.Straightforward;
+    ]
+  | Driver.Early_projection ->
+    [ Driver.Early_projection; Driver.Reorder; Driver.Straightforward ]
+  | Driver.Reorder -> [ Driver.Reorder; Driver.Straightforward ]
+  | (Driver.Naive _ | Driver.Straightforward | Driver.Minibucket _) as m ->
+    [ m ]
+
+(* Exponential backoff with deterministic jitter in [0.5x, 1.5x): rung i's
+   retry waits base * 2^(i-1), scaled by a draw from the seeded rng, so a
+   fleet of supervisors with distinct seeds doesn't retry in lockstep while
+   any single run stays bit-for-bit reproducible. *)
+let backoff ~base ~rng i =
+  if base <= 0.0 || i < 1 then 0.0
+  else
+    base
+    *. Float.pow 2.0 (float_of_int (i - 1))
+    *. (0.5 +. Graphlib.Rng.float rng 1.0)
+
+let run ?rng ?(budget = Budget.default) ?ladder ?(budget_scaling = 1.0)
+    ?(backoff_base = 0.0) ?(sleep = false) ?chaos ?clock meth db cq =
+  if budget_scaling <= 0.0 then
+    invalid_arg "Supervise.run: budget_scaling must be positive";
+  let rungs =
+    match ladder with
+    | Some (_ :: _ as l) -> l
+    | Some [] | None -> default_ladder meth
+  in
+  let backoff_rng =
+    match rng with
+    | Some r -> Graphlib.Rng.split r
+    | None -> Graphlib.Rng.make 0x5eed
+  in
+  let rec go i backoff_spent attempts = function
+    | [] -> (List.rev attempts, None, backoff_spent)
+    | m :: rest ->
+      let rung_budget =
+        if i = 0 then budget
+        else Budget.scale (Float.pow budget_scaling (float_of_int i)) budget
+      in
+      let pause = backoff ~base:backoff_base ~rng:backoff_rng i in
+      if sleep && pause > 0.0 then Unix.sleepf pause;
+      let limits = Budget.to_limits ?clock rung_budget in
+      (match chaos with Some c -> Chaos.arm c ~attempt:i limits | None -> ());
+      let outcome = Driver.run ?rng ~limits m db cq in
+      let attempt =
+        {
+          rung = i;
+          meth = m;
+          budget = rung_budget;
+          backoff_seconds = pause;
+          outcome;
+          approximate = is_approximate m;
+        }
+      in
+      (match outcome.Driver.status with
+      | Driver.Completed ->
+        if i > 0 then
+          Log.info (fun f ->
+              f "rescued by %s at rung %d after %d aborted attempt(s)"
+                (Driver.method_name m) i (List.length attempts))
+      | Driver.Aborted a ->
+        Log.info (fun f ->
+            f "rung %d (%s) aborted: %s" i (Driver.method_name m)
+              (Relalg.Limits.describe a.Driver.reason)));
+      (match outcome.Driver.status with
+      | Driver.Completed ->
+        (List.rev (attempt :: attempts), Some outcome, backoff_spent +. pause)
+      | Driver.Aborted _ ->
+        go (i + 1) (backoff_spent +. pause) (attempt :: attempts) rest)
+  in
+  let attempts, result, backoff_spent = go 0 0.0 [] rungs in
+  let work =
+    List.fold_left
+      (fun acc a ->
+        acc
+        +. a.outcome.Driver.compile_seconds
+        +. a.outcome.Driver.exec_seconds)
+      0.0 attempts
+  in
+  {
+    attempts;
+    result;
+    rescued = Option.is_some result && List.length attempts > 1;
+    total_seconds = work +. backoff_spent;
+  }
+
+let pp_report ppf r =
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "rung %d: %a%s%s@." a.rung Driver.pp_outcome a.outcome
+        (if a.approximate then "  [upper bound]" else "")
+        (if a.backoff_seconds > 0.0 then
+           Printf.sprintf "  (backoff %.3fs)" a.backoff_seconds
+         else ""))
+    r.attempts;
+  match (r.result, r.rescued) with
+  | None, _ ->
+    Format.fprintf ppf "exhausted: every rung aborted (%.4fs total)@."
+      r.total_seconds
+  | Some _, true ->
+    Format.fprintf ppf "rescued after %d attempt(s) (%.4fs total)@."
+      (List.length r.attempts) r.total_seconds
+  | Some _, false ->
+    Format.fprintf ppf "completed first try (%.4fs total)@." r.total_seconds

@@ -1,0 +1,76 @@
+(** Resilient execution supervisor.
+
+    Wraps the compilation and execution of any {!Ppr_core.Driver.meth} in
+    a supervised run: a {!Budget} bounds wall clock, materialized tuples,
+    intermediate cardinality and operator fuel; aborts carry a typed
+    {!Relalg.Limits.reason}; and instead of returning nothing, the
+    supervisor retries down a {e degradation ladder} of structurally
+    cheaper (or safer) methods, each rung with a freshly scaled budget and
+    a jittered deterministic backoff. Every attempt is recorded in the
+    {!report} so experiments can count rescues, not just failures.
+
+    This is the "robust plans under uncertainty" concern of
+    structure-guided evaluation: a width-blown bucket elimination should
+    degrade to a mini-bucket bound, a greedy reordering, or the
+    straightforward plan — never into silence. *)
+
+module Budget = Budget
+module Chaos = Chaos
+
+type attempt = {
+  rung : int;  (** 0-based position in the ladder *)
+  meth : Ppr_core.Driver.meth;
+  budget : Budget.t;  (** the scaled budget this attempt ran under *)
+  backoff_seconds : float;
+      (** the jittered backoff computed before this attempt (0 for the
+          first attempt, and whenever no backoff base is configured) *)
+  outcome : Ppr_core.Driver.outcome;
+  approximate : bool;
+      (** true when the rung's method only guarantees an upper bound
+          (mini-bucket): a rescue here trades exactness for an answer *)
+}
+
+type report = {
+  attempts : attempt list;  (** in execution order; never empty *)
+  result : Ppr_core.Driver.outcome option;
+      (** the completed attempt's outcome, [None] when every rung died *)
+  rescued : bool;
+      (** completed only after at least one aborted attempt *)
+  total_seconds : float;  (** compile + exec + backoff over all attempts *)
+}
+
+val is_approximate : Ppr_core.Driver.meth -> bool
+(** Methods whose results are upper bounds rather than exact answers. *)
+
+val default_ladder : Ppr_core.Driver.meth -> Ppr_core.Driver.meth list
+(** The configurable cascade's default, starting from the given method:
+    bucket elimination degrades through mini-bucket and reordering to the
+    straightforward plan; {!Ppr_core.Driver.Hybrid} walks its portfolio's
+    next-best candidates; methods with nothing cheaper below them retry
+    alone. The first element is always the method itself. *)
+
+val run :
+  ?rng:Graphlib.Rng.t ->
+  ?budget:Budget.t ->
+  ?ladder:Ppr_core.Driver.meth list ->
+  ?budget_scaling:float ->
+  ?backoff_base:float ->
+  ?sleep:bool ->
+  ?chaos:Chaos.t ->
+  ?clock:(unit -> float) ->
+  Ppr_core.Driver.meth ->
+  Conjunctive.Database.t ->
+  Conjunctive.Cq.t ->
+  report
+(** Run [meth] under [budget] (default {!Budget.default}); on a typed
+    abort, walk the [ladder] (default {!default_ladder}). Rung [i] runs
+    under [Budget.scale (budget_scaling ^ i) budget] (default scaling
+    [1.0], i.e. a fresh identical budget per rung). Before retry [i >= 1]
+    a backoff of [backoff_base * 2^(i-1)], jittered deterministically in
+    [0.5x, 1.5x) from [rng], is recorded — and actually slept only when
+    [sleep] is true (default false: ladder retries are synchronous
+    recomputation, so sleeping only matters for transient external
+    faults). [chaos] arms a fault on the attempts in its scope. [clock]
+    is forwarded to the budget's limits. *)
+
+val pp_report : Format.formatter -> report -> unit

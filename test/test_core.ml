@@ -628,7 +628,8 @@ let prop_weighted_evaluation_agrees =
 
 let test_driver_outcome_fields () =
   let o = Driver.run Driver.Bucket_elimination coloring_db pentagon_cq in
-  check_bool "not timed out" false o.Driver.timed_out;
+  check_bool "not timed out" false (Driver.timed_out o);
+  check_bool "completed status" true (o.Driver.status = Driver.Completed);
   Alcotest.(check (option bool)) "pentagon colorable" (Some true)
     o.Driver.nonempty;
   check_bool "measured within plan width" true
@@ -641,7 +642,14 @@ let test_driver_timeout_reported () =
   let cq = coloring_query g in
   let limits = Relalg.Limits.create ~max_tuples:100 ~max_total:1000 () in
   let o = Driver.run ~limits Driver.Straightforward coloring_db cq in
-  check_bool "timed out" true o.Driver.timed_out;
+  check_bool "timed out" true (Driver.timed_out o);
+  (match Driver.abort_reason o with
+  | Some (Relalg.Limits.Cardinality _ | Relalg.Limits.Tuple_budget) -> ()
+  | other ->
+    Alcotest.failf "expected a resource abort reason, got %s"
+      (match other with
+      | None -> "Completed"
+      | Some r -> Relalg.Limits.describe r));
   Alcotest.(check (option bool)) "no verdict" None o.Driver.nonempty;
   Alcotest.(check (option int)) "no cardinality" None o.Driver.result_cardinality
 

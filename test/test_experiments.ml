@@ -23,7 +23,7 @@ let test_run_cell_aggregates () =
       ~meth:Ppr_core.Driver.Bucket_elimination ()
   in
   check_bool "no timeouts on tiny instances" true
-    (cell.Experiments.Sweep.timeout_fraction = 0.0);
+    (cell.Experiments.Sweep.abort_fraction = 0.0);
   check_bool "finite median" true
     (Float.is_finite cell.Experiments.Sweep.median_seconds);
   check_bool "nonempty fraction within [0,1]" true
@@ -41,7 +41,7 @@ let test_run_cell_reports_timeouts () =
       ~seeds:[ 1; 2; 3 ] ~instance ~meth:Ppr_core.Driver.Straightforward ()
   in
   Alcotest.(check (float 1e-9)) "all timed out" 1.0
-    cell.Experiments.Sweep.timeout_fraction;
+    cell.Experiments.Sweep.abort_fraction;
   check_bool "median is infinite" true
     (cell.Experiments.Sweep.median_seconds = infinity)
 

@@ -332,7 +332,7 @@ let test_merge_join_respects_limits () =
   let s = relation [ 1 ] [ [ 1 ]; [ 2 ] ] in
   let limits = Relalg.Limits.create ~max_tuples:3 () in
   Alcotest.check_raises "cap applies"
-    (Relalg.Limits.Exceeded "intermediate relation exceeds 3 tuples") (fun () ->
+    (Relalg.Limits.Abort (Relalg.Limits.Cardinality 4)) (fun () ->
       ignore (Ops.merge_join ~limits r s))
 
 (* ------------------------------------------------------------------ *)
@@ -418,7 +418,7 @@ let test_limits_cardinality () =
   let r = relation [ 0 ] [ [ 1 ]; [ 2 ]; [ 3 ]; [ 4 ] ] in
   let s = relation [ 1 ] [ [ 1 ] ] in
   Alcotest.check_raises "per-relation cap"
-    (Relalg.Limits.Exceeded "intermediate relation exceeds 3 tuples") (fun () ->
+    (Relalg.Limits.Abort (Relalg.Limits.Cardinality 4)) (fun () ->
       ignore (Ops.natural_join ~limits r s))
 
 let test_limits_total () =
@@ -426,7 +426,7 @@ let test_limits_total () =
   let r = relation [ 0 ] [ [ 1 ]; [ 2 ]; [ 3 ] ] in
   let s = relation [ 1 ] [ [ 1 ]; [ 2 ] ] in
   Alcotest.check_raises "total budget"
-    (Relalg.Limits.Exceeded "total tuple budget 5 exhausted") (fun () ->
+    (Relalg.Limits.Abort Relalg.Limits.Tuple_budget) (fun () ->
       ignore (Ops.natural_join ~limits r s))
 
 let test_stats_recording () =
