@@ -1,4 +1,4 @@
-.PHONY: all check build test bench fmt clean
+.PHONY: all check build test bench bench-smoke fmt clean
 
 all: check
 
@@ -12,6 +12,11 @@ check: build test
 
 bench:
 	dune exec bench/main.exe
+
+# A seconds-long subset for CI: one figure, tiny scale, one seed,
+# machine-readable results in BENCH_results.json.
+bench-smoke:
+	dune exec bench/main.exe -- --figure 3 --scale 0.2 --seeds 1 --json BENCH_results.json
 
 # Requires ocamlformat; no-op-safe when it is not installed.
 fmt:

@@ -7,16 +7,29 @@
      dune exec bench/main.exe -- --scale 1.0     # paper-sized instances
      dune exec bench/main.exe -- --micro         # micro-benchmarks only
 
-   The environment variable PPR_BENCH_SCALE overrides the default scale. *)
+   The environment variable PPR_BENCH_SCALE overrides the default scale.
+   Besides the human-readable tables (and optional --csv), every run
+   writes a machine-readable summary — per-figure method timings, seeds,
+   scale, git revision — to BENCH_results.json (path override: --json). *)
 
 let default_scale =
   match Sys.getenv_opt "PPR_BENCH_SCALE" with
-  | Some s -> (try float_of_string s with _ -> 0.7)
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some f -> f
+    | None ->
+      Printf.eprintf
+        "warning: PPR_BENCH_SCALE=%S is not a number; using default scale \
+         0.7\n\
+         %!"
+        s;
+      0.7)
   | None -> 0.7
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--figure NAME] [--scale S] [--seeds N] [--micro] [--csv FILE]\n\
+    "usage: main.exe [--figure NAME] [--scale S] [--seeds N] [--micro] \
+     [--csv FILE] [--json FILE]\n\
      figures: %s\n"
     (String.concat ", " Experiments.Figures.names);
   exit 2
@@ -27,12 +40,13 @@ type options = {
   mutable seeds : int;
   mutable micro_only : bool;
   mutable csv : string option;
+  mutable json : string;
 }
 
 let parse_args () =
   let opts =
     { figure = "all"; scale = default_scale; seeds = 3; micro_only = false;
-      csv = None }
+      csv = None; json = "BENCH_results.json" }
   in
   let rec go = function
     | [] -> ()
@@ -50,6 +64,9 @@ let parse_args () =
       go rest
     | "--csv" :: v :: rest ->
       opts.csv <- Some v;
+      go rest
+    | "--json" :: v :: rest ->
+      opts.json <- v;
       go rest
     | _ -> usage ()
   in
@@ -130,22 +147,85 @@ let run_micro () =
   in
   let results = Analyze.merge ols instances results in
   Printf.printf "\n== Micro-benchmarks (ns per run, OLS estimate) ==\n";
+  let estimates = ref [] in
   Hashtbl.iter
     (fun _measure per_test ->
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some (est :: _) -> Printf.printf "%-40s %12.0f ns\n" name est
+          | Some (est :: _) ->
+            estimates := (name, est) :: !estimates;
+            Printf.printf "%-40s %12.0f ns\n" name est
           | _ -> Printf.printf "%-40s %12s\n" name "n/a")
         per_test)
     results;
-  print_newline ()
+  print_newline ();
+  List.sort Stdlib.compare !estimates
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: BENCH_results.json.                       *)
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> Some line
+    | _ -> None
+  with Unix.Unix_error _ | Sys_error _ -> None
+
+let json_of_row (r : Experiments.Sweep.row) =
+  let c = r.Experiments.Sweep.row_cell in
+  let open Telemetry.Json in
+  Obj
+    [
+      ("panel", String r.Experiments.Sweep.row_panel);
+      ("x", String r.Experiments.Sweep.row_x);
+      ("method", String r.Experiments.Sweep.row_method);
+      ("median_seconds", Float c.Experiments.Sweep.median_seconds);
+      ("abort_fraction", Float c.Experiments.Sweep.abort_fraction);
+      ( "abort_reasons",
+        Obj
+          (List.map
+             (fun (label, f) -> (label, Float f))
+             c.Experiments.Sweep.abort_breakdown) );
+      ("rescued_fraction", Float c.Experiments.Sweep.rescued_fraction);
+      ("nonempty_fraction", Float c.Experiments.Sweep.nonempty_fraction);
+      ("plan_width", Int c.Experiments.Sweep.median_plan_width);
+      ("measured_width", Int c.Experiments.Sweep.median_max_arity);
+    ]
+
+let write_json ~opts ~rows ~micro =
+  let open Telemetry.Json in
+  let doc =
+    Obj
+      [
+        ("schema_version", Int 1);
+        ("paper", String "Projection Pushing Revisited (EDBT 2004)");
+        ( "git_rev",
+          match git_rev () with Some r -> String r | None -> Null );
+        ("figure", String opts.figure);
+        ("scale", Float opts.scale);
+        ("seeds", Int opts.seeds);
+        ("rows", List (List.rev_map json_of_row rows |> List.rev));
+        ( "micro_ns",
+          Obj (List.map (fun (name, est) -> (name, Float est)) micro) );
+      ]
+  in
+  let oc = open_out opts.json in
+  to_channel oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d figure rows, %d micro estimates)\n%!" opts.json
+    (List.length rows) (List.length micro)
 
 let () =
   let opts = parse_args () in
   let csv_channel = Option.map open_out opts.csv in
   Experiments.Sweep.set_csv_channel csv_channel;
   at_exit (fun () -> Option.iter close_out csv_channel);
+  let rows = ref [] in
+  Experiments.Sweep.set_recorder (Some (fun r -> rows := r :: !rows));
   if not opts.micro_only then begin
     match Experiments.Figures.by_name opts.figure with
     | Some f ->
@@ -155,4 +235,7 @@ let () =
       f ~scale:opts.scale ~seeds:opts.seeds
     | None -> usage ()
   end;
-  if opts.micro_only || opts.figure = "all" then run_micro ()
+  let micro =
+    if opts.micro_only || opts.figure = "all" then run_micro () else []
+  in
+  write_json ~opts ~rows:(List.rev !rows) ~micro

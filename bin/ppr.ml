@@ -217,6 +217,52 @@ let sql_cmd =
       $ free_fraction_arg $ method_arg)
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry plumbing shared by run and query.                         *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a hierarchical execution trace (per-operator spans with \
+           cardinalities and arities) as Chrome trace-event JSON in FILE; \
+           open it with chrome://tracing or https://ui.perfetto.dev.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "After the run, print the metric registry (operator counters, \
+           join fan-out histogram, abort tallies) to standard output.")
+
+(* Build a telemetry context from the flags, hand it to the body, and
+   flush it afterwards — also when the body raises, so aborted runs
+   still leave a well-formed trace behind. *)
+let with_telemetry ~trace ~metrics f =
+  if trace = None && not metrics then f None
+  else begin
+    let oc = Option.map open_out trace in
+    let sink =
+      match oc with
+      | Some oc -> Telemetry.Sink.chrome oc
+      | None -> Telemetry.Sink.null
+    in
+    let t = Telemetry.create sink in
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.close t;
+        Option.iter close_out oc;
+        Option.iter
+          (fun file -> Printf.eprintf "ppr: trace written to %s\n%!" file)
+          trace;
+        if metrics then
+          Format.printf "%a@." Telemetry.Metrics.pp (Telemetry.metrics t))
+      (fun () -> f (Some t))
+  end
+
+(* ------------------------------------------------------------------ *)
 (* run                                                                 *)
 
 let run_cmd =
@@ -275,8 +321,9 @@ let run_cmd =
            spec)
   in
   let run family order density seed free_fraction meth max_tuples deadline fuel
-      use_ladder chaos =
+      use_ladder chaos trace metrics =
     guarded @@ fun () ->
+    with_telemetry ~trace ~metrics @@ fun telemetry ->
     let db, cq = build_instance family ~order ~density ~seed ~free_fraction in
     Format.printf "query: %d atoms, %d variables, %d free@." (Conjunctive.Cq.atom_count cq)
       (Conjunctive.Cq.var_count cq)
@@ -309,7 +356,7 @@ let run_cmd =
       (fun m ->
         let rng = Graphlib.Rng.make (seed + 31) in
         if use_ladder then begin
-          let report = Supervise.run ~rng ~budget ?chaos m db cq in
+          let report = Supervise.run ~rng ~budget ?chaos ?telemetry m db cq in
           Format.printf "%a" Supervise.pp_report report
         end
         else begin
@@ -317,7 +364,7 @@ let run_cmd =
           (match chaos with
           | Some c -> Supervise.Chaos.arm c ~attempt:0 limits
           | None -> ());
-          let outcome = Ppr_core.Driver.run ~rng ~limits m db cq in
+          let outcome = Ppr_core.Driver.run ~rng ~limits ?telemetry m db cq in
           Format.printf "%a@." Ppr_core.Driver.pp_outcome outcome
         end)
       methods
@@ -327,7 +374,7 @@ let run_cmd =
     Term.(
       const run $ family_arg $ order_arg $ density_arg $ seed_arg
       $ free_fraction_arg $ method_arg $ max_tuples $ deadline $ fuel
-      $ ladder $ chaos)
+      $ ladder $ chaos $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* treewidth                                                           *)
@@ -477,8 +524,9 @@ let query_cmd =
   let sql_flag =
     Arg.(value & flag & info [ "show-sql" ] ~doc:"Also print the SQL of the plan.")
   in
-  let run query_text query_file data_dir meth show_sql =
+  let run query_text query_file data_dir meth show_sql trace metrics =
     guarded @@ fun () ->
+    with_telemetry ~trace ~metrics @@ fun telemetry ->
     let source =
       match (query_text, query_file) with
       | Some q, None -> q
@@ -512,7 +560,7 @@ let query_cmd =
       print_string
         (Sqlgen.Pretty.query
            (Sqlgen.Translate.of_plan ~namer:parsed.Conjunctive.Parse.namer cq plan));
-    let result = Ppr_core.Exec.run db plan in
+    let result = Ppr_core.Exec.run ?telemetry db plan in
     let schema = Relalg.Relation.schema result in
     (match cq.Conjunctive.Cq.free with
     | [] ->
@@ -535,7 +583,9 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a Datalog-style project-join query.")
-    Term.(const run $ query_text $ query_file $ data_dir $ method_arg $ sql_flag)
+    Term.(
+      const run $ query_text $ query_file $ data_dir $ method_arg $ sql_flag
+      $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* acyclic: hypergraph structure report                                *)

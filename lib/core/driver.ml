@@ -71,37 +71,61 @@ let log_src =
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-let run ?rng ?limits meth db cq =
+(* Driver-level spans ([compile:<method>], [exec:<method>]) and counters
+   ([driver.runs], [driver.aborts.<reason>]) land in the caller's telemetry
+   registry; the per-run [Stats.t] keeps its own private registry so the
+   outcome's measurements never mix across runs. *)
+let run ?rng ?limits ?telemetry meth db cq =
   let clock = Unix.gettimeofday in
+  let name = method_name meth in
+  let in_span phase attrs f =
+    match telemetry with
+    | None -> f ()
+    | Some t ->
+      Telemetry.with_span t (phase ^ ":" ^ name) ~attrs (fun _ -> f ())
+  in
   let t0 = clock () in
-  let plan = compile ?rng meth db cq in
+  let plan = in_span "compile" [] (fun () -> compile ?rng meth db cq) in
   let t1 = clock () in
   Log.debug (fun m ->
-      m "%s: compiled in %.4fs (width %d, %d joins, %d projections)"
-        (method_name meth) (t1 -. t0) (Plan.width plan) (Plan.join_count plan)
+      m "%s: compiled in %.4fs (width %d, %d joins, %d projections)" name
+        (t1 -. t0) (Plan.width plan) (Plan.join_count plan)
         (Plan.projection_count plan));
   let stats = Relalg.Stats.create () in
   let limits = match limits with Some l -> l | None -> Relalg.Limits.create () in
   let result, status =
-    try (Some (Exec.run ~stats ~limits db plan), Completed)
-    with Relalg.Limits.Abort reason ->
-      Log.info (fun m ->
-          m "%s: aborted — %s" (method_name meth)
-            (Relalg.Limits.describe reason));
-      (None, Aborted { reason; partial_stats = Relalg.Stats.copy stats })
+    in_span "exec"
+      [ ("plan.width", Telemetry.Attr.Int (Plan.width plan)) ]
+      (fun () ->
+        try (Some (Exec.run ~stats ~limits ?telemetry db plan), Completed)
+        with Relalg.Limits.Abort reason ->
+          Log.info (fun m ->
+              m "%s: aborted — %s" name (Relalg.Limits.describe reason));
+          (None, Aborted { reason; partial_stats = Relalg.Stats.copy stats }))
   in
+  (match telemetry with
+  | None -> ()
+  | Some t ->
+    let reg = Telemetry.metrics t in
+    Telemetry.Metrics.incr (Telemetry.Metrics.counter reg "driver.runs");
+    (match status with
+    | Completed -> ()
+    | Aborted a ->
+      let label = Relalg.Limits.reason_label a.reason in
+      Telemetry.Metrics.incr
+        (Telemetry.Metrics.counter reg ("driver.aborts." ^ label))));
   let t2 = clock () in
   Log.debug (fun m ->
-      m "%s: executed in %.4fs (%s)" (method_name meth) (t2 -. t1)
+      m "%s: executed in %.4fs (%s)" name (t2 -. t1)
         (Format.asprintf "%a" Relalg.Stats.pp stats));
   {
     meth;
     compile_seconds = t1 -. t0;
     exec_seconds = t2 -. t1;
     plan_width = Plan.width plan;
-    max_arity = stats.Relalg.Stats.max_arity;
-    max_cardinality = stats.Relalg.Stats.max_cardinality;
-    tuples_produced = stats.Relalg.Stats.tuples_produced;
+    max_arity = Relalg.Stats.max_arity stats;
+    max_cardinality = Relalg.Stats.max_cardinality stats;
+    tuples_produced = Relalg.Stats.tuples_produced stats;
     result_cardinality = Option.map Relalg.Relation.cardinality result;
     nonempty = Option.map (fun r -> not (Relalg.Relation.is_empty r)) result;
     status;

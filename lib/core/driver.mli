@@ -52,9 +52,13 @@ val compile :
 
 val run :
   ?rng:Graphlib.Rng.t -> ?limits:Relalg.Limits.t ->
+  ?telemetry:Telemetry.t ->
   meth -> Conjunctive.Database.t -> Conjunctive.Cq.t -> outcome
 (** Compile, execute, and measure. A {!Relalg.Limits.Abort} is caught and
     reported as [Aborted] (with the typed reason and the stats gathered up
-    to that point) rather than raised. *)
+    to that point) rather than raised. With [telemetry], the two phases run
+    in [compile:<method>] / [exec:<method>] spans, operators record their
+    own [op.*] spans underneath, and the registry tallies [driver.runs]
+    plus one [driver.aborts.<reason>] counter per typed abort. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

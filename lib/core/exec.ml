@@ -5,30 +5,41 @@ module Database = Conjunctive.Database
 
 type join_algorithm = Hash | Merge
 
-let rec run ?(join_algorithm = Hash) ?stats ?limits db = function
-  | Plan.Atom atom -> Database.eval_atom ?stats ?limits db atom
-  | Plan.Join (l, r) ->
-    let rl = run ~join_algorithm ?stats ?limits db l in
-    let rr = run ~join_algorithm ?stats ?limits db r in
-    let join =
-      match join_algorithm with
-      | Hash -> Ops.natural_join ?stats ?limits
-      | Merge -> Ops.merge_join ?stats ?limits
-    in
-    join rl rr
-  | Plan.Project (sub, kept) ->
-    let rsub = run ~join_algorithm ?stats ?limits db sub in
-    (* Keep the input's column order for the retained variables; the
-       variable set, not the order, is what projection means here. Build
-       the kept-set once instead of scanning the list per variable. *)
-    let kept_set = Hashtbl.create (List.length kept) in
-    List.iter (fun v -> Hashtbl.replace kept_set v ()) kept;
-    let target =
-      Schema.restrict (Relation.schema rsub) ~keep:(Hashtbl.mem kept_set)
-    in
-    if Schema.arity target <> Hashtbl.length kept_set then
-      invalid_arg "Exec: projection keeps a variable absent from its input";
-    Ops.project ?stats ?limits rsub target
+(* Each plan node runs inside a [plan.*] span (the operator itself adds a
+   nested [op.*] span), so a trace mirrors the plan tree: a join node's
+   span contains both input subtrees and the join work. *)
+let rec run ?(join_algorithm = Hash) ?stats ?limits ?telemetry db plan =
+  let eval () =
+    match plan with
+    | Plan.Atom atom -> Database.eval_atom ?stats ?limits ?telemetry db atom
+    | Plan.Join (l, r) ->
+      let rl = run ~join_algorithm ?stats ?limits ?telemetry db l in
+      let rr = run ~join_algorithm ?stats ?limits ?telemetry db r in
+      let join =
+        match join_algorithm with
+        | Hash -> Ops.natural_join ?stats ?limits ?telemetry
+        | Merge -> Ops.merge_join ?stats ?limits ?telemetry
+      in
+      join rl rr
+    | Plan.Project (sub, kept) ->
+      let rsub = run ~join_algorithm ?stats ?limits ?telemetry db sub in
+      (* Keep the input's column order for the retained variables; the
+         variable set, not the order, is what projection means here. Build
+         the kept-set once instead of scanning the list per variable. *)
+      let kept_set = Hashtbl.create (List.length kept) in
+      List.iter (fun v -> Hashtbl.replace kept_set v ()) kept;
+      let target =
+        Schema.restrict (Relation.schema rsub) ~keep:(Hashtbl.mem kept_set)
+      in
+      if Schema.arity target <> Hashtbl.length kept_set then
+        invalid_arg "Exec: projection keeps a variable absent from its input";
+      Ops.project ?stats ?limits ?telemetry rsub target
+  in
+  match (telemetry, plan) with
+  | Some t, Plan.Join _ -> Telemetry.with_span t "plan.join" (fun _ -> eval ())
+  | Some t, Plan.Project _ ->
+    Telemetry.with_span t "plan.project" (fun _ -> eval ())
+  | _, _ -> eval ()
 
-let nonempty ?join_algorithm ?stats ?limits db plan =
-  not (Relation.is_empty (run ?join_algorithm ?stats ?limits db plan))
+let nonempty ?join_algorithm ?stats ?limits ?telemetry db plan =
+  not (Relation.is_empty (run ?join_algorithm ?stats ?limits ?telemetry db plan))

@@ -9,15 +9,20 @@ type join_algorithm = Hash | Merge
 val run :
   ?join_algorithm:join_algorithm ->
   ?stats:Relalg.Stats.t -> ?limits:Relalg.Limits.t ->
+  ?telemetry:Telemetry.t ->
   Conjunctive.Database.t -> Plan.t -> Relalg.Relation.t
 (** Execute a plan. [join_algorithm] defaults to [Hash] (the paper
     forced hash joins in PostgreSQL); [Merge] runs the same plans over
-    sort-merge joins for the join-algorithm ablation.
+    sort-merge joins for the join-algorithm ablation. With [telemetry],
+    every plan node opens a [plan.join]/[plan.project] span and every
+    operator a nested [op.*] span, so the resulting trace mirrors the
+    plan tree (see {!Telemetry}).
     @raise Relalg.Limits.Abort when a resource guard trips.
     @raise Not_found if an atom names an unregistered relation. *)
 
 val nonempty :
   ?join_algorithm:join_algorithm ->
   ?stats:Relalg.Stats.t -> ?limits:Relalg.Limits.t ->
+  ?telemetry:Telemetry.t ->
   Conjunctive.Database.t -> Plan.t -> bool
 (** The Boolean answer: whether the query result is nonempty. *)

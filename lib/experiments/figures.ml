@@ -24,20 +24,28 @@ let paper_methods =
     ("bucket-elim", Driver.Bucket_elimination);
   ]
 
-(* A figure panel: one table of method columns over a swept parameter. *)
+(* A figure panel: one table of method columns over a swept parameter.
+   After the sweep, the last (hardest) row's cells also print the
+   predicted-vs-measured width comparison per method. *)
 let panel ~title ~x_label ~xs ~seeds ~instance =
   Sweep.print_header ~title ~columns:(List.map fst paper_methods) ~x_label;
-  List.iter
-    (fun x ->
-      let cells =
-        List.map
-          (fun (_, meth) ->
-            Sweep.run_cell ~limits_factory ~seeds:(seed_list seeds)
-              ~instance:(instance x) ~meth ())
-          paper_methods
-      in
-      Sweep.print_row ~x:(Printf.sprintf "%g" x) ~cells)
-    xs;
+  let last_cells =
+    List.fold_left
+      (fun _ x ->
+        let cells =
+          List.map
+            (fun (_, meth) ->
+              Sweep.run_cell ~limits_factory ~seeds:(seed_list seeds)
+                ~instance:(instance x) ~meth ())
+            paper_methods
+        in
+        Sweep.print_row ~x:(Printf.sprintf "%g" x) ~cells;
+        Some cells)
+      None xs
+  in
+  (match last_cells with
+  | Some cells -> Sweep.print_width_summary ~cells
+  | None -> ());
   Sweep.print_footer ()
 
 
@@ -444,7 +452,7 @@ let figure_weighted ~scale ~seeds =
                 (Ppr_core.Bucket.compile ~order cq))
          with Relalg.Limits.Abort _ -> ());
         ( Unix.gettimeofday () -. t0,
-          float_of_int stats.Relalg.Stats.max_cardinality ))
+          float_of_int (Relalg.Stats.max_cardinality stats) ))
       (seed_list seeds)
   in
   List.iter

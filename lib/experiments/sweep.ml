@@ -3,6 +3,7 @@ type sample = {
   status : Ppr_core.Driver.status;  (* of the final attempt *)
   rescued : bool;
   nonempty : bool option;
+  plan_width : int;
   max_arity : int;
 }
 
@@ -12,7 +13,15 @@ type cell = {
   abort_breakdown : (string * float) list;
   rescued_fraction : float;
   nonempty_fraction : float;
+  median_plan_width : int;
   median_max_arity : int;
+}
+
+type row = {
+  row_panel : string;
+  row_x : string;
+  row_method : string;
+  row_cell : cell;
 }
 
 let aborted s =
@@ -70,18 +79,20 @@ let aggregate samples =
     nonempty_fraction =
       (if finished = [] then 0.0
        else float_of_int nonempty_count /. float_of_int (List.length finished));
+    median_plan_width = int_median (List.map (fun s -> s.plan_width) samples);
     median_max_arity = int_median (List.map (fun s -> s.max_arity) samples);
   }
 
 let run_cell ?(limits_factory = fun () -> Relalg.Limits.create ()) ?ladder
-    ?budget ~seeds ~instance ~meth () =
+    ?budget ?telemetry ~seeds ~instance ~meth () =
   let run_one seed =
     let db, cq = instance ~seed in
     let rng = Graphlib.Rng.make (seed * 7919) in
     match ladder with
     | None ->
       let outcome =
-        Ppr_core.Driver.run ~rng ~limits:(limits_factory ()) meth db cq
+        Ppr_core.Driver.run ~rng ~limits:(limits_factory ()) ?telemetry meth
+          db cq
       in
       {
         seconds =
@@ -90,11 +101,12 @@ let run_cell ?(limits_factory = fun () -> Relalg.Limits.create ()) ?ladder
         status = outcome.Ppr_core.Driver.status;
         rescued = false;
         nonempty = outcome.Ppr_core.Driver.nonempty;
+        plan_width = outcome.Ppr_core.Driver.plan_width;
         max_arity = outcome.Ppr_core.Driver.max_arity;
       }
     | Some ladder ->
       let budget = Option.value budget ~default:Supervise.Budget.default in
-      let report = Supervise.run ~rng ~budget ~ladder meth db cq in
+      let report = Supervise.run ~rng ~budget ~ladder ?telemetry meth db cq in
       let final =
         match (report.Supervise.result, List.rev report.Supervise.attempts) with
         | Some outcome, _ -> outcome
@@ -106,6 +118,7 @@ let run_cell ?(limits_factory = fun () -> Relalg.Limits.create ()) ?ladder
         status = final.Ppr_core.Driver.status;
         rescued = report.Supervise.rescued;
         nonempty = final.Ppr_core.Driver.nonempty;
+        plan_width = final.Ppr_core.Driver.plan_width;
         max_arity = final.Ppr_core.Driver.max_arity;
       }
   in
@@ -113,15 +126,18 @@ let run_cell ?(limits_factory = fun () -> Relalg.Limits.create ()) ?ladder
 
 let column_width = 16
 
-(* Optional machine-readable sink; the header/columns of the panel being
+(* Optional machine-readable sinks; the header/columns of the panel being
    printed are remembered so rows can be attributed. *)
 let csv_channel = ref None
 let csv_header_written = ref false
+let recorder = ref (None : (row -> unit) option)
 let current_panel = ref ("", ([] : string list))
 
 let set_csv_channel ch =
   csv_channel := ch;
   csv_header_written := false
+
+let set_recorder r = recorder := r
 
 let csv_escape s =
   if String.contains s ',' || String.contains s '"' then
@@ -141,19 +157,31 @@ let csv_row ~x cells =
     if not !csv_header_written then begin
       output_string oc
         "panel,x,method,median_seconds,abort_fraction,abort_reasons,\
-         rescued_fraction,nonempty_fraction\n";
+         rescued_fraction,nonempty_fraction,plan_width,measured_width\n";
       csv_header_written := true
     end;
     let title, columns = !current_panel in
     List.iter2
       (fun column cell ->
-        Printf.fprintf oc "%s,%s,%s,%s,%.3f,%s,%.3f,%.3f\n" (csv_escape title)
-          (csv_escape x) (csv_escape column)
+        Printf.fprintf oc "%s,%s,%s,%s,%.3f,%s,%.3f,%.3f,%d,%d\n"
+          (csv_escape title) (csv_escape x) (csv_escape column)
           (if cell.median_seconds = infinity then "timeout"
            else Printf.sprintf "%.6f" cell.median_seconds)
           cell.abort_fraction
           (csv_escape (breakdown_string cell))
-          cell.rescued_fraction cell.nonempty_fraction)
+          cell.rescued_fraction cell.nonempty_fraction cell.median_plan_width
+          cell.median_max_arity)
+      columns cells
+
+let record_row ~x cells =
+  match !recorder with
+  | None -> ()
+  | Some record ->
+    let title, columns = !current_panel in
+    List.iter2
+      (fun column cell ->
+        record
+          { row_panel = title; row_x = x; row_method = column; row_cell = cell })
       columns cells
 
 let print_header ~title ~columns ~x_label =
@@ -179,7 +207,24 @@ let print_row ~x ~cells =
   Printf.printf "%-10s" x;
   List.iter (fun c -> Printf.printf "%*s" column_width (format_cell c)) cells;
   print_newline ();
-  csv_row ~x cells
+  csv_row ~x cells;
+  record_row ~x cells
+
+let print_width_summary ~cells =
+  (* "predicted vs. measured": the analytic plan width next to the widest
+     intermediate relation the execution actually materialized. Equality
+     means the width analysis was exact on this panel's last row. *)
+  let _, columns = !current_panel in
+  Printf.printf "%-10s" "width";
+  List.iter2
+    (fun _column cell ->
+      Printf.printf "%*s" column_width
+        (Printf.sprintf "%d->%d" cell.median_plan_width cell.median_max_arity))
+    columns cells;
+  print_newline ();
+  Printf.printf
+    "(width row: predicted plan width -> measured max intermediate arity, \
+     medians over seeds)\n"
 
 let print_footer () =
   Printf.printf

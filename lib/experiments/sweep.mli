@@ -13,7 +13,8 @@ type sample = {
       (** of the final (or only) attempt for this seed *)
   rescued : bool;  (** a ladder rung below the first completed the run *)
   nonempty : bool option;
-  max_arity : int;
+  plan_width : int;  (** analytic: largest node schema in the plan *)
+  max_arity : int;  (** measured: widest intermediate relation *)
 }
 
 type cell = {
@@ -25,8 +26,19 @@ type cell = {
           sums to [abort_fraction] *)
   rescued_fraction : float;  (** seeds rescued by the ladder *)
   nonempty_fraction : float;  (** over the seeds that finished *)
-  median_max_arity : int;
+  median_plan_width : int;  (** predicted width, median over seeds *)
+  median_max_arity : int;  (** measured width, median over seeds *)
 }
+
+type row = {
+  row_panel : string;
+  row_x : string;
+  row_method : string;
+  row_cell : cell;
+}
+(** One printed cell with its coordinates — what {!set_recorder}
+    receives. Field names are prefixed so the record can be opened next
+    to {!cell}. *)
 
 val median : float list -> float
 (** @raise Invalid_argument on the empty list. *)
@@ -35,6 +47,7 @@ val run_cell :
   ?limits_factory:(unit -> Relalg.Limits.t) ->
   ?ladder:Ppr_core.Driver.meth list ->
   ?budget:Supervise.Budget.t ->
+  ?telemetry:Telemetry.t ->
   seeds:int list ->
   instance:(seed:int -> Conjunctive.Database.t * Conjunctive.Cq.t) ->
   meth:Ppr_core.Driver.meth ->
@@ -44,7 +57,9 @@ val run_cell :
     tie-breaking. When [ladder] is given the run goes through
     {!Supervise.run} with that cascade and [budget] (default
     {!Supervise.Budget.default}), and rescues are counted; otherwise a
-    single unsupervised run uses [limits_factory]. *)
+    single unsupervised run uses [limits_factory]. [telemetry] is
+    threaded into every run (spans for each compile/exec/operator, abort
+    tallies in the registry). *)
 
 val print_header : title:string -> columns:string list -> x_label:string -> unit
 
@@ -53,12 +68,23 @@ val print_row : x:string -> cells:cell list -> unit
     reasons are mixed); otherwise the median time in seconds with the
     nonempty fraction. *)
 
+val print_width_summary : cells:cell list -> unit
+(** Append a "predicted width -> measured width" row for the given cells
+    (typically the panel's last, largest x), one entry per method column:
+    the analytic plan width against the widest intermediate relation the
+    execution actually produced. *)
+
 val print_footer : unit -> unit
 
 val set_csv_channel : out_channel option -> unit
 (** When set, every {!print_row} also appends machine-readable lines
-    [title,x,method,median_seconds,abort_fraction,abort_reasons,rescued_fraction,nonempty_fraction]
+    [title,x,method,median_seconds,abort_fraction,abort_reasons,rescued_fraction,nonempty_fraction,plan_width,measured_width]
     to the channel (one per cell; a CSV header is written once;
     [abort_reasons] packs the per-reason breakdown as
     [label:fraction|label:fraction]). Intended for regenerating the
     figures with external plotting. *)
+
+val set_recorder : (row -> unit) option -> unit
+(** When set, every {!print_row} also passes each cell — with its panel,
+    x value and method — to the callback. The benchmark harness uses this
+    to accumulate rows for [BENCH_results.json]. *)

@@ -27,7 +27,12 @@ let load_dir dir =
     (Sys.readdir dir);
   t
 
-let eval_atom ?stats ?limits t atom =
+let eval_atom ?stats ?limits ?telemetry t atom =
+  let sp =
+    match telemetry with
+    | None -> None
+    | Some tel -> Some (tel, Telemetry.start tel "op.scan")
+  in
   (match limits with Some l -> Relalg.Limits.tick_operator l | None -> ());
   let base = find t atom.Cq.rel in
   let positions = Array.of_list atom.Cq.vars in
@@ -64,4 +69,15 @@ let eval_atom ?stats ?limits t atom =
     Relalg.Stats.record_relation st ~arity:(Relation.arity out)
       ~cardinality:(Relation.cardinality out)
   | None -> ());
+  (match sp with
+  | None -> ()
+  | Some (tel, sp) ->
+    Telemetry.Span.add_attrs sp
+      [
+        ("relation", Telemetry.Attr.String atom.Cq.rel);
+        ("rows.base", Telemetry.Attr.Int (Relation.cardinality base));
+        ("rows.out", Telemetry.Attr.Int (Relation.cardinality out));
+        ("arity.out", Telemetry.Attr.Int (Relation.arity out));
+      ];
+    Telemetry.stop tel sp);
   out

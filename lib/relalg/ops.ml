@@ -29,10 +29,54 @@ let guarded_add limits rel tup =
     | None -> ()
   end
 
+(* Telemetry is threaded as an option so the disabled path is one match
+   on [None]: no span, no attribute list, no clock read. An operator
+   that aborts mid-loop leaves its span open; the enclosing span's stop
+   closes it (marked [unwound]), so traces stay well-formed. *)
+let span telemetry name =
+  match telemetry with
+  | None -> None
+  | Some t -> Some (t, Telemetry.start t name)
+
+let fanout_bounds = [| 0.05; 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 32.0; 128.0 |]
+
+let finish_join sp r s out =
+  match sp with
+  | None -> ()
+  | Some (t, sp) ->
+    let left = Relation.cardinality r and right = Relation.cardinality s in
+    let produced = Relation.cardinality out in
+    Telemetry.Span.add_attrs sp
+      [
+        ("rows.left", Telemetry.Attr.Int left);
+        ("rows.right", Telemetry.Attr.Int right);
+        ("rows.out", Telemetry.Attr.Int produced);
+        ("arity.out", Telemetry.Attr.Int (Relation.arity out));
+        ("hash.probes", Telemetry.Attr.Int (max left right));
+      ];
+    Telemetry.Metrics.observe
+      (Telemetry.Metrics.histogram ~bounds:fanout_bounds (Telemetry.metrics t)
+         "ops.join_fanout")
+      (float_of_int produced /. float_of_int (max 1 (max left right)));
+    Telemetry.stop t sp
+
+let finish_unary sp r out =
+  match sp with
+  | None -> ()
+  | Some (t, sp) ->
+    Telemetry.Span.add_attrs sp
+      [
+        ("rows.in", Telemetry.Attr.Int (Relation.cardinality r));
+        ("rows.out", Telemetry.Attr.Int (Relation.cardinality out));
+        ("arity.out", Telemetry.Attr.Int (Relation.arity out));
+      ];
+    Telemetry.stop t sp
+
 (* Hash join. The build side is the smaller input; the probe side streams.
    Output columns are always [r] then [s \ r], regardless of which side was
    built on, so the operator is deterministic for callers. *)
-let natural_join ?stats ?limits r s =
+let natural_join ?stats ?limits ?telemetry r s =
+  let sp = span telemetry "op.join.hash" in
   tick limits;
   Option.iter Stats.record_join stats;
   let sr = Relation.schema r and ss = Relation.schema s in
@@ -70,16 +114,18 @@ let natural_join ?stats ?limits r s =
           bucket)
     probe;
   note_result stats limits out;
+  finish_join sp r s out;
   out
 
-let product ?stats ?limits r s =
+let product ?stats ?limits ?telemetry r s =
   if not (Schema.is_disjoint (Relation.schema r) (Relation.schema s)) then
     invalid_arg "Ops.product: schemas intersect";
-  natural_join ?stats ?limits r s
+  natural_join ?stats ?limits ?telemetry r s
 
 (* Sort-merge join: sort both sides by their shared-attribute key, then
    sweep matching runs. Output matches [natural_join] exactly. *)
-let merge_join ?stats ?limits r s =
+let merge_join ?stats ?limits ?telemetry r s =
+  let sp = span telemetry "op.join.merge" in
   tick limits;
   Option.iter Stats.record_join stats;
   let sr = Relation.schema r and ss = Relation.schema s in
@@ -128,11 +174,13 @@ let merge_join ?stats ?limits r s =
     end
   done;
   note_result stats limits out;
+  finish_join sp r s out;
   out
 
-let equijoin ?stats ?limits ~on r s =
+let equijoin ?stats ?limits ?telemetry ~on r s =
   if not (Schema.is_disjoint (Relation.schema r) (Relation.schema s)) then
     invalid_arg "Ops.equijoin: schemas intersect";
+  let sp = span telemetry "op.join.equi" in
   tick limits;
   Option.iter Stats.record_join stats;
   let sr = Relation.schema r and ss = Relation.schema s in
@@ -154,23 +202,27 @@ let equijoin ?stats ?limits ~on r s =
         List.iter (fun mate -> guarded_add limits out (Tuple.concat tup mate)) bucket)
     r;
   note_result stats limits out;
+  finish_join sp r s out;
   out
 
-let project ?stats ?limits r sub =
+let project ?stats ?limits ?telemetry r sub =
+  let sp = span telemetry "op.project" in
   tick limits;
   Option.iter Stats.record_projection stats;
   let positions = Schema.positions sub (Relation.schema r) in
   let out = Relation.create ~size_hint:(max 16 (Relation.cardinality r)) sub in
   Relation.iter (fun tup -> guarded_add limits out (Tuple.project tup positions)) r;
   note_result stats limits out;
+  finish_unary sp r out;
   out
 
-let project_away ?stats ?limits r dropped =
+let project_away ?stats ?limits ?telemetry r dropped =
   let keep a = not (List.mem a dropped) in
   let sub = Schema.restrict (Relation.schema r) ~keep in
-  project ?stats ?limits r sub
+  project ?stats ?limits ?telemetry r sub
 
-let select ?stats ?limits r pred =
+let select_named name ?stats ?limits ?telemetry r pred =
+  let sp = span telemetry name in
   tick limits;
   Option.iter Stats.record_selection stats;
   let out =
@@ -178,16 +230,20 @@ let select ?stats ?limits r pred =
   in
   Relation.iter (fun tup -> if pred tup then guarded_add limits out tup) r;
   note_result stats limits out;
+  finish_unary sp r out;
   out
 
-let select_eq ?stats ?limits r attr value =
-  let i = Schema.index (Relation.schema r) attr in
-  select ?stats ?limits r (fun tup -> Tuple.get tup i = value)
+let select ?stats ?limits ?telemetry r pred =
+  select_named "op.select" ?stats ?limits ?telemetry r pred
 
-let select_attr_eq ?stats ?limits r a b =
+let select_eq ?stats ?limits ?telemetry r attr value =
+  let i = Schema.index (Relation.schema r) attr in
+  select ?stats ?limits ?telemetry r (fun tup -> Tuple.get tup i = value)
+
+let select_attr_eq ?stats ?limits ?telemetry r a b =
   let ia = Schema.index (Relation.schema r) a in
   let ib = Schema.index (Relation.schema r) b in
-  select ?stats ?limits r (fun tup -> Tuple.get tup ia = Tuple.get tup ib)
+  select ?stats ?limits ?telemetry r (fun tup -> Tuple.get tup ia = Tuple.get tup ib)
 
 let rename r mapping =
   let fresh =
@@ -204,21 +260,23 @@ let aligned name r s =
     invalid_arg (name ^ ": schemas are not permutations of each other");
   Relation.reorder s (Relation.schema r)
 
-let union ?stats ?limits r s =
+let union ?stats ?limits ?telemetry r s =
+  let sp = span telemetry "op.union" in
   tick limits;
   let s = aligned "Ops.union" r s in
   let out = Relation.copy r in
   Relation.iter (fun tup -> guarded_add limits out tup) s;
   note_result stats limits out;
+  finish_unary sp r out;
   out
 
-let inter ?stats ?limits r s =
+let inter ?stats ?limits ?telemetry r s =
   let s = aligned "Ops.inter" r s in
-  select ?stats ?limits r (fun tup -> Relation.mem s tup)
+  select_named "op.inter" ?stats ?limits ?telemetry r (fun tup -> Relation.mem s tup)
 
-let diff ?stats ?limits r s =
+let diff ?stats ?limits ?telemetry r s =
   let s = aligned "Ops.diff" r s in
-  select ?stats ?limits r (fun tup -> not (Relation.mem s tup))
+  select_named "op.diff" ?stats ?limits ?telemetry r (fun tup -> not (Relation.mem s tup))
 
 (* Semi/antijoin: hash the join-key projection of [s], filter [r]. *)
 let key_set s key_positions =
@@ -228,16 +286,18 @@ let key_set s key_positions =
     s;
   keys
 
-let semijoin ?stats ?limits r s =
+let semijoin ?stats ?limits ?telemetry r s =
   let common = Schema.inter (Relation.schema r) (Relation.schema s) in
   let key_r = Schema.positions common (Relation.schema r) in
   let key_s = Schema.positions common (Relation.schema s) in
   let keys = key_set s key_s in
-  select ?stats ?limits r (fun tup -> Key_table.mem keys (Tuple.project tup key_r))
+  select_named "op.semijoin" ?stats ?limits ?telemetry r (fun tup ->
+      Key_table.mem keys (Tuple.project tup key_r))
 
-let antijoin ?stats ?limits r s =
+let antijoin ?stats ?limits ?telemetry r s =
   let common = Schema.inter (Relation.schema r) (Relation.schema s) in
   let key_r = Schema.positions common (Relation.schema r) in
   let key_s = Schema.positions common (Relation.schema s) in
   let keys = key_set s key_s in
-  select ?stats ?limits r (fun tup -> not (Key_table.mem keys (Tuple.project tup key_r)))
+  select_named "op.antijoin" ?stats ?limits ?telemetry r (fun tup ->
+      not (Key_table.mem keys (Tuple.project tup key_r)))

@@ -1,43 +1,67 @@
+module Metrics = Telemetry.Metrics
+
 type t = {
-  mutable joins : int;
-  mutable projections : int;
-  mutable selections : int;
-  mutable max_cardinality : int;
-  mutable max_arity : int;
-  mutable tuples_produced : int;
+  metrics : Metrics.t;
+  joins : Metrics.counter;
+  projections : Metrics.counter;
+  selections : Metrics.counter;
+  max_cardinality : Metrics.gauge;
+  max_arity : Metrics.gauge;
+  tuples_produced : Metrics.counter;
 }
 
-let create () =
+let attach metrics =
   {
-    joins = 0;
-    projections = 0;
-    selections = 0;
-    max_cardinality = 0;
-    max_arity = 0;
-    tuples_produced = 0;
+    metrics;
+    joins = Metrics.counter metrics "ops.joins";
+    projections = Metrics.counter metrics "ops.projections";
+    selections = Metrics.counter metrics "ops.selections";
+    max_cardinality = Metrics.max_gauge metrics "ops.max_cardinality";
+    max_arity = Metrics.max_gauge metrics "ops.max_arity";
+    tuples_produced = Metrics.counter metrics "ops.tuples_produced";
   }
 
-let copy t = { t with joins = t.joins }
+let create ?metrics () =
+  attach (match metrics with Some m -> m | None -> Metrics.create ())
+
+let metrics t = t.metrics
+
+let joins t = Metrics.value t.joins
+let projections t = Metrics.value t.projections
+let selections t = Metrics.value t.selections
+let max_cardinality t = Metrics.peak t.max_cardinality
+let max_arity t = Metrics.peak t.max_arity
+let tuples_produced t = Metrics.value t.tuples_produced
+
+let copy t =
+  let snapshot = create () in
+  Metrics.incr ~by:(joins t) snapshot.joins;
+  Metrics.incr ~by:(projections t) snapshot.projections;
+  Metrics.incr ~by:(selections t) snapshot.selections;
+  Metrics.observe_max snapshot.max_cardinality (max_cardinality t);
+  Metrics.observe_max snapshot.max_arity (max_arity t);
+  Metrics.incr ~by:(tuples_produced t) snapshot.tuples_produced;
+  snapshot
 
 let reset t =
-  t.joins <- 0;
-  t.projections <- 0;
-  t.selections <- 0;
-  t.max_cardinality <- 0;
-  t.max_arity <- 0;
-  t.tuples_produced <- 0
+  Metrics.reset_counter t.joins;
+  Metrics.reset_counter t.projections;
+  Metrics.reset_counter t.selections;
+  Metrics.reset_gauge t.max_cardinality;
+  Metrics.reset_gauge t.max_arity;
+  Metrics.reset_counter t.tuples_produced
 
-let record_join t = t.joins <- t.joins + 1
-let record_projection t = t.projections <- t.projections + 1
-let record_selection t = t.selections <- t.selections + 1
+let record_join t = Metrics.incr t.joins
+let record_projection t = Metrics.incr t.projections
+let record_selection t = Metrics.incr t.selections
 
 let record_relation t ~arity ~cardinality =
-  if cardinality > t.max_cardinality then t.max_cardinality <- cardinality;
-  if arity > t.max_arity then t.max_arity <- arity;
-  t.tuples_produced <- t.tuples_produced + cardinality
+  Metrics.observe_max t.max_cardinality cardinality;
+  Metrics.observe_max t.max_arity arity;
+  Metrics.incr ~by:cardinality t.tuples_produced
 
 let pp ppf t =
   Format.fprintf ppf
     "joins=%d projections=%d selections=%d max_card=%d max_arity=%d produced=%d"
-    t.joins t.projections t.selections t.max_cardinality t.max_arity
-    t.tuples_produced
+    (joins t) (projections t) (selections t) (max_cardinality t) (max_arity t)
+    (tuples_produced t)

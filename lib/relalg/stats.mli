@@ -1,27 +1,36 @@
-(** Execution statistics.
+(** Execution statistics — a compatibility facade over the telemetry
+    metric registry.
 
     The quantities the paper reasons about — the arity (width) and
     cardinality of intermediate results — are recorded here by the
     operators so experiments can report measured widths, not only
-    analytic ones. *)
+    analytic ones. Since the telemetry subsystem landed, the storage is
+    a {!Telemetry.Metrics} registry (instruments [ops.joins],
+    [ops.projections], [ops.selections], [ops.max_cardinality],
+    [ops.max_arity], [ops.tuples_produced]); this module keeps the
+    historical push API and read accessors on top of it, so a [Stats.t]
+    can share a registry with a {!Telemetry} context and show up in
+    [--metrics] dumps and trace files for free. *)
 
-type t = {
-  mutable joins : int;        (** join operations performed *)
-  mutable projections : int;  (** projection operations performed *)
-  mutable selections : int;
-  mutable max_cardinality : int;
-      (** largest intermediate (or final) relation materialized *)
-  mutable max_arity : int;
-      (** widest intermediate relation: the measured "working label" size *)
-  mutable tuples_produced : int;
-      (** total tuples materialized across all operators *)
-}
+type t
 
-val create : unit -> t
+val create : ?metrics:Telemetry.Metrics.t -> unit -> t
+(** A fresh statistics block. With [metrics], the six instruments are
+    registered in (or re-attached to) that registry — note that two
+    blocks attached to one registry share instruments. The default is a
+    private registry per block, which keeps per-run statistics
+    isolated. *)
+
+val metrics : t -> Telemetry.Metrics.t
+(** The backing registry. *)
+
 val reset : t -> unit
 
 val copy : t -> t
-(** An independent snapshot (used to freeze partial stats at an abort). *)
+(** An independent snapshot (used to freeze partial stats at an abort).
+    The copy always owns a private registry. *)
+
+(** {1 Recording (called by the operators)} *)
 
 val record_join : t -> unit
 val record_projection : t -> unit
@@ -29,5 +38,22 @@ val record_selection : t -> unit
 
 val record_relation : t -> arity:int -> cardinality:int -> unit
 (** Fold one operator result into the running maxima and totals. *)
+
+(** {1 Reading} *)
+
+val joins : t -> int  (** join operations performed *)
+
+val projections : t -> int  (** projection operations performed *)
+
+val selections : t -> int
+
+val max_cardinality : t -> int
+(** largest intermediate (or final) relation materialized *)
+
+val max_arity : t -> int
+(** widest intermediate relation: the measured "working label" size *)
+
+val tuples_produced : t -> int
+(** total tuples materialized across all operators *)
 
 val pp : Format.formatter -> t -> unit

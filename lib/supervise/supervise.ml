@@ -68,7 +68,8 @@ let backoff ~base ~rng i =
     *. (0.5 +. Graphlib.Rng.float rng 1.0)
 
 let run ?rng ?(budget = Budget.default) ?ladder ?(budget_scaling = 1.0)
-    ?(backoff_base = 0.0) ?(sleep = false) ?chaos ?clock meth db cq =
+    ?(backoff_base = 0.0) ?(sleep = false) ?chaos ?clock ?telemetry meth db cq
+    =
   if budget_scaling <= 0.0 then
     invalid_arg "Supervise.run: budget_scaling must be positive";
   let rungs =
@@ -92,7 +93,36 @@ let run ?rng ?(budget = Budget.default) ?ladder ?(budget_scaling = 1.0)
       if sleep && pause > 0.0 then Unix.sleepf pause;
       let limits = Budget.to_limits ?clock rung_budget in
       (match chaos with Some c -> Chaos.arm c ~attempt:i limits | None -> ());
-      let outcome = Driver.run ?rng ~limits m db cq in
+      let run_rung () = Driver.run ?rng ~limits ?telemetry m db cq in
+      let outcome =
+        match telemetry with
+        | None -> run_rung ()
+        | Some t ->
+          let wall = Unix.gettimeofday in
+          let started = wall () in
+          let o =
+            Telemetry.with_span t "supervise.rung"
+              ~attrs:
+                [
+                  ("rung", Telemetry.Attr.Int i);
+                  ("method", Telemetry.Attr.String (Driver.method_name m));
+                ]
+              (fun sp ->
+                let o = run_rung () in
+                Telemetry.Span.set_attr sp "status"
+                  (Telemetry.Attr.String
+                     (match o.Driver.status with
+                     | Driver.Completed -> "completed"
+                     | Driver.Aborted a ->
+                       Relalg.Limits.reason_label a.Driver.reason));
+                o)
+          in
+          let reg = Telemetry.metrics t in
+          Telemetry.Metrics.observe
+            (Telemetry.Metrics.histogram reg "supervise.rung_seconds")
+            (wall () -. started);
+          o
+      in
       let attempt =
         {
           rung = i;
@@ -120,6 +150,18 @@ let run ?rng ?(budget = Budget.default) ?ladder ?(budget_scaling = 1.0)
         go (i + 1) (backoff_spent +. pause) (attempt :: attempts) rest)
   in
   let attempts, result, backoff_spent = go 0 0.0 [] rungs in
+  let rescued = Option.is_some result && List.length attempts > 1 in
+  (match telemetry with
+  | None -> ()
+  | Some t ->
+    let reg = Telemetry.metrics t in
+    Telemetry.Metrics.incr (Telemetry.Metrics.counter reg "supervise.runs");
+    if rescued then
+      Telemetry.Metrics.incr
+        (Telemetry.Metrics.counter reg "supervise.rescues");
+    if Option.is_none result then
+      Telemetry.Metrics.incr
+        (Telemetry.Metrics.counter reg "supervise.exhausted"));
   let work =
     List.fold_left
       (fun acc a ->
@@ -128,12 +170,7 @@ let run ?rng ?(budget = Budget.default) ?ladder ?(budget_scaling = 1.0)
         +. a.outcome.Driver.exec_seconds)
       0.0 attempts
   in
-  {
-    attempts;
-    result;
-    rescued = Option.is_some result && List.length attempts > 1;
-    total_seconds = work +. backoff_spent;
-  }
+  { attempts; result; rescued; total_seconds = work +. backoff_spent }
 
 let pp_report ppf r =
   List.iter

@@ -58,6 +58,7 @@ val run :
   ?sleep:bool ->
   ?chaos:Chaos.t ->
   ?clock:(unit -> float) ->
+  ?telemetry:Telemetry.t ->
   Ppr_core.Driver.meth ->
   Conjunctive.Database.t ->
   Conjunctive.Cq.t ->
@@ -71,6 +72,10 @@ val run :
     [sleep] is true (default false: ladder retries are synchronous
     recomputation, so sleeping only matters for transient external
     faults). [chaos] arms a fault on the attempts in its scope. [clock]
-    is forwarded to the budget's limits. *)
+    is forwarded to the budget's limits. With [telemetry], every rung runs
+    in a [supervise.rung] span (attributes: rung index, method, completion
+    status or abort reason), rung wall time feeds the
+    [supervise.rung_seconds] histogram, and the registry counts
+    [supervise.runs], [supervise.rescues] and [supervise.exhausted]. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,17 @@
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+let to_json = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | String s -> Json.String s
+  | Bool b -> Json.Bool b
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | String s -> s
+  | Bool b -> string_of_bool b

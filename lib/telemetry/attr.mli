@@ -1,0 +1,11 @@
+(** Span attribute values: small typed payloads attached to spans
+    (operator kind, input/output cardinality and arity, probe counts). *)
+
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+val to_json : t -> Json.t
+val to_string : t -> string

@@ -1,0 +1,18 @@
+(** A minimal JSON document builder.
+
+    Just enough to serialize traces, metric dumps, and benchmark results
+    without pulling a JSON dependency into the engine. Emission only; the
+    test suite carries its own small parser for validation. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** NaN and infinities are emitted as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+val to_channel : out_channel -> t -> unit

@@ -1,0 +1,165 @@
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable peak : int }
+
+type histogram = {
+  h_name : string;
+  bounds : float array;  (* strictly increasing upper bounds *)
+  counts : int array;    (* length bounds + 1; last bucket is +inf *)
+  mutable sum : float;
+  mutable observations : int;
+  mutable largest : float;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = {
+  by_name : (string, instrument) Hashtbl.t;
+  mutable order : string list;  (* registration order, reversed *)
+}
+
+let create () = { by_name = Hashtbl.create 32; order = [] }
+
+let register t name make =
+  match Hashtbl.find_opt t.by_name name with
+  | Some existing -> existing
+  | None ->
+    let fresh = make () in
+    Hashtbl.replace t.by_name name fresh;
+    t.order <- name :: t.order;
+    fresh
+
+let kind_error name want =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S is already registered as a different kind (wanted %s)"
+       name want)
+
+let counter t name =
+  match register t name (fun () -> Counter { c_name = name; count = 0 }) with
+  | Counter c -> c
+  | _ -> kind_error name "counter"
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let value c = c.count
+let counter_name c = c.c_name
+
+let max_gauge t name =
+  match register t name (fun () -> Gauge { g_name = name; peak = 0 }) with
+  | Gauge g -> g
+  | _ -> kind_error name "gauge"
+
+let observe_max g v = if v > g.peak then g.peak <- v
+let peak g = g.peak
+let gauge_name g = g.g_name
+
+(* Decade-ish default buckets: wide enough for both sub-millisecond
+   operator times and multi-second rung walls. *)
+let default_bounds =
+  [| 1e-4; 1e-3; 1e-2; 0.1; 0.5; 1.0; 2.0; 5.0; 10.0; 60.0 |]
+
+let histogram ?(bounds = default_bounds) t name =
+  let make () =
+    let n = Array.length bounds in
+    for i = 1 to n - 1 do
+      if bounds.(i) <= bounds.(i - 1) then
+        invalid_arg "Metrics.histogram: bounds must be strictly increasing"
+    done;
+    Histogram
+      {
+        h_name = name;
+        bounds = Array.copy bounds;
+        counts = Array.make (n + 1) 0;
+        sum = 0.0;
+        observations = 0;
+        largest = neg_infinity;
+      }
+  in
+  match register t name make with
+  | Histogram h -> h
+  | _ -> kind_error name "histogram"
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let rec bucket i = if i >= n || v <= h.bounds.(i) then i else bucket (i + 1) in
+  h.counts.(bucket 0) <- h.counts.(bucket 0) + 1;
+  h.sum <- h.sum +. v;
+  h.observations <- h.observations + 1;
+  if v > h.largest then h.largest <- v
+
+let observations h = h.observations
+let histogram_sum h = h.sum
+let histogram_name h = h.h_name
+
+let buckets h =
+  Array.to_list
+    (Array.mapi
+       (fun i count ->
+         let upper =
+           if i < Array.length h.bounds then h.bounds.(i) else infinity
+         in
+         (upper, count))
+       h.counts)
+
+let reset_counter c = c.count <- 0
+let reset_gauge g = g.peak <- 0
+
+let reset_histogram h =
+  Array.fill h.counts 0 (Array.length h.counts) 0;
+  h.sum <- 0.0;
+  h.observations <- 0;
+  h.largest <- neg_infinity
+
+let reset t =
+  Hashtbl.iter
+    (fun _ instrument ->
+      match instrument with
+      | Counter c -> reset_counter c
+      | Gauge g -> reset_gauge g
+      | Histogram h -> reset_histogram h)
+    t.by_name
+
+let iter t f =
+  List.iter (fun name -> f name (Hashtbl.find t.by_name name)) (List.rev t.order)
+
+let find t name = Hashtbl.find_opt t.by_name name
+
+let instrument_json = function
+  | Counter c -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int c.count) ]
+  | Gauge g -> Json.Obj [ ("type", Json.String "max"); ("value", Json.Int g.peak) ]
+  | Histogram h ->
+    Json.Obj
+      [
+        ("type", Json.String "histogram");
+        ("count", Json.Int h.observations);
+        ("sum", Json.Float h.sum);
+        ("max", Json.Float (if h.observations = 0 then 0.0 else h.largest));
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (upper, count) ->
+                 Json.Obj
+                   [
+                     ( "le",
+                       if upper = infinity then Json.String "inf"
+                       else Json.Float upper );
+                     ("count", Json.Int count);
+                   ])
+               (buckets h)) );
+      ]
+
+let to_json t =
+  let fields = ref [] in
+  iter t (fun name instrument -> fields := (name, instrument_json instrument) :: !fields);
+  Json.Obj (List.rev !fields)
+
+let pp ppf t =
+  iter t (fun name instrument ->
+      match instrument with
+      | Counter c -> Format.fprintf ppf "%-36s %d@." name c.count
+      | Gauge g -> Format.fprintf ppf "%-36s %d (max)@." name g.peak
+      | Histogram h ->
+        Format.fprintf ppf "%-36s n=%d sum=%.6g max=%.6g@." name h.observations
+          h.sum
+          (if h.observations = 0 then 0.0 else h.largest))

@@ -1,0 +1,75 @@
+(** A metric registry: named counters, high-water-mark gauges, and
+    fixed-bucket histograms.
+
+    Instruments are registered by name on first use and shared on every
+    later request for the same name ({e get-or-register}); asking for a
+    name under a different kind raises [Invalid_argument]. Handles are
+    plain mutable records so the hot path pays one unboxed increment, no
+    hashtable lookup. The registry backs {!Relalg.Stats} (the legacy
+    facade) and collects engine-level tallies — abort reasons, join
+    fan-out, per-rung wall time — for [--metrics] dumps and trace files. *)
+
+type t
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val counter : t -> string -> counter
+val incr : ?by:int -> counter -> unit
+val value : counter -> int
+val counter_name : counter -> string
+
+(** {1 High-water-mark gauges} *)
+
+val max_gauge : t -> string -> gauge
+
+val observe_max : gauge -> int -> unit
+(** Fold a sample into the running maximum. *)
+
+val peak : gauge -> int
+val gauge_name : gauge -> string
+
+(** {1 Fixed-bucket histograms} *)
+
+val default_bounds : float array
+(** Decade-ish seconds-oriented bounds, [1e-4 .. 60]. *)
+
+val histogram : ?bounds:float array -> t -> string -> histogram
+(** [bounds] (default {!default_bounds}) are strictly increasing bucket
+    upper bounds; one overflow bucket is added past the last. The bounds
+    are fixed at registration: later calls reuse the first instrument. *)
+
+val observe : histogram -> float -> unit
+val observations : histogram -> int
+val histogram_sum : histogram -> float
+val histogram_name : histogram -> string
+
+val buckets : histogram -> (float * int) list
+(** [(upper_bound, count)] pairs in order; the last upper bound is
+    [infinity]. *)
+
+(** {1 Registry} *)
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+val iter : t -> (string -> instrument -> unit) -> unit
+(** In registration order. *)
+
+val find : t -> string -> instrument option
+
+val reset : t -> unit
+(** Zero every instrument, keeping registrations. *)
+
+val reset_counter : counter -> unit
+val reset_gauge : gauge -> unit
+val reset_histogram : histogram -> unit
+
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

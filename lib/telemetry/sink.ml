@@ -1,0 +1,90 @@
+type t = {
+  on_stop : Span.t -> unit;
+  on_close : Metrics.t -> unit;
+}
+
+let null = { on_stop = ignore; on_close = ignore }
+
+let memory () =
+  let spans = ref [] in
+  ( { on_stop = (fun s -> spans := s :: !spans); on_close = ignore },
+    fun () -> List.rev !spans )
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON (the "JSON Object Format": an object with a
+   traceEvents array of complete "X" events), loadable by
+   chrome://tracing and ui.perfetto.dev. Events are buffered and written
+   sorted by start time so timestamps are monotone in the file. *)
+
+let chrome oc =
+  let spans = ref [] in
+  let on_stop s = spans := s :: !spans in
+  let on_close metrics =
+    let all = List.rev !spans in
+    let base =
+      List.fold_left (fun acc s -> Float.min acc (Span.start_time s)) infinity all
+    in
+    let usec t = int_of_float (Float.round ((t -. base) *. 1e6)) in
+    let event s =
+      let args =
+        ("span_id", Json.Int (Span.id s))
+        :: (match Span.parent s with
+           | Some p -> [ ("parent_id", Json.Int p) ]
+           | None -> [])
+        @ List.map (fun (k, v) -> (k, Attr.to_json v)) (Span.attrs s)
+      in
+      Json.Obj
+        [
+          ("name", Json.String (Span.name s));
+          ("cat", Json.String "ppr");
+          ("ph", Json.String "X");
+          ("ts", Json.Int (usec (Span.start_time s)));
+          ("dur", Json.Int (max 0 (usec (Span.stop_time s) - usec (Span.start_time s))));
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 1);
+          ("args", Json.Obj args);
+        ]
+    in
+    let sorted =
+      List.stable_sort
+        (fun a b -> Float.compare (Span.start_time a) (Span.start_time b))
+        all
+    in
+    Json.to_channel oc
+      (Json.Obj
+         [
+           ("traceEvents", Json.List (List.map event sorted));
+           ("displayTimeUnit", Json.String "ms");
+           ( "otherData",
+             Json.Obj
+               [
+                 ("generator", Json.String "ppr-telemetry");
+                 ("metrics", Metrics.to_json metrics);
+               ] );
+         ]);
+    output_char oc '\n'
+  in
+  { on_stop; on_close }
+
+(* ------------------------------------------------------------------ *)
+(* CSV: one row per completed span, written as spans close.            *)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv oc =
+  output_string oc "id,parent,depth,name,start_seconds,duration_seconds,attrs\n";
+  let on_stop s =
+    let attrs =
+      String.concat "|"
+        (List.map (fun (k, v) -> k ^ "=" ^ Attr.to_string v) (Span.attrs s))
+    in
+    Printf.fprintf oc "%d,%s,%d,%s,%.9f,%.9f,%s\n" (Span.id s)
+      (match Span.parent s with Some p -> string_of_int p | None -> "")
+      (Span.depth s)
+      (csv_escape (Span.name s))
+      (Span.start_time s) (Span.duration s) (csv_escape attrs)
+  in
+  { on_stop; on_close = ignore }

@@ -1,0 +1,33 @@
+(** Pluggable span consumers.
+
+    A sink sees every span once, at the moment it closes (children
+    strictly before their parents), and the metric registry once, when
+    the owning context is closed. The fourth "sink" — disabled telemetry
+    — is not a sink at all: callers thread [Telemetry.t option] and the
+    [None] branch skips span creation entirely. *)
+
+type t = {
+  on_stop : Span.t -> unit;  (** called as each span closes *)
+  on_close : Metrics.t -> unit;  (** called once by [Telemetry.close] *)
+}
+
+val null : t
+(** Discards everything (useful when only the metric registry matters). *)
+
+val memory : unit -> t * (unit -> Span.t list)
+(** An in-memory sink and a function returning the spans completed so
+    far, in close order. With parent links intact this reconstructs the
+    span tree. *)
+
+val chrome : out_channel -> t
+(** Buffers spans and, on close, writes Chrome trace-event JSON (the
+    object format: [{"traceEvents": [...]}]) with microsecond "X"
+    events sorted by start time — loadable in chrome://tracing and
+    ui.perfetto.dev. Span attributes become event [args]; the metric
+    registry is embedded under [otherData.metrics]. The caller owns the
+    channel. *)
+
+val csv : out_channel -> t
+(** Streams one CSV row per span as it closes:
+    [id,parent,depth,name,start_seconds,duration_seconds,attrs] with
+    attributes packed [k=v|k=v]. The caller owns the channel. *)

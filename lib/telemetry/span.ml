@@ -1,0 +1,28 @@
+type t = {
+  id : int;
+  parent : int option;
+  depth : int;
+  name : string;
+  start : float;
+  mutable stop : float;  (* neg_infinity while the span is open *)
+  mutable attrs : (string * Attr.t) list;  (* newest first *)
+}
+
+let make ~id ~parent ~depth ~name ~start ~attrs =
+  { id; parent; depth; name; start; stop = neg_infinity; attrs = List.rev attrs }
+
+let id s = s.id
+let parent s = s.parent
+let depth s = s.depth
+let name s = s.name
+let start_time s = s.start
+let stop_time s = s.stop
+let is_closed s = s.stop >= s.start
+let duration s = if is_closed s then s.stop -. s.start else 0.0
+
+let close s ~stop = s.stop <- stop
+
+let set_attr s k v = s.attrs <- (k, v) :: s.attrs
+let add_attrs s kvs = List.iter (fun (k, v) -> set_attr s k v) kvs
+let attr s k = List.assoc_opt k s.attrs
+let attrs s = List.rev s.attrs

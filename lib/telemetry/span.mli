@@ -1,0 +1,44 @@
+(** One timed, attributed interval in the operator hierarchy.
+
+    Spans are created and closed through {!Telemetry} (which owns the
+    clock and the open-span stack); this module is the passive record
+    and its accessors. *)
+
+type t
+
+val make :
+  id:int ->
+  parent:int option ->
+  depth:int ->
+  name:string ->
+  start:float ->
+  attrs:(string * Attr.t) list ->
+  t
+(** Used by {!Telemetry.start}; not meant for direct use. *)
+
+val id : t -> int
+val parent : t -> int option
+(** Id of the enclosing span, [None] at the root. *)
+
+val depth : t -> int
+val name : t -> string
+val start_time : t -> float
+val stop_time : t -> float
+(** Meaningless ([neg_infinity]) while the span is open. *)
+
+val close : t -> stop:float -> unit
+(** Record the stop time. Used by {!Telemetry.stop}; not meant for
+    direct use. *)
+
+val is_closed : t -> bool
+val duration : t -> float
+(** [0.] while open. *)
+
+val set_attr : t -> string -> Attr.t -> unit
+(** Later values for the same key shadow earlier ones. *)
+
+val add_attrs : t -> (string * Attr.t) list -> unit
+val attr : t -> string -> Attr.t option
+val attrs : t -> (string * Attr.t) list
+(** Insertion order, shadowed keys showing the latest value first on
+    lookup via {!attr}. *)

@@ -1,0 +1,84 @@
+module Json = Json
+module Attr = Attr
+module Metrics = Metrics
+module Span = Span
+module Sink = Sink
+
+type t = {
+  clock : unit -> float;
+  sink : Sink.t;
+  metrics : Metrics.t;
+  mutable next_id : int;
+  mutable stack : Span.t list;  (* open spans, innermost first *)
+  mutable started : int;
+}
+
+let create ?(clock = Unix.gettimeofday) ?metrics sink =
+  {
+    clock;
+    sink;
+    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    next_id = 0;
+    stack = [];
+    started = 0;
+  }
+
+let metrics t = t.metrics
+let started_spans t = t.started
+let open_spans t = List.length t.stack
+
+let start ?(attrs = []) t name =
+  let parent = match t.stack with [] -> None | p :: _ -> Some (Span.id p) in
+  let s =
+    Span.make ~id:t.next_id ~parent ~depth:(List.length t.stack) ~name
+      ~start:(t.clock ()) ~attrs
+  in
+  t.next_id <- t.next_id + 1;
+  t.started <- t.started + 1;
+  t.stack <- s :: t.stack;
+  s
+
+let close_top t =
+  match t.stack with
+  | [] -> ()
+  | top :: rest ->
+    t.stack <- rest;
+    Span.close top ~stop:(t.clock ());
+    t.sink.Sink.on_stop top
+
+(* Stopping a span that is not innermost means an exception unwound past
+   still-open children (an abort mid-operator, say): close them too, so
+   nesting in the sink stays well-formed, and mark them as unwound. *)
+let rec stop t s =
+  match t.stack with
+  | [] -> invalid_arg ("Telemetry.stop: no open span for " ^ Span.name s)
+  | top :: _ ->
+    if top == s then close_top t
+    else if List.memq s t.stack then begin
+      Span.set_attr top "unwound" (Attr.Bool true);
+      close_top t;
+      stop t s
+    end
+    else invalid_arg ("Telemetry.stop: span is not open: " ^ Span.name s)
+
+let with_span ?attrs t name f =
+  let s = start ?attrs t name in
+  match f s with
+  | v ->
+    stop t s;
+    v
+  | exception e ->
+    stop t s;
+    raise e
+
+let close t =
+  let rec drain () =
+    match t.stack with
+    | [] -> ()
+    | s :: _ ->
+      Span.set_attr s "unwound" (Attr.Bool true);
+      close_top t;
+      drain ()
+  in
+  drain ();
+  t.sink.Sink.on_close t.metrics

@@ -1,0 +1,52 @@
+(** Hierarchical operator telemetry.
+
+    A context couples a clock, a {!Sink} for completed spans, and a
+    {!Metrics} registry. Engine layers thread a [Telemetry.t option]
+    through optional arguments; the [None] branch is a single pattern
+    match, so disabled telemetry costs nothing and allocates no spans.
+
+    Spans form a stack: {!start} opens a child of the innermost open
+    span, {!stop} closes it. Stopping a span while children are still
+    open (an abort's exception unwinding mid-operator) closes the
+    children first and marks them [unwound=true], so every trace the
+    sink sees nests correctly even on aborted runs. *)
+
+module Json = Json
+module Attr = Attr
+module Metrics = Metrics
+module Span = Span
+module Sink = Sink
+
+type t
+
+val create : ?clock:(unit -> float) -> ?metrics:Metrics.t -> Sink.t -> t
+(** [clock] supplies seconds (default {!Unix.gettimeofday}; tests inject
+    deterministic clocks). [metrics] attaches an existing registry so
+    several contexts — or a context and a {!Relalg.Stats} facade — can
+    share one; a private registry is created otherwise. *)
+
+val metrics : t -> Metrics.t
+
+val start : ?attrs:(string * Attr.t) list -> t -> string -> Span.t
+(** Open a span as a child of the innermost open span. *)
+
+val stop : t -> Span.t -> unit
+(** Close [s], auto-closing (and marking [unwound]) any still-open
+    descendants first.
+    @raise Invalid_argument if [s] is not open in this context. *)
+
+val with_span :
+  ?attrs:(string * Attr.t) list -> t -> string -> (Span.t -> 'a) -> 'a
+(** Exception-safe bracket: the span is stopped whether [f] returns or
+    raises (the exception is re-raised). *)
+
+val close : t -> unit
+(** Close any spans left open (marked [unwound]) and flush the sink
+    ([Sink.on_close] with the registry). The context must not be used
+    afterwards. *)
+
+val started_spans : t -> int
+(** Spans opened over the context's lifetime. *)
+
+val open_spans : t -> int
+(** Spans currently open. *)

@@ -90,7 +90,7 @@ let test_exec_stats_measure_width () =
   ignore (Exec.run ~stats coloring_db plan);
   (* The straightforward pentagon plan reaches all 5 variables. *)
   check_int "measured arity = plan width" (Plan.width plan)
-    stats.Relalg.Stats.max_arity
+    (Relalg.Stats.max_arity stats)
 
 (* ------------------------------------------------------------------ *)
 (* Cost model                                                          *)
@@ -612,7 +612,7 @@ let prop_weighted_width_bounds_cardinality =
       ignore (Exec.run ~stats coloring_db (Bucket.compile ~order cq));
       (* Bucket joins include the eliminated variable, hence one extra
          factor of its domain. *)
-      float_of_int stats.Relalg.Stats.max_cardinality <= (bound *. 3.0) +. 1e-9)
+      float_of_int (Relalg.Stats.max_cardinality stats) <= (bound *. 3.0) +. 1e-9)
 
 let prop_weighted_evaluation_agrees =
   qtest ~count:40 "weighted plan computes the same answer" graph_arbitrary

@@ -435,12 +435,12 @@ let test_stats_recording () =
   let s = relation [ 1; 2 ] [ [ 2; 9 ] ] in
   let j = Ops.natural_join ~stats r s in
   ignore (Ops.project ~stats j (Schema.of_list [ 0 ]));
-  check_int "joins" 1 stats.Relalg.Stats.joins;
-  check_int "projections" 1 stats.Relalg.Stats.projections;
-  check_int "max arity" 3 stats.Relalg.Stats.max_arity;
-  check_int "produced" 2 stats.Relalg.Stats.tuples_produced;
+  check_int "joins" 1 (Relalg.Stats.joins stats);
+  check_int "projections" 1 (Relalg.Stats.projections stats);
+  check_int "max arity" 3 (Relalg.Stats.max_arity stats);
+  check_int "produced" 2 (Relalg.Stats.tuples_produced stats);
   Relalg.Stats.reset stats;
-  check_int "reset" 0 stats.Relalg.Stats.max_arity
+  check_int "reset" 0 (Relalg.Stats.max_arity stats)
 
 let () =
   Alcotest.run "relalg"

@@ -91,7 +91,7 @@ let test_deadline_fires_mid_join () =
   (match o.Driver.status with
   | Driver.Aborted { reason = Limits.Deadline; partial_stats } ->
     check_bool "partial stats show work done before the abort" true
-      (partial_stats.Relalg.Stats.tuples_produced >= 0)
+      (Relalg.Stats.tuples_produced partial_stats >= 0)
   | _ -> Alcotest.fail "expected a Deadline abort");
   Alcotest.(check (option int)) "no result" None o.Driver.result_cardinality
 
