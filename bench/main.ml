@@ -29,7 +29,7 @@ let default_scale =
 let usage () =
   Printf.eprintf
     "usage: main.exe [--figure NAME] [--scale S] [--seeds N] [--micro] \
-     [--csv FILE] [--json FILE]\n\
+     [--backend row|columnar] [--csv FILE] [--json FILE]\n\
      figures: %s\n"
     (String.concat ", " Experiments.Figures.names);
   exit 2
@@ -39,6 +39,7 @@ type options = {
   mutable scale : float;
   mutable seeds : int;
   mutable micro_only : bool;
+  mutable backend : Relalg.Relation.backend;
   mutable csv : string option;
   mutable json : string;
 }
@@ -46,7 +47,8 @@ type options = {
 let parse_args () =
   let opts =
     { figure = "all"; scale = default_scale; seeds = 3; micro_only = false;
-      csv = None; json = "BENCH_results.json" }
+      backend = Relalg.Relation.default_backend (); csv = None;
+      json = "BENCH_results.json" }
   in
   let rec go = function
     | [] -> ()
@@ -61,6 +63,11 @@ let parse_args () =
       go rest
     | "--micro" :: rest ->
       opts.micro_only <- true;
+      go rest
+    | "--backend" :: v :: rest ->
+      (match Relalg.Relation.backend_of_string v with
+      | Some b -> opts.backend <- b
+      | None -> usage ());
       go rest
     | "--csv" :: v :: rest ->
       opts.csv <- Some v;
@@ -119,7 +126,11 @@ let micro_tests () =
       (Staged.stage (fun () -> Ppr_core.Exec.run db (Lazy.force bucket_plan)));
     Test.make ~name:"planner/early-proj-exec(m=48)"
       (Staged.stage (fun () ->
-           try ignore (Ppr_core.Exec.run ~limits:(Relalg.Limits.create ()) db (Lazy.force ep_plan))
+           try
+             ignore
+               (Ppr_core.Exec.run
+                  ~ctx:(Relalg.Ctx.create ~limits:(Relalg.Limits.create ()) ())
+                  db (Lazy.force ep_plan))
            with Relalg.Limits.Abort _ -> ()));
     Test.make ~name:"supervise/ladder-rescue(m=48)"
       (* Chaos kills the first rung mid-join; the measurement covers the
@@ -206,6 +217,7 @@ let write_json ~opts ~rows ~micro =
           match git_rev () with Some r -> String r | None -> Null );
         ("figure", String opts.figure);
         ("scale", Float opts.scale);
+        ("backend", String (Relalg.Relation.backend_name opts.backend));
         ("seeds", Int opts.seeds);
         ("rows", List (List.rev_map json_of_row rows |> List.rev));
         ( "micro_ns",
@@ -221,6 +233,7 @@ let write_json ~opts ~rows ~micro =
 
 let () =
   let opts = parse_args () in
+  Relalg.Relation.set_default_backend opts.backend;
   let csv_channel = Option.map open_out opts.csv in
   Experiments.Sweep.set_csv_channel csv_channel;
   at_exit (fun () -> Option.iter close_out csv_channel);

@@ -237,6 +237,25 @@ let metrics_arg =
           "After the run, print the metric registry (operator counters, \
            join fan-out histogram, abort tallies) to standard output.")
 
+let backend_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Relation storage backend: 'columnar' (the default; flat tuple \
+           arena with specialized join kernels) or 'row' (hashtable of \
+           boxed tuples).")
+
+let apply_backend = function
+  | None -> ()
+  | Some name -> (
+    match Relalg.Relation.backend_of_string name with
+    | Some b -> Relalg.Relation.set_default_backend b
+    | None ->
+      failwith
+        (Printf.sprintf "unknown backend %S (want 'row' or 'columnar')" name))
+
 (* Build a telemetry context from the flags, hand it to the body, and
    flush it afterwards — also when the body raises, so aborted runs
    still leave a well-formed trace behind. *)
@@ -321,8 +340,9 @@ let run_cmd =
            spec)
   in
   let run family order density seed free_fraction meth max_tuples deadline fuel
-      use_ladder chaos trace metrics =
+      use_ladder chaos trace metrics backend =
     guarded @@ fun () ->
+    apply_backend backend;
     with_telemetry ~trace ~metrics @@ fun telemetry ->
     let db, cq = build_instance family ~order ~density ~seed ~free_fraction in
     Format.printf "query: %d atoms, %d variables, %d free@." (Conjunctive.Cq.atom_count cq)
@@ -356,7 +376,11 @@ let run_cmd =
       (fun m ->
         let rng = Graphlib.Rng.make (seed + 31) in
         if use_ladder then begin
-          let report = Supervise.run ~rng ~budget ?chaos ?telemetry m db cq in
+          let report =
+            Supervise.run ~rng ~budget ?chaos
+              ~ctx:(Relalg.Ctx.create ?telemetry ())
+              m db cq
+          in
           Format.printf "%a" Supervise.pp_report report
         end
         else begin
@@ -364,7 +388,11 @@ let run_cmd =
           (match chaos with
           | Some c -> Supervise.Chaos.arm c ~attempt:0 limits
           | None -> ());
-          let outcome = Ppr_core.Driver.run ~rng ~limits ?telemetry m db cq in
+          let outcome =
+            Ppr_core.Driver.run ~rng
+              ~ctx:(Relalg.Ctx.create ~limits ?telemetry ())
+              m db cq
+          in
           Format.printf "%a@." Ppr_core.Driver.pp_outcome outcome
         end)
       methods
@@ -374,7 +402,7 @@ let run_cmd =
     Term.(
       const run $ family_arg $ order_arg $ density_arg $ seed_arg
       $ free_fraction_arg $ method_arg $ max_tuples $ deadline $ fuel
-      $ ladder $ chaos $ trace_arg $ metrics_arg)
+      $ ladder $ chaos $ trace_arg $ metrics_arg $ backend_arg)
 
 (* ------------------------------------------------------------------ *)
 (* treewidth                                                           *)
@@ -478,7 +506,8 @@ let experiment_cmd =
       & info [ "csv" ] ~docv:"FILE"
           ~doc:"Also write machine-readable rows to FILE.")
   in
-  let run figure scale seeds csv =
+  let run figure scale seeds csv backend =
+    apply_backend backend;
     let channel = Option.map open_out csv in
     Experiments.Sweep.set_csv_channel channel;
     Fun.protect
@@ -493,7 +522,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's figures.")
-    Term.(const run $ figure_arg $ scale_arg $ seeds_arg $ csv_arg)
+    Term.(const run $ figure_arg $ scale_arg $ seeds_arg $ csv_arg $ backend_arg)
 
 (* ------------------------------------------------------------------ *)
 (* query: run an arbitrary Datalog-style query                         *)
@@ -524,8 +553,9 @@ let query_cmd =
   let sql_flag =
     Arg.(value & flag & info [ "show-sql" ] ~doc:"Also print the SQL of the plan.")
   in
-  let run query_text query_file data_dir meth show_sql trace metrics =
+  let run query_text query_file data_dir meth show_sql trace metrics backend =
     guarded @@ fun () ->
+    apply_backend backend;
     with_telemetry ~trace ~metrics @@ fun telemetry ->
     let source =
       match (query_text, query_file) with
@@ -560,7 +590,9 @@ let query_cmd =
       print_string
         (Sqlgen.Pretty.query
            (Sqlgen.Translate.of_plan ~namer:parsed.Conjunctive.Parse.namer cq plan));
-    let result = Ppr_core.Exec.run ?telemetry db plan in
+    let result =
+      Ppr_core.Exec.run ~ctx:(Relalg.Ctx.create ?telemetry ()) db plan
+    in
     let schema = Relalg.Relation.schema result in
     (match cq.Conjunctive.Cq.free with
     | [] ->
@@ -585,7 +617,7 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run a Datalog-style project-join query.")
     Term.(
       const run $ query_text $ query_file $ data_dir $ method_arg $ sql_flag
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ backend_arg)
 
 (* ------------------------------------------------------------------ *)
 (* acyclic: hypergraph structure report                                *)

@@ -36,7 +36,11 @@ let () =
       List.iter
         (fun meth ->
           let limits = Relalg.Limits.create ~max_tuples:500_000 () in
-          let o = Ppr_core.Driver.run ~limits meth db cq in
+          let o =
+            Ppr_core.Driver.run
+              ~ctx:(Relalg.Ctx.create ~limits ())
+              meth db cq
+          in
           Printf.printf "%-8.1f %-8b %-18s %s  (width %d, max card %d)\n"
             density colorable
             (Ppr_core.Driver.method_name meth)

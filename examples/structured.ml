@@ -39,7 +39,11 @@ let () =
       List.iter
         (fun meth ->
           let limits = Relalg.Limits.create ~max_tuples:300_000 () in
-          let o = Ppr_core.Driver.run ~limits meth db cq in
+          let o =
+            Ppr_core.Driver.run
+              ~ctx:(Relalg.Ctx.create ~limits ())
+              meth db cq
+          in
           Format.printf "  order 8: %a@." Ppr_core.Driver.pp_outcome o)
         [
           Ppr_core.Driver.Straightforward;

@@ -75,7 +75,8 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
    ([driver.runs], [driver.aborts.<reason>]) land in the caller's telemetry
    registry; the per-run [Stats.t] keeps its own private registry so the
    outcome's measurements never mix across runs. *)
-let run ?rng ?limits ?telemetry meth db cq =
+let run ?rng ?(ctx = Relalg.Ctx.null) meth db cq =
+  let telemetry = Relalg.Ctx.telemetry ctx in
   let clock = Unix.gettimeofday in
   let name = method_name meth in
   let in_span phase attrs f =
@@ -92,12 +93,19 @@ let run ?rng ?limits ?telemetry meth db cq =
         (t1 -. t0) (Plan.width plan) (Plan.join_count plan)
         (Plan.projection_count plan));
   let stats = Relalg.Stats.create () in
-  let limits = match limits with Some l -> l | None -> Relalg.Limits.create () in
+  let limits =
+    match Relalg.Ctx.limits ctx with
+    | Some l -> l
+    | None -> Relalg.Limits.create ()
+  in
+  let exec_ctx =
+    Relalg.Ctx.with_limits (Relalg.Ctx.with_stats ctx stats) limits
+  in
   let result, status =
     in_span "exec"
       [ ("plan.width", Telemetry.Attr.Int (Plan.width plan)) ]
       (fun () ->
-        try (Some (Exec.run ~stats ~limits ?telemetry db plan), Completed)
+        try (Some (Exec.run ~ctx:exec_ctx db plan), Completed)
         with Relalg.Limits.Abort reason ->
           Log.info (fun m ->
               m "%s: aborted — %s" name (Relalg.Limits.describe reason));

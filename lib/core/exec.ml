@@ -1,28 +1,26 @@
 module Relation = Relalg.Relation
 module Schema = Relalg.Schema
 module Ops = Relalg.Ops
+module Ctx = Relalg.Ctx
 module Database = Conjunctive.Database
 
-type join_algorithm = Hash | Merge
+type join_algorithm = Ctx.join_algorithm = Hash | Merge
 
 (* Each plan node runs inside a [plan.*] span (the operator itself adds a
    nested [op.*] span), so a trace mirrors the plan tree: a join node's
    span contains both input subtrees and the join work. *)
-let rec run ?(join_algorithm = Hash) ?stats ?limits ?telemetry db plan =
+let rec run ?(ctx = Ctx.null) db plan =
   let eval () =
     match plan with
-    | Plan.Atom atom -> Database.eval_atom ?stats ?limits ?telemetry db atom
+    | Plan.Atom atom -> Database.eval_atom ~ctx db atom
     | Plan.Join (l, r) ->
-      let rl = run ~join_algorithm ?stats ?limits ?telemetry db l in
-      let rr = run ~join_algorithm ?stats ?limits ?telemetry db r in
-      let join =
-        match join_algorithm with
-        | Hash -> Ops.natural_join ?stats ?limits ?telemetry
-        | Merge -> Ops.merge_join ?stats ?limits ?telemetry
-      in
-      join rl rr
+      let rl = run ~ctx db l in
+      let rr = run ~ctx db r in
+      (match Ctx.join_algorithm ctx with
+      | Hash -> Ops.natural_join ~ctx rl rr
+      | Merge -> Ops.merge_join ~ctx rl rr)
     | Plan.Project (sub, kept) ->
-      let rsub = run ~join_algorithm ?stats ?limits ?telemetry db sub in
+      let rsub = run ~ctx db sub in
       (* Keep the input's column order for the retained variables; the
          variable set, not the order, is what projection means here. Build
          the kept-set once instead of scanning the list per variable. *)
@@ -33,13 +31,20 @@ let rec run ?(join_algorithm = Hash) ?stats ?limits ?telemetry db plan =
       in
       if Schema.arity target <> Hashtbl.length kept_set then
         invalid_arg "Exec: projection keeps a variable absent from its input";
-      Ops.project ?stats ?limits ?telemetry rsub target
+      Ops.project ~ctx rsub target
   in
-  match (telemetry, plan) with
+  match (Ctx.telemetry ctx, plan) with
   | Some t, Plan.Join _ -> Telemetry.with_span t "plan.join" (fun _ -> eval ())
   | Some t, Plan.Project _ ->
     Telemetry.with_span t "plan.project" (fun _ -> eval ())
   | _, _ -> eval ()
 
-let nonempty ?join_algorithm ?stats ?limits ?telemetry db plan =
-  not (Relation.is_empty (run ?join_algorithm ?stats ?limits ?telemetry db plan))
+let nonempty ?ctx db plan = not (Relation.is_empty (run ?ctx db plan))
+
+(* Deprecated pre-Ctx entry points, kept one release for out-of-tree
+   callers of the old four-optional signature. *)
+let run_legacy ?join_algorithm ?stats ?limits ?telemetry db plan =
+  run ~ctx:(Ctx.create ?stats ?limits ?telemetry ?join_algorithm ()) db plan
+
+let nonempty_legacy ?join_algorithm ?stats ?limits ?telemetry db plan =
+  nonempty ~ctx:(Ctx.create ?stats ?limits ?telemetry ?join_algorithm ()) db plan

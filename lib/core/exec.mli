@@ -4,25 +4,38 @@
     (empty schema) evaluate to the 0-ary relation containing the empty
     tuple when the join is nonempty and to the empty relation otherwise. *)
 
-type join_algorithm = Hash | Merge
+type join_algorithm = Relalg.Ctx.join_algorithm = Hash | Merge
+(** Re-export of {!Relalg.Ctx.join_algorithm}: the algorithm choice is a
+    context field, set with [Ctx.create ~join_algorithm] or
+    [Ctx.with_join_algorithm]. *)
 
-val run :
+val run : ?ctx:Relalg.Ctx.t -> Conjunctive.Database.t -> Plan.t -> Relalg.Relation.t
+(** Execute a plan under the given execution context (default
+    {!Relalg.Ctx.null}: no instrumentation, hash joins, default storage
+    backend). The context's join algorithm defaults to [Hash] (the paper
+    forced hash joins in PostgreSQL); [Merge] runs the same plans over
+    sort-merge joins for the join-algorithm ablation. With telemetry in
+    the context, every plan node opens a [plan.join]/[plan.project] span
+    and every operator a nested [op.*] span, so the resulting trace
+    mirrors the plan tree (see {!Telemetry}).
+    @raise Relalg.Limits.Abort when a resource guard trips.
+    @raise Not_found if an atom names an unregistered relation. *)
+
+val nonempty : ?ctx:Relalg.Ctx.t -> Conjunctive.Database.t -> Plan.t -> bool
+(** The Boolean answer: whether the query result is nonempty. *)
+
+val run_legacy :
   ?join_algorithm:join_algorithm ->
   ?stats:Relalg.Stats.t -> ?limits:Relalg.Limits.t ->
   ?telemetry:Telemetry.t ->
   Conjunctive.Database.t -> Plan.t -> Relalg.Relation.t
-(** Execute a plan. [join_algorithm] defaults to [Hash] (the paper
-    forced hash joins in PostgreSQL); [Merge] runs the same plans over
-    sort-merge joins for the join-algorithm ablation. With [telemetry],
-    every plan node opens a [plan.join]/[plan.project] span and every
-    operator a nested [op.*] span, so the resulting trace mirrors the
-    plan tree (see {!Telemetry}).
-    @raise Relalg.Limits.Abort when a resource guard trips.
-    @raise Not_found if an atom names an unregistered relation. *)
+[@@deprecated "use run ?ctx (Relalg.Ctx bundles stats/limits/telemetry/join_algorithm)"]
+(** The pre-{!Relalg.Ctx} signature, kept for one release so out-of-tree
+    callers keep compiling. *)
 
-val nonempty :
+val nonempty_legacy :
   ?join_algorithm:join_algorithm ->
   ?stats:Relalg.Stats.t -> ?limits:Relalg.Limits.t ->
   ?telemetry:Telemetry.t ->
   Conjunctive.Database.t -> Plan.t -> bool
-(** The Boolean answer: whether the query result is nonempty. *)
+[@@deprecated "use nonempty ?ctx (Relalg.Ctx bundles stats/limits/telemetry/join_algorithm)"]

@@ -27,7 +27,7 @@ let describe ~namer = function
          (fun ppf v -> Format.pp_print_string ppf (namer v)))
       (List.sort_uniq Stdlib.compare kept)
 
-let analyze ?(join_algorithm = Exec.Hash) ?limits db plan =
+let analyze ?(ctx = Relalg.Ctx.null) db plan =
   let env =
     Cost.environment db
       (Cq.make ~atoms:(Plan.atoms plan) ~free:(Plan.schema plan))
@@ -36,14 +36,14 @@ let analyze ?(join_algorithm = Exec.Hash) ?limits db plan =
   let rec go plan =
     let children, rel =
       match plan with
-      | Plan.Atom atom -> ([], Conjunctive.Database.eval_atom ?limits db atom)
+      | Plan.Atom atom -> ([], Conjunctive.Database.eval_atom ~ctx db atom)
       | Plan.Join (l, r) ->
         let nl, rl = go l in
         let nr, rr = go r in
         let join =
-          match join_algorithm with
-          | Exec.Hash -> Ops.natural_join ?limits
-          | Exec.Merge -> Ops.merge_join ?limits
+          match Relalg.Ctx.join_algorithm ctx with
+          | Relalg.Ctx.Hash -> Ops.natural_join ~ctx
+          | Relalg.Ctx.Merge -> Ops.merge_join ~ctx
         in
         ([ nl; nr ], join rl rr)
       | Plan.Project (sub, kept) ->
@@ -51,7 +51,7 @@ let analyze ?(join_algorithm = Exec.Hash) ?limits db plan =
         let target =
           Schema.restrict (Relation.schema rsub) ~keep:(fun v -> List.mem v kept)
         in
-        ([ nsub ], Ops.project ?limits rsub target)
+        ([ nsub ], Ops.project ~ctx rsub target)
     in
     ( {
         plan;

@@ -16,9 +16,10 @@ type node = {
 }
 
 val analyze :
-  ?join_algorithm:Exec.join_algorithm -> ?limits:Relalg.Limits.t ->
+  ?ctx:Relalg.Ctx.t ->
   Conjunctive.Database.t -> Plan.t -> node * Relalg.Relation.t
-(** Execute the plan, collecting one annotated node per operator.
+(** Execute the plan, collecting one annotated node per operator. The
+    context supplies the join algorithm, limits and backend.
     @raise Relalg.Limits.Exceeded as {!Exec.run} does (partial output is
     lost; use generous limits when explaining). *)
 

@@ -71,8 +71,8 @@ let compile ?rng ?order ~i_bound cq =
 
 type verdict = Definitely_empty | Maybe_nonempty of Relalg.Relation.t
 
-let evaluate ?rng ?order ?stats ?limits ~i_bound db cq =
+let evaluate ?rng ?order ?ctx ~i_bound db cq =
   let plan = compile ?rng ?order ~i_bound cq in
-  let result = Exec.run ?stats ?limits db plan in
+  let result = Exec.run ?ctx db plan in
   if Relalg.Relation.is_empty result then Definitely_empty
   else Maybe_nonempty result

@@ -23,6 +23,5 @@ type verdict =
   | Maybe_nonempty of Relalg.Relation.t  (** the upper-bound relation *)
 
 val evaluate :
-  ?rng:Graphlib.Rng.t -> ?order:int array -> ?stats:Relalg.Stats.t ->
-  ?limits:Relalg.Limits.t -> i_bound:int ->
-  Conjunctive.Database.t -> Conjunctive.Cq.t -> verdict
+  ?rng:Graphlib.Rng.t -> ?order:int array -> ?ctx:Relalg.Ctx.t ->
+  i_bound:int -> Conjunctive.Database.t -> Conjunctive.Cq.t -> verdict

@@ -7,7 +7,7 @@ module Ops = Relalg.Ops
 let share_variable a b =
   not (Schema.is_disjoint (Relation.schema a) (Relation.schema b))
 
-let reduce_to_fixpoint ?stats ?limits ?(max_passes = 10) rels =
+let reduce_to_fixpoint ?ctx ?(max_passes = 10) rels =
   let m = Array.length rels in
   let changed_any = ref false in
   let continue_ = ref true in
@@ -19,7 +19,7 @@ let reduce_to_fixpoint ?stats ?limits ?(max_passes = 10) rels =
       for j = 0 to m - 1 do
         if i <> j && share_variable rels.(i) rels.(j) then begin
           let before = Relation.cardinality rels.(i) in
-          let reduced = Ops.semijoin ?stats ?limits rels.(i) rels.(j) in
+          let reduced = Ops.semijoin ?ctx rels.(i) rels.(j) in
           if Relation.cardinality reduced < before then begin
             rels.(i) <- reduced;
             changed_any := true;
@@ -31,12 +31,10 @@ let reduce_to_fixpoint ?stats ?limits ?(max_passes = 10) rels =
   done;
   !changed_any
 
-let reduced_instance ?stats ?limits ?max_passes db cq =
+let reduced_instance ?ctx ?max_passes db cq =
   let atoms = Array.of_list cq.Cq.atoms in
-  let rels =
-    Array.map (fun atom -> Database.eval_atom ?stats ?limits db atom) atoms
-  in
-  let changed = reduce_to_fixpoint ?stats ?limits ?max_passes rels in
+  let rels = Array.map (fun atom -> Database.eval_atom ?ctx db atom) atoms in
+  let changed = reduce_to_fixpoint ?ctx ?max_passes rels in
   let reduced_db = Database.create () in
   let rewritten =
     Array.to_list
@@ -51,10 +49,10 @@ let reduced_instance ?stats ?limits ?max_passes db cq =
   in
   (reduced_db, { cq with Cq.atoms = rewritten }, changed)
 
-let tuples_removed ?limits db cq =
+let tuples_removed ?ctx db cq =
   let atoms = Array.of_list cq.Cq.atoms in
-  let rels = Array.map (fun atom -> Database.eval_atom ?limits db atom) atoms in
+  let rels = Array.map (fun atom -> Database.eval_atom ?ctx db atom) atoms in
   let before = Array.fold_left (fun acc r -> acc + Relation.cardinality r) 0 rels in
-  ignore (reduce_to_fixpoint ?limits rels);
+  ignore (reduce_to_fixpoint ?ctx rels);
   let after = Array.fold_left (fun acc r -> acc + Relation.cardinality r) 0 rels in
   before - after

@@ -11,7 +11,7 @@
     mediator queries). *)
 
 val reduced_instance :
-  ?stats:Relalg.Stats.t -> ?limits:Relalg.Limits.t -> ?max_passes:int ->
+  ?ctx:Relalg.Ctx.t -> ?max_passes:int ->
   Conjunctive.Database.t -> Conjunctive.Cq.t ->
   Conjunctive.Database.t * Conjunctive.Cq.t * bool
 (** Materialize each atom, reduce to fixpoint (at most [max_passes]
@@ -21,6 +21,6 @@ val reduced_instance :
     answers as the original. *)
 
 val tuples_removed :
-  ?limits:Relalg.Limits.t -> Conjunctive.Database.t -> Conjunctive.Cq.t -> int
+  ?ctx:Relalg.Ctx.t -> Conjunctive.Database.t -> Conjunctive.Cq.t -> int
 (** Total tuples the reduction deletes — [0] exactly when the pass is
     useless, as on the paper's coloring queries. *)

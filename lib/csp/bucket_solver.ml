@@ -2,10 +2,10 @@ module Relation = Relalg.Relation
 module Schema = Relalg.Schema
 module Cq = Conjunctive.Cq
 
-let satisfiable ?rng ?limits (t : Instance.t) =
+let satisfiable ?rng ?ctx (t : Instance.t) =
   let cq, db = Instance.to_query t in
   let plan = Ppr_core.Bucket.compile ?rng cq in
-  Ppr_core.Exec.nonempty ?limits db plan
+  Ppr_core.Exec.nonempty ?ctx db plan
 
 (* Fix v := value by adding a unary constraint. *)
 let restrict t v value =
@@ -16,15 +16,15 @@ let restrict t v value =
       { Instance.scope = [ v ]; allowed } :: t.Instance.constraints;
   }
 
-let solution ?rng ?limits (t : Instance.t) =
-  if not (satisfiable ?rng ?limits t) then None
+let solution ?rng ?ctx (t : Instance.t) =
+  if not (satisfiable ?rng ?ctx t) then None
   else begin
     let current = ref t in
     let assignment = Array.make t.Instance.num_vars 0 in
     for v = 0 to t.Instance.num_vars - 1 do
       let value =
         List.find
-          (fun value -> satisfiable ?rng ?limits (restrict !current v value))
+          (fun value -> satisfiable ?rng ?ctx (restrict !current v value))
           t.Instance.domain
       in
       assignment.(v) <- value;

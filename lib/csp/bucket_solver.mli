@@ -4,10 +4,10 @@
     executing the bucket-elimination plan. *)
 
 val satisfiable :
-  ?rng:Graphlib.Rng.t -> ?limits:Relalg.Limits.t -> Instance.t -> bool
+  ?rng:Graphlib.Rng.t -> ?ctx:Relalg.Ctx.t -> Instance.t -> bool
 
 val solution :
-  ?rng:Graphlib.Rng.t -> ?limits:Relalg.Limits.t -> Instance.t ->
+  ?rng:Graphlib.Rng.t -> ?ctx:Relalg.Ctx.t -> Instance.t ->
   int array option
 (** A satisfying assignment, reconstructed by fixing variables one at a
     time and re-running the decision procedure — demonstrating the

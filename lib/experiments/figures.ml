@@ -16,6 +16,9 @@ let shared_db = lazy (Encode.coloring_database ())
 let limits_factory () =
   Relalg.Limits.create ~max_tuples:300_000 ~max_total:3_000_000 ()
 
+(* A fresh per-run context carrying only those limits. *)
+let limited_ctx () = Relalg.Ctx.create ~limits:(limits_factory ()) ()
+
 let paper_methods =
   [
     ("straightfwd", Driver.Straightforward);
@@ -106,7 +109,7 @@ let figure2 ~scale ~seeds =
             (time (fun () ->
                  try
                    ignore
-                     (Ppr_core.Exec.run ~limits:(limits_factory ()) db geqo_plan)
+                     (Ppr_core.Exec.run ~ctx:(limited_ctx ()) db geqo_plan)
                  with Relalg.Limits.Abort _ -> ()))
         in
         (* The paper: the genetic plan "is apparently no better than the
@@ -251,7 +254,7 @@ let figure_minibucket ~scale ~seeds =
           random_coloring ~mode:Encode.Boolean ~n ~density ~seed
         in
         let truth =
-          (Driver.run ~limits:(limits_factory ()) Driver.Bucket_elimination db cq)
+          (Driver.run ~ctx:(limited_ctx ()) Driver.Bucket_elimination db cq)
             .Driver.nonempty
         in
         (db, cq, truth))
@@ -266,7 +269,7 @@ let figure_minibucket ~scale ~seeds =
             let verdict =
               try
                 match
-                  Ppr_core.Minibucket.evaluate ~limits:(limits_factory ())
+                  Ppr_core.Minibucket.evaluate ~ctx:(limited_ctx ())
                     ~i_bound db cq
                 with
                 | Ppr_core.Minibucket.Definitely_empty -> Some false
@@ -325,7 +328,7 @@ let figure_yannakakis ~scale ~seeds =
             in
             let t0 = Unix.gettimeofday () in
             (match
-               Hypergraphs.Yannakakis.evaluate ~limits:(limits_factory ()) db cq
+               Hypergraphs.Yannakakis.evaluate ~ctx:(limited_ctx ()) db cq
              with
             | Some _ -> ()
             | None -> failwith "augmented path should be acyclic");
@@ -386,7 +389,7 @@ let figure_orders ~scale ~seeds =
             let t0 = Unix.gettimeofday () in
             (try
                ignore
-                 (Ppr_core.Exec.run ~limits:(limits_factory ()) db
+                 (Ppr_core.Exec.run ~ctx:(limited_ctx ()) db
                     (Ppr_core.Bucket.compile ~order cq))
              with Relalg.Limits.Abort _ -> ());
             (Unix.gettimeofday () -. t0, float_of_int width))
@@ -448,7 +451,7 @@ let figure_weighted ~scale ~seeds =
         let t0 = Unix.gettimeofday () in
         (try
            ignore
-             (Ppr_core.Exec.run ~stats ~limits:(limits_factory ()) db
+             (Ppr_core.Exec.run ~ctx:(Relalg.Ctx.create ~stats ~limits:(limits_factory ()) ()) db
                 (Ppr_core.Bucket.compile ~order cq))
          with Relalg.Limits.Abort _ -> ());
         ( Unix.gettimeofday () -. t0,
@@ -497,7 +500,7 @@ let figure_symbolic ~scale ~seeds =
             let relational =
               try
                 Some
-                  (Ppr_core.Exec.nonempty ~limits:(limits_factory ()) db
+                  (Ppr_core.Exec.nonempty ~ctx:(limited_ctx ()) db
                      (Ppr_core.Bucket.compile ~order cq))
               with Relalg.Limits.Abort _ -> None
             in

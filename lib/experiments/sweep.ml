@@ -84,15 +84,16 @@ let aggregate samples =
   }
 
 let run_cell ?(limits_factory = fun () -> Relalg.Limits.create ()) ?ladder
-    ?budget ?telemetry ~seeds ~instance ~meth () =
+    ?budget ?(ctx = Relalg.Ctx.null) ~seeds ~instance ~meth () =
   let run_one seed =
     let db, cq = instance ~seed in
     let rng = Graphlib.Rng.make (seed * 7919) in
     match ladder with
     | None ->
       let outcome =
-        Ppr_core.Driver.run ~rng ~limits:(limits_factory ()) ?telemetry meth
-          db cq
+        Ppr_core.Driver.run ~rng
+          ~ctx:(Relalg.Ctx.with_limits ctx (limits_factory ()))
+          meth db cq
       in
       {
         seconds =
@@ -106,7 +107,7 @@ let run_cell ?(limits_factory = fun () -> Relalg.Limits.create ()) ?ladder
       }
     | Some ladder ->
       let budget = Option.value budget ~default:Supervise.Budget.default in
-      let report = Supervise.run ~rng ~budget ~ladder ?telemetry meth db cq in
+      let report = Supervise.run ~rng ~budget ~ladder ~ctx meth db cq in
       let final =
         match (report.Supervise.result, List.rev report.Supervise.attempts) with
         | Some outcome, _ -> outcome

@@ -47,7 +47,7 @@ val run_cell :
   ?limits_factory:(unit -> Relalg.Limits.t) ->
   ?ladder:Ppr_core.Driver.meth list ->
   ?budget:Supervise.Budget.t ->
-  ?telemetry:Telemetry.t ->
+  ?ctx:Relalg.Ctx.t ->
   seeds:int list ->
   instance:(seed:int -> Conjunctive.Database.t * Conjunctive.Cq.t) ->
   meth:Ppr_core.Driver.meth ->
@@ -57,9 +57,10 @@ val run_cell :
     tie-breaking. When [ladder] is given the run goes through
     {!Supervise.run} with that cascade and [budget] (default
     {!Supervise.Budget.default}), and rescues are counted; otherwise a
-    single unsupervised run uses [limits_factory]. [telemetry] is
-    threaded into every run (spans for each compile/exec/operator, abort
-    tallies in the registry). *)
+    single unsupervised run uses [limits_factory]. [ctx] is threaded into
+    every run (telemetry spans for each compile/exec/operator, abort
+    tallies in the registry, storage backend, join algorithm); its limits
+    field is overridden per run by [limits_factory] or the budget. *)
 
 val print_header : title:string -> columns:string list -> x_label:string -> unit
 

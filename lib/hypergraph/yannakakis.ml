@@ -7,26 +7,26 @@ module Database = Conjunctive.Database
 
 let is_acyclic_query cq = Gyo.is_acyclic (Hypergraph.of_query cq)
 
-let evaluate ?stats ?limits db cq =
+let evaluate ?ctx db cq =
   let hg = Hypergraph.of_query cq in
   match Jointree.build hg with
   | None -> None
   | Some jt ->
     let atoms = Array.of_list cq.Cq.atoms in
     let rels =
-      Array.map (fun atom -> Database.eval_atom ?stats ?limits db atom) atoms
+      Array.map (fun atom -> Database.eval_atom ?ctx db atom) atoms
     in
     (* Upward semijoin pass: parents reduced by children, bottom-up. *)
     List.iter
       (fun i ->
         let p = jt.Jointree.parent.(i) in
-        if p >= 0 then rels.(p) <- Ops.semijoin ?stats ?limits rels.(p) rels.(i))
+        if p >= 0 then rels.(p) <- Ops.semijoin ?ctx rels.(p) rels.(i))
       jt.Jointree.order;
     (* Downward pass: children reduced by parents, top-down. *)
     List.iter
       (fun i ->
         let p = jt.Jointree.parent.(i) in
-        if p >= 0 then rels.(i) <- Ops.semijoin ?stats ?limits rels.(i) rels.(p))
+        if p >= 0 then rels.(i) <- Ops.semijoin ?ctx rels.(i) rels.(p))
       (List.rev jt.Jointree.order);
     (* Join-project pass: merge children into parents, keeping only
        variables still needed by unmerged nodes or the target schema. *)
@@ -47,25 +47,25 @@ let evaluate ?stats ?limits db cq =
         let p = jt.Jointree.parent.(i) in
         if p < 0 then components := rels.(i) :: !components
         else begin
-          let joined = Ops.natural_join ?stats ?limits rels.(p) rels.(i) in
+          let joined = Ops.natural_join ?ctx rels.(p) rels.(i) in
           let keep = needed_later () in
           let target =
             Schema.restrict (Relation.schema joined) ~keep:(fun v ->
                 Iset.mem v keep)
           in
-          rels.(p) <- Ops.project ?stats ?limits joined target
+          rels.(p) <- Ops.project ?ctx joined target
         end)
       jt.Jointree.order;
     let project_free rel =
       let target =
         Schema.restrict (Relation.schema rel) ~keep:(fun v -> Iset.mem v free)
       in
-      Ops.project ?stats ?limits rel target
+      Ops.project ?ctx rel target
     in
     let answer =
       match List.map project_free !components with
       | [] -> invalid_arg "Yannakakis: query without atoms"
       | first :: rest ->
-        List.fold_left (fun acc r -> Ops.natural_join ?stats ?limits acc r) first rest
+        List.fold_left (fun acc r -> Ops.natural_join ?ctx acc r) first rest
     in
     Some answer

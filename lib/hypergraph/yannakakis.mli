@@ -10,7 +10,7 @@
     colors) and lists as future work for varying-arity workloads. *)
 
 val evaluate :
-  ?stats:Relalg.Stats.t -> ?limits:Relalg.Limits.t ->
+  ?ctx:Relalg.Ctx.t ->
   Conjunctive.Database.t -> Conjunctive.Cq.t -> Relalg.Relation.t option
 (** [None] when the query is cyclic; otherwise the full answer
     (projected onto the target schema, or the 0-ary relation for a

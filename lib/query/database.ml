@@ -27,9 +27,10 @@ let load_dir dir =
     (Sys.readdir dir);
   t
 
-let eval_atom ?stats ?limits ?telemetry t atom =
+let eval_atom ?(ctx = Relalg.Ctx.null) t atom =
+  let stats = Relalg.Ctx.stats ctx and limits = Relalg.Ctx.limits ctx in
   let sp =
-    match telemetry with
+    match Relalg.Ctx.telemetry ctx with
     | None -> None
     | Some tel -> Some (tel, Telemetry.start tel "op.scan")
   in
@@ -55,7 +56,11 @@ let eval_atom ?stats ?limits ?telemetry t atom =
       positions;
     !ok
   in
-  let out = Relation.create ~size_hint:(Relation.cardinality base) out_schema in
+  let out =
+    Relation.create ~backend:(Relalg.Ctx.backend ctx)
+      ~size_hint:(Relation.cardinality base)
+      out_schema
+  in
   Relation.iter
     (fun tup -> if consistent tup then ignore (Relation.add out (Tuple.project tup keep)))
     base;

@@ -19,13 +19,11 @@ val find : t -> string -> Relalg.Relation.t
 val mem : t -> string -> bool
 val names : t -> string list
 
-val eval_atom :
-  ?stats:Relalg.Stats.t -> ?limits:Relalg.Limits.t ->
-  ?telemetry:Telemetry.t -> t -> Cq.atom ->
-  Relalg.Relation.t
-(** Materialize one atom occurrence as a relation over its variables.
-    With [telemetry], the materialization runs in an [op.scan] span
-    carrying the relation name and base/output cardinalities.
+val eval_atom : ?ctx:Relalg.Ctx.t -> t -> Cq.atom -> Relalg.Relation.t
+(** Materialize one atom occurrence as a relation over its variables,
+    stored in the context's backend. With telemetry in the context, the
+    materialization runs in an [op.scan] span carrying the relation name
+    and base/output cardinalities.
     @raise Invalid_argument if the atom's arity does not match the base
     relation's. *)
 

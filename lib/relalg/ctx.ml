@@ -1,0 +1,37 @@
+type join_algorithm = Hash | Merge
+
+type t = {
+  stats : Stats.t option;
+  limits : Limits.t option;
+  telemetry : Telemetry.t option;
+  backend : Relation.backend option;
+  join_algorithm : join_algorithm;
+}
+
+let null =
+  {
+    stats = None;
+    limits = None;
+    telemetry = None;
+    backend = None;
+    join_algorithm = Hash;
+  }
+
+let create ?stats ?limits ?telemetry ?backend ?(join_algorithm = Hash) () =
+  { stats; limits; telemetry; backend; join_algorithm }
+
+let stats t = t.stats
+let limits t = t.limits
+let telemetry t = t.telemetry
+let join_algorithm t = t.join_algorithm
+
+(* The backend is resolved lazily against the process-wide default so
+   that [null] (a constant) still tracks [Relation.set_default_backend]. *)
+let backend t =
+  match t.backend with Some b -> b | None -> Relation.default_backend ()
+
+let with_stats t stats = { t with stats = Some stats }
+let with_limits t limits = { t with limits = Some limits }
+let with_telemetry t telemetry = { t with telemetry = Some telemetry }
+let with_backend t backend = { t with backend = Some backend }
+let with_join_algorithm t join_algorithm = { t with join_algorithm }

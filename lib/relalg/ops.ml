@@ -20,14 +20,16 @@ let note_result stats limits rel =
       ~cardinality:(Relation.cardinality rel)
   | None -> ()
 
+(* Charge limits for one freshly materialized tuple. *)
+let charge_new limits rel =
+  match limits with
+  | Some l ->
+    Limits.charge l 1;
+    Limits.check_cardinality l (Relation.cardinality rel)
+  | None -> ()
+
 let guarded_add limits rel tup =
-  if Relation.add rel tup then begin
-    match limits with
-    | Some l ->
-      Limits.charge l 1;
-      Limits.check_cardinality l (Relation.cardinality rel)
-    | None -> ()
-  end
+  if Relation.add rel tup then charge_new limits rel
 
 (* Telemetry is threaded as an option so the disabled path is one match
    on [None]: no span, no attribute list, no clock read. An operator
@@ -72,11 +74,157 @@ let finish_unary sp r out =
       ];
     Telemetry.stop t sp
 
+(* ------------------------------------------------------------------ *)
+(* Columnar hash-join kernel.
+
+   When both inputs and the output are arena-backed, the join never
+   materializes a tuple: the build index hashes the key columns straight
+   out of the build arena (slots hold [row + 1]; rows with equal keys are
+   chained through [next]), probes hash the probe arena's key columns in
+   place, and matches are written cell-by-cell into staged rows of the
+   output arena, committed with a single dedup hash. The single-attribute
+   key case — the common one for the paper's coloring queries — gets its
+   own loops with the FNV step inlined on one value. *)
+
+let fnv_seed = 0x1000193
+let fnv_prime = 0x100000001b3
+let hash1 v = ((fnv_seed lxor v) * fnv_prime) land max_int
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
+
+let columnar_join limits out aout ~ar ~as_ ~key_r ~key_s ~rest_s =
+  let build_on_r = Arena.count ar <= Arena.count as_ in
+  let ab, key_b = if build_on_r then (ar, key_r) else (as_, key_s) in
+  let ap, key_p = if build_on_r then (as_, key_s) else (ar, key_r) in
+  let nb = Arena.count ab and np = Arena.count ap in
+  let db = Arena.data ab and dp = Arena.data ap in
+  let wb = Arena.arity ab and wp = Arena.arity ap in
+  let dr = Arena.data ar and wr = Arena.arity ar in
+  let ds = Arena.data as_ and ws = Arena.arity as_ in
+  let klen = Array.length key_b in
+  let nrest = Array.length rest_s in
+  let slot_len = pow2_at_least (max 16 (2 * nb)) 16 in
+  let mask = slot_len - 1 in
+  let slots = Array.make slot_len 0 in
+  let next = Array.make (max 1 nb) (-1) in
+  let emit r_row s_row =
+    let base = Arena.stage aout in
+    let od = Arena.data aout in
+    Array.blit dr (r_row * wr) od base wr;
+    for k = 0 to nrest - 1 do
+      Array.unsafe_set od (base + wr + k)
+        (Array.unsafe_get ds ((s_row * ws) + Array.unsafe_get rest_s k))
+    done;
+    if Arena.commit_staged aout then charge_new limits out
+  in
+  let rec emit_chain brow prow =
+    if brow >= 0 then begin
+      if build_on_r then emit brow prow else emit prow brow;
+      emit_chain (Array.unsafe_get next brow) prow
+    end
+  in
+  if klen = 1 then begin
+    let kb0 = key_b.(0) and kp0 = key_p.(0) in
+    for row = 0 to nb - 1 do
+      let v = Array.unsafe_get db ((row * wb) + kb0) in
+      let i = ref (hash1 v land mask) in
+      let placing = ref true in
+      while !placing do
+        let s = Array.unsafe_get slots !i in
+        if s = 0 then begin
+          Array.unsafe_set slots !i (row + 1);
+          placing := false
+        end
+        else if Array.unsafe_get db (((s - 1) * wb) + kb0) = v then begin
+          Array.unsafe_set next row (s - 1);
+          Array.unsafe_set slots !i (row + 1);
+          placing := false
+        end
+        else i := (!i + 1) land mask
+      done
+    done;
+    for prow = 0 to np - 1 do
+      let v = Array.unsafe_get dp ((prow * wp) + kp0) in
+      let i = ref (hash1 v land mask) in
+      let probing = ref true in
+      while !probing do
+        let s = Array.unsafe_get slots !i in
+        if s = 0 then probing := false
+        else if Array.unsafe_get db (((s - 1) * wb) + kb0) = v then begin
+          emit_chain (s - 1) prow;
+          probing := false
+        end
+        else i := (!i + 1) land mask
+      done
+    done
+  end
+  else begin
+    let hash_key d base cols =
+      let h = ref fnv_seed in
+      for k = 0 to klen - 1 do
+        h := (!h lxor Array.unsafe_get d (base + Array.unsafe_get cols k))
+             * fnv_prime
+      done;
+      !h land max_int
+    in
+    let keys_equal_bb b1 b2 =
+      let rec go k =
+        k >= klen
+        || Array.unsafe_get db (b1 + Array.unsafe_get key_b k)
+           = Array.unsafe_get db (b2 + Array.unsafe_get key_b k)
+           && go (k + 1)
+      in
+      go 0
+    in
+    let keys_equal_bp bbase pbase =
+      let rec go k =
+        k >= klen
+        || Array.unsafe_get db (bbase + Array.unsafe_get key_b k)
+           = Array.unsafe_get dp (pbase + Array.unsafe_get key_p k)
+           && go (k + 1)
+      in
+      go 0
+    in
+    for row = 0 to nb - 1 do
+      let base = row * wb in
+      let i = ref (hash_key db base key_b land mask) in
+      let placing = ref true in
+      while !placing do
+        let s = Array.unsafe_get slots !i in
+        if s = 0 then begin
+          Array.unsafe_set slots !i (row + 1);
+          placing := false
+        end
+        else if keys_equal_bb ((s - 1) * wb) base then begin
+          Array.unsafe_set next row (s - 1);
+          Array.unsafe_set slots !i (row + 1);
+          placing := false
+        end
+        else i := (!i + 1) land mask
+      done
+    done;
+    for prow = 0 to np - 1 do
+      let pbase = prow * wp in
+      let i = ref (hash_key dp pbase key_p land mask) in
+      let probing = ref true in
+      while !probing do
+        let s = Array.unsafe_get slots !i in
+        if s = 0 then probing := false
+        else if keys_equal_bp ((s - 1) * wb) pbase then begin
+          emit_chain (s - 1) prow;
+          probing := false
+        end
+        else i := (!i + 1) land mask
+      done
+    done
+  end
+
 (* Hash join. The build side is the smaller input; the probe side streams.
    Output columns are always [r] then [s \ r], regardless of which side was
    built on, so the operator is deterministic for callers. *)
-let natural_join ?stats ?limits ?telemetry r s =
-  let sp = span telemetry "op.join.hash" in
+let natural_join ?(ctx = Ctx.null) r s =
+  let stats = Ctx.stats ctx and limits = Ctx.limits ctx in
+  let sp = span (Ctx.telemetry ctx) "op.join.hash" in
   tick limits;
   Option.iter Stats.record_join stats;
   let sr = Relation.schema r and ss = Relation.schema s in
@@ -86,46 +234,51 @@ let natural_join ?stats ?limits ?telemetry r s =
   let key_s = Schema.positions common ss in
   let rest_s = Schema.positions (Schema.diff ss sr) ss in
   let out =
-    Relation.create
+    Relation.create ~backend:(Ctx.backend ctx)
       ~size_hint:(max 16 (max (Relation.cardinality r) (Relation.cardinality s)))
       out_schema
   in
-  let emit tr ts =
-    guarded_add limits out (Tuple.concat tr (Tuple.project ts rest_s))
-  in
-  let build_on_r = Relation.cardinality r <= Relation.cardinality s in
-  let build, build_key = if build_on_r then (r, key_r) else (s, key_s) in
-  let probe, probe_key = if build_on_r then (s, key_s) else (r, key_r) in
-  let table = Key_table.create (max 16 (Relation.cardinality build)) in
-  Relation.iter
-    (fun tup ->
-      let key = Tuple.project tup build_key in
-      let bucket = try Key_table.find table key with Not_found -> [] in
-      Key_table.replace table key (tup :: bucket))
-    build;
-  Relation.iter
-    (fun tup ->
-      let key = Tuple.project tup probe_key in
-      match Key_table.find_opt table key with
-      | None -> ()
-      | Some bucket ->
-        List.iter
-          (fun mate -> if build_on_r then emit mate tup else emit tup mate)
-          bucket)
-    probe;
+  (match (Relation.arena r, Relation.arena s, Relation.arena out) with
+  | Some ar, Some as_, Some aout ->
+    columnar_join limits out aout ~ar ~as_ ~key_r ~key_s ~rest_s
+  | _ ->
+    let emit tr ts =
+      guarded_add limits out (Tuple.concat tr (Tuple.project ts rest_s))
+    in
+    let build_on_r = Relation.cardinality r <= Relation.cardinality s in
+    let build, build_key = if build_on_r then (r, key_r) else (s, key_s) in
+    let probe, probe_key = if build_on_r then (s, key_s) else (r, key_r) in
+    let table = Key_table.create (max 16 (Relation.cardinality build)) in
+    Relation.iter
+      (fun tup ->
+        let key = Tuple.project tup build_key in
+        let bucket = try Key_table.find table key with Not_found -> [] in
+        Key_table.replace table key (tup :: bucket))
+      build;
+    Relation.iter
+      (fun tup ->
+        let key = Tuple.project tup probe_key in
+        match Key_table.find_opt table key with
+        | None -> ()
+        | Some bucket ->
+          List.iter
+            (fun mate -> if build_on_r then emit mate tup else emit tup mate)
+            bucket)
+      probe);
   note_result stats limits out;
   finish_join sp r s out;
   out
 
-let product ?stats ?limits ?telemetry r s =
+let product ?ctx r s =
   if not (Schema.is_disjoint (Relation.schema r) (Relation.schema s)) then
     invalid_arg "Ops.product: schemas intersect";
-  natural_join ?stats ?limits ?telemetry r s
+  natural_join ?ctx r s
 
 (* Sort-merge join: sort both sides by their shared-attribute key, then
    sweep matching runs. Output matches [natural_join] exactly. *)
-let merge_join ?stats ?limits ?telemetry r s =
-  let sp = span telemetry "op.join.merge" in
+let merge_join ?(ctx = Ctx.null) r s =
+  let stats = Ctx.stats ctx and limits = Ctx.limits ctx in
+  let sp = span (Ctx.telemetry ctx) "op.join.merge" in
   tick limits;
   Option.iter Stats.record_join stats;
   let sr = Relation.schema r and ss = Relation.schema s in
@@ -142,7 +295,7 @@ let merge_join ?stats ?limits ?telemetry r s =
   in
   let rows_r = sorted r key_r and rows_s = sorted s key_s in
   let out =
-    Relation.create
+    Relation.create ~backend:(Ctx.backend ctx)
       ~size_hint:(max 16 (max (Array.length rows_r) (Array.length rows_s)))
       out_schema
   in
@@ -177,16 +330,21 @@ let merge_join ?stats ?limits ?telemetry r s =
   finish_join sp r s out;
   out
 
-let equijoin ?stats ?limits ?telemetry ~on r s =
+let equijoin ?(ctx = Ctx.null) ~on r s =
   if not (Schema.is_disjoint (Relation.schema r) (Relation.schema s)) then
     invalid_arg "Ops.equijoin: schemas intersect";
-  let sp = span telemetry "op.join.equi" in
+  let stats = Ctx.stats ctx and limits = Ctx.limits ctx in
+  let sp = span (Ctx.telemetry ctx) "op.join.equi" in
   tick limits;
   Option.iter Stats.record_join stats;
   let sr = Relation.schema r and ss = Relation.schema s in
   let key_r = Array.of_list (List.map (fun (a, _) -> Schema.index sr a) on) in
   let key_s = Array.of_list (List.map (fun (_, b) -> Schema.index ss b) on) in
-  let out = Relation.create ~size_hint:(max 16 (Relation.cardinality r)) (Schema.union sr ss) in
+  let out =
+    Relation.create ~backend:(Ctx.backend ctx)
+      ~size_hint:(max 16 (Relation.cardinality r))
+      (Schema.union sr ss)
+  in
   let table = Key_table.create (max 16 (Relation.cardinality s)) in
   Relation.iter
     (fun tup ->
@@ -205,45 +363,71 @@ let equijoin ?stats ?limits ?telemetry ~on r s =
   finish_join sp r s out;
   out
 
-let project ?stats ?limits ?telemetry r sub =
-  let sp = span telemetry "op.project" in
+let project ?(ctx = Ctx.null) r sub =
+  let stats = Ctx.stats ctx and limits = Ctx.limits ctx in
+  let sp = span (Ctx.telemetry ctx) "op.project" in
   tick limits;
   Option.iter Stats.record_projection stats;
   let positions = Schema.positions sub (Relation.schema r) in
-  let out = Relation.create ~size_hint:(max 16 (Relation.cardinality r)) sub in
-  Relation.iter (fun tup -> guarded_add limits out (Tuple.project tup positions)) r;
+  let out =
+    Relation.create ~backend:(Ctx.backend ctx)
+      ~size_hint:(max 16 (Relation.cardinality r))
+      sub
+  in
+  (match (Relation.arena r, Relation.arena out) with
+  | Some ain, Some aout ->
+    (* Columnar: gather the kept columns of each row straight into a
+       staged output row — no intermediate tuple. *)
+    let d = Arena.data ain and w = Arena.arity ain in
+    let np = Array.length positions in
+    for row = 0 to Arena.count ain - 1 do
+      let base = row * w in
+      let obase = Arena.stage aout in
+      let od = Arena.data aout in
+      for k = 0 to np - 1 do
+        Array.unsafe_set od (obase + k)
+          (Array.unsafe_get d (base + Array.unsafe_get positions k))
+      done;
+      if Arena.commit_staged aout then charge_new limits out
+    done
+  | _ ->
+    Relation.iter
+      (fun tup -> guarded_add limits out (Tuple.project tup positions))
+      r);
   note_result stats limits out;
   finish_unary sp r out;
   out
 
-let project_away ?stats ?limits ?telemetry r dropped =
+let project_away ?ctx r dropped =
   let keep a = not (List.mem a dropped) in
   let sub = Schema.restrict (Relation.schema r) ~keep in
-  project ?stats ?limits ?telemetry r sub
+  project ?ctx r sub
 
-let select_named name ?stats ?limits ?telemetry r pred =
-  let sp = span telemetry name in
+let select_named name ?(ctx = Ctx.null) r pred =
+  let stats = Ctx.stats ctx and limits = Ctx.limits ctx in
+  let sp = span (Ctx.telemetry ctx) name in
   tick limits;
   Option.iter Stats.record_selection stats;
   let out =
-    Relation.create ~size_hint:(max 16 (Relation.cardinality r)) (Relation.schema r)
+    Relation.create ~backend:(Ctx.backend ctx)
+      ~size_hint:(max 16 (Relation.cardinality r))
+      (Relation.schema r)
   in
   Relation.iter (fun tup -> if pred tup then guarded_add limits out tup) r;
   note_result stats limits out;
   finish_unary sp r out;
   out
 
-let select ?stats ?limits ?telemetry r pred =
-  select_named "op.select" ?stats ?limits ?telemetry r pred
+let select ?ctx r pred = select_named "op.select" ?ctx r pred
 
-let select_eq ?stats ?limits ?telemetry r attr value =
+let select_eq ?ctx r attr value =
   let i = Schema.index (Relation.schema r) attr in
-  select ?stats ?limits ?telemetry r (fun tup -> Tuple.get tup i = value)
+  select ?ctx r (fun tup -> Tuple.get tup i = value)
 
-let select_attr_eq ?stats ?limits ?telemetry r a b =
+let select_attr_eq ?ctx r a b =
   let ia = Schema.index (Relation.schema r) a in
   let ib = Schema.index (Relation.schema r) b in
-  select ?stats ?limits ?telemetry r (fun tup -> Tuple.get tup ia = Tuple.get tup ib)
+  select ?ctx r (fun tup -> Tuple.get tup ia = Tuple.get tup ib)
 
 let rename r mapping =
   let fresh =
@@ -251,7 +435,11 @@ let rename r mapping =
       (fun a -> match List.assoc_opt a mapping with Some b -> b | None -> a)
       (Schema.to_array (Relation.schema r))
   in
-  let out = Relation.create ~size_hint:(Relation.cardinality r) (Schema.of_array fresh) in
+  let out =
+    Relation.create ~backend:(Relation.backend r)
+      ~size_hint:(Relation.cardinality r)
+      (Schema.of_array fresh)
+  in
   Relation.iter (fun tup -> ignore (Relation.add out tup)) r;
   out
 
@@ -260,8 +448,9 @@ let aligned name r s =
     invalid_arg (name ^ ": schemas are not permutations of each other");
   Relation.reorder s (Relation.schema r)
 
-let union ?stats ?limits ?telemetry r s =
-  let sp = span telemetry "op.union" in
+let union ?(ctx = Ctx.null) r s =
+  let stats = Ctx.stats ctx and limits = Ctx.limits ctx in
+  let sp = span (Ctx.telemetry ctx) "op.union" in
   tick limits;
   let s = aligned "Ops.union" r s in
   let out = Relation.copy r in
@@ -270,13 +459,13 @@ let union ?stats ?limits ?telemetry r s =
   finish_unary sp r out;
   out
 
-let inter ?stats ?limits ?telemetry r s =
+let inter ?ctx r s =
   let s = aligned "Ops.inter" r s in
-  select_named "op.inter" ?stats ?limits ?telemetry r (fun tup -> Relation.mem s tup)
+  select_named "op.inter" ?ctx r (fun tup -> Relation.mem s tup)
 
-let diff ?stats ?limits ?telemetry r s =
+let diff ?ctx r s =
   let s = aligned "Ops.diff" r s in
-  select_named "op.diff" ?stats ?limits ?telemetry r (fun tup -> not (Relation.mem s tup))
+  select_named "op.diff" ?ctx r (fun tup -> not (Relation.mem s tup))
 
 (* Semi/antijoin: hash the join-key projection of [s], filter [r]. *)
 let key_set s key_positions =
@@ -286,18 +475,23 @@ let key_set s key_positions =
     s;
   keys
 
-let semijoin ?stats ?limits ?telemetry r s =
+let semijoin ?ctx r s =
   let common = Schema.inter (Relation.schema r) (Relation.schema s) in
   let key_r = Schema.positions common (Relation.schema r) in
   let key_s = Schema.positions common (Relation.schema s) in
   let keys = key_set s key_s in
-  select_named "op.semijoin" ?stats ?limits ?telemetry r (fun tup ->
+  select_named "op.semijoin" ?ctx r (fun tup ->
       Key_table.mem keys (Tuple.project tup key_r))
 
-let antijoin ?stats ?limits ?telemetry r s =
+let antijoin ?ctx r s =
   let common = Schema.inter (Relation.schema r) (Relation.schema s) in
   let key_r = Schema.positions common (Relation.schema r) in
   let key_s = Schema.positions common (Relation.schema s) in
   let keys = key_set s key_s in
-  select_named "op.antijoin" ?stats ?limits ?telemetry r (fun tup ->
+  select_named "op.antijoin" ?ctx r (fun tup ->
       not (Key_table.mem keys (Tuple.project tup key_r)))
+
+(* Deprecated pre-Ctx entry point, kept one release for out-of-tree
+   callers of the old three-optional signature. *)
+let natural_join_legacy ?stats ?limits ?telemetry r s =
+  natural_join ~ctx:(Ctx.create ?stats ?limits ?telemetry ()) r s

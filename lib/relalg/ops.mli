@@ -1,30 +1,41 @@
 (** Relational-algebra operators.
 
     Every operator materializes its result (set semantics). All operators
-    accept optional {!Stats.t} and {!Limits.t} so callers can measure the
-    quantities the paper studies — maximum intermediate arity and
-    cardinality — and bound runaway evaluations. They also accept an
-    optional {!Telemetry.t}: when present, each operator runs inside a
-    span named [op.*] carrying input/output cardinality, output arity
-    and (for hash joins) probe counts, and joins observe their fan-out
-    ratio in the [ops.join_fanout] histogram. When absent, the
-    instrumentation is a single match on [None].
+    accept a single optional execution context ({!Ctx.t}) bundling the
+    stats, limits and telemetry that used to be separate optionals, plus
+    the storage backend for the result relation. With stats, callers can
+    measure the quantities the paper studies — maximum intermediate arity
+    and cardinality; with limits, bound runaway evaluations; with
+    telemetry, each operator runs inside a span named [op.*] carrying
+    input/output cardinality, output arity and (for hash joins) probe
+    counts, and joins observe their fan-out ratio in the
+    [ops.join_fanout] histogram. [Ctx.null] (the default) disables all of
+    it.
 
     Each operator spends one unit of {!Limits} fuel on entry and charges
     per materialized tuple, so deadlines and budgets fire mid-operator.
 
+    When both inputs and the result are {!Relation.Columnar}, the joins
+    and projections run specialized kernels that read columns directly
+    out of the tuple arenas and never allocate per probe; mixed or
+    row-backed operands fall back to the generic tuple-at-a-time path
+    with identical results.
+
     @raise Limits.Abort when a guard trips (see {!Limits.reason}). *)
 
-val natural_join : ?stats:Stats.t -> ?limits:Limits.t -> ?telemetry:Telemetry.t -> Relation.t -> Relation.t -> Relation.t
+val natural_join : ?ctx:Ctx.t -> Relation.t -> Relation.t -> Relation.t
 (** [natural_join r s] joins on all attributes the schemas share; the
     result schema is [r]'s schema followed by [s]'s remaining attributes.
-    Implemented as a hash join, building on the smaller input. Degenerates
-    to the cartesian product when the schemas are disjoint. *)
+    Implemented as a hash join, building on the smaller input; on
+    columnar operands the index is built directly over the join-key
+    columns of the build arena (single-attribute keys take a further
+    specialized path). Degenerates to the cartesian product when the
+    schemas are disjoint. *)
 
-val product : ?stats:Stats.t -> ?limits:Limits.t -> ?telemetry:Telemetry.t -> Relation.t -> Relation.t -> Relation.t
+val product : ?ctx:Ctx.t -> Relation.t -> Relation.t -> Relation.t
 (** Cartesian product. @raise Invalid_argument if schemas intersect. *)
 
-val merge_join : ?stats:Stats.t -> ?limits:Limits.t -> ?telemetry:Telemetry.t -> Relation.t -> Relation.t -> Relation.t
+val merge_join : ?ctx:Ctx.t -> Relation.t -> Relation.t -> Relation.t
 (** Sort-merge implementation of {!natural_join}: same contract, same
     result, different cost profile (sorting both inputs on the shared
     attributes, then merging run by run). Exists for the join-algorithm
@@ -32,7 +43,7 @@ val merge_join : ?stats:Stats.t -> ?limits:Limits.t -> ?telemetry:Telemetry.t ->
     {!natural_join} mirrors. *)
 
 val equijoin :
-  ?stats:Stats.t -> ?limits:Limits.t -> ?telemetry:Telemetry.t -> on:(Schema.attr * Schema.attr) list ->
+  ?ctx:Ctx.t -> on:(Schema.attr * Schema.attr) list ->
   Relation.t -> Relation.t -> Relation.t
 (** [equijoin ~on r s] joins on the explicit attribute pairs (left
     attribute from [r], right from [s]); both columns are kept, as SQL
@@ -40,38 +51,47 @@ val equijoin :
     different aliases). An empty [on] is the cartesian product.
     @raise Not_found if a pair names an absent attribute. *)
 
-val project : ?stats:Stats.t -> ?limits:Limits.t -> ?telemetry:Telemetry.t -> Relation.t -> Schema.t -> Relation.t
+val project : ?ctx:Ctx.t -> Relation.t -> Schema.t -> Relation.t
 (** [project r s] keeps the columns of [s] (in [s]'s order), eliminating
     duplicates. @raise Not_found if [s] is not a subset of [r]'s schema. *)
 
-val project_away : ?stats:Stats.t -> ?limits:Limits.t -> ?telemetry:Telemetry.t -> Relation.t -> Schema.attr list -> Relation.t
+val project_away : ?ctx:Ctx.t -> Relation.t -> Schema.attr list -> Relation.t
 (** Drop the listed attributes, keeping the rest in relation order.
     Attributes not present are ignored. *)
 
-val select : ?stats:Stats.t -> ?limits:Limits.t -> ?telemetry:Telemetry.t -> Relation.t -> (Tuple.t -> bool) -> Relation.t
+val select : ?ctx:Ctx.t -> Relation.t -> (Tuple.t -> bool) -> Relation.t
 (** Generic selection; the schema is unchanged. *)
 
-val select_eq : ?stats:Stats.t -> ?limits:Limits.t -> ?telemetry:Telemetry.t -> Relation.t -> Schema.attr -> int -> Relation.t
+val select_eq : ?ctx:Ctx.t -> Relation.t -> Schema.attr -> int -> Relation.t
 (** Rows whose attribute equals a constant. *)
 
-val select_attr_eq : ?stats:Stats.t -> ?limits:Limits.t -> ?telemetry:Telemetry.t -> Relation.t -> Schema.attr -> Schema.attr -> Relation.t
+val select_attr_eq :
+  ?ctx:Ctx.t -> Relation.t -> Schema.attr -> Schema.attr -> Relation.t
 (** Rows where two attributes agree. *)
 
 val rename : Relation.t -> (Schema.attr * Schema.attr) list -> Relation.t
 (** [rename r mapping] renames attributes per the association list
-    (attributes absent from the list keep their names). Tuples are shared,
-    not copied. @raise Invalid_argument if renaming creates duplicates. *)
+    (attributes absent from the list keep their names).
+    @raise Invalid_argument if renaming creates duplicates. *)
 
-val union : ?stats:Stats.t -> ?limits:Limits.t -> ?telemetry:Telemetry.t -> Relation.t -> Relation.t -> Relation.t
-(** Set union. The second relation is reordered to the first's schema.
+val union : ?ctx:Ctx.t -> Relation.t -> Relation.t -> Relation.t
+(** Set union. The second relation is reordered to the first's schema;
+    the result lives in the first relation's backend.
     @raise Invalid_argument if the schemas are not permutations. *)
 
-val inter : ?stats:Stats.t -> ?limits:Limits.t -> ?telemetry:Telemetry.t -> Relation.t -> Relation.t -> Relation.t
-val diff : ?stats:Stats.t -> ?limits:Limits.t -> ?telemetry:Telemetry.t -> Relation.t -> Relation.t -> Relation.t
+val inter : ?ctx:Ctx.t -> Relation.t -> Relation.t -> Relation.t
+val diff : ?ctx:Ctx.t -> Relation.t -> Relation.t -> Relation.t
 
-val semijoin : ?stats:Stats.t -> ?limits:Limits.t -> ?telemetry:Telemetry.t -> Relation.t -> Relation.t -> Relation.t
+val semijoin : ?ctx:Ctx.t -> Relation.t -> Relation.t -> Relation.t
 (** [semijoin r s] keeps the rows of [r] that join with some row of [s]
     (the Wong–Youssefi reducer; see also {!antijoin}). *)
 
-val antijoin : ?stats:Stats.t -> ?limits:Limits.t -> ?telemetry:Telemetry.t -> Relation.t -> Relation.t -> Relation.t
+val antijoin : ?ctx:Ctx.t -> Relation.t -> Relation.t -> Relation.t
 (** Rows of [r] that join with no row of [s]. *)
+
+val natural_join_legacy :
+  ?stats:Stats.t -> ?limits:Limits.t -> ?telemetry:Telemetry.t ->
+  Relation.t -> Relation.t -> Relation.t
+[@@deprecated "use natural_join ?ctx (Relalg.Ctx bundles stats/limits/telemetry)"]
+(** The pre-{!Ctx} signature, kept for one release so out-of-tree callers
+    keep compiling. Equivalent to [natural_join ~ctx:(Ctx.create ...)]. *)

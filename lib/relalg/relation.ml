@@ -5,41 +5,92 @@ module Table = Hashtbl.Make (struct
   let hash = Tuple.hash
 end)
 
-type t = { schema : Schema.t; data : unit Table.t }
+type backend = Row | Columnar
 
-let create ?(size_hint = 64) schema = { schema; data = Table.create size_hint }
+(* Process-wide default, consulted when [create] gets no explicit backend.
+   Columnar is the fast path; Row is kept for A/B benchmarking and as the
+   reference implementation in the backend-equivalence tests. *)
+let default = ref Columnar
+let set_default_backend b = default := b
+let default_backend () = !default
 
+let backend_name = function Row -> "row" | Columnar -> "columnar"
+
+let backend_of_string = function
+  | "row" -> Some Row
+  | "columnar" -> Some Columnar
+  | _ -> None
+
+type store = Rows of unit Table.t | Cols of Arena.t
+type t = { schema : Schema.t; store : store }
+
+let create ?backend ?(size_hint = 64) schema =
+  let b = match backend with Some b -> b | None -> !default in
+  let store =
+    match b with
+    | Row -> Rows (Table.create size_hint)
+    | Columnar -> Cols (Arena.create ~size_hint (Schema.arity schema))
+  in
+  { schema; store }
+
+let backend t = match t.store with Rows _ -> Row | Cols _ -> Columnar
+let arena t = match t.store with Cols a -> Some a | Rows _ -> None
 let schema t = t.schema
 let arity t = Schema.arity t.schema
-let cardinality t = Table.length t.data
-let is_empty t = Table.length t.data = 0
+
+let cardinality t =
+  match t.store with Rows tbl -> Table.length tbl | Cols a -> Arena.count a
+
+let is_empty t = cardinality t = 0
 
 let add t tup =
   if Tuple.arity tup <> Schema.arity t.schema then
     invalid_arg
       (Printf.sprintf "Relation.add: tuple arity %d, schema arity %d"
          (Tuple.arity tup) (Schema.arity t.schema));
-  if Table.mem t.data tup then false
-  else begin
-    Table.add t.data tup ();
-    true
-  end
+  match t.store with
+  | Rows tbl ->
+    (* Single-hash add-if-absent: [replace] probes once; comparing the
+       table length before and after tells us whether the tuple was new,
+       without a separate [mem] that would hash the tuple again. *)
+    let before = Table.length tbl in
+    Table.replace tbl tup ();
+    Table.length tbl > before
+  | Cols a -> Arena.add a tup
 
-let mem t tup = Table.mem t.data tup
-let iter f t = Table.iter (fun tup () -> f tup) t.data
-let fold f t init = Table.fold (fun tup () acc -> f tup acc) t.data init
+let mem t tup =
+  Tuple.arity tup = Schema.arity t.schema
+  && match t.store with Rows tbl -> Table.mem tbl tup | Cols a -> Arena.mem a tup
+
+let iter f t =
+  match t.store with
+  | Rows tbl -> Table.iter (fun tup () -> f tup) tbl
+  | Cols a -> Arena.iter f a
+
+let fold f t init =
+  match t.store with
+  | Rows tbl -> Table.fold (fun tup () acc -> f tup acc) tbl init
+  | Cols a -> Arena.fold f a init
 
 let to_list t = fold List.cons t []
 let to_sorted_list t = List.sort Tuple.compare (to_list t)
 
-let of_tuples schema tuples =
-  let t = create ~size_hint:(max 16 (List.length tuples)) schema in
+let of_tuples ?backend schema tuples =
+  let t = create ?backend ~size_hint:(max 16 (List.length tuples)) schema in
   List.iter (fun tup -> ignore (add t tup)) tuples;
   t
 
-let of_list schema rows = of_tuples schema (List.map Tuple.of_list rows)
+let of_list ?backend schema rows =
+  of_tuples ?backend schema (List.map Tuple.of_list rows)
 
-let copy t = { schema = t.schema; data = Table.copy t.data }
+let copy t =
+  {
+    schema = t.schema;
+    store =
+      (match t.store with
+      | Rows tbl -> Rows (Table.copy tbl)
+      | Cols a -> Cols (Arena.copy a));
+  }
 
 let equal a b =
   Schema.equal a.schema b.schema
@@ -52,7 +103,7 @@ let reorder t target =
   if Schema.equal t.schema target then copy t
   else
     let positions = Schema.positions target t.schema in
-    let out = create ~size_hint:(cardinality t) target in
+    let out = create ~backend:(backend t) ~size_hint:(cardinality t) target in
     iter (fun tup -> ignore (add out (Tuple.project tup positions))) t;
     out
 

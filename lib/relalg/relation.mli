@@ -1,12 +1,38 @@
 (** Relations: a schema plus a duplicate-free set of tuples.
 
     Relations follow set semantics ([SELECT DISTINCT] throughout, as in the
-    paper); inserting a tuple twice is a no-op. *)
+    paper); inserting a tuple twice is a no-op.
+
+    Two interchangeable storage backends sit behind the abstract type:
+    [Row] keeps boxed tuples in a hashtable (the reference
+    implementation), [Columnar] packs all tuples into a flat {!Arena}
+    with open-addressing dedup — the same tuple set, bit-identical
+    results, but cache-friendly scans and allocation-free join kernels
+    (see {!Ops}). The process-wide default is [Columnar]; benchmarks and
+    tests switch it with {!set_default_backend}. *)
 
 type t
 
-val create : ?size_hint:int -> Schema.t -> t
-(** An empty relation over the given schema. *)
+type backend = Row | Columnar
+
+val set_default_backend : backend -> unit
+(** Set the backend used by {!create} when none is given explicitly.
+    Initially [Columnar]. *)
+
+val default_backend : unit -> backend
+val backend_name : backend -> string
+val backend_of_string : string -> backend option
+(** Parses ["row"] / ["columnar"]. *)
+
+val create : ?backend:backend -> ?size_hint:int -> Schema.t -> t
+(** An empty relation over the given schema, stored in [backend]
+    (default: the process-wide default backend). *)
+
+val backend : t -> backend
+
+val arena : t -> Arena.t option
+(** The underlying arena when the relation is columnar; [None] for the
+    row backend. Used by the specialized kernels in {!Ops}. *)
 
 val schema : t -> Schema.t
 val arity : t -> int
@@ -14,7 +40,8 @@ val cardinality : t -> int
 val is_empty : t -> bool
 
 val add : t -> Tuple.t -> bool
-(** Insert a tuple; returns [true] if it was new.
+(** Insert a tuple; returns [true] if it was new. The tuple is hashed
+    exactly once (combined membership test and insert).
     @raise Invalid_argument if the tuple's arity differs from the schema's. *)
 
 val mem : t -> Tuple.t -> bool
@@ -25,18 +52,21 @@ val to_list : t -> Tuple.t list
 (** Tuples in an unspecified order. *)
 
 val to_sorted_list : t -> Tuple.t list
-(** Tuples in lexicographic order — stable across hash layouts, for tests
-    and golden output. *)
+(** Tuples in lexicographic order — stable across hash layouts and
+    backends, for tests and golden output. *)
 
-val of_list : Schema.t -> int list list -> t
+val of_list : ?backend:backend -> Schema.t -> int list list -> t
 (** Build a relation from row lists. Duplicates are merged.
     @raise Invalid_argument on an arity mismatch. *)
 
-val of_tuples : Schema.t -> Tuple.t list -> t
+val of_tuples : ?backend:backend -> Schema.t -> Tuple.t list -> t
+
 val copy : t -> t
+(** A copy in the same backend as the original. *)
 
 val equal : t -> t -> bool
-(** Same schema (ordered) and same tuple set. *)
+(** Same schema (ordered) and same tuple set; the backends need not
+    match. *)
 
 val equal_modulo_order : t -> t -> bool
 (** Equal after aligning both relations on a canonical column order; the
@@ -44,8 +74,9 @@ val equal_modulo_order : t -> t -> bool
     which may emit columns in different orders. *)
 
 val reorder : t -> Schema.t -> t
-(** [reorder r s] is [r] with columns permuted to schema [s].
-    @raise Invalid_argument if [s] is not a permutation of [r]'s schema. *)
+(** [reorder r s] is [r] with columns permuted to schema [s], in [r]'s
+    backend. @raise Invalid_argument if [s] is not a permutation of [r]'s
+    schema. *)
 
 val pp : ?namer:(Schema.attr -> string) -> ?max_rows:int -> unit ->
   Format.formatter -> t -> unit

@@ -6,10 +6,10 @@ module Database = Conjunctive.Database
 
 (* Qualified column names are interned per evaluation; attribute ids are
    therefore globally consistent within one query. *)
-type context = { db : Database.t; symbols : Relalg.Symbol.table }
+type env = { db : Database.t; symbols : Relalg.Symbol.table }
 
-let attr ctx (c : Ast.column) =
-  Relalg.Symbol.intern ctx.symbols (c.Ast.qualifier ^ "." ^ c.Ast.name)
+let attr env (c : Ast.column) =
+  Relalg.Symbol.intern env.symbols (c.Ast.qualifier ^ "." ^ c.Ast.name)
 
 let rebuild_with_schema rel schema =
   if Schema.arity schema <> Relation.arity rel then
@@ -18,80 +18,82 @@ let rebuild_with_schema rel schema =
   Relation.iter (fun tup -> ignore (Relation.add out tup)) rel;
   out
 
-let scan ctx (r : Ast.table_ref) =
+let scan env (r : Ast.table_ref) =
   let base =
-    try Database.find ctx.db r.Ast.relation
+    try Database.find env.db r.Ast.relation
     with Not_found -> failwith ("Eval: unknown relation " ^ r.Ast.relation)
   in
   let schema =
     Schema.of_list
-      (List.map (fun name -> attr ctx (Ast.col r.Ast.alias name)) r.Ast.columns)
+      (List.map (fun name -> attr env (Ast.col r.Ast.alias name)) r.Ast.columns)
   in
   rebuild_with_schema base schema
 
 (* Split equalities into cross-relation join pairs and same-side filters,
    relative to two operand schemas. *)
-let classify_equalities ctx sl sr eqs =
+let classify_equalities env sl sr eqs =
   List.fold_left
     (fun (pairs, post) (e : Ast.equality) ->
-      let a = attr ctx e.Ast.left and b = attr ctx e.Ast.right in
+      let a = attr env e.Ast.left and b = attr env e.Ast.right in
       match (Schema.mem sl a, Schema.mem sr b, Schema.mem sl b, Schema.mem sr a) with
       | true, true, _, _ -> ((a, b) :: pairs, post)
       | _, _, true, true -> ((b, a) :: pairs, post)
       | _ -> (pairs, e :: post))
     ([], []) eqs
 
-let apply_filter ?stats ?limits ctx rel (e : Ast.equality) =
-  let a = attr ctx e.Ast.left and b = attr ctx e.Ast.right in
+let apply_filter ?ctx env rel (e : Ast.equality) =
+  let a = attr env e.Ast.left and b = attr env e.Ast.right in
   let schema = Relation.schema rel in
   if Schema.mem schema a && Schema.mem schema b then
-    Ops.select_attr_eq ?stats ?limits rel a b
+    Ops.select_attr_eq ?ctx rel a b
   else failwith ("Eval: condition references an out-of-scope column")
 
-let rec eval_tree ?stats ?limits ctx = function
-  | Ast.Relation r -> scan ctx r
+let rec eval_tree ?ctx env = function
+  | Ast.Relation r -> scan env r
   | Ast.Join { left; right; on } ->
-    let rl = eval_tree ?stats ?limits ctx left in
-    let rr = eval_tree ?stats ?limits ctx right in
+    let rl = eval_tree ?ctx env left in
+    let rr = eval_tree ?ctx env right in
     let pairs, post =
-      classify_equalities ctx (Relation.schema rl) (Relation.schema rr) on
+      classify_equalities env (Relation.schema rl) (Relation.schema rr) on
     in
-    let joined = Ops.equijoin ?stats ?limits ~on:pairs rl rr in
-    List.fold_left (apply_filter ?stats ?limits ctx) joined post
+    let joined = Ops.equijoin ?ctx ~on:pairs rl rr in
+    List.fold_left (apply_filter ?ctx env) joined post
   | Ast.Subquery { body; alias } ->
-    let names, rel = eval_query ?stats ?limits ctx body in
+    let names, rel = eval_query ?ctx env body in
     let schema =
-      Schema.of_list (List.map (fun n -> attr ctx (Ast.col alias n)) names)
+      Schema.of_list (List.map (fun n -> attr env (Ast.col alias n)) names)
     in
     rebuild_with_schema rel schema
 
-and eval_query ?stats ?limits ctx (q : Ast.query) =
+and eval_query ?ctx env (q : Ast.query) =
+  let stats = Option.bind ctx Relalg.Ctx.stats in
+  let limits = Option.bind ctx Relalg.Ctx.limits in
   (* Fold FROM items left-deep; attach each WHERE equality at the first
      point both of its columns are in scope. *)
   let joined =
     match q.Ast.from with
     | [] -> failwith "Eval: empty FROM"
     | first :: rest ->
-      let initial = eval_tree ?stats ?limits ctx first in
+      let initial = eval_tree ?ctx env first in
       let acc, pending =
         List.fold_left
           (fun (acc, pending) item ->
-            let next = eval_tree ?stats ?limits ctx item in
+            let next = eval_tree ?ctx env item in
             let pairs, rest =
-              classify_equalities ctx (Relation.schema acc)
+              classify_equalities env (Relation.schema acc)
                 (Relation.schema next) pending
             in
-            (Ops.equijoin ?stats ?limits ~on:pairs acc next, rest))
+            (Ops.equijoin ?ctx ~on:pairs acc next, rest))
           (initial, q.Ast.where) rest
       in
-      List.fold_left (apply_filter ?stats ?limits ctx) acc pending
+      List.fold_left (apply_filter ?ctx env) acc pending
   in
   let names = List.map (fun (c : Ast.column) -> c.Ast.name) q.Ast.select in
   let positions =
     Array.of_list
       (List.map
          (fun c ->
-           let a = attr ctx c in
+           let a = attr env c in
            try Schema.index (Relation.schema joined) a
            with Not_found ->
              failwith ("Eval: unknown column " ^ Pretty.column c))
@@ -111,10 +113,10 @@ and eval_query ?stats ?limits ctx (q : Ast.query) =
   | None -> ());
   (names, out)
 
-let query ?stats ?limits db q =
-  let ctx = { db; symbols = Relalg.Symbol.create () } in
-  eval_query ?stats ?limits ctx q
+let query ?ctx db q =
+  let env = { db; symbols = Relalg.Symbol.create () } in
+  eval_query ?ctx env q
 
-let nonempty ?stats ?limits db q =
-  let _, rel = query ?stats ?limits db q in
+let nonempty ?ctx db q =
+  let _, rel = query ?ctx db q in
   not (Relation.is_empty rel)

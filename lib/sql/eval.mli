@@ -10,7 +10,7 @@
     must agree tuple-for-tuple. *)
 
 val query :
-  ?stats:Relalg.Stats.t -> ?limits:Relalg.Limits.t ->
+  ?ctx:Relalg.Ctx.t ->
   Conjunctive.Database.t -> Ast.query -> string list * Relalg.Relation.t
 (** Returns the output column names (bare, in SELECT order) and the
     result; the relation's schema is positional — attribute [i] is the
@@ -18,6 +18,4 @@ val query :
     @raise Failure on an unknown relation, alias or column.
     @raise Relalg.Limits.Exceeded when a guard trips. *)
 
-val nonempty :
-  ?stats:Relalg.Stats.t -> ?limits:Relalg.Limits.t ->
-  Conjunctive.Database.t -> Ast.query -> bool
+val nonempty : ?ctx:Relalg.Ctx.t -> Conjunctive.Database.t -> Ast.query -> bool

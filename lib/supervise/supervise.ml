@@ -68,8 +68,9 @@ let backoff ~base ~rng i =
     *. (0.5 +. Graphlib.Rng.float rng 1.0)
 
 let run ?rng ?(budget = Budget.default) ?ladder ?(budget_scaling = 1.0)
-    ?(backoff_base = 0.0) ?(sleep = false) ?chaos ?clock ?telemetry meth db cq
-    =
+    ?(backoff_base = 0.0) ?(sleep = false) ?chaos ?clock
+    ?(ctx = Relalg.Ctx.null) meth db cq =
+  let telemetry = Relalg.Ctx.telemetry ctx in
   if budget_scaling <= 0.0 then
     invalid_arg "Supervise.run: budget_scaling must be positive";
   let rungs =
@@ -93,7 +94,9 @@ let run ?rng ?(budget = Budget.default) ?ladder ?(budget_scaling = 1.0)
       if sleep && pause > 0.0 then Unix.sleepf pause;
       let limits = Budget.to_limits ?clock rung_budget in
       (match chaos with Some c -> Chaos.arm c ~attempt:i limits | None -> ());
-      let run_rung () = Driver.run ?rng ~limits ?telemetry m db cq in
+      let run_rung () =
+        Driver.run ?rng ~ctx:(Relalg.Ctx.with_limits ctx limits) m db cq
+      in
       let outcome =
         match telemetry with
         | None -> run_rung ()

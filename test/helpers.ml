@@ -105,3 +105,34 @@ let check_rows msg expected rel =
 
 let qtest ?(count = 100) name arbitrary prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arbitrary prop)
+
+(* ------------------------------------------------------------------ *)
+(* Storage-backend matrix.                                             *)
+
+(* Run [f] with the process-wide default backend set to [b], restoring
+   the previous default even when [f] raises (Alcotest failures unwind
+   through here). *)
+let with_backend b f =
+  let prev = Relalg.Relation.default_backend () in
+  Relalg.Relation.set_default_backend b;
+  Fun.protect
+    ~finally:(fun () -> Relalg.Relation.set_default_backend prev)
+    f
+
+(* Alcotest's test_case is a public triple, so a finished suite can be
+   re-run under each backend by wrapping every body (QCheck properties
+   included — their generators and assertions all run inside [f]). *)
+let under_backend b (name, speed, f) =
+  (name, speed, fun x -> with_backend b (fun () -> f x))
+
+(* Duplicate every suite once per storage backend, prefixing the suite
+   names, so the whole test file becomes a backend-equivalence matrix. *)
+let backend_matrix suites =
+  List.concat_map
+    (fun b ->
+      let prefix = Relalg.Relation.backend_name b in
+      List.map
+        (fun (suite, tests) ->
+          (prefix ^ ":" ^ suite, List.map (under_backend b) tests))
+        suites)
+    [ Relalg.Relation.Row; Relalg.Relation.Columnar ]

@@ -81,13 +81,15 @@ let prop_exec_merge_agrees_with_hash =
       let cq = coloring_query ~mode:(Encode.Fraction 0.3) ~seed:(G.size g) g in
       let plan = Bucket.compile cq in
       Relation.equal_modulo_order
-        (Exec.run ~join_algorithm:Exec.Hash coloring_db plan)
-        (Exec.run ~join_algorithm:Exec.Merge coloring_db plan))
+        (Exec.run ~ctx:(Relalg.Ctx.create ~join_algorithm:Exec.Hash ())
+           coloring_db plan)
+        (Exec.run ~ctx:(Relalg.Ctx.create ~join_algorithm:Exec.Merge ())
+           coloring_db plan))
 
 let test_exec_stats_measure_width () =
   let stats = Relalg.Stats.create () in
   let plan = Ppr_core.Straightforward.compile pentagon_cq in
-  ignore (Exec.run ~stats coloring_db plan);
+  ignore (Exec.run ~ctx:(Relalg.Ctx.create ~stats ()) coloring_db plan);
   (* The straightforward pentagon plan reaches all 5 variables. *)
   check_int "measured arity = plan width" (Plan.width plan)
     (Relalg.Stats.max_arity stats)
@@ -609,7 +611,10 @@ let prop_weighted_width_bounds_cardinality =
         Float.pow 2.0 (Ppr_core.Weighted.weighted_induced_width cq ~weight order)
       in
       let stats = Relalg.Stats.create () in
-      ignore (Exec.run ~stats coloring_db (Bucket.compile ~order cq));
+      ignore
+        (Exec.run
+           ~ctx:(Relalg.Ctx.create ~stats ())
+           coloring_db (Bucket.compile ~order cq));
       (* Bucket joins include the eliminated variable, hence one extra
          factor of its domain. *)
       float_of_int (Relalg.Stats.max_cardinality stats) <= (bound *. 3.0) +. 1e-9)
@@ -641,7 +646,10 @@ let test_driver_timeout_reported () =
   let g = Graphlib.Generators.augmented_ladder 12 in
   let cq = coloring_query g in
   let limits = Relalg.Limits.create ~max_tuples:100 ~max_total:1000 () in
-  let o = Driver.run ~limits Driver.Straightforward coloring_db cq in
+  let o =
+    Driver.run ~ctx:(Relalg.Ctx.create ~limits ()) Driver.Straightforward
+      coloring_db cq
+  in
   check_bool "timed out" true (Driver.timed_out o);
   (match Driver.abort_reason o with
   | Some (Relalg.Limits.Cardinality _ | Relalg.Limits.Tuple_budget) -> ()
@@ -662,6 +670,7 @@ let test_method_names () =
 
 let () =
   Alcotest.run "core"
+    (backend_matrix
     [
       ( "plan",
         [
@@ -765,4 +774,4 @@ let () =
             test_driver_timeout_reported;
           Alcotest.test_case "method names" `Quick test_method_names;
         ] );
-    ]
+    ])

@@ -168,7 +168,9 @@ let test_yannakakis_intermediate_sizes_bounded () =
   let g = Graphlib.Generators.augmented_path 20 in
   let cq = coloring_query g in
   let stats = Relalg.Stats.create () in
-  match Yannakakis.evaluate ~stats coloring_db cq with
+  match
+    Yannakakis.evaluate ~ctx:(Relalg.Ctx.create ~stats ()) coloring_db cq
+  with
   | None -> Alcotest.fail "tree should be acyclic"
   | Some _ ->
     check_bool "largest intermediate stays small" true

@@ -9,13 +9,22 @@ module Driver = Ppr_core.Driver
 module Encode = Conjunctive.Encode
 
 let produced ?limits meth cq =
-  (Driver.run ?limits meth coloring_db cq).Driver.tuples_produced
+  let ctx =
+    match limits with
+    | Some limits -> Relalg.Ctx.create ~limits ()
+    | None -> Relalg.Ctx.null
+  in
+  (Driver.run ~ctx meth coloring_db cq).Driver.tuples_produced
 
 (* plan_width is analytic, so a tight cap keeps this cheap even for the
    straightforward plans whose execution would materialize millions. *)
 let width meth cq =
-  (Driver.run ~limits:(Relalg.Limits.create ~max_tuples:10_000 ()) meth
-     coloring_db cq)
+  (Driver.run
+     ~ctx:
+       (Relalg.Ctx.create
+          ~limits:(Relalg.Limits.create ~max_tuples:10_000 ())
+          ())
+     meth coloring_db cq)
     .Driver.plan_width
 
 let boolean_query g = coloring_query ~mode:Encode.Boolean g

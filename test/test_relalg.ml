@@ -333,7 +333,7 @@ let test_merge_join_respects_limits () =
   let limits = Relalg.Limits.create ~max_tuples:3 () in
   Alcotest.check_raises "cap applies"
     (Relalg.Limits.Abort (Relalg.Limits.Cardinality 4)) (fun () ->
-      ignore (Ops.merge_join ~limits r s))
+      ignore (Ops.merge_join ~ctx:(Relalg.Ctx.create ~limits ()) r s))
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation                                                         *)
@@ -419,7 +419,7 @@ let test_limits_cardinality () =
   let s = relation [ 1 ] [ [ 1 ] ] in
   Alcotest.check_raises "per-relation cap"
     (Relalg.Limits.Abort (Relalg.Limits.Cardinality 4)) (fun () ->
-      ignore (Ops.natural_join ~limits r s))
+      ignore (Ops.natural_join ~ctx:(Relalg.Ctx.create ~limits ()) r s))
 
 let test_limits_total () =
   let limits = Relalg.Limits.create ~max_tuples:1000 ~max_total:5 () in
@@ -427,14 +427,15 @@ let test_limits_total () =
   let s = relation [ 1 ] [ [ 1 ]; [ 2 ] ] in
   Alcotest.check_raises "total budget"
     (Relalg.Limits.Abort Relalg.Limits.Tuple_budget) (fun () ->
-      ignore (Ops.natural_join ~limits r s))
+      ignore (Ops.natural_join ~ctx:(Relalg.Ctx.create ~limits ()) r s))
 
 let test_stats_recording () =
   let stats = Relalg.Stats.create () in
   let r = relation [ 0; 1 ] [ [ 1; 2 ]; [ 2; 3 ] ] in
   let s = relation [ 1; 2 ] [ [ 2; 9 ] ] in
-  let j = Ops.natural_join ~stats r s in
-  ignore (Ops.project ~stats j (Schema.of_list [ 0 ]));
+  let ctx = Relalg.Ctx.create ~stats () in
+  let j = Ops.natural_join ~ctx r s in
+  ignore (Ops.project ~ctx j (Schema.of_list [ 0 ]));
   check_int "joins" 1 (Relalg.Stats.joins stats);
   check_int "projections" 1 (Relalg.Stats.projections stats);
   check_int "max arity" 3 (Relalg.Stats.max_arity stats);
@@ -442,8 +443,115 @@ let test_stats_recording () =
   Relalg.Stats.reset stats;
   check_int "reset" 0 (Relalg.Stats.max_arity stats)
 
+(* ------------------------------------------------------------------ *)
+(* Arena: the columnar store's tuple arena, exercised directly at its
+   edge cases (degenerate arities and enough rows to force both data
+   growth and index rehashes).                                          *)
+
+module Arena = Relalg.Arena
+
+let test_arena_zero_ary () =
+  let a = Arena.create 0 in
+  check_bool "first add" true (Arena.add a [||]);
+  check_bool "duplicate" false (Arena.add a [||]);
+  check_int "one row" 1 (Arena.count a);
+  check_bool "mem" true (Arena.mem a [||]);
+  check_bool "wrong arity" false (Arena.mem a [| 1 |])
+
+let test_arena_wide_rows () =
+  (* Arity past any small-tuple fast path. *)
+  let arity = 20 in
+  let a = Arena.create arity in
+  let row k = Array.init arity (fun j -> (k * 31) + j) in
+  for k = 0 to 99 do
+    check_bool "fresh row" true (Arena.add a (row k))
+  done;
+  for k = 0 to 99 do
+    check_bool "duplicate row" false (Arena.add a (row k))
+  done;
+  check_int "count" 100 (Arena.count a);
+  check_bool "mem wide" true (Arena.mem a (row 57));
+  Alcotest.(check (list int)) "read back" (Array.to_list (row 42))
+    (Array.to_list (Arena.read a 42))
+
+let test_arena_many_rows () =
+  (* > 64k distinct rows: the data array grows and the open-addressing
+     index rehashes several times; dedup must survive both. *)
+  let n = 70_000 in
+  let a = Arena.create ~size_hint:16 2 in
+  for k = 0 to n - 1 do
+    ignore (Arena.add a [| k; k * 7 |])
+  done;
+  check_int "all distinct" n (Arena.count a);
+  for k = 0 to n - 1 do
+    if Arena.add a [| k; k * 7 |] then
+      Alcotest.failf "row %d re-inserted after rehash" k
+  done;
+  check_int "still deduped" n (Arena.count a);
+  check_bool "mem early" true (Arena.mem a [| 0; 0 |]);
+  check_bool "mem late" true (Arena.mem a [| n - 1; (n - 1) * 7 |]);
+  check_bool "absent" false (Arena.mem a [| n; n * 7 |]);
+  let sum = Arena.fold (fun row acc -> acc + row.(0)) a 0 in
+  check_int "fold visits every row" (n * (n - 1) / 2) sum
+
+let test_arena_staged_commit () =
+  let a = Arena.create 3 in
+  let base = Arena.stage a in
+  let data = Arena.data a in
+  data.(base) <- 1;
+  data.(base + 1) <- 2;
+  data.(base + 2) <- 3;
+  check_bool "committed" true (Arena.commit_staged a);
+  let base = Arena.stage a in
+  let data = Arena.data a in
+  data.(base) <- 1;
+  data.(base + 1) <- 2;
+  data.(base + 2) <- 3;
+  check_bool "staged duplicate dropped" false (Arena.commit_staged a);
+  check_int "count" 1 (Arena.count a);
+  check_bool "mem" true (Arena.mem a [| 1; 2; 3 |])
+
+(* ------------------------------------------------------------------ *)
+(* Backend equivalence: the same operator pipeline evaluated under both
+   storage backends must produce bit-identical sorted tuple lists.      *)
+
+let eval_under backend rows_r rows_s op =
+  let r = Relation.of_list ~backend (Schema.of_list [ 0; 1 ]) rows_r in
+  let s = Relation.of_list ~backend (Schema.of_list [ 1; 2 ]) rows_s in
+  let ctx = Relalg.Ctx.create ~backend () in
+  List.map Relalg.Tuple.to_list (Relation.to_sorted_list (op ctx r s))
+
+let prop_backends_agree name op =
+  qtest ("row = columnar: " ^ name)
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 30)
+          (QCheck.pair QCheck.small_int QCheck.small_int))
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 30)
+          (QCheck.pair QCheck.small_int QCheck.small_int)))
+    (fun (pr, ps) ->
+      let rows_r = List.map (fun (a, b) -> [ a; b ]) pr in
+      let rows_s = List.map (fun (a, b) -> [ a; b ]) ps in
+      eval_under Relation.Row rows_r rows_s op
+      = eval_under Relation.Columnar rows_r rows_s op)
+
+let backend_equivalence_suite =
+  ( "backend equivalence",
+    [
+      prop_backends_agree "natural join" (fun ctx r s ->
+          Ops.natural_join ~ctx r s);
+      prop_backends_agree "join then project" (fun ctx r s ->
+          Ops.project ~ctx (Ops.natural_join ~ctx r s) (Schema.of_list [ 0; 2 ]));
+      prop_backends_agree "semijoin" (fun ctx r s -> Ops.semijoin ~ctx r s);
+      prop_backends_agree "antijoin" (fun ctx r s -> Ops.antijoin ~ctx r s);
+      prop_backends_agree "union (renamed)" (fun ctx r s ->
+          Ops.union ~ctx r (Ops.rename s [ (1, 0); (2, 1) ]));
+      prop_backends_agree "merge join = hash join" (fun ctx r s ->
+          Ops.merge_join ~ctx r s);
+    ] )
+
 let () =
   Alcotest.run "relalg"
+    (backend_matrix
     [
       ( "symbol",
         [
@@ -531,3 +639,15 @@ let () =
           Alcotest.test_case "stats recording" `Quick test_stats_recording;
         ] );
     ]
+    @ [
+        ( "arena",
+          [
+            Alcotest.test_case "0-ary tuples" `Quick test_arena_zero_ary;
+            Alcotest.test_case "wide rows" `Quick test_arena_wide_rows;
+            Alcotest.test_case "growth and rehash (70k rows)" `Quick
+              test_arena_many_rows;
+            Alcotest.test_case "staged commit dedup" `Quick
+              test_arena_staged_commit;
+          ] );
+        backend_equivalence_suite;
+      ])

@@ -264,7 +264,11 @@ let test_limits_propagate () =
   let g = Graphlib.Generators.augmented_ladder 10 in
   let cq = coloring_query ~mode:Encode.Emulated_boolean g in
   let limits = Relalg.Limits.create ~max_tuples:50 ~max_total:500 () in
-  match Eval.query ~limits coloring_db (Translate.straightforward cq) with
+  match
+    Eval.query
+      ~ctx:(Relalg.Ctx.create ~limits ())
+      coloring_db (Translate.straightforward cq)
+  with
   | _ -> Alcotest.fail "expected the cardinality guard to trip"
   | exception Relalg.Limits.Abort (Relalg.Limits.Cardinality _) -> ()
 

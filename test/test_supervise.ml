@@ -87,7 +87,10 @@ let test_deadline_fires_mid_join () =
     Limits.create ~deadline_seconds:5.0 ~clock:(stepping_clock ())
       ~check_interval:1 ()
   in
-  let o = Driver.run ~limits Driver.Straightforward coloring_db cq in
+  let o =
+    Driver.run ~ctx:(Relalg.Ctx.create ~limits ()) Driver.Straightforward
+      coloring_db cq
+  in
   (match o.Driver.status with
   | Driver.Aborted { reason = Limits.Deadline; partial_stats } ->
     check_bool "partial stats show work done before the abort" true
@@ -103,7 +106,10 @@ let pentagon_cq = coloring_query (Graphlib.Generators.cycle 5)
 let test_chaos_at_operator () =
   let limits = Limits.create () in
   Supervise.Chaos.arm (Supervise.Chaos.at_operator 3) ~attempt:0 limits;
-  let o = Driver.run ~limits Driver.Bucket_elimination coloring_db pentagon_cq in
+  let o =
+    Driver.run ~ctx:(Relalg.Ctx.create ~limits ()) Driver.Bucket_elimination
+      coloring_db pentagon_cq
+  in
   (match Driver.abort_reason o with
   | Some (Limits.Injected "chaos") -> ()
   | _ -> Alcotest.fail "expected the injected fault");
@@ -114,7 +120,10 @@ let test_chaos_after_tuples () =
   let limits = Limits.create () in
   Supervise.Chaos.arm (Supervise.Chaos.after_tuples ~label:"k" 4) ~attempt:0
     limits;
-  let o = Driver.run ~limits Driver.Bucket_elimination coloring_db pentagon_cq in
+  let o =
+    Driver.run ~ctx:(Relalg.Ctx.create ~limits ()) Driver.Bucket_elimination
+      coloring_db pentagon_cq
+  in
   (match Driver.abort_reason o with
   | Some (Limits.Injected "k") -> ()
   | _ -> Alcotest.fail "expected the injected fault");
@@ -128,7 +137,10 @@ let test_chaos_out_of_scope_attempt () =
   Supervise.Chaos.arm
     (Supervise.Chaos.at_operator ~attempts:[ 0 ] 1)
     ~attempt:1 limits;
-  let o = Driver.run ~limits Driver.Bucket_elimination coloring_db pentagon_cq in
+  let o =
+    Driver.run ~ctx:(Relalg.Ctx.create ~limits ()) Driver.Bucket_elimination
+      coloring_db pentagon_cq
+  in
   check_bool "attempt outside the fault's scope completes" true
     (o.Driver.status = Driver.Completed)
 

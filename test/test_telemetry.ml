@@ -19,7 +19,9 @@ let pentagon_cq = coloring_query (Graphlib.Generators.cycle 5)
 
 let run_pentagon ?telemetry ?stats ?limits () =
   let plan = Ppr_core.Bucket.compile pentagon_cq in
-  Ppr_core.Exec.run ?telemetry ?stats ?limits coloring_db plan
+  Ppr_core.Exec.run
+    ~ctx:(Relalg.Ctx.create ?telemetry ?stats ?limits ())
+    coloring_db plan
 
 (* ------------------------------------------------------------------ *)
 (* Metrics registry                                                    *)
@@ -359,8 +361,9 @@ let test_stats_facade_matches_legacy () =
   let stats = Relalg.Stats.create () in
   let r = relation [ 0; 1 ] [ [ 1; 2 ]; [ 2; 3 ] ] in
   let s = relation [ 1; 2 ] [ [ 2; 9 ] ] in
-  let j = Relalg.Ops.natural_join ~stats r s in
-  ignore (Relalg.Ops.project ~stats j (Relalg.Schema.of_list [ 0 ]));
+  let ctx = Relalg.Ctx.create ~stats () in
+  let j = Relalg.Ops.natural_join ~ctx r s in
+  ignore (Relalg.Ops.project ~ctx j (Relalg.Schema.of_list [ 0 ]));
   check_int "joins" 1 (Relalg.Stats.joins stats);
   check_int "projections" 1 (Relalg.Stats.projections stats);
   check_int "max arity" 3 (Relalg.Stats.max_arity stats);
@@ -391,7 +394,8 @@ let test_driver_telemetry_equivalence () =
   let sink, _ = T.Sink.memory () in
   let t = T.create sink in
   let run ?telemetry () =
-    Ppr_core.Driver.run ?telemetry
+    Ppr_core.Driver.run
+      ~ctx:(Relalg.Ctx.create ?telemetry ())
       ~rng:(Graphlib.Rng.make 7)
       Ppr_core.Driver.Bucket_elimination coloring_db pentagon_cq
   in
