@@ -28,8 +28,8 @@ let default_scale =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--figure NAME] [--scale S] [--seeds N] [--micro] \
-     [--backend row|columnar] [--csv FILE] [--json FILE]\n\
+    "usage: main.exe [--figure NAME] [--scale S] [--seeds N] [--jobs N] \
+     [--micro] [--backend row|columnar] [--csv FILE] [--json FILE]\n\
      figures: %s\n"
     (String.concat ", " Experiments.Figures.names);
   exit 2
@@ -38,6 +38,7 @@ type options = {
   mutable figure : string;
   mutable scale : float;
   mutable seeds : int;
+  mutable jobs : int;
   mutable micro_only : bool;
   mutable backend : Relalg.Relation.backend;
   mutable csv : string option;
@@ -46,9 +47,9 @@ type options = {
 
 let parse_args () =
   let opts =
-    { figure = "all"; scale = default_scale; seeds = 3; micro_only = false;
-      backend = Relalg.Relation.default_backend (); csv = None;
-      json = "BENCH_results.json" }
+    { figure = "all"; scale = default_scale; seeds = 3; jobs = 1;
+      micro_only = false; backend = Relalg.Relation.default_backend ();
+      csv = None; json = "BENCH_results.json" }
   in
   let rec go = function
     | [] -> ()
@@ -60,6 +61,9 @@ let parse_args () =
       go rest
     | "--seeds" :: v :: rest ->
       (try opts.seeds <- int_of_string v with _ -> usage ());
+      go rest
+    | "--jobs" :: v :: rest ->
+      (try opts.jobs <- int_of_string v with _ -> usage ());
       go rest
     | "--micro" :: rest ->
       opts.micro_only <- true;
@@ -206,7 +210,7 @@ let json_of_row (r : Experiments.Sweep.row) =
       ("measured_width", Int c.Experiments.Sweep.median_max_arity);
     ]
 
-let write_json ~opts ~rows ~micro =
+let write_json ~opts ~wall_seconds ~rows ~micro =
   let open Telemetry.Json in
   let doc =
     Obj
@@ -219,6 +223,8 @@ let write_json ~opts ~rows ~micro =
         ("scale", Float opts.scale);
         ("backend", String (Relalg.Relation.backend_name opts.backend));
         ("seeds", Int opts.seeds);
+        ("jobs", Int opts.jobs);
+        ("wall_seconds", Float wall_seconds);
         ("rows", List (List.rev_map json_of_row rows |> List.rev));
         ( "micro_ns",
           Obj (List.map (fun (name, est) -> (name, Float est)) micro) );
@@ -234,6 +240,11 @@ let write_json ~opts ~rows ~micro =
 let () =
   let opts = parse_args () in
   Relalg.Relation.set_default_backend opts.backend;
+  Experiments.Sweep.set_pool
+    (if opts.jobs > 1 then
+       Some (Parallel.Pool.create ~num_domains:opts.jobs ())
+     else None);
+  let started = Unix.gettimeofday () in
   let csv_channel = Option.map open_out opts.csv in
   Experiments.Sweep.set_csv_channel csv_channel;
   at_exit (fun () -> Option.iter close_out csv_channel);
@@ -251,4 +262,6 @@ let () =
   let micro =
     if opts.micro_only || opts.figure = "all" then run_micro () else []
   in
-  write_json ~opts ~rows:(List.rev !rows) ~micro
+  write_json ~opts
+    ~wall_seconds:(Unix.gettimeofday () -. started)
+    ~rows:(List.rev !rows) ~micro

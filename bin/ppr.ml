@@ -247,6 +247,28 @@ let backend_arg =
            arena with specialized join kernels) or 'row' (hashtable of \
            boxed tuples).")
 
+(* --jobs: degree of parallelism. PPR_JOBS supplies the default so CI
+   can matrix the whole test/bench entry points without editing every
+   invocation; an explicit flag wins. 0 means one domain per core. *)
+let default_jobs =
+  match Sys.getenv_opt "PPR_JOBS" with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> 1)
+  | None -> 1
+
+let jobs_arg =
+  Arg.(
+    value & opt int default_jobs
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run with N domains: large joins hash-partition across them and \
+           experiment sweeps fan their cells/seeds out. 1 (the default, or \
+           the \\$(b,PPR_JOBS) environment variable) is strictly \
+           sequential; 0 means one domain per core.")
+
+let make_pool jobs =
+  let jobs = if jobs = 0 then Domain.recommended_domain_count () else jobs in
+  if jobs <= 1 then None else Some (Parallel.Pool.create ~num_domains:jobs ())
+
 let apply_backend = function
   | None -> ()
   | Some name -> (
@@ -340,9 +362,10 @@ let run_cmd =
            spec)
   in
   let run family order density seed free_fraction meth max_tuples deadline fuel
-      use_ladder chaos trace metrics backend =
+      use_ladder chaos trace metrics backend jobs =
     guarded @@ fun () ->
     apply_backend backend;
+    let pool = make_pool jobs in
     with_telemetry ~trace ~metrics @@ fun telemetry ->
     let db, cq = build_instance family ~order ~density ~seed ~free_fraction in
     Format.printf "query: %d atoms, %d variables, %d free@." (Conjunctive.Cq.atom_count cq)
@@ -378,7 +401,7 @@ let run_cmd =
         if use_ladder then begin
           let report =
             Supervise.run ~rng ~budget ?chaos
-              ~ctx:(Relalg.Ctx.create ?telemetry ())
+              ~ctx:(Relalg.Ctx.create ?telemetry ?pool ())
               m db cq
           in
           Format.printf "%a" Supervise.pp_report report
@@ -390,7 +413,7 @@ let run_cmd =
           | None -> ());
           let outcome =
             Ppr_core.Driver.run ~rng
-              ~ctx:(Relalg.Ctx.create ~limits ?telemetry ())
+              ~ctx:(Relalg.Ctx.create ~limits ?telemetry ?pool ())
               m db cq
           in
           Format.printf "%a@." Ppr_core.Driver.pp_outcome outcome
@@ -402,7 +425,7 @@ let run_cmd =
     Term.(
       const run $ family_arg $ order_arg $ density_arg $ seed_arg
       $ free_fraction_arg $ method_arg $ max_tuples $ deadline $ fuel
-      $ ladder $ chaos $ trace_arg $ metrics_arg $ backend_arg)
+      $ ladder $ chaos $ trace_arg $ metrics_arg $ backend_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* treewidth                                                           *)
@@ -506,8 +529,9 @@ let experiment_cmd =
       & info [ "csv" ] ~docv:"FILE"
           ~doc:"Also write machine-readable rows to FILE.")
   in
-  let run figure scale seeds csv backend =
+  let run figure scale seeds csv backend jobs =
     apply_backend backend;
+    Experiments.Sweep.set_pool (make_pool jobs);
     let channel = Option.map open_out csv in
     Experiments.Sweep.set_csv_channel channel;
     Fun.protect
@@ -522,7 +546,9 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's figures.")
-    Term.(const run $ figure_arg $ scale_arg $ seeds_arg $ csv_arg $ backend_arg)
+    Term.(
+      const run $ figure_arg $ scale_arg $ seeds_arg $ csv_arg $ backend_arg
+      $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* query: run an arbitrary Datalog-style query                         *)
@@ -553,9 +579,11 @@ let query_cmd =
   let sql_flag =
     Arg.(value & flag & info [ "show-sql" ] ~doc:"Also print the SQL of the plan.")
   in
-  let run query_text query_file data_dir meth show_sql trace metrics backend =
+  let run query_text query_file data_dir meth show_sql trace metrics backend
+      jobs =
     guarded @@ fun () ->
     apply_backend backend;
+    let pool = make_pool jobs in
     with_telemetry ~trace ~metrics @@ fun telemetry ->
     let source =
       match (query_text, query_file) with
@@ -591,7 +619,7 @@ let query_cmd =
         (Sqlgen.Pretty.query
            (Sqlgen.Translate.of_plan ~namer:parsed.Conjunctive.Parse.namer cq plan));
     let result =
-      Ppr_core.Exec.run ~ctx:(Relalg.Ctx.create ?telemetry ()) db plan
+      Ppr_core.Exec.run ~ctx:(Relalg.Ctx.create ?telemetry ?pool ()) db plan
     in
     let schema = Relalg.Relation.schema result in
     (match cq.Conjunctive.Cq.free with
@@ -617,7 +645,7 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run a Datalog-style project-join query.")
     Term.(
       const run $ query_text $ query_file $ data_dir $ method_arg $ sql_flag
-      $ trace_arg $ metrics_arg $ backend_arg)
+      $ trace_arg $ metrics_arg $ backend_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* acyclic: hypergraph structure report                                *)

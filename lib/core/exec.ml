@@ -40,11 +40,3 @@ let rec run ?(ctx = Ctx.null) db plan =
   | _, _ -> eval ()
 
 let nonempty ?ctx db plan = not (Relation.is_empty (run ?ctx db plan))
-
-(* Deprecated pre-Ctx entry points, kept one release for out-of-tree
-   callers of the old four-optional signature. *)
-let run_legacy ?join_algorithm ?stats ?limits ?telemetry db plan =
-  run ~ctx:(Ctx.create ?stats ?limits ?telemetry ?join_algorithm ()) db plan
-
-let nonempty_legacy ?join_algorithm ?stats ?limits ?telemetry db plan =
-  nonempty ~ctx:(Ctx.create ?stats ?limits ?telemetry ?join_algorithm ()) db plan

@@ -23,19 +23,3 @@ val run : ?ctx:Relalg.Ctx.t -> Conjunctive.Database.t -> Plan.t -> Relalg.Relati
 
 val nonempty : ?ctx:Relalg.Ctx.t -> Conjunctive.Database.t -> Plan.t -> bool
 (** The Boolean answer: whether the query result is nonempty. *)
-
-val run_legacy :
-  ?join_algorithm:join_algorithm ->
-  ?stats:Relalg.Stats.t -> ?limits:Relalg.Limits.t ->
-  ?telemetry:Telemetry.t ->
-  Conjunctive.Database.t -> Plan.t -> Relalg.Relation.t
-[@@deprecated "use run ?ctx (Relalg.Ctx bundles stats/limits/telemetry/join_algorithm)"]
-(** The pre-{!Relalg.Ctx} signature, kept for one release so out-of-tree
-    callers keep compiling. *)
-
-val nonempty_legacy :
-  ?join_algorithm:join_algorithm ->
-  ?stats:Relalg.Stats.t -> ?limits:Relalg.Limits.t ->
-  ?telemetry:Telemetry.t ->
-  Conjunctive.Database.t -> Plan.t -> bool
-[@@deprecated "use nonempty ?ctx (Relalg.Ctx bundles stats/limits/telemetry/join_algorithm)"]

@@ -7,7 +7,10 @@ let scaled scale n = max 3 (int_of_float (Float.round (scale *. float_of_int n))
 
 let seed_list seeds = List.init (max 1 seeds) (fun i -> 1000 + i)
 
-let shared_db = lazy (Encode.coloring_database ())
+(* Eager, not lazy: worker domains read it concurrently and forcing a
+   lazy from two domains at once raises [RacyLazy]. It is a handful of
+   tuples, so paying for it at startup costs nothing. *)
+let shared_db = Encode.coloring_database ()
 
 (* The stand-in for the paper's wall-clock timeouts: a run is cut off once
    an intermediate relation (or the whole run) materializes this many
@@ -33,10 +36,12 @@ let paper_methods =
 let panel ~title ~x_label ~xs ~seeds ~instance =
   Sweep.print_header ~title ~columns:(List.map fst paper_methods) ~x_label;
   let last_cells =
+    (* Each row's method cells evaluate concurrently (when a pool is
+       installed); the row still prints as a unit, in sweep order. *)
     List.fold_left
       (fun _ x ->
         let cells =
-          List.map
+          Sweep.map_cells
             (fun (_, meth) ->
               Sweep.run_cell ~limits_factory ~seeds:(seed_list seeds)
                 ~instance:(instance x) ~meth ())
@@ -63,7 +68,7 @@ let random_coloring ~mode ~n ~density ~seed =
   in
   let g = Generators.random ~rng ~n ~m in
   let query_rng = Rng.split rng in
-  (Lazy.force shared_db, Encode.coloring_query_of_graph ~mode ~rng:query_rng g)
+  (shared_db, Encode.coloring_query_of_graph ~mode ~rng:query_rng g)
 
 (* ------------------------------------------------------------------ *)
 (* Figure 2: compile time.                                             *)
@@ -187,7 +192,7 @@ let structured ~figure ~family ~orders ~seeds =
     ~instance_of:(fun ~mode ~x ~seed ->
       let g = family (int_of_float x) in
       let rng = Rng.make seed in
-      (Lazy.force shared_db, Encode.coloring_query_of_graph ~mode ~rng g))
+      (shared_db, Encode.coloring_query_of_graph ~mode ~rng g))
 
 (* The paper scales structured orders 5..50, but its own slow methods
    time out around order 7 and the non-Boolean panels struggle past 20;
@@ -312,7 +317,7 @@ let figure_yannakakis ~scale ~seeds =
         Sweep.run_cell ~limits_factory ~seeds:(seed_list seeds)
           ~instance:(fun ~seed ->
             let rng = Rng.make seed in
-            ( Lazy.force shared_db,
+            ( shared_db,
               Encode.coloring_query_of_graph ~mode:Encode.Boolean ~rng
                 (Generators.augmented_path order) ))
           ~meth ()
@@ -321,7 +326,7 @@ let figure_yannakakis ~scale ~seeds =
         List.map
           (fun seed ->
             let rng = Rng.make seed in
-            let db = Lazy.force shared_db in
+            let db = shared_db in
             let cq =
               Encode.coloring_query_of_graph ~mode:Encode.Boolean ~rng
                 (Generators.augmented_path order)
@@ -567,7 +572,7 @@ let figure_hybrid ~scale ~seeds =
   List.iter
     (fun density ->
       let cells =
-        List.map
+        Sweep.map_cells
           (fun meth ->
             Sweep.run_cell ~limits_factory ~seeds:(seed_list seeds)
               ~instance:(instance density) ~meth ())
@@ -603,7 +608,7 @@ let figure_relsize ~scale ~seeds =
     (fun k ->
       let db = Encode.coloring_database ~k () in
       let cells =
-        List.map
+        Sweep.map_cells
           (fun (_, meth) ->
             Sweep.run_cell ~limits_factory ~seeds:(seed_list seeds)
               ~instance:(fun ~seed ->
@@ -664,7 +669,7 @@ let figure_resilience ~scale ~seeds =
                (int_of_float (density *. float_of_int n))
                (n * (n - 1) / 2))
         in
-        ( Lazy.force shared_db,
+        ( shared_db,
           Encode.coloring_query_of_graph ~mode:Encode.Boolean ~rng
             (Generators.random ~rng ~n ~m) )
       in

@@ -83,6 +83,31 @@ let aggregate samples =
     median_max_arity = int_median (List.map (fun s -> s.max_arity) samples);
   }
 
+(* Experiment-wide domain pool, installed by the CLI/bench alongside the
+   CSV channel and recorder hooks: the figure drivers call into Sweep
+   without a context, so the pool travels the same way. A context with
+   its own pool takes precedence. *)
+let pool = ref (None : Parallel.Pool.t option)
+let set_pool p = pool := p
+
+let map_cells f xs =
+  match !pool with
+  | Some p when not (Parallel.Pool.current_is_worker ()) ->
+    Parallel.Pool.map p f xs
+  | _ -> List.map f xs
+
+(* Fan a per-seed function across the pool. Telemetry is the one context
+   ingredient that is not domain-safe (a single open-span stack), so
+   instrumented runs stay sequential. *)
+let map_seeds ctx f seeds =
+  let chosen =
+    match Relalg.Ctx.pool ctx with Some p -> Some p | None -> !pool
+  in
+  match chosen with
+  | Some p when Option.is_none (Relalg.Ctx.telemetry ctx) ->
+    Parallel.Pool.map p f seeds
+  | _ -> List.map f seeds
+
 let run_cell ?(limits_factory = fun () -> Relalg.Limits.create ()) ?ladder
     ?budget ?(ctx = Relalg.Ctx.null) ~seeds ~instance ~meth () =
   let run_one seed =
@@ -123,7 +148,7 @@ let run_cell ?(limits_factory = fun () -> Relalg.Limits.create ()) ?ladder
         max_arity = final.Ppr_core.Driver.max_arity;
       }
   in
-  aggregate (List.map run_one seeds)
+  aggregate (map_seeds ctx run_one seeds)
 
 let column_width = 16
 

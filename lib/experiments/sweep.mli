@@ -85,6 +85,20 @@ val set_csv_channel : out_channel option -> unit
     [label:fraction|label:fraction]). Intended for regenerating the
     figures with external plotting. *)
 
+val set_pool : Parallel.Pool.t option -> unit
+(** Install an experiment-wide domain pool (the CLI's [--jobs N]). With a
+    pool set, {!run_cell} runs its seeds in parallel (unless the context
+    carries telemetry, whose span stack is single-domain) and
+    {!map_cells} fans cells across domains; a pool inside [run_cell]'s
+    own context takes precedence over the installed one. Aggregates are
+    identical either way — only wall-clock changes. *)
+
+val map_cells : ('a -> 'b) -> 'a list -> 'b list
+(** [List.map], spread over the installed pool when one is set (and the
+    caller is not already on a worker domain). The figure drivers use it
+    to evaluate one row's method cells concurrently while keeping the
+    printed row order. *)
+
 val set_recorder : (row -> unit) option -> unit
 (** When set, every {!print_row} also passes each cell — with its panel,
     x value and method — to the callback. The benchmark harness uses this

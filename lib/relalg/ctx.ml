@@ -6,6 +6,7 @@ type t = {
   telemetry : Telemetry.t option;
   backend : Relation.backend option;
   join_algorithm : join_algorithm;
+  pool : Parallel.Pool.t option;
 }
 
 let null =
@@ -15,15 +16,18 @@ let null =
     telemetry = None;
     backend = None;
     join_algorithm = Hash;
+    pool = None;
   }
 
-let create ?stats ?limits ?telemetry ?backend ?(join_algorithm = Hash) () =
-  { stats; limits; telemetry; backend; join_algorithm }
+let create ?stats ?limits ?telemetry ?backend ?(join_algorithm = Hash) ?pool ()
+    =
+  { stats; limits; telemetry; backend; join_algorithm; pool }
 
 let stats t = t.stats
 let limits t = t.limits
 let telemetry t = t.telemetry
 let join_algorithm t = t.join_algorithm
+let pool t = t.pool
 
 (* The backend is resolved lazily against the process-wide default so
    that [null] (a constant) still tracks [Relation.set_default_backend]. *)
@@ -35,3 +39,5 @@ let with_limits t limits = { t with limits = Some limits }
 let with_telemetry t telemetry = { t with telemetry = Some telemetry }
 let with_backend t backend = { t with backend = Some backend }
 let with_join_algorithm t join_algorithm = { t with join_algorithm }
+let with_pool t pool = { t with pool = Some pool }
+let without_pool t = { t with pool = None }

@@ -21,6 +21,7 @@ val create :
   ?telemetry:Telemetry.t ->
   ?backend:Relation.backend ->
   ?join_algorithm:join_algorithm ->
+  ?pool:Parallel.Pool.t ->
   unit ->
   t
 
@@ -28,6 +29,11 @@ val stats : t -> Stats.t option
 val limits : t -> Limits.t option
 val telemetry : t -> Telemetry.t option
 val join_algorithm : t -> join_algorithm
+
+val pool : t -> Parallel.Pool.t option
+(** The domain pool operators may fan work out on. [None] (the default)
+    means strictly sequential execution. Carried in the context so one
+    [--jobs N] at the entry point reaches every join and sweep. *)
 
 val backend : t -> Relation.backend
 (** The backend operators should materialize results in: the context's,
@@ -39,3 +45,8 @@ val with_limits : t -> Limits.t -> t
 val with_telemetry : t -> Telemetry.t -> t
 val with_backend : t -> Relation.backend -> t
 val with_join_algorithm : t -> join_algorithm -> t
+val with_pool : t -> Parallel.Pool.t -> t
+
+val without_pool : t -> t
+(** Drop the pool: used by code already running on a worker domain that
+    must hand a context to single-domain machinery (e.g. telemetry). *)

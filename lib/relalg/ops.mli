@@ -30,7 +30,15 @@ val natural_join : ?ctx:Ctx.t -> Relation.t -> Relation.t -> Relation.t
     columnar operands the index is built directly over the join-key
     columns of the build arena (single-attribute keys take a further
     specialized path). Degenerates to the cartesian product when the
-    schemas are disjoint. *)
+    schemas are disjoint.
+
+    With a pool in the context ([Ctx.with_pool]) and columnar operands at
+    least [Pool.grain] rows big, the join runs hash-partitioned across
+    the pool's domains: both sides are radix-split on the join-key hash
+    into one shard per domain, shards join independently into private
+    arenas, and the results merge back in shard order — the same tuple
+    set as the sequential kernel, with typed aborts still firing via
+    {!Limits.Shared}. *)
 
 val product : ?ctx:Ctx.t -> Relation.t -> Relation.t -> Relation.t
 (** Cartesian product. @raise Invalid_argument if schemas intersect. *)
@@ -88,10 +96,3 @@ val semijoin : ?ctx:Ctx.t -> Relation.t -> Relation.t -> Relation.t
 
 val antijoin : ?ctx:Ctx.t -> Relation.t -> Relation.t -> Relation.t
 (** Rows of [r] that join with no row of [s]. *)
-
-val natural_join_legacy :
-  ?stats:Stats.t -> ?limits:Limits.t -> ?telemetry:Telemetry.t ->
-  Relation.t -> Relation.t -> Relation.t
-[@@deprecated "use natural_join ?ctx (Relalg.Ctx bundles stats/limits/telemetry)"]
-(** The pre-{!Ctx} signature, kept for one release so out-of-tree callers
-    keep compiling. Equivalent to [natural_join ~ctx:(Ctx.create ...)]. *)

@@ -9,10 +9,14 @@ type backend = Row | Columnar
 
 (* Process-wide default, consulted when [create] gets no explicit backend.
    Columnar is the fast path; Row is kept for A/B benchmarking and as the
-   reference implementation in the backend-equivalence tests. *)
-let default = ref Columnar
-let set_default_backend b = default := b
-let default_backend () = !default
+   reference implementation in the backend-equivalence tests. An [Atomic]
+   rather than a [ref]: worker domains allocate relations while the main
+   domain may still be applying CLI flags, and a plain ref has no
+   inter-domain visibility guarantee. New code should carry the backend
+   in [Relalg.Ctx.t] instead of flipping this global. *)
+let default = Atomic.make Columnar
+let set_default_backend b = Atomic.set default b
+let default_backend () = Atomic.get default
 
 let backend_name = function Row -> "row" | Columnar -> "columnar"
 
@@ -25,7 +29,7 @@ type store = Rows of unit Table.t | Cols of Arena.t
 type t = { schema : Schema.t; store : store }
 
 let create ?backend ?(size_hint = 64) schema =
-  let b = match backend with Some b -> b | None -> !default in
+  let b = match backend with Some b -> b | None -> Atomic.get default in
   let store =
     match b with
     | Row -> Rows (Table.create size_hint)

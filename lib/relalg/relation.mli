@@ -17,7 +17,11 @@ type backend = Row | Columnar
 
 val set_default_backend : backend -> unit
 (** Set the backend used by {!create} when none is given explicitly.
-    Initially [Columnar]. *)
+    Initially [Columnar]. Deprecated shim: the cell is an [Atomic] so a
+    read from a worker domain is well-defined, but prefer carrying the
+    backend explicitly in [Relalg.Ctx.t] ([Ctx.create ~backend] /
+    [Ctx.with_backend]) — a process-wide toggle is shared mutable state
+    across domains. Kept for pre-[Ctx] callers and the CLI flag. *)
 
 val default_backend : unit -> backend
 val backend_name : backend -> string

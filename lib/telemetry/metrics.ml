@@ -1,8 +1,17 @@
-type counter = { c_name : string; mutable count : int }
-type gauge = { g_name : string; mutable peak : int }
+(* Instruments must survive concurrent bumps from pool worker domains
+   (see Parallel.Pool): counters and max-gauges are single Atomics on the
+   hot path, histograms take a per-instrument mutex (they are observed at
+   operator granularity, not per tuple), and registration goes through a
+   per-registry mutex so two domains get-or-registering the same name
+   race safely. Readers (dumps, tests) run after the fan-in, on the
+   owning domain. *)
+
+type counter = { c_name : string; count : int Atomic.t }
+type gauge = { g_name : string; peak : int Atomic.t }
 
 type histogram = {
   h_name : string;
+  h_lock : Mutex.t;
   bounds : float array;  (* strictly increasing upper bounds *)
   counts : int array;    (* length bounds + 1; last bucket is +inf *)
   mutable sum : float;
@@ -16,20 +25,26 @@ type instrument =
   | Histogram of histogram
 
 type t = {
+  lock : Mutex.t;
   by_name : (string, instrument) Hashtbl.t;
   mutable order : string list;  (* registration order, reversed *)
 }
 
-let create () = { by_name = Hashtbl.create 32; order = [] }
+let create () = { lock = Mutex.create (); by_name = Hashtbl.create 32; order = [] }
 
 let register t name make =
-  match Hashtbl.find_opt t.by_name name with
-  | Some existing -> existing
-  | None ->
-    let fresh = make () in
-    Hashtbl.replace t.by_name name fresh;
-    t.order <- name :: t.order;
-    fresh
+  Mutex.lock t.lock;
+  let instrument =
+    match Hashtbl.find_opt t.by_name name with
+    | Some existing -> existing
+    | None ->
+      let fresh = make () in
+      Hashtbl.replace t.by_name name fresh;
+      t.order <- name :: t.order;
+      fresh
+  in
+  Mutex.unlock t.lock;
+  instrument
 
 let kind_error name want =
   invalid_arg
@@ -37,21 +52,30 @@ let kind_error name want =
        name want)
 
 let counter t name =
-  match register t name (fun () -> Counter { c_name = name; count = 0 }) with
+  match
+    register t name (fun () -> Counter { c_name = name; count = Atomic.make 0 })
+  with
   | Counter c -> c
   | _ -> kind_error name "counter"
 
-let incr ?(by = 1) c = c.count <- c.count + by
-let value c = c.count
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.count by)
+let value c = Atomic.get c.count
 let counter_name c = c.c_name
 
 let max_gauge t name =
-  match register t name (fun () -> Gauge { g_name = name; peak = 0 }) with
+  match
+    register t name (fun () -> Gauge { g_name = name; peak = Atomic.make 0 })
+  with
   | Gauge g -> g
   | _ -> kind_error name "gauge"
 
-let observe_max g v = if v > g.peak then g.peak <- v
-let peak g = g.peak
+(* Lock-free running maximum: retry while our sample still beats the
+   published peak. *)
+let rec observe_max g v =
+  let seen = Atomic.get g.peak in
+  if v > seen && not (Atomic.compare_and_set g.peak seen v) then observe_max g v
+
+let peak g = Atomic.get g.peak
 let gauge_name g = g.g_name
 
 (* Decade-ish default buckets: wide enough for both sub-millisecond
@@ -69,6 +93,7 @@ let histogram ?(bounds = default_bounds) t name =
     Histogram
       {
         h_name = name;
+        h_lock = Mutex.create ();
         bounds = Array.copy bounds;
         counts = Array.make (n + 1) 0;
         sum = 0.0;
@@ -83,10 +108,12 @@ let histogram ?(bounds = default_bounds) t name =
 let observe h v =
   let n = Array.length h.bounds in
   let rec bucket i = if i >= n || v <= h.bounds.(i) then i else bucket (i + 1) in
+  Mutex.lock h.h_lock;
   h.counts.(bucket 0) <- h.counts.(bucket 0) + 1;
   h.sum <- h.sum +. v;
   h.observations <- h.observations + 1;
-  if v > h.largest then h.largest <- v
+  if v > h.largest then h.largest <- v;
+  Mutex.unlock h.h_lock
 
 let observations h = h.observations
 let histogram_sum h = h.sum
@@ -102,32 +129,49 @@ let buckets h =
          (upper, count))
        h.counts)
 
-let reset_counter c = c.count <- 0
-let reset_gauge g = g.peak <- 0
+let reset_counter c = Atomic.set c.count 0
+let reset_gauge g = Atomic.set g.peak 0
 
 let reset_histogram h =
+  Mutex.lock h.h_lock;
   Array.fill h.counts 0 (Array.length h.counts) 0;
   h.sum <- 0.0;
   h.observations <- 0;
-  h.largest <- neg_infinity
+  h.largest <- neg_infinity;
+  Mutex.unlock h.h_lock
 
 let reset t =
-  Hashtbl.iter
-    (fun _ instrument ->
-      match instrument with
+  Mutex.lock t.lock;
+  let all = Hashtbl.fold (fun _ i acc -> i :: acc) t.by_name [] in
+  Mutex.unlock t.lock;
+  List.iter
+    (function
       | Counter c -> reset_counter c
       | Gauge g -> reset_gauge g
       | Histogram h -> reset_histogram h)
-    t.by_name
+    all
 
+(* Snapshot under the lock, call back outside it, so [f] may itself
+   touch the registry (get-or-register) without deadlocking. *)
 let iter t f =
-  List.iter (fun name -> f name (Hashtbl.find t.by_name name)) (List.rev t.order)
+  Mutex.lock t.lock;
+  let snapshot =
+    List.rev_map (fun name -> (name, Hashtbl.find t.by_name name)) t.order
+  in
+  Mutex.unlock t.lock;
+  List.iter (fun (name, instrument) -> f name instrument) snapshot
 
-let find t name = Hashtbl.find_opt t.by_name name
+let find t name =
+  Mutex.lock t.lock;
+  let found = Hashtbl.find_opt t.by_name name in
+  Mutex.unlock t.lock;
+  found
 
 let instrument_json = function
-  | Counter c -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int c.count) ]
-  | Gauge g -> Json.Obj [ ("type", Json.String "max"); ("value", Json.Int g.peak) ]
+  | Counter c ->
+    Json.Obj
+      [ ("type", Json.String "counter"); ("value", Json.Int (value c)) ]
+  | Gauge g -> Json.Obj [ ("type", Json.String "max"); ("value", Json.Int (peak g)) ]
   | Histogram h ->
     Json.Obj
       [
@@ -157,8 +201,8 @@ let to_json t =
 let pp ppf t =
   iter t (fun name instrument ->
       match instrument with
-      | Counter c -> Format.fprintf ppf "%-36s %d@." name c.count
-      | Gauge g -> Format.fprintf ppf "%-36s %d (max)@." name g.peak
+      | Counter c -> Format.fprintf ppf "%-36s %d@." name (value c)
+      | Gauge g -> Format.fprintf ppf "%-36s %d (max)@." name (peak g)
       | Histogram h ->
         Format.fprintf ppf "%-36s n=%d sum=%.6g max=%.6g@." name h.observations
           h.sum

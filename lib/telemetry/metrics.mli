@@ -3,11 +3,16 @@
 
     Instruments are registered by name on first use and shared on every
     later request for the same name ({e get-or-register}); asking for a
-    name under a different kind raises [Invalid_argument]. Handles are
-    plain mutable records so the hot path pays one unboxed increment, no
-    hashtable lookup. The registry backs {!Relalg.Stats} (the legacy
-    facade) and collects engine-level tallies — abort reasons, join
-    fan-out, per-rung wall time — for [--metrics] dumps and trace files. *)
+    name under a different kind raises [Invalid_argument]. Handles keep
+    the hot path off the hashtable: a counter bump is one
+    [Atomic.fetch_and_add], a gauge sample one compare-and-set loop —
+    both safe to call from pool worker domains — while histograms (bumped
+    at operator, not tuple, granularity) take a per-instrument mutex.
+    Registration itself is serialized per registry, so concurrent
+    get-or-registers of the same name yield the same instrument. The
+    registry backs {!Relalg.Stats} (the legacy facade) and collects
+    engine-level tallies — abort reasons, join fan-out, per-rung wall
+    time — for [--metrics] dumps and trace files. *)
 
 type t
 type counter

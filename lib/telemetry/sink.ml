@@ -41,7 +41,7 @@ let chrome oc =
           ("ts", Json.Int (usec (Span.start_time s)));
           ("dur", Json.Int (max 0 (usec (Span.stop_time s) - usec (Span.start_time s))));
           ("pid", Json.Int 1);
-          ("tid", Json.Int 1);
+          ("tid", Json.Int (Span.tid s));
           ("args", Json.Obj args);
         ]
     in

@@ -3,15 +3,26 @@ type t = {
   parent : int option;
   depth : int;
   name : string;
+  tid : int;  (* emitting domain, for per-lane trace rendering *)
   start : float;
   mutable stop : float;  (* neg_infinity while the span is open *)
   mutable attrs : (string * Attr.t) list;  (* newest first *)
 }
 
-let make ~id ~parent ~depth ~name ~start ~attrs =
-  { id; parent; depth; name; start; stop = neg_infinity; attrs = List.rev attrs }
+let make ~id ~parent ~depth ~name ~tid ~start ~attrs =
+  {
+    id;
+    parent;
+    depth;
+    name;
+    tid;
+    start;
+    stop = neg_infinity;
+    attrs = List.rev attrs;
+  }
 
 let id s = s.id
+let tid s = s.tid
 let parent s = s.parent
 let depth s = s.depth
 let name s = s.name

@@ -11,12 +11,18 @@ val make :
   parent:int option ->
   depth:int ->
   name:string ->
+  tid:int ->
   start:float ->
   attrs:(string * Attr.t) list ->
   t
 (** Used by {!Telemetry.start}; not meant for direct use. *)
 
 val id : t -> int
+
+val tid : t -> int
+(** The id of the domain that opened the span ([Domain.self]), so trace
+    viewers render one lane per domain. *)
+
 val parent : t -> int option
 (** Id of the enclosing span, [None] at the root. *)
 

@@ -31,6 +31,7 @@ let start ?(attrs = []) t name =
   let parent = match t.stack with [] -> None | p :: _ -> Some (Span.id p) in
   let s =
     Span.make ~id:t.next_id ~parent ~depth:(List.length t.stack) ~name
+      ~tid:(Domain.self () :> int)
       ~start:(t.clock ()) ~attrs
   in
   t.next_id <- t.next_id + 1;
