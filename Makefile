@@ -1,4 +1,4 @@
-.PHONY: all check build test bench bench-smoke bench-compare bench-parallel fmt clean
+.PHONY: all check build test bench bench-smoke bench-compare bench-parallel bench-wcoj fmt clean
 
 all: check
 
@@ -44,6 +44,17 @@ bench-parallel:
 	dune exec bench/parallel_bench.exe -- --jobs 4 \
 	  --seq-results BENCH_results_seq.json --par-results BENCH_results.json \
 	  --json BENCH_results.json
+
+# Generic-join gate: an identity sweep (densities x seeds x encoding
+# modes) where the worst-case-optimal join, the AGM-gated driver path,
+# and bucket elimination must produce identical tuple sets — enforced
+# always — plus a dense 3-COLOR panel where the gate picks the generic
+# join, its measured max intermediate arity must not exceed bucket
+# elimination's, and it must be >= 1.2x faster (PPR_WCOJ_GATE_MIN
+# overrides the threshold, 0 disables). The verdict lands in
+# BENCH_results.json under "wcoj_comparison".
+bench-wcoj:
+	dune exec bench/wcoj_bench.exe -- --json BENCH_results.json
 
 # Requires ocamlformat; no-op-safe when it is not installed.
 fmt:

@@ -188,7 +188,9 @@ let method_arg =
     & info [ "method"; "m" ] ~docv:"METHOD"
         ~doc:
           "Evaluation method (naive, straightforward, early-projection, \
-           reordering, bucket-elimination); all five when omitted.")
+           reordering, bucket-elimination, hybrid, wcoj); the paper's five \
+           when omitted. wcoj is the worst-case-optimal generic join, \
+           gated per query by the AGM bound.")
 
 let sql_of_method cq name =
   let rng = Graphlib.Rng.make 17 in
@@ -379,6 +381,7 @@ let run_cmd =
       | Some "reordering" -> [ Ppr_core.Driver.Reorder ]
       | Some "bucket-elimination" -> [ Ppr_core.Driver.Bucket_elimination ]
       | Some "hybrid" -> [ Ppr_core.Driver.Hybrid ]
+      | Some "wcoj" -> [ Ppr_core.Driver.Wcoj ]
       | Some other -> failwith (Printf.sprintf "unknown method %S" other)
       | None -> Ppr_core.Driver.all_paper_methods
     in
@@ -487,6 +490,7 @@ let explain_cmd =
       | Some "early-projection" -> Ppr_core.Driver.Early_projection
       | Some "reordering" -> Ppr_core.Driver.Reorder
       | Some "bucket-elimination" | None -> Ppr_core.Driver.Bucket_elimination
+      | Some "wcoj" -> Ppr_core.Driver.Wcoj
       | Some other -> failwith (Printf.sprintf "unknown method %S" other)
     in
     let plan = Ppr_core.Driver.compile ~rng:(Graphlib.Rng.make (seed + 31)) meth db cq in
@@ -529,8 +533,26 @@ let experiment_cmd =
       & info [ "csv" ] ~docv:"FILE"
           ~doc:"Also write machine-readable rows to FILE.")
   in
-  let run figure scale seeds csv backend jobs =
+  let meth_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "method"; "m" ] ~docv:"METHOD"
+          ~doc:
+            "Restrict the standard panels' method columns: 'wcoj' keeps the \
+             four baselines plus the generic join (the default column set), \
+             a baseline name reproduces the paper's original four-column \
+             panels.")
+  in
+  let run figure scale seeds csv backend jobs meth =
     apply_backend backend;
+    (match meth with
+    | Some m -> (
+      try Experiments.Figures.restrict_methods m
+      with Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2)
+    | None -> ());
     Experiments.Sweep.set_pool (make_pool jobs);
     let channel = Option.map open_out csv in
     Experiments.Sweep.set_csv_channel channel;
@@ -548,7 +570,7 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's figures.")
     Term.(
       const run $ figure_arg $ scale_arg $ seeds_arg $ csv_arg $ backend_arg
-      $ jobs_arg)
+      $ jobs_arg $ meth_arg)
 
 (* ------------------------------------------------------------------ *)
 (* query: run an arbitrary Datalog-style query                         *)
@@ -611,15 +633,26 @@ let query_cmd =
       | Some "early-projection" -> Ppr_core.Driver.Early_projection
       | Some "reordering" -> Ppr_core.Driver.Reorder
       | Some "bucket-elimination" | None -> Ppr_core.Driver.Bucket_elimination
+      | Some "wcoj" -> Ppr_core.Driver.Wcoj
       | Some other -> failwith (Printf.sprintf "unknown method %S" other)
     in
-    let plan = Ppr_core.Driver.compile meth db cq in
-    if show_sql then
-      print_string
-        (Sqlgen.Pretty.query
-           (Sqlgen.Translate.of_plan ~namer:parsed.Conjunctive.Parse.namer cq plan));
+    let ctx = Relalg.Ctx.create ?telemetry ?pool () in
     let result =
-      Ppr_core.Exec.run ~ctx:(Relalg.Ctx.create ?telemetry ?pool ()) db plan
+      match meth with
+      | Ppr_core.Driver.Wcoj ->
+        (* The generic join has no binary plan to print SQL for; the
+           variable-at-a-time evaluation replaces the whole plan tree. *)
+        if show_sql then
+          prerr_endline "query: --show-sql is not available with --method wcoj";
+        Ppr_core.Exec.run_generic ~ctx db cq
+      | _ ->
+        let plan = Ppr_core.Driver.compile meth db cq in
+        if show_sql then
+          print_string
+            (Sqlgen.Pretty.query
+               (Sqlgen.Translate.of_plan ~namer:parsed.Conjunctive.Parse.namer
+                  cq plan));
+        Ppr_core.Exec.run ~ctx db plan
     in
     let schema = Relalg.Relation.schema result in
     (match cq.Conjunctive.Cq.free with

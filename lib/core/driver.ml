@@ -7,6 +7,7 @@ type meth =
   | Minibucket of int
   | Hybrid
   | Hybrid_rank of int
+  | Wcoj
 
 let all_paper_methods =
   [
@@ -29,6 +30,7 @@ let method_name = function
   | Minibucket i -> Printf.sprintf "minibucket(%d)" i
   | Hybrid -> "hybrid"
   | Hybrid_rank n -> Printf.sprintf "hybrid#%d" n
+  | Wcoj -> "wcoj"
 
 type abort = {
   reason : Relalg.Limits.reason;
@@ -65,6 +67,11 @@ let compile ?rng meth db cq =
   | Minibucket i_bound -> Minibucket.compile ?rng ~i_bound cq
   | Hybrid -> Hybrid.compile ?rng db cq
   | Hybrid_rank n -> Hybrid.nth_plan ?rng n db cq
+  | Wcoj ->
+    (* The binary fallback the AGM gate compares against; [run] executes
+       the generic join directly when the gate picks it. *)
+    let prep = Wcoj.prepare ?rng db cq in
+    Bucket.compile ?rng ~order:(Array.of_list prep.Wcoj.order) cq
 
 let log_src =
   Logs.Src.create "ppr.driver" ~doc:"Method compilation and execution"
@@ -86,12 +93,50 @@ let run ?rng ?(ctx = Relalg.Ctx.null) meth db cq =
       Telemetry.with_span t (phase ^ ":" ^ name) ~attrs (fun _ -> f ())
   in
   let t0 = clock () in
-  let plan = in_span "compile" [] (fun () -> compile ?rng meth db cq) in
+  (* A Wcoj run prepares the AGM gate inside the compile span: when the
+     gate picks the generic join there is no binary plan at all, only the
+     variable order; when it picks the binary side the bucket plan along
+     the same order is the thing compiled. *)
+  let planned =
+    in_span "compile" [] (fun () ->
+        match meth with
+        | Wcoj -> (
+          let prep = Wcoj.prepare ?rng db cq in
+          match prep.Wcoj.decision with
+          | Wcoj.Generic -> `Generic prep
+          | Wcoj.Binary ->
+            `Plan
+              (Bucket.compile ?rng ~order:(Array.of_list prep.Wcoj.order) cq))
+        | _ -> `Plan (compile ?rng meth db cq))
+  in
   let t1 = clock () in
-  Log.debug (fun m ->
-      m "%s: compiled in %.4fs (width %d, %d joins, %d projections)" name
-        (t1 -. t0) (Plan.width plan) (Plan.join_count plan)
-        (Plan.projection_count plan));
+  (* Analytic width: for a binary plan, its largest node schema; for the
+     generic join, the widest unit it ever materializes — an atom or the
+     output. *)
+  let plan_width =
+    match planned with
+    | `Plan plan -> Plan.width plan
+    | `Generic _ ->
+      List.fold_left
+        (fun acc a ->
+          max acc (List.length (Conjunctive.Cq.atom_vars a)))
+        (List.length cq.Conjunctive.Cq.free)
+        cq.Conjunctive.Cq.atoms
+  in
+  (match planned with
+  | `Plan plan ->
+    Log.debug (fun m ->
+        m "%s: compiled in %.4fs (width %d, %d joins, %d projections)" name
+          (t1 -. t0) (Plan.width plan) (Plan.join_count plan)
+          (Plan.projection_count plan))
+  | `Generic prep ->
+    Log.debug (fun m ->
+        m
+          "%s: prepared in %.4fs (AGM bound 2^%.2f <= binary 2^%.2f, rho \
+           %.2f, induced width %d)"
+          name (t1 -. t0) prep.Wcoj.agm.Wcoj.Agm.bound_log2
+          prep.Wcoj.binary_bound_log2 prep.Wcoj.agm.Wcoj.Agm.rho
+          prep.Wcoj.induced_width));
   let stats = Relalg.Stats.create () in
   let limits =
     match Relalg.Ctx.limits ctx with
@@ -101,11 +146,37 @@ let run ?rng ?(ctx = Relalg.Ctx.null) meth db cq =
   let exec_ctx =
     Relalg.Ctx.with_limits (Relalg.Ctx.with_stats ctx stats) limits
   in
+  let exec_attrs =
+    ("plan.width", Telemetry.Attr.Int plan_width)
+    ::
+    (match (meth, planned) with
+    | Wcoj, _ -> (
+      let decision =
+        match planned with `Generic _ -> Wcoj.Generic | `Plan _ -> Wcoj.Binary
+      in
+      [ ("wcoj.decision", Telemetry.Attr.String (Wcoj.decision_name decision)) ]
+      @
+      match planned with
+      | `Generic prep ->
+        [
+          ( "wcoj.agm_bound_log2",
+            Telemetry.Attr.Float prep.Wcoj.agm.Wcoj.Agm.bound_log2 );
+          ( "wcoj.binary_bound_log2",
+            Telemetry.Attr.Float prep.Wcoj.binary_bound_log2 );
+        ]
+      | `Plan _ -> [])
+    | _ -> [])
+  in
   let result, status =
-    in_span "exec"
-      [ ("plan.width", Telemetry.Attr.Int (Plan.width plan)) ]
-      (fun () ->
-        try (Some (Exec.run ~ctx:exec_ctx db plan), Completed)
+    in_span "exec" exec_attrs (fun () ->
+        try
+          let r =
+            match planned with
+            | `Plan plan -> Exec.run ~ctx:exec_ctx db plan
+            | `Generic prep ->
+              Exec.run_generic ~ctx:exec_ctx ~order:prep.Wcoj.order db cq
+          in
+          (Some r, Completed)
         with Relalg.Limits.Abort reason ->
           Log.info (fun m ->
               m "%s: aborted — %s" name (Relalg.Limits.describe reason));
@@ -130,7 +201,7 @@ let run ?rng ?(ctx = Relalg.Ctx.null) meth db cq =
     meth;
     compile_seconds = t1 -. t0;
     exec_seconds = t2 -. t1;
-    plan_width = Plan.width plan;
+    plan_width;
     max_arity = Relalg.Stats.max_arity stats;
     max_cardinality = Relalg.Stats.max_cardinality stats;
     tuples_produced = Relalg.Stats.tuples_produced stats;

@@ -13,6 +13,12 @@ type meth =
   | Hybrid_rank of int
       (** the portfolio's n-th cheapest candidate (0 = {!Hybrid});
           the degradation ladder walks down these ranks *)
+  | Wcoj
+      (** worst-case-optimal generic join, gated per query by the AGM
+          fractional-edge-cover bound: when the bound beats the binary
+          plan's worst case the query runs variable-at-a-time through
+          {!Exec.run_generic}, otherwise it falls back to the bucket-
+          elimination plan along the same variable order (see {!Wcoj}) *)
 
 val all_paper_methods : meth list
 (** The five methods of the paper's experiments, naive first. *)

@@ -40,3 +40,5 @@ let rec run ?(ctx = Ctx.null) db plan =
   | _, _ -> eval ()
 
 let nonempty ?ctx db plan = not (Relation.is_empty (run ?ctx db plan))
+
+let run_generic ?ctx ?order db cq = Wcoj.evaluate ?ctx ?order db cq

@@ -23,3 +23,15 @@ val run : ?ctx:Relalg.Ctx.t -> Conjunctive.Database.t -> Plan.t -> Relalg.Relati
 
 val nonempty : ?ctx:Relalg.Ctx.t -> Conjunctive.Database.t -> Plan.t -> bool
 (** The Boolean answer: whether the query result is nonempty. *)
+
+val run_generic :
+  ?ctx:Relalg.Ctx.t ->
+  ?order:int list ->
+  Conjunctive.Database.t ->
+  Conjunctive.Cq.t ->
+  Relalg.Relation.t
+(** Execute a whole conjunctive query with the worst-case-optimal generic
+    join instead of a binary plan — a thin front for {!Wcoj.evaluate}
+    with the same context contract as {!run} (spans, stats, limits, pool).
+    @raise Relalg.Limits.Abort when a resource guard trips.
+    @raise Not_found if an atom names an unregistered relation. *)

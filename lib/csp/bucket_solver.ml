@@ -21,14 +21,25 @@ let solution ?rng ?ctx (t : Instance.t) =
   else begin
     let current = ref t in
     let assignment = Array.make t.Instance.num_vars 0 in
-    for v = 0 to t.Instance.num_vars - 1 do
-      let value =
-        List.find
-          (fun value -> satisfiable ?rng ?ctx (restrict !current v value))
-          t.Instance.domain
-      in
-      assignment.(v) <- value;
-      current := restrict !current v value
-    done;
-    Some assignment
+    (* Each variable should admit some value once the instance as a whole
+       is satisfiable — but an empty domain, or resource pressure between
+       the up-front check and this probe, can leave the search empty-
+       handed. That is "no solution found", not an unhandled [Not_found]
+       escaping to the caller; typed [Limits.Abort]s raised by the probes
+       (deadlines, budgets, injected faults) still propagate as such. *)
+    let rec extend v =
+      if v = t.Instance.num_vars then Some assignment
+      else
+        match
+          List.find_opt
+            (fun value -> satisfiable ?rng ?ctx (restrict !current v value))
+            t.Instance.domain
+        with
+        | None -> None
+        | Some value ->
+          assignment.(v) <- value;
+          current := restrict !current v value;
+          extend (v + 1)
+    in
+    extend 0
   end

@@ -11,4 +11,8 @@ val solution :
   int array option
 (** A satisfying assignment, reconstructed by fixing variables one at a
     time and re-running the decision procedure — demonstrating the
-    standard reduction of the search problem to the decision problem. *)
+    standard reduction of the search problem to the decision problem.
+    Returns [None] when no assignment is found (unsatisfiable instance,
+    or an empty domain); never leaks a raw [Not_found]. Resource guards
+    tripping in the underlying runs still raise {!Relalg.Limits.Abort}
+    with their typed reason. *)

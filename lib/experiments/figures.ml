@@ -22,7 +22,7 @@ let limits_factory () =
 (* A fresh per-run context carrying only those limits. *)
 let limited_ctx () = Relalg.Ctx.create ~limits:(limits_factory ()) ()
 
-let paper_methods =
+let base_methods =
   [
     ("straightfwd", Driver.Straightforward);
     ("early-proj", Driver.Early_projection);
@@ -30,10 +30,28 @@ let paper_methods =
     ("bucket-elim", Driver.Bucket_elimination);
   ]
 
+let extra_methods = [ ("wcoj", Driver.Wcoj) ]
+
+(* The panels compare the paper's four execution strategies plus the
+   AGM-gated generic join as a sixth column (after the x label); [--method]
+   on the CLI narrows the extras through {!restrict_methods}. *)
+let active_methods = ref (base_methods @ extra_methods)
+let paper_methods () = !active_methods
+
+let restrict_methods name =
+  match List.assoc_opt name extra_methods with
+  | Some meth -> active_methods := base_methods @ [ (name, meth) ]
+  | None ->
+    if List.mem_assoc name base_methods then active_methods := base_methods
+    else
+      invalid_arg
+        (Printf.sprintf "Figures.restrict_methods: unknown method %S" name)
+
 (* A figure panel: one table of method columns over a swept parameter.
    After the sweep, the last (hardest) row's cells also print the
    predicted-vs-measured width comparison per method. *)
 let panel ~title ~x_label ~xs ~seeds ~instance =
+  let paper_methods = paper_methods () in
   Sweep.print_header ~title ~columns:(List.map fst paper_methods) ~x_label;
   let last_cells =
     (* Each row's method cells evaluate concurrently (when a pool is
@@ -598,6 +616,7 @@ let figure_hybrid ~scale ~seeds =
 let figure_relsize ~scale ~seeds =
   let n = scaled scale 12 in
   let density = 2.0 in
+  let paper_methods = paper_methods () in
   Printf.printf
     "\n== Section 7: relation-size scaling (k-COLOR, order %d, density %g) ==\n"
     n density;

@@ -5,6 +5,17 @@
     run uses [scale < 1] so the whole suite finishes in minutes — shapes,
     not absolute numbers, are the reproduction target). *)
 
+val restrict_methods : string -> unit
+(** Narrow the method columns of the standard panels. The default column
+    set is the paper's four strategies plus ["wcoj"] (the AGM-gated
+    generic join). [restrict_methods "wcoj"] keeps exactly that set —
+    the four baselines and the generic join, six printed columns with the
+    x label — while a baseline name (e.g. ["bucket-elim"]) drops the
+    extension columns and reproduces the paper's original four-column
+    panels. Figures with custom column sets (2, minibucket, yannakakis,
+    orders, weighted, symbolic, hybrid, resilience) are unaffected.
+    @raise Invalid_argument on an unknown method name. *)
+
 val figure2 : scale:float -> seeds:int -> unit
 (** Compile-time density scaling (naive DP, naive GEQO, straightforward)
     on 3-SAT with 5 variables. *)

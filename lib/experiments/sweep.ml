@@ -153,20 +153,34 @@ let run_cell ?(limits_factory = fun () -> Relalg.Limits.create ()) ?ladder
 let column_width = 16
 
 (* Optional machine-readable sinks; the header/columns of the panel being
-   printed are remembered so rows can be attributed. *)
+   printed are remembered so rows can be attributed.
+
+   All of this is shared mutable state, and with a pool installed the
+   figure drivers run cells — and, in principle, whole rows — on worker
+   domains. One mutex serializes every emission: a row's table line, CSV
+   line(s) and recorder calls happen as one atomic section, so a CSV
+   written under [--jobs N] is a row-permutation of the sequential one
+   rather than an interleaving of half-written lines. *)
+let sink_mutex = Mutex.create ()
+let locked f = Mutex.protect sink_mutex f
 let csv_channel = ref None
 let csv_header_written = ref false
 let recorder = ref (None : (row -> unit) option)
 let current_panel = ref ("", ([] : string list))
 
 let set_csv_channel ch =
-  csv_channel := ch;
-  csv_header_written := false
+  locked (fun () ->
+      csv_channel := ch;
+      csv_header_written := false)
 
-let set_recorder r = recorder := r
+let set_recorder r = locked (fun () -> recorder := r)
 
+(* RFC 4180: a field containing a separator, a quote, or a line break
+   must be quoted — an embedded newline in a panel title would otherwise
+   split one logical row across two physical lines. *)
 let csv_escape s =
-  if String.contains s ',' || String.contains s '"' then
+  let needs_quoting = function ',' | '"' | '\n' | '\r' -> true | _ -> false in
+  if String.exists needs_quoting s then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 
@@ -211,13 +225,14 @@ let record_row ~x cells =
       columns cells
 
 let print_header ~title ~columns ~x_label =
-  current_panel := (title, columns);
-  Printf.printf "\n== %s ==\n" title;
-  Printf.printf "%-10s" x_label;
-  List.iter (fun c -> Printf.printf "%*s" column_width c) columns;
-  print_newline ();
-  Printf.printf "%s\n"
-    (String.make (10 + (column_width * List.length columns)) '-')
+  locked (fun () ->
+      current_panel := (title, columns);
+      Printf.printf "\n== %s ==\n" title;
+      Printf.printf "%-10s" x_label;
+      List.iter (fun c -> Printf.printf "%*s" column_width c) columns;
+      print_newline ();
+      Printf.printf "%s\n"
+        (String.make (10 + (column_width * List.length columns)) '-'))
 
 let format_cell cell =
   if cell.abort_fraction > 0.5 then begin
@@ -230,29 +245,35 @@ let format_cell cell =
       (100. *. cell.nonempty_fraction)
 
 let print_row ~x ~cells =
-  Printf.printf "%-10s" x;
-  List.iter (fun c -> Printf.printf "%*s" column_width (format_cell c)) cells;
-  print_newline ();
-  csv_row ~x cells;
-  record_row ~x cells
+  locked (fun () ->
+      Printf.printf "%-10s" x;
+      List.iter
+        (fun c -> Printf.printf "%*s" column_width (format_cell c))
+        cells;
+      print_newline ();
+      csv_row ~x cells;
+      record_row ~x cells)
 
 let print_width_summary ~cells =
   (* "predicted vs. measured": the analytic plan width next to the widest
      intermediate relation the execution actually materialized. Equality
      means the width analysis was exact on this panel's last row. *)
-  let _, columns = !current_panel in
-  Printf.printf "%-10s" "width";
-  List.iter2
-    (fun _column cell ->
-      Printf.printf "%*s" column_width
-        (Printf.sprintf "%d->%d" cell.median_plan_width cell.median_max_arity))
-    columns cells;
-  print_newline ();
-  Printf.printf
-    "(width row: predicted plan width -> measured max intermediate arity, \
-     medians over seeds)\n"
+  locked (fun () ->
+      let _, columns = !current_panel in
+      Printf.printf "%-10s" "width";
+      List.iter2
+        (fun _column cell ->
+          Printf.printf "%*s" column_width
+            (Printf.sprintf "%d->%d" cell.median_plan_width
+               cell.median_max_arity))
+        columns cells;
+      print_newline ();
+      Printf.printf
+        "(width row: predicted plan width -> measured max intermediate \
+         arity, medians over seeds)\n")
 
 let print_footer () =
-  Printf.printf
-    "(cells: median seconds / %% of finished seeds nonempty; \
-     'abort:REASON'/'timeout' = resource guard tripped)\n%!"
+  locked (fun () ->
+      Printf.printf
+        "(cells: median seconds / %% of finished seeds nonempty; \
+         'abort:REASON'/'timeout' = resource guard tripped)\n%!")

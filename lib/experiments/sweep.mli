@@ -67,7 +67,16 @@ val print_header : title:string -> columns:string list -> x_label:string -> unit
 val print_row : x:string -> cells:cell list -> unit
 (** An abort-majority cell prints as [abort:REASON] (or [timeout] when
     reasons are mixed); otherwise the median time in seconds with the
-    nonempty fraction. *)
+    nonempty fraction.
+
+    Concurrency contract: all output sinks (the table printer, the CSV
+    channel, the recorder) share one mutex, and a row is emitted as one
+    atomic section — table line, CSV line(s) and recorder calls together.
+    Rows of the {e same} panel may therefore be printed from concurrent
+    pool workers; interleaving can only reorder whole rows, so a CSV
+    written under [--jobs N] parses cleanly and is a row permutation of
+    the sequential one. {!print_header} swaps the panel the rows are
+    attributed to, so distinct panels must still be run in sequence. *)
 
 val print_width_summary : cells:cell list -> unit
 (** Append a "predicted width -> measured width" row for the given cells
@@ -84,6 +93,11 @@ val set_csv_channel : out_channel option -> unit
     [abort_reasons] packs the per-reason breakdown as
     [label:fraction|label:fraction]). Intended for regenerating the
     figures with external plotting. *)
+
+val csv_escape : string -> string
+(** RFC 4180 field quoting: wraps the field in double quotes (doubling
+    embedded quotes) when it contains a comma, a quote, or a CR/LF —
+    exposed for the CSV round-trip tests. *)
 
 val set_pool : Parallel.Pool.t option -> unit
 (** Install an experiment-wide domain pool (the CLI's [--jobs N]). With a

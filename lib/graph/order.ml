@@ -35,10 +35,29 @@ let mcs ?(initial = []) ?rng g =
   let numbered = Array.make n false in
   let weight = Array.make n 0 in
   let ord = Array.make n 0 in
+  (* Unnumbered vertices live in buckets indexed by current weight:
+     selection pops from the highest nonempty bucket and numbering a
+     vertex moves each unnumbered neighbor up one bucket, so the whole
+     scan does O(n + m) bucket operations instead of refiltering the
+     full vertex list on every round. A weight never exceeds the vertex
+     degree, so n + 1 buckets always suffice. *)
+  let buckets = Array.make (n + 1) Iset.empty in
+  if n > 0 then buckets.(0) <- Iset.of_list (Graph.vertices g);
+  let maxw = ref 0 in
   let place idx v =
     ord.(idx) <- v;
     numbered.(v) <- true;
-    Iset.iter (fun w -> weight.(w) <- weight.(w) + 1) (Graph.neighbors g v)
+    buckets.(weight.(v)) <- Iset.remove v buckets.(weight.(v));
+    Iset.iter
+      (fun w ->
+        let old = weight.(w) in
+        weight.(w) <- old + 1;
+        if not numbered.(w) then begin
+          buckets.(old) <- Iset.remove w buckets.(old);
+          buckets.(old + 1) <- Iset.add w buckets.(old + 1);
+          if old + 1 > !maxw then maxw := old + 1
+        end)
+      (Graph.neighbors g v)
   in
   List.iteri
     (fun idx v ->
@@ -47,10 +66,19 @@ let mcs ?(initial = []) ?rng g =
     initial;
   let next_index = ref (List.length initial) in
   while !next_index < n do
-    let candidates =
-      List.filter (fun v -> not numbered.(v)) (Graph.vertices g)
+    while !maxw > 0 && Iset.is_empty buckets.(!maxw) do
+      decr maxw
+    done;
+    let bucket = buckets.(!maxw) in
+    let v =
+      match rng with
+      | None -> Iset.min_elt bucket
+      | Some rng ->
+        (* The tie list must match the one {!argmax}'s fold used to build
+           over the ascending candidate scan — descending vertex ids — so
+           a seeded rng draws the very same vertex. *)
+        Rng.pick rng (List.rev (Iset.elements bucket))
     in
-    let v = argmax ?rng ~score:(fun v -> weight.(v)) candidates in
     place !next_index v;
     incr next_index
   done;

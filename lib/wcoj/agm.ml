@@ -1,0 +1,122 @@
+module Cq = Conjunctive.Cq
+module Database = Conjunctive.Database
+
+type t = { weights : float array; rho : float; bound_log2 : float }
+
+let descent_passes = 6
+let eps = 1e-9
+
+let fractional_edge_cover db cq =
+  let atoms = Array.of_list cq.Cq.atoms in
+  let m = Array.length atoms in
+  let vars = Cq.vars cq in
+  let var_index = Hashtbl.create (List.length vars) in
+  List.iteri (fun i v -> Hashtbl.replace var_index v i) vars;
+  let atom_vars =
+    Array.map
+      (fun a ->
+        Array.of_list
+          (List.map (Hashtbl.find var_index) (Cq.atom_vars a)))
+      atoms
+  in
+  let cost =
+    Array.map
+      (fun a ->
+        let card = Relalg.Relation.cardinality (Database.find db a.Cq.rel) in
+        Float.log2 (float_of_int (max 1 card)))
+      atoms
+  in
+  let n_vars = List.length vars in
+  (* Shed redundant weight: lower each atom to the least weight its
+     variables still allow (every variable must keep total coverage >= 1),
+     visiting expensive atoms first so their weight lands on cheap ones.
+     Feasibility is invariant, so the result is always a sound bound. *)
+  let descend x =
+    let coverage = Array.make n_vars 0.0 in
+    Array.iteri
+      (fun i vs ->
+        Array.iter (fun v -> coverage.(v) <- coverage.(v) +. x.(i)) vs)
+      atom_vars;
+    let order = Array.init m Fun.id in
+    Array.sort (fun i j -> Float.compare cost.(j) cost.(i)) order;
+    for _pass = 1 to descent_passes do
+      Array.iter
+        (fun i ->
+          let need =
+            Array.fold_left
+              (fun acc v -> Float.max acc (1.0 -. (coverage.(v) -. x.(i))))
+              0.0 atom_vars.(i)
+          in
+          let need = Float.min 1.0 (Float.max 0.0 need) in
+          if Float.abs (need -. x.(i)) > eps then begin
+            let delta = need -. x.(i) in
+            Array.iter
+              (fun v -> coverage.(v) <- coverage.(v) +. delta)
+              atom_vars.(i);
+            x.(i) <- need
+          end)
+        order
+    done;
+    x
+  in
+  (* Two starting points, keep the cheaper result. The all-ones start
+     (feasible by the [Cq.make] invariant that every variable occurs in
+     some atom) descends to a minimal cover near the original weights;
+     the set-cover greedy builds up from zero picking the atom with the
+     best uncovered-variables-per-cost ratio, which finds near-minimum
+     covers on dense queries where the descent start strands weight. *)
+  let greedy () =
+    let x = Array.make m 0.0 in
+    let covered = Array.make n_vars false in
+    let remaining = ref n_vars in
+    (try
+       while !remaining > 0 do
+         let best = ref (-1) and best_score = ref neg_infinity in
+         Array.iteri
+           (fun i vs ->
+             if x.(i) = 0.0 then begin
+               let gain =
+                 Array.fold_left
+                   (fun acc v -> if covered.(v) then acc else acc + 1)
+                   0 vs
+               in
+               if gain > 0 then begin
+                 let score = float_of_int gain /. Float.max cost.(i) eps in
+                 if score > !best_score then begin
+                   best_score := score;
+                   best := i
+                 end
+               end
+             end)
+           atom_vars;
+         if !best < 0 then raise Exit (* uncoverable: fall back *)
+         else begin
+           x.(!best) <- 1.0;
+           Array.iter
+             (fun v ->
+               if not covered.(v) then begin
+                 covered.(v) <- true;
+                 decr remaining
+               end)
+             atom_vars.(!best)
+         end
+       done;
+       Some (descend x)
+     with Exit -> None)
+  in
+  let evaluate x =
+    let acc = ref 0.0 in
+    Array.iteri (fun i xi -> acc := !acc +. (xi *. cost.(i))) x;
+    !acc
+  in
+  let from_ones = descend (Array.make m 1.0) in
+  let x =
+    match greedy () with
+    | Some g when evaluate g < evaluate from_ones -> g
+    | _ -> from_ones
+  in
+  let rho = Array.fold_left ( +. ) 0.0 x in
+  let bound_log2 = evaluate x in
+  { weights = x; rho; bound_log2 }
+
+let bound_tuples t = Float.pow 2.0 t.bound_log2

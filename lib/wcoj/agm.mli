@@ -1,0 +1,26 @@
+(** AGM output bounds via fractional edge covers.
+
+    Atserias, Grohe and Marx: for {i any} feasible fractional edge cover
+    [x] of a join query — one weight per atom such that every variable's
+    incident weights sum to at least one — the output size is at most
+    [prod_e |R_e| ^ x_e]. Soundness needs feasibility, not optimality, so
+    this module computes a cheap locally-minimal cover (greedy descent)
+    instead of solving the LP exactly: the bound it reports is a valid
+    upper bound that is merely a little looser than the true AGM bound. *)
+
+type t = {
+  weights : float array;  (** per-atom cover weight, indexed like [cq.atoms] *)
+  rho : float;  (** total cover weight, an upper bound on the AGM [rho*] *)
+  bound_log2 : float;  (** [log2] of the output-size bound *)
+}
+
+val fractional_edge_cover :
+  Conjunctive.Database.t -> Conjunctive.Cq.t -> t
+(** A feasible fractional edge cover of the query's atoms, tightened by
+    a few passes of coordinate descent from the all-ones cover (most
+    expensive atoms first, so cheap atoms absorb the covering duty).
+    Every query variable remains covered with total weight >= 1.
+    @raise Not_found if an atom names an unregistered relation. *)
+
+val bound_tuples : t -> float
+(** [2 ** bound_log2], possibly [infinity]. *)

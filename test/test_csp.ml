@@ -129,6 +129,43 @@ let prop_bucket_solver_solutions_valid =
       | None -> not (brute_force_colorable g)
       | Some assignment -> Instance.satisfied_by t assignment)
 
+(* The solver restarts the decision procedure once per (variable, value)
+   probe; chaos faults and resource guards can fire inside any of them.
+   Whatever happens, the caller must see a clean [option] or a typed
+   [Limits.Abort] — never a raw [Not_found] leaked from value search. *)
+let test_bucket_solver_chaos_never_not_found () =
+  let t = coloring_instance (Graphlib.Generators.cycle 5) in
+  let outcomes =
+    List.map
+      (fun op ->
+        let limits = Relalg.Limits.create () in
+        Supervise.Chaos.arm (Supervise.Chaos.at_operator op) ~attempt:0 limits;
+        let ctx = Relalg.Ctx.create ~limits () in
+        match Bucket_solver.solution ~ctx t with
+        | Some a ->
+          check_bool "injected-run solution valid" true
+            (Instance.satisfied_by t a);
+          "some"
+        | None -> "none"
+        | exception Relalg.Limits.Abort (Relalg.Limits.Injected _) -> "abort"
+        | exception Not_found ->
+          Alcotest.fail "raw Not_found escaped Bucket_solver.solution")
+      [ 1; 2; 3; 5; 8; 13; 21; 34 ]
+  in
+  (* Early faults must actually interrupt some probe: the test would be
+     vacuous if every armed run completed. *)
+  check_bool "chaos interrupted at least one run" true
+    (List.mem "abort" outcomes)
+
+let test_bucket_solver_budget_abort_typed () =
+  let t = coloring_instance (Graphlib.Generators.cycle 5) in
+  let ctx =
+    Relalg.Ctx.create ~limits:(Relalg.Limits.create ~max_total:5 ()) ()
+  in
+  match Bucket_solver.solution ~ctx t with
+  | exception Relalg.Limits.Abort _ -> ()
+  | Some _ | None -> Alcotest.fail "expected a typed budget abort"
+
 let test_bucket_solver_sat_instance () =
   (* A 2-SAT instance through the whole pipeline. *)
   let lit var positive = { Conjunctive.Cnf.var; positive } in
@@ -244,5 +281,9 @@ let () =
           prop_bucket_solver_matches_backtrack;
           prop_bucket_solver_solutions_valid;
           Alcotest.test_case "sat pipeline" `Quick test_bucket_solver_sat_instance;
+          Alcotest.test_case "chaos never leaks Not_found" `Quick
+            test_bucket_solver_chaos_never_not_found;
+          Alcotest.test_case "budget abort stays typed" `Quick
+            test_bucket_solver_budget_abort_typed;
         ] );
     ]

@@ -45,6 +45,180 @@ let test_run_cell_reports_timeouts () =
   check_bool "median is infinite" true
     (cell.Experiments.Sweep.median_seconds = infinity)
 
+(* ------------------------------------------------------------------ *)
+(* CSV sink: field escaping and the --jobs concurrency contract        *)
+
+module Sweep = Experiments.Sweep
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain untouched" "panel" (Sweep.csv_escape "panel");
+  Alcotest.(check string) "comma quoted" "\"a,b\"" (Sweep.csv_escape "a,b");
+  Alcotest.(check string) "quote doubled" "\"say \"\"hi\"\"\""
+    (Sweep.csv_escape "say \"hi\"");
+  Alcotest.(check string) "newline quoted" "\"line1\nline2\""
+    (Sweep.csv_escape "line1\nline2");
+  Alcotest.(check string) "carriage return quoted" "\"a\rb\""
+    (Sweep.csv_escape "a\rb");
+  Alcotest.(check string) "mixed" "\"x,\"\"y\"\"\n\""
+    (Sweep.csv_escape "x,\"y\"\n")
+
+(* A small RFC 4180 reader: quoted fields may contain separators, doubled
+   quotes and line breaks, so the file is scanned character by character
+   rather than split on newlines. *)
+let parse_csv s =
+  let rows = ref [] and fields = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let n = String.length s in
+  let in_quotes = ref false in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    (if !in_quotes then
+       if c = '"' then
+         if !i + 1 < n && s.[!i + 1] = '"' then begin
+           Buffer.add_char buf '"';
+           incr i
+         end
+         else in_quotes := false
+       else Buffer.add_char buf c
+     else
+       match c with
+       | '"' -> in_quotes := true
+       | ',' -> flush_field ()
+       | '\n' -> flush_row ()
+       | '\r' -> () (* tolerate CRLF line endings *)
+       | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  if Buffer.length buf > 0 || !fields <> [] then flush_row ();
+  List.rev !rows
+
+let adversarial_titles =
+  [
+    "plain";
+    "with,comma";
+    "with \"quotes\"";
+    "multi\nline";
+    "cr\rhere";
+    "all,\"of\"\nthe,above\r";
+  ]
+
+let test_csv_escape_roundtrip () =
+  List.iter
+    (fun title ->
+      let line =
+        Sweep.csv_escape title ^ "," ^ Sweep.csv_escape "second" ^ "\n"
+      in
+      match parse_csv line with
+      | [ [ a; b ] ] ->
+        Alcotest.(check string) "field survives" title a;
+        Alcotest.(check string) "neighbour intact" "second" b
+      | rows ->
+        Alcotest.failf "expected one 2-field row, got %d rows"
+          (List.length rows))
+    adversarial_titles
+
+(* Drive a real panel through the Sweep sinks. [fan] controls how rows
+   are emitted: [List.iter] for the sequential baseline, a pool map for
+   the --jobs path (print_row then runs on worker domains, exercising
+   the mutex-guarded sink for real). *)
+let panel_methods =
+  [
+    ("bucket-elim", Ppr_core.Driver.Bucket_elimination);
+    ("straightfwd", Ppr_core.Driver.Straightforward);
+  ]
+
+let run_panel ~fan ~title () =
+  Sweep.print_header ~title
+    ~columns:(List.map fst panel_methods)
+    ~x_label:"n";
+  let row n =
+    let instance ~seed =
+      let g = random_graph ~seed:(seed + (100 * n)) ~n ~m:(n + 3) in
+      (coloring_db, coloring_query g)
+    in
+    let cells =
+      Sweep.map_cells
+        (fun (_, meth) -> Sweep.run_cell ~seeds:[ 1; 2 ] ~instance ~meth ())
+        panel_methods
+    in
+    Sweep.print_row ~x:(string_of_int n) ~cells
+  in
+  fan row [ 5; 6; 7 ];
+  Sweep.print_footer ()
+
+let capture_csv f =
+  let path = Filename.temp_file "ppr_sweep" ".csv" in
+  let oc = open_out path in
+  Sweep.set_csv_channel (Some oc);
+  Fun.protect
+    ~finally:(fun () ->
+      Sweep.set_csv_channel None;
+      close_out oc)
+    f;
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  contents
+
+let test_csv_sink_adversarial_title () =
+  let title = "panel, with \"quotes\"\nand a second line" in
+  let csv = capture_csv (run_panel ~fan:List.iter ~title) in
+  match parse_csv csv with
+  | [] -> Alcotest.fail "empty CSV"
+  | header :: data ->
+    Alcotest.(check int) "header has 10 columns" 10 (List.length header);
+    check_bool "every data row has 10 fields" true
+      (List.for_all (fun r -> List.length r = 10) data);
+    check_bool "panel title survives the round trip" true
+      (List.for_all (fun r -> List.hd r = title) data);
+    Alcotest.(check int) "3 x-values x 2 methods" 6 (List.length data)
+
+(* median_seconds (column 3) is wall clock and differs between runs;
+   every other column is deterministic for fixed seeds. *)
+let strip_timing row = List.filteri (fun i _ -> i <> 3) row
+
+let test_csv_jobs_permutation () =
+  let title = "jobs regression" in
+  let seq_csv = capture_csv (run_panel ~fan:List.iter ~title) in
+  let p = Parallel.Pool.create ~num_domains:4 ~grain:1 () in
+  let par_csv =
+    Fun.protect
+      ~finally:(fun () ->
+        Sweep.set_pool None;
+        Parallel.Pool.shutdown p)
+      (fun () ->
+        Sweep.set_pool (Some p);
+        capture_csv
+          (run_panel
+             ~fan:(fun row xs -> ignore (Parallel.Pool.map p row xs))
+             ~title))
+  in
+  let seq_rows = parse_csv seq_csv and par_rows = parse_csv par_csv in
+  check_bool "sequential CSV nonempty" true (seq_rows <> []);
+  check_bool "parallel CSV nonempty" true (par_rows <> []);
+  let header = List.hd seq_rows in
+  Alcotest.(check int) "exactly one header in the parallel CSV" 1
+    (List.length (List.filter (fun r -> r = header) par_rows));
+  Alcotest.(check string) "headers agree" (String.concat "," header)
+    (String.concat "," (List.hd par_rows));
+  check_bool "parallel rows are whole, 10-field rows" true
+    (List.for_all (fun r -> List.length r = 10) par_rows);
+  Alcotest.(check (list (list string)))
+    "jobs=4 rows are a permutation of jobs=1 rows (modulo wall clock)"
+    (List.sort compare (List.map strip_timing (List.tl seq_rows)))
+    (List.sort compare (List.map strip_timing (List.tl par_rows)))
+
 let test_figures_registry () =
   check_bool "has all core figures" true
     (List.for_all
@@ -69,6 +243,16 @@ let () =
           Alcotest.test_case "cell aggregation" `Quick test_run_cell_aggregates;
           Alcotest.test_case "timeout reporting" `Quick
             test_run_cell_reports_timeouts;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "escape" `Quick test_csv_escape;
+          Alcotest.test_case "escape round-trips" `Quick
+            test_csv_escape_roundtrip;
+          Alcotest.test_case "adversarial panel title" `Quick
+            test_csv_sink_adversarial_title;
+          Alcotest.test_case "jobs=4 CSV is a row permutation" `Quick
+            test_csv_jobs_permutation;
         ] );
       ( "figures",
         [

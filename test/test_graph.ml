@@ -126,6 +126,55 @@ let test_bad_order_wider () =
   check_int "center-first width" 5 (Order.induced_width s center_first);
   check_int "leaves-first width" 1 (Order.induced_width s (Order.min_degree s))
 
+(* The pre-bucket-queue MCS, kept verbatim as a reference: refilter the
+   whole vertex list every round and argmax over it. The production
+   implementation must agree vertex-for-vertex — including rng-based tie
+   breaks, which depend on the exact tie-list order. *)
+let reference_mcs ?(initial = []) ?rng g =
+  let argmax ?rng ~score candidates =
+    let _, ties =
+      List.fold_left
+        (fun (best, ties) v ->
+          let s = score v in
+          if s > best then (s, [ v ])
+          else if s = best then (best, v :: ties)
+          else (best, ties))
+        (min_int, []) candidates
+    in
+    match (rng, ties) with
+    | _, [] -> invalid_arg "no candidates"
+    | None, ties -> List.fold_left min max_int ties
+    | Some rng, ties -> Graphlib.Rng.pick rng ties
+  in
+  let n = G.order g in
+  let numbered = Array.make n false in
+  let weight = Array.make n 0 in
+  let ord = Array.make n 0 in
+  let place idx v =
+    ord.(idx) <- v;
+    numbered.(v) <- true;
+    G.Iset.iter (fun w -> weight.(w) <- weight.(w) + 1) (G.neighbors g v)
+  in
+  List.iteri (fun idx v -> place idx v) initial;
+  let next_index = ref (List.length initial) in
+  while !next_index < n do
+    let candidates = List.filter (fun v -> not numbered.(v)) (G.vertices g) in
+    let v = argmax ?rng ~score:(fun v -> weight.(v)) candidates in
+    place !next_index v;
+    incr next_index
+  done;
+  ord
+
+let prop_mcs_matches_reference =
+  qtest "bucketed mcs = reference implementation" graph_arbitrary (fun g ->
+      let initial = if G.order g > 1 then [ 1; 0 ] else [] in
+      Order.mcs g = reference_mcs g
+      && Order.mcs ~initial g = reference_mcs ~initial g
+      (* Seeded rng tie-breaking consumes the stream identically. *)
+      && Order.mcs ~rng:(rng 42) g = reference_mcs ~rng:(rng 42) g
+      && Order.mcs ~initial ~rng:(rng 7) g
+         = reference_mcs ~initial ~rng:(rng 7) g)
+
 let prop_orders_are_permutations =
   qtest "heuristic orders are permutations" graph_arbitrary (fun g ->
       Order.is_permutation g (Order.mcs g)
@@ -345,6 +394,7 @@ let () =
             test_mcs_duplicate_initial;
           Alcotest.test_case "known widths" `Quick test_induced_width_known;
           Alcotest.test_case "bad order is wider" `Quick test_bad_order_wider;
+          prop_mcs_matches_reference;
           prop_orders_are_permutations;
           prop_fill_graph_contains_original;
           prop_fill_graph_chordal;
