@@ -1,4 +1,4 @@
-.PHONY: all check build test bench bench-smoke bench-compare bench-parallel bench-wcoj fmt clean
+.PHONY: all check build test bench bench-smoke bench-compare bench-parallel bench-wcoj serve-soak fmt clean
 
 all: check
 
@@ -55,6 +55,16 @@ bench-parallel:
 # BENCH_results.json under "wcoj_comparison".
 bench-wcoj:
 	dune exec bench/wcoj_bench.exe -- --json BENCH_results.json
+
+# Serving soak gate: an in-process daemon on a real socket under ~200
+# concurrent requests of mixed health (valid isomorphic templates,
+# malformed lines, over-budget sessions, chaos stalls racing deadlines).
+# Every request must get exactly one typed response, the daemon must
+# count zero internal errors and survive the flood, the plan cache must
+# register hits, and shutdown must drain in-flight sessions. The verdict
+# lands in BENCH_results.json under "serve_soak".
+serve-soak:
+	dune exec bench/serve_soak.exe -- --json BENCH_results.json
 
 # Requires ocamlformat; no-op-safe when it is not installed.
 fmt:

@@ -1,0 +1,419 @@
+(* Serving soak gate: hammer an in-process daemon over its real socket
+   transport with ~200 concurrent sessions of mixed health and verify
+   the robustness contract end to end.
+
+     dune exec bench/serve_soak.exe -- [--clients N] [--per-client K]
+         [--tcp] [--json FILE]
+
+   The mix (deterministic per request index): ~60% well-formed template
+   queries whose variable names vary per request (so the structural plan
+   cache is exercised across isomorphic instantiations), ~10% malformed
+   lines, ~10% well-formed JSON around unparseable query texts, ~10%
+   over-budget requests (1-tuple cardinality caps, microscopic
+   deadlines), ~10% chaos-stalled sessions racing a deadline. The gate
+   fails unless:
+
+   - every request receives exactly one response, correlated by id;
+   - every response is either an answer or a *typed* error (abort,
+     parse, bad-request, overloaded, shutting-down — never internal,
+     never a dropped connection);
+   - identical valid templates produce identical exact answer sets
+     every time they are answered;
+   - the plan cache reports a hit rate > 0 and the daemon counted zero
+     internal errors;
+   - the daemon survives the flood: a final ping and stats op answer;
+   - shutdown drains: sessions in flight when stop begins still get
+     their responses on their open connection.
+
+   The verdict lands in BENCH_results.json under "serve_soak". *)
+
+module Json = Telemetry.Json
+module Jsonl = Serve.Jsonl
+module Wire = Serve.Wire
+
+let clients = ref 40
+let per_client = ref 5
+let use_tcp = ref false
+let json_path = ref "BENCH_results.json"
+
+let usage () =
+  prerr_endline
+    "usage: serve_soak.exe [--clients N] [--per-client K] [--tcp] [--json FILE]";
+  exit 2
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--clients" :: v :: rest ->
+      (try clients := int_of_string v with _ -> usage ());
+      go rest
+    | "--per-client" :: v :: rest ->
+      (try per_client := int_of_string v with _ -> usage ());
+      go rest
+    | "--tcp" :: rest ->
+      use_tcp := true;
+      go rest
+    | "--json" :: v :: rest ->
+      json_path := v;
+      go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+(* ------------------------------------------------------------------ *)
+(* The request mix.                                                    *)
+
+(* Three valid templates; their texts vary per request (renamed
+   variables) but each canonicalizes to one structure, so almost every
+   valid session after the first few is a plan-cache hit. *)
+let templates =
+  [|
+    (* single edge *)
+    (fun v -> Printf.sprintf "q(%s,%s) :- edge(%s,%s)." (v 0) (v 1) (v 0) (v 1));
+    (* 2-path, atoms listed tail-first *)
+    (fun v ->
+      Printf.sprintf "q(%s,%s) :- edge(%s,%s), edge(%s,%s)." (v 0) (v 2) (v 1)
+        (v 2) (v 0) (v 1));
+    (* triangle, Boolean *)
+    (fun v ->
+      Printf.sprintf "q() :- edge(%s,%s), edge(%s,%s), edge(%s,%s)." (v 0)
+        (v 1) (v 1) (v 2) (v 2) (v 0));
+  |]
+
+type expectation =
+  | Expect_answer of int  (** template index, for answer-set comparison *)
+  | Expect_typed_error  (** a typed error, or an answer if it squeaked by *)
+
+(* Pure in the request index, so the response side can re-derive the
+   expectation from the echoed id alone. *)
+let classify index =
+  match index mod 20 with
+  | 0 | 1 -> `Malformed_line
+  | 2 | 3 -> `Bad_datalog
+  | 4 | 5 -> `Over_budget
+  | 6 -> `Tiny_deadline
+  | 7 | 8 -> `Stall_vs_deadline
+  | m -> `Valid (m mod Array.length templates)
+
+let expectation_of_index index =
+  match classify index with
+  | `Malformed_line | `Bad_datalog | `Over_budget | `Tiny_deadline ->
+    Expect_typed_error
+  | `Stall_vs_deadline ->
+    (* either a typed deadline abort or a rescued answer is fine *)
+    Expect_answer 0
+  | `Valid t -> Expect_answer t
+
+let request_line index =
+  let v i = Printf.sprintf "V%d_%d" (index mod 11) i in
+  let query ?(extra = []) text =
+    Json.to_string
+      (Json.Obj
+         ([
+            ("op", Json.String "query");
+            ("id", Json.Int index);
+            ("query", Json.String text);
+          ]
+         @ extra))
+  in
+  match classify index with
+  | `Malformed_line -> Printf.sprintf "{\"op\":\"query\" %d" index
+  | `Bad_datalog -> query "ans(X :- edge(X,"
+  | `Over_budget ->
+    query (templates.(1) v)
+      ~extra:[ ("max_tuples", Json.Int 1); ("ladder", Json.Bool false) ]
+  | `Tiny_deadline ->
+    query (templates.(1) v)
+      ~extra:
+        [ ("deadline_ms", Json.Int 1); ("chaos", Json.String "stall:1:0.02") ]
+  | `Stall_vs_deadline ->
+    query (templates.(0) v)
+      ~extra:
+        [ ("deadline_ms", Json.Int 60); ("chaos", Json.String "stall:1:0.01") ]
+  | `Valid t -> query (templates.(t) v)
+
+(* ------------------------------------------------------------------ *)
+(* Client side.                                                        *)
+
+type tally = {
+  lock : Mutex.t;
+  mutable answered : int;
+  mutable typed_errors : int;
+  mutable shed : int;
+  mutable wrong : string list;  (** protocol violations; must stay empty *)
+  first_rows : (int, string) Hashtbl.t;
+      (** template index -> canonical sorted answer rows *)
+  responses_by_id : (int, int) Hashtbl.t;
+}
+
+let tally =
+  {
+    lock = Mutex.create ();
+    answered = 0;
+    typed_errors = 0;
+    shed = 0;
+    wrong = [];
+    first_rows = Hashtbl.create 8;
+    responses_by_id = Hashtbl.create 256;
+  }
+
+let violation fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Mutex.lock tally.lock;
+      tally.wrong <- msg :: tally.wrong;
+      Mutex.unlock tally.lock)
+    fmt
+
+(* Row order may legitimately differ between ladder rungs; the exactness
+   contract is on the answer *set*. *)
+let canonical_rows rows =
+  match rows with
+  | Json.List items ->
+    let strings = List.map Json.to_string items in
+    Some (String.concat ";" (List.sort compare strings))
+  | _ -> None
+
+let record_answer_rows template v =
+  match Wire.field v "answers" with
+  | None -> violation "answer without rows: %s" (Json.to_string v)
+  | Some rows -> (
+    match canonical_rows rows with
+    | None -> violation "answers field is not a list: %s" (Json.to_string v)
+    | Some canon ->
+      let truncated = Wire.field v "truncated" = Some (Json.Bool true) in
+      let approximate = Wire.field v "approximate" = Some (Json.Bool true) in
+      if not (truncated || approximate) then begin
+        Mutex.lock tally.lock;
+        (match Hashtbl.find_opt tally.first_rows template with
+        | None -> Hashtbl.replace tally.first_rows template canon
+        | Some first ->
+          if first <> canon then
+            tally.wrong <-
+              Printf.sprintf "template %d answered differently across runs"
+                template
+              :: tally.wrong);
+        Mutex.unlock tally.lock
+      end)
+
+let record_response line =
+  match Jsonl.parse line with
+  | Error msg -> violation "unparseable response %S: %s" line msg
+  | Ok v -> (
+    let str name =
+      match Wire.field v name with Some (Json.String s) -> Some s | _ -> None
+    in
+    let id =
+      match Wire.field v "id" with Some (Json.Int id) -> Some id | _ -> None
+    in
+    (match id with
+    | Some id ->
+      Mutex.lock tally.lock;
+      Hashtbl.replace tally.responses_by_id id
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tally.responses_by_id id));
+      Mutex.unlock tally.lock
+    | None -> ());
+    match str "status" with
+    | Some "ok" -> (
+      Mutex.lock tally.lock;
+      tally.answered <- tally.answered + 1;
+      Mutex.unlock tally.lock;
+      match id with
+      | None -> violation "answer without an id: %s" line
+      | Some id -> (
+        match expectation_of_index id with
+        | Expect_answer t -> record_answer_rows t v
+        | Expect_typed_error ->
+          (* a deadline-raced request may win the race on a fast
+             machine; the gate is on response typing, not timing —
+             except the tuple-capped requests, which must abort *)
+          if classify id = `Over_budget then
+            violation "1-tuple cardinality cap produced an answer (id %d)" id))
+    | Some "error" -> (
+      match str "kind" with
+      | Some "internal" -> violation "internal error escaped: %s" line
+      | Some "overloaded" ->
+        Mutex.lock tally.lock;
+        tally.shed <- tally.shed + 1;
+        Mutex.unlock tally.lock
+      | Some ("abort" | "parse" | "bad-request" | "shutting-down") ->
+        Mutex.lock tally.lock;
+        tally.typed_errors <- tally.typed_errors + 1;
+        Mutex.unlock tally.lock;
+        (* responses with no correlatable id must come from the
+           malformed lines, which cannot echo one *)
+        if id = None && str "kind" <> Some "parse" then
+          violation "id-less non-parse error: %s" line
+      | Some k -> violation "unknown error kind %S" k
+      | None -> violation "error without a kind: %s" line)
+    | _ -> violation "response without a status: %s" line)
+
+let connect address =
+  match address with
+  | Serve.Server.Unix_socket path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  | Serve.Server.Tcp (_, port) ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    fd
+
+let client address c =
+  let fd = connect address in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      for i = 0 to !per_client - 1 do
+        output_string oc (request_line ((c * !per_client) + i));
+        output_char oc '\n'
+      done;
+      flush oc;
+      (* responses arrive out of request order; classification keys off
+         each response's own echoed id, so reading count-many lines is
+         all the pairing needed *)
+      for _ = 1 to !per_client do
+        match input_line ic with
+        | line -> record_response line
+        | exception End_of_file ->
+          violation "connection %d closed before all responses arrived" c
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Gate.                                                               *)
+
+let append_verdict verdict =
+  (if Sys.file_exists !json_path then
+     Bench_json.update_file !json_path ~key:"serve_soak" ~value:verdict
+   else begin
+     let oc = open_out !json_path in
+     Telemetry.Json.to_channel oc (Json.Obj [ ("serve_soak", verdict) ]);
+     output_char oc '\n';
+     close_out oc
+   end);
+  Printf.printf "verdict appended to %s\n%!" !json_path
+
+let () =
+  parse_args ();
+  let address =
+    if !use_tcp then Serve.Server.Tcp ("127.0.0.1", 0)
+    else
+      Serve.Server.Unix_socket
+        (Filename.concat
+           (Filename.get_temp_dir_name ())
+           (Printf.sprintf "ppr-soak-%d.sock" (Unix.getpid ())))
+  in
+  let config =
+    {
+      Serve.Engine.default_config with
+      Serve.Engine.workers = 4;
+      (* small enough that the stalled sessions push the flood into
+         admission control at least occasionally *)
+      queue_depth = 32;
+    }
+  in
+  let server =
+    Serve.Server.start ~config
+      ~db:(Conjunctive.Encode.coloring_database ())
+      address
+  in
+  let address = Serve.Server.bound_address server in
+  let total = !clients * !per_client in
+  Printf.printf "soak: %d clients x %d requests over %s\n%!" !clients
+    !per_client
+    (Format.asprintf "%a" Serve.Server.pp_address address);
+  let started = Unix.gettimeofday () in
+  let threads =
+    List.init !clients (fun c -> Thread.create (client address) c)
+  in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. started in
+
+  (* the daemon must still be healthy after the flood *)
+  let fd = connect address in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  output_string oc "{\"op\":\"ping\",\"id\":-1}\n{\"op\":\"stats\",\"id\":-2}\n";
+  flush oc;
+  let pong = Jsonl.parse (input_line ic) in
+  let stats = Jsonl.parse (input_line ic) in
+  (match pong with
+  | Ok v when Wire.field v "pong" = Some (Json.Bool true) -> ()
+  | _ -> violation "daemon unhealthy after soak: ping failed");
+  let stat name =
+    match stats with
+    | Ok v -> (
+      match Wire.field v name with Some (Json.Int n) -> n | _ -> -1)
+    | Error _ -> -1
+  in
+  let hits = stat "cache_hits" and misses = stat "cache_misses" in
+  if hits <= 0 then violation "no plan-cache hits across the whole soak";
+  if stat "internal_errors" <> 0 then
+    violation "daemon counted %d internal errors" (stat "internal_errors");
+
+  (* drain: leave stalled sessions in flight, then stop; they must still
+     be answered on their open connection *)
+  let drained = ref 0 in
+  output_string oc
+    "{\"op\":\"query\",\"id\":-10,\"chaos\":\"stall:1:0.2\",\"query\":\"q(A,B) :- edge(A,B).\"}\n\
+     {\"op\":\"query\",\"id\":-11,\"chaos\":\"stall:1:0.2\",\"query\":\"q(C,D) :- edge(C,D).\"}\n";
+  flush oc;
+  Thread.delay 0.05;
+  let stopper = Thread.create (fun () -> Serve.Server.stop server) () in
+  (try
+     for _ = 1 to 2 do
+       match Jsonl.parse (input_line ic) with
+       | Ok v when Wire.field v "status" = Some (Json.String "ok") ->
+         incr drained
+       | Ok v ->
+         violation "in-flight session dropped on drain: %s" (Json.to_string v)
+       | Error msg -> violation "drain garbled a response: %s" msg
+     done
+   with End_of_file -> violation "drain closed the connection early");
+  Thread.join stopper;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+
+  (* exactly-once responses for every correlatable id *)
+  Mutex.lock tally.lock;
+  Hashtbl.iter
+    (fun id n ->
+      if n <> 1 && id >= 0 then
+        tally.wrong <-
+          Printf.sprintf "id %d answered %d times" id n :: tally.wrong)
+    tally.responses_by_id;
+  let accounted = tally.answered + tally.typed_errors + tally.shed in
+  if accounted <> total then
+    tally.wrong <-
+      Printf.sprintf "%d of %d requests unaccounted for" (total - accounted)
+        total
+      :: tally.wrong;
+  Mutex.unlock tally.lock;
+
+  Printf.printf
+    "soak: %d requests in %.2fs -- %d answered, %d typed errors, %d shed; \
+     cache %d hits / %d misses; %d drained in flight\n%!"
+    total elapsed tally.answered tally.typed_errors tally.shed hits misses
+    !drained;
+  append_verdict
+    (Json.Obj
+       [
+         ("requests", Json.Int total);
+         ("clients", Json.Int !clients);
+         ("wall_seconds", Json.Float elapsed);
+         ("answered", Json.Int tally.answered);
+         ("typed_errors", Json.Int tally.typed_errors);
+         ("shed", Json.Int tally.shed);
+         ("cache_hits", Json.Int hits);
+         ("cache_misses", Json.Int misses);
+         ("drained_in_flight", Json.Int !drained);
+         ("violations", Json.Int (List.length tally.wrong));
+         ("passed", Json.Bool (tally.wrong = []));
+       ]);
+  if tally.wrong <> [] then begin
+    prerr_endline "SOAK GATE FAILED:";
+    List.iter (fun m -> prerr_endline ("  - " ^ m)) tally.wrong;
+    exit 1
+  end;
+  print_endline "SOAK GATE PASSED"

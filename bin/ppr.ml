@@ -347,20 +347,19 @@ let run_cmd =
           ~doc:
             "Inject a deterministic fault into the first attempt: 'op:N' \
              aborts when the N-th operator starts, 'tuples:K' after K \
-             charged tuples, 'seed:S' at an operator drawn from seed S. \
-             Combine with --ladder to watch the rescue.")
+             charged tuples, 'seed:S' at an operator drawn from seed S, \
+             'stall:N:SECONDS' ('stall-tuples:K:SECONDS') sleeps at the \
+             trigger instead so a deadline fires. Combine with --ladder \
+             to watch the rescue.")
   in
   let parse_chaos spec =
-    match String.split_on_char ':' spec with
-    | [ "op"; n ] -> Supervise.Chaos.at_operator ~attempts:[ 0 ] (int_of_string n)
-    | [ "tuples"; k ] ->
-      Supervise.Chaos.after_tuples ~attempts:[ 0 ] (int_of_string k)
-    | [ "seed"; s ] ->
-      Supervise.Chaos.seeded ~attempts:[ 0 ] ~seed:(int_of_string s)
-        ~max_operator:32 ()
-    | _ ->
+    match Serve.Engine.chaos_of_spec spec with
+    | Some c -> c
+    | None ->
       failwith
-        (Printf.sprintf "bad --chaos spec %S (want op:N, tuples:K or seed:S)"
+        (Printf.sprintf
+           "bad --chaos spec %S (want op:N, tuples:K, seed:S, \
+            stall:N:SECONDS or stall-tuples:K:SECONDS)"
            spec)
   in
   let run family order density seed free_fraction meth max_tuples deadline fuel
@@ -735,6 +734,150 @@ let minimize_cmd =
       $ free_fraction_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve: the query daemon                                             *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix socket at PATH (default ppr.sock).")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Listen on TCP PORT instead of a Unix socket (0 = any).")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"TCP bind address.")
+  in
+  let data_dir =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "data" ] ~docv:"DIR"
+          ~doc:
+            "Directory of <relation>.tsv files to serve (see Relalg.Io); \
+             defaults to the built-in 3-COLOR edge relation.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int Serve.Engine.default_config.Serve.Engine.workers
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains running sessions.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int Serve.Engine.default_config.Serve.Engine.queue_depth
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission-queue bound: further queries are shed with a typed \
+             'overloaded' response instead of queueing without limit.")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int Serve.Engine.default_config.Serve.Engine.cache_capacity
+      & info [ "plan-cache" ] ~docv:"N"
+          ~doc:"Plan-cache capacity (compiled artifacts, LRU).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline, counted from admission (time \
+             spent queued burns it). Requests may override, up to \
+             --max-deadline-ms.")
+  in
+  let max_deadline_arg =
+    Arg.(
+      value & opt int Serve.Engine.default_config.Serve.Engine.max_deadline_ms
+      & info [ "max-deadline-ms" ] ~docv:"MS"
+          ~doc:"Cap on any requested deadline.")
+  in
+  let max_tuples_arg =
+    Arg.(
+      value & opt int
+          Serve.Engine.default_config.Serve.Engine.budget
+            .Supervise.Budget.max_cardinality
+      & info [ "max-tuples" ] ~docv:"N"
+          ~doc:"Per-intermediate-relation tuple cap (base budget).")
+  in
+  let run socket port host data_dir workers queue_depth cache deadline_ms
+      max_deadline_ms max_tuples jobs =
+    guarded @@ fun () ->
+    let pool = make_pool jobs in
+    let db =
+      match data_dir with
+      | Some dir -> Conjunctive.Database.load_dir dir
+      | None -> Conjunctive.Encode.coloring_database ()
+    in
+    let address =
+      match (port, socket) with
+      | Some p, None -> Serve.Server.Tcp (host, p)
+      | Some _, Some _ ->
+        prerr_endline "serve: give at most one of --socket and --port";
+        exit 2
+      | None, socket ->
+        Serve.Server.Unix_socket (Option.value socket ~default:"ppr.sock")
+    in
+    let config =
+      {
+        Serve.Engine.default_config with
+        Serve.Engine.workers;
+        queue_depth;
+        cache_capacity = cache;
+        default_deadline_ms = deadline_ms;
+        max_deadline_ms;
+        budget =
+          Supervise.Budget.with_max_cardinality max_tuples
+            Serve.Engine.default_config.Serve.Engine.budget;
+      }
+    in
+    (* SIGTERM/SIGINT drain: stop admitting, answer everything already
+       queued, then exit — in-flight clients never see a dropped
+       session. Sys.set_signal handlers are unreliable while the main
+       thread blocks in Thread.join, so the daemon masks both signals
+       everywhere (worker domains and connection threads inherit the
+       mask) and parks one thread in sigwait. A second signal skips the
+       drain. *)
+    let signals = [ Sys.sigterm; Sys.sigint ] in
+    ignore (Thread.sigmask Unix.SIG_BLOCK signals);
+    let server = Serve.Server.start ~config ?pool ~db address in
+    ignore
+      (Thread.create
+         (fun () ->
+           ignore (Thread.wait_signal signals);
+           Serve.Server.request_stop server;
+           ignore (Thread.wait_signal signals);
+           prerr_endline "ppr: second signal, exiting without draining";
+           exit 130)
+         ());
+    Printf.printf "ppr: serving %s on %s (workers=%d queue=%d cache=%d)\n%!"
+      (match data_dir with Some d -> d | None -> "built-in 3-COLOR data")
+      (Format.asprintf "%a" Serve.Server.pp_address
+         (Serve.Server.bound_address server))
+      workers queue_depth cache;
+    Serve.Server.wait server;
+    Format.printf "%a@." Telemetry.Metrics.pp
+      (Serve.Engine.metrics (Serve.Server.engine server))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the fault-tolerant query daemon (line-delimited JSON over a \
+          Unix socket or TCP; see docs/INTERNALS.md for the protocol).")
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ data_dir $ workers_arg
+      $ queue_arg $ cache_arg $ deadline_arg $ max_deadline_arg
+      $ max_tuples_arg $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let setup_logs () =
   (* PPR_LOG=debug|info|warning enables diagnostic logging. *)
@@ -755,6 +898,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            generate_cmd; sql_cmd; run_cmd; query_cmd; treewidth_cmd;
-            acyclic_cmd; explain_cmd; minimize_cmd; experiment_cmd;
+            generate_cmd; sql_cmd; run_cmd; query_cmd; serve_cmd;
+            treewidth_cmd; acyclic_cmd; explain_cmd; minimize_cmd;
+            experiment_cmd;
           ]))

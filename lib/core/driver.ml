@@ -47,6 +47,7 @@ type outcome = {
   max_arity : int;
   max_cardinality : int;
   tuples_produced : int;
+  result : Relalg.Relation.t option;
   result_cardinality : int option;
   nonempty : bool option;
   status : status;
@@ -73,6 +74,18 @@ let compile ?rng meth db cq =
     let prep = Wcoj.prepare ?rng db cq in
     Bucket.compile ?rng ~order:(Array.of_list prep.Wcoj.order) cq
 
+type compiled = Plan of Plan.t | Generic_join of Wcoj.prep
+
+let prepare ?rng meth db cq =
+  match meth with
+  | Wcoj -> (
+    let prep = Wcoj.prepare ?rng db cq in
+    match prep.Wcoj.decision with
+    | Wcoj.Generic -> Generic_join prep
+    | Wcoj.Binary ->
+      Plan (Bucket.compile ?rng ~order:(Array.of_list prep.Wcoj.order) cq))
+  | _ -> Plan (compile ?rng meth db cq)
+
 let log_src =
   Logs.Src.create "ppr.driver" ~doc:"Method compilation and execution"
 
@@ -82,7 +95,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
    ([driver.runs], [driver.aborts.<reason>]) land in the caller's telemetry
    registry; the per-run [Stats.t] keeps its own private registry so the
    outcome's measurements never mix across runs. *)
-let run ?rng ?(ctx = Relalg.Ctx.null) meth db cq =
+let run ?rng ?compiled ?(ctx = Relalg.Ctx.null) meth db cq =
   let telemetry = Relalg.Ctx.telemetry ctx in
   let clock = Unix.gettimeofday in
   let name = method_name meth in
@@ -96,18 +109,18 @@ let run ?rng ?(ctx = Relalg.Ctx.null) meth db cq =
   (* A Wcoj run prepares the AGM gate inside the compile span: when the
      gate picks the generic join there is no binary plan at all, only the
      variable order; when it picks the binary side the bucket plan along
-     the same order is the thing compiled. *)
+     the same order is the thing compiled. A [?compiled] artifact (a plan
+     cache hit) skips the whole phase — the caller vouches it was
+     prepared by {!prepare} for this method, query and database. *)
   let planned =
-    in_span "compile" [] (fun () ->
-        match meth with
-        | Wcoj -> (
-          let prep = Wcoj.prepare ?rng db cq in
-          match prep.Wcoj.decision with
-          | Wcoj.Generic -> `Generic prep
-          | Wcoj.Binary ->
-            `Plan
-              (Bucket.compile ?rng ~order:(Array.of_list prep.Wcoj.order) cq))
-        | _ -> `Plan (compile ?rng meth db cq))
+    match compiled with
+    | Some (Plan plan) -> `Plan plan
+    | Some (Generic_join prep) -> `Generic prep
+    | None ->
+      in_span "compile" [] (fun () ->
+          match prepare ?rng meth db cq with
+          | Plan plan -> `Plan plan
+          | Generic_join prep -> `Generic prep)
   in
   let t1 = clock () in
   (* Analytic width: for a binary plan, its largest node schema; for the
@@ -205,6 +218,7 @@ let run ?rng ?(ctx = Relalg.Ctx.null) meth db cq =
     max_arity = Relalg.Stats.max_arity stats;
     max_cardinality = Relalg.Stats.max_cardinality stats;
     tuples_produced = Relalg.Stats.tuples_produced stats;
+    result;
     result_cardinality = Option.map Relalg.Relation.cardinality result;
     nonempty = Option.map (fun r -> not (Relalg.Relation.is_empty r)) result;
     status;

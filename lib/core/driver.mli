@@ -41,6 +41,10 @@ type outcome = {
   max_arity : int;       (** measured: widest intermediate relation *)
   max_cardinality : int; (** measured: largest intermediate relation *)
   tuples_produced : int;
+  result : Relalg.Relation.t option;
+      (** the materialized answer; [None] when resources ran out. The
+          serving layer reads tuples from here — experiment code that
+          only needs sizes can keep using the measured fields below *)
   result_cardinality : int option;  (** [None] when resources ran out *)
   nonempty : bool option;
   status : status;  (** typed abort taxonomy; [Completed] on success *)
@@ -56,8 +60,25 @@ val compile :
   ?rng:Graphlib.Rng.t -> meth -> Conjunctive.Database.t -> Conjunctive.Cq.t ->
   Plan.t
 
+type compiled =
+  | Plan of Plan.t  (** a binary project-join plan *)
+  | Generic_join of Wcoj.prep
+      (** the AGM gate picked the generic join: no binary plan exists,
+          only the prepared variable order and bounds *)
+
+val prepare :
+  ?rng:Graphlib.Rng.t -> meth -> Conjunctive.Database.t -> Conjunctive.Cq.t ->
+  compiled
+(** The planning phase of {!run} as a reusable artifact: for {!Wcoj} the
+    AGM gate decision (either the prepared generic join or the bucket
+    plan along the same order), for every other method its compiled
+    plan. The artifact is valid for re-execution of the same query
+    against the same database — the serving layer's plan cache stores
+    these so isomorphic template queries skip MCS ordering, AGM
+    estimation and bucket construction entirely. *)
+
 val run :
-  ?rng:Graphlib.Rng.t -> ?ctx:Relalg.Ctx.t ->
+  ?rng:Graphlib.Rng.t -> ?compiled:compiled -> ?ctx:Relalg.Ctx.t ->
   meth -> Conjunctive.Database.t -> Conjunctive.Cq.t -> outcome
 (** Compile, execute, and measure. A {!Relalg.Limits.Abort} is caught and
     reported as [Aborted] (with the typed reason and the stats gathered up
@@ -68,6 +89,10 @@ val run :
     so outcomes never mix across runs. With telemetry, the two phases run
     in [compile:<method>] / [exec:<method>] spans, operators record their
     own [op.*] spans underneath, and the registry tallies [driver.runs]
-    plus one [driver.aborts.<reason>] counter per typed abort. *)
+    plus one [driver.aborts.<reason>] counter per typed abort.
+
+    [compiled] (a {!prepare} artifact for the {e same} method, query and
+    database — the caller's contract) skips the compile phase entirely:
+    [compile_seconds] then measures only the (near-zero) reuse cost. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

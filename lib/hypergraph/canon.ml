@@ -1,0 +1,192 @@
+(* Canonical labeling of a query's hypergraph structure.
+
+   Colors are refined Weisfeiler–Leman-style over the incidence
+   structure (variables <-> atom positions); remaining ties are broken
+   by greedy individualization with a first-occurrence heuristic. The
+   tie-break is deterministic but not a full canonical-form algorithm
+   (graph canonization is GI-hard): isomorphic queries whose symmetries
+   defeat the heuristic may canonicalize differently, which costs a
+   cache miss, never a wrong answer — cache consumers compare canonical
+   queries for full structural equality, and a canonical query is always
+   a faithful bijective renaming of its source. *)
+
+(* Hashtbl.hash truncates after ~10 meaningful nodes, which would fold
+   long atom lists into colliding keys; combine explicitly instead. *)
+let combine h x = (h * 0x01000193) lxor (x land max_int)
+
+let hash_ints ints = List.fold_left combine 0x811c9dc5 ints
+
+let hash_string h s =
+  let acc = ref h in
+  String.iter (fun c -> acc := combine !acc (Char.code c)) s;
+  combine !acc (String.length s)
+
+type t = {
+  query : Conjunctive.Cq.t;
+  hash : int;
+  to_canonical : (int, int) Hashtbl.t;
+  of_canonical : int array;
+}
+
+let rename t v = Hashtbl.find t.to_canonical v
+
+(* First-occurrence index of every variable: free list first, then the
+   atoms in listing order. Deterministic for a fixed input text, and
+   identical across instantiations of one query template (which rename
+   variables but keep the listing order) — the case the plan cache is
+   for. *)
+let occurrence_order cq =
+  let seen = Hashtbl.create 16 in
+  let next = ref 0 in
+  let note v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v !next;
+      incr next
+    end
+  in
+  List.iter note cq.Conjunctive.Cq.free;
+  List.iter
+    (fun a -> List.iter note a.Conjunctive.Cq.vars)
+    cq.Conjunctive.Cq.atoms;
+  seen
+
+let canonicalize cq =
+  let vars = Conjunctive.Cq.vars cq in
+  let n = List.length vars in
+  let occurrence = occurrence_order cq in
+  let color = Hashtbl.create n in
+  (* Initial colors: position in the free list (order is part of the
+     query's meaning — it is the output schema), or a constant for bound
+     variables. *)
+  let free_pos = Hashtbl.create 8 in
+  List.iteri
+    (fun i v -> if not (Hashtbl.mem free_pos v) then Hashtbl.add free_pos v i)
+    cq.Conjunctive.Cq.free;
+  List.iter
+    (fun v ->
+      let p = match Hashtbl.find_opt free_pos v with Some i -> i | None -> -1 in
+      Hashtbl.replace color v (hash_ints [ 1; p ]))
+    vars;
+  let distinct_colors () =
+    let s = Hashtbl.create n in
+    Hashtbl.iter (fun _ c -> Hashtbl.replace s c ()) color;
+    Hashtbl.length s
+  in
+  (* One refinement round: every variable absorbs the sorted multiset of
+     its incidences, each incidence being the signature of an atom it
+     occurs in (relation name + the ordered colors of all its argument
+     positions) together with the positions the variable fills. *)
+  let refine_round () =
+    let atom_sigs =
+      List.map
+        (fun a ->
+          let h = hash_string 0x811c9dc5 a.Conjunctive.Cq.rel in
+          hash_ints
+            (h :: List.map (fun v -> Hashtbl.find color v) a.Conjunctive.Cq.vars))
+        cq.Conjunctive.Cq.atoms
+    in
+    let items = Hashtbl.create n in
+    List.iter (fun v -> Hashtbl.replace items v []) vars;
+    List.iter2
+      (fun a sg ->
+        List.iteri
+          (fun pos v ->
+            Hashtbl.replace items v (hash_ints [ sg; pos ] :: Hashtbl.find items v))
+          a.Conjunctive.Cq.vars)
+      cq.Conjunctive.Cq.atoms atom_sigs;
+    List.iter
+      (fun v ->
+        let incidences = List.sort compare (Hashtbl.find items v) in
+        Hashtbl.replace color v (hash_ints (Hashtbl.find color v :: incidences)))
+      vars
+  in
+  let refine_to_fixpoint () =
+    let rec loop prev rounds =
+      if rounds > n then ()
+      else begin
+        refine_round ();
+        let now = distinct_colors () in
+        if now > prev then loop now (rounds + 1)
+      end
+    in
+    loop (distinct_colors ()) 0
+  in
+  refine_to_fixpoint ();
+  (* Individualize until every color class is a singleton: repeatedly
+     pick the smallest-colored non-singleton class, split off its
+     first-occurring member, and re-refine. *)
+  let rec individualize () =
+    let by_color = Hashtbl.create n in
+    List.iter
+      (fun v ->
+        let c = Hashtbl.find color v in
+        Hashtbl.replace by_color c (v :: (try Hashtbl.find by_color c with Not_found -> [])))
+      vars;
+    let target =
+      Hashtbl.fold
+        (fun c members acc ->
+          match (members, acc) with
+          | [ _ ], _ -> acc
+          | _, Some (c', _) when c' <= c -> acc
+          | _, _ -> Some (c, members))
+        by_color None
+    in
+    match target with
+    | None -> ()
+    | Some (c, members) ->
+      let chosen =
+        List.fold_left
+          (fun best v ->
+            if Hashtbl.find occurrence v < Hashtbl.find occurrence best then v
+            else best)
+          (List.hd members) (List.tl members)
+      in
+      Hashtbl.replace color chosen (hash_ints [ 2; c ]);
+      refine_to_fixpoint ();
+      individualize ()
+  in
+  individualize ();
+  (* All classes are singletons: rank variables by color to get the
+     canonical ids 0..n-1. *)
+  let ranked =
+    List.sort (fun a b -> compare (Hashtbl.find color a) (Hashtbl.find color b)) vars
+  in
+  let to_canonical = Hashtbl.create n in
+  let of_canonical = Array.make (max n 1) 0 in
+  List.iteri
+    (fun i v ->
+      Hashtbl.replace to_canonical v i;
+      of_canonical.(i) <- v)
+    ranked;
+  let rename v = Hashtbl.find to_canonical v in
+  let atoms =
+    List.sort
+      (fun a b ->
+        match compare a.Conjunctive.Cq.rel b.Conjunctive.Cq.rel with
+        | 0 -> compare a.Conjunctive.Cq.vars b.Conjunctive.Cq.vars
+        | c -> c)
+      (List.map
+         (fun a ->
+           {
+             Conjunctive.Cq.rel = a.Conjunctive.Cq.rel;
+             vars = List.map rename a.Conjunctive.Cq.vars;
+           })
+         cq.Conjunctive.Cq.atoms)
+  in
+  let free = List.map rename cq.Conjunctive.Cq.free in
+  let query = Conjunctive.Cq.make ~atoms ~free in
+  let hash =
+    hash_ints
+      (hash_ints free
+      :: List.map
+           (fun a ->
+             hash_ints (hash_string 0x811c9dc5 a.Conjunctive.Cq.rel :: a.Conjunctive.Cq.vars))
+           atoms)
+  in
+  { query; hash; to_canonical; of_canonical }
+
+let equal_query a b =
+  a.Conjunctive.Cq.free = b.Conjunctive.Cq.free
+  && a.Conjunctive.Cq.atoms = b.Conjunctive.Cq.atoms
+
+let equal a b = a.hash = b.hash && equal_query a.query b.query

@@ -1,0 +1,42 @@
+(** Canonical forms of query hypergraphs, for structural plan caching.
+
+    Two instantiations of one query template — same relation names, same
+    atom structure, variables renamed and atoms possibly permuted —
+    describe the same evaluation problem: they share MCS orders, AGM
+    covers and bucket structure, so a plan compiled for one evaluates
+    the other (exactly the amortization argued by succinct structure
+    representations). {!canonicalize} renames a query's variables to
+    [0..n-1] by a color-refinement labeling of its hypergraph (free
+    variables pinned by output position, then Weisfeiler–Leman rounds
+    over the atom incidence structure, greedy individualization for
+    leftover symmetry) and sorts the atoms, yielding:
+
+    - a {e canonical query} that is a faithful bijective renaming of the
+      input — evaluating it answers the input query, with output columns
+      in the same order; and
+    - an {e isomorphism-invariant hash} of that form, the cache key.
+
+    The individualization tie-break is heuristic (canonization is
+    GI-hard): a symmetric query pair the heuristic splits differently
+    canonicalizes to two different forms — a cache miss, never a wrong
+    answer, because cache lookups compare canonical queries structurally
+    and any canonical form is correct for its own source query. *)
+
+type t = {
+  query : Conjunctive.Cq.t;
+      (** the canonical form: variables renamed to [0..n-1], atoms
+          sorted by (relation, arguments), free order preserved *)
+  hash : int;  (** invariant hash of the canonical form *)
+  to_canonical : (int, int) Hashtbl.t;  (** source variable -> canonical *)
+  of_canonical : int array;  (** canonical variable -> source *)
+}
+
+val canonicalize : Conjunctive.Cq.t -> t
+
+val rename : t -> int -> int
+(** [rename t v] is the canonical id of source variable [v].
+    @raise Not_found if [v] does not occur in the source query. *)
+
+val equal : t -> t -> bool
+(** Same canonical structure: hash, atoms and free list all equal — the
+    two source queries are isomorphic as templates. *)

@@ -1,0 +1,477 @@
+module Json = Telemetry.Json
+module Metrics = Telemetry.Metrics
+module Driver = Ppr_core.Driver
+
+type config = {
+  workers : int;
+  queue_depth : int;
+  cache_capacity : int;
+  default_deadline_ms : int option;
+  max_deadline_ms : int;
+  default_max_answers : int;
+  max_answers_cap : int;
+  budget : Supervise.Budget.t;
+}
+
+let default_config =
+  {
+    workers = 4;
+    queue_depth = 64;
+    cache_capacity = 512;
+    default_deadline_ms = None;
+    max_deadline_ms = 300_000;
+    default_max_answers = 100;
+    max_answers_cap = 10_000;
+    budget = Supervise.Budget.default;
+  }
+
+type job = {
+  request : Wire.query;
+  reply : Wire.response -> unit;
+  enqueued_at : float;
+}
+
+type t = {
+  cfg : config;
+  db : Conjunctive.Database.t;
+  pool : Parallel.Pool.t option;
+  metrics : Metrics.t;
+  cache : Driver.compiled Plan_cache.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : job Queue.t;
+  mutable stopped : bool;
+  mutable inflight : int;
+  mutable workers : unit Domain.t array;
+}
+
+let metrics t = t.metrics
+let cache t = t.cache
+
+let count t name = Metrics.incr (Metrics.counter t.metrics name)
+
+let log_src = Logs.Src.create "ppr.serve" ~doc:"Query-serving engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+(* Request-level parsing helpers.                                      *)
+
+let method_of_string = function
+  | "naive" -> Some (Driver.Naive Ppr_core.Naive.default_search)
+  | "straightforward" -> Some Driver.Straightforward
+  | "early-projection" -> Some Driver.Early_projection
+  | "reordering" -> Some Driver.Reorder
+  | "bucket-elimination" -> Some Driver.Bucket_elimination
+  | "hybrid" -> Some Driver.Hybrid
+  | "wcoj" -> Some Driver.Wcoj
+  | s -> (
+    match String.split_on_char ':' s with
+    | [ "minibucket"; i ] -> (
+      match int_of_string_opt i with
+      | Some i when i > 0 -> Some (Driver.Minibucket i)
+      | _ -> None)
+    | _ -> None)
+
+let chaos_of_spec spec =
+  let int s = int_of_string_opt s in
+  let flo s = float_of_string_opt s in
+  match String.split_on_char ':' spec with
+  | [ "op"; n ] ->
+    Option.map (fun n -> Supervise.Chaos.at_operator ~attempts:[ 0 ] n) (int n)
+  | [ "tuples"; k ] ->
+    Option.map (fun k -> Supervise.Chaos.after_tuples ~attempts:[ 0 ] k) (int k)
+  | [ "seed"; s ] ->
+    Option.map
+      (fun s ->
+        Supervise.Chaos.seeded ~attempts:[ 0 ] ~seed:s ~max_operator:32 ())
+      (int s)
+  | [ "stall"; n; seconds ] -> (
+    match (int n, flo seconds) with
+    | Some n, Some seconds ->
+      Some (Supervise.Chaos.stall_at_operator ~attempts:[ 0 ] ~seconds n)
+    | _ -> None)
+  | [ "stall-tuples"; k; seconds ] -> (
+    match (int k, flo seconds) with
+    | Some k, Some seconds ->
+      Some (Supervise.Chaos.stall_after_tuples ~attempts:[ 0 ] ~seconds k)
+    | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Session execution (worker side).                                    *)
+
+let answer_rows relation free max_answers =
+  match free with
+  | [] -> ([], false)
+  | free ->
+    let schema = Relalg.Relation.schema relation in
+    let columns = List.map (Relalg.Schema.index schema) free in
+    let rec take n rows =
+      match (n, rows) with
+      | _, [] -> ([], false)
+      | 0, _ :: _ -> ([], true)
+      | n, row :: rest ->
+        let taken, truncated = take (n - 1) rest in
+        (List.map (Relalg.Tuple.get row) columns :: taken, truncated)
+    in
+    take max_answers (Relalg.Relation.to_sorted_list relation)
+
+let run_session t (q : Wire.query) ~queue_seconds ~deadline_abs =
+  let id = q.id in
+  match method_of_string q.meth with
+  | None -> Wire.Failed (id, Wire.Bad_request, Printf.sprintf "unknown method %S" q.meth)
+  | Some meth -> (
+    let chaos =
+      match q.chaos with
+      | None -> Ok None
+      | Some spec -> (
+        match chaos_of_spec spec with
+        | Some c -> Ok (Some c)
+        | None -> Error (Printf.sprintf "bad chaos spec %S" spec))
+    in
+    match chaos with
+    | Error msg -> Wire.Failed (id, Wire.Bad_request, msg)
+    | Ok chaos -> (
+      match Conjunctive.Parse.query q.text with
+      | Error e ->
+        count t "serve.parse_errors";
+        Wire.Failed
+          (id, Wire.Parse_error, Format.asprintf "%a" Conjunctive.Parse.pp_error e)
+      | Ok parsed -> (
+        let canon = Hypergraphs.Canon.canonicalize parsed.Conjunctive.Parse.query in
+        let cq = canon.Hypergraphs.Canon.query in
+        let key = Plan_cache.key_of ~canon ~meth:q.meth in
+        let compiled, cache_hit =
+          Plan_cache.find_or_add t.cache key (fun () ->
+              (* A fixed compile seed keeps the cached artifact
+                 independent of which request warmed the cache. *)
+              Driver.prepare ~rng:(Graphlib.Rng.make 17) meth t.db cq)
+        in
+        count t (if cache_hit then "serve.cache.hits" else "serve.cache.misses");
+        let budget =
+          let b = t.cfg.budget in
+          let b =
+            match q.max_tuples with
+            | Some n -> Supervise.Budget.with_max_cardinality n b
+            | None -> b
+          in
+          let b =
+            match q.max_total with
+            | Some n -> Supervise.Budget.with_max_total n b
+            | None -> b
+          in
+          match q.fuel with Some n -> Supervise.Budget.with_fuel n b | None -> b
+        in
+        let remaining =
+          Option.map (fun d -> d -. Unix.gettimeofday ()) deadline_abs
+        in
+        let budget =
+          match remaining with
+          | Some s -> Supervise.Budget.with_deadline (Float.max 0.0 s) budget
+          | None -> budget
+        in
+        let max_answers =
+          min
+            (Option.value q.max_answers ~default:t.cfg.default_max_answers)
+            t.cfg.max_answers_cap
+        in
+        let rng = Graphlib.Rng.make (q.seed + 31) in
+        (* Each session gets its own telemetry context (span stacks are
+           single-domain) over the engine's shared, domain-safe metric
+           registry — rung histograms and abort counters aggregate
+           across all concurrent sessions. *)
+        let telemetry = Telemetry.create ~metrics:t.metrics Telemetry.Sink.null in
+        Fun.protect ~finally:(fun () -> Telemetry.close telemetry) @@ fun () ->
+        let ctx =
+          match t.pool with
+          | Some pool -> Relalg.Ctx.create ~telemetry ~pool ()
+          | None -> Relalg.Ctx.create ~telemetry ()
+        in
+        let finish (outcome : Driver.outcome) ~rungs ~rescued ~approximate =
+          match (outcome.Driver.status, outcome.Driver.result) with
+          | Driver.Completed, Some relation ->
+            count t "serve.answers";
+            let answers, truncated =
+              answer_rows relation cq.Conjunctive.Cq.free max_answers
+            in
+            Wire.Answer
+              ( id,
+                {
+                  Wire.cardinality = Relalg.Relation.cardinality relation;
+                  nonempty = not (Relalg.Relation.is_empty relation);
+                  answers;
+                  truncated;
+                  cache_hit;
+                  rungs;
+                  rescued;
+                  approximate;
+                  meth = Driver.method_name outcome.Driver.meth;
+                  compile_seconds = outcome.Driver.compile_seconds;
+                  exec_seconds = outcome.Driver.exec_seconds;
+                  queue_seconds;
+                } )
+          | status, _ ->
+            let reason =
+              match status with
+              | Driver.Aborted a -> a.Driver.reason
+              | Driver.Completed ->
+                (* Completed without a result cannot happen (the driver
+                   always materializes on completion); classify
+                   defensively rather than crash the session. *)
+                Relalg.Limits.Injected "completed without a result"
+            in
+            count t "serve.aborts";
+            Wire.Failed
+              ( id,
+                Wire.Aborted (Relalg.Limits.reason_label reason),
+                Printf.sprintf "%s after %d attempt(s)"
+                  (Relalg.Limits.describe reason)
+                  rungs )
+        in
+        if q.ladder then begin
+          let report =
+            Supervise.run ~rng ~budget ?chaos ~compiled
+              ?overall_deadline_seconds:remaining ~ctx meth t.db cq
+          in
+          let rungs = List.length report.Supervise.attempts in
+          match report.Supervise.result with
+          | Some outcome ->
+            let approximate =
+              List.exists
+                (fun a ->
+                  a.Supervise.approximate
+                  && a.Supervise.outcome.Driver.status = Driver.Completed)
+                report.Supervise.attempts
+            in
+            finish outcome ~rungs ~rescued:report.Supervise.rescued ~approximate
+          | None -> (
+            count t "serve.aborts";
+            match List.rev report.Supervise.attempts with
+            | last :: _ ->
+              let reason =
+                match last.Supervise.outcome.Driver.status with
+                | Driver.Aborted a -> a.Driver.reason
+                | Driver.Completed -> Relalg.Limits.Injected "unreachable"
+              in
+              Wire.Failed
+                ( id,
+                  Wire.Aborted (Relalg.Limits.reason_label reason),
+                  Printf.sprintf "every rung aborted (%d attempt(s)); last: %s"
+                    rungs
+                    (Relalg.Limits.describe reason) )
+            | [] ->
+              Wire.Failed (id, Wire.Aborted "deadline", "no time left to attempt")
+            )
+        end
+        else begin
+          let limits = Supervise.Budget.to_limits budget in
+          (match chaos with
+          | Some c -> Supervise.Chaos.arm c ~attempt:0 limits
+          | None -> ());
+          let outcome =
+            Driver.run ~rng ~compiled
+              ~ctx:(Relalg.Ctx.with_limits ctx limits)
+              meth t.db cq
+          in
+          finish outcome ~rungs:1 ~rescued:false ~approximate:false
+        end)))
+
+(* Crash containment: whatever a session raises — evaluator bugs, missing
+   relations, arity mismatches — becomes a typed [internal] response for
+   that session only; the worker and the daemon live on. *)
+let process t job =
+  let started = Unix.gettimeofday () in
+  let queue_seconds = started -. job.enqueued_at in
+  Metrics.observe (Metrics.histogram t.metrics "serve.queue_seconds") queue_seconds;
+  let deadline_ms =
+    match job.request.Wire.deadline_ms with
+    | Some ms -> Some (min ms t.cfg.max_deadline_ms)
+    | None ->
+      Option.map (fun ms -> min ms t.cfg.max_deadline_ms) t.cfg.default_deadline_ms
+  in
+  let deadline_abs =
+    Option.map (fun ms -> job.enqueued_at +. (float_of_int ms /. 1000.0)) deadline_ms
+  in
+  let response =
+    match deadline_abs with
+    | Some d when started >= d ->
+      (* The request's whole deadline burned away in the admission
+         queue: shed it without spending a single operator on it. *)
+      count t "serve.expired";
+      Wire.Failed
+        ( job.request.Wire.id,
+          Wire.Aborted "deadline",
+          "deadline expired while queued" )
+    | _ -> (
+      try run_session t job.request ~queue_seconds ~deadline_abs
+      with e ->
+        count t "serve.internal_errors";
+        Log.err (fun f ->
+            f "session crashed: %s" (Printexc.to_string e));
+        Wire.Failed
+          ( job.request.Wire.id,
+            Wire.Internal,
+            Printf.sprintf "session failed: %s" (Printexc.to_string e) ))
+  in
+  Metrics.observe
+    (Metrics.histogram t.metrics "serve.session_seconds")
+    (Unix.gettimeofday () -. started);
+  (* The reply callback belongs to the transport; a dead client must not
+     kill the worker. *)
+  try job.reply response
+  with e ->
+    Log.debug (fun f -> f "reply dropped: %s" (Printexc.to_string e))
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.stopped do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.queue then (* stopped, queue drained *)
+      Mutex.unlock t.lock
+    else begin
+      let job = Queue.pop t.queue in
+      t.inflight <- t.inflight + 1;
+      Mutex.unlock t.lock;
+      process t job;
+      Mutex.lock t.lock;
+      t.inflight <- t.inflight - 1;
+      Mutex.unlock t.lock;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Public API.                                                         *)
+
+let create ?(config = default_config) ?pool db =
+  if config.workers < 1 then invalid_arg "Engine.create: workers < 1";
+  if config.queue_depth < 1 then invalid_arg "Engine.create: queue_depth < 1";
+  let t =
+    {
+      cfg = config;
+      db;
+      pool;
+      metrics = Metrics.create ();
+      cache = Plan_cache.create ~capacity:config.cache_capacity ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stopped = false;
+      inflight = 0;
+      workers = [||];
+    }
+  in
+  t.workers <-
+    Array.init config.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let stats_fields t =
+  let c name = Metrics.value (Metrics.counter t.metrics name) in
+  let queued, inflight =
+    Mutex.lock t.lock;
+    let q = Queue.length t.queue in
+    let i = t.inflight in
+    Mutex.unlock t.lock;
+    (q, i)
+  in
+  [
+    ("queued", Json.Int queued);
+    ("inflight", Json.Int inflight);
+    ("workers", Json.Int (Array.length t.workers));
+    ("queue_depth", Json.Int t.cfg.queue_depth);
+    ("requests", Json.Int (c "serve.requests"));
+    ("answers", Json.Int (c "serve.answers"));
+    ("shed", Json.Int (c "serve.shed"));
+    ("expired", Json.Int (c "serve.expired"));
+    ("aborts", Json.Int (c "serve.aborts"));
+    ("parse_errors", Json.Int (c "serve.parse_errors"));
+    ("internal_errors", Json.Int (c "serve.internal_errors"));
+    ("cache_size", Json.Int (Plan_cache.size t.cache));
+    ("cache_hits", Json.Int (Plan_cache.hits t.cache));
+    ("cache_misses", Json.Int (Plan_cache.misses t.cache));
+    ("cache_evictions", Json.Int (Plan_cache.evictions t.cache));
+  ]
+
+(* Admission control: O(1) under the lock, never blocks the caller. The
+   queue either takes the job or the request is shed right here with a
+   typed response — the queue cannot grow beyond [queue_depth]. *)
+let submit_async t (request : Wire.request) ~reply =
+  match request with
+  | Wire.Ping id -> reply (Wire.Pong id)
+  | Wire.Metrics id ->
+    reply
+      (Wire.Metrics_text (id, Format.asprintf "%a" Metrics.pp t.metrics))
+  | Wire.Stats id -> reply (Wire.Stats_obj (id, stats_fields t))
+  | Wire.Query q ->
+    count t "serve.requests";
+    let now = Unix.gettimeofday () in
+    let verdict =
+      Mutex.lock t.lock;
+      let v =
+        if t.stopped then `Shutting_down
+        else if Queue.length t.queue >= t.cfg.queue_depth then `Overloaded
+        else begin
+          Queue.push { request = q; reply; enqueued_at = now } t.queue;
+          Metrics.observe_max
+            (Metrics.max_gauge t.metrics "serve.queue_peak")
+            (Queue.length t.queue);
+          Condition.signal t.nonempty;
+          `Queued
+        end
+      in
+      Mutex.unlock t.lock;
+      v
+    in
+    (match verdict with
+    | `Queued -> ()
+    | `Shutting_down ->
+      reply (Wire.Failed (q.Wire.id, Wire.Shutting_down, "daemon is draining"))
+    | `Overloaded ->
+      count t "serve.shed";
+      reply
+        (Wire.Failed
+           ( q.Wire.id,
+             Wire.Overloaded,
+             Printf.sprintf "admission queue full (%d queued)" t.cfg.queue_depth
+           )))
+
+let submit t request =
+  let slot = ref None in
+  let m = Mutex.create () in
+  let filled = Condition.create () in
+  submit_async t request ~reply:(fun r ->
+      Mutex.lock m;
+      slot := Some r;
+      Condition.signal filled;
+      Mutex.unlock m);
+  Mutex.lock m;
+  while !slot = None do
+    Condition.wait filled m
+  done;
+  let r = Option.get !slot in
+  Mutex.unlock m;
+  r
+
+let stop t =
+  let workers =
+    Mutex.lock t.lock;
+    let w = t.workers in
+    t.workers <- [||];
+    t.stopped <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.lock;
+    w
+  in
+  (* Drain: workers keep answering queued sessions and exit only once
+     the queue is empty; join waits for the last in-flight reply. *)
+  Array.iter Domain.join workers
+
+let stopped t =
+  Mutex.lock t.lock;
+  let s = t.stopped in
+  Mutex.unlock t.lock;
+  s

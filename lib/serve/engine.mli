@@ -1,0 +1,80 @@
+(** The serving engine: a pool of worker domains draining a bounded
+    admission queue of query sessions.
+
+    Each session runs one {!Wire.query} through the full pipeline —
+    parse, canonicalize ({!Hypergraphs.Canon}), plan-cache lookup
+    ({!Plan_cache} over {!Ppr_core.Driver.prepare} artifacts), then a
+    deadline- and budget-bounded {!Supervise.run} (or a single
+    {!Ppr_core.Driver.run} when the client disables the ladder).
+
+    Robustness contract:
+
+    - {b Admission control}: {!submit_async} never blocks and never
+      queues past [queue_depth]; excess load is shed immediately with a
+      typed [Overloaded] response.
+    - {b Deadlines from admission}: a request's deadline starts when it
+      is enqueued, so time spent waiting in the queue burns its budget —
+      a request whose deadline expires in the queue is answered
+      [Aborted "deadline"] without running a single operator.
+    - {b Crash containment}: any exception a session raises is converted
+      into an [Internal] response for that session only; the worker
+      domain and the engine survive.
+    - {b Drain on stop}: {!stop} refuses new work but answers everything
+      already queued before returning.
+
+    Every reply callback is invoked {e exactly once} per submitted
+    request, on the worker domain that ran the session (or on the
+    caller's thread for immediate sheds and non-query ops). *)
+
+type config = {
+  workers : int;  (** worker domains (default 4) *)
+  queue_depth : int;  (** admission-queue bound (default 64) *)
+  cache_capacity : int;  (** plan-cache LRU bound (default 512) *)
+  default_deadline_ms : int option;
+      (** applied when the request carries none (default [None]) *)
+  max_deadline_ms : int;
+      (** cap on any requested deadline (default 300_000) *)
+  default_max_answers : int;  (** response row cap default (100) *)
+  max_answers_cap : int;  (** hard cap on requested row counts (10_000) *)
+  budget : Supervise.Budget.t;
+      (** base resource budget; per-request fields override *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> ?pool:Parallel.Pool.t -> Conjunctive.Database.t -> t
+(** Spawns [config.workers] domains immediately. [pool] is shared by all
+    sessions for parallel operators (the pool is multi-submitter safe). *)
+
+val submit_async : t -> Wire.request -> reply:(Wire.response -> unit) -> unit
+(** Enqueue a request. Non-query ops (ping/metrics/stats) are answered
+    synchronously on the calling thread. Queries are answered from a
+    worker domain — or immediately with [Overloaded] / [Shutting_down]
+    when admission fails. [reply] is called exactly once; exceptions it
+    raises are swallowed (a dead client must not kill a worker). *)
+
+val submit : t -> Wire.request -> Wire.response
+(** Blocking convenience over {!submit_async} (tests, CLI one-shots). *)
+
+val stop : t -> unit
+(** Stop admitting, drain the queue, join the workers. Every request
+    queued before the call is still answered. Idempotent. *)
+
+val stopped : t -> bool
+
+val metrics : t -> Telemetry.Metrics.t
+(** The shared registry all sessions record into (domain-safe). *)
+
+val cache : t -> Ppr_core.Driver.compiled Plan_cache.t
+
+val stats_fields : t -> (string * Telemetry.Json.t) list
+(** The [stats] op's payload: queue/inflight/cache/counter snapshot. *)
+
+val method_of_string : string -> Ppr_core.Driver.meth option
+(** The wire protocol's method names, including ["minibucket:N"]. *)
+
+val chaos_of_spec : string -> Supervise.Chaos.t option
+(** CLI-style fault specs: [op:N], [tuples:K], [seed:S], plus the
+    latency faults [stall:N:SECONDS] and [stall-tuples:K:SECONDS]. *)

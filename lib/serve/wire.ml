@@ -1,0 +1,203 @@
+module Json = Telemetry.Json
+
+(* ------------------------------------------------------------------ *)
+(* Requests.                                                           *)
+
+type query = {
+  id : Json.t;
+  text : string;
+  meth : string;
+  ladder : bool;
+  deadline_ms : int option;
+  max_tuples : int option;
+  max_total : int option;
+  fuel : int option;
+  max_answers : int option;
+  chaos : string option;
+  seed : int;
+}
+
+type request =
+  | Query of query
+  | Ping of Json.t
+  | Metrics of Json.t
+  | Stats of Json.t
+
+let field obj name =
+  match obj with
+  | Json.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let request_id obj =
+  match field obj "id" with Some id -> id | None -> Json.Null
+
+(* Decoding is strict about types but lenient about presence: a missing
+   optional field means "use the server default", a present field of the
+   wrong type is a protocol error (silently coercing would mask client
+   bugs under default behavior). *)
+type 'a decoded = ('a, string) result
+
+let opt_int obj name : int option decoded =
+  match field obj name with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Int i) -> Ok (Some i)
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+
+let opt_string obj name : string option decoded =
+  match field obj name with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.String s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+
+let opt_bool obj name : bool option decoded =
+  match field obj name with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Bool b) -> Ok (Some b)
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" name)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let decode_query obj =
+  let id = request_id obj in
+  let* text = opt_string obj "query" in
+  match text with
+  | None -> Error "query op needs a \"query\" field"
+  | Some text ->
+    let* meth = opt_string obj "method" in
+    let* ladder = opt_bool obj "ladder" in
+    let* deadline_ms = opt_int obj "deadline_ms" in
+    let* max_tuples = opt_int obj "max_tuples" in
+    let* max_total = opt_int obj "max_total" in
+    let* fuel = opt_int obj "fuel" in
+    let* max_answers = opt_int obj "max_answers" in
+    let* chaos = opt_string obj "chaos" in
+    let* seed = opt_int obj "seed" in
+    Ok
+      (Query
+         {
+           id;
+           text;
+           meth = Option.value meth ~default:"bucket-elimination";
+           ladder = Option.value ladder ~default:true;
+           deadline_ms;
+           max_tuples;
+           max_total;
+           fuel;
+           max_answers;
+           chaos;
+           seed = Option.value seed ~default:0;
+         })
+
+let of_json obj =
+  match obj with
+  | Json.Obj _ -> (
+    let id = request_id obj in
+    match field obj "op" with
+    | None -> Error ("request needs an \"op\" field", id)
+    | Some (Json.String op) -> (
+      match op with
+      | "query" -> (
+        match decode_query obj with
+        | Ok q -> Ok q
+        | Error msg -> Error (msg, id))
+      | "ping" -> Ok (Ping id)
+      | "metrics" -> Ok (Metrics id)
+      | "stats" -> Ok (Stats id)
+      | other -> Error (Printf.sprintf "unknown op %S" other, id))
+    | Some _ -> Error ("\"op\" must be a string", id))
+  | _ -> Error ("request must be a JSON object", Json.Null)
+
+let parse_request line =
+  match Jsonl.parse line with
+  | Error msg -> Error ("malformed JSON: " ^ msg, Json.Null)
+  | Ok obj -> of_json obj
+
+(* ------------------------------------------------------------------ *)
+(* Responses.                                                          *)
+
+type error_kind =
+  | Bad_request
+  | Parse_error
+  | Overloaded
+  | Shutting_down
+  | Aborted of string  (** the {!Relalg.Limits.reason_label} *)
+  | Internal
+
+let error_kind_label = function
+  | Bad_request -> "bad-request"
+  | Parse_error -> "parse"
+  | Overloaded -> "overloaded"
+  | Shutting_down -> "shutting-down"
+  | Aborted _ -> "abort"
+  | Internal -> "internal"
+
+type answer = {
+  cardinality : int;
+  nonempty : bool;
+  answers : int list list;
+  truncated : bool;
+  cache_hit : bool;
+  rungs : int;
+  rescued : bool;
+  approximate : bool;
+  meth : string;
+  compile_seconds : float;
+  exec_seconds : float;
+  queue_seconds : float;
+}
+
+type response =
+  | Answer of Json.t * answer
+  | Pong of Json.t
+  | Metrics_text of Json.t * string
+  | Stats_obj of Json.t * (string * Json.t) list
+  | Failed of Json.t * error_kind * string
+
+let response_to_json = function
+  | Answer (id, a) ->
+    Json.Obj
+      [
+        ("id", id);
+        ("status", Json.String "ok");
+        ("cardinality", Json.Int a.cardinality);
+        ("nonempty", Json.Bool a.nonempty);
+        ( "answers",
+          Json.List
+            (List.map
+               (fun row -> Json.List (List.map (fun v -> Json.Int v) row))
+               a.answers) );
+        ("truncated", Json.Bool a.truncated);
+        ("cache", Json.String (if a.cache_hit then "hit" else "miss"));
+        ("rungs", Json.Int a.rungs);
+        ("rescued", Json.Bool a.rescued);
+        ("approximate", Json.Bool a.approximate);
+        ("method", Json.String a.meth);
+        ("compile_seconds", Json.Float a.compile_seconds);
+        ("exec_seconds", Json.Float a.exec_seconds);
+        ("queue_seconds", Json.Float a.queue_seconds);
+      ]
+  | Pong id ->
+    Json.Obj [ ("id", id); ("status", Json.String "ok"); ("pong", Json.Bool true) ]
+  | Metrics_text (id, text) ->
+    Json.Obj
+      [ ("id", id); ("status", Json.String "ok"); ("metrics", Json.String text) ]
+  | Stats_obj (id, fields) ->
+    Json.Obj ([ ("id", id); ("status", Json.String "ok") ] @ fields)
+  | Failed (id, kind, message) ->
+    Json.Obj
+      ([
+         ("id", id);
+         ("status", Json.String "error");
+         ("kind", Json.String (error_kind_label kind));
+       ]
+      @ (match kind with
+        | Aborted reason -> [ ("reason", Json.String reason) ]
+        | _ -> [])
+      @ [ ("message", Json.String message) ])
+
+let response_to_string r = Json.to_string (response_to_json r)
+
+let response_id = function
+  | Answer (id, _) | Pong id | Metrics_text (id, _) | Stats_obj (id, _)
+  | Failed (id, _, _) ->
+    id

@@ -1,0 +1,92 @@
+(** The daemon's wire protocol: line-delimited JSON, one request or
+    response per line.
+
+    Requests are objects with an ["op"] field:
+
+    - [{"op":"query", "query":"ans(X,Y) :- edge(X,Y).", ...}] — run a
+      query. Optional fields: ["id"] (any JSON, echoed verbatim on the
+      response), ["method"] (default ["bucket-elimination"]),
+      ["ladder"] (default [true]: degrade down the supervision ladder
+      instead of failing on the first abort), ["deadline_ms"],
+      ["max_tuples"] (per-intermediate cardinality cap), ["max_total"],
+      ["fuel"], ["max_answers"] (response row cap), ["chaos"] (a fault
+      spec as on the CLI, for soak tests), ["seed"].
+    - [{"op":"ping"}] — liveness probe.
+    - [{"op":"metrics"}] — the metric registry as a text dump.
+    - [{"op":"stats"}] — machine-readable serving counters.
+
+    Responses carry ["status"]: ["ok"] or ["error"]; errors carry a
+    typed ["kind"] ([overloaded], [abort] (+ ["reason"]), [parse],
+    [bad-request], [shutting-down], [internal]) so clients can tell
+    load-shedding from failure. *)
+
+module Json = Telemetry.Json
+
+type query = {
+  id : Json.t;
+  text : string;
+  meth : string;
+  ladder : bool;
+  deadline_ms : int option;
+  max_tuples : int option;
+  max_total : int option;
+  fuel : int option;
+  max_answers : int option;
+  chaos : string option;
+  seed : int;
+}
+
+type request =
+  | Query of query
+  | Ping of Json.t  (** the request id *)
+  | Metrics of Json.t
+  | Stats of Json.t
+
+val parse_request : string -> (request, string * Json.t) result
+(** Parse one protocol line. [Error] carries a diagnostic and the
+    request id when one could still be extracted (so the error response
+    can be correlated). *)
+
+val of_json : Json.t -> (request, string * Json.t) result
+
+val field : Json.t -> string -> Json.t option
+(** Object field lookup; [None] on non-objects and absent fields. *)
+
+val request_id : Json.t -> Json.t
+(** The ["id"] field, or [Null]. *)
+
+type error_kind =
+  | Bad_request
+  | Parse_error
+  | Overloaded  (** shed by admission control: retry later, not a bug *)
+  | Shutting_down
+  | Aborted of string  (** the {!Relalg.Limits.reason_label} *)
+  | Internal
+
+val error_kind_label : error_kind -> string
+
+type answer = {
+  cardinality : int;
+  nonempty : bool;
+  answers : int list list;  (** rows in the query's free-variable order *)
+  truncated : bool;  (** more rows existed than [max_answers] *)
+  cache_hit : bool;
+  rungs : int;  (** supervision attempts this request took *)
+  rescued : bool;
+  approximate : bool;  (** answered by an upper-bound rung (mini-bucket) *)
+  meth : string;  (** the method that produced the answer *)
+  compile_seconds : float;
+  exec_seconds : float;
+  queue_seconds : float;  (** admission-queue wait, deadline-inclusive *)
+}
+
+type response =
+  | Answer of Json.t * answer
+  | Pong of Json.t
+  | Metrics_text of Json.t * string
+  | Stats_obj of Json.t * (string * Json.t) list
+  | Failed of Json.t * error_kind * string
+
+val response_to_json : response -> Json.t
+val response_to_string : response -> string
+val response_id : response -> Json.t

@@ -1,17 +1,24 @@
 type trigger = At_operator of int | After_tuples of int
 
+type fault = Abort of Relalg.Limits.reason | Stall of float
+
 type t = {
   label : string;
   trigger : trigger;
-  reason : Relalg.Limits.reason;
+  fault : fault;
   attempts : int list option;
+  sleeper : float -> unit;
 }
 
-let make ?(label = "chaos") ?reason ?attempts trigger =
-  let reason =
-    match reason with Some r -> r | None -> Relalg.Limits.Injected label
+let make ?(label = "chaos") ?reason ?attempts ?(sleeper = Unix.sleepf) ?fault
+    trigger =
+  let fault =
+    match (fault, reason) with
+    | Some f, _ -> f
+    | None, Some r -> Abort r
+    | None, None -> Abort (Relalg.Limits.Injected label)
   in
-  { label; trigger; reason; attempts }
+  { label; trigger; fault; attempts; sleeper }
 
 let at_operator ?label ?reason ?attempts n =
   if n < 1 then invalid_arg "Chaos.at_operator: operators are 1-based";
@@ -21,16 +28,32 @@ let after_tuples ?label ?reason ?attempts k =
   if k < 0 then invalid_arg "Chaos.after_tuples: negative tuple count";
   make ?label ?reason ?attempts (After_tuples k)
 
+let stall ?(label = "stall") ?attempts ?sleeper ~seconds trigger =
+  if seconds < 0.0 then invalid_arg "Chaos.stall: negative stall duration";
+  make ~label ?attempts ?sleeper ~fault:(Stall seconds) trigger
+
+let stall_at_operator ?label ?attempts ?sleeper ~seconds n =
+  if n < 1 then invalid_arg "Chaos.stall_at_operator: operators are 1-based";
+  stall ?label ?attempts ?sleeper ~seconds (At_operator n)
+
+let stall_after_tuples ?label ?attempts ?sleeper ~seconds k =
+  if k < 0 then invalid_arg "Chaos.stall_after_tuples: negative tuple count";
+  stall ?label ?attempts ?sleeper ~seconds (After_tuples k)
+
 let seeded ?label ?reason ?attempts ~seed ~max_operator () =
   if max_operator < 1 then invalid_arg "Chaos.seeded: max_operator < 1";
   let rng = Graphlib.Rng.make seed in
   at_operator ?label ?reason ?attempts (1 + Graphlib.Rng.int rng max_operator)
 
+(* An abort fault may fire on every hook call past the trigger (the first
+   raise ends the run anyway); a stall must fire exactly once per arming,
+   or the sleep would repeat on every subsequent charge. *)
 let arm t ~attempt limits =
   let in_scope =
     match t.attempts with None -> true | Some l -> List.mem attempt l
   in
-  if in_scope then
+  if in_scope then begin
+    let fired = ref false in
     Relalg.Limits.set_hook limits
       (Some
          (fun ~ops ~total ->
@@ -39,4 +62,12 @@ let arm t ~attempt limits =
              | At_operator n -> ops >= n
              | After_tuples k -> total >= k
            in
-           if fire then raise (Relalg.Limits.Abort t.reason)))
+           if fire then
+             match t.fault with
+             | Abort reason -> raise (Relalg.Limits.Abort reason)
+             | Stall seconds ->
+               if not !fired then begin
+                 fired := true;
+                 t.sleeper seconds
+               end))
+  end

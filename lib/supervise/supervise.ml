@@ -73,8 +73,8 @@ let backoff ~base ~rng i =
     *. (0.5 +. Graphlib.Rng.float rng 1.0)
 
 let run ?rng ?(budget = Budget.default) ?ladder ?(budget_scaling = 1.0)
-    ?(backoff_base = 0.0) ?(sleep = false) ?chaos ?clock
-    ?(ctx = Relalg.Ctx.null) meth db cq =
+    ?(backoff_base = 0.0) ?(sleep = false) ?chaos ?clock ?compiled
+    ?overall_deadline_seconds ?(ctx = Relalg.Ctx.null) meth db cq =
   let telemetry = Relalg.Ctx.telemetry ctx in
   if budget_scaling <= 0.0 then
     invalid_arg "Supervise.run: budget_scaling must be positive";
@@ -88,6 +88,16 @@ let run ?rng ?(budget = Budget.default) ?ladder ?(budget_scaling = 1.0)
     | Some r -> Graphlib.Rng.split r
     | None -> Graphlib.Rng.make 0x5eed
   in
+  let wall = match clock with Some c -> c | None -> Unix.gettimeofday in
+  (* The whole supervised run — every rung and every backoff pause — must
+     fit inside the overall deadline: pauses are capped at the remaining
+     time (a large backoff_base must not sleep past the caller's
+     deadline), each rung's budget deadline is clamped to the remainder,
+     and once the remainder hits zero the ladder stops walking. *)
+  let overall = Option.map (fun s -> wall () +. s) overall_deadline_seconds in
+  let overall_remaining () =
+    Option.map (fun d -> Float.max 0.0 (d -. wall ())) overall
+  in
   let rec go i backoff_spent attempts = function
     | [] -> (List.rev attempts, None, backoff_spent)
     | m :: rest ->
@@ -95,12 +105,35 @@ let run ?rng ?(budget = Budget.default) ?ladder ?(budget_scaling = 1.0)
         if i = 0 then budget
         else Budget.scale (Float.pow budget_scaling (float_of_int i)) budget
       in
-      let pause = backoff ~base:backoff_base ~rng:backoff_rng i in
+      let pause =
+        let p = backoff ~base:backoff_base ~rng:backoff_rng i in
+        match overall_remaining () with
+        | None -> p
+        | Some remaining -> Float.min p remaining
+      in
       if sleep && pause > 0.0 then Unix.sleepf pause;
+      let rung_budget =
+        match overall_remaining () with
+        | None -> rung_budget
+        | Some remaining ->
+          let capped =
+            match rung_budget.Budget.deadline_seconds with
+            | Some s -> Float.min s remaining
+            | None -> remaining
+          in
+          { rung_budget with Budget.deadline_seconds = Some capped }
+      in
       let limits = Budget.to_limits ?clock rung_budget in
       (match chaos with Some c -> Chaos.arm c ~attempt:i limits | None -> ());
       let run_rung () =
-        Driver.run ?rng ~ctx:(Relalg.Ctx.with_limits ctx limits) m db cq
+        let compiled =
+          (* A cached artifact only fits the rung actually running the
+             requested method: rung 0 of the default ladder. Deeper
+             rungs are different methods and recompile. *)
+          match compiled with Some c when i = 0 && m = meth -> Some c | _ -> None
+        in
+        Driver.run ?rng ?compiled ~ctx:(Relalg.Ctx.with_limits ctx limits) m db
+          cq
       in
       let outcome =
         match telemetry with
@@ -154,8 +187,13 @@ let run ?rng ?(budget = Budget.default) ?ladder ?(budget_scaling = 1.0)
       (match outcome.Driver.status with
       | Driver.Completed ->
         (List.rev (attempt :: attempts), Some outcome, backoff_spent +. pause)
-      | Driver.Aborted _ ->
-        go (i + 1) (backoff_spent +. pause) (attempt :: attempts) rest)
+      | Driver.Aborted _ -> (
+        match overall_remaining () with
+        | Some r when r <= 0.0 ->
+          (* Out of overall time: stop shedding down the ladder — deeper
+             rungs would only trip Deadline on their first poll. *)
+          (List.rev (attempt :: attempts), None, backoff_spent +. pause)
+        | _ -> go (i + 1) (backoff_spent +. pause) (attempt :: attempts) rest))
   in
   let attempts, result, backoff_spent = go 0 0.0 [] rungs in
   let rescued = Option.is_some result && List.length attempts > 1 in

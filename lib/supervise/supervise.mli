@@ -58,6 +58,8 @@ val run :
   ?sleep:bool ->
   ?chaos:Chaos.t ->
   ?clock:(unit -> float) ->
+  ?compiled:Ppr_core.Driver.compiled ->
+  ?overall_deadline_seconds:float ->
   ?ctx:Relalg.Ctx.t ->
   Ppr_core.Driver.meth ->
   Conjunctive.Database.t ->
@@ -79,6 +81,19 @@ val run :
     in a [supervise.rung] span (attributes: rung index, method, completion
     status or abort reason), rung wall time feeds the
     [supervise.rung_seconds] histogram, and the registry counts
-    [supervise.runs], [supervise.rescues] and [supervise.exhausted]. *)
+    [supervise.runs], [supervise.rescues] and [supervise.exhausted].
+
+    [compiled] (a {!Ppr_core.Driver.prepare} artifact for [meth] on this
+    query and database — a plan-cache hit) is handed to rung 0 when that
+    rung runs the requested method, skipping its compile phase; deeper
+    rungs run different methods and always recompile.
+
+    [overall_deadline_seconds] bounds the {e whole} supervised run, not
+    one rung: every backoff pause is capped at the time remaining to it
+    (a large [backoff_base] never sleeps past the caller's deadline),
+    each rung's budget deadline is clamped to the remainder, and once
+    the remainder reaches zero the ladder stops walking — the serving
+    layer's per-request deadline lands here, turning the ladder into
+    bounded load-shedding. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,686 @@
+(* Tests for the serving layer: the wire protocol (JSON parsing and
+   request/response encoding), the structural plan cache and its
+   canonicalization guarantees, the admission-controlled engine, and the
+   socket server's end-to-end behavior including drain-on-stop. *)
+
+open Helpers
+module Json = Telemetry.Json
+module Jsonl = Serve.Jsonl
+module Wire = Serve.Wire
+module Canon = Hypergraphs.Canon
+module Cq = Conjunctive.Cq
+module Driver = Ppr_core.Driver
+
+(* ------------------------------------------------------------------ *)
+(* JSON parsing                                                        *)
+
+let test_jsonl_round_trips () =
+  let values =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Bool false;
+      Json.Int 0;
+      Json.Int (-42);
+      Json.Float 2.5;
+      Json.String "";
+      Json.String "plain";
+      Json.String "esc \"quotes\" \\ / \n \t tail";
+      Json.List [];
+      Json.List [ Json.Int 1; Json.String "two"; Json.Null ];
+      Json.Obj [];
+      Json.Obj
+        [
+          ("a", Json.Int 1);
+          ("nested", Json.Obj [ ("b", Json.List [ Json.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      match Jsonl.parse (Json.to_string v) with
+      | Ok v' ->
+        check_bool (Printf.sprintf "round-trips %s" (Json.to_string v)) true
+          (v = v')
+      | Error msg -> Alcotest.failf "failed to parse own output: %s" msg)
+    values
+
+let test_jsonl_escapes_and_numbers () =
+  let ok input expected =
+    match Jsonl.parse input with
+    | Ok v -> check_bool input true (v = expected)
+    | Error msg -> Alcotest.failf "%s: %s" input msg
+  in
+  ok {|"a\nbA"|} (Json.String "a\nbA");
+  (* a surrogate pair decodes to 4-byte UTF-8 *)
+  ok {|"😀"|} (Json.String "\xf0\x9f\x98\x80");
+  ok "3" (Json.Int 3);
+  ok "-7" (Json.Int (-7));
+  ok "3.5" (Json.Float 3.5);
+  ok "-2.5e1" (Json.Float (-25.0));
+  ok "1e2" (Json.Float 100.0);
+  ok "  [1 , 2]  " (Json.List [ Json.Int 1; Json.Int 2 ])
+
+let test_jsonl_rejects_garbage () =
+  List.iter
+    (fun input ->
+      match Jsonl.parse input with
+      | Ok _ -> Alcotest.failf "accepted %S" input
+      | Error _ -> ())
+    [ ""; "{"; "tru"; "1 2"; "[1,]"; "{\"a\":}"; "\"unterminated"; "nullx" ]
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol                                                       *)
+
+let test_wire_defaults () =
+  match Wire.parse_request {|{"op":"query","id":7,"query":"q() :- edge(X,Y)."}|} with
+  | Ok (Wire.Query q) ->
+    check_bool "id echoed" true (q.Wire.id = Json.Int 7);
+    Alcotest.(check string) "default method" "bucket-elimination" q.Wire.meth;
+    check_bool "ladder defaults on" true q.Wire.ladder;
+    check_bool "no deadline by default" true (q.Wire.deadline_ms = None);
+    check_int "default seed" 0 q.Wire.seed
+  | Ok _ -> Alcotest.fail "parsed as the wrong op"
+  | Error (msg, _) -> Alcotest.failf "rejected: %s" msg
+
+let test_wire_type_errors_keep_id () =
+  match Wire.parse_request {|{"op":"query","id":9,"query":5}|} with
+  | Error (_, Json.Int 9) -> ()
+  | Error (_, id) -> Alcotest.failf "lost the id: %s" (Json.to_string id)
+  | Ok _ -> Alcotest.fail "accepted a non-string query"
+
+let test_wire_rejects () =
+  let rejects line =
+    match Wire.parse_request line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" line
+  in
+  rejects "not json at all";
+  rejects {|[1,2,3]|};
+  rejects {|{"id":1}|};
+  rejects {|{"op":"transmogrify"}|};
+  rejects {|{"op":"query"}|};
+  rejects {|{"op":"query","query":"q() :- e(X).","ladder":"yes"}|}
+
+let test_wire_response_encoding () =
+  let reparse r =
+    match Jsonl.parse (Wire.response_to_string r) with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "unparseable response: %s" msg
+  in
+  let failed =
+    reparse (Wire.Failed (Json.Int 3, Wire.Aborted "deadline", "too slow"))
+  in
+  check_bool "error status" true
+    (Wire.field failed "status" = Some (Json.String "error"));
+  check_bool "typed kind" true
+    (Wire.field failed "kind" = Some (Json.String "abort"));
+  check_bool "abort reason label" true
+    (Wire.field failed "reason" = Some (Json.String "deadline"));
+  let shed = reparse (Wire.Failed (Json.Null, Wire.Overloaded, "full")) in
+  check_bool "overloaded kind" true
+    (Wire.field shed "kind" = Some (Json.String "overloaded"))
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization                                                    *)
+
+(* A variable bijection plus an atom permutation: the template-instance
+   transformations the plan cache must see through. *)
+let scramble ~seed cq =
+  let rng = Graphlib.Rng.make seed in
+  let vars = Array.of_list (Cq.vars cq) in
+  let images = Array.copy vars in
+  Graphlib.Rng.shuffle rng images;
+  let map = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.replace map v images.(i)) vars;
+  let rename v = Hashtbl.find map v in
+  let atoms =
+    List.map
+      (fun a -> { Cq.rel = a.Cq.rel; vars = List.map rename a.Cq.vars })
+      cq.Cq.atoms
+  in
+  let atoms = Graphlib.Rng.shuffle_list rng atoms in
+  Cq.make ~atoms ~free:(List.map rename cq.Cq.free)
+
+let parse_q text = (Conjunctive.Parse.query_exn text).Conjunctive.Parse.query
+
+let test_canon_isomorphic_queries_agree () =
+  let a = parse_q "ans(X,Z) :- edge(X,Y), edge(Y,Z)." in
+  let b = parse_q "p(A,C) :- edge(B,C), edge(A,B)." in
+  let ca = Canon.canonicalize a and cb = Canon.canonicalize b in
+  check_bool "isomorphic queries share a canonical form" true
+    (Canon.equal ca cb);
+  check_int "and a hash" ca.Canon.hash cb.Canon.hash
+
+let test_canon_distinguishes_structure () =
+  let path = parse_q "q(X,Z) :- edge(X,Y), edge(Y,Z)." in
+  let fork = parse_q "q(Y,Z) :- edge(X,Y), edge(X,Z)." in
+  check_bool "path and fork differ" false
+    (Canon.equal (Canon.canonicalize path) (Canon.canonicalize fork));
+  let free_first = parse_q "q(X) :- edge(X,Y)." in
+  let free_second = parse_q "q(Y) :- edge(X,Y)." in
+  check_bool "free position matters" false
+    (Canon.equal
+       (Canon.canonicalize free_first)
+       (Canon.canonicalize free_second))
+
+let test_canon_idempotent () =
+  let cq = parse_q "q(X,Z) :- edge(X,Y), edge(Y,Z), edge(Z,W)." in
+  let c = Canon.canonicalize cq in
+  let c' = Canon.canonicalize c.Canon.query in
+  check_bool "canonical form is a fixpoint" true (Canon.equal c c')
+
+let test_canon_rename_is_faithful () =
+  let cq = parse_q "q(X,Z) :- edge(X,Y), edge(Y,Z)." in
+  let c = Canon.canonicalize cq in
+  (* to_canonical applied to the source query must give the canonical
+     query's atoms (up to the atom sort) and free list. *)
+  let renamed_free = List.map (Canon.rename c) cq.Cq.free in
+  check_bool "free list renamed in order" true
+    (renamed_free = c.Canon.query.Cq.free);
+  List.iter
+    (fun a ->
+      let image = List.map (Canon.rename c) a.Cq.vars in
+      check_bool "every source atom appears renamed" true
+        (List.exists
+           (fun b -> b.Cq.rel = a.Cq.rel && b.Cq.vars = image)
+           c.Canon.query.Cq.atoms))
+    cq.Cq.atoms
+
+let canon_invariance_prop =
+  qtest ~count:60 "canonical form is renaming/permutation invariant"
+    QCheck.(pair Helpers.graph_arbitrary small_int)
+    (fun (g, seed) ->
+      let cq =
+        coloring_query ~mode:(Conjunctive.Encode.Fraction 0.4) ~seed:3 g
+      in
+      let scrambled = scramble ~seed cq in
+      Canon.equal (Canon.canonicalize cq) (Canon.canonicalize scrambled))
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache                                                          *)
+
+let test_cache_counters_and_lru () =
+  let c = Serve.Plan_cache.create ~capacity:2 () in
+  let v, hit = Serve.Plan_cache.find_or_add c "a" (fun () -> 1) in
+  check_bool "first lookup misses" false hit;
+  check_int "compiled value returned" 1 v;
+  let v, hit = Serve.Plan_cache.find_or_add c "a" (fun () -> 99) in
+  check_bool "second lookup hits" true hit;
+  check_int "cached value, not recompiled" 1 v;
+  ignore (Serve.Plan_cache.find_or_add c "b" (fun () -> 2));
+  (* touch "a" so "b" is the LRU entry when "c" arrives *)
+  ignore (Serve.Plan_cache.find c "a");
+  ignore (Serve.Plan_cache.find_or_add c "c" (fun () -> 3));
+  check_int "capacity bound holds" 2 (Serve.Plan_cache.size c);
+  check_int "one eviction" 1 (Serve.Plan_cache.evictions c);
+  check_bool "LRU entry evicted" true (Serve.Plan_cache.find c "b" = None);
+  check_bool "recently used entry survives" true
+    (Serve.Plan_cache.find c "a" = Some 1)
+
+let test_cache_racing_insert_keeps_first () =
+  let c = Serve.Plan_cache.create () in
+  let first = Serve.Plan_cache.add c "k" [ 1 ] in
+  let second = Serve.Plan_cache.add c "k" [ 2 ] in
+  check_bool "first insert wins" true (first == second && first = [ 1 ])
+
+let test_cache_key_injective_on_templates () =
+  let key text =
+    Serve.Plan_cache.key_of
+      ~canon:(Canon.canonicalize (parse_q text))
+      ~meth:"bucket-elimination"
+  in
+  Alcotest.(check string)
+    "isomorphic instantiations share a key"
+    (key "q(X,Z) :- edge(X,Y), edge(Y,Z).")
+    (key "p(A,C) :- edge(B,C), edge(A,B).");
+  check_bool "different structures get different keys" true
+    (key "q(X,Z) :- edge(X,Y), edge(Y,Z)."
+    <> key "q(Y,Z) :- edge(X,Y), edge(X,Z).");
+  check_bool "the method is part of the key" true
+    (Serve.Plan_cache.key_of
+       ~canon:(Canon.canonicalize (parse_q "q(X) :- edge(X,Y)."))
+       ~meth:"wcoj"
+    <> Serve.Plan_cache.key_of
+         ~canon:(Canon.canonicalize (parse_q "q(X) :- edge(X,Y)."))
+         ~meth:"reordering")
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+
+let query_req ?(id = Json.Null) ?(meth = "bucket-elimination") ?(ladder = true)
+    ?deadline_ms ?max_tuples ?max_total ?fuel ?max_answers ?chaos ?(seed = 0)
+    text =
+  Wire.Query
+    {
+      Wire.id;
+      text;
+      meth;
+      ladder;
+      deadline_ms;
+      max_tuples;
+      max_total;
+      fuel;
+      max_answers;
+      chaos;
+      seed;
+    }
+
+let with_engine ?config f =
+  let e = Serve.Engine.create ?config coloring_db in
+  Fun.protect ~finally:(fun () -> Serve.Engine.stop e) (fun () -> f e)
+
+let test_engine_answers_match_direct_run () =
+  with_engine @@ fun e ->
+  match Serve.Engine.submit e (query_req "ans(X,Y) :- edge(X,Y).") with
+  | Wire.Answer (_, a) ->
+    check_int "cardinality" 6 a.Wire.cardinality;
+    check_bool "nonempty" true a.Wire.nonempty;
+    check_bool "all rows returned" false a.Wire.truncated;
+    let expected =
+      [ [ 1; 2 ]; [ 1; 3 ]; [ 2; 1 ]; [ 2; 3 ]; [ 3; 1 ]; [ 3; 2 ] ]
+    in
+    check_bool "rows in free order" true
+      (List.sort compare a.Wire.answers = expected)
+  | r -> Alcotest.failf "expected an answer, got %s" (Wire.response_to_string r)
+
+let test_engine_boolean_and_truncation () =
+  with_engine @@ fun e ->
+  (match Serve.Engine.submit e (query_req "q() :- edge(X,Y), edge(Y,X).") with
+  | Wire.Answer (_, a) ->
+    check_bool "boolean query reports satisfiability" true a.Wire.nonempty;
+    check_bool "no rows for an empty head" true (a.Wire.answers = [])
+  | r -> Alcotest.failf "boolean query failed: %s" (Wire.response_to_string r));
+  match
+    Serve.Engine.submit e (query_req ~max_answers:2 "ans(X,Y) :- edge(X,Y).")
+  with
+  | Wire.Answer (_, a) ->
+    check_int "row cap respected" 2 (List.length a.Wire.answers);
+    check_bool "truncation flagged" true a.Wire.truncated;
+    check_int "true cardinality still reported" 6 a.Wire.cardinality
+  | r -> Alcotest.failf "truncated query failed: %s" (Wire.response_to_string r)
+
+let test_engine_cache_hits_are_tuple_identical () =
+  with_engine @@ fun e ->
+  let ask text =
+    match Serve.Engine.submit e (query_req text) with
+    | Wire.Answer (_, a) -> a
+    | r -> Alcotest.failf "query failed: %s" (Wire.response_to_string r)
+  in
+  let cold = ask "ans(X,Z) :- edge(X,Y), edge(Y,Z)." in
+  check_bool "first run misses" false cold.Wire.cache_hit;
+  let warm = ask "ans(X,Z) :- edge(X,Y), edge(Y,Z)." in
+  check_bool "identical resubmission hits" true warm.Wire.cache_hit;
+  check_bool "hit returns identical tuples" true
+    (cold.Wire.answers = warm.Wire.answers);
+  let renamed = ask "out(P,R) :- edge(Q,R), edge(P,Q)." in
+  check_bool "isomorphic instantiation hits" true renamed.Wire.cache_hit;
+  check_bool "renamed instantiation gets identical tuples" true
+    (cold.Wire.answers = renamed.Wire.answers)
+
+(* The acceptance property: for random templates, a plan-cache hit
+   produces exactly the tuples a cold evaluation produces. *)
+let engine_cache_identity_prop =
+  qtest ~count:25 "cache hits are tuple-identical on random templates"
+    QCheck.(pair Helpers.tiny_graph_arbitrary small_int)
+    (fun (g, seed) ->
+      let cq =
+        coloring_query ~mode:(Conjunctive.Encode.Fraction 0.5) ~seed:5 g
+      in
+      let text cq =
+        let var v = Printf.sprintf "V%d" v in
+        Printf.sprintf "q(%s) :- %s."
+          (String.concat ", " (List.map var cq.Cq.free))
+          (String.concat ", "
+             (List.map
+                (fun a ->
+                  Printf.sprintf "%s(%s)" a.Cq.rel
+                    (String.concat ", " (List.map var a.Cq.vars)))
+                cq.Cq.atoms))
+      in
+      with_engine @@ fun e ->
+      let ask t =
+        match Serve.Engine.submit e (query_req ~max_answers:10_000 t) with
+        | Wire.Answer (_, a) -> (List.sort compare a.Wire.answers, a.Wire.cache_hit)
+        | r ->
+          QCheck.Test.fail_reportf "query failed: %s" (Wire.response_to_string r)
+      in
+      let cold, hit0 = ask (text cq) in
+      let warm, hit1 = ask (text (scramble ~seed cq)) in
+      (not hit0) && hit1 && cold = warm)
+
+let test_engine_typed_failures () =
+  with_engine @@ fun e ->
+  let kind_of r =
+    match r with
+    | Wire.Failed (_, kind, _) -> Wire.error_kind_label kind
+    | r -> Alcotest.failf "expected a failure, got %s" (Wire.response_to_string r)
+  in
+  Alcotest.(check string)
+    "unparseable query text" "parse"
+    (kind_of (Serve.Engine.submit e (query_req "this is not datalog (")));
+  Alcotest.(check string)
+    "unknown method" "bad-request"
+    (kind_of (Serve.Engine.submit e (query_req ~meth:"quantum" "q() :- edge(X,Y).")));
+  Alcotest.(check string)
+    "bad chaos spec" "bad-request"
+    (kind_of
+       (Serve.Engine.submit e (query_req ~chaos:"frobnicate:1" "q() :- edge(X,Y).")));
+  (match
+     Serve.Engine.submit e
+       (query_req ~ladder:false ~max_tuples:1 "ans(X,Y) :- edge(X,Y).")
+   with
+  | Wire.Failed (_, Wire.Aborted "cardinality", _) -> ()
+  | r -> Alcotest.failf "expected a cardinality abort: %s" (Wire.response_to_string r));
+  (* crash containment: a query over a relation the database lacks is an
+     internal error for that session only *)
+  Alcotest.(check string)
+    "missing relation contained" "internal"
+    (kind_of (Serve.Engine.submit e (query_req "q(X) :- nonexistent(X, Y).")));
+  match Serve.Engine.submit e (query_req "ans(X,Y) :- edge(X,Y).") with
+  | Wire.Answer _ -> ()
+  | r ->
+    Alcotest.failf "engine should survive a crashed session: %s"
+      (Wire.response_to_string r)
+
+let test_engine_deadline_sheds_typed () =
+  with_engine @@ fun e ->
+  (* a 100ms stall against a 30ms deadline: the ladder stops immediately
+     because the overall deadline is exhausted mid-rung *)
+  match
+    Serve.Engine.submit e
+      (query_req ~deadline_ms:30 ~chaos:"stall:1:0.1"
+         "ans(X,Z) :- edge(X,Y), edge(Y,Z).")
+  with
+  | Wire.Failed (_, Wire.Aborted "deadline", _) -> ()
+  | r -> Alcotest.failf "expected a deadline abort: %s" (Wire.response_to_string r)
+
+let collect_async e reqs =
+  let lock = Mutex.create () in
+  let done_ = Condition.create () in
+  let got = ref [] in
+  let n = List.length reqs in
+  List.iter
+    (fun r ->
+      Serve.Engine.submit_async e r ~reply:(fun resp ->
+          Mutex.lock lock;
+          got := resp :: !got;
+          if List.length !got = n then Condition.signal done_;
+          Mutex.unlock lock))
+    reqs;
+  Mutex.lock lock;
+  while List.length !got < n do
+    Condition.wait done_ lock
+  done;
+  let r = !got in
+  Mutex.unlock lock;
+  r
+
+let test_engine_admission_control () =
+  let config =
+    {
+      Serve.Engine.default_config with
+      Serve.Engine.workers = 1;
+      queue_depth = 2;
+    }
+  in
+  with_engine ~config @@ fun e ->
+  (* the first request stalls its worker long enough for the flood
+     behind it to pile onto the bounded queue *)
+  let stall =
+    query_req ~id:(Json.String "stall") ~chaos:"stall:1:0.4"
+      "ans(X,Y) :- edge(X,Y)."
+  in
+  let flood =
+    List.init 8 (fun i ->
+        query_req ~id:(Json.Int i) "ans(X,Z) :- edge(X,Y), edge(Y,Z).")
+  in
+  let responses = collect_async e (stall :: flood) in
+  let shed, rest =
+    List.partition
+      (function Wire.Failed (_, Wire.Overloaded, _) -> true | _ -> false)
+      responses
+  in
+  check_int "every request answered exactly once" 9 (List.length responses);
+  check_bool "admission control shed the overflow" true
+    (List.length shed >= 1);
+  List.iter
+    (fun r ->
+      match r with
+      | Wire.Answer _ | Wire.Failed (_, Wire.Overloaded, _) -> ()
+      | r ->
+        Alcotest.failf "unexpected response under load: %s"
+          (Wire.response_to_string r))
+    rest
+
+let test_engine_drain_and_shutdown () =
+  let config =
+    { Serve.Engine.default_config with Serve.Engine.workers = 1 }
+  in
+  let e = Serve.Engine.create ~config coloring_db in
+  let lock = Mutex.create () in
+  let answered = ref 0 in
+  let submit_one i =
+    Serve.Engine.submit_async e
+      (query_req ~id:(Json.Int i) ~chaos:"stall:1:0.05" "ans(X,Y) :- edge(X,Y).")
+      ~reply:(fun r ->
+        match r with
+        | Wire.Answer _ ->
+          Mutex.lock lock;
+          incr answered;
+          Mutex.unlock lock
+        | r ->
+          Alcotest.failf "queued request not answered on drain: %s"
+            (Wire.response_to_string r))
+  in
+  List.iter submit_one [ 0; 1; 2; 3 ];
+  (* stop must answer all four queued sessions before returning *)
+  Serve.Engine.stop e;
+  check_int "every queued request answered before stop returned" 4 !answered;
+  match Serve.Engine.submit e (query_req "q() :- edge(X,Y).") with
+  | Wire.Failed (_, Wire.Shutting_down, _) -> ()
+  | r ->
+    Alcotest.failf "post-stop submission should be refused: %s"
+      (Wire.response_to_string r)
+
+(* ------------------------------------------------------------------ *)
+(* Socket server                                                       *)
+
+let connect_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let send_line oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let with_server ?config f =
+  let server =
+    Serve.Server.start ?config ~db:coloring_db
+      (Serve.Server.Tcp ("127.0.0.1", 0))
+  in
+  let port =
+    match Serve.Server.bound_address server with
+    | Serve.Server.Tcp (_, p) -> p
+    | _ -> Alcotest.fail "expected a TCP address"
+  in
+  Fun.protect ~finally:(fun () -> Serve.Server.stop server) (fun () -> f server port)
+
+let test_server_end_to_end () =
+  with_server @@ fun _server port ->
+  let fd, ic, oc = connect_tcp port in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let ask line =
+    send_line oc line;
+    match Jsonl.parse (input_line ic) with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "bad response: %s" msg
+  in
+  let pong = ask {|{"op":"ping","id":1}|} in
+  check_bool "ping answers" true (Wire.field pong "pong" = Some (Json.Bool true));
+  let ans = ask {|{"op":"query","id":2,"query":"ans(X,Y) :- edge(X,Y)."}|} in
+  check_bool "query ok" true
+    (Wire.field ans "status" = Some (Json.String "ok"));
+  check_bool "cardinality over the wire" true
+    (Wire.field ans "cardinality" = Some (Json.Int 6));
+  let bad = ask "}{ not json" in
+  check_bool "malformed line gets a typed parse error" true
+    (Wire.field bad "kind" = Some (Json.String "parse"));
+  let stats = ask {|{"op":"stats","id":3}|} in
+  check_bool "stats counts the requests" true
+    (match Wire.field stats "requests" with
+    | Some (Json.Int n) -> n >= 1
+    | _ -> false);
+  let metrics = ask {|{"op":"metrics","id":4}|} in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "metrics dump mentions serving counters" true
+    (match Wire.field metrics "metrics" with
+    | Some (Json.String text) -> contains text "serve.requests"
+    | _ -> false)
+
+let test_server_concurrent_clients () =
+  with_server @@ fun _server port ->
+  let clients = 6 and per_client = 4 in
+  let errors = Mutex.create () and failed = ref [] in
+  let client c =
+    let fd, ic, oc = connect_tcp port in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        for i = 0 to per_client - 1 do
+          send_line oc
+            (Printf.sprintf
+               {|{"op":"query","id":%d,"query":"ans(X,Z) :- edge(X,Y), edge(Y,Z)."}|}
+               ((c * per_client) + i))
+        done;
+        let seen = ref [] in
+        for _ = 1 to per_client do
+          match Jsonl.parse (input_line ic) with
+          | Ok v -> (
+            match (Wire.field v "id", Wire.field v "status") with
+            | Some (Json.Int id), Some (Json.String "ok") -> seen := id :: !seen
+            | _, _ ->
+              Mutex.lock errors;
+              failed := Json.to_string v :: !failed;
+              Mutex.unlock errors)
+          | Error msg ->
+            Mutex.lock errors;
+            failed := msg :: !failed;
+            Mutex.unlock errors
+        done;
+        let expected = List.init per_client (fun i -> (c * per_client) + i) in
+        if List.sort compare !seen <> expected then begin
+          Mutex.lock errors;
+          failed := Printf.sprintf "client %d: wrong ids" c :: !failed;
+          Mutex.unlock errors
+        end)
+  in
+  let threads = List.init clients (fun c -> Thread.create client c) in
+  List.iter Thread.join threads;
+  check_bool
+    (Printf.sprintf "all clients served cleanly: %s"
+       (String.concat "; " !failed))
+    true (!failed = [])
+
+let test_server_unix_socket_and_drain () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ppr-serve-test-%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Serve.Server.start ~db:coloring_db (Serve.Server.Unix_socket path)
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (* a stalled query left in flight when stop begins: the drain must
+     still answer it before the server returns from stop *)
+  send_line oc
+    {|{"op":"query","id":1,"chaos":"stall:1:0.2","query":"ans(X,Y) :- edge(X,Y)."}|};
+  Thread.delay 0.05;
+  let stopper = Thread.create (fun () -> Serve.Server.stop server) () in
+  let response = Jsonl.parse (input_line ic) in
+  Thread.join stopper;
+  (match response with
+  | Ok v ->
+    check_bool "in-flight session answered during drain" true
+      (Wire.field v "status" = Some (Json.String "ok"))
+  | Error msg -> Alcotest.failf "drain dropped the in-flight session: %s" msg);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  check_bool "socket file removed on shutdown" false (Sys.file_exists path)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "jsonl",
+        [
+          Alcotest.test_case "round trips" `Quick test_jsonl_round_trips;
+          Alcotest.test_case "escapes and numbers" `Quick
+            test_jsonl_escapes_and_numbers;
+          Alcotest.test_case "rejects garbage" `Quick test_jsonl_rejects_garbage;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "defaults" `Quick test_wire_defaults;
+          Alcotest.test_case "type errors keep the id" `Quick
+            test_wire_type_errors_keep_id;
+          Alcotest.test_case "rejects bad requests" `Quick test_wire_rejects;
+          Alcotest.test_case "response encoding" `Quick
+            test_wire_response_encoding;
+        ] );
+      ( "canon",
+        [
+          Alcotest.test_case "isomorphic queries agree" `Quick
+            test_canon_isomorphic_queries_agree;
+          Alcotest.test_case "distinguishes structure" `Quick
+            test_canon_distinguishes_structure;
+          Alcotest.test_case "idempotent" `Quick test_canon_idempotent;
+          Alcotest.test_case "renaming is faithful" `Quick
+            test_canon_rename_is_faithful;
+          canon_invariance_prop;
+        ] );
+      ( "plan cache",
+        [
+          Alcotest.test_case "counters and LRU" `Quick
+            test_cache_counters_and_lru;
+          Alcotest.test_case "racing insert keeps first" `Quick
+            test_cache_racing_insert_keeps_first;
+          Alcotest.test_case "key injectivity" `Quick
+            test_cache_key_injective_on_templates;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "answers match direct run" `Quick
+            test_engine_answers_match_direct_run;
+          Alcotest.test_case "boolean and truncation" `Quick
+            test_engine_boolean_and_truncation;
+          Alcotest.test_case "cache hits are tuple-identical" `Quick
+            test_engine_cache_hits_are_tuple_identical;
+          engine_cache_identity_prop;
+          Alcotest.test_case "typed failures and containment" `Quick
+            test_engine_typed_failures;
+          Alcotest.test_case "deadline sheds typed" `Quick
+            test_engine_deadline_sheds_typed;
+          Alcotest.test_case "admission control" `Quick
+            test_engine_admission_control;
+          Alcotest.test_case "drain and shutdown" `Quick
+            test_engine_drain_and_shutdown;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "end to end" `Quick test_server_end_to_end;
+          Alcotest.test_case "concurrent clients" `Quick
+            test_server_concurrent_clients;
+          Alcotest.test_case "unix socket and drain" `Quick
+            test_server_unix_socket_and_drain;
+        ] );
+    ]

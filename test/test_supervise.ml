@@ -155,6 +155,51 @@ let test_chaos_seeded_deterministic () =
        (fun s -> trigger (fault s) <> trigger (fault 42))
        [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ])
 
+let test_chaos_stall_then_deadline () =
+  (* The latency fault with a fake clock: the stall "sleeps" by
+     advancing the clock the deadline reads, so stall-then-deadline is
+     instant and fully deterministic. *)
+  let now = ref 0.0 in
+  let clock () = !now in
+  let sleeper s = now := !now +. s in
+  let limits =
+    Limits.create ~deadline_seconds:5.0 ~clock ~check_interval:1 ()
+  in
+  Supervise.Chaos.arm
+    (Supervise.Chaos.stall_at_operator ~sleeper ~seconds:60.0 2)
+    ~attempt:0 limits;
+  let o =
+    Driver.run ~ctx:(Relalg.Ctx.create ~limits ()) Driver.Bucket_elimination
+      coloring_db pentagon_cq
+  in
+  (match Driver.abort_reason o with
+  | Some Limits.Deadline -> ()
+  | _ -> Alcotest.fail "the stall should push the run past its deadline");
+  Alcotest.(check (float 1e-9)) "stalled exactly once" 60.0 !now
+
+let test_chaos_stall_rescued_by_ladder () =
+  (* End to end through the supervisor: rung 0 stalls past its deadline,
+     rung 1 (fault out of scope, stall already fired) completes. *)
+  let now = ref 0.0 in
+  let clock () = !now in
+  let sleeper s = now := !now +. s in
+  let chaos =
+    Supervise.Chaos.stall_at_operator ~attempts:[ 0 ] ~sleeper ~seconds:60.0 1
+  in
+  let budget = Supervise.Budget.with_deadline 5.0 Supervise.Budget.default in
+  let report =
+    Supervise.run ~clock ~chaos ~budget Driver.Bucket_elimination coloring_db
+      pentagon_cq
+  in
+  (match report.Supervise.attempts with
+  | first :: _ -> (
+    match Driver.abort_reason first.Supervise.outcome with
+    | Some Limits.Deadline -> ()
+    | _ -> Alcotest.fail "rung 0 should die of the stalled deadline")
+  | [] -> Alcotest.fail "no attempts recorded");
+  check_bool "a later rung rescues the stalled run" true
+    report.Supervise.rescued
+
 (* ------------------------------------------------------------------ *)
 (* Budget                                                              *)
 
@@ -299,6 +344,95 @@ let test_deterministic_reports () =
   check_bool "same seeds, same report" true (run () = run ())
 
 (* ------------------------------------------------------------------ *)
+(* Overall deadlines                                                   *)
+
+let test_backoff_capped_by_overall_deadline () =
+  (* A frozen clock isolates the cap: with 10s of overall deadline and a
+     backoff base of 100s, every recorded pause must be clamped to the
+     remainder instead of the jittered 50-150s it would otherwise be. *)
+  let now = ref 0.0 in
+  let clock () = !now in
+  let chaos = Supervise.Chaos.at_operator 1 in
+  let report =
+    Supervise.run ~clock ~chaos ~backoff_base:100.0
+      ~overall_deadline_seconds:10.0 Driver.Bucket_elimination coloring_db
+      pentagon_cq
+  in
+  check_bool "sabotaged everywhere: no result" true
+    (Option.is_none report.Supervise.result);
+  List.iteri
+    (fun i a ->
+      if i > 0 then begin
+        check_bool "retries still back off" true
+          (a.Supervise.backoff_seconds > 0.0);
+        check_bool "no pause ever exceeds the remaining deadline" true
+          (a.Supervise.backoff_seconds <= 10.0 +. 1e-9)
+      end)
+    report.Supervise.attempts
+
+let test_ladder_stops_at_overall_deadline () =
+  (* A stepping clock burns one "second" per read: with a 2s overall
+     deadline the remainder hits zero before the 4-rung ladder is
+     exhausted, and the walk stops early. *)
+  let chaos = Supervise.Chaos.at_operator 1 in
+  let report =
+    Supervise.run ~clock:(stepping_clock ()) ~chaos
+      ~overall_deadline_seconds:2.0 Driver.Bucket_elimination coloring_db
+      pentagon_cq
+  in
+  check_bool "ladder cut short by the overall deadline" true
+    (List.length report.Supervise.attempts
+    < List.length (Supervise.default_ladder Driver.Bucket_elimination));
+  check_bool "at least one attempt was made" true
+    (report.Supervise.attempts <> []);
+  check_bool "no result" true (Option.is_none report.Supervise.result)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent supervised runs                                          *)
+
+let test_concurrent_runs_share_metrics_registry () =
+  (* Four domains run supervised ladders concurrently into one metrics
+     registry (the serving engine's setup: shared registry, per-session
+     telemetry). Counters must aggregate exactly; no crashes, no lost
+     updates. *)
+  let metrics = Telemetry.Metrics.create () in
+  let iterations = 5 in
+  let worker i () =
+    let ok = ref 0 in
+    for j = 1 to iterations do
+      let telemetry = Telemetry.create ~metrics Telemetry.Sink.null in
+      Fun.protect
+        ~finally:(fun () -> Telemetry.close telemetry)
+        (fun () ->
+          let ctx = Relalg.Ctx.create ~telemetry () in
+          let chaos =
+            (* half the runs are sabotaged on rung 0 and must rescue *)
+            if (i + j) mod 2 = 0 then
+              Some (Supervise.Chaos.at_operator ~attempts:[ 0 ] 1)
+            else None
+          in
+          let report =
+            Supervise.run ?chaos ~ctx Driver.Bucket_elimination coloring_db
+              pentagon_cq
+          in
+          if Option.is_some report.Supervise.result then incr ok)
+    done;
+    !ok
+  in
+  let domains = Array.init 4 (fun i -> Domain.spawn (worker i)) in
+  let oks = Array.map Domain.join domains in
+  check_int "every supervised run completed" (4 * iterations)
+    (Array.fold_left ( + ) 0 oks);
+  let count name =
+    Telemetry.Metrics.value (Telemetry.Metrics.counter metrics name)
+  in
+  check_int "runs aggregate across domains" (4 * iterations)
+    (count "supervise.runs");
+  check_int "rescues counted exactly" (4 * iterations / 2)
+    (count "supervise.rescues");
+  check_int "nothing exhausted" 0 (count "supervise.exhausted")
+
+(* ------------------------------------------------------------------ *)
 (* Sweep integration                                                   *)
 
 let test_sweep_counts_rescues () =
@@ -373,6 +507,10 @@ let () =
             test_chaos_out_of_scope_attempt;
           Alcotest.test_case "seeded determinism" `Quick
             test_chaos_seeded_deterministic;
+          Alcotest.test_case "stall then deadline" `Quick
+            test_chaos_stall_then_deadline;
+          Alcotest.test_case "stall rescued by ladder" `Quick
+            test_chaos_stall_rescued_by_ladder;
         ] );
       ( "budget",
         [ Alcotest.test_case "scaling" `Quick test_budget_scale ] );
@@ -389,6 +527,12 @@ let () =
             test_per_rung_budget_scaling_and_backoff;
           Alcotest.test_case "deterministic reports" `Quick
             test_deterministic_reports;
+          Alcotest.test_case "backoff capped by overall deadline" `Quick
+            test_backoff_capped_by_overall_deadline;
+          Alcotest.test_case "stops at overall deadline" `Quick
+            test_ladder_stops_at_overall_deadline;
+          Alcotest.test_case "concurrent runs share a registry" `Quick
+            test_concurrent_runs_share_metrics_registry;
         ] );
       ( "sweep",
         [
