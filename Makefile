@@ -1,4 +1,4 @@
-.PHONY: all check build test bench bench-smoke bench-compare bench-parallel bench-wcoj serve-soak fmt clean
+.PHONY: all check build test bench bench-smoke bench-compare bench-parallel bench-wcoj bench-ghd serve-soak fmt clean
 
 all: check
 
@@ -55,6 +55,18 @@ bench-parallel:
 # BENCH_results.json under "wcoj_comparison".
 bench-wcoj:
 	dune exec bench/wcoj_bench.exe -- --json BENCH_results.json
+
+# Decomposition gate: an identity sweep (random densities x seeds x
+# encoding modes plus the structured families) where the forced GHD
+# evaluator, the three-bound gated path, and bucket elimination must
+# produce identical tuple sets — enforced always — plus the 6x6-grid
+# cyclic low-htw panel where the gate must pick the decomposition and
+# it must be >= 1.1x faster than the bucket plan (PPR_GHD_GATE_MIN
+# overrides the threshold, 0 disables), and a warn-only jobs=4 vs
+# jobs=1 adaptive-sweep wall-time check. The verdict lands in
+# BENCH_results.json under "ghd_comparison".
+bench-ghd:
+	dune exec bench/ghd_bench.exe -- --json BENCH_results.json
 
 # Serving soak gate: an in-process daemon on a real socket under ~200
 # concurrent requests of mixed health (valid isomorphic templates,

@@ -188,9 +188,12 @@ let method_arg =
     & info [ "method"; "m" ] ~docv:"METHOD"
         ~doc:
           "Evaluation method (naive, straightforward, early-projection, \
-           reordering, bucket-elimination, hybrid, wcoj); the paper's five \
-           when omitted. wcoj is the worst-case-optimal generic join, \
-           gated per query by the AGM bound.")
+           reordering, bucket-elimination, hybrid, wcoj, ghd); the paper's \
+           five when omitted. wcoj is the worst-case-optimal generic join, \
+           gated per query by the AGM bound; ghd is Yannakakis over a \
+           generalized hypertree decomposition, routed per query among \
+           bucket elimination, the generic join and GHD-Yannakakis by a \
+           three-bound structural gate.")
 
 let sql_of_method cq name =
   let rng = Graphlib.Rng.make 17 in
@@ -381,6 +384,7 @@ let run_cmd =
       | Some "bucket-elimination" -> [ Ppr_core.Driver.Bucket_elimination ]
       | Some "hybrid" -> [ Ppr_core.Driver.Hybrid ]
       | Some "wcoj" -> [ Ppr_core.Driver.Wcoj ]
+      | Some "ghd" -> [ Ppr_core.Driver.Ghd ]
       | Some other -> failwith (Printf.sprintf "unknown method %S" other)
       | None -> Ppr_core.Driver.all_paper_methods
     in
@@ -490,6 +494,7 @@ let explain_cmd =
       | Some "reordering" -> Ppr_core.Driver.Reorder
       | Some "bucket-elimination" | None -> Ppr_core.Driver.Bucket_elimination
       | Some "wcoj" -> Ppr_core.Driver.Wcoj
+      | Some "ghd" -> Ppr_core.Driver.Ghd
       | Some other -> failwith (Printf.sprintf "unknown method %S" other)
     in
     let plan = Ppr_core.Driver.compile ~rng:(Graphlib.Rng.make (seed + 31)) meth db cq in
@@ -539,9 +544,9 @@ let experiment_cmd =
       & info [ "method"; "m" ] ~docv:"METHOD"
           ~doc:
             "Restrict the standard panels' method columns: 'wcoj' keeps the \
-             four baselines plus the generic join (the default column set), \
-             a baseline name reproduces the paper's original four-column \
-             panels.")
+             four baselines plus the generic join, 'ghd' the four baselines \
+             plus GHD-Yannakakis (all six columns when omitted), a baseline \
+             name reproduces the paper's original four-column panels.")
   in
   let run figure scale seeds csv backend jobs meth =
     apply_backend backend;
@@ -633,6 +638,7 @@ let query_cmd =
       | Some "reordering" -> Ppr_core.Driver.Reorder
       | Some "bucket-elimination" | None -> Ppr_core.Driver.Bucket_elimination
       | Some "wcoj" -> Ppr_core.Driver.Wcoj
+      | Some "ghd" -> Ppr_core.Driver.Ghd
       | Some other -> failwith (Printf.sprintf "unknown method %S" other)
     in
     let ctx = Relalg.Ctx.create ?telemetry ?pool () in
@@ -644,6 +650,12 @@ let query_cmd =
         if show_sql then
           prerr_endline "query: --show-sql is not available with --method wcoj";
         Ppr_core.Exec.run_generic ~ctx db cq
+      | Ppr_core.Driver.Ghd ->
+        (* Likewise no binary plan: bags materialize and the semijoin
+           sweeps run over the decomposition, not a plan tree. *)
+        if show_sql then
+          prerr_endline "query: --show-sql is not available with --method ghd";
+        Ppr_core.Exec.run_ghd ~ctx db cq
       | _ ->
         let plan = Ppr_core.Driver.compile meth db cq in
         if show_sql then
@@ -784,6 +796,17 @@ let serve_cmd =
       & info [ "plan-cache" ] ~docv:"N"
           ~doc:"Plan-cache capacity (compiled artifacts, LRU).")
   in
+  let cache_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-file" ] ~docv:"PATH"
+          ~doc:
+            "Persist the plan cache: restore compiled artifacts from PATH \
+             on start and snapshot them back on drained shutdown, so a \
+             restarted daemon skips re-planning warm queries. Snapshots \
+             from a different ppr binary are ignored.")
+  in
   let deadline_arg =
     Arg.(
       value
@@ -808,8 +831,8 @@ let serve_cmd =
       & info [ "max-tuples" ] ~docv:"N"
           ~doc:"Per-intermediate-relation tuple cap (base budget).")
   in
-  let run socket port host data_dir workers queue_depth cache deadline_ms
-      max_deadline_ms max_tuples jobs =
+  let run socket port host data_dir workers queue_depth cache cache_file
+      deadline_ms max_deadline_ms max_tuples jobs =
     guarded @@ fun () ->
     let pool = make_pool jobs in
     let db =
@@ -832,6 +855,7 @@ let serve_cmd =
         Serve.Engine.workers;
         queue_depth;
         cache_capacity = cache;
+        cache_file;
         default_deadline_ms = deadline_ms;
         max_deadline_ms;
         budget =
@@ -874,8 +898,8 @@ let serve_cmd =
           Unix socket or TCP; see docs/INTERNALS.md for the protocol).")
     Term.(
       const run $ socket_arg $ port_arg $ host_arg $ data_dir $ workers_arg
-      $ queue_arg $ cache_arg $ deadline_arg $ max_deadline_arg
-      $ max_tuples_arg $ jobs_arg)
+      $ queue_arg $ cache_arg $ cache_file_arg $ deadline_arg
+      $ max_deadline_arg $ max_tuples_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 

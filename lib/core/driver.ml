@@ -8,6 +8,7 @@ type meth =
   | Hybrid
   | Hybrid_rank of int
   | Wcoj
+  | Ghd
 
 let all_paper_methods =
   [
@@ -31,6 +32,7 @@ let method_name = function
   | Hybrid -> "hybrid"
   | Hybrid_rank n -> Printf.sprintf "hybrid#%d" n
   | Wcoj -> "wcoj"
+  | Ghd -> "ghd"
 
 type abort = {
   reason : Relalg.Limits.reason;
@@ -73,8 +75,17 @@ let compile ?rng meth db cq =
        the generic join directly when the gate picks it. *)
     let prep = Wcoj.prepare ?rng db cq in
     Bucket.compile ?rng ~order:(Array.of_list prep.Wcoj.order) cq
+  | Ghd ->
+    (* The bucket fallback the three-bound gate compares against; [run]
+       executes the decomposition or the generic join directly when the
+       gate picks them. *)
+    let prep = Ghd.prepare ?rng db cq in
+    Bucket.compile ?rng ~order:(Array.of_list prep.Ghd.var_order) cq
 
-type compiled = Plan of Plan.t | Generic_join of Wcoj.prep
+type compiled =
+  | Plan of Plan.t
+  | Generic_join of Wcoj.prep
+  | Decomposed of Ghd.prep * Plan.t option
 
 let prepare ?rng meth db cq =
   match meth with
@@ -84,6 +95,18 @@ let prepare ?rng meth db cq =
     | Wcoj.Generic -> Generic_join prep
     | Wcoj.Binary ->
       Plan (Bucket.compile ?rng ~order:(Array.of_list prep.Wcoj.order) cq))
+  | Ghd ->
+    let prep = Ghd.prepare ?rng db cq in
+    (* The bucket plan rides along only when the gate picked it, so a
+       cached artifact replays without recompiling; the prep itself is
+       always kept — the three bounds become exec-span attributes. *)
+    let plan =
+      match prep.Ghd.decision with
+      | Ghd.Bucket ->
+        Some (Bucket.compile ?rng ~order:(Array.of_list prep.Ghd.var_order) cq)
+      | Ghd.Generic | Ghd.Ghd -> None
+    in
+    Decomposed (prep, plan)
   | _ -> Plan (compile ?rng meth db cq)
 
 let log_src =
@@ -116,25 +139,38 @@ let run ?rng ?compiled ?(ctx = Relalg.Ctx.null) meth db cq =
     match compiled with
     | Some (Plan plan) -> `Plan plan
     | Some (Generic_join prep) -> `Generic prep
+    | Some (Decomposed (prep, plan)) -> `Ghd (prep, plan)
     | None ->
       in_span "compile" [] (fun () ->
           match prepare ?rng meth db cq with
           | Plan plan -> `Plan plan
-          | Generic_join prep -> `Generic prep)
+          | Generic_join prep -> `Generic prep
+          | Decomposed (prep, plan) -> `Ghd (prep, plan))
   in
   let t1 = clock () in
   (* Analytic width: for a binary plan, its largest node schema; for the
      generic join, the widest unit it ever materializes — an atom or the
-     output. *)
+     output; for a decomposition, its largest bag (the bucket fallback's
+     plan width when the gate picked bucket). *)
+  let generic_width () =
+    List.fold_left
+      (fun acc a -> max acc (List.length (Conjunctive.Cq.atom_vars a)))
+      (List.length cq.Conjunctive.Cq.free)
+      cq.Conjunctive.Cq.atoms
+  in
   let plan_width =
     match planned with
     | `Plan plan -> Plan.width plan
-    | `Generic _ ->
-      List.fold_left
-        (fun acc a ->
-          max acc (List.length (Conjunctive.Cq.atom_vars a)))
-        (List.length cq.Conjunctive.Cq.free)
-        cq.Conjunctive.Cq.atoms
+    | `Generic _ -> generic_width ()
+    | `Ghd (prep, plan) -> (
+      match (prep.Ghd.decision, plan) with
+      | Ghd.Bucket, Some plan -> Plan.width plan
+      | Ghd.Generic, _ -> generic_width ()
+      | _ ->
+        Array.fold_left
+          (fun acc bag -> max acc (Hypergraphs.Hypertree.Iset.cardinal bag))
+          (List.length cq.Conjunctive.Cq.free)
+          prep.Ghd.decomposition.Hypergraphs.Hypertree.chi)
   in
   (match planned with
   | `Plan plan ->
@@ -149,7 +185,16 @@ let run ?rng ?compiled ?(ctx = Relalg.Ctx.null) meth db cq =
            %.2f, induced width %d)"
           name (t1 -. t0) prep.Wcoj.agm.Wcoj.Agm.bound_log2
           prep.Wcoj.binary_bound_log2 prep.Wcoj.agm.Wcoj.Agm.rho
-          prep.Wcoj.induced_width));
+          prep.Wcoj.induced_width)
+  | `Ghd (prep, _) ->
+    Log.debug (fun m ->
+        m
+          "%s: prepared in %.4fs (gate %s: bucket 2^%.2f vs generic 2^%.2f \
+           vs ghd 2^%.2f, htw %d, induced width %d)"
+          name (t1 -. t0)
+          (Ghd.decision_name prep.Ghd.decision)
+          prep.Ghd.binary_bound_log2 prep.Ghd.agm.Wcoj.Agm.bound_log2
+          prep.Ghd.ghd_bound_log2 prep.Ghd.htw prep.Ghd.induced_width));
   let stats = Relalg.Stats.create () in
   let limits =
     match Relalg.Ctx.limits ctx with
@@ -165,7 +210,7 @@ let run ?rng ?compiled ?(ctx = Relalg.Ctx.null) meth db cq =
     (match (meth, planned) with
     | Wcoj, _ -> (
       let decision =
-        match planned with `Generic _ -> Wcoj.Generic | `Plan _ -> Wcoj.Binary
+        match planned with `Generic _ -> Wcoj.Generic | _ -> Wcoj.Binary
       in
       [ ("wcoj.decision", Telemetry.Attr.String (Wcoj.decision_name decision)) ]
       @
@@ -177,7 +222,19 @@ let run ?rng ?compiled ?(ctx = Relalg.Ctx.null) meth db cq =
           ( "wcoj.binary_bound_log2",
             Telemetry.Attr.Float prep.Wcoj.binary_bound_log2 );
         ]
-      | `Plan _ -> [])
+      | _ -> [])
+    | Ghd, `Ghd (prep, _) ->
+      (* The three-bound gate: decision plus all three bounds, on the
+         shared log2-tuples cost scale, land on every exec span. *)
+      [
+        ("ghd.decision", Telemetry.Attr.String (Ghd.decision_name prep.Ghd.decision));
+        ("ghd.binary_bound_log2", Telemetry.Attr.Float prep.Ghd.binary_bound_log2);
+        ( "ghd.agm_bound_log2",
+          Telemetry.Attr.Float prep.Ghd.agm.Wcoj.Agm.bound_log2 );
+        ("ghd.ghd_bound_log2", Telemetry.Attr.Float prep.Ghd.ghd_bound_log2);
+        ("ghd.htw", Telemetry.Attr.Int prep.Ghd.htw);
+        ("ghd.induced_width", Telemetry.Attr.Int prep.Ghd.induced_width);
+      ]
     | _ -> [])
   in
   let result, status =
@@ -188,6 +245,17 @@ let run ?rng ?compiled ?(ctx = Relalg.Ctx.null) meth db cq =
             | `Plan plan -> Exec.run ~ctx:exec_ctx db plan
             | `Generic prep ->
               Exec.run_generic ~ctx:exec_ctx ~order:prep.Wcoj.order db cq
+            | `Ghd (prep, plan) -> (
+              match (prep.Ghd.decision, plan) with
+              | Ghd.Ghd, _ -> Exec.run_ghd ~ctx:exec_ctx ~prep db cq
+              | Ghd.Generic, _ ->
+                Exec.run_generic ~ctx:exec_ctx ~order:prep.Ghd.var_order db cq
+              | Ghd.Bucket, Some plan -> Exec.run ~ctx:exec_ctx db plan
+              | Ghd.Bucket, None ->
+                (* A prep forced to bucket without its plan (should not
+                   happen through [prepare]); compile the fallback. *)
+                Exec.run ~ctx:exec_ctx db
+                  (Bucket.compile ~order:(Array.of_list prep.Ghd.var_order) cq))
           in
           (Some r, Completed)
         with Relalg.Limits.Abort reason ->

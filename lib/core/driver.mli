@@ -19,6 +19,14 @@ type meth =
           plan's worst case the query runs variable-at-a-time through
           {!Exec.run_generic}, otherwise it falls back to the bucket-
           elimination plan along the same variable order (see {!Wcoj}) *)
+  | Ghd
+      (** Yannakakis over a generalized hypertree decomposition, behind
+          the three-way structural gate of {!Ghd.prepare}: each query is
+          routed among bucket elimination, the generic join and
+          GHD-Yannakakis by comparing induced width, the AGM bound and
+          the fractional-hypertree bag bound on one log2-tuples cost
+          scale; the decision and all three bounds land as exec-span
+          attributes *)
 
 val all_paper_methods : meth list
 (** The five methods of the paper's experiments, naive first. *)
@@ -65,6 +73,12 @@ type compiled =
   | Generic_join of Wcoj.prep
       (** the AGM gate picked the generic join: no binary plan exists,
           only the prepared variable order and bounds *)
+  | Decomposed of Ghd.prep * Plan.t option
+      (** a {!Ghd.prepare} artifact — decomposition, rooted bag tree,
+          atom assignment and the three gate bounds; the bucket fallback
+          plan rides along exactly when the gate picked bucket, so a
+          cache hit replays without re-running the GHD search or the
+          bucket compiler *)
 
 val prepare :
   ?rng:Graphlib.Rng.t -> meth -> Conjunctive.Database.t -> Conjunctive.Cq.t ->

@@ -42,3 +42,5 @@ let rec run ?(ctx = Ctx.null) db plan =
 let nonempty ?ctx db plan = not (Relation.is_empty (run ?ctx db plan))
 
 let run_generic ?ctx ?order db cq = Wcoj.evaluate ?ctx ?order db cq
+
+let run_ghd ?ctx ?prep db cq = Ghd.evaluate ?ctx ?prep db cq

@@ -35,3 +35,17 @@ val run_generic :
     with the same context contract as {!run} (spans, stats, limits, pool).
     @raise Relalg.Limits.Abort when a resource guard trips.
     @raise Not_found if an atom names an unregistered relation. *)
+
+val run_ghd :
+  ?ctx:Relalg.Ctx.t ->
+  ?prep:Ghd.prep ->
+  Conjunctive.Database.t ->
+  Conjunctive.Cq.t ->
+  Relalg.Relation.t
+(** Execute a whole conjunctive query as Yannakakis over a generalized
+    hypertree decomposition — a thin front for {!Ghd.evaluate} with the
+    same context contract as {!run}. Total on cyclic queries. [prep]
+    (a {!Ghd.prepare} artifact for the same query and database) skips
+    the decomposition search.
+    @raise Relalg.Limits.Abort when a resource guard trips.
+    @raise Not_found if an atom names an unregistered relation. *)

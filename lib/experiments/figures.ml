@@ -30,11 +30,12 @@ let base_methods =
     ("bucket-elim", Driver.Bucket_elimination);
   ]
 
-let extra_methods = [ ("wcoj", Driver.Wcoj) ]
+let extra_methods = [ ("wcoj", Driver.Wcoj); ("ghd", Driver.Ghd) ]
 
 (* The panels compare the paper's four execution strategies plus the
-   AGM-gated generic join as a sixth column (after the x label); [--method]
-   on the CLI narrows the extras through {!restrict_methods}. *)
+   AGM-gated generic join as a sixth column and the gated GHD-Yannakakis
+   as a seventh (after the x label); [--method] on the CLI narrows the
+   extras through {!restrict_methods}. *)
 let active_methods = ref (base_methods @ extra_methods)
 let paper_methods () = !active_methods
 

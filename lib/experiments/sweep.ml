@@ -90,10 +90,28 @@ let aggregate samples =
 let pool = ref (None : Parallel.Pool.t option)
 let set_pool p = pool := p
 
+(* Adaptive grain: fanning a batch across domains pays a fixed wakeup
+   and bookkeeping cost, so a batch of cheap cells runs slower parallel
+   than sequential. The first item is the probe — it runs inline and is
+   timed, and the remainder fans out only when the measured per-item
+   cost times the remaining count clears the pool's advisory grain,
+   read as a work budget of [grain] × 100ns (the default 16384 ≈ 1.6ms;
+   PPR_PAR_GRAIN rescales it, see {!Parallel.Pool.create}). *)
+let adaptive_map p f = function
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | probe :: rest ->
+    let t0 = Unix.gettimeofday () in
+    let y = f probe in
+    let dt = Unix.gettimeofday () -. t0 in
+    let budget = float_of_int (Parallel.Pool.grain p) *. 1e-7 in
+    if dt *. float_of_int (List.length rest) >= budget then
+      y :: Parallel.Pool.map p f rest
+    else y :: List.map f rest
+
 let map_cells f xs =
   match !pool with
-  | Some p when not (Parallel.Pool.current_is_worker ()) ->
-    Parallel.Pool.map p f xs
+  | Some p when not (Parallel.Pool.current_is_worker ()) -> adaptive_map p f xs
   | _ -> List.map f xs
 
 (* Fan a per-seed function across the pool. Telemetry is the one context
@@ -105,7 +123,7 @@ let map_seeds ctx f seeds =
   in
   match chosen with
   | Some p when Option.is_none (Relalg.Ctx.telemetry ctx) ->
-    Parallel.Pool.map p f seeds
+    adaptive_map p f seeds
   | _ -> List.map f seeds
 
 let run_cell ?(limits_factory = fun () -> Relalg.Limits.create ()) ?ladder

@@ -111,7 +111,16 @@ val map_cells : ('a -> 'b) -> 'a list -> 'b list
 (** [List.map], spread over the installed pool when one is set (and the
     caller is not already on a worker domain). The figure drivers use it
     to evaluate one row's method cells concurrently while keeping the
-    printed row order. *)
+    printed row order.
+
+    The fan-out is adaptive: the first item runs inline as a probe, and
+    the rest go to the pool only when the measured per-item cost times
+    the remaining count exceeds the pool's grain read as a work budget
+    ([grain] × 100ns) — batches of sub-millisecond cells stay
+    sequential, where domain wakeups cost more than they buy. Setting
+    [PPR_PAR_GRAIN] rescales the budget (it is the default pool grain;
+    see {!Parallel.Pool.create}). The same policy governs the per-seed
+    fan-out inside {!run_cell}. *)
 
 val set_recorder : (row -> unit) option -> unit
 (** When set, every {!print_row} also passes each cell — with its panel,

@@ -1,0 +1,78 @@
+(** Decomposition-based evaluation: generalized hypertree decompositions
+    plus full Yannakakis, behind one structural gate.
+
+    This is the "Structure-Guided Query Evaluation" pipeline over the
+    existing machinery: {!search} finds a generalized hypertree
+    decomposition (the GYO join tree directly for acyclic queries, a
+    bounded-width elimination search otherwise), {!evaluate} materializes
+    each bag by joining its covering [lambda] atoms through the execution
+    context, enforces every remaining atom with a semijoin inside a bag
+    containing it, and runs the {!Hypergraphs.Yannakakis.sweeps} over the
+    bag tree — making Yannakakis total on cyclic queries. {!prepare}
+    additionally computes the three-way structural gate: induced width
+    (bucket elimination), the AGM fractional-cover bound (generic join)
+    and the fractional-hypertree-scale bag bound, all on one log2-tuples
+    cost scale. *)
+
+type decision = Bucket | Generic | Ghd
+
+val decision_name : decision -> string
+
+type prep = {
+  decomposition : Hypergraphs.Hypertree.t;
+      (** validated GHD of the query hypergraph *)
+  htw : int;  (** its generalized hypertree width (largest cover) *)
+  parent : int array;  (** rooted bag tree: parent of each bag, -1 at roots *)
+  order : int list;  (** bags bottom-up (children before parents) *)
+  assignment : int array;
+      (** atom index -> bag whose chi contains the whole atom; the
+          evaluator enforces the atom there *)
+  var_order : int list;  (** MCS variable order, free variables first *)
+  agm : Wcoj.Agm.t;  (** fractional edge cover of the whole query *)
+  induced_width : int;
+  domain_estimate : int;
+  binary_bound_log2 : float;
+      (** bucket-elimination worst case, [(induced_width + 1) * log2 d] *)
+  ghd_bound_log2 : float;
+      (** largest per-bag fractional-cover bound — the fhtw cost scale *)
+  decision : decision;
+}
+
+val search :
+  ?rng:Graphlib.Rng.t -> Hypergraphs.Hypergraph.t -> Hypergraphs.Hypertree.t
+(** Find a generalized hypertree decomposition: GYO fast path (width 1,
+    with forest roots chained into a single valid tree) when the
+    hypergraph is acyclic, otherwise the best of the MCS / min-degree /
+    min-fill elimination decompositions plus rng-seeded MCS restarts,
+    each checked with {!Hypergraphs.Hypertree.is_valid}, stopping early
+    at the cyclic optimum (width 2). *)
+
+val prepare :
+  ?rng:Graphlib.Rng.t -> Conjunctive.Database.t -> Conjunctive.Cq.t -> prep
+(** The planning half: decomposition, rooted bag tree, atom assignment
+    and the three-bound gate. Pure — touches only relation
+    cardinalities. The [PPR_GHD_GATE] environment variable overrides the
+    gate: ["bucket"], ["generic"] and ["ghd"] force a route; anything
+    else (or unset) picks the smallest of [binary_bound_log2],
+    [agm.bound_log2] and [ghd_bound_log2], ties preferring bucket, then
+    the generic join. *)
+
+val evaluate :
+  ?ctx:Relalg.Ctx.t ->
+  ?prep:prep ->
+  Conjunctive.Database.t ->
+  Conjunctive.Cq.t ->
+  Relalg.Relation.t
+(** Run Yannakakis over the decomposition (unconditionally — gating is
+    the caller's business, see {!prepare}). [prep] defaults to a fresh
+    {!prepare} and must describe the {e same} query against the same
+    database (the serving layer's plan cache replays stored preps so
+    hits skip the GHD search). Tuple-identical to any correct plan:
+    each bag joins its cover atoms, every other atom is semijoin-enforced
+    in a bag containing it, and the three sweeps assemble the projected
+    answer. Everything flows through the context — [op.ghd.eval] span
+    with per-bag [op.ghd.bag] spans, the [ops.ghd] counter, limits,
+    stats, backend and pool apply to every operator.
+    @raise Relalg.Limits.Abort when a resource guard trips.
+    @raise Invalid_argument when [prep] does not match the query.
+    @raise Not_found if an atom names an unregistered relation. *)

@@ -7,6 +7,64 @@ module Database = Conjunctive.Database
 
 let is_acyclic_query cq = Gyo.is_acyclic (Hypergraph.of_query cq)
 
+(* The three sweeps, abstracted over what a tree node holds: [vars.(i)]
+   is node i's variable set (a hyperedge for the classic algorithm, a
+   decomposition bag for GHD evaluation) and [rels.(i)] its materialized
+   relation. [order] lists every node bottom-up (children before their
+   parents); roots have [parent.(i) = -1], one per connected component. *)
+let sweeps ?ctx ~parent ~order ~vars ~free rels =
+  let rels = Array.copy rels in
+  (* Upward semijoin pass: parents reduced by children, bottom-up. *)
+  List.iter
+    (fun i ->
+      let p = parent.(i) in
+      if p >= 0 then rels.(p) <- Ops.semijoin ?ctx rels.(p) rels.(i))
+    order;
+  (* Downward pass: children reduced by parents, top-down. *)
+  List.iter
+    (fun i ->
+      let p = parent.(i) in
+      if p >= 0 then rels.(i) <- Ops.semijoin ?ctx rels.(i) rels.(p))
+    (List.rev order);
+  (* Join-project pass: merge children into parents, keeping only
+     variables still needed by unmerged nodes or the target schema. *)
+  let m = Array.length vars in
+  let live = Array.make m true in
+  let free = Iset.of_list free in
+  let needed_later () =
+    let acc = ref free in
+    for j = 0 to m - 1 do
+      if live.(j) then acc := Iset.union !acc vars.(j)
+    done;
+    !acc
+  in
+  let components = ref [] in
+  List.iter
+    (fun i ->
+      live.(i) <- false;
+      let p = parent.(i) in
+      if p < 0 then components := rels.(i) :: !components
+      else begin
+        let joined = Ops.natural_join ?ctx rels.(p) rels.(i) in
+        let keep = needed_later () in
+        let target =
+          Schema.restrict (Relation.schema joined) ~keep:(fun v ->
+              Iset.mem v keep)
+        in
+        rels.(p) <- Ops.project ?ctx joined target
+      end)
+    order;
+  let project_free rel =
+    let target =
+      Schema.restrict (Relation.schema rel) ~keep:(fun v -> Iset.mem v free)
+    in
+    Ops.project ?ctx rel target
+  in
+  match List.map project_free !components with
+  | [] -> invalid_arg "Yannakakis.sweeps: no tree nodes"
+  | first :: rest ->
+    List.fold_left (fun acc r -> Ops.natural_join ?ctx acc r) first rest
+
 let evaluate ?ctx db cq =
   let hg = Hypergraph.of_query cq in
   match Jointree.build hg with
@@ -16,56 +74,7 @@ let evaluate ?ctx db cq =
     let rels =
       Array.map (fun atom -> Database.eval_atom ?ctx db atom) atoms
     in
-    (* Upward semijoin pass: parents reduced by children, bottom-up. *)
-    List.iter
-      (fun i ->
-        let p = jt.Jointree.parent.(i) in
-        if p >= 0 then rels.(p) <- Ops.semijoin ?ctx rels.(p) rels.(i))
-      jt.Jointree.order;
-    (* Downward pass: children reduced by parents, top-down. *)
-    List.iter
-      (fun i ->
-        let p = jt.Jointree.parent.(i) in
-        if p >= 0 then rels.(i) <- Ops.semijoin ?ctx rels.(i) rels.(p))
-      (List.rev jt.Jointree.order);
-    (* Join-project pass: merge children into parents, keeping only
-       variables still needed by unmerged nodes or the target schema. *)
-    let m = Array.length atoms in
-    let live = Array.make m true in
-    let free = Iset.of_list cq.Cq.free in
-    let needed_later () =
-      let acc = ref free in
-      for j = 0 to m - 1 do
-        if live.(j) then acc := Iset.union !acc (Hypergraph.edge hg j)
-      done;
-      !acc
-    in
-    let components = ref [] in
-    List.iter
-      (fun i ->
-        live.(i) <- false;
-        let p = jt.Jointree.parent.(i) in
-        if p < 0 then components := rels.(i) :: !components
-        else begin
-          let joined = Ops.natural_join ?ctx rels.(p) rels.(i) in
-          let keep = needed_later () in
-          let target =
-            Schema.restrict (Relation.schema joined) ~keep:(fun v ->
-                Iset.mem v keep)
-          in
-          rels.(p) <- Ops.project ?ctx joined target
-        end)
-      jt.Jointree.order;
-    let project_free rel =
-      let target =
-        Schema.restrict (Relation.schema rel) ~keep:(fun v -> Iset.mem v free)
-      in
-      Ops.project ?ctx rel target
-    in
-    let answer =
-      match List.map project_free !components with
-      | [] -> invalid_arg "Yannakakis: query without atoms"
-      | first :: rest ->
-        List.fold_left (fun acc r -> Ops.natural_join ?ctx acc r) first rest
-    in
-    Some answer
+    let vars = Array.init (Array.length atoms) (Hypergraph.edge hg) in
+    Some
+      (sweeps ?ctx ~parent:jt.Jointree.parent ~order:jt.Jointree.order ~vars
+         ~free:cq.Cq.free rels)

@@ -9,11 +9,33 @@
     deliberately neutralizes (projecting an [edge] column yields all
     colors) and lists as future work for varying-arity workloads. *)
 
+val sweeps :
+  ?ctx:Relalg.Ctx.t ->
+  parent:int array ->
+  order:int list ->
+  vars:Graphlib.Graph.Iset.t array ->
+  free:int list ->
+  Relalg.Relation.t array ->
+  Relalg.Relation.t
+(** The three sweeps over an arbitrary tree of materialized relations:
+    node [i] holds relation [rels.(i)] over variable set [vars.(i)]
+    (classically a hyperedge's atom relation; for GHD evaluation a
+    decomposition bag). [order] must list every node bottom-up (children
+    before parents); [parent.(i) = -1] marks a root, one per connected
+    component — the per-component answers are cross-joined at the end.
+    Sound whenever the tree satisfies the running-intersection property
+    over [vars] and every join dependency is enforced inside some node's
+    relation. The input array is not mutated. Returns the answer
+    projected onto [free].
+    @raise Invalid_argument on an empty node set.
+    @raise Relalg.Limits.Abort when a resource guard trips. *)
+
 val evaluate :
   ?ctx:Relalg.Ctx.t ->
   Conjunctive.Database.t -> Conjunctive.Cq.t -> Relalg.Relation.t option
 (** [None] when the query is cyclic; otherwise the full answer
     (projected onto the target schema, or the 0-ary relation for a
-    Boolean query). *)
+    Boolean query). Cyclic queries are handled by the decomposition
+    subsystem ([Ghd]), which materializes bags and reuses {!sweeps}. *)
 
 val is_acyclic_query : Conjunctive.Cq.t -> bool

@@ -25,10 +25,14 @@ val create : ?num_domains:int -> ?grain:int -> unit -> t
 (** [create ~num_domains ()] spawns [num_domains - 1] workers.
     [num_domains] defaults to {!Domain.recommended_domain_count} and is
     clamped to at least 1; it counts the calling domain, so it is the
-    degree of parallelism a batch can reach. [grain] (default [16384]) is
-    advisory: kernels consult {!grain} and stay sequential below that
-    many input rows, where partitioning costs more than it buys. Workers
-    idle on a condition variable — a pool at rest burns no CPU. *)
+    degree of parallelism a batch can reach. [grain] is advisory:
+    kernels consult {!grain} and stay sequential below that many input
+    rows, where partitioning costs more than it buys, and the experiment
+    sweeps read it as a probe-measured work budget. It defaults to the
+    [PPR_PAR_GRAIN] environment variable when that holds a positive
+    integer, else [16384]; an explicit argument beats the environment.
+    Workers idle on a condition variable — a pool at rest burns no
+    CPU. *)
 
 val size : t -> int
 (** The degree of parallelism (workers + the calling domain), >= 1. *)

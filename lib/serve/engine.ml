@@ -6,6 +6,7 @@ type config = {
   workers : int;
   queue_depth : int;
   cache_capacity : int;
+  cache_file : string option;
   default_deadline_ms : int option;
   max_deadline_ms : int;
   default_max_answers : int;
@@ -18,6 +19,7 @@ let default_config =
     workers = 4;
     queue_depth = 64;
     cache_capacity = 512;
+    cache_file = None;
     default_deadline_ms = None;
     max_deadline_ms = 300_000;
     default_max_answers = 100;
@@ -31,6 +33,13 @@ type job = {
   enqueued_at : float;
 }
 
+(* The admission queue is fair per client: each client id owns a FIFO of
+   its jobs, and workers drain client queues round-robin ([rotation]
+   holds every client with pending work, each exactly once). A client
+   flooding the queue therefore delays only its own later requests —
+   another client's next job is at most one rotation lap away, never
+   behind the flooder's whole backlog. The global bound [queue_depth]
+   still applies to the sum, so total memory stays capped. *)
 type t = {
   cfg : config;
   db : Conjunctive.Database.t;
@@ -39,7 +48,9 @@ type t = {
   cache : Driver.compiled Plan_cache.t;
   lock : Mutex.t;
   nonempty : Condition.t;
-  queue : job Queue.t;
+  clients : (int, job Queue.t) Hashtbl.t;
+  rotation : int Queue.t;
+  mutable queued : int;
   mutable stopped : bool;
   mutable inflight : int;
   mutable workers : unit Domain.t array;
@@ -65,6 +76,7 @@ let method_of_string = function
   | "bucket-elimination" -> Some Driver.Bucket_elimination
   | "hybrid" -> Some Driver.Hybrid
   | "wcoj" -> Some Driver.Wcoj
+  | "ghd" -> Some Driver.Ghd
   | s -> (
     match String.split_on_char ':' s with
     | [ "minibucket"; i ] -> (
@@ -323,16 +335,27 @@ let process t job =
   with e ->
     Log.debug (fun f -> f "reply dropped: %s" (Printexc.to_string e))
 
+(* Pop the head of the next client's queue, then rotate that client to
+   the back if it still has work. Caller holds [t.lock]. *)
+let pop_job_locked t =
+  let cid = Queue.pop t.rotation in
+  let jobs = Hashtbl.find t.clients cid in
+  let job = Queue.pop jobs in
+  if Queue.is_empty jobs then Hashtbl.remove t.clients cid
+  else Queue.push cid t.rotation;
+  t.queued <- t.queued - 1;
+  job
+
 let worker_loop t =
   let rec loop () =
     Mutex.lock t.lock;
-    while Queue.is_empty t.queue && not t.stopped do
+    while t.queued = 0 && not t.stopped do
       Condition.wait t.nonempty t.lock
     done;
-    if Queue.is_empty t.queue then (* stopped, queue drained *)
+    if t.queued = 0 then (* stopped, queue drained *)
       Mutex.unlock t.lock
     else begin
-      let job = Queue.pop t.queue in
+      let job = pop_job_locked t in
       t.inflight <- t.inflight + 1;
       Mutex.unlock t.lock;
       process t job;
@@ -359,27 +382,39 @@ let create ?(config = default_config) ?pool db =
       cache = Plan_cache.create ~capacity:config.cache_capacity ();
       lock = Mutex.create ();
       nonempty = Condition.create ();
-      queue = Queue.create ();
+      clients = Hashtbl.create 16;
+      rotation = Queue.create ();
+      queued = 0;
       stopped = false;
       inflight = 0;
       workers = [||];
     }
   in
+  (* Warm the plan cache from the previous run's snapshot before any
+     worker can race a session against the load. *)
+  (match config.cache_file with
+  | Some path ->
+    let n = Plan_cache.load t.cache path in
+    if n > 0 then
+      Log.info (fun f -> f "plan cache: restored %d entries from %s" n path)
+  | None -> ());
   t.workers <-
     Array.init config.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
 let stats_fields t =
   let c name = Metrics.value (Metrics.counter t.metrics name) in
-  let queued, inflight =
+  let queued, clients, inflight =
     Mutex.lock t.lock;
-    let q = Queue.length t.queue in
+    let q = t.queued in
+    let cs = Hashtbl.length t.clients in
     let i = t.inflight in
     Mutex.unlock t.lock;
-    (q, i)
+    (q, cs, i)
   in
   [
     ("queued", Json.Int queued);
+    ("clients_queued", Json.Int clients);
     ("inflight", Json.Int inflight);
     ("workers", Json.Int (Array.length t.workers));
     ("queue_depth", Json.Int t.cfg.queue_depth);
@@ -398,8 +433,10 @@ let stats_fields t =
 
 (* Admission control: O(1) under the lock, never blocks the caller. The
    queue either takes the job or the request is shed right here with a
-   typed response — the queue cannot grow beyond [queue_depth]. *)
-let submit_async t (request : Wire.request) ~reply =
+   typed response — the total backlog cannot grow beyond [queue_depth].
+   [client] names the submitter's fairness bucket (the transport passes
+   its connection id); all anonymous submitters share one bucket. *)
+let submit_async ?(client = -1) t (request : Wire.request) ~reply =
   match request with
   | Wire.Ping id -> reply (Wire.Pong id)
   | Wire.Metrics id ->
@@ -413,12 +450,22 @@ let submit_async t (request : Wire.request) ~reply =
       Mutex.lock t.lock;
       let v =
         if t.stopped then `Shutting_down
-        else if Queue.length t.queue >= t.cfg.queue_depth then `Overloaded
+        else if t.queued >= t.cfg.queue_depth then `Overloaded
         else begin
-          Queue.push { request = q; reply; enqueued_at = now } t.queue;
+          let jobs =
+            match Hashtbl.find_opt t.clients client with
+            | Some jobs -> jobs
+            | None ->
+              let jobs = Queue.create () in
+              Hashtbl.add t.clients client jobs;
+              Queue.push client t.rotation;
+              jobs
+          in
+          Queue.push { request = q; reply; enqueued_at = now } jobs;
+          t.queued <- t.queued + 1;
           Metrics.observe_max
             (Metrics.max_gauge t.metrics "serve.queue_peak")
-            (Queue.length t.queue);
+            t.queued;
           Condition.signal t.nonempty;
           `Queued
         end
@@ -439,11 +486,11 @@ let submit_async t (request : Wire.request) ~reply =
              Printf.sprintf "admission queue full (%d queued)" t.cfg.queue_depth
            )))
 
-let submit t request =
+let submit ?client t request =
   let slot = ref None in
   let m = Mutex.create () in
   let filled = Condition.create () in
-  submit_async t request ~reply:(fun r ->
+  submit_async ?client t request ~reply:(fun r ->
       Mutex.lock m;
       slot := Some r;
       Condition.signal filled;
@@ -468,7 +515,19 @@ let stop t =
   in
   (* Drain: workers keep answering queued sessions and exit only once
      the queue is empty; join waits for the last in-flight reply. *)
-  Array.iter Domain.join workers
+  Array.iter Domain.join workers;
+  (* Snapshot the warmed cache only after the drain, so the last
+     sessions' compiles make it into the file. The first stop call owns
+     the workers array; later (idempotent) calls skip the save. *)
+  if Array.length workers > 0 then
+    match t.cfg.cache_file with
+    | None -> ()
+    | Some path -> (
+      try
+        let n = Plan_cache.save t.cache path in
+        Log.info (fun f -> f "plan cache: saved %d entries to %s" n path)
+      with Sys_error msg ->
+        Log.err (fun f -> f "plan cache: save to %s failed: %s" path msg))
 
 let stopped t =
   Mutex.lock t.lock;

@@ -30,6 +30,13 @@ type config = {
   workers : int;  (** worker domains (default 4) *)
   queue_depth : int;  (** admission-queue bound (default 64) *)
   cache_capacity : int;  (** plan-cache LRU bound (default 512) *)
+  cache_file : string option;
+      (** when set, the plan cache is restored from this snapshot on
+          {!create} and written back after {!stop}'s drain, so a
+          restarted daemon replays compiled artifacts (including
+          prepared GHD decompositions) instead of re-planning; a
+          missing, corrupt or other-binary snapshot is silently ignored
+          (default [None]) *)
   default_deadline_ms : int option;
       (** applied when the request carries none (default [None]) *)
   max_deadline_ms : int;
@@ -48,14 +55,22 @@ val create : ?config:config -> ?pool:Parallel.Pool.t -> Conjunctive.Database.t -
 (** Spawns [config.workers] domains immediately. [pool] is shared by all
     sessions for parallel operators (the pool is multi-submitter safe). *)
 
-val submit_async : t -> Wire.request -> reply:(Wire.response -> unit) -> unit
+val submit_async :
+  ?client:int -> t -> Wire.request -> reply:(Wire.response -> unit) -> unit
 (** Enqueue a request. Non-query ops (ping/metrics/stats) are answered
     synchronously on the calling thread. Queries are answered from a
     worker domain — or immediately with [Overloaded] / [Shutting_down]
     when admission fails. [reply] is called exactly once; exceptions it
-    raises are swallowed (a dead client must not kill a worker). *)
+    raises are swallowed (a dead client must not kill a worker).
 
-val submit : t -> Wire.request -> Wire.response
+    [client] names the submitter's fairness bucket — the transport
+    passes its connection id. Workers drain the buckets round-robin, so
+    one client flooding the queue delays only its own later requests:
+    another client's next job waits for at most one job per competing
+    client, never for the flooder's whole backlog. Submitters that omit
+    [client] share a single bucket. *)
+
+val submit : ?client:int -> t -> Wire.request -> Wire.response
 (** Blocking convenience over {!submit_async} (tests, CLI one-shots). *)
 
 val stop : t -> unit

@@ -84,7 +84,9 @@ let serve_conn t conn =
         match Wire.parse_request line with
         | Error (msg, id) ->
           send conn (Wire.Failed (id, Wire.Parse_error, msg))
-        | Ok request -> Engine.submit_async t.engine request ~reply:(send conn)
+        | Ok request ->
+          Engine.submit_async ~client:conn.cid t.engine request
+            ~reply:(send conn)
       end;
       loop ()
     | exception End_of_file -> ()

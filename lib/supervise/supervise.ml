@@ -26,7 +26,7 @@ let is_approximate = function
   | Driver.Minibucket _ -> true
   | Driver.Naive _ | Driver.Straightforward | Driver.Early_projection
   | Driver.Reorder | Driver.Bucket_elimination | Driver.Hybrid
-  | Driver.Hybrid_rank _ | Driver.Wcoj ->
+  | Driver.Hybrid_rank _ | Driver.Wcoj | Driver.Ghd ->
     false
 
 let default_ladder = function
@@ -38,6 +38,11 @@ let default_ladder = function
   | Driver.Wcoj ->
     [
       Driver.Wcoj; Driver.Bucket_elimination; Driver.Minibucket 3;
+      Driver.Reorder; Driver.Straightforward;
+    ]
+  | Driver.Ghd ->
+    [
+      Driver.Ghd; Driver.Bucket_elimination; Driver.Minibucket 3;
       Driver.Reorder; Driver.Straightforward;
     ]
   | Driver.Hybrid ->

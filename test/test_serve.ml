@@ -245,6 +245,46 @@ let test_cache_key_injective_on_templates () =
          ~canon:(Canon.canonicalize (parse_q "q(X) :- edge(X,Y)."))
          ~meth:"reordering")
 
+let test_cache_save_load_roundtrip () =
+  let path = Filename.temp_file "ppr-cache-test" ".bin" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let c = Serve.Plan_cache.create ~capacity:8 () in
+  ignore (Serve.Plan_cache.add c "old" [ 1 ]);
+  ignore (Serve.Plan_cache.add c "mid" [ 2 ]);
+  ignore (Serve.Plan_cache.add c "new" [ 3 ]);
+  ignore (Serve.Plan_cache.find c "old") (* refresh: "mid" is now LRU *);
+  check_int "three entries saved" 3 (Serve.Plan_cache.save c path);
+  let c' = Serve.Plan_cache.create ~capacity:8 () in
+  check_int "three entries restored" 3 (Serve.Plan_cache.load c' path);
+  check_int "restored size" 3 (Serve.Plan_cache.size c');
+  List.iter
+    (fun (k, v) ->
+      check_bool ("restored value " ^ k) true
+        (Serve.Plan_cache.find c' k = Some v))
+    [ ("old", [ 1 ]); ("mid", [ 2 ]); ("new", [ 3 ]) ];
+  (* The snapshot preserves recency: loading into a 2-slot cache must
+     evict the oldest entry ("mid"), exactly as the live cache would. *)
+  let tiny = Serve.Plan_cache.create ~capacity:2 () in
+  ignore (Serve.Plan_cache.load tiny path);
+  check_bool "LRU order survives the roundtrip" true
+    (Serve.Plan_cache.find tiny "mid" = None
+    && Serve.Plan_cache.find tiny "old" <> None
+    && Serve.Plan_cache.find tiny "new" <> None)
+
+let test_cache_load_rejects_corrupt () =
+  let path = Filename.temp_file "ppr-cache-test" ".bin" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let oc = open_out_bin path in
+  output_string oc "not a cache snapshot at all";
+  close_out oc;
+  let c = Serve.Plan_cache.create () in
+  check_int "corrupt file ignored" 0 (Serve.Plan_cache.load c path);
+  check_int "cache untouched" 0 (Serve.Plan_cache.size c);
+  check_int "missing file ignored" 0
+    (Serve.Plan_cache.load c (path ^ ".does-not-exist"))
+
 (* ------------------------------------------------------------------ *)
 (* Engine                                                              *)
 
@@ -453,6 +493,95 @@ let test_engine_admission_control () =
           (Wire.response_to_string r))
     rest
 
+let test_engine_cache_persists_across_restart () =
+  (* The daemon-restart story: engine 1 compiles (including a prepared
+     GHD decomposition), stop snapshots the cache, engine 2 starts from
+     the snapshot and its very first request is a hit replaying the
+     stored artifact — tuple-identically. *)
+  let path = Filename.temp_file "ppr-engine-cache" ".bin" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let config =
+    { Serve.Engine.default_config with Serve.Engine.cache_file = Some path }
+  in
+  let ask e meth text =
+    match Serve.Engine.submit e (query_req ~meth text) with
+    | Wire.Answer (_, a) -> a
+    | r -> Alcotest.failf "query failed: %s" (Wire.response_to_string r)
+  in
+  let text = "ans(X,Z) :- edge(X,Y), edge(Y,Z), edge(Z,X)." in
+  let e1 = Serve.Engine.create ~config coloring_db in
+  let cold_bucket = ask e1 "bucket-elimination" text in
+  let cold_ghd = ask e1 "ghd" text in
+  check_bool "cold runs miss" true
+    ((not cold_bucket.Wire.cache_hit) && not cold_ghd.Wire.cache_hit);
+  Serve.Engine.stop e1;
+  check_bool "stop wrote the snapshot" true (Sys.file_exists path);
+  let e2 = Serve.Engine.create ~config coloring_db in
+  Fun.protect ~finally:(fun () -> Serve.Engine.stop e2) @@ fun () ->
+  let warm_bucket = ask e2 "bucket-elimination" text in
+  let warm_ghd = ask e2 "ghd" text in
+  check_bool "restarted engine hits on first request" true
+    (warm_bucket.Wire.cache_hit && warm_ghd.Wire.cache_hit);
+  check_bool "replayed artifacts are tuple-identical" true
+    (cold_bucket.Wire.answers = warm_bucket.Wire.answers
+    && cold_ghd.Wire.answers = warm_ghd.Wire.answers)
+
+let test_engine_per_client_fairness () =
+  (* One worker, one flooding client, one victim: with round-robin
+     admission the victim's single query is served after at most one of
+     the flooder's queued jobs, not behind the whole backlog. *)
+  let config =
+    {
+      Serve.Engine.default_config with
+      Serve.Engine.workers = 1;
+      queue_depth = 32;
+    }
+  in
+  with_engine ~config @@ fun e ->
+  let lock = Mutex.create () in
+  let done_ = Condition.create () in
+  let order = ref [] in
+  let submit ~client id chaos =
+    Serve.Engine.submit_async ~client e
+      (query_req ~id:(Json.String id) ?chaos "ans(X,Y) :- edge(X,Y).")
+      ~reply:(fun r ->
+        match r with
+        | Wire.Answer _ ->
+          Mutex.lock lock;
+          order := id :: !order;
+          Condition.signal done_;
+          Mutex.unlock lock
+        | r -> Alcotest.failf "unexpected response: %s" (Wire.response_to_string r))
+  in
+  let flood = 6 in
+  (* The head request stalls the only worker long enough for everything
+     below to be queued before the first pop. *)
+  submit ~client:1 "head" (Some "stall:1:0.4");
+  for i = 0 to flood - 1 do
+    submit ~client:1 (Printf.sprintf "flood%d" i) (Some "stall:1:0.02")
+  done;
+  submit ~client:2 "victim" None;
+  Mutex.lock lock;
+  while List.length !order < flood + 2 do
+    Condition.wait done_ lock
+  done;
+  let completion = List.rev !order in
+  Mutex.unlock lock;
+  let index_of id =
+    let rec go i = function
+      | [] -> Alcotest.failf "%s never completed" id
+      | x :: _ when x = id -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 completion
+  in
+  check_bool
+    (Printf.sprintf "victim not starved (completion order: %s)"
+       (String.concat " " completion))
+    true
+    (index_of "victim" <= 2)
+
 let test_engine_drain_and_shutdown () =
   let config =
     { Serve.Engine.default_config with Serve.Engine.workers = 1 }
@@ -656,6 +785,10 @@ let () =
             test_cache_racing_insert_keeps_first;
           Alcotest.test_case "key injectivity" `Quick
             test_cache_key_injective_on_templates;
+          Alcotest.test_case "save/load roundtrip" `Quick
+            test_cache_save_load_roundtrip;
+          Alcotest.test_case "load rejects corrupt" `Quick
+            test_cache_load_rejects_corrupt;
         ] );
       ( "engine",
         [
@@ -672,6 +805,10 @@ let () =
             test_engine_deadline_sheds_typed;
           Alcotest.test_case "admission control" `Quick
             test_engine_admission_control;
+          Alcotest.test_case "cache persists across restart" `Quick
+            test_engine_cache_persists_across_restart;
+          Alcotest.test_case "per-client fairness" `Quick
+            test_engine_per_client_fairness;
           Alcotest.test_case "drain and shutdown" `Quick
             test_engine_drain_and_shutdown;
         ] );
