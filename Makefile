@@ -1,4 +1,4 @@
-.PHONY: all check build test bench bench-smoke bench-compare bench-parallel bench-wcoj bench-ghd serve-soak fmt clean
+.PHONY: all check build test bench bench-smoke bench-compare bench-parallel bench-wcoj bench-ghd bench-enum serve-soak fmt clean
 
 all: check
 
@@ -67,6 +67,18 @@ bench-wcoj:
 # BENCH_results.json under "ghd_comparison".
 bench-ghd:
 	dune exec bench/ghd_bench.exe -- --json BENCH_results.json
+
+# Enumeration gate: time-to-first-answer through Exec.stream against
+# the materialize-everything path on a large-output acyclic panel (the
+# path P_16 3-coloring with every variable free, ~100k answers). The
+# drained stream must be tuple-identical to the materialized answer on
+# both the bucket plan and the GHD route — enforced always — and the
+# first streamed tuple must arrive >= 5x faster than the full
+# materialization (PPR_ENUM_GATE_MIN overrides the threshold, 0
+# disables). The verdict lands in BENCH_results.json under
+# "enumeration_comparison".
+bench-enum:
+	dune exec bench/enum_bench.exe -- --json BENCH_results.json
 
 # Serving soak gate: an in-process daemon on a real socket under ~200
 # concurrent requests of mixed health (valid isomorphic templates,

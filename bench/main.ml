@@ -239,7 +239,7 @@ let write_json ~opts ~wall_seconds ~rows ~micro =
 
 let () =
   let opts = parse_args () in
-  Relalg.Relation.set_default_backend opts.backend;
+  Relalg.Relation.with_default_backend opts.backend @@ fun () ->
   Experiments.Sweep.set_pool
     (if opts.jobs > 1 then
        Some (Parallel.Pool.create ~num_domains:opts.jobs ())

@@ -282,6 +282,102 @@ let client address c =
       done)
 
 (* ------------------------------------------------------------------ *)
+(* Paginated clients.                                                  *)
+
+(* After the flood: a handful of sessions page through a full answer
+   with limit/cursor continuations. The contract is exactly-once: the
+   pages must reassemble the whole-answer tuple set with no row lost or
+   served twice, page indexes must count up from 0, and a replayed
+   (already-consumed) token must get the typed cursor-expired error,
+   never someone else's rows. *)
+let paginated_sessions = ref 0
+
+let paginated_client address c =
+  let fd = connect address in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let ask extra =
+        output_string oc
+          (Json.to_string
+             (Json.Obj
+                ([
+                   ("op", Json.String "query");
+                   ("id", Json.Int (-100 - c));
+                   ("query", Json.String "page(A,B) :- edge(A,B).");
+                 ]
+                @ extra)));
+        output_char oc '\n';
+        flush oc;
+        Jsonl.parse (input_line ic)
+      in
+      (* the whole answer, as the baseline the pages must reassemble *)
+      let baseline =
+        match ask [] with
+        | Ok v -> (
+          match Wire.field v "answers" with
+          | Some rows -> canonical_rows rows
+          | None -> None)
+        | Error _ -> None
+      in
+      (match baseline with
+      | None -> violation "paginated client %d: no whole-answer baseline" c
+      | Some _ -> ());
+      let rows = ref [] in
+      let first_token = ref None in
+      let rec page cursor index =
+        let extra =
+          ("limit", Json.Int 2)
+          ::
+          (match cursor with
+          | None -> []
+          | Some t -> [ ("cursor", Json.String t) ])
+        in
+        match ask extra with
+        | Error msg -> violation "paginated client %d: garbled page: %s" c msg
+        | Ok v -> (
+          (match Wire.field v "page" with
+          | Some (Json.Int p) when p = index -> ()
+          | _ ->
+            violation "paginated client %d: wrong page index at page %d" c
+              index);
+          (match Wire.field v "answers" with
+          | Some (Json.List items) ->
+            rows := !rows @ List.map Json.to_string items
+          | _ -> violation "paginated client %d: page without rows" c);
+          match Wire.field v "next_cursor" with
+          | Some (Json.String t) ->
+            if index = 0 then first_token := Some t;
+            page (Some t) (index + 1)
+          | _ -> ())
+      in
+      page None 0;
+      let reassembled =
+        Some (String.concat ";" (List.sort compare !rows))
+      in
+      if List.length !rows <> List.length (List.sort_uniq compare !rows) then
+        violation "paginated client %d: a row was served twice" c;
+      if baseline <> None && reassembled <> baseline then
+        violation "paginated client %d: pages do not reassemble the answer" c;
+      (* the page-0 token was consumed serving page 1; replaying it must
+         miss with the typed error *)
+      (match !first_token with
+      | None -> violation "paginated client %d: answer fit in one page" c
+      | Some t -> (
+        match ask [ ("limit", Json.Int 2); ("cursor", Json.String t) ] with
+        | Ok v when Wire.field v "kind" = Some (Json.String "cursor-expired")
+          ->
+          ()
+        | Ok v ->
+          violation "paginated client %d: replayed token got %s" c
+            (Json.to_string v)
+        | Error msg ->
+          violation "paginated client %d: replay garbled: %s" c msg));
+      incr paginated_sessions)
+
+(* ------------------------------------------------------------------ *)
 (* Gate.                                                               *)
 
 let append_verdict verdict =
@@ -330,6 +426,12 @@ let () =
   in
   List.iter Thread.join threads;
   let elapsed = Unix.gettimeofday () -. started in
+
+  (* paginated continuation sessions: exactly-once across pages *)
+  let pag_threads =
+    List.init 8 (fun c -> Thread.create (paginated_client address) c)
+  in
+  List.iter Thread.join pag_threads;
 
   (* the daemon must still be healthy after the flood *)
   let fd = connect address in
@@ -396,6 +498,8 @@ let () =
      cache %d hits / %d misses; %d drained in flight\n%!"
     total elapsed tally.answered tally.typed_errors tally.shed hits misses
     !drained;
+  Printf.printf "soak: %d paginated sessions reassembled exactly once\n%!"
+    !paginated_sessions;
   append_verdict
     (Json.Obj
        [
@@ -408,6 +512,7 @@ let () =
          ("cache_hits", Json.Int hits);
          ("cache_misses", Json.Int misses);
          ("drained_in_flight", Json.Int !drained);
+         ("paginated_sessions", Json.Int !paginated_sessions);
          ("violations", Json.Int (List.length tally.wrong));
          ("passed", Json.Bool (tally.wrong = []));
        ]);

@@ -274,11 +274,16 @@ let make_pool jobs =
   let jobs = if jobs = 0 then Domain.recommended_domain_count () else jobs in
   if jobs <= 1 then None else Some (Parallel.Pool.create ~num_domains:jobs ())
 
-let apply_backend = function
-  | None -> ()
+(* Run the rest of the command under the named default backend — the
+   scoped bracket replaced the old process-wide setter, so the CLI
+   brackets its whole body (base data loads under the chosen layout;
+   per-run overrides still go through [Ctx.create ~backend]). *)
+let with_backend backend f =
+  match backend with
+  | None -> f ()
   | Some name -> (
     match Relalg.Relation.backend_of_string name with
-    | Some b -> Relalg.Relation.set_default_backend b
+    | Some b -> Relalg.Relation.with_default_backend b f
     | None ->
       failwith
         (Printf.sprintf "unknown backend %S (want 'row' or 'columnar')" name))
@@ -368,7 +373,7 @@ let run_cmd =
   let run family order density seed free_fraction meth max_tuples deadline fuel
       use_ladder chaos trace metrics backend jobs =
     guarded @@ fun () ->
-    apply_backend backend;
+    with_backend backend @@ fun () ->
     let pool = make_pool jobs in
     with_telemetry ~trace ~metrics @@ fun telemetry ->
     let db, cq = build_instance family ~order ~density ~seed ~free_fraction in
@@ -549,7 +554,7 @@ let experiment_cmd =
              name reproduces the paper's original four-column panels.")
   in
   let run figure scale seeds csv backend jobs meth =
-    apply_backend backend;
+    with_backend backend @@ fun () ->
     (match meth with
     | Some m -> (
       try Experiments.Figures.restrict_methods m
@@ -605,10 +610,74 @@ let query_cmd =
   let sql_flag =
     Arg.(value & flag & info [ "show-sql" ] ~doc:"Also print the SQL of the plan.")
   in
-  let run query_text query_file data_dir meth show_sql trace metrics backend
-      jobs =
+  let limit_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit"; "k" ] ~docv:"K"
+          ~doc:
+            "Stream the answer and stop after $(docv) tuples — on \
+             enumeration-friendly routes the work is proportional to the \
+             page, not the full result.")
+  in
+  let rank_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rank" ] ~docv:"SPEC"
+          ~doc:
+            "Rank answers by a per-attribute score: a comma-separated list \
+             of NAME or NAME:WEIGHT over the free variables (weight \
+             defaults to 1). Tuples are ordered by ascending weighted sum \
+             (negative weights for descending attributes) with a \
+             deterministic tiebreak; combined with --limit this is a \
+             heap-based top-k over the stream.")
+  in
+  let page_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "page" ] ~docv:"N"
+          ~doc:"With --limit, show the 0-based $(docv)-th page.")
+  in
+  (* "X:2,Y:-1" -> ascending weighted-sum comparator over the cursor's
+     schema, with a full-tuple tiebreak so output order is total. *)
+  let rank_of_spec ~namer ~free ~schema spec =
+    let resolve name =
+      match List.find_opt (fun v -> String.equal (namer v) name) free with
+      | Some v -> Relalg.Schema.index schema v
+      | None ->
+        failwith
+          (Printf.sprintf "--rank: %S is not a free variable of the query"
+             name)
+    in
+    let terms =
+      List.map
+        (fun part ->
+          match String.split_on_char ':' (String.trim part) with
+          | [ name ] -> (resolve name, 1.0)
+          | [ name; w ] -> (
+            match float_of_string_opt w with
+            | Some w -> (resolve name, w)
+            | None -> failwith (Printf.sprintf "--rank: bad weight %S" w))
+          | _ -> failwith (Printf.sprintf "--rank: bad term %S" part))
+        (String.split_on_char ',' spec)
+    in
+    if terms = [] then failwith "--rank: empty spec";
+    let score tup =
+      List.fold_left
+        (fun acc (pos, w) ->
+          acc +. (w *. float_of_int (Relalg.Tuple.get tup pos)))
+        0.0 terms
+    in
+    fun a b ->
+      match Float.compare (score a) (score b) with
+      | 0 -> Relalg.Tuple.compare a b
+      | c -> c
+  in
+  let run query_text query_file data_dir meth show_sql limit rank page trace
+      metrics backend jobs =
     guarded @@ fun () ->
-    apply_backend backend;
+    with_backend backend @@ fun () ->
     let pool = make_pool jobs in
     with_telemetry ~trace ~metrics @@ fun telemetry ->
     let source =
@@ -642,6 +711,92 @@ let query_cmd =
       | Some other -> failwith (Printf.sprintf "unknown method %S" other)
     in
     let ctx = Relalg.Ctx.create ?telemetry ?pool () in
+    let head_name = parsed.Conjunctive.Parse.head_name in
+    let namer = parsed.Conjunctive.Parse.namer in
+    let free = cq.Conjunctive.Cq.free in
+    let print_rows schema rows =
+      List.iter
+        (fun tup ->
+          Printf.printf "  %s\n"
+            (String.concat ", "
+               (List.map
+                  (fun v ->
+                    string_of_int
+                      (Relalg.Tuple.get tup (Relalg.Schema.index schema v)))
+                  free)))
+        rows
+    in
+    if limit <> None || rank <> None then begin
+      (* Streaming delivery: prepare once, open a cursor, pull a page.
+         On enumeration-friendly routes (acyclic plans, GHD) the first
+         answer arrives after the linear reduction, long before the full
+         result could have materialized. *)
+      if page < 0 then failwith "--page must be >= 0";
+      if page > 0 && limit = None then failwith "--page requires --limit";
+      if show_sql then
+        prerr_endline "query: --show-sql is ignored when streaming";
+      let t0 = Unix.gettimeofday () in
+      let compiled = Ppr_core.Driver.prepare meth db cq in
+      let cur = Ppr_core.Exec.stream ~ctx db cq compiled in
+      let schema = Relalg.Cursor.schema cur in
+      let cmp = Option.map (rank_of_spec ~namer ~free ~schema) rank in
+      let t1 = Unix.gettimeofday () in
+      let first = Relalg.Cursor.next cur in
+      let first_seconds = Unix.gettimeofday () -. t1 in
+      let rows =
+        match (first, cmp, limit) with
+        | None, _, _ -> []
+        | Some hd, None, Some k ->
+          let skip = page * k in
+          if skip = 0 then hd :: Relalg.Cursor.take cur (k - 1)
+          else begin
+            (* Page N in stream order: discard the earlier pages. *)
+            ignore (Relalg.Cursor.take cur (skip - 1));
+            Relalg.Cursor.take cur k
+          end
+        | Some hd, None, None ->
+          (* Unreachable (no rank and no limit is the materialized
+             path), but drain faithfully if it ever is. *)
+          let acc = ref [ hd ] in
+          Relalg.Cursor.iter (fun t -> acc := t :: !acc) cur;
+          List.rev !acc
+        | Some hd, Some cmp, None ->
+          (* Full ranked answer: drain and sort. *)
+          let acc = ref [ hd ] in
+          Relalg.Cursor.iter (fun t -> acc := t :: !acc) cur;
+          List.sort cmp !acc
+        | Some hd, Some cmp, Some k ->
+          (* Ranked page N: the k best of the (N+1)*k-sized heap drain,
+             after the first tuple is merged back in. *)
+          let want = (page + 1) * k in
+          let top = Relalg.Cursor.top_k ~compare:cmp cur want in
+          let rec insert = function
+            | [] -> [ hd ]
+            | x :: tl ->
+              if cmp hd x <= 0 then hd :: x :: tl else x :: insert tl
+          in
+          List.filteri
+            (fun i _ -> i >= page * k && i < want)
+            (insert top)
+      in
+      let more = not (Relalg.Cursor.closed cur) in
+      Relalg.Cursor.close cur;
+      (match free with
+      | [] -> Printf.printf "%s: %b\n" head_name (first <> None)
+      | free_vars ->
+        Printf.printf "%s(%s): %d answer%s%s%s\n" head_name
+          (String.concat ", " (List.map namer free_vars))
+          (List.length rows)
+          (if List.length rows = 1 then "" else "s")
+          (if page > 0 then Printf.sprintf " (page %d)" page else "")
+          (if more then ", more available" else "");
+        print_rows schema rows);
+      Printf.printf
+        "prepared in %.4fs; first answer in %.4fs; page served in %.4fs\n"
+        (t1 -. t0) first_seconds
+        (Unix.gettimeofday () -. t1)
+    end
+    else
     let result =
       match meth with
       | Ppr_core.Driver.Wcoj ->
@@ -666,30 +821,22 @@ let query_cmd =
         Ppr_core.Exec.run ~ctx db plan
     in
     let schema = Relalg.Relation.schema result in
-    (match cq.Conjunctive.Cq.free with
+    (match free with
     | [] ->
-      Printf.printf "%s: %b\n" parsed.Conjunctive.Parse.head_name
+      Printf.printf "%s: %b\n" head_name
         (not (Relalg.Relation.is_empty result))
-    | free ->
-      Printf.printf "%s(%s): %d answers\n" parsed.Conjunctive.Parse.head_name
-        (String.concat ", " (List.map parsed.Conjunctive.Parse.namer free))
+    | free_vars ->
+      Printf.printf "%s(%s): %d answers\n" head_name
+        (String.concat ", " (List.map namer free_vars))
         (Relalg.Relation.cardinality result);
-      List.iter
-        (fun tup ->
-          Printf.printf "  %s\n"
-            (String.concat ", "
-               (List.map
-                  (fun v ->
-                    string_of_int
-                      (Relalg.Tuple.get tup (Relalg.Schema.index schema v)))
-                  free)))
-        (Relalg.Relation.to_sorted_list result))
+      print_rows schema (Relalg.Relation.to_sorted_list result))
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a Datalog-style project-join query.")
     Term.(
       const run $ query_text $ query_file $ data_dir $ method_arg $ sql_flag
-      $ trace_arg $ metrics_arg $ backend_arg $ jobs_arg)
+      $ limit_arg $ rank_arg $ page_arg $ trace_arg $ metrics_arg
+      $ backend_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* acyclic: hypergraph structure report                                *)
@@ -831,8 +978,15 @@ let serve_cmd =
       & info [ "max-tuples" ] ~docv:"N"
           ~doc:"Per-intermediate-relation tuple cap (base budget).")
   in
+  let cursor_capacity_arg =
+    Arg.(
+      value & opt int Serve.Engine.default_config.Serve.Engine.cursor_capacity
+      & info [ "cursor-capacity" ] ~docv:"N"
+          ~doc:
+            "Parked-pagination-cursor bound (LRU): parking one more              evicts the least-recently-used session, whose next              continuation request gets a typed 'cursor-expired' error.")
+  in
   let run socket port host data_dir workers queue_depth cache cache_file
-      deadline_ms max_deadline_ms max_tuples jobs =
+      deadline_ms max_deadline_ms max_tuples cursor_capacity jobs =
     guarded @@ fun () ->
     let pool = make_pool jobs in
     let db =
@@ -858,6 +1012,7 @@ let serve_cmd =
         cache_file;
         default_deadline_ms = deadline_ms;
         max_deadline_ms;
+        cursor_capacity;
         budget =
           Supervise.Budget.with_max_cardinality max_tuples
             Serve.Engine.default_config.Serve.Engine.budget;
@@ -899,7 +1054,7 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ port_arg $ host_arg $ data_dir $ workers_arg
       $ queue_arg $ cache_arg $ cache_file_arg $ deadline_arg
-      $ max_deadline_arg $ max_tuples_arg $ jobs_arg)
+      $ max_deadline_arg $ max_tuples_arg $ cursor_capacity_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 

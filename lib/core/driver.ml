@@ -50,15 +50,19 @@ type outcome = {
   max_cardinality : int;
   tuples_produced : int;
   result : Relalg.Relation.t option;
-  result_cardinality : int option;
-  nonempty : bool option;
+  complete : bool;
+  first_answer_seconds : float option;
+  time_to_k : float option;
   status : status;
 }
 
-let timed_out o = match o.status with Completed -> false | Aborted _ -> true
-
 let abort_reason o =
   match o.status with Completed -> None | Aborted a -> Some a.reason
+
+(* The one place result-shape facts derive from: everything else
+   (cardinality, nonemptiness, pretty-printing) reads [result]. *)
+let result_cardinality o = Option.map Relalg.Relation.cardinality o.result
+let nonempty o = Option.map (fun r -> not (Relalg.Relation.is_empty r)) o.result
 
 let compile ?rng meth db cq =
   match meth with
@@ -82,7 +86,7 @@ let compile ?rng meth db cq =
     let prep = Ghd.prepare ?rng db cq in
     Bucket.compile ?rng ~order:(Array.of_list prep.Ghd.var_order) cq
 
-type compiled =
+type compiled = Exec.compiled =
   | Plan of Plan.t
   | Generic_join of Wcoj.prep
   | Decomposed of Ghd.prep * Plan.t option
@@ -109,16 +113,75 @@ let prepare ?rng meth db cq =
     Decomposed (prep, plan)
   | _ -> Plan (compile ?rng meth db cq)
 
+(* Minibucket plans are deliberately approximate (a superset of the
+   answer): the semijoin reroute in [Exec.stream] answers the exact
+   query and would mask the approximation, so it is disabled there. *)
+let exact_method = function Minibucket _ -> false | _ -> true
+
 let log_src =
   Logs.Src.create "ppr.driver" ~doc:"Method compilation and execution"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* Collect the streamed answer under the requested delivery policy,
+   timing the first pull and the completion of the request. *)
+let collect_stream ~clock ~limit ~rank cur =
+  let t0 = clock () in
+  let first_at = ref None in
+  let next () =
+    let r = Relalg.Cursor.next cur in
+    (match r with
+    | Some _ when !first_at = None -> first_at := Some (clock () -. t0)
+    | _ -> ());
+    r
+  in
+  let tuples, complete =
+    match (if limit = Some 0 then None else next ()) with
+    | None -> ([], limit <> Some 0 || Relalg.Cursor.next cur = None)
+    | Some t0' -> (
+      match (rank, limit) with
+      | None, None ->
+        (* No policy: drain in stream order. *)
+        let acc = ref [ t0' ] in
+        Relalg.Cursor.iter (fun t -> acc := t :: !acc) cur;
+        (List.rev !acc, true)
+      | None, Some k ->
+        let rest = Relalg.Cursor.take cur (k - 1) in
+        (t0' :: rest, Relalg.Cursor.closed cur)
+      | Some compare, None ->
+        (* Global ranking with no page bound: full drain, full sort. *)
+        let acc = ref [ t0' ] in
+        Relalg.Cursor.iter (fun t -> acc := t :: !acc) cur;
+        (List.sort compare !acc, true)
+      | Some compare, Some k ->
+        (* Ranked page: rank is global, so the stream drains fully, but
+           only the k best survive — a bounded heap over the remainder,
+           then the first tuple merged in. *)
+        let rest = Relalg.Cursor.top_k ~compare cur k in
+        let rec insert = function
+          | [] -> [ t0' ]
+          | x :: tl ->
+            if compare t0' x <= 0 then t0' :: x :: tl else x :: insert tl
+        in
+        let merged = List.filteri (fun i _ -> i < k) (insert rest) in
+        (merged, Relalg.Cursor.yielded cur <= k))
+  in
+  Relalg.Cursor.close cur;
+  let time_to_k = clock () -. t0 in
+  let rel =
+    Relalg.Relation.create
+      ~size_hint:(List.length tuples)
+      (Relalg.Cursor.schema cur)
+  in
+  List.iter (fun t -> ignore (Relalg.Relation.add rel t)) tuples;
+  (rel, complete, !first_at, Some time_to_k)
+
 (* Driver-level spans ([compile:<method>], [exec:<method>]) and counters
    ([driver.runs], [driver.aborts.<reason>]) land in the caller's telemetry
    registry; the per-run [Stats.t] keeps its own private registry so the
    outcome's measurements never mix across runs. *)
-let run ?rng ?compiled ?(ctx = Relalg.Ctx.null) meth db cq =
+let run ?rng ?compiled ?limit ?rank ?(ctx = Relalg.Ctx.null) meth db cq =
+  let limit = Option.map (max 0) limit in
   let telemetry = Relalg.Ctx.telemetry ctx in
   let clock = Unix.gettimeofday in
   let name = method_name meth in
@@ -137,15 +200,8 @@ let run ?rng ?compiled ?(ctx = Relalg.Ctx.null) meth db cq =
      prepared by {!prepare} for this method, query and database. *)
   let planned =
     match compiled with
-    | Some (Plan plan) -> `Plan plan
-    | Some (Generic_join prep) -> `Generic prep
-    | Some (Decomposed (prep, plan)) -> `Ghd (prep, plan)
-    | None ->
-      in_span "compile" [] (fun () ->
-          match prepare ?rng meth db cq with
-          | Plan plan -> `Plan plan
-          | Generic_join prep -> `Generic prep
-          | Decomposed (prep, plan) -> `Ghd (prep, plan))
+    | Some c -> c
+    | None -> in_span "compile" [] (fun () -> prepare ?rng meth db cq)
   in
   let t1 = clock () in
   (* Analytic width: for a binary plan, its largest node schema; for the
@@ -160,9 +216,9 @@ let run ?rng ?compiled ?(ctx = Relalg.Ctx.null) meth db cq =
   in
   let plan_width =
     match planned with
-    | `Plan plan -> Plan.width plan
-    | `Generic _ -> generic_width ()
-    | `Ghd (prep, plan) -> (
+    | Plan plan -> Plan.width plan
+    | Generic_join _ -> generic_width ()
+    | Decomposed (prep, plan) -> (
       match (prep.Ghd.decision, plan) with
       | Ghd.Bucket, Some plan -> Plan.width plan
       | Ghd.Generic, _ -> generic_width ()
@@ -173,12 +229,12 @@ let run ?rng ?compiled ?(ctx = Relalg.Ctx.null) meth db cq =
           prep.Ghd.decomposition.Hypergraphs.Hypertree.chi)
   in
   (match planned with
-  | `Plan plan ->
+  | Plan plan ->
     Log.debug (fun m ->
         m "%s: compiled in %.4fs (width %d, %d joins, %d projections)" name
           (t1 -. t0) (Plan.width plan) (Plan.join_count plan)
           (Plan.projection_count plan))
-  | `Generic prep ->
+  | Generic_join prep ->
     Log.debug (fun m ->
         m
           "%s: prepared in %.4fs (AGM bound 2^%.2f <= binary 2^%.2f, rho \
@@ -186,7 +242,7 @@ let run ?rng ?compiled ?(ctx = Relalg.Ctx.null) meth db cq =
           name (t1 -. t0) prep.Wcoj.agm.Wcoj.Agm.bound_log2
           prep.Wcoj.binary_bound_log2 prep.Wcoj.agm.Wcoj.Agm.rho
           prep.Wcoj.induced_width)
-  | `Ghd (prep, _) ->
+  | Decomposed (prep, _) ->
     Log.debug (fun m ->
         m
           "%s: prepared in %.4fs (gate %s: bucket 2^%.2f vs generic 2^%.2f \
@@ -210,12 +266,14 @@ let run ?rng ?compiled ?(ctx = Relalg.Ctx.null) meth db cq =
     (match (meth, planned) with
     | Wcoj, _ -> (
       let decision =
-        match planned with `Generic _ -> Wcoj.Generic | _ -> Wcoj.Binary
+        match planned with
+        | Generic_join _ -> Wcoj.Generic
+        | _ -> Wcoj.Binary
       in
       [ ("wcoj.decision", Telemetry.Attr.String (Wcoj.decision_name decision)) ]
       @
       match planned with
-      | `Generic prep ->
+      | Generic_join prep ->
         [
           ( "wcoj.agm_bound_log2",
             Telemetry.Attr.Float prep.Wcoj.agm.Wcoj.Agm.bound_log2 );
@@ -223,7 +281,7 @@ let run ?rng ?compiled ?(ctx = Relalg.Ctx.null) meth db cq =
             Telemetry.Attr.Float prep.Wcoj.binary_bound_log2 );
         ]
       | _ -> [])
-    | Ghd, `Ghd (prep, _) ->
+    | Ghd, Decomposed (prep, _) ->
       (* The three-bound gate: decision plus all three bounds, on the
          shared log2-tuples cost scale, land on every exec span. *)
       [
@@ -237,31 +295,54 @@ let run ?rng ?compiled ?(ctx = Relalg.Ctx.null) meth db cq =
       ]
     | _ -> [])
   in
-  let result, status =
+  let streamed = limit <> None || rank <> None in
+  let result, complete, first_answer_seconds, time_to_k, status =
     in_span "exec" exec_attrs (fun () ->
         try
-          let r =
-            match planned with
-            | `Plan plan -> Exec.run ~ctx:exec_ctx db plan
-            | `Generic prep ->
-              Exec.run_generic ~ctx:exec_ctx ~order:prep.Wcoj.order db cq
-            | `Ghd (prep, plan) -> (
-              match (prep.Ghd.decision, plan) with
-              | Ghd.Ghd, _ -> Exec.run_ghd ~ctx:exec_ctx ~prep db cq
-              | Ghd.Generic, _ ->
-                Exec.run_generic ~ctx:exec_ctx ~order:prep.Ghd.var_order db cq
-              | Ghd.Bucket, Some plan -> Exec.run ~ctx:exec_ctx db plan
-              | Ghd.Bucket, None ->
-                (* A prep forced to bucket without its plan (should not
-                   happen through [prepare]); compile the fallback. *)
-                Exec.run ~ctx:exec_ctx db
-                  (Bucket.compile ~order:(Array.of_list prep.Ghd.var_order) cq))
-          in
-          (Some r, Completed)
+          if streamed then begin
+            (* Delivery-bounded run: open the cursor and pull only what
+               the policy needs. Early exit is the whole point — a
+               limit-k run of a streaming route does O(setup + k) work,
+               not O(answer). *)
+            let cur =
+              Exec.stream ~ctx:exec_ctx ~semijoin:(exact_method meth) db cq
+                planned
+            in
+            let rel, complete, first_at, ttk =
+              collect_stream ~clock ~limit ~rank cur
+            in
+            (Some rel, complete, first_at, ttk, Completed)
+          end
+          else
+            let r =
+              match planned with
+              | Plan plan -> Exec.run ~ctx:exec_ctx db plan
+              | Generic_join prep ->
+                Exec.run_generic ~ctx:exec_ctx ~order:prep.Wcoj.order db cq
+              | Decomposed (prep, plan) -> (
+                match (prep.Ghd.decision, plan) with
+                | Ghd.Ghd, _ -> Exec.run_ghd ~ctx:exec_ctx ~prep db cq
+                | Ghd.Generic, _ ->
+                  Exec.run_generic ~ctx:exec_ctx ~order:prep.Ghd.var_order db
+                    cq
+                | Ghd.Bucket, Some plan -> Exec.run ~ctx:exec_ctx db plan
+                | Ghd.Bucket, None ->
+                  (* A prep forced to bucket without its plan (should not
+                     happen through [prepare]); compile the fallback. *)
+                  Exec.run ~ctx:exec_ctx db
+                    (Bucket.compile
+                       ~order:(Array.of_list prep.Ghd.var_order)
+                       cq))
+            in
+            (Some r, true, None, None, Completed)
         with Relalg.Limits.Abort reason ->
           Log.info (fun m ->
               m "%s: aborted — %s" name (Relalg.Limits.describe reason));
-          (None, Aborted { reason; partial_stats = Relalg.Stats.copy stats }))
+          ( None,
+            false,
+            None,
+            None,
+            Aborted { reason; partial_stats = Relalg.Stats.copy stats } ))
   in
   (match telemetry with
   | None -> ()
@@ -287,20 +368,24 @@ let run ?rng ?compiled ?(ctx = Relalg.Ctx.null) meth db cq =
     max_cardinality = Relalg.Stats.max_cardinality stats;
     tuples_produced = Relalg.Stats.tuples_produced stats;
     result;
-    result_cardinality = Option.map Relalg.Relation.cardinality result;
-    nonempty = Option.map (fun r -> not (Relalg.Relation.is_empty r)) result;
+    complete;
+    first_answer_seconds;
+    time_to_k;
     status;
   }
 
 let pp_outcome ppf o =
   Format.fprintf ppf
-    "%-18s compile=%.4fs exec=%s width=%d/%d max_card=%d result=%s"
+    "%-18s compile=%.4fs exec=%s width=%d/%d max_card=%d result=%s%s"
     (method_name o.meth) o.compile_seconds
     (match o.status with
     | Completed -> Printf.sprintf "%.4fs" o.exec_seconds
     | Aborted a ->
       Printf.sprintf "abort(%s)" (Relalg.Limits.reason_label a.reason))
     o.plan_width o.max_arity o.max_cardinality
-    (match o.result_cardinality with
+    (match result_cardinality o with
     | Some c -> string_of_int c
     | None -> "-")
+    (* the "+" marks a page of a larger answer; an absent result has
+       nothing to be a page of *)
+    (if o.complete || result_cardinality o = None then "" else "+")

@@ -1,6 +1,7 @@
 (** Running one method on one query, with the measurements the paper
     reports: compile (plan construction) time, execution time, and the
-    size/width of intermediate results. *)
+    size/width of intermediate results — plus the streaming delivery
+    policies ([limit], [rank]) the result-API layer adds on top. *)
 
 type meth =
   | Naive of Naive.search
@@ -50,25 +51,40 @@ type outcome = {
   max_cardinality : int; (** measured: largest intermediate relation *)
   tuples_produced : int;
   result : Relalg.Relation.t option;
-      (** the materialized answer; [None] when resources ran out. The
-          serving layer reads tuples from here — experiment code that
-          only needs sizes can keep using the measured fields below *)
-  result_cardinality : int option;  (** [None] when resources ran out *)
-  nonempty : bool option;
+      (** the materialized answer — full under the default policy, the
+          delivered page under [limit]/[rank]; [None] when resources ran
+          out. Derived facts (cardinality, nonemptiness) come from the
+          {!result_cardinality} and {!nonempty} accessors, which read
+          this one field *)
+  complete : bool;
+      (** whether [result] holds {e every} answer: always under the
+          default policy, and under [limit]/[rank] exactly when the
+          stream was exhausted within the requested page. [false] on
+          abort *)
+  first_answer_seconds : float option;
+      (** streamed runs only: delay from opening the cursor to the first
+          answer tuple; [None] on materialized runs and empty results *)
+  time_to_k : float option;
+      (** streamed runs only: delay from opening the cursor to the
+          moment the delivery policy was satisfied *)
   status : status;  (** typed abort taxonomy; [Completed] on success *)
 }
 
-val timed_out : outcome -> bool
-(** [status <> Completed]; kept as the historical name for "the run was
-    cut short", whatever the reason. *)
-
 val abort_reason : outcome -> Relalg.Limits.reason option
+
+val result_cardinality : outcome -> int option
+(** Tuples in [result] ([None] when resources ran out). Under a
+    [limit]/[rank] policy this counts the delivered page — check
+    {!outcome.complete} before reading it as the query's answer count. *)
+
+val nonempty : outcome -> bool option
+(** Whether [result] is nonempty; same caveats as {!result_cardinality}. *)
 
 val compile :
   ?rng:Graphlib.Rng.t -> meth -> Conjunctive.Database.t -> Conjunctive.Cq.t ->
   Plan.t
 
-type compiled =
+type compiled = Exec.compiled =
   | Plan of Plan.t  (** a binary project-join plan *)
   | Generic_join of Wcoj.prep
       (** the AGM gate picked the generic join: no binary plan exists,
@@ -79,6 +95,8 @@ type compiled =
           plan rides along exactly when the gate picked bucket, so a
           cache hit replays without re-running the GHD search or the
           bucket compiler *)
+(** Re-export of {!Exec.compiled}: the same artifact drives {!run},
+    {!Exec.stream} and the serving layer's plan cache. *)
 
 val prepare :
   ?rng:Graphlib.Rng.t -> meth -> Conjunctive.Database.t -> Conjunctive.Cq.t ->
@@ -92,7 +110,9 @@ val prepare :
     estimation and bucket construction entirely. *)
 
 val run :
-  ?rng:Graphlib.Rng.t -> ?compiled:compiled -> ?ctx:Relalg.Ctx.t ->
+  ?rng:Graphlib.Rng.t -> ?compiled:compiled ->
+  ?limit:int -> ?rank:(Relalg.Tuple.t -> Relalg.Tuple.t -> int) ->
+  ?ctx:Relalg.Ctx.t ->
   meth -> Conjunctive.Database.t -> Conjunctive.Cq.t -> outcome
 (** Compile, execute, and measure. A {!Relalg.Limits.Abort} is caught and
     reported as [Aborted] (with the typed reason and the stats gathered up
@@ -107,6 +127,20 @@ val run :
 
     [compiled] (a {!prepare} artifact for the {e same} method, query and
     database — the caller's contract) skips the compile phase entirely:
-    [compile_seconds] then measures only the (near-zero) reuse cost. *)
+    [compile_seconds] then measures only the (near-zero) reuse cost.
+
+    With neither [limit] nor [rank] the run materializes the full answer
+    through the method's own evaluator, byte-for-byte as before. Either
+    option switches execution to {!Exec.stream}: [limit] pulls at most
+    that many tuples in stream order and stops — on streaming routes the
+    work is O(setup + k), not O(answer) — while [rank] (a total order;
+    include a tuple tiebreak for determinism) drains the stream through
+    a bounded heap and delivers the [limit] least tuples ascending (the
+    full sorted answer when [limit] is absent). Streamed outcomes fill
+    [first_answer_seconds]/[time_to_k] and set [complete] iff nothing
+    was left behind; the semijoin reroute is disabled for {!Minibucket}
+    so its plans stay faithfully approximate. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+(** One line per run; an incomplete (page-limited) result cardinality is
+    suffixed with [+]. *)

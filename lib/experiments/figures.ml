@@ -278,8 +278,8 @@ let figure_minibucket ~scale ~seeds =
           random_coloring ~mode:Encode.Boolean ~n ~density ~seed
         in
         let truth =
-          (Driver.run ~ctx:(limited_ctx ()) Driver.Bucket_elimination db cq)
-            .Driver.nonempty
+          Driver.nonempty
+            (Driver.run ~ctx:(limited_ctx ()) Driver.Bucket_elimination db cq)
         in
         (db, cq, truth))
       (seed_list seeds)

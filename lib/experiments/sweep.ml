@@ -144,7 +144,7 @@ let run_cell ?(limits_factory = fun () -> Relalg.Limits.create ()) ?ladder
           +. outcome.Ppr_core.Driver.exec_seconds;
         status = outcome.Ppr_core.Driver.status;
         rescued = false;
-        nonempty = outcome.Ppr_core.Driver.nonempty;
+        nonempty = Ppr_core.Driver.nonempty outcome;
         plan_width = outcome.Ppr_core.Driver.plan_width;
         max_arity = outcome.Ppr_core.Driver.max_arity;
       }
@@ -161,7 +161,7 @@ let run_cell ?(limits_factory = fun () -> Relalg.Limits.create ()) ?ladder
         seconds = report.Supervise.total_seconds;
         status = final.Ppr_core.Driver.status;
         rescued = report.Supervise.rescued;
-        nonempty = final.Ppr_core.Driver.nonempty;
+        nonempty = Ppr_core.Driver.nonempty final;
         plan_width = final.Ppr_core.Driver.plan_width;
         max_arity = final.Ppr_core.Driver.max_arity;
       }

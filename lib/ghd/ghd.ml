@@ -247,45 +247,64 @@ let materialize_bag ~ctx ~rels ~assignment htd b =
   in
   Ops.project ~ctx !joined target
 
-let evaluate ?(ctx = Ctx.null) ?prep db cq =
-  let prep = match prep with Some p -> p | None -> prepare db cq in
+(* Shared front half of both evaluation modes: validate the prep, tick
+   fuel, and materialize every bag (inside the given [span]). *)
+let prepared_bags ~ctx ~span ~prep db cq =
   let atoms = Array.of_list cq.Cq.atoms in
   if Array.length prep.assignment <> Array.length atoms then
-    invalid_arg "Ghd.evaluate: prep does not match the query";
-  let telemetry = Ctx.telemetry ctx in
-  let span name attrs f =
-    match telemetry with
-    | None -> f ()
-    | Some t -> Telemetry.with_span ~attrs t name (fun _ -> f ())
-  in
+    invalid_arg "Ghd: prep does not match the query";
   (match Ctx.limits ctx with
   | Some l -> Limits.tick_operator l
   | None -> ());
   let htd = prep.decomposition in
   let nb = Array.length htd.Hypertree.chi in
-  span "op.ghd.eval"
-    [
-      ("bags", Telemetry.Attr.Int nb);
-      ("htw", Telemetry.Attr.Int prep.htw);
-      ("atoms", Telemetry.Attr.Int (Array.length atoms));
-      ("free", Telemetry.Attr.Int (List.length cq.Cq.free));
-    ]
-  @@ fun () ->
-  (match telemetry with
-  | Some t ->
-    Telemetry.Metrics.incr
-      (Telemetry.Metrics.counter (Telemetry.metrics t) "ops.ghd")
-  | None -> ());
   let rels = Array.map (fun a -> Database.eval_atom ~ctx db a) atoms in
-  let bags =
-    Array.init nb (fun b ->
-        span "op.ghd.bag"
-          [
-            ("bag", Telemetry.Attr.Int b);
-            ( "cover",
-              Telemetry.Attr.Int (List.length htd.Hypertree.lambda.(b)) );
-          ]
-          (fun () -> materialize_bag ~ctx ~rels ~assignment:prep.assignment htd b))
-  in
+  Array.init nb (fun b ->
+      span "op.ghd.bag"
+        [
+          ("bag", Telemetry.Attr.Int b);
+          ("cover", Telemetry.Attr.Int (List.length htd.Hypertree.lambda.(b)));
+        ]
+        (fun () -> materialize_bag ~ctx ~rels ~assignment:prep.assignment htd b))
+
+let span_of_ctx ctx =
+  match Ctx.telemetry ctx with
+  | None -> fun _name _attrs f -> f ()
+  | Some t -> fun name attrs f -> Telemetry.with_span ~attrs t name (fun _ -> f ())
+
+let eval_attrs ~prep ~cq nb =
+  [
+    ("bags", Telemetry.Attr.Int nb);
+    ("htw", Telemetry.Attr.Int prep.htw);
+    ("atoms", Telemetry.Attr.Int (List.length cq.Cq.atoms));
+    ("free", Telemetry.Attr.Int (List.length cq.Cq.free));
+  ]
+
+let incr_counter ctx name =
+  match Ctx.telemetry ctx with
+  | Some t ->
+    Telemetry.Metrics.incr (Telemetry.Metrics.counter (Telemetry.metrics t) name)
+  | None -> ()
+
+let evaluate ?(ctx = Ctx.null) ?prep db cq =
+  let prep = match prep with Some p -> p | None -> prepare db cq in
+  let nb = Array.length prep.decomposition.Hypertree.chi in
+  span_of_ctx ctx "op.ghd.eval" (eval_attrs ~prep ~cq nb) @@ fun () ->
+  incr_counter ctx "ops.ghd";
+  let bags = prepared_bags ~ctx ~span:(span_of_ctx ctx) ~prep db cq in
   Yannakakis.sweeps ~ctx ~parent:prep.parent ~order:prep.order
-    ~vars:htd.Hypertree.chi ~free:cq.Cq.free bags
+    ~vars:prep.decomposition.Hypertree.chi ~free:cq.Cq.free bags
+
+let enumerate ?(ctx = Ctx.null) ?prep db cq =
+  let prep = match prep with Some p -> p | None -> prepare db cq in
+  let nb = Array.length prep.decomposition.Hypertree.chi in
+  (* Setup — bag materialization, the two semijoin sweeps and the
+     per-node index build — runs inside the span and completes before
+     this returns; the iterator it yields touches only the prebuilt
+     indexes, so no span is left open across consumer pulls (cursors
+     outlive any span scope). *)
+  span_of_ctx ctx "op.ghd.enumerate" (eval_attrs ~prep ~cq nb) @@ fun () ->
+  incr_counter ctx "ops.ghd";
+  let bags = prepared_bags ~ctx ~span:(span_of_ctx ctx) ~prep db cq in
+  Yannakakis.enumerate ~ctx ~parent:prep.parent ~order:prep.order
+    ~free:cq.Cq.free bags

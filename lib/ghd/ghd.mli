@@ -76,3 +76,22 @@ val evaluate :
     @raise Relalg.Limits.Abort when a resource guard trips.
     @raise Invalid_argument when [prep] does not match the query.
     @raise Not_found if an atom names an unregistered relation. *)
+
+val enumerate :
+  ?ctx:Relalg.Ctx.t ->
+  ?prep:prep ->
+  Conjunctive.Database.t ->
+  Conjunctive.Cq.t ->
+  Relalg.Schema.t * ((Relalg.Tuple.t -> unit) -> unit)
+(** The streaming counterpart of {!evaluate}: materialize the bags
+    exactly as {!evaluate} does, then hand them to
+    {!Hypergraphs.Yannakakis.enumerate} — semijoin reduction and index
+    build up front (inside an [op.ghd.enumerate] span), followed by
+    constant-delay backtracking enumeration from the reduced bag tree
+    with {e no} final join materialization. Returns the answer schema
+    (the query's free variables, in order) and the iterator. Emitted
+    projections may repeat when the free variables omit bag-join
+    attributes; wrap in a deduplicating {!Relalg.Cursor}.
+    @raise Relalg.Limits.Abort when a resource guard trips.
+    @raise Invalid_argument when [prep] does not match the query.
+    @raise Not_found if an atom names an unregistered relation. *)

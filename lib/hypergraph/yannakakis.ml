@@ -65,6 +65,136 @@ let sweeps ?ctx ~parent ~order ~vars ~free rels =
   | first :: rest ->
     List.fold_left (fun acc r -> Ops.natural_join ?ctx acc r) first rest
 
+module Tbl = Hashtbl.Make (struct
+  type t = Relalg.Tuple.t
+
+  let equal = Relalg.Tuple.equal
+  let hash = Relalg.Tuple.hash
+end)
+
+(* How a node's candidate tuples are found during enumeration: roots list
+   all their tuples; every other node is indexed by its key — the
+   projection onto the attributes shared with its parent (possibly the
+   empty tuple, when a decomposition chains disconnected components into
+   one tree, which correctly degenerates to a cross product). *)
+type source =
+  | Root of Relalg.Tuple.t list
+  | Keyed of Relalg.Tuple.t list Tbl.t * int * int array
+      (* index, parent's pre-order slot, key positions in the parent *)
+
+(* Enumeration with bounded delay from the reduced tree: run only the
+   two semijoin sweeps (no join-project pass), index each node on its
+   key with the parent, and backtrack over nodes in pre-order. Full
+   reduction makes the tree globally consistent, so within a connected
+   component every partial assignment extends to a full one — the
+   search never dead-ends and the delay between answers is bounded by
+   the number of nodes, not by the data. Answers are projections onto
+   [free] and may repeat when [free] misses join attributes; set
+   semantics is the consumer's (deduplicating cursor's) business. *)
+let enumerate ?ctx ~parent ~order ~free rels =
+  let rels = Array.copy rels in
+  List.iter
+    (fun i ->
+      let p = parent.(i) in
+      if p >= 0 then rels.(p) <- Ops.semijoin ?ctx rels.(p) rels.(i))
+    order;
+  List.iter
+    (fun i ->
+      let p = parent.(i) in
+      if p >= 0 then rels.(i) <- Ops.semijoin ?ctx rels.(i) rels.(p))
+    (List.rev order);
+  (* Pre-order: the reversed bottom-up order lists every parent before
+     its children, which is all the backtracking search needs. *)
+  let pre = Array.of_list (List.rev order) in
+  let n = Array.length pre in
+  let slot_of = Array.make n 0 in
+  Array.iteri (fun j i -> slot_of.(i) <- j) pre;
+  let sources =
+    Array.init n (fun j ->
+        let i = pre.(j) in
+        let p = parent.(i) in
+        if p < 0 then Root (Relation.to_list rels.(i))
+        else begin
+          let shared =
+            Schema.inter (Relation.schema rels.(i)) (Relation.schema rels.(p))
+          in
+          let child_pos = Schema.positions shared (Relation.schema rels.(i)) in
+          let parent_pos =
+            Schema.positions shared (Relation.schema rels.(p))
+          in
+          let tbl = Tbl.create (max 16 (Relation.cardinality rels.(i))) in
+          Relation.iter
+            (fun tup ->
+              let key = Relalg.Tuple.project tup child_pos in
+              let prev = try Tbl.find tbl key with Not_found -> [] in
+              Tbl.replace tbl key (tup :: prev))
+            rels.(i);
+          Keyed (tbl, slot_of.(p), parent_pos)
+        end)
+  in
+  (* Where each free variable's value lives: any node containing it — all
+     nodes are bound when an answer is emitted. *)
+  let emit_src =
+    List.map
+      (fun v ->
+        let found = ref None in
+        Array.iteri
+          (fun j i ->
+            if !found = None then
+              let s = Relation.schema rels.(i) in
+              if Schema.mem s v then found := Some (j, Schema.index s v))
+          pre;
+        match !found with
+        | Some loc -> loc
+        | None ->
+          invalid_arg "Yannakakis.enumerate: free variable in no tree node")
+      free
+  in
+  let schema = Schema.of_list free in
+  let limits = Option.bind ctx Relalg.Ctx.limits in
+  let charge () =
+    match limits with Some l -> Relalg.Limits.charge l 1 | None -> ()
+  in
+  let iter emit =
+    if free = [] then begin
+      (* Boolean answer: global consistency makes nonemptiness of every
+         node equivalent to satisfiability — no search needed, and no
+         walk over the full join just to emit one 0-ary tuple. *)
+      if Array.for_all (fun r -> not (Relation.is_empty r)) rels then begin
+        charge ();
+        emit [||]
+      end
+    end
+    else begin
+      let chosen = Array.make n [||] in
+      let answer () =
+        Array.of_list
+          (List.map (fun (j, col) -> Relalg.Tuple.get chosen.(j) col) emit_src)
+      in
+      let rec go j =
+        if j = n then begin
+          charge ();
+          emit (answer ())
+        end
+        else
+          let candidates =
+            match sources.(j) with
+            | Root l -> l
+            | Keyed (tbl, pslot, parent_pos) -> (
+              let key = Relalg.Tuple.project chosen.(pslot) parent_pos in
+              try Tbl.find tbl key with Not_found -> [])
+          in
+          List.iter
+            (fun tup ->
+              chosen.(j) <- tup;
+              go (j + 1))
+            candidates
+      in
+      go 0
+    end
+  in
+  (schema, iter)
+
 let evaluate ?ctx db cq =
   let hg = Hypergraph.of_query cq in
   match Jointree.build hg with

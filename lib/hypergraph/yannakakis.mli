@@ -30,6 +30,32 @@ val sweeps :
     @raise Invalid_argument on an empty node set.
     @raise Relalg.Limits.Abort when a resource guard trips. *)
 
+val enumerate :
+  ?ctx:Relalg.Ctx.t ->
+  parent:int array ->
+  order:int list ->
+  free:int list ->
+  Relalg.Relation.t array ->
+  Relalg.Schema.t * ((Relalg.Tuple.t -> unit) -> unit)
+(** The streaming counterpart of {!sweeps}: run only the upward and
+    downward semijoin passes (the preprocessing), index each non-root
+    node by its shared attributes with its parent, and return the answer
+    schema ([free], in order) plus an iterator that backtracks over the
+    reduced tree emitting one answer projection at a time. Because full
+    reduction makes the tree globally consistent, every partial
+    assignment extends — the search never dead-ends, so the delay
+    between consecutive answers is bounded by the tree size (constant
+    delay in data complexity). Emitted projections may repeat when
+    [free] omits join attributes; wrap the iterator in a deduplicating
+    {!Relalg.Cursor} for set semantics. A Boolean query ([free = []])
+    emits the 0-ary tuple at most once, decided from nonemptiness of the
+    reduced nodes without walking the join. Setup (the two sweeps and
+    index build) happens before this function returns; the returned
+    iterator touches no operators — only the prebuilt indexes — and
+    charges the context's limits one tuple per emission.
+    @raise Relalg.Limits.Abort when a resource guard trips (during setup
+    or, via the per-emission charge, mid-enumeration). *)
+
 val evaluate :
   ?ctx:Relalg.Ctx.t ->
   Conjunctive.Database.t -> Conjunctive.Cq.t -> Relalg.Relation.t option

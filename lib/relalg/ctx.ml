@@ -30,7 +30,8 @@ let join_algorithm t = t.join_algorithm
 let pool t = t.pool
 
 (* The backend is resolved lazily against the process-wide default so
-   that [null] (a constant) still tracks [Relation.set_default_backend]. *)
+   that [null] (a constant) still tracks a [Relation.with_default_backend]
+   bracket an entry point may have installed. *)
 let backend t =
   match t.backend with Some b -> b | None -> Relation.default_backend ()
 

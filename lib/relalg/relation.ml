@@ -11,12 +11,17 @@ type backend = Row | Columnar
    Columnar is the fast path; Row is kept for A/B benchmarking and as the
    reference implementation in the backend-equivalence tests. An [Atomic]
    rather than a [ref]: worker domains allocate relations while the main
-   domain may still be applying CLI flags, and a plain ref has no
-   inter-domain visibility guarantee. New code should carry the backend
-   in [Relalg.Ctx.t] instead of flipping this global. *)
+   domain may still be inside a [with_default_backend] bracket, and a
+   plain ref has no inter-domain visibility guarantee. Operator code must
+   carry the backend in [Relalg.Ctx.t]; the scoped bracket below exists
+   only for entry points that load base data before any context exists. *)
 let default = Atomic.make Columnar
-let set_default_backend b = Atomic.set default b
 let default_backend () = Atomic.get default
+
+let with_default_backend b f =
+  let prev = Atomic.get default in
+  Atomic.set default b;
+  Fun.protect ~finally:(fun () -> Atomic.set default prev) f
 
 let backend_name = function Row -> "row" | Columnar -> "columnar"
 
@@ -78,6 +83,16 @@ let fold f t init =
 
 let to_list t = fold List.cons t []
 let to_sorted_list t = List.sort Tuple.compare (to_list t)
+
+let to_seq t =
+  match t.store with
+  | Rows tbl -> Table.to_seq_keys tbl
+  | Cols a ->
+    let rec rows i () =
+      if i >= Arena.count a then Seq.Nil
+      else Seq.Cons (Arena.read a i, rows (i + 1))
+    in
+    rows 0
 
 let of_tuples ?backend schema tuples =
   let t = create ?backend ~size_hint:(max 16 (List.length tuples)) schema in

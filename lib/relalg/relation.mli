@@ -8,20 +8,24 @@
     implementation), [Columnar] packs all tuples into a flat {!Arena}
     with open-addressing dedup — the same tuple set, bit-identical
     results, but cache-friendly scans and allocation-free join kernels
-    (see {!Ops}). The process-wide default is [Columnar]; benchmarks and
-    tests switch it with {!set_default_backend}. *)
+    (see {!Ops}). The process-wide default is [Columnar]. The blessed
+    spelling for choosing a backend is [Relalg.Ctx.t]'s backend field
+    ([Ctx.create ~backend] / [Ctx.with_backend]), which every operator
+    threads; {!with_default_backend} is the scoped bracket entry points
+    use while loading base data before any context exists. *)
 
 type t
 
 type backend = Row | Columnar
 
-val set_default_backend : backend -> unit
-(** Set the backend used by {!create} when none is given explicitly.
-    Initially [Columnar]. Deprecated shim: the cell is an [Atomic] so a
-    read from a worker domain is well-defined, but prefer carrying the
-    backend explicitly in [Relalg.Ctx.t] ([Ctx.create ~backend] /
-    [Ctx.with_backend]) — a process-wide toggle is shared mutable state
-    across domains. Kept for pre-[Ctx] callers and the CLI flag. *)
+val with_default_backend : backend -> (unit -> 'a) -> 'a
+(** [with_default_backend b f] runs [f] with [b] as the backend {!create}
+    uses when none is given, restoring the previous default on exit
+    (normal or exceptional). The cell is an [Atomic], so reads from
+    worker domains are well-defined. This replaces the unscoped
+    [set_default_backend] setter: operator code must take the backend
+    from its context; only entry points (CLI, bench, the test backend
+    matrix) bracket base-data loading with this. *)
 
 val default_backend : unit -> backend
 val backend_name : backend -> string
@@ -58,6 +62,10 @@ val to_list : t -> Tuple.t list
 val to_sorted_list : t -> Tuple.t list
 (** Tuples in lexicographic order — stable across hash layouts and
     backends, for tests and golden output. *)
+
+val to_seq : t -> Tuple.t Seq.t
+(** Lazily stream the tuples in an unspecified order. The relation must
+    not be mutated while the sequence is being consumed. *)
 
 val of_list : ?backend:backend -> Schema.t -> int list list -> t
 (** Build a relation from row lists. Duplicates are merged.

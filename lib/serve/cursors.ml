@@ -1,0 +1,95 @@
+(* Parked result cursors, keyed by opaque tokens.
+
+   A paginated session leaves its half-drained cursor here between
+   pages. The table is a bounded LRU: parking one cursor too many
+   evicts the least-recently-touched entry through [on_evict] (the
+   engine closes the evicted cursor), so a thousand abandoned
+   paginations cannot pin a thousand suspended evaluations. Tokens are
+   single-use — {!checkout} removes the entry, and serving the next
+   page re-parks the cursor under a {e fresh} token — so a duplicated
+   or replayed continuation request finds nothing and gets the typed
+   expired-cursor error instead of pulling someone else's stream. *)
+
+type 'a entry = { value : 'a; mutable stamp : int }
+
+type 'a t = {
+  lock : Mutex.t;
+  capacity : int;
+  on_evict : 'a -> unit;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable clock : int;
+  mutable counter : int;
+  mutable evictions : int;
+}
+
+let create ~capacity ~on_evict =
+  if capacity < 1 then invalid_arg "Cursors.create: capacity < 1";
+  {
+    lock = Mutex.create ();
+    capacity;
+    on_evict;
+    tbl = Hashtbl.create capacity;
+    clock = 0;
+    counter = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Caller holds the lock. Linear scan — the table is small (capacity is
+   a config knob in the tens) and eviction is rare. *)
+let evict_lru_locked t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun token e ->
+      match !victim with
+      | Some (_, s) when s <= e.stamp -> ()
+      | _ -> victim := Some (token, e.stamp))
+    t.tbl;
+  match !victim with
+  | None -> None
+  | Some (token, _) ->
+    let e = Hashtbl.find t.tbl token in
+    Hashtbl.remove t.tbl token;
+    t.evictions <- t.evictions + 1;
+    Some e.value
+
+let park t value =
+  let evicted, token =
+    locked t (fun () ->
+        let evicted =
+          if Hashtbl.length t.tbl >= t.capacity then evict_lru_locked t
+          else None
+        in
+        t.counter <- t.counter + 1;
+        t.clock <- t.clock + 1;
+        let token = Printf.sprintf "c%d" t.counter in
+        Hashtbl.replace t.tbl token { value; stamp = t.clock };
+        (evicted, token))
+  in
+  (* The evicted cursor is closed outside the lock: closing may unwind a
+     suspended producer and need not serialize with the table. *)
+  Option.iter t.on_evict evicted;
+  token
+
+let checkout t token =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl token with
+      | None -> None
+      | Some e ->
+        Hashtbl.remove t.tbl token;
+        Some e.value)
+
+let size t = locked t (fun () -> Hashtbl.length t.tbl)
+let evictions t = locked t (fun () -> t.evictions)
+
+let drain t =
+  let values =
+    locked t (fun () ->
+        let vs = Hashtbl.fold (fun _ e acc -> e.value :: acc) t.tbl [] in
+        Hashtbl.reset t.tbl;
+        vs)
+  in
+  List.iter t.on_evict values

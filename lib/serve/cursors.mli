@@ -1,0 +1,31 @@
+(** Bounded LRU table of parked pagination state, keyed by opaque
+    single-use tokens.
+
+    The engine parks a half-drained answer cursor here between pages of
+    a paginated session. Capacity is hard: parking into a full table
+    evicts the least-recently-parked entry through [on_evict], so
+    abandoned paginations cannot pin unbounded suspended work. Tokens
+    are consumed by {!checkout} — the next page re-parks under a fresh
+    token — so replayed continuation requests miss (and the engine turns
+    the miss into a typed expired-cursor error) rather than racing a
+    live stream. All operations are mutex-guarded; [on_evict] runs
+    outside the lock. *)
+
+type 'a t
+
+val create : capacity:int -> on_evict:('a -> unit) -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val park : 'a t -> 'a -> string
+(** Store a value, evicting the LRU entry if the table is full, and
+    return its fresh token. *)
+
+val checkout : 'a t -> string -> 'a option
+(** Claim and remove the entry, or [None] if the token was never issued,
+    already used, or evicted. *)
+
+val size : 'a t -> int
+val evictions : 'a t -> int
+
+val drain : 'a t -> unit
+(** Remove every entry, running [on_evict] on each (engine shutdown). *)

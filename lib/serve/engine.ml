@@ -11,6 +11,7 @@ type config = {
   max_deadline_ms : int;
   default_max_answers : int;
   max_answers_cap : int;
+  cursor_capacity : int;
   budget : Supervise.Budget.t;
 }
 
@@ -24,6 +25,7 @@ let default_config =
     max_deadline_ms = 300_000;
     default_max_answers = 100;
     max_answers_cap = 10_000;
+    cursor_capacity = 64;
     budget = Supervise.Budget.default;
   }
 
@@ -31,6 +33,16 @@ type job = {
   request : Wire.query;
   reply : Wire.response -> unit;
   enqueued_at : float;
+}
+
+(* A paginated session between pages: the half-drained cursor plus what
+   the next page's response needs (the free-variable column mapping into
+   the cursor's schema, the method label, the next page index). *)
+type parked = {
+  pcur : Relalg.Cursor.t;
+  pcolumns : int list;
+  pmeth : string;
+  ppage : int;
 }
 
 (* The admission queue is fair per client: each client id owns a FIFO of
@@ -46,6 +58,7 @@ type t = {
   pool : Parallel.Pool.t option;
   metrics : Metrics.t;
   cache : Driver.compiled Plan_cache.t;
+  cursors : parked Cursors.t;
   lock : Mutex.t;
   nonempty : Condition.t;
   clients : (int, job Queue.t) Hashtbl.t;
@@ -129,8 +142,74 @@ let answer_rows relation free max_answers =
     in
     take max_answers (Relalg.Relation.to_sorted_list relation)
 
+let page_size t (q : Wire.query) =
+  min
+    (max 1 (Option.value q.Wire.limit ~default:t.cfg.default_max_answers))
+    t.cfg.max_answers_cap
+
+(* Pull one page off a (fresh or checked-out) cursor and answer with it.
+   More pages pending -> the cursor parks again under a fresh token that
+   rides back on [next_cursor]; exhausted or aborted -> the cursor dies
+   here. Exactly one response leaves in every case. *)
+let serve_page t ~id ~cache_hit ~compile_seconds ~queue_seconds (p : parked) k
+    =
+  let started = Unix.gettimeofday () in
+  match Relalg.Cursor.take p.pcur k with
+  | tuples ->
+    let exhausted = Relalg.Cursor.closed p.pcur in
+    let next_cursor =
+      if exhausted then None
+      else Some (Cursors.park t.cursors { p with ppage = p.ppage + 1 })
+    in
+    count t "serve.answers";
+    let answers =
+      match p.pcolumns with
+      | [] -> []
+      | columns ->
+        List.map (fun tup -> List.map (Relalg.Tuple.get tup) columns) tuples
+    in
+    Wire.Answer
+      ( id,
+        {
+          Wire.cardinality = List.length tuples;
+          nonempty = tuples <> [];
+          answers;
+          truncated = not exhausted;
+          cache_hit;
+          rungs = 1;
+          rescued = false;
+          approximate = false;
+          meth = p.pmeth;
+          compile_seconds;
+          exec_seconds = Unix.gettimeofday () -. started;
+          queue_seconds;
+          page = Some p.ppage;
+          next_cursor;
+        } )
+  | exception Relalg.Limits.Abort reason ->
+    Relalg.Cursor.close p.pcur;
+    count t "serve.aborts";
+    Wire.Failed
+      ( id,
+        Wire.Aborted (Relalg.Limits.reason_label reason),
+        Relalg.Limits.describe reason )
+
 let run_session t (q : Wire.query) ~queue_seconds ~deadline_abs =
   let id = q.id in
+  match q.Wire.cursor with
+  | Some token -> (
+    match Cursors.checkout t.cursors token with
+    | None ->
+      count t "serve.cursor_expired";
+      Wire.Failed
+        ( id,
+          Wire.Cursor_expired,
+          Printf.sprintf
+            "cursor %S is unknown, already consumed, or was evicted" token )
+    | Some parked ->
+      serve_page t ~id ~cache_hit:true ~compile_seconds:0.0 ~queue_seconds
+        parked (page_size t q))
+  | None -> (
   match method_of_string q.meth with
   | None -> Wire.Failed (id, Wire.Bad_request, Printf.sprintf "unknown method %S" q.meth)
   | Some meth -> (
@@ -189,6 +268,39 @@ let run_session t (q : Wire.query) ~queue_seconds ~deadline_abs =
             t.cfg.max_answers_cap
         in
         let rng = Graphlib.Rng.make (q.seed + 31) in
+        match q.Wire.limit with
+        | Some _ ->
+          (* Paginated streaming: open a cursor over the compiled
+             artifact and serve the first page. The supervision ladder
+             is bypassed — a parked cursor cannot be retried on another
+             rung — and so is per-session telemetry: the cursor outlives
+             this session and its later pulls run on whichever worker
+             picks up the continuation, while span stacks are
+             single-domain. The budget's limits stay armed for the whole
+             pagination, so a runaway session still aborts (typed) out
+             of a later page. *)
+          ignore rng;
+          let limits = Supervise.Budget.to_limits budget in
+          (match chaos with
+          | Some c -> Supervise.Chaos.arm c ~attempt:0 limits
+          | None -> ());
+          let sctx = Relalg.Ctx.create ~limits () in
+          let semijoin =
+            match meth with Driver.Minibucket _ -> false | _ -> true
+          in
+          count t "serve.streams";
+          let t0 = Unix.gettimeofday () in
+          let cur = Ppr_core.Exec.stream ~ctx:sctx ~semijoin t.db cq compiled in
+          let schema = Relalg.Cursor.schema cur in
+          let columns =
+            List.map (Relalg.Schema.index schema) cq.Conjunctive.Cq.free
+          in
+          serve_page t ~id ~cache_hit
+            ~compile_seconds:(Unix.gettimeofday () -. t0)
+            ~queue_seconds
+            { pcur = cur; pcolumns = columns; pmeth = q.meth; ppage = 0 }
+            (page_size t q)
+        | None ->
         (* Each session gets its own telemetry context (span stacks are
            single-domain) over the engine's shared, domain-safe metric
            registry — rung histograms and abort counters aggregate
@@ -222,6 +334,8 @@ let run_session t (q : Wire.query) ~queue_seconds ~deadline_abs =
                   compile_seconds = outcome.Driver.compile_seconds;
                   exec_seconds = outcome.Driver.exec_seconds;
                   queue_seconds;
+                  page = None;
+                  next_cursor = None;
                 } )
           | status, _ ->
             let reason =
@@ -287,7 +401,7 @@ let run_session t (q : Wire.query) ~queue_seconds ~deadline_abs =
               meth t.db cq
           in
           finish outcome ~rungs:1 ~rescued:false ~approximate:false
-        end)))
+        end))))
 
 (* Crash containment: whatever a session raises — evaluator bugs, missing
    relations, arity mismatches — becomes a typed [internal] response for
@@ -380,6 +494,9 @@ let create ?(config = default_config) ?pool db =
       pool;
       metrics = Metrics.create ();
       cache = Plan_cache.create ~capacity:config.cache_capacity ();
+      cursors =
+        Cursors.create ~capacity:config.cursor_capacity
+          ~on_evict:(fun p -> Relalg.Cursor.close p.pcur);
       lock = Mutex.create ();
       nonempty = Condition.create ();
       clients = Hashtbl.create 16;
@@ -425,6 +542,9 @@ let stats_fields t =
     ("aborts", Json.Int (c "serve.aborts"));
     ("parse_errors", Json.Int (c "serve.parse_errors"));
     ("internal_errors", Json.Int (c "serve.internal_errors"));
+    ("cursors_parked", Json.Int (Cursors.size t.cursors));
+    ("cursor_evictions", Json.Int (Cursors.evictions t.cursors));
+    ("cursors_expired", Json.Int (c "serve.cursor_expired"));
     ("cache_size", Json.Int (Plan_cache.size t.cache));
     ("cache_hits", Json.Int (Plan_cache.hits t.cache));
     ("cache_misses", Json.Int (Plan_cache.misses t.cache));
@@ -516,6 +636,11 @@ let stop t =
   (* Drain: workers keep answering queued sessions and exit only once
      the queue is empty; join waits for the last in-flight reply. *)
   Array.iter Domain.join workers;
+  (* Parked paginations die with the daemon: close them so suspended
+     producers are released. Clients resuming later get the typed
+     expired-cursor error (idempotent on repeat stops — the table is
+     empty then). *)
+  Cursors.drain t.cursors;
   (* Snapshot the warmed cache only after the drain, so the last
      sessions' compiles make it into the file. The first stop call owns
      the workers array; later (idempotent) calls skip the save. *)

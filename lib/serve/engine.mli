@@ -43,6 +43,11 @@ type config = {
       (** cap on any requested deadline (default 300_000) *)
   default_max_answers : int;  (** response row cap default (100) *)
   max_answers_cap : int;  (** hard cap on requested row counts (10_000) *)
+  cursor_capacity : int;
+      (** parked-pagination LRU bound (default 64): each paginated
+          session parks its half-drained cursor between pages; beyond
+          the bound the least-recently-parked cursor is closed and its
+          token answers with the typed [cursor-expired] error *)
   budget : Supervise.Budget.t;
       (** base resource budget; per-request fields override *)
 }

@@ -13,6 +13,8 @@ type query = {
   max_total : int option;
   fuel : int option;
   max_answers : int option;
+  limit : int option;
+  cursor : string option;
   chaos : string option;
   seed : int;
 }
@@ -70,6 +72,8 @@ let decode_query obj =
     let* max_total = opt_int obj "max_total" in
     let* fuel = opt_int obj "fuel" in
     let* max_answers = opt_int obj "max_answers" in
+    let* limit = opt_int obj "limit" in
+    let* cursor = opt_string obj "cursor" in
     let* chaos = opt_string obj "chaos" in
     let* seed = opt_int obj "seed" in
     Ok
@@ -84,6 +88,8 @@ let decode_query obj =
            max_total;
            fuel;
            max_answers;
+           limit;
+           cursor;
            chaos;
            seed = Option.value seed ~default:0;
          })
@@ -120,6 +126,7 @@ type error_kind =
   | Parse_error
   | Overloaded
   | Shutting_down
+  | Cursor_expired
   | Aborted of string  (** the {!Relalg.Limits.reason_label} *)
   | Internal
 
@@ -128,6 +135,7 @@ let error_kind_label = function
   | Parse_error -> "parse"
   | Overloaded -> "overloaded"
   | Shutting_down -> "shutting-down"
+  | Cursor_expired -> "cursor-expired"
   | Aborted _ -> "abort"
   | Internal -> "internal"
 
@@ -144,6 +152,12 @@ type answer = {
   compile_seconds : float;
   exec_seconds : float;
   queue_seconds : float;
+  page : int option;
+      (** 0-based page index when the answer is one page of a paginated
+          session; [None] on ordinary whole-answer responses *)
+  next_cursor : string option;
+      (** the fresh single-use continuation token; [None] when the
+          stream is exhausted (only meaningful when [page] is set) *)
 }
 
 type response =
@@ -156,7 +170,7 @@ type response =
 let response_to_json = function
   | Answer (id, a) ->
     Json.Obj
-      [
+      ([
         ("id", id);
         ("status", Json.String "ok");
         ("cardinality", Json.Int a.cardinality);
@@ -176,6 +190,17 @@ let response_to_json = function
         ("exec_seconds", Json.Float a.exec_seconds);
         ("queue_seconds", Json.Float a.queue_seconds);
       ]
+      @
+      (match a.page with
+      | None -> []
+      | Some p ->
+        [
+          ("page", Json.Int p);
+          ( "next_cursor",
+            match a.next_cursor with
+            | Some c -> Json.String c
+            | None -> Json.Null );
+        ]))
   | Pong id ->
     Json.Obj [ ("id", id); ("status", Json.String "ok"); ("pong", Json.Bool true) ]
   | Metrics_text (id, text) ->

@@ -10,15 +10,18 @@
       instead of failing on the first abort), ["deadline_ms"],
       ["max_tuples"] (per-intermediate cardinality cap), ["max_total"],
       ["fuel"], ["max_answers"] (response row cap), ["chaos"] (a fault
-      spec as on the CLI, for soak tests), ["seed"].
+      spec as on the CLI, for soak tests), ["seed"], ["limit"] (page
+      size: stream the answer and return only the first page, with a
+      ["next_cursor"] continuation token), ["cursor"] (continue a
+      paginated session from a previously returned token).
     - [{"op":"ping"}] — liveness probe.
     - [{"op":"metrics"}] — the metric registry as a text dump.
     - [{"op":"stats"}] — machine-readable serving counters.
 
     Responses carry ["status"]: ["ok"] or ["error"]; errors carry a
     typed ["kind"] ([overloaded], [abort] (+ ["reason"]), [parse],
-    [bad-request], [shutting-down], [internal]) so clients can tell
-    load-shedding from failure. *)
+    [bad-request], [shutting-down], [cursor-expired], [internal]) so
+    clients can tell load-shedding from failure. *)
 
 module Json = Telemetry.Json
 
@@ -32,6 +35,8 @@ type query = {
   max_total : int option;
   fuel : int option;
   max_answers : int option;
+  limit : int option;  (** page size; presence switches to streaming *)
+  cursor : string option;  (** continuation token from a prior page *)
   chaos : string option;
   seed : int;
 }
@@ -60,6 +65,9 @@ type error_kind =
   | Parse_error
   | Overloaded  (** shed by admission control: retry later, not a bug *)
   | Shutting_down
+  | Cursor_expired
+      (** the continuation token was never issued, already used, or its
+          parked cursor was LRU-evicted — restart the pagination *)
   | Aborted of string  (** the {!Relalg.Limits.reason_label} *)
   | Internal
 
@@ -78,6 +86,13 @@ type answer = {
   compile_seconds : float;
   exec_seconds : float;
   queue_seconds : float;  (** admission-queue wait, deadline-inclusive *)
+  page : int option;
+      (** 0-based page index of a paginated session; [None] on ordinary
+          whole-answer responses. Paged responses count the {e page} in
+          [cardinality]/[nonempty] and set [truncated] iff more pages
+          remain *)
+  next_cursor : string option;
+      (** fresh single-use continuation token; [None] once exhausted *)
 }
 
 type response =

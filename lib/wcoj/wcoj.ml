@@ -123,6 +123,149 @@ let chunk_list n xs =
   in
   List.filter (fun c -> c <> []) (go 0 xs [])
 
+(* Index the materialized atoms as sorted tries along [order]:
+   [parts.(d)] lists the (trie, level) pairs whose variable binds at
+   depth [d]. *)
+let build_index ~span ~order ~k rels =
+  let depth_of = Hashtbl.create (max 1 k) in
+  List.iteri (fun i v -> Hashtbl.replace depth_of v i) order;
+  let tries =
+    span "op.wcoj.index" [] (fun () ->
+        Array.of_list
+          (List.map (Trie.build ~depth_of_var:(Hashtbl.find depth_of)) rels))
+  in
+  let parts = Array.make (max 1 k) [] in
+  Array.iteri
+    (fun i tr ->
+      for l = 0 to Trie.width tr - 1 do
+        let d = Trie.depth_at tr l in
+        parts.(d) <- (i, l) :: parts.(d)
+      done)
+    tries;
+  let parts = Array.map (fun l -> Array.of_list (List.rev l)) parts in
+  if k > 0 then
+    Array.iteri
+      (fun d p ->
+        if Array.length p = 0 then
+          invalid_arg
+            (Printf.sprintf "Wcoj.evaluate: variable %d occurs in no atom"
+               (List.nth order d)))
+      parts;
+  (tries, parts)
+
+(* One engine = one domain's private search state over the shared
+   read-only tries: per-trie range stacks ([los]/[his] level [l] holds
+   the row window consistent with the first [l] bound variables of
+   that trie) plus the current variable binding. *)
+let make_engine ~tries ~parts ~k ~n_free ~tick ~emit =
+  let los = Array.map (fun tr -> Array.make (Trie.width tr + 1) 0) tries in
+  let his =
+    Array.map
+      (fun tr ->
+        let a = Array.make (Trie.width tr + 1) 0 in
+        a.(0) <- Trie.rows tr;
+        a)
+      tries
+  in
+  let binding = Array.make (max 1 k) 0 in
+  (* Leapfrog the participants of depth [d] over their current
+     windows. [on_value] runs with [binding.(d)] set and the matching
+     sub-windows pushed; returning [true] stops the scan early (the
+     existence search found its witness). *)
+  let scan d on_value =
+    let ps = parts.(d) in
+    let m = Array.length ps in
+    let cur = Array.make m 0 and hi = Array.make m 0 in
+    let exhausted = ref false in
+    for j = 0 to m - 1 do
+      let i, l = ps.(j) in
+      cur.(j) <- los.(i).(l);
+      hi.(j) <- his.(i).(l);
+      if cur.(j) >= hi.(j) then exhausted := true
+    done;
+    let stopped = ref false in
+    while not (!stopped || !exhausted) do
+      let x = ref min_int in
+      for j = 0 to m - 1 do
+        let i, l = ps.(j) in
+        let v = Trie.value tries.(i) ~level:l ~row:cur.(j) in
+        if v > !x then x := v
+      done;
+      let aligned = ref true in
+      for j = 0 to m - 1 do
+        if not !exhausted then begin
+          let i, l = ps.(j) in
+          let p = Trie.seek tries.(i) ~level:l ~lo:cur.(j) ~hi:hi.(j) !x in
+          cur.(j) <- p;
+          if p >= hi.(j) then exhausted := true
+          else if Trie.value tries.(i) ~level:l ~row:p > !x then
+            aligned := false
+        end
+      done;
+      if (not !exhausted) && !aligned then begin
+        tick ();
+        binding.(d) <- !x;
+        for j = 0 to m - 1 do
+          let i, l = ps.(j) in
+          los.(i).(l + 1) <- cur.(j);
+          his.(i).(l + 1) <-
+            Trie.strictly_above tries.(i) ~level:l ~lo:cur.(j) ~hi:hi.(j) !x
+        done;
+        if on_value () then stopped := true
+        else begin
+          (* Advance the first participant past x; the next round
+             re-aligns the others. *)
+          let i0, l0 = ps.(0) in
+          cur.(0) <- his.(i0).(l0 + 1);
+          if cur.(0) >= hi.(0) then exhausted := true
+        end
+      end
+    done;
+    !stopped
+  in
+  (* Depths >= n_free only need one witness: stop at first success. *)
+  let rec extension d = d = k || scan d (fun () -> extension (d + 1)) in
+  (* Depths < n_free enumerate every value; at the free/bound frontier
+     each free prefix is emitted iff some extension exists. *)
+  let rec enumerate d =
+    if d = n_free then begin
+      if extension d then emit binding
+    end
+    else
+      ignore
+        (scan d (fun () ->
+             enumerate (d + 1);
+             false))
+  in
+  (* External depth-0 binding, for the pool partitions: the value is
+     already known to be in the top-level intersection. *)
+  let bind_top v =
+    let ok = ref true in
+    Array.iter
+      (fun (i, _l) ->
+        let rows = Trie.rows tries.(i) in
+        let s = Trie.seek tries.(i) ~level:0 ~lo:0 ~hi:rows v in
+        if s >= rows || Trie.value tries.(i) ~level:0 ~row:s <> v then
+          ok := false
+        else begin
+          los.(i).(1) <- s;
+          his.(i).(1) <- Trie.strictly_above tries.(i) ~level:0 ~lo:s ~hi:rows v
+        end)
+      parts.(0);
+    if !ok then binding.(0) <- v;
+    !ok
+  in
+  let top_values () =
+    let acc = ref [] in
+    ignore
+      (scan 0 (fun () ->
+           acc := binding.(0) :: !acc;
+           false));
+    List.rev !acc
+  in
+  { run_enumerate = enumerate; run_extension = extension; bind_top;
+    top_values; binding }
+
 let evaluate ?(ctx = Ctx.null) ?order db cq =
   let order =
     match order with
@@ -155,146 +298,8 @@ let evaluate ?(ctx = Ctx.null) ?order db cq =
   let rels = List.map (fun a -> Database.eval_atom ~ctx db a) cq.Cq.atoms in
   let out = Relation.create ~backend:(Ctx.backend ctx) (Schema.of_list cq.Cq.free) in
   if not (List.exists Relation.is_empty rels) then begin
-    let depth_of = Hashtbl.create (max 1 k) in
-    List.iteri (fun i v -> Hashtbl.replace depth_of v i) order;
-    let tries =
-      span "op.wcoj.index" [] (fun () ->
-          Array.of_list
-            (List.map (Trie.build ~depth_of_var:(Hashtbl.find depth_of)) rels))
-    in
-    (* parts.(d): the (trie, level) pairs whose variable binds at depth d. *)
-    let parts = Array.make (max 1 k) [] in
-    Array.iteri
-      (fun i tr ->
-        for l = 0 to Trie.width tr - 1 do
-          let d = Trie.depth_at tr l in
-          parts.(d) <- (i, l) :: parts.(d)
-        done)
-      tries;
-    let parts = Array.map (fun l -> Array.of_list (List.rev l)) parts in
-    if k > 0 then
-      Array.iteri
-        (fun d p ->
-          if Array.length p = 0 then
-            invalid_arg
-              (Printf.sprintf
-                 "Wcoj.evaluate: variable %d occurs in no atom" (List.nth order d)))
-        parts;
-    (* One engine = one domain's private search state over the shared
-       read-only tries: per-trie range stacks ([los]/[his] level [l] holds
-       the row window consistent with the first [l] bound variables of
-       that trie) plus the current variable binding. *)
-    let make_engine ~tick ~emit =
-      let los = Array.map (fun tr -> Array.make (Trie.width tr + 1) 0) tries in
-      let his =
-        Array.map
-          (fun tr ->
-            let a = Array.make (Trie.width tr + 1) 0 in
-            a.(0) <- Trie.rows tr;
-            a)
-          tries
-      in
-      let binding = Array.make (max 1 k) 0 in
-      (* Leapfrog the participants of depth [d] over their current
-         windows. [on_value] runs with [binding.(d)] set and the matching
-         sub-windows pushed; returning [true] stops the scan early (the
-         existence search found its witness). *)
-      let scan d on_value =
-        let ps = parts.(d) in
-        let m = Array.length ps in
-        let cur = Array.make m 0 and hi = Array.make m 0 in
-        let exhausted = ref false in
-        for j = 0 to m - 1 do
-          let i, l = ps.(j) in
-          cur.(j) <- los.(i).(l);
-          hi.(j) <- his.(i).(l);
-          if cur.(j) >= hi.(j) then exhausted := true
-        done;
-        let stopped = ref false in
-        while not (!stopped || !exhausted) do
-          let x = ref min_int in
-          for j = 0 to m - 1 do
-            let i, l = ps.(j) in
-            let v = Trie.value tries.(i) ~level:l ~row:cur.(j) in
-            if v > !x then x := v
-          done;
-          let aligned = ref true in
-          for j = 0 to m - 1 do
-            if not !exhausted then begin
-              let i, l = ps.(j) in
-              let p = Trie.seek tries.(i) ~level:l ~lo:cur.(j) ~hi:hi.(j) !x in
-              cur.(j) <- p;
-              if p >= hi.(j) then exhausted := true
-              else if Trie.value tries.(i) ~level:l ~row:p > !x then
-                aligned := false
-            end
-          done;
-          if (not !exhausted) && !aligned then begin
-            tick ();
-            binding.(d) <- !x;
-            for j = 0 to m - 1 do
-              let i, l = ps.(j) in
-              los.(i).(l + 1) <- cur.(j);
-              his.(i).(l + 1) <-
-                Trie.strictly_above tries.(i) ~level:l ~lo:cur.(j) ~hi:hi.(j)
-                  !x
-            done;
-            if on_value () then stopped := true
-            else begin
-              (* Advance the first participant past x; the next round
-                 re-aligns the others. *)
-              let i0, l0 = ps.(0) in
-              cur.(0) <- his.(i0).(l0 + 1);
-              if cur.(0) >= hi.(0) then exhausted := true
-            end
-          end
-        done;
-        !stopped
-      in
-      (* Depths >= n_free only need one witness: stop at first success. *)
-      let rec extension d = d = k || scan d (fun () -> extension (d + 1)) in
-      (* Depths < n_free enumerate every value; at the free/bound frontier
-         each free prefix is emitted iff some extension exists. *)
-      let rec enumerate d =
-        if d = n_free then begin
-          if extension d then emit binding
-        end
-        else
-          ignore
-            (scan d (fun () ->
-                 enumerate (d + 1);
-                 false))
-      in
-      (* External depth-0 binding, for the pool partitions: the value is
-         already known to be in the top-level intersection. *)
-      let bind_top v =
-        let ok = ref true in
-        Array.iter
-          (fun (i, _l) ->
-            let rows = Trie.rows tries.(i) in
-            let s = Trie.seek tries.(i) ~level:0 ~lo:0 ~hi:rows v in
-            if s >= rows || Trie.value tries.(i) ~level:0 ~row:s <> v then
-              ok := false
-            else begin
-              los.(i).(1) <- s;
-              his.(i).(1) <-
-                Trie.strictly_above tries.(i) ~level:0 ~lo:s ~hi:rows v
-            end)
-          parts.(0);
-        if !ok then binding.(0) <- v;
-        !ok
-      in
-      let top_values () =
-        let acc = ref [] in
-        ignore
-          (scan 0 (fun () ->
-               acc := binding.(0) :: !acc;
-               false));
-        List.rev !acc
-      in
-      { run_enumerate = enumerate; run_extension = extension; bind_top;
-        top_values; binding }
-    in
+    let tries, parts = build_index ~span ~order ~k rels in
+    let make_engine = make_engine ~tries ~parts ~k ~n_free in
     let seq_tick () =
       match limits with Some l -> Limits.charge l 1 | None -> ()
     in
@@ -393,3 +398,69 @@ let evaluate ?(ctx = Ctx.null) ?order db cq =
       ~cardinality:(Relation.cardinality out)
   | None -> ());
   out
+
+(* Streaming evaluation: the same search as [evaluate]'s sequential
+   engine, but each accepted free prefix is handed to [emit] instead of
+   being materialized. The leapfrog scan enumerates each depth's values
+   in strictly increasing order, so emissions are distinct and
+   lexicographic along [order]'s free prefix — no dedup state is needed
+   downstream. Strictly sequential (any pool in the context is ignored:
+   partitioned search would reorder and privatize emissions). Setup —
+   atom scans and the trie index — runs inside an [op.wcoj.stream]
+   span; the enumeration itself runs outside any span, because a
+   consumer that suspends mid-stream (an effect-inverted cursor) must
+   not hold a span open across pulls. *)
+let iter ?(ctx = Ctx.null) ?order db cq emit =
+  let ctx = Ctx.without_pool ctx in
+  let order =
+    match order with
+    | Some o -> o
+    | None -> Array.to_list (Joingraph.mcs_variable_order cq)
+  in
+  let k = validate_order cq order in
+  let n_free = List.length cq.Cq.free in
+  let telemetry = Ctx.telemetry ctx in
+  let limits = Ctx.limits ctx in
+  let span name attrs f =
+    match telemetry with
+    | None -> f ()
+    | Some t -> Telemetry.with_span ~attrs t name (fun _ -> f ())
+  in
+  (match limits with Some l -> Limits.tick_operator l | None -> ());
+  let engine =
+    span "op.wcoj.stream"
+      [
+        ("vars", Telemetry.Attr.Int k);
+        ("atoms", Telemetry.Attr.Int (List.length cq.Cq.atoms));
+        ("free", Telemetry.Attr.Int n_free);
+      ]
+      (fun () ->
+        (match telemetry with
+        | Some t ->
+          Telemetry.Metrics.incr
+            (Telemetry.Metrics.counter (Telemetry.metrics t) "ops.wcoj")
+        | None -> ());
+        let rels =
+          List.map (fun a -> Database.eval_atom ~ctx db a) cq.Cq.atoms
+        in
+        if List.exists Relation.is_empty rels then None
+        else
+          let tries, parts = build_index ~span ~order ~k rels in
+          Some (make_engine ~tries ~parts ~k ~n_free))
+  in
+  match engine with
+  | None -> ()
+  | Some mk ->
+    let tick () =
+      match limits with Some l -> Limits.charge l 1 | None -> ()
+    in
+    let emitted = ref 0 in
+    let emit binding =
+      incr emitted;
+      (match limits with
+      | Some l -> Limits.check_cardinality l !emitted
+      | None -> ());
+      emit (Array.sub binding 0 n_free)
+    in
+    let eng = mk ~tick ~emit in
+    eng.run_enumerate 0

@@ -74,3 +74,28 @@ val evaluate :
     @raise Relalg.Limits.Abort when a resource guard trips.
     @raise Invalid_argument on a malformed [order].
     @raise Not_found if an atom names an unregistered relation. *)
+
+val iter :
+  ?ctx:Relalg.Ctx.t ->
+  ?order:int list ->
+  Conjunctive.Database.t ->
+  Conjunctive.Cq.t ->
+  (Relalg.Tuple.t -> unit) ->
+  unit
+(** Streaming evaluation: run the same generic-join search as
+    {!evaluate} but hand each answer tuple (the free-variable prefix,
+    freshly copied) to the callback instead of materializing a result.
+    Emissions are duplicate-free and lexicographically ordered along the
+    free prefix of [order] — the leapfrog scan visits each depth's
+    values strictly increasing — so no dedup state is needed downstream.
+    Strictly sequential: a pool in the context is ignored (partitioned
+    search would reorder and privatize emissions). Setup (atom scans,
+    trie index) runs inside an [op.wcoj.stream] span; enumeration runs
+    outside any span so a consumer suspending mid-stream cannot hold a
+    span open. Each accepted binding charges the context's limits and
+    each emission counts toward the cardinality cap, exactly like the
+    materializing path.
+    @raise Relalg.Limits.Abort when a resource guard trips (possibly
+    mid-stream, out of a cursor pull).
+    @raise Invalid_argument on a malformed [order].
+    @raise Not_found if an atom names an unregistered relation. *)

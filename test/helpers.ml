@@ -109,15 +109,10 @@ let qtest ?(count = 100) name arbitrary prop =
 (* ------------------------------------------------------------------ *)
 (* Storage-backend matrix.                                             *)
 
-(* Run [f] with the process-wide default backend set to [b], restoring
-   the previous default even when [f] raises (Alcotest failures unwind
-   through here). *)
-let with_backend b f =
-  let prev = Relalg.Relation.default_backend () in
-  Relalg.Relation.set_default_backend b;
-  Fun.protect
-    ~finally:(fun () -> Relalg.Relation.set_default_backend prev)
-    f
+(* Run [f] with the process-wide default backend set to [b]; the
+   scoped bracket restores the previous default even when [f] raises
+   (Alcotest failures unwind through here). *)
+let with_backend b f = Relalg.Relation.with_default_backend b f
 
 (* Alcotest's test_case is a public triple, so a finished suite can be
    re-run under each backend by wrapping every body (QCheck properties

@@ -629,14 +629,178 @@ let prop_weighted_evaluation_agrees =
         (Exec.run coloring_db (Bucket.compile cq)))
 
 (* ------------------------------------------------------------------ *)
+(* Streaming: Exec.stream and the cursor-based Driver paths            *)
+
+(* Rows as sorted (variable, value) assignment lists, so answers from
+   routes whose output schemas order the free variables differently
+   still compare equal. *)
+let assignment_row schema tup =
+  List.sort compare
+    (List.map
+       (fun v -> (v, Relalg.Tuple.get tup (Relalg.Schema.index schema v)))
+       (Relalg.Schema.attrs schema))
+
+let assignment_rows rel =
+  let schema = Relation.schema rel in
+  List.sort_uniq compare
+    (List.map (assignment_row schema) (Relation.to_sorted_list rel))
+
+let streamed_rows meth db cq =
+  let compiled = Driver.prepare meth db cq in
+  let semijoin = match meth with Driver.Minibucket _ -> false | _ -> true in
+  let cur = Exec.stream ~semijoin db cq compiled in
+  let schema = Relalg.Cursor.schema cur in
+  let rows = ref [] in
+  Relalg.Cursor.iter (fun t -> rows := assignment_row schema t :: !rows) cur;
+  List.sort_uniq compare !rows
+
+let stream_methods =
+  Driver.all_paper_methods
+  @ [ Driver.Minibucket 2; Driver.Hybrid; Driver.Wcoj; Driver.Ghd ]
+
+(* The tentpole property: draining Exec.stream yields exactly the tuples
+   the materialized evaluator produces, for every method (Minibucket
+   streams without the exact-answer semijoin reroute so its plan stays
+   faithfully approximate, matching what Driver.run materializes). *)
+let prop_stream_drains_to_materialized =
+  qtest ~count:12 "stream drained = materialized run (all methods)"
+    graph_arbitrary (fun g ->
+      let cq =
+        coloring_query ~mode:(Encode.Fraction 0.5)
+          ~seed:(G.order g + G.size g)
+          g
+      in
+      List.for_all
+        (fun meth ->
+          let expected =
+            match (Driver.run meth coloring_db cq).Driver.result with
+            | Some r -> assignment_rows r
+            | None ->
+              QCheck.Test.fail_reportf "%s: materialized run failed"
+                (Driver.method_name meth)
+          in
+          let got = streamed_rows meth coloring_db cq in
+          got = expected
+          || QCheck.Test.fail_reportf "%s: stream %d rows, materialized %d"
+               (Driver.method_name meth) (List.length got)
+               (List.length expected))
+        stream_methods)
+
+(* Limit-k prefix soundness: every streamed tuple is in the full answer,
+   the page is as large as the answer allows, and [complete] never lies
+   (it may be conservatively false when the page exactly exhausts the
+   stream, but true always means nothing was left behind). *)
+let prop_stream_limit_prefix =
+  qtest ~count:30 "limit-k pages are sound prefixes"
+    QCheck.(pair graph_arbitrary (int_range 0 5))
+    (fun (g, k) ->
+      let cq = coloring_query ~mode:(Encode.Fraction 0.5) ~seed:3 g in
+      List.for_all
+        (fun meth ->
+          let full = Driver.run meth coloring_db cq in
+          let page = Driver.run ~limit:k meth coloring_db cq in
+          match (full.Driver.result, page.Driver.result) with
+          | Some fr, Some pr ->
+            let frows = assignment_rows fr and prows = assignment_rows pr in
+            List.length prows = min k (List.length frows)
+            && List.for_all (fun r -> List.mem r frows) prows
+            && (not page.Driver.complete || prows = frows)
+            && (page.Driver.complete || List.length prows = k)
+          | _ -> false)
+        [ Driver.Bucket_elimination; Driver.Wcoj; Driver.Ghd ])
+
+let test_stream_abort_mid_stream () =
+  let g = Graphlib.Generators.augmented_ladder 12 in
+  let cq = coloring_query ~mode:(Encode.Fraction 0.5) ~seed:1 g in
+  (* A tuple cap the 6-tuple base relations cannot trip during eager
+     setup, so the abort necessarily fires from a streamed join output —
+     i.e. out of a pull, not out of [Exec.stream] itself. *)
+  let limits = Relalg.Limits.create ~max_tuples:50 () in
+  let compiled = Driver.prepare Driver.Straightforward coloring_db cq in
+  let cur =
+    Exec.stream
+      ~ctx:(Relalg.Ctx.create ~limits ())
+      coloring_db cq compiled
+  in
+  let aborted =
+    try
+      Relalg.Cursor.iter (fun _ -> ()) cur;
+      false
+    with Relalg.Limits.Abort _ -> true
+  in
+  check_bool "abort propagates out of a pull" true aborted;
+  check_bool "cursor closed itself before raising" true
+    (Relalg.Cursor.closed cur);
+  (* The same abort through the driver is caught and typed, never raised. *)
+  let o =
+    Driver.run
+      ~ctx:(Relalg.Ctx.create ~limits:(Relalg.Limits.create ~max_total:200 ()) ())
+      ~limit:5 Driver.Straightforward coloring_db cq
+  in
+  check_bool "driver reports the streamed abort" true
+    (Driver.abort_reason o <> None);
+  check_bool "no partial page leaks" true (o.Driver.result = None)
+
+let test_driver_stream_outcome () =
+  let cq =
+    coloring_query ~mode:(Encode.Fraction 0.6) ~seed:7 Graphlib.Generators.pentagon
+  in
+  let o = Driver.run ~limit:2 Driver.Bucket_elimination coloring_db cq in
+  check_bool "streamed page completed" true (o.Driver.status = Driver.Completed);
+  check_bool "first answer timed" true (o.Driver.first_answer_seconds <> None);
+  check_bool "time to k timed" true (o.Driver.time_to_k <> None);
+  Alcotest.(check (option int)) "page cardinality" (Some 2)
+    (Driver.result_cardinality o);
+  (* limit 0 is a legal empty page *)
+  let z = Driver.run ~limit:0 Driver.Bucket_elimination coloring_db cq in
+  Alcotest.(check (option int)) "empty page" (Some 0)
+    (Driver.result_cardinality z);
+  check_bool "no first answer on an empty page" true
+    (z.Driver.first_answer_seconds = None);
+  (* unstreamed runs never fill the streaming fields *)
+  let m = Driver.run Driver.Bucket_elimination coloring_db cq in
+  check_bool "materialized run is complete" true m.Driver.complete;
+  check_bool "materialized run has no stream timings" true
+    (m.Driver.first_answer_seconds = None && m.Driver.time_to_k = None)
+
+let test_driver_rank_topk () =
+  let cq =
+    coloring_query ~mode:(Encode.Fraction 0.6) ~seed:7
+      (Graphlib.Generators.cycle 5)
+  in
+  let cmp = Relalg.Tuple.compare in
+  let all = Driver.run ~rank:cmp Driver.Bucket_elimination coloring_db cq in
+  let top = Driver.run ~rank:cmp ~limit:3 Driver.Bucket_elimination coloring_db cq in
+  match (all.Driver.result, top.Driver.result) with
+  | Some ar, Some tr ->
+    check_bool "ranked full drain is complete" true all.Driver.complete;
+    let a_tups = Relation.to_sorted_list ar in
+    let t_tups = Relation.to_sorted_list tr in
+    check_int "top-k size" (min 3 (List.length a_tups)) (List.length t_tups);
+    check_bool "top-k tuples come from the full answer" true
+      (List.for_all
+         (fun t -> List.exists (fun u -> cmp u t = 0) a_tups)
+         t_tups);
+    let discarded =
+      List.filter
+        (fun t -> not (List.exists (fun u -> cmp u t = 0) t_tups))
+        a_tups
+    in
+    check_bool "every kept tuple ranks before every discarded one" true
+      (List.for_all
+         (fun kept -> List.for_all (fun d -> cmp kept d <= 0) discarded)
+         t_tups)
+  | _ -> Alcotest.fail "ranked runs failed"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let test_driver_outcome_fields () =
   let o = Driver.run Driver.Bucket_elimination coloring_db pentagon_cq in
-  check_bool "not timed out" false (Driver.timed_out o);
+  check_bool "not aborted" true (Driver.abort_reason o = None);
   check_bool "completed status" true (o.Driver.status = Driver.Completed);
   Alcotest.(check (option bool)) "pentagon colorable" (Some true)
-    o.Driver.nonempty;
+    (Driver.nonempty o);
   check_bool "measured within plan width" true
     (o.Driver.max_arity <= o.Driver.plan_width);
   check_bool "times nonnegative" true
@@ -650,7 +814,7 @@ let test_driver_timeout_reported () =
     Driver.run ~ctx:(Relalg.Ctx.create ~limits ()) Driver.Straightforward
       coloring_db cq
   in
-  check_bool "timed out" true (Driver.timed_out o);
+  check_bool "aborted" true (Driver.abort_reason o <> None);
   (match Driver.abort_reason o with
   | Some (Relalg.Limits.Cardinality _ | Relalg.Limits.Tuple_budget) -> ()
   | other ->
@@ -658,8 +822,8 @@ let test_driver_timeout_reported () =
       (match other with
       | None -> "Completed"
       | Some r -> Relalg.Limits.describe r));
-  Alcotest.(check (option bool)) "no verdict" None o.Driver.nonempty;
-  Alcotest.(check (option int)) "no cardinality" None o.Driver.result_cardinality
+  Alcotest.(check (option bool)) "no verdict" None (Driver.nonempty o);
+  Alcotest.(check (option int)) "no cardinality" None (Driver.result_cardinality o)
 
 let test_method_names () =
   Alcotest.(check string) "bucket" "bucket-elimination"
@@ -766,6 +930,16 @@ let () =
           prop_weighted_reduces_to_unweighted;
           prop_weighted_width_bounds_cardinality;
           prop_weighted_evaluation_agrees;
+        ] );
+      ( "stream",
+        [
+          prop_stream_drains_to_materialized;
+          prop_stream_limit_prefix;
+          Alcotest.test_case "abort propagates mid-stream" `Quick
+            test_stream_abort_mid_stream;
+          Alcotest.test_case "streamed outcome fields" `Quick
+            test_driver_stream_outcome;
+          Alcotest.test_case "rank top-k" `Quick test_driver_rank_topk;
         ] );
       ( "driver",
         [

@@ -199,7 +199,7 @@ let prop_matches_bucket =
           let outcome =
             Ppr_core.Driver.run ~rng:(rng 3) Ppr_core.Driver.Ghd db cq
           in
-          outcome.Ppr_core.Driver.result_cardinality
+          Ppr_core.Driver.result_cardinality outcome
           = Some (Relation.cardinality expected))
         [ Encode.Boolean; Encode.Fraction 0.4 ])
 
@@ -268,7 +268,7 @@ let test_prepared_replay () =
           check_bool
             (Printf.sprintf "%s: replay %d same cardinality" name i)
             true
-            (outcome.Ppr_core.Driver.result_cardinality
+            (Ppr_core.Driver.result_cardinality outcome
             = Some (Relation.cardinality expected)))
         [ 0; 1 ])
     [
@@ -288,7 +288,7 @@ let test_forced_routes_agree () =
             Ppr_core.Driver.run ~rng:(rng 3) Ppr_core.Driver.Ghd db cq
           in
           check_bool (route ^ " route same cardinality") true
-            (outcome.Ppr_core.Driver.result_cardinality
+            (Ppr_core.Driver.result_cardinality outcome
             = Some (Relation.cardinality expected))))
     [ "bucket"; "generic"; "ghd" ]
 

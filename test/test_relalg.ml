@@ -512,6 +512,150 @@ let test_arena_staged_commit () =
   check_bool "mem" true (Arena.mem a [| 1; 2; 3 |])
 
 (* ------------------------------------------------------------------ *)
+(* Cursor: the pull-based answer stream                                *)
+
+module Cursor = Relalg.Cursor
+
+let tup = Tuple.of_list
+let s2 = Schema.of_list [ 0; 1 ]
+
+let test_cursor_of_seq_basics () =
+  let c = Cursor.of_seq ~schema:s2 (List.to_seq [ tup [ 1; 2 ]; tup [ 3; 4 ] ]) in
+  check_bool "schema kept" true (Cursor.schema c = s2);
+  check_bool "not closed while pending" false (Cursor.closed c);
+  Alcotest.(check (option (list int))) "first" (Some [ 1; 2 ])
+    (Option.map Tuple.to_list (Cursor.next c));
+  Alcotest.(check (option (list int))) "second" (Some [ 3; 4 ])
+    (Option.map Tuple.to_list (Cursor.next c));
+  Alcotest.(check (option (list int))) "exhausted" None
+    (Option.map Tuple.to_list (Cursor.next c));
+  check_bool "closes itself at exhaustion" true (Cursor.closed c);
+  Alcotest.(check (option (list int))) "stays exhausted" None
+    (Option.map Tuple.to_list (Cursor.next c));
+  check_int "yielded counts handed-out tuples" 2 (Cursor.yielded c)
+
+let test_cursor_of_iter_is_lazy () =
+  (* The producer must not run before the first pull, and must suspend
+     between emissions rather than running ahead. *)
+  let emitted = ref 0 in
+  let produce emit =
+    List.iter
+      (fun r ->
+        incr emitted;
+        emit (tup r))
+      [ [ 1; 1 ]; [ 2; 2 ]; [ 3; 3 ] ]
+  in
+  let c = Cursor.of_iter ~schema:s2 produce in
+  check_int "producer has not started" 0 !emitted;
+  ignore (Cursor.next c);
+  check_int "suspended after the first emission" 1 !emitted;
+  ignore (Cursor.next c);
+  check_int "resumed exactly once per pull" 2 !emitted;
+  Cursor.close c;
+  check_int "abandoning the cursor abandons the fiber" 2 !emitted;
+  Alcotest.(check (option (list int))) "closed cursor yields nothing" None
+    (Option.map Tuple.to_list (Cursor.next c))
+
+let test_cursor_dedup_first_seen_order () =
+  let rows = [ [ 2; 2 ]; [ 1; 1 ]; [ 2; 2 ]; [ 3; 3 ]; [ 1; 1 ] ] in
+  let c =
+    Cursor.of_seq ~dedup:true ~schema:s2 (List.to_seq (List.map tup rows))
+  in
+  let got = List.map Tuple.to_list (Cursor.take c 10) in
+  Alcotest.(check (list (list int))) "distinct, first-seen order"
+    [ [ 2; 2 ]; [ 1; 1 ]; [ 3; 3 ] ]
+    got
+
+let test_cursor_take_paginates () =
+  let rows = List.init 5 (fun i -> [ i; i ]) in
+  let c = Cursor.of_seq ~schema:s2 (List.to_seq (List.map tup rows)) in
+  Alcotest.(check (list (list int))) "first page" [ [ 0; 0 ]; [ 1; 1 ] ]
+    (List.map Tuple.to_list (Cursor.take c 2));
+  check_bool "cursor survives a full page" false (Cursor.closed c);
+  Alcotest.(check (list (list int))) "second page continues" [ [ 2; 2 ]; [ 3; 3 ] ]
+    (List.map Tuple.to_list (Cursor.take c 2));
+  Alcotest.(check (list (list int))) "short last page" [ [ 4; 4 ] ]
+    (List.map Tuple.to_list (Cursor.take c 2));
+  check_bool "exhaustion closes" true (Cursor.closed c);
+  Alcotest.(check (list (list int))) "empty page after the end" []
+    (List.map Tuple.to_list (Cursor.take c 2))
+
+let test_cursor_close_runs_hook_once () =
+  let closes = ref 0 in
+  let c =
+    Cursor.of_seq ~on_close:(fun () -> incr closes) ~schema:s2
+      (List.to_seq [ tup [ 1; 2 ] ])
+  in
+  Cursor.close c;
+  Cursor.close c;
+  check_int "hook runs once" 1 !closes;
+  (* exhaustion also runs the hook exactly once *)
+  let closes' = ref 0 in
+  let c' =
+    Cursor.of_seq ~on_close:(fun () -> incr closes') ~schema:s2
+      (List.to_seq [ tup [ 1; 2 ] ])
+  in
+  Cursor.iter (fun _ -> ()) c';
+  Cursor.close c';
+  check_int "exhaustion counts as the close" 1 !closes'
+
+let test_cursor_to_relation_roundtrip () =
+  let rows = [ [ 1; 2 ]; [ 3; 4 ]; [ 1; 2 ] ] in
+  let c =
+    Cursor.of_seq ~dedup:true ~schema:s2 (List.to_seq (List.map tup rows))
+  in
+  let rel = Cursor.to_relation c in
+  check_bool "schema carried over" true (Relation.schema rel = s2);
+  check_rows "distinct rows materialized" [ [ 1; 2 ]; [ 3; 4 ] ] rel;
+  check_bool "drain closes" true (Cursor.closed c)
+
+let test_cursor_top_k () =
+  let rows = [ [ 5; 0 ]; [ 1; 0 ]; [ 4; 0 ]; [ 2; 0 ]; [ 3; 0 ] ] in
+  let c = Cursor.of_seq ~schema:s2 (List.to_seq (List.map tup rows)) in
+  let top = Cursor.top_k ~compare:Tuple.compare c 3 in
+  Alcotest.(check (list (list int))) "k least, ascending"
+    [ [ 1; 0 ]; [ 2; 0 ]; [ 3; 0 ] ]
+    (List.map Tuple.to_list top);
+  (* k larger than the stream degrades to a full sort *)
+  let c' = Cursor.of_seq ~schema:s2 (List.to_seq (List.map tup rows)) in
+  check_int "k past the end returns everything" 5
+    (List.length (Cursor.top_k ~compare:Tuple.compare c' 10))
+
+let test_cursor_producer_exception_closes () =
+  let closes = ref 0 in
+  let produce emit =
+    emit (tup [ 1; 1 ]);
+    failwith "producer blew up"
+  in
+  let c =
+    Cursor.of_iter ~on_close:(fun () -> incr closes) ~schema:s2 produce
+  in
+  Alcotest.(check (option (list int))) "first tuple fine" (Some [ 1; 1 ])
+    (Option.map Tuple.to_list (Cursor.next c));
+  (match Cursor.next c with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected the producer exception to propagate");
+  check_bool "cursor closed before raising" true (Cursor.closed c);
+  check_int "close hook ran" 1 !closes
+
+let cursor_suite =
+  ( "cursor",
+    [
+      Alcotest.test_case "of_seq basics" `Quick test_cursor_of_seq_basics;
+      Alcotest.test_case "of_iter is lazy" `Quick test_cursor_of_iter_is_lazy;
+      Alcotest.test_case "dedup keeps first-seen order" `Quick
+        test_cursor_dedup_first_seen_order;
+      Alcotest.test_case "take paginates" `Quick test_cursor_take_paginates;
+      Alcotest.test_case "close hook runs once" `Quick
+        test_cursor_close_runs_hook_once;
+      Alcotest.test_case "to_relation roundtrip" `Quick
+        test_cursor_to_relation_roundtrip;
+      Alcotest.test_case "top_k" `Quick test_cursor_top_k;
+      Alcotest.test_case "producer exception closes" `Quick
+        test_cursor_producer_exception_closes;
+    ] )
+
+(* ------------------------------------------------------------------ *)
 (* Backend equivalence: the same operator pipeline evaluated under both
    storage backends must produce bit-identical sorted tuple lists.      *)
 
@@ -649,5 +793,6 @@ let () =
             Alcotest.test_case "staged commit dedup" `Quick
               test_arena_staged_commit;
           ] );
+        cursor_suite;
         backend_equivalence_suite;
       ])

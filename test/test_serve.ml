@@ -289,8 +289,8 @@ let test_cache_load_rejects_corrupt () =
 (* Engine                                                              *)
 
 let query_req ?(id = Json.Null) ?(meth = "bucket-elimination") ?(ladder = true)
-    ?deadline_ms ?max_tuples ?max_total ?fuel ?max_answers ?chaos ?(seed = 0)
-    text =
+    ?deadline_ms ?max_tuples ?max_total ?fuel ?max_answers ?limit ?cursor
+    ?chaos ?(seed = 0) text =
   Wire.Query
     {
       Wire.id;
@@ -302,6 +302,8 @@ let query_req ?(id = Json.Null) ?(meth = "bucket-elimination") ?(ladder = true)
       max_total;
       fuel;
       max_answers;
+      limit;
+      cursor;
       chaos;
       seed;
     }
@@ -422,6 +424,71 @@ let test_engine_typed_failures () =
   | r ->
     Alcotest.failf "engine should survive a crashed session: %s"
       (Wire.response_to_string r)
+
+(* ------------------------------------------------------------------ *)
+(* Pagination: parked cursors, single-use tokens, bounded table        *)
+
+let answer_of e req =
+  match Serve.Engine.submit e req with
+  | Wire.Answer (_, a) -> a
+  | r -> Alcotest.failf "expected an answer, got %s" (Wire.response_to_string r)
+
+let expect_expired e req =
+  match Serve.Engine.submit e req with
+  | Wire.Failed (_, Wire.Cursor_expired, _) -> ()
+  | r ->
+    Alcotest.failf "expected cursor-expired, got %s" (Wire.response_to_string r)
+
+let test_engine_pagination_exactly_once () =
+  with_engine @@ fun e ->
+  let whole = answer_of e (query_req "ans(X,Y) :- edge(X,Y).") in
+  let rec drain ?cursor page acc =
+    let a = answer_of e (query_req ~limit:2 ?cursor "ans(X,Y) :- edge(X,Y).") in
+    Alcotest.(check (option int)) "page index" (Some page) a.Wire.page;
+    check_int "page cardinality counts the page" (List.length a.Wire.answers)
+      a.Wire.cardinality;
+    let acc = acc @ a.Wire.answers in
+    match a.Wire.next_cursor with
+    | Some c ->
+      check_bool "truncated while pages remain" true a.Wire.truncated;
+      drain ~cursor:c (page + 1) acc
+    | None ->
+      check_bool "final page is not truncated" false a.Wire.truncated;
+      acc
+  in
+  let rows = drain 0 [] in
+  check_int "no row served twice" (List.length rows)
+    (List.length (List.sort_uniq compare rows));
+  check_bool "paged union = whole answer" true
+    (List.sort compare rows = List.sort compare whole.Wire.answers);
+  check_bool "whole answer was not paged" true (whole.Wire.page = None)
+
+let test_engine_cursor_tokens_single_use () =
+  with_engine @@ fun e ->
+  (* a token the engine never issued *)
+  expect_expired e (query_req ~limit:2 ~cursor:"c999" "ans(X,Y) :- edge(X,Y).");
+  let p0 = answer_of e (query_req ~limit:2 "ans(X,Y) :- edge(X,Y).") in
+  let t0 = Option.get p0.Wire.next_cursor in
+  let p1 = answer_of e (query_req ~limit:2 ~cursor:t0 "ans(X,Y) :- edge(X,Y).") in
+  (* the consumed token is dead even though the session lives on *)
+  expect_expired e (query_req ~limit:2 ~cursor:t0 "ans(X,Y) :- edge(X,Y).");
+  (* ... and the freshly-issued one still works *)
+  let t1 = Option.get p1.Wire.next_cursor in
+  let p2 = answer_of e (query_req ~limit:2 ~cursor:t1 "ans(X,Y) :- edge(X,Y).") in
+  Alcotest.(check (option int)) "replay did not advance the stream" (Some 2)
+    (Some (Option.get p2.Wire.page))
+
+let test_engine_cursor_eviction_is_typed () =
+  let config = { Serve.Engine.default_config with cursor_capacity = 1 } in
+  with_engine ~config @@ fun e ->
+  let a = answer_of e (query_req ~limit:2 "ans(X,Y) :- edge(X,Y).") in
+  let ta = Option.get a.Wire.next_cursor in
+  (* parking a second paginated session evicts the first (capacity 1) *)
+  let b = answer_of e (query_req ~limit:2 "ans(X,Y) :- edge(Y,X).") in
+  let tb = Option.get b.Wire.next_cursor in
+  expect_expired e (query_req ~limit:2 ~cursor:ta "ans(X,Y) :- edge(X,Y).");
+  let b1 = answer_of e (query_req ~limit:2 ~cursor:tb "ans(X,Y) :- edge(Y,X).") in
+  Alcotest.(check (option int)) "survivor still pages" (Some 1) b1.Wire.page
 
 let test_engine_deadline_sheds_typed () =
   with_engine @@ fun e ->
@@ -801,6 +868,12 @@ let () =
           engine_cache_identity_prop;
           Alcotest.test_case "typed failures and containment" `Quick
             test_engine_typed_failures;
+          Alcotest.test_case "pagination serves exactly once" `Quick
+            test_engine_pagination_exactly_once;
+          Alcotest.test_case "cursor tokens are single-use" `Quick
+            test_engine_cursor_tokens_single_use;
+          Alcotest.test_case "cursor eviction is typed" `Quick
+            test_engine_cursor_eviction_is_typed;
           Alcotest.test_case "deadline sheds typed" `Quick
             test_engine_deadline_sheds_typed;
           Alcotest.test_case "admission control" `Quick

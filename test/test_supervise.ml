@@ -96,7 +96,7 @@ let test_deadline_fires_mid_join () =
     check_bool "partial stats show work done before the abort" true
       (Relalg.Stats.tuples_produced partial_stats >= 0)
   | _ -> Alcotest.fail "expected a Deadline abort");
-  Alcotest.(check (option int)) "no result" None o.Driver.result_cardinality
+  Alcotest.(check (option int)) "no result" None (Driver.result_cardinality o)
 
 (* ------------------------------------------------------------------ *)
 (* Chaos injection                                                     *)
@@ -281,7 +281,7 @@ let test_ladder_rescue_matches_reference () =
     Alcotest.(check (option int))
       "rescued cardinality equals the unsupervised reference"
       (Some (Relalg.Relation.cardinality reference))
-      o.Driver.result_cardinality
+      (Driver.result_cardinality o)
 
 let test_ladder_walks_every_failing_rung () =
   (* A fault armed on every attempt exhausts the whole ladder; each
@@ -339,7 +339,7 @@ let test_deterministic_reports () =
       List.map
         (fun a -> Driver.abort_reason a.Supervise.outcome)
         report.Supervise.attempts,
-      Option.map (fun o -> o.Driver.result_cardinality) report.Supervise.result )
+      Option.map Driver.result_cardinality report.Supervise.result )
   in
   check_bool "same seeds, same report" true (run () = run ())
 

@@ -150,7 +150,7 @@ let prop_matches_bucket =
           let outcome =
             Ppr_core.Driver.run ~rng:(rng 3) Ppr_core.Driver.Wcoj db cq
           in
-          outcome.Ppr_core.Driver.result_cardinality
+          Ppr_core.Driver.result_cardinality outcome
           = Some (Relation.cardinality expected))
         [ Encode.Boolean; Encode.Fraction 0.4 ])
 
