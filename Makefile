@@ -1,4 +1,4 @@
-.PHONY: all check build test bench bench-smoke bench-compare bench-parallel bench-wcoj bench-ghd bench-enum serve-soak fmt clean
+.PHONY: all check build test bench bench-smoke bench-compare bench-parallel bench-wcoj bench-ghd bench-enum bench-adaptive serve-soak fmt clean
 
 all: check
 
@@ -62,9 +62,11 @@ bench-wcoj:
 # produce identical tuple sets — enforced always — plus the 6x6-grid
 # cyclic low-htw panel where the gate must pick the decomposition and
 # it must be >= 1.1x faster than the bucket plan (PPR_GHD_GATE_MIN
-# overrides the threshold, 0 disables), and a warn-only jobs=4 vs
-# jobs=1 adaptive-sweep wall-time check. The verdict lands in
-# BENCH_results.json under "ghd_comparison".
+# overrides the threshold, 0 disables), and a jobs=4 vs jobs=1
+# adaptive-sweep wall-time check — a hard gate on >= 4-core runners,
+# warn-only below (PPR_GHD_PAR_GATE_MAX overrides the 1.05x tolerance,
+# 0 disables). The verdict lands in BENCH_results.json under
+# "ghd_comparison".
 bench-ghd:
 	dune exec bench/ghd_bench.exe -- --json BENCH_results.json
 
@@ -79,6 +81,17 @@ bench-ghd:
 # "enumeration_comparison".
 bench-enum:
 	dune exec bench/enum_bench.exe -- --json BENCH_results.json
+
+# Adaptive-planning gate: a skewed workload (one join overestimated
+# ~25x, another underestimated ~75x by the independence model) run
+# twice through the feedback loop. Both passes must produce identical
+# answers — enforced always — and the second, feedback-corrected pass
+# must pick a plan whose measured intermediate work undercuts the
+# textbook plan's by >= 1.2x without being slower in wall time
+# (PPR_ADAPT_GATE_MIN overrides the threshold, 0 disables). The
+# verdict lands in BENCH_results.json under "adaptive_comparison".
+bench-adaptive:
+	dune exec bench/adaptive_bench.exe -- --json BENCH_results.json
 
 # Serving soak gate: an in-process daemon on a real socket under ~200
 # concurrent requests of mixed health (valid isomorphic templates,

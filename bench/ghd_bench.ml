@@ -23,12 +23,13 @@
      PPR_GHD_GATE_MIN; 0 disables) is only enforced when the gate
      actually picked Ghd on that panel.
 
-   - Warn-only parallel sweep check: the gated evaluation of every
-     identity cell through Sweep.map_cells under a 4-domain pool should
-     not be slower than sequential now that fan-out is adaptive. A
-     regression prints a warning and lands in the JSON verdict but does
-     not fail the gate (see ROADMAP, "Finish the parallel-sweep
-     recovery"). *)
+   - Parallel sweep check: the gated evaluation of every identity cell
+     through Sweep.map_cells under a 4-domain pool must not be slower
+     than sequential (1.05x tolerance, override with
+     PPR_GHD_PAR_GATE_MAX; 0 disables). On runners with at least 4
+     recommended domains a regression fails the gate; below that it
+     degrades to a warning, since time-sliced domains legitimately slow
+     the pool down. *)
 
 let order = ref 6
 let seeds = ref 3
@@ -198,12 +199,30 @@ let () =
   Experiments.Sweep.set_pool None;
   Parallel.Pool.shutdown pool;
   let sweep_identical = seq_cards = par_cards in
-  let sweep_parallel_ok = jobs4_s <= jobs1_s *. 1.05 in
+  let par_threshold =
+    match Sys.getenv_opt "PPR_GHD_PAR_GATE_MAX" with
+    | Some s -> ( try float_of_string (String.trim s) with _ -> 1.05)
+    | None -> 1.05
+  in
+  (* The jobs=4 wall-time check is a hard gate only where it can be
+     meaningful: a runner with fewer than 4 cores time-slices the pool's
+     domains and the sweep legitimately slows down, so there it stays a
+     warning. PPR_GHD_PAR_GATE_MAX=0 disables the gate everywhere. *)
+  let par_enforced =
+    par_threshold > 0. && Domain.recommended_domain_count () >= 4
+  in
+  let sweep_parallel_ok =
+    par_threshold <= 0. || jobs4_s <= jobs1_s *. par_threshold
+  in
   Printf.printf "sweep wall: jobs=1 %.4fs   jobs=4 %.4fs%s\n%!" jobs1_s
     jobs4_s
     (if sweep_parallel_ok then ""
-     else "   WARNING: jobs=4 slower (warn-only, not a gate failure)");
-  let pass = identical && speedup_ok && sweep_identical in
+     else if par_enforced then "   FAIL: jobs=4 slower (gate)"
+     else "   WARNING: jobs=4 slower (warn-only: <4 cores)");
+  let pass =
+    identical && speedup_ok && sweep_identical
+    && ((not par_enforced) || sweep_parallel_ok)
+  in
   let verdict =
     let open Telemetry.Json in
     Obj
@@ -227,6 +246,7 @@ let () =
         ("sweep_jobs1_seconds", Float jobs1_s);
         ("sweep_jobs4_seconds", Float jobs4_s);
         ("sweep_parallel_ok", Bool sweep_parallel_ok);
+        ("sweep_parallel_enforced", Bool par_enforced);
         ("pass", Bool pass);
       ]
   in

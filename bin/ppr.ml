@@ -274,6 +274,33 @@ let make_pool jobs =
   let jobs = if jobs = 0 then Domain.recommended_domain_count () else jobs in
   if jobs <= 1 then None else Some (Parallel.Pool.create ~num_domains:jobs ())
 
+(* --planner: the order search the naive method uses above its DP
+   threshold. PPR_PLANNER supplies the default; an explicit flag wins.
+   'genetic' is the built-in default; 'gradient' is the adaptive
+   layer's gradient-guided search (registered at startup). *)
+let default_planner =
+  match Sys.getenv_opt "PPR_PLANNER" with
+  | Some s when String.trim s <> "" -> Some (String.trim s)
+  | _ -> None
+
+let planner_arg =
+  Arg.(
+    value
+    & opt (some string) default_planner
+    & info [ "planner" ] ~docv:"NAME"
+        ~doc:
+          "Join-order search for the naive method's large queries (above \
+           its DP threshold): 'genetic' (the default) or 'gradient' \
+           (gradient-guided search over the same left-deep plan space). \
+           Defaults to the \\$(b,PPR_PLANNER) environment variable.")
+
+let apply_planner planner meth =
+  match (planner, meth) with
+  | Some name, Ppr_core.Driver.Naive (Ppr_core.Naive.Auto (threshold, _))
+    when name <> "genetic" ->
+    Ppr_core.Driver.Naive (Ppr_core.Naive.Plugin (name, threshold))
+  | _ -> meth
+
 (* Run the rest of the command under the named default backend — the
    scoped bracket replaced the old process-wide setter, so the CLI
    brackets its whole body (base data loads under the chosen layout;
@@ -371,7 +398,7 @@ let run_cmd =
            spec)
   in
   let run family order density seed free_fraction meth max_tuples deadline fuel
-      use_ladder chaos trace metrics backend jobs =
+      use_ladder chaos trace metrics backend jobs planner =
     guarded @@ fun () ->
     with_backend backend @@ fun () ->
     let pool = make_pool jobs in
@@ -393,6 +420,7 @@ let run_cmd =
       | Some other -> failwith (Printf.sprintf "unknown method %S" other)
       | None -> Ppr_core.Driver.all_paper_methods
     in
+    let methods = List.map (apply_planner planner) methods in
     let chaos = Option.map parse_chaos chaos in
     let budget =
       let b =
@@ -436,7 +464,8 @@ let run_cmd =
     Term.(
       const run $ family_arg $ order_arg $ density_arg $ seed_arg
       $ free_fraction_arg $ method_arg $ max_tuples $ deadline $ fuel
-      $ ladder $ chaos $ trace_arg $ metrics_arg $ backend_arg $ jobs_arg)
+      $ ladder $ chaos $ trace_arg $ metrics_arg $ backend_arg $ jobs_arg
+      $ planner_arg)
 
 (* ------------------------------------------------------------------ *)
 (* treewidth                                                           *)
@@ -675,7 +704,7 @@ let query_cmd =
       | c -> c
   in
   let run query_text query_file data_dir meth show_sql limit rank page trace
-      metrics backend jobs =
+      metrics backend jobs planner =
     guarded @@ fun () ->
     with_backend backend @@ fun () ->
     let pool = make_pool jobs in
@@ -710,6 +739,7 @@ let query_cmd =
       | Some "ghd" -> Ppr_core.Driver.Ghd
       | Some other -> failwith (Printf.sprintf "unknown method %S" other)
     in
+    let meth = apply_planner planner meth in
     let ctx = Relalg.Ctx.create ?telemetry ?pool () in
     let head_name = parsed.Conjunctive.Parse.head_name in
     let namer = parsed.Conjunctive.Parse.namer in
@@ -836,7 +866,7 @@ let query_cmd =
     Term.(
       const run $ query_text $ query_file $ data_dir $ method_arg $ sql_flag
       $ limit_arg $ rank_arg $ page_arg $ trace_arg $ metrics_arg
-      $ backend_arg $ jobs_arg)
+      $ backend_arg $ jobs_arg $ planner_arg)
 
 (* ------------------------------------------------------------------ *)
 (* acyclic: hypergraph structure report                                *)
@@ -985,8 +1015,32 @@ let serve_cmd =
           ~doc:
             "Parked-pagination-cursor bound (LRU): parking one more              evicts the least-recently-used session, whose next              continuation request gets a typed 'cursor-expired' error.")
   in
+  let feedback_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "feedback-file" ] ~docv:"PATH"
+          ~doc:
+            "Persist the adaptive feedback store: restore learned \
+             cardinality corrections from PATH on start and snapshot them \
+             back on drained shutdown, so a restarted daemon plans with \
+             what it already measured. Snapshots from a different ppr \
+             binary are ignored.")
+  in
+  let warm_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "warm" ] ~docv:"FILE"
+          ~doc:
+            "Replay newline-delimited queries (each 'METHOD<TAB>QUERY' or \
+             just a query) through the planner and one bounded execution \
+             before accepting connections, seeding the plan cache and the \
+             feedback store. Blank lines and '#' comments are skipped.")
+  in
   let run socket port host data_dir workers queue_depth cache cache_file
-      deadline_ms max_deadline_ms max_tuples cursor_capacity jobs =
+      deadline_ms max_deadline_ms max_tuples cursor_capacity jobs
+      feedback_file warm_file planner =
     guarded @@ fun () ->
     let pool = make_pool jobs in
     let db =
@@ -1003,6 +1057,21 @@ let serve_cmd =
       | None, socket ->
         Serve.Server.Unix_socket (Option.value socket ~default:"ppr.sock")
     in
+    let warm =
+      match warm_file with
+      | None -> []
+      | Some path ->
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let rec collect acc =
+              match input_line ic with
+              | line -> collect (line :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            collect [])
+    in
     let config =
       {
         Serve.Engine.default_config with
@@ -1010,6 +1079,9 @@ let serve_cmd =
         queue_depth;
         cache_capacity = cache;
         cache_file;
+        feedback_file;
+        planner;
+        warm;
         default_deadline_ms = deadline_ms;
         max_deadline_ms;
         cursor_capacity;
@@ -1037,11 +1109,13 @@ let serve_cmd =
            prerr_endline "ppr: second signal, exiting without draining";
            exit 130)
          ());
-    Printf.printf "ppr: serving %s on %s (workers=%d queue=%d cache=%d)\n%!"
+    Printf.printf
+      "ppr: serving %s on %s (workers=%d queue=%d cache=%d warmed=%d)\n%!"
       (match data_dir with Some d -> d | None -> "built-in 3-COLOR data")
       (Format.asprintf "%a" Serve.Server.pp_address
          (Serve.Server.bound_address server))
-      workers queue_depth cache;
+      workers queue_depth cache
+      (Serve.Engine.warmed (Serve.Server.engine server));
     Serve.Server.wait server;
     Format.printf "%a@." Telemetry.Metrics.pp
       (Serve.Engine.metrics (Serve.Server.engine server))
@@ -1054,7 +1128,8 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ port_arg $ host_arg $ data_dir $ workers_arg
       $ queue_arg $ cache_arg $ cache_file_arg $ deadline_arg
-      $ max_deadline_arg $ max_tuples_arg $ cursor_capacity_arg $ jobs_arg)
+      $ max_deadline_arg $ max_tuples_arg $ cursor_capacity_arg $ jobs_arg
+      $ feedback_file_arg $ warm_arg $ planner_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1069,6 +1144,7 @@ let setup_logs () =
 
 let () =
   setup_logs ();
+  Adapt.Grad.register ();
   let info =
     Cmd.info "ppr" ~version:"1.0.0"
       ~doc:"Structural join optimization: projection pushing revisited."

@@ -3,14 +3,113 @@ module Database = Conjunctive.Database
 module Relation = Relalg.Relation
 module Iset = Set.Make (Int)
 
+type feedback = string -> float option
+
+type observation = { key : string; measured : float; estimated : float }
+
+(* Correction factors are ratios of measured to estimated cardinalities;
+   a single wild sample (an empty intermediate, a pathological skew hit)
+   must not be able to push an estimate to zero or infinity. *)
+let clamp_factor f =
+  if Float.is_nan f then 1.0 else Float.max 1e-3 (Float.min 1e3 f)
+
+(* ------------------------------------------------------------------ *)
+(* Signature keys.
+
+   Feedback is keyed by *structural* signatures, not by variable ids or
+   query text, so a correction learned on one query transfers to any
+   renaming of it and to structurally similar queries over the same
+   relations:
+
+   - a variable's signature is the sorted multiset of (relation, column)
+     positions where it occurs — the join key "edge.1 = edge.0" has the
+     same signature whatever the variables are called;
+   - an atom's signature is its relation plus the repeated-variable
+     pattern (the equality constraints the scan enforces);
+   - the query-level signature serializes the canonicalized query
+     ({!Hypergraphs.Canon}), so isomorphic queries share one key. *)
+
+let add_str buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let variable_signature cq v =
+  let occs = ref [] in
+  List.iter
+    (fun atom ->
+      List.iteri
+        (fun col v' -> if v' = v then occs := (atom.Cq.rel, col) :: !occs)
+        atom.Cq.vars)
+    cq.Cq.atoms;
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf "var";
+  List.iter
+    (fun (rel, col) ->
+      Buffer.add_char buf '|';
+      add_str buf rel;
+      Buffer.add_char buf '.';
+      Buffer.add_string buf (string_of_int col))
+    (List.sort Stdlib.compare !occs);
+  Buffer.contents buf
+
+let atom_signature atom =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf "atom|";
+  add_str buf atom.Cq.rel;
+  Buffer.add_char buf '|';
+  (* Repeated-variable pattern: each position maps to the index of the
+     variable's first occurrence within the atom, so edge(X,X) and
+     edge(Y,Y) share a signature while edge(X,Y) does not. *)
+  let arr = Array.of_list atom.Cq.vars in
+  Array.iteri
+    (fun i v ->
+      let rec first j = if arr.(j) = v then j else first (j + 1) in
+      Buffer.add_string buf (string_of_int (first 0));
+      ignore i;
+      Buffer.add_char buf ',')
+    arr;
+  Buffer.contents buf
+
+let query_signature cq =
+  let canon = Hypergraphs.Canon.canonicalize cq in
+  let cq = canon.Hypergraphs.Canon.query in
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "query|";
+  let ints vs =
+    Buffer.add_char buf '(';
+    List.iter
+      (fun v ->
+        Buffer.add_string buf (string_of_int v);
+        Buffer.add_char buf ',')
+      vs;
+    Buffer.add_char buf ')'
+  in
+  ints cq.Cq.free;
+  List.iter
+    (fun a ->
+      add_str buf a.Cq.rel;
+      ints a.Cq.vars)
+    cq.Cq.atoms;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* The environment.                                                    *)
+
 type env = {
   atom_card : (string, float) Hashtbl.t;
-  domains : (int, float) Hashtbl.t;
+  domains : (int, float) Hashtbl.t;  (* effective: feedback applied *)
+  default_domain : float;
+      (* the largest observed domain: the least dangerous default for a
+         variable the scan never saw (1.0 would make joining on it free) *)
+  atom_corr : (Cq.atom, float) Hashtbl.t;
+  query_corr : float;
+  feedback_hits : int;
 }
 
 (* Distinct values a variable can take: the union of the distinct values
    in every base-relation column where the variable occurs. *)
-let environment db cq =
+let environment ?feedback db cq =
   let atom_card = Hashtbl.create 16 in
   let domains = Hashtbl.create 64 in
   let values_per_var : (int, Iset.t) Hashtbl.t = Hashtbl.create 64 in
@@ -37,12 +136,64 @@ let environment db cq =
     (fun v seen ->
       Hashtbl.replace domains v (float_of_int (max 1 (Iset.cardinal seen))))
     values_per_var;
-  { atom_card; domains }
+  let default_domain =
+    Hashtbl.fold (fun _ d acc -> Float.max d acc) domains 1.0
+  in
+  let atom_corr = Hashtbl.create 4 in
+  let hits = ref 0 in
+  let query_corr = ref 1.0 in
+  (match feedback with
+  | None -> ()
+  | Some lookup ->
+    (* Corrections are folded in once at build time, so the hot
+       estimation path ({!join_estimate}, {!order_cost}) pays nothing
+       extra per call. A variable factor f = measured/estimated divides
+       the effective domain: joins on an underestimated key (f > 1) get
+       costlier, overestimated ones (f < 1) cheaper. *)
+    Hashtbl.iter
+      (fun v d ->
+        match lookup (variable_signature cq v) with
+        | Some f ->
+          incr hits;
+          Hashtbl.replace domains v (Float.max 1e-3 (d /. clamp_factor f))
+        | None -> ())
+      (Hashtbl.copy domains);
+    List.iter
+      (fun atom ->
+        if not (Hashtbl.mem atom_corr atom) then
+          match lookup (atom_signature atom) with
+          | Some f ->
+            incr hits;
+            Hashtbl.add atom_corr atom (clamp_factor f)
+          | None -> ())
+      cq.Cq.atoms;
+    (match lookup (query_signature cq) with
+    | Some f ->
+      incr hits;
+      query_corr := clamp_factor f
+    | None -> ()));
+  {
+    atom_card;
+    domains;
+    default_domain;
+    atom_corr;
+    query_corr = !query_corr;
+    feedback_hits = !hits;
+  }
+
+let corrected env = env.feedback_hits > 0
+let query_correction env = env.query_corr
 
 let atom_cardinality env atom =
-  Option.value ~default:1.0 (Hashtbl.find_opt env.atom_card atom.Cq.rel)
+  let base =
+    Option.value ~default:1.0 (Hashtbl.find_opt env.atom_card atom.Cq.rel)
+  in
+  match Hashtbl.find_opt env.atom_corr atom with
+  | Some f -> base *. f
+  | None -> base
 
-let domain_size env v = Option.value ~default:1.0 (Hashtbl.find_opt env.domains v)
+let domain_size env v =
+  Option.value ~default:env.default_domain (Hashtbl.find_opt env.domains v)
 
 let join_estimate env (card_l, vars_l) (card_r, vars_r) =
   let shared = Iset.inter vars_l vars_r in
@@ -70,7 +221,7 @@ let rec analyze env = function
 
 let estimate env plan =
   let card, _, _ = analyze env plan in
-  card
+  card *. env.query_corr
 
 let plan_cost env plan =
   let _, _, cost = analyze env plan in

@@ -5,20 +5,74 @@
     input cardinalities by the variable's domain size. With the paper's
     tiny databases this information is nearly useless, which is the
     point of the experimental setup; the model exists so the plan-space
-    search has something to optimize, as PostgreSQL's planner did. *)
+    search has something to optimize, as PostgreSQL's planner did.
+
+    The adaptive layer ({!Adapt}) closes the loop the paper leaves open:
+    a [feedback] function maps structural {e signature keys} to learned
+    correction factors (measured/estimated ratios harvested from earlier
+    executions), and an environment built with one folds those factors
+    into its per-variable domains, per-atom cardinalities and
+    query-level estimate — so every estimator below ({!estimate},
+    {!plan_cost}, {!order_cost}) is corrected with zero extra cost on
+    the hot path. Corrections never change {e results}, only the cost
+    model; a plan chosen under a corrected environment answers the same
+    query. *)
+
+type feedback = string -> float option
+(** Learned correction factors by signature key: [Some f] multiplies the
+    textbook estimate for that signature by [f] ([f > 1]: the textbook
+    underestimated), [None] falls back to the textbook number. Factors
+    are clamped to [[1e-3, 1e3]] (see {!clamp_factor}). *)
+
+type observation = { key : string; measured : float; estimated : float }
+(** One harvested ground-truth sample: for signature [key] the textbook
+    model said [estimated] and execution measured [measured]. Emitted by
+    {!Driver.run}'s observer hook, blended by [Adapt.Store]. *)
+
+val clamp_factor : float -> float
+(** Clamp a correction factor to [[1e-3, 1e3]] (NaN maps to [1.0]). *)
+
+val variable_signature : Conjunctive.Cq.t -> int -> string
+(** The variable's join-key signature: the sorted multiset of
+    (relation, column) positions where it occurs. Renaming-invariant, so
+    corrections transfer across queries joining the same columns. *)
+
+val atom_signature : Conjunctive.Cq.atom -> string
+(** The atom's scan signature: relation name plus the repeated-variable
+    pattern (which positions are forced equal). *)
+
+val query_signature : Conjunctive.Cq.t -> string
+(** Whole-query signature via {!Hypergraphs.Canon}: isomorphic queries
+    share one key. *)
 
 type env
 
-val environment : Conjunctive.Database.t -> Conjunctive.Cq.t -> env
-(** Precompute per-atom cardinalities and per-variable domain sizes. *)
+val environment :
+  ?feedback:feedback -> Conjunctive.Database.t -> Conjunctive.Cq.t -> env
+(** Precompute per-atom cardinalities and per-variable domain sizes.
+    With [feedback], look up each variable's, atom's and the query's
+    signature once and fold any hit into the environment: a variable
+    factor [f] divides its effective domain (so joins on underestimated
+    keys get costlier), an atom factor multiplies its cardinality, and
+    the query factor scales {!estimate}. *)
+
+val corrected : env -> bool
+(** Whether any feedback signature hit while building this environment. *)
+
+val query_correction : env -> float
+(** The query-level blend factor ([1.0] without a hit). *)
 
 val atom_cardinality : env -> Conjunctive.Cq.atom -> float
 val domain_size : env -> int -> float
 (** Distinct values observed for the variable across the base-relation
-    columns where it occurs; [1.0] for an unseen variable. *)
+    columns where it occurs. For a variable the environment never saw,
+    the {e largest} observed domain — the conservative default: [1.0]
+    (the old behavior) made joins on unseen variables look free, which
+    feedback corrections would then amplify. *)
 
 val estimate : env -> Plan.t -> float
-(** Estimated cardinality of the plan's result. *)
+(** Estimated cardinality of the plan's result, times the environment's
+    query-level correction factor. *)
 
 val plan_cost : env -> Plan.t -> float
 (** Total estimated tuples materialized across all operators — the

@@ -23,6 +23,7 @@ let method_name = function
   | Naive Naive.Dp -> "naive(dp)"
   | Naive Naive.Dp_bushy -> "naive(dp-bushy)"
   | Naive (Naive.Genetic _) -> "naive(geqo)"
+  | Naive (Naive.Plugin (name, _)) -> Printf.sprintf "naive(%s)" name
   | Naive (Naive.Auto _) -> "naive"
   | Straightforward -> "straightforward"
   | Early_projection -> "early-projection"
@@ -64,16 +65,16 @@ let abort_reason o =
 let result_cardinality o = Option.map Relalg.Relation.cardinality o.result
 let nonempty o = Option.map (fun r -> not (Relalg.Relation.is_empty r)) o.result
 
-let compile ?rng meth db cq =
+let compile ?rng ?feedback meth db cq =
   match meth with
-  | Naive search -> Naive.compile ~search db cq
+  | Naive search -> Naive.compile ~search ?feedback db cq
   | Straightforward -> Straightforward.compile cq
   | Early_projection -> Early_projection.compile cq
   | Reorder -> Reorder.compile ?rng cq
   | Bucket_elimination -> Bucket.compile ?rng cq
   | Minibucket i_bound -> Minibucket.compile ?rng ~i_bound cq
-  | Hybrid -> Hybrid.compile ?rng db cq
-  | Hybrid_rank n -> Hybrid.nth_plan ?rng n db cq
+  | Hybrid -> Hybrid.compile ?rng ?feedback db cq
+  | Hybrid_rank n -> Hybrid.nth_plan ?rng ?feedback n db cq
   | Wcoj ->
     (* The binary fallback the AGM gate compares against; [run] executes
        the generic join directly when the gate picks it. *)
@@ -91,7 +92,7 @@ type compiled = Exec.compiled =
   | Generic_join of Wcoj.prep
   | Decomposed of Ghd.prep * Plan.t option
 
-let prepare ?rng meth db cq =
+let prepare ?rng ?feedback meth db cq =
   match meth with
   | Wcoj -> (
     let prep = Wcoj.prepare ?rng db cq in
@@ -111,12 +112,112 @@ let prepare ?rng meth db cq =
       | Ghd.Generic | Ghd.Ghd -> None
     in
     Decomposed (prep, plan)
-  | _ -> Plan (compile ?rng meth db cq)
+  | _ -> Plan (compile ?rng ?feedback meth db cq)
 
 (* Minibucket plans are deliberately approximate (a superset of the
    answer): the semijoin reroute in [Exec.stream] answers the exact
    query and would mask the approximation, so it is disabled there. *)
 let exact_method = function Minibucket _ -> false | _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Cardinality harvest. With an [?observer], a run over a binary plan
+   records every node's measured output cardinality ([Exec.run ?observe],
+   post-order) and turns the prefix that completed into observations
+   against the {e uncorrected} textbook model:
+   - each atom scan vs its raw base cardinality, under the atom's
+     signature;
+   - each join's selectivity error — measured vs the independence
+     estimate from the children's {e measured} inputs — split
+     geometrically across the join's shared variables and emitted one
+     observation per variable signature, so corrections transfer to any
+     query joining the same columns;
+   - the whole answer vs the textbook estimate of the reference
+     left-deep plan, under the query signature (complete runs only).
+   An aborted run fires [observe] only for the nodes that finished,
+   which is a clean post-order prefix, so partial runs still teach the
+   store about those nodes. Counts are (+1)-smoothed so empty
+   intermediates stay finite in log space. *)
+let harvest_node_observations ~env cq plan cards =
+  let n = Array.length cards in
+  let idx = ref 0 in
+  let obs = ref [] in
+  let emit key measured estimated =
+    obs := { Cost.key; measured; estimated } :: !obs
+  in
+  let take () =
+    if !idx >= n then None
+    else begin
+      let c = float_of_int cards.(!idx) in
+      incr idx;
+      Some c
+    end
+  in
+  let rec walk node =
+    match node with
+    | Plan.Atom atom ->
+      let m = take () in
+      (match m with
+      | Some measured ->
+        let est = Cost.atom_cardinality env atom in
+        emit (Cost.atom_signature atom) (measured +. 1.) (est +. 1.)
+      | None -> ());
+      m
+    | Plan.Join (l, r) -> (
+      match walk l with
+      | None -> None
+      | Some ml -> (
+        match walk r with
+        | None -> None
+        | Some mr -> (
+          match take () with
+          | None -> None
+          | Some measured ->
+            (match
+               List.filter
+                 (fun v -> List.mem v (Plan.schema r))
+                 (Plan.schema l)
+             with
+            | [] -> () (* cartesian: no join-key selectivity to learn *)
+            | shared ->
+              let denom =
+                List.fold_left
+                  (fun acc v -> acc *. Cost.domain_size env v)
+                  1.0 shared
+              in
+              let est = ml *. mr /. denom in
+              let ratio =
+                Cost.clamp_factor ((measured +. 1.) /. (est +. 1.))
+              in
+              let per_var =
+                ratio ** (1. /. float_of_int (List.length shared))
+              in
+              List.iter
+                (fun v -> emit (Cost.variable_signature cq v) per_var 1.0)
+                shared);
+            Some measured)))
+    | Plan.Project (sub, _) -> (
+      match walk sub with None -> None | Some _ -> take ())
+  in
+  ignore (walk plan);
+  List.rev !obs
+
+let harvest_query_observation ~env cq result =
+  match cq.Conjunctive.Cq.atoms with
+  | [] -> []
+  | atoms ->
+    let reference =
+      Plan.project_to
+        (Plan.left_deep (List.map (fun a -> Plan.Atom a) atoms))
+        cq.Conjunctive.Cq.free
+    in
+    let est = Cost.estimate env reference in
+    [
+      {
+        Cost.key = Cost.query_signature cq;
+        measured = float_of_int (Relalg.Relation.cardinality result) +. 1.;
+        estimated = est +. 1.;
+      };
+    ]
 
 let log_src =
   Logs.Src.create "ppr.driver" ~doc:"Method compilation and execution"
@@ -180,7 +281,8 @@ let collect_stream ~clock ~limit ~rank cur =
    ([driver.runs], [driver.aborts.<reason>]) land in the caller's telemetry
    registry; the per-run [Stats.t] keeps its own private registry so the
    outcome's measurements never mix across runs. *)
-let run ?rng ?compiled ?limit ?rank ?(ctx = Relalg.Ctx.null) meth db cq =
+let run ?rng ?feedback ?observer ?compiled ?limit ?rank
+    ?(ctx = Relalg.Ctx.null) meth db cq =
   let limit = Option.map (max 0) limit in
   let telemetry = Relalg.Ctx.telemetry ctx in
   let clock = Unix.gettimeofday in
@@ -201,7 +303,7 @@ let run ?rng ?compiled ?limit ?rank ?(ctx = Relalg.Ctx.null) meth db cq =
   let planned =
     match compiled with
     | Some c -> c
-    | None -> in_span "compile" [] (fun () -> prepare ?rng meth db cq)
+    | None -> in_span "compile" [] (fun () -> prepare ?rng ?feedback meth db cq)
   in
   let t1 = clock () in
   (* Analytic width: for a binary plan, its largest node schema; for the
@@ -296,6 +398,14 @@ let run ?rng ?compiled ?limit ?rank ?(ctx = Relalg.Ctx.null) meth db cq =
     | _ -> [])
   in
   let streamed = limit <> None || rank <> None in
+  (* Node-cardinality collection for the harvest: post-order, so an
+     abort leaves a clean prefix. Only armed when someone listens. *)
+  let harvest_cards =
+    match observer with Some _ -> Some (ref []) | None -> None
+  in
+  let observe =
+    Option.map (fun cell _node card -> cell := card :: !cell) harvest_cards
+  in
   let result, complete, first_answer_seconds, time_to_k, status =
     in_span "exec" exec_attrs (fun () ->
         try
@@ -316,7 +426,7 @@ let run ?rng ?compiled ?limit ?rank ?(ctx = Relalg.Ctx.null) meth db cq =
           else
             let r =
               match planned with
-              | Plan plan -> Exec.run ~ctx:exec_ctx db plan
+              | Plan plan -> Exec.run ~ctx:exec_ctx ?observe db plan
               | Generic_join prep ->
                 Exec.run_generic ~ctx:exec_ctx ~order:prep.Wcoj.order db cq
               | Decomposed (prep, plan) -> (
@@ -355,6 +465,36 @@ let run ?rng ?compiled ?limit ?rank ?(ctx = Relalg.Ctx.null) meth db cq =
       let label = Relalg.Limits.reason_label a.reason in
       Telemetry.Metrics.incr
         (Telemetry.Metrics.counter reg ("driver.aborts." ^ label))));
+  (* Harvest: ground-truth cardinalities against the uncorrected model
+     (the observations must measure the textbook model's error, not the
+     corrected one's, or repeated blending would compound). *)
+  (match observer with
+  | None -> ()
+  | Some emit ->
+    let env = lazy (Cost.environment db cq) in
+    let node_obs =
+      match (streamed, planned, harvest_cards) with
+      | false, Plan plan, Some cell ->
+        harvest_node_observations ~env:(Lazy.force env) cq plan
+          (Array.of_list (List.rev !cell))
+      | _ -> []
+    in
+    let query_obs =
+      match (status, result) with
+      | Completed, Some r when complete ->
+        harvest_query_observation ~env:(Lazy.force env) cq r
+      | _ -> []
+    in
+    match node_obs @ query_obs with
+    | [] -> ()
+    | observations ->
+      (match telemetry with
+      | None -> ()
+      | Some t ->
+        Telemetry.Metrics.incr
+          (Telemetry.Metrics.counter (Telemetry.metrics t)
+             "driver.feedback.harvests"));
+      emit observations);
   let t2 = clock () in
   Log.debug (fun m ->
       m "%s: executed in %.4fs (%s)" name (t2 -. t1)

@@ -81,8 +81,13 @@ val nonempty : outcome -> bool option
 (** Whether [result] is nonempty; same caveats as {!result_cardinality}. *)
 
 val compile :
-  ?rng:Graphlib.Rng.t -> meth -> Conjunctive.Database.t -> Conjunctive.Cq.t ->
+  ?rng:Graphlib.Rng.t -> ?feedback:Cost.feedback ->
+  meth -> Conjunctive.Database.t -> Conjunctive.Cq.t ->
   Plan.t
+(** [feedback] corrects the cost model for the cost-based methods
+    ({!Naive}, {!Hybrid}, {!Hybrid_rank}) — see {!Cost.environment};
+    purely structural methods ignore it. Corrections change which plan
+    is chosen, never what it answers. *)
 
 type compiled = Exec.compiled =
   | Plan of Plan.t  (** a binary project-join plan *)
@@ -99,7 +104,8 @@ type compiled = Exec.compiled =
     {!Exec.stream} and the serving layer's plan cache. *)
 
 val prepare :
-  ?rng:Graphlib.Rng.t -> meth -> Conjunctive.Database.t -> Conjunctive.Cq.t ->
+  ?rng:Graphlib.Rng.t -> ?feedback:Cost.feedback ->
+  meth -> Conjunctive.Database.t -> Conjunctive.Cq.t ->
   compiled
 (** The planning phase of {!run} as a reusable artifact: for {!Wcoj} the
     AGM gate decision (either the prepared generic join or the bucket
@@ -110,7 +116,9 @@ val prepare :
     estimation and bucket construction entirely. *)
 
 val run :
-  ?rng:Graphlib.Rng.t -> ?compiled:compiled ->
+  ?rng:Graphlib.Rng.t -> ?feedback:Cost.feedback ->
+  ?observer:(Cost.observation list -> unit) ->
+  ?compiled:compiled ->
   ?limit:int -> ?rank:(Relalg.Tuple.t -> Relalg.Tuple.t -> int) ->
   ?ctx:Relalg.Ctx.t ->
   meth -> Conjunctive.Database.t -> Conjunctive.Cq.t -> outcome
@@ -139,7 +147,19 @@ val run :
     full sorted answer when [limit] is absent). Streamed outcomes fill
     [first_answer_seconds]/[time_to_k] and set [complete] iff nothing
     was left behind; the semijoin reroute is disabled for {!Minibucket}
-    so its plans stay faithfully approximate. *)
+    so its plans stay faithfully approximate.
+
+    [feedback] corrects the cost model during the compile phase (see
+    {!compile}); it is unused when [compiled] is supplied. [observer]
+    receives harvested {!Cost.observation}s after the run: per-node
+    measured cardinalities vs the uncorrected textbook model for binary-
+    plan executions (atom scans under atom signatures, join selectivity
+    errors split per shared-variable signature — a post-order prefix
+    survives an abort), plus a query-level observation under the query
+    signature when the run completed with the full answer. Streamed
+    ([limit]/[rank]) runs harvest only the query-level observation,
+    since partial pulls measure delivery, not selectivity. Each nonempty
+    emission counts on [driver.feedback.harvests]. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** One line per run; an incomplete (page-limited) result cardinality is

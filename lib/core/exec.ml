@@ -20,19 +20,21 @@ type compiled =
 
 (* Each plan node runs inside a [plan.*] span (the operator itself adds a
    nested [op.*] span), so a trace mirrors the plan tree: a join node's
-   span contains both input subtrees and the join work. *)
-let rec run ?(ctx = Ctx.null) db plan =
+   span contains both input subtrees and the join work. [observe] fires
+   once per completed node, in completion (post-) order, with the node's
+   measured output cardinality — the adaptive layer's harvest hook. *)
+let rec run ?(ctx = Ctx.null) ?observe db plan =
   let eval () =
     match plan with
     | Plan.Atom atom -> Database.eval_atom ~ctx db atom
     | Plan.Join (l, r) ->
-      let rl = run ~ctx db l in
-      let rr = run ~ctx db r in
+      let rl = run ~ctx ?observe db l in
+      let rr = run ~ctx ?observe db r in
       (match Ctx.join_algorithm ctx with
       | Hash -> Ops.natural_join ~ctx rl rr
       | Merge -> Ops.merge_join ~ctx rl rr)
     | Plan.Project (sub, kept) ->
-      let rsub = run ~ctx db sub in
+      let rsub = run ~ctx ?observe db sub in
       (* Keep the input's column order for the retained variables; the
          variable set, not the order, is what projection means here. Build
          the kept-set once instead of scanning the list per variable. *)
@@ -45,11 +47,18 @@ let rec run ?(ctx = Ctx.null) db plan =
         invalid_arg "Exec: projection keeps a variable absent from its input";
       Ops.project ~ctx rsub target
   in
-  match (Ctx.telemetry ctx, plan) with
-  | Some t, Plan.Join _ -> Telemetry.with_span t "plan.join" (fun _ -> eval ())
-  | Some t, Plan.Project _ ->
-    Telemetry.with_span t "plan.project" (fun _ -> eval ())
-  | _, _ -> eval ()
+  let result =
+    match (Ctx.telemetry ctx, plan) with
+    | Some t, Plan.Join _ ->
+      Telemetry.with_span t "plan.join" (fun _ -> eval ())
+    | Some t, Plan.Project _ ->
+      Telemetry.with_span t "plan.project" (fun _ -> eval ())
+    | _, _ -> eval ()
+  in
+  (match observe with
+  | Some f -> f plan (Relation.cardinality result)
+  | None -> ());
+  result
 
 let run_generic ?ctx ?order db cq = Wcoj.evaluate ?ctx ?order db cq
 

@@ -20,10 +20,16 @@ type compiled =
 (** The artifact a compilation step produces and both consumption modes
     accept — see {!Driver.compile} for the per-method mapping. *)
 
-val run : ?ctx:Relalg.Ctx.t -> Conjunctive.Database.t -> Plan.t -> Relalg.Relation.t
+val run :
+  ?ctx:Relalg.Ctx.t -> ?observe:(Plan.t -> int -> unit) ->
+  Conjunctive.Database.t -> Plan.t -> Relalg.Relation.t
 (** Execute a plan under the given execution context (default
     {!Relalg.Ctx.null}: no instrumentation, hash joins, default storage
-    backend), materializing every node bottom-up. The context's join
+    backend), materializing every node bottom-up. [observe] is called
+    once per plan node as it completes — children before parents, left
+    subtree first, i.e. post-order — with the node and its measured
+    output cardinality; {!Driver.run} uses it to harvest cardinality
+    observations for the adaptive feedback store. The context's join
     algorithm defaults to [Hash] (the paper forced hash joins in
     PostgreSQL); [Merge] runs the same plans over sort-merge joins for
     the join-algorithm ablation. With telemetry in the context, every

@@ -27,9 +27,9 @@ let describe ~namer = function
          (fun ppf v -> Format.pp_print_string ppf (namer v)))
       (List.sort_uniq Stdlib.compare kept)
 
-let analyze ?(ctx = Relalg.Ctx.null) db plan =
+let analyze ?(ctx = Relalg.Ctx.null) ?feedback db plan =
   let env =
-    Cost.environment db
+    Cost.environment ?feedback db
       (Cq.make ~atoms:(Plan.atoms plan) ~free:(Plan.schema plan))
   in
   let default_namer v = Printf.sprintf "v%d" v in

@@ -12,8 +12,8 @@ let order_from_graph_heuristic cq heuristic =
   let jg = Joingraph.build cq in
   Joingraph.variable_order_of jg (heuristic jg.Joingraph.graph)
 
-let candidates ?rng db cq =
-  let env = Cost.environment db cq in
+let candidates ?rng ?feedback db cq =
+  let env = Cost.environment ?feedback db cq in
   let weight = Weighted.weights_from_database db cq in
   let rng_for label =
     (* Derive independent deterministic streams when the caller gave
@@ -51,14 +51,14 @@ let candidates ?rng db cq =
     (bucket_candidates @ others)
   |> List.sort (fun a b -> compare a.estimated_cost b.estimated_cost)
 
-let compile ?rng db cq =
-  match candidates ?rng db cq with
+let compile ?rng ?feedback db cq =
+  match candidates ?rng ?feedback db cq with
   | best :: _ -> best.plan
   | [] -> invalid_arg "Hybrid.compile: no candidates"
 
-let nth_plan ?rng n db cq =
+let nth_plan ?rng ?feedback n db cq =
   if n < 0 then invalid_arg "Hybrid.nth_plan: negative rank";
-  match candidates ?rng db cq with
+  match candidates ?rng ?feedback db cq with
   | [] -> invalid_arg "Hybrid.nth_plan: no candidates"
   | cands ->
     let clamped = min n (List.length cands - 1) in

@@ -20,16 +20,21 @@ type candidate = {
 }
 
 val candidates :
-  ?rng:Graphlib.Rng.t -> Conjunctive.Database.t -> Conjunctive.Cq.t ->
+  ?rng:Graphlib.Rng.t -> ?feedback:Cost.feedback ->
+  Conjunctive.Database.t -> Conjunctive.Cq.t ->
   candidate list
-(** The scored portfolio, cheapest first. *)
+(** The scored portfolio, cheapest first. [feedback] scores candidates
+    under a corrected cost environment (see {!Cost.environment}), which
+    can reorder the portfolio but never changes any candidate's answer. *)
 
 val compile :
-  ?rng:Graphlib.Rng.t -> Conjunctive.Database.t -> Conjunctive.Cq.t -> Plan.t
+  ?rng:Graphlib.Rng.t -> ?feedback:Cost.feedback ->
+  Conjunctive.Database.t -> Conjunctive.Cq.t -> Plan.t
 (** The cheapest candidate's plan. *)
 
 val nth_plan :
-  ?rng:Graphlib.Rng.t -> int -> Conjunctive.Database.t -> Conjunctive.Cq.t ->
+  ?rng:Graphlib.Rng.t -> ?feedback:Cost.feedback ->
+  int -> Conjunctive.Database.t -> Conjunctive.Cq.t ->
   Plan.t
 (** The [n]-th cheapest candidate's plan ([nth_plan 0] = {!compile});
     ranks past the end of the portfolio clamp to the last (cheapest-risk)

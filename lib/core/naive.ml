@@ -8,9 +8,31 @@ type genetic_params = {
 
 let default_genetic = { pool_size = None; generations = None; seed = 42 }
 
-type search = Dp | Dp_bushy | Genetic of genetic_params | Auto of int * genetic_params
+type search =
+  | Dp
+  | Dp_bushy
+  | Genetic of genetic_params
+  | Auto of int * genetic_params
+  | Plugin of string * int
 
 let default_search = Auto (12, default_genetic)
+
+(* Registered order-search plugins, by name. The registry is global so
+   the [Plugin] variant stays a plain data constructor — [Driver.meth]
+   values are compared structurally (the supervisor's ladder does), and
+   a closure inside the variant would make [(=)] raise. Registration
+   happens at startup (CLI main, engine create); lookups take the lock
+   so concurrent worker-domain compiles stay safe. *)
+let planners : (string, Cost.env -> Cq.atom array -> int array) Hashtbl.t =
+  Hashtbl.create 4
+
+let planners_lock = Mutex.create ()
+
+let register_order_search name search =
+  Mutex.protect planners_lock (fun () -> Hashtbl.replace planners name search)
+
+let order_search name =
+  Mutex.protect planners_lock (fun () -> Hashtbl.find_opt planners name)
 
 (* Estimated cardinality of the join of a subset of atoms. Under the
    independence model this is order-independent: the product of the atom
@@ -202,14 +224,14 @@ let genetic_order params env atoms =
     pool.(!best)
   end
 
-let compile ?(search = default_search) db cq =
+let compile ?(search = default_search) ?feedback db cq =
   let atoms = Array.of_list cq.Cq.atoms in
   let m = Array.length atoms in
   if m = 0 then invalid_arg "Naive.compile: no atoms";
-  let env = Cost.environment db cq in
+  let env = Cost.environment ?feedback db cq in
   match search with
   | Dp_bushy -> Plan.project_to (dp_bushy_plan env atoms) cq.Cq.free
-  | (Dp | Genetic _ | Auto _) as search ->
+  | (Dp | Genetic _ | Auto _ | Plugin _) as search ->
     let order =
       match search with
       | Dp -> dp_order env atoms
@@ -217,6 +239,15 @@ let compile ?(search = default_search) db cq =
       | Auto (threshold, params) ->
         if m <= threshold then dp_order env atoms
         else genetic_order params env atoms
+      | Plugin (name, threshold) -> (
+        if m <= threshold then dp_order env atoms
+        else
+          match order_search name with
+          | Some search -> search env atoms
+          | None ->
+            failwith
+              (Printf.sprintf "Naive.compile: planner %S is not registered"
+                 name))
       | Dp_bushy -> assert false
     in
     let scans = List.map (fun i -> Plan.Atom atoms.(i)) (Array.to_list order) in

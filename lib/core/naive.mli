@@ -27,9 +27,24 @@ type search =
   | Auto of int * genetic_params
       (** DP up to the given atom count (PostgreSQL's [geqo_threshold]),
           genetic beyond *)
+  | Plugin of string * int
+      (** a {!register_order_search}-registered planner above the given
+          DP threshold (the gradient planner rides in this way: the
+          name stays plain data, so {!Driver.meth} values remain
+          structurally comparable) *)
 
 val default_search : search
 (** [Auto (12, default_genetic)]. *)
+
+val register_order_search :
+  string -> (Cost.env -> Conjunctive.Cq.atom array -> int array) -> unit
+(** Register (or replace) a named order search for {!search.Plugin}.
+    The function must return a valid permutation of the atom indices —
+    the same plan space as the genetic search. Thread-safe. *)
+
+val order_search :
+  string -> (Cost.env -> Conjunctive.Cq.atom array -> int array) option
+(** Look up a registered planner by name. *)
 
 val dp_order : Cost.env -> Conjunctive.Cq.atom array -> int array
 (** Minimum-cost left-deep order, by dynamic programming over atom
@@ -47,7 +62,12 @@ val genetic_order :
     crossover, swap mutation, and elitist replacement. *)
 
 val compile :
-  ?search:search -> Conjunctive.Database.t -> Conjunctive.Cq.t -> Plan.t
+  ?search:search -> ?feedback:Cost.feedback ->
+  Conjunctive.Database.t -> Conjunctive.Cq.t -> Plan.t
 (** Search for an order and build the plan (joins only, one final
     projection). Compile time is the caller-measured cost of this
-    function — the quantity of the paper's Figure 2. *)
+    function — the quantity of the paper's Figure 2. [feedback] builds
+    the cost environment with learned corrections (see
+    {!Cost.environment}); it changes which order wins, never the
+    answer.
+    @raise Failure if a [Plugin] search names an unregistered planner. *)

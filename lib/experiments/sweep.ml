@@ -127,14 +127,15 @@ let map_seeds ctx f seeds =
   | _ -> List.map f seeds
 
 let run_cell ?(limits_factory = fun () -> Relalg.Limits.create ()) ?ladder
-    ?budget ?(ctx = Relalg.Ctx.null) ~seeds ~instance ~meth () =
+    ?budget ?feedback ?observer ?(ctx = Relalg.Ctx.null) ~seeds ~instance
+    ~meth () =
   let run_one seed =
     let db, cq = instance ~seed in
     let rng = Graphlib.Rng.make (seed * 7919) in
     match ladder with
     | None ->
       let outcome =
-        Ppr_core.Driver.run ~rng
+        Ppr_core.Driver.run ~rng ?feedback ?observer
           ~ctx:(Relalg.Ctx.with_limits ctx (limits_factory ()))
           meth db cq
       in
@@ -150,7 +151,9 @@ let run_cell ?(limits_factory = fun () -> Relalg.Limits.create ()) ?ladder
       }
     | Some ladder ->
       let budget = Option.value budget ~default:Supervise.Budget.default in
-      let report = Supervise.run ~rng ~budget ~ladder ~ctx meth db cq in
+      let report =
+        Supervise.run ~rng ?feedback ?observer ~budget ~ladder ~ctx meth db cq
+      in
       let final =
         match (report.Supervise.result, List.rev report.Supervise.attempts) with
         | Some outcome, _ -> outcome

@@ -47,6 +47,8 @@ val run_cell :
   ?limits_factory:(unit -> Relalg.Limits.t) ->
   ?ladder:Ppr_core.Driver.meth list ->
   ?budget:Supervise.Budget.t ->
+  ?feedback:Ppr_core.Cost.feedback ->
+  ?observer:(Ppr_core.Cost.observation list -> unit) ->
   ?ctx:Relalg.Ctx.t ->
   seeds:int list ->
   instance:(seed:int -> Conjunctive.Database.t * Conjunctive.Cq.t) ->
@@ -60,7 +62,14 @@ val run_cell :
     single unsupervised run uses [limits_factory]. [ctx] is threaded into
     every run (telemetry spans for each compile/exec/operator, abort
     tallies in the registry, storage backend, join algorithm); its limits
-    field is overridden per run by [limits_factory] or the budget. *)
+    field is overridden per run by [limits_factory] or the budget.
+    [feedback] and [observer] thread an adaptive feedback loop through
+    every run (see {!Ppr_core.Driver.run}): corrections are applied at
+    compile time, harvested observations are handed to [observer] — the
+    adaptive benchmark feeds them into an [Adapt.Store] between passes.
+    With a pool installed and [observer] set, seeds still run in
+    parallel; the caller's observer must be domain-safe
+    ([Adapt.Store.ingest] is). *)
 
 val print_header : title:string -> columns:string list -> x_label:string -> unit
 

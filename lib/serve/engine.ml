@@ -7,6 +7,9 @@ type config = {
   queue_depth : int;
   cache_capacity : int;
   cache_file : string option;
+  feedback_file : string option;
+  planner : string option;
+  warm : string list;
   default_deadline_ms : int option;
   max_deadline_ms : int;
   default_max_answers : int;
@@ -21,6 +24,9 @@ let default_config =
     queue_depth = 64;
     cache_capacity = 512;
     cache_file = None;
+    feedback_file = None;
+    planner = None;
+    warm = [];
     default_deadline_ms = None;
     max_deadline_ms = 300_000;
     default_max_answers = 100;
@@ -58,6 +64,7 @@ type t = {
   pool : Parallel.Pool.t option;
   metrics : Metrics.t;
   cache : Driver.compiled Plan_cache.t;
+  store : Adapt.Store.t;
   cursors : parked Cursors.t;
   lock : Mutex.t;
   nonempty : Condition.t;
@@ -66,11 +73,14 @@ type t = {
   mutable queued : int;
   mutable stopped : bool;
   mutable inflight : int;
+  mutable warmed : int;
   mutable workers : unit Domain.t array;
 }
 
 let metrics t = t.metrics
 let cache t = t.cache
+let feedback t = t.store
+let warmed t = t.warmed
 
 let count t name = Metrics.incr (Metrics.counter t.metrics name)
 
@@ -97,6 +107,20 @@ let method_of_string = function
       | Some i when i > 0 -> Some (Driver.Minibucket i)
       | _ -> None)
     | _ -> None)
+
+(* Daemon-wide planner substitution: with [--planner gradient] (or any
+   registered order-search plugin), naive requests using the default
+   DP/genetic split keep their DP threshold but search large queries
+   with the plugin instead of the genetic pool. ["genetic"] is the
+   built-in default and substitutes nothing; explicitly non-default
+   naive searches (a client asking for dp or geqo by name) are
+   respected. *)
+let apply_planner planner meth =
+  match (planner, meth) with
+  | Some name, Driver.Naive (Ppr_core.Naive.Auto (threshold, _))
+    when name <> "genetic" ->
+    Driver.Naive (Ppr_core.Naive.Plugin (name, threshold))
+  | _ -> meth
 
 let chaos_of_spec spec =
   let int s = int_of_string_opt s in
@@ -230,14 +254,24 @@ let run_session t (q : Wire.query) ~queue_seconds ~deadline_abs =
         Wire.Failed
           (id, Wire.Parse_error, Format.asprintf "%a" Conjunctive.Parse.pp_error e)
       | Ok parsed -> (
+        let meth = apply_planner t.cfg.planner meth in
         let canon = Hypergraphs.Canon.canonicalize parsed.Conjunctive.Parse.query in
         let cq = canon.Hypergraphs.Canon.query in
-        let key = Plan_cache.key_of ~canon ~meth:q.meth in
+        (* Keyed by the resolved method name (not the request string), so
+           a planner substitution never replays an artifact compiled by a
+           differently-configured daemon out of a shared snapshot. *)
+        let key = Plan_cache.key_of ~canon ~meth:(Driver.method_name meth) in
+        let feedback = Adapt.Store.feedback t.store in
+        let observer obs = Adapt.Store.ingest t.store obs in
         let compiled, cache_hit =
           Plan_cache.find_or_add t.cache key (fun () ->
               (* A fixed compile seed keeps the cached artifact
-                 independent of which request warmed the cache. *)
-              Driver.prepare ~rng:(Graphlib.Rng.make 17) meth t.db cq)
+                 independent of which request warmed the cache; the
+                 feedback store corrects the cost model, so a repeat of a
+                 query whose first run mis-planned recompiles under the
+                 measured cardinalities once its artifact ages out. *)
+              Driver.prepare ~rng:(Graphlib.Rng.make 17) ~feedback meth t.db
+                cq)
         in
         count t (if cache_hit then "serve.cache.hits" else "serve.cache.misses");
         let budget =
@@ -357,8 +391,8 @@ let run_session t (q : Wire.query) ~queue_seconds ~deadline_abs =
         in
         if q.ladder then begin
           let report =
-            Supervise.run ~rng ~budget ?chaos ~compiled
-              ?overall_deadline_seconds:remaining ~ctx meth t.db cq
+            Supervise.run ~rng ~feedback ~observer ~replan:true ~budget ?chaos
+              ~compiled ?overall_deadline_seconds:remaining ~ctx meth t.db cq
           in
           let rungs = List.length report.Supervise.attempts in
           match report.Supervise.result with
@@ -396,7 +430,7 @@ let run_session t (q : Wire.query) ~queue_seconds ~deadline_abs =
           | Some c -> Supervise.Chaos.arm c ~attempt:0 limits
           | None -> ());
           let outcome =
-            Driver.run ~rng ~compiled
+            Driver.run ~rng ~feedback ~observer ~compiled
               ~ctx:(Relalg.Ctx.with_limits ctx limits)
               meth t.db cq
           in
@@ -484,9 +518,64 @@ let worker_loop t =
 (* ------------------------------------------------------------------ *)
 (* Public API.                                                         *)
 
+(* Warm-up replay: one line is ["METHOD\tQUERY"] or just a query (the
+   wire protocol's default method). Each runs the same pipeline a
+   session would — prepare into the plan cache under the current
+   feedback, then one materializing run whose harvest seeds the
+   feedback store — so the first real request sees a warm cache and
+   corrected estimates. Blank lines and [#] comments are skipped; bad
+   lines are logged and skipped. *)
+let warm_line t line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then false
+  else begin
+    let meth_str, text =
+      match String.index_opt line '\t' with
+      | Some i ->
+        ( String.sub line 0 i,
+          String.trim (String.sub line (i + 1) (String.length line - i - 1))
+        )
+      | None -> ("bucket-elimination", line)
+    in
+    match method_of_string meth_str with
+    | None ->
+      Log.warn (fun f -> f "warm: unknown method %S, line skipped" meth_str);
+      false
+    | Some meth -> (
+      match Conjunctive.Parse.query text with
+      | Error e ->
+        Log.warn (fun f ->
+            f "warm: %a, line skipped" Conjunctive.Parse.pp_error e);
+        false
+      | Ok parsed ->
+        let meth = apply_planner t.cfg.planner meth in
+        let canon =
+          Hypergraphs.Canon.canonicalize parsed.Conjunctive.Parse.query
+        in
+        let cq = canon.Hypergraphs.Canon.query in
+        let key = Plan_cache.key_of ~canon ~meth:(Driver.method_name meth) in
+        let compiled, _ =
+          Plan_cache.find_or_add t.cache key (fun () ->
+              Driver.prepare ~rng:(Graphlib.Rng.make 17)
+                ~feedback:(Adapt.Store.feedback t.store)
+                meth t.db cq)
+        in
+        let limits = Supervise.Budget.to_limits t.cfg.budget in
+        ignore
+          (Driver.run ~rng:(Graphlib.Rng.make 17)
+             ~observer:(fun obs -> Adapt.Store.ingest t.store obs)
+             ~compiled
+             ~ctx:(Relalg.Ctx.create ~limits ())
+             meth t.db cq);
+        true)
+  end
+
 let create ?(config = default_config) ?pool db =
   if config.workers < 1 then invalid_arg "Engine.create: workers < 1";
   if config.queue_depth < 1 then invalid_arg "Engine.create: queue_depth < 1";
+  (* Plugin planners must resolve before any compile — a registry miss
+     inside a session would be an internal error, not a bad request. *)
+  Adapt.Grad.register ();
   let t =
     {
       cfg = config;
@@ -494,6 +583,7 @@ let create ?(config = default_config) ?pool db =
       pool;
       metrics = Metrics.create ();
       cache = Plan_cache.create ~capacity:config.cache_capacity ();
+      store = Adapt.Store.create ();
       cursors =
         Cursors.create ~capacity:config.cursor_capacity
           ~on_evict:(fun p -> Relalg.Cursor.close p.pcur);
@@ -504,17 +594,33 @@ let create ?(config = default_config) ?pool db =
       queued = 0;
       stopped = false;
       inflight = 0;
+      warmed = 0;
       workers = [||];
     }
   in
-  (* Warm the plan cache from the previous run's snapshot before any
-     worker can race a session against the load. *)
+  (* Warm the plan cache and feedback store from the previous run's
+     snapshots, then replay the warm list — all before any worker can
+     race a session against the load. *)
   (match config.cache_file with
   | Some path ->
     let n = Plan_cache.load t.cache path in
     if n > 0 then
       Log.info (fun f -> f "plan cache: restored %d entries from %s" n path)
   | None -> ());
+  (match config.feedback_file with
+  | Some path ->
+    let n = Adapt.Store.load t.store path in
+    if n > 0 then
+      Log.info (fun f -> f "feedback store: restored %d entries from %s" n path)
+  | None -> ());
+  List.iter (fun line -> if warm_line t line then t.warmed <- t.warmed + 1)
+    config.warm;
+  if t.warmed > 0 then
+    Log.info (fun f ->
+        f "warm: replayed %d quer%s (cache %d entries, feedback %d signatures)"
+          t.warmed
+          (if t.warmed = 1 then "y" else "ies")
+          (Plan_cache.size t.cache) (Adapt.Store.size t.store));
   t.workers <-
     Array.init config.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
@@ -549,6 +655,10 @@ let stats_fields t =
     ("cache_hits", Json.Int (Plan_cache.hits t.cache));
     ("cache_misses", Json.Int (Plan_cache.misses t.cache));
     ("cache_evictions", Json.Int (Plan_cache.evictions t.cache));
+    ("feedback_signatures", Json.Int (Adapt.Store.size t.store));
+    ("feedback_samples", Json.Int (Adapt.Store.samples t.store));
+    ("feedback_hits", Json.Int (Adapt.Store.hits t.store));
+    ("warmed", Json.Int t.warmed);
   ]
 
 (* Admission control: O(1) under the lock, never blocks the caller. The
@@ -644,15 +754,24 @@ let stop t =
   (* Snapshot the warmed cache only after the drain, so the last
      sessions' compiles make it into the file. The first stop call owns
      the workers array; later (idempotent) calls skip the save. *)
-  if Array.length workers > 0 then
-    match t.cfg.cache_file with
+  if Array.length workers > 0 then begin
+    (match t.cfg.cache_file with
     | None -> ()
     | Some path -> (
       try
         let n = Plan_cache.save t.cache path in
         Log.info (fun f -> f "plan cache: saved %d entries to %s" n path)
       with Sys_error msg ->
-        Log.err (fun f -> f "plan cache: save to %s failed: %s" path msg))
+        Log.err (fun f -> f "plan cache: save to %s failed: %s" path msg)));
+    match t.cfg.feedback_file with
+    | None -> ()
+    | Some path -> (
+      try
+        let n = Adapt.Store.save t.store path in
+        Log.info (fun f -> f "feedback store: saved %d entries to %s" n path)
+      with Sys_error msg ->
+        Log.err (fun f -> f "feedback store: save to %s failed: %s" path msg))
+  end
 
 let stopped t =
   Mutex.lock t.lock;

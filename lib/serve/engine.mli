@@ -37,6 +37,23 @@ type config = {
           prepared GHD decompositions) instead of re-planning; a
           missing, corrupt or other-binary snapshot is silently ignored
           (default [None]) *)
+  feedback_file : string option;
+      (** the adaptive feedback store's snapshot, with the same
+          lifecycle and rejection discipline as [cache_file]: learned
+          cardinality corrections survive a daemon restart
+          (default [None]) *)
+  planner : string option;
+      (** daemon-wide order-search substitution for naive requests using
+          the default DP/genetic split: ["gradient"] (or any plugin
+          registered with {!Ppr_core.Naive.register_order_search})
+          replaces the genetic search above the DP threshold; [None] or
+          ["genetic"] keeps the default (default [None]) *)
+  warm : string list;
+      (** queries replayed through the full pipeline (compile into the
+          plan cache, one run harvesting into the feedback store) before
+          the first worker spawns — each line ["METHOD\tQUERY"] or just
+          a query; blank lines, [#] comments and bad lines are skipped
+          (default empty) *)
   default_deadline_ms : int option;
       (** applied when the request carries none (default [None]) *)
   max_deadline_ms : int;
@@ -88,6 +105,14 @@ val metrics : t -> Telemetry.Metrics.t
 (** The shared registry all sessions record into (domain-safe). *)
 
 val cache : t -> Ppr_core.Driver.compiled Plan_cache.t
+
+val feedback : t -> Adapt.Store.t
+(** The engine's feedback store: every session compiles under its
+    corrections (cache misses and the supervisor's re-plan rung) and
+    funnels its harvested observations back in. *)
+
+val warmed : t -> int
+(** Queries successfully replayed from [config.warm] during {!create}. *)
 
 val stats_fields : t -> (string * Telemetry.Json.t) list
 (** The [stats] op's payload: queue/inflight/cache/counter snapshot. *)

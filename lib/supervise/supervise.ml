@@ -9,6 +9,7 @@ type attempt = {
   backoff_seconds : float;
   outcome : Driver.outcome;
   approximate : bool;
+  replanned : bool;
 }
 
 type report = {
@@ -27,6 +28,15 @@ let is_approximate = function
   | Driver.Naive _ | Driver.Straightforward | Driver.Early_projection
   | Driver.Reorder | Driver.Bucket_elimination | Driver.Hybrid
   | Driver.Hybrid_rank _ | Driver.Wcoj | Driver.Ghd ->
+    false
+
+(* Methods whose plan choice actually listens to the cost model — the
+   only ones a mid-ladder re-plan with corrected estimates can help. *)
+let cost_based = function
+  | Driver.Naive _ | Driver.Hybrid | Driver.Hybrid_rank _ -> true
+  | Driver.Straightforward | Driver.Early_projection | Driver.Reorder
+  | Driver.Bucket_elimination | Driver.Minibucket _ | Driver.Wcoj
+  | Driver.Ghd ->
     false
 
 let default_ladder = function
@@ -77,9 +87,10 @@ let backoff ~base ~rng i =
     *. Float.pow 2.0 (float_of_int (i - 1))
     *. (0.5 +. Graphlib.Rng.float rng 1.0)
 
-let run ?rng ?(budget = Budget.default) ?ladder ?(budget_scaling = 1.0)
-    ?(backoff_base = 0.0) ?(sleep = false) ?chaos ?clock ?compiled
-    ?overall_deadline_seconds ?(ctx = Relalg.Ctx.null) meth db cq =
+let run ?rng ?feedback ?observer ?(replan = false) ?(budget = Budget.default)
+    ?ladder ?(budget_scaling = 1.0) ?(backoff_base = 0.0) ?(sleep = false)
+    ?chaos ?clock ?compiled ?overall_deadline_seconds
+    ?(ctx = Relalg.Ctx.null) meth db cq =
   let telemetry = Relalg.Ctx.telemetry ctx in
   if budget_scaling <= 0.0 then
     invalid_arg "Supervise.run: budget_scaling must be positive";
@@ -88,6 +99,29 @@ let run ?rng ?(budget = Budget.default) ?ladder ?(budget_scaling = 1.0)
     | Some (_ :: _ as l) -> l
     | Some [] | None -> default_ladder meth
   in
+  (* What the aborted attempts actually measured, latest sample wins;
+     the re-plan rung layers these over the caller's feedback so its
+     corrected model reflects the very intermediates that just blew up.
+     Only armed when someone can use it. *)
+  let observed : (string, float * float) Hashtbl.t = Hashtbl.create 16 in
+  let capture =
+    if replan || Option.is_some observer then
+      Some
+        (fun obs ->
+          List.iter
+            (fun o ->
+              Hashtbl.replace observed o.Ppr_core.Cost.key
+                (o.Ppr_core.Cost.measured, o.Ppr_core.Cost.estimated))
+            obs;
+          match observer with Some f -> f obs | None -> ())
+    else None
+  in
+  let learned_feedback key =
+    match Hashtbl.find_opt observed key with
+    | Some (m, e) when e > 0. -> Some (Ppr_core.Cost.clamp_factor (m /. e))
+    | _ -> ( match feedback with Some f -> f key | None -> None)
+  in
+  let replanned_once = ref false in
   let backoff_rng =
     match rng with
     | Some r -> Graphlib.Rng.split r
@@ -105,7 +139,7 @@ let run ?rng ?(budget = Budget.default) ?ladder ?(budget_scaling = 1.0)
   in
   let rec go i backoff_spent attempts = function
     | [] -> (List.rev attempts, None, backoff_spent)
-    | m :: rest ->
+    | (m, is_replan) :: rest ->
       let rung_budget =
         if i = 0 then budget
         else Budget.scale (Float.pow budget_scaling (float_of_int i)) budget
@@ -137,8 +171,14 @@ let run ?rng ?(budget = Budget.default) ?ladder ?(budget_scaling = 1.0)
              rungs are different methods and recompile. *)
           match compiled with Some c when i = 0 && m = meth -> Some c | _ -> None
         in
-        Driver.run ?rng ?compiled ~ctx:(Relalg.Ctx.with_limits ctx limits) m db
-          cq
+        (* The re-plan rung compiles under the observations the aborted
+           attempts just harvested (layered over the caller's feedback);
+           ordinary rungs see only the caller's. *)
+        let feedback =
+          if is_replan then Some learned_feedback else feedback
+        in
+        Driver.run ?rng ?feedback ?observer:capture ?compiled
+          ~ctx:(Relalg.Ctx.with_limits ctx limits) m db cq
       in
       let outcome =
         match telemetry with
@@ -177,6 +217,7 @@ let run ?rng ?(budget = Budget.default) ?ladder ?(budget_scaling = 1.0)
           backoff_seconds = pause;
           outcome;
           approximate = is_approximate m;
+          replanned = is_replan;
         }
       in
       (match outcome.Driver.status with
@@ -198,9 +239,36 @@ let run ?rng ?(budget = Budget.default) ?ladder ?(budget_scaling = 1.0)
           (* Out of overall time: stop shedding down the ladder — deeper
              rungs would only trip Deadline on their first poll. *)
           (List.rev (attempt :: attempts), None, backoff_spent +. pause)
-        | _ -> go (i + 1) (backoff_spent +. pause) (attempt :: attempts) rest))
+        | _ ->
+          (* Mid-ladder re-plan (once per ladder, opt-in): the aborted
+             attempt measured real intermediate sizes before dying, so a
+             cost-based method gets one retry compiled under those
+             observations before the ladder sheds to a weaker method. *)
+          let rest =
+            if
+              replan && (not is_replan) && (not !replanned_once)
+              && cost_based m
+              && Hashtbl.length observed > 0
+            then begin
+              replanned_once := true;
+              Log.info (fun f ->
+                  f "re-planning %s with %d observed cardinalities"
+                    (Driver.method_name m) (Hashtbl.length observed));
+              (match telemetry with
+              | None -> ()
+              | Some t ->
+                Telemetry.Metrics.incr
+                  (Telemetry.Metrics.counter (Telemetry.metrics t)
+                     "supervise.replans"));
+              (m, true) :: rest
+            end
+            else rest
+          in
+          go (i + 1) (backoff_spent +. pause) (attempt :: attempts) rest))
   in
-  let attempts, result, backoff_spent = go 0 0.0 [] rungs in
+  let attempts, result, backoff_spent =
+    go 0 0.0 [] (List.map (fun m -> (m, false)) rungs)
+  in
   let rescued = Option.is_some result && List.length attempts > 1 in
   (match telemetry with
   | None -> ()
@@ -226,8 +294,10 @@ let run ?rng ?(budget = Budget.default) ?ladder ?(budget_scaling = 1.0)
 let pp_report ppf r =
   List.iter
     (fun a ->
-      Format.fprintf ppf "rung %d: %a%s%s@." a.rung Driver.pp_outcome a.outcome
+      Format.fprintf ppf "rung %d: %a%s%s%s@." a.rung Driver.pp_outcome
+        a.outcome
         (if a.approximate then "  [upper bound]" else "")
+        (if a.replanned then "  [replanned]" else "")
         (if a.backoff_seconds > 0.0 then
            Printf.sprintf "  (backoff %.3fs)" a.backoff_seconds
          else ""))

@@ -28,6 +28,9 @@ type attempt = {
   approximate : bool;
       (** true when the rung's method only guarantees an upper bound
           (mini-bucket): a rescue here trades exactness for an answer *)
+  replanned : bool;
+      (** true for the inserted re-plan rung: same method, recompiled
+          under the cardinalities observed in the aborted attempts *)
 }
 
 type report = {
@@ -51,6 +54,9 @@ val default_ladder : Ppr_core.Driver.meth -> Ppr_core.Driver.meth list
 
 val run :
   ?rng:Graphlib.Rng.t ->
+  ?feedback:Ppr_core.Cost.feedback ->
+  ?observer:(Ppr_core.Cost.observation list -> unit) ->
+  ?replan:bool ->
   ?budget:Budget.t ->
   ?ladder:Ppr_core.Driver.meth list ->
   ?budget_scaling:float ->
@@ -94,6 +100,18 @@ val run :
     each rung's budget deadline is clamped to the remainder, and once
     the remainder reaches zero the ladder stops walking — the serving
     layer's per-request deadline lands here, turning the ladder into
-    bounded load-shedding. *)
+    bounded load-shedding.
+
+    [feedback] corrects the cost model in every rung's compile phase
+    (see {!Ppr_core.Driver.run}); [observer] receives each rung's
+    harvested observations. [replan] (default false) arms the adaptive
+    rung: when an attempt of a cost-based method ({!Ppr_core.Driver.Naive},
+    [Hybrid], [Hybrid_rank]) aborts after harvesting at least one
+    observation, the {e same} method is retried once, recompiled under a
+    feedback that layers the aborted attempts' measured intermediate
+    cardinalities over [feedback] — the observed blow-up steers the new
+    plan away from the order that caused it — before the ladder sheds to
+    weaker methods. At most one re-plan per ladder; each counts on
+    [supervise.replans], and the attempt is flagged [replanned]. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -103,7 +103,11 @@ let test_cost_environment () =
   Alcotest.(check (float 1e-9)) "edge cardinality" 6.0
     (Cost.atom_cardinality env (edge 0 1));
   Alcotest.(check (float 1e-9)) "domain size" 3.0 (Cost.domain_size env 0);
-  Alcotest.(check (float 1e-9)) "unseen var" 1.0 (Cost.domain_size env 99)
+  (* A variable the environment never saw must not look free: it
+     defaults to the largest observed domain (3 here), not 1.0 — a
+     1.0 default made every join over an unseen variable estimate as a
+     key-key join and systematically underestimate. *)
+  Alcotest.(check (float 1e-9)) "unseen var" 3.0 (Cost.domain_size env 99)
 
 let test_cost_estimates () =
   let env = Cost.environment coloring_db pentagon_cq in
