@@ -25,6 +25,22 @@
    - shutdown drains: sessions in flight when stop begins still get
      their responses on their open connection.
 
+   After the flood, three targeted phases exercise the cost-aware
+   admission layer:
+
+   - a duplicate-query flood: with every worker pinned by a stalled
+     occupier, N identical fresh-structure queries arrive on separate
+     connections; all N must be answered with tuple-identical rows,
+     carrying batched flags, while the plan cache compiles the
+     structure at most PPR_BATCH_GATE times (default 2) — the batch
+     coalesced, it did not fan N compiles;
+   - a flooding client: one connection bursts 20 queued-up queries and
+     must be quota-shed (typed "shed-quota") for the overflow while a
+     polite client on another connection is answered normally;
+   - a cost probe: a 12-way cross product whose analytic lower bound
+     towers over --max-cost-log2 must be refused with the typed
+     "shed-cost" error, never executed and never "internal".
+
    The verdict lands in BENCH_results.json under "serve_soak". *)
 
 module Json = Telemetry.Json
@@ -236,7 +252,8 @@ let record_response line =
         Mutex.lock tally.lock;
         tally.shed <- tally.shed + 1;
         Mutex.unlock tally.lock
-      | Some ("abort" | "parse" | "bad-request" | "shutting-down") ->
+      | Some ("abort" | "parse" | "bad-request" | "shutting-down"
+             | "shed-cost" | "shed-quota") ->
         Mutex.lock tally.lock;
         tally.typed_errors <- tally.typed_errors + 1;
         Mutex.unlock tally.lock;
@@ -378,6 +395,233 @@ let paginated_client address c =
       incr paginated_sessions)
 
 (* ------------------------------------------------------------------ *)
+(* Cost-aware admission phases: batching, quotas, cost sheds.          *)
+
+let query_json ?(extra = []) ~id text =
+  Json.to_string
+    (Json.Obj
+       ([
+          ("op", Json.String "query");
+          ("id", Json.Int id);
+          ("query", Json.String text);
+        ]
+       @ extra))
+
+let fetch_stat address name =
+  let fd = connect address in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      output_string oc "{\"op\":\"stats\",\"id\":-3}\n";
+      flush oc;
+      match Jsonl.parse (input_line ic) with
+      | Ok v -> (
+        match Wire.field v name with Some (Json.Int n) -> n | _ -> -1)
+      | Error _ -> -1)
+
+(* Pin every worker with a stalled session so subsequent queries are
+   forced to queue (where batching and quotas act). Returns the open
+   connections; [release_occupiers] reads their eventual answers. *)
+let pin_workers address ~stall_seconds =
+  List.init 4 (fun i ->
+      let fd = connect address in
+      let oc = Unix.out_channel_of_descr fd in
+      output_string oc
+        (query_json ~id:(-200 - i)
+           ~extra:
+             [
+               ( "chaos",
+                 Json.String (Printf.sprintf "stall:1:%g" stall_seconds) );
+             ]
+           "occ(A,B,C) :- edge(A,B), edge(B,C), edge(C,A).");
+      output_char oc '\n';
+      flush oc;
+      fd)
+
+let release_occupiers label conns =
+  List.iter
+    (fun fd ->
+      let ic = Unix.in_channel_of_descr fd in
+      (match input_line ic with
+      | _ -> ()
+      | exception End_of_file -> violation "%s: occupier connection dropped" label);
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    conns
+
+(* Duplicate-query flood: N identical fresh-structure queries admitted
+   while the workers are pinned must coalesce into (nearly) one
+   execution — tuple-identical answers on every connection, batched
+   flags on the wire, and a plan-cache miss delta bounded by
+   PPR_BATCH_GATE (default 2: the leader's compile, plus one slack for
+   a straggler that arrived after its batch was popped). *)
+let batching_phase address =
+  let gate =
+    match Sys.getenv_opt "PPR_BATCH_GATE" with
+    | Some v -> ( try int_of_string v with _ -> 2)
+    | None -> 2
+  in
+  let occupiers = pin_workers address ~stall_seconds:0.6 in
+  (* let the occupiers compile and reach their stalls, so the snapshot
+     below sees every miss the duplicates did not cause *)
+  Thread.delay 0.2;
+  let misses0 = fetch_stat address "cache_misses" in
+  let n = 10 in
+  let dup_text = "dup(A,D) :- edge(A,B), edge(B,C), edge(C,D)." in
+  let results = Array.make n None in
+  let threads =
+    List.init n (fun i ->
+        Thread.create
+          (fun () ->
+            let fd = connect address in
+            let ic = Unix.in_channel_of_descr fd in
+            let oc = Unix.out_channel_of_descr fd in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                output_string oc (query_json ~id:(-300 - i) dup_text);
+                output_char oc '\n';
+                flush oc;
+                results.(i) <- Some (Jsonl.parse (input_line ic))))
+          ())
+  in
+  List.iter Thread.join threads;
+  let batched_flags = ref 0 in
+  let canon_sets =
+    Array.to_list results
+    |> List.filter_map (fun r ->
+           match r with
+           | None ->
+             violation "batching phase: a duplicate got no response";
+             None
+           | Some (Error msg) ->
+             violation "batching phase: garbled response: %s" msg;
+             None
+           | Some (Ok v)
+             when Wire.field v "status" = Some (Json.String "ok") -> (
+             if Wire.field v "batched" = Some (Json.Bool true) then
+               incr batched_flags;
+             match Wire.field v "answers" with
+             | Some rows -> canonical_rows rows
+             | None ->
+               violation "batching phase: answer without rows";
+               None)
+           | Some (Ok v) ->
+             violation "batching phase: duplicate refused: %s"
+               (Json.to_string v);
+             None)
+  in
+  (match canon_sets with
+  | [] -> violation "batching phase: no duplicate was answered"
+  | first :: rest ->
+    if not (List.for_all (( = ) first) rest) then
+      violation "batching phase: duplicate answers are not tuple-identical";
+    if List.length canon_sets <> n then
+      violation "batching phase: only %d of %d duplicates answered"
+        (List.length canon_sets) n);
+  if !batched_flags = 0 then
+    violation "batching phase: no answer carried the batched flag";
+  let compile_delta = fetch_stat address "cache_misses" - misses0 in
+  if compile_delta > gate then
+    violation
+      "batching phase: %d compiles for %d duplicate requests (gate %d)"
+      compile_delta n gate;
+  release_occupiers "batching phase" occupiers;
+  (!batched_flags, compile_delta)
+
+(* Flooding client: 20 burst queries from one connection — identical
+   structure but distinct seeds, so they cannot coalesce and each needs
+   its own queue slot — must trip the per-client quota for the
+   overflow, while a polite client on its own connection is answered
+   normally. *)
+let quota_phase address =
+  let occupiers = pin_workers address ~stall_seconds:0.6 in
+  Thread.delay 0.15;
+  let flood_n = 20 in
+  let flooder = connect address in
+  let fic = Unix.in_channel_of_descr flooder in
+  let foc = Unix.out_channel_of_descr flooder in
+  for i = 0 to flood_n - 1 do
+    output_string foc
+      (query_json ~id:(-400 - i)
+         ~extra:[ ("seed", Json.Int (i + 1)) ]
+         "flood(A,C) :- edge(A,B), edge(B,C).");
+    output_char foc '\n'
+  done;
+  flush foc;
+  Thread.delay 0.05;
+  (* the polite neighbour must be unaffected by the flooder's quota *)
+  let polite = connect address in
+  let pic = Unix.in_channel_of_descr polite in
+  let poc = Unix.out_channel_of_descr polite in
+  output_string poc (query_json ~id:(-450) "nice(A,B) :- edge(A,B).");
+  output_char poc '\n';
+  flush poc;
+  (match Jsonl.parse (input_line pic) with
+  | Ok v when Wire.field v "status" = Some (Json.String "ok") -> ()
+  | Ok v ->
+    violation "quota phase: polite client was refused: %s" (Json.to_string v)
+  | Error msg -> violation "quota phase: polite client garbled: %s" msg
+  | exception End_of_file ->
+    violation "quota phase: polite client connection dropped");
+  (try Unix.close polite with Unix.Unix_error _ -> ());
+  let ok = ref 0 and quota_shed = ref 0 in
+  (try
+     for _ = 1 to flood_n do
+       match Jsonl.parse (input_line fic) with
+       | Ok v when Wire.field v "status" = Some (Json.String "ok") -> incr ok
+       | Ok v when Wire.field v "kind" = Some (Json.String "shed-quota") ->
+         incr quota_shed
+       | Ok v ->
+         violation "quota phase: unexpected flooder response: %s"
+           (Json.to_string v)
+       | Error msg -> violation "quota phase: garbled response: %s" msg
+     done
+   with End_of_file ->
+     violation "quota phase: flooder connection dropped early");
+  (try Unix.close flooder with Unix.Unix_error _ -> ());
+  if !quota_shed = 0 then
+    violation "quota phase: the flooder was never quota-shed";
+  if !ok = 0 then
+    violation "quota phase: the flooder's within-quota jobs never ran";
+  release_occupiers "quota phase" occupiers;
+  !quota_shed
+
+(* Cost probe: a 12-way cross product whose analytic lower bound is
+   far past --max-cost-log2 must be refused with the typed shed-cost
+   error before any worker touches it. *)
+let cost_phase address =
+  let atoms =
+    List.init 12 (fun i -> Printf.sprintf "edge(A%d,B%d)" i i)
+    |> String.concat ", "
+  in
+  let head =
+    List.init 12 (fun i -> Printf.sprintf "A%d,B%d" i i)
+    |> String.concat ","
+  in
+  let fd = connect address in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      output_string oc
+        (query_json ~id:(-500)
+           (Printf.sprintf "cross(%s) :- %s." head atoms));
+      output_char oc '\n';
+      flush oc;
+      match Jsonl.parse (input_line ic) with
+      | Ok v when Wire.field v "kind" = Some (Json.String "shed-cost") -> ()
+      | Ok v ->
+        violation "cost phase: cross product not cost-shed: %s"
+          (Json.to_string v)
+      | Error msg -> violation "cost phase: garbled response: %s" msg
+      | exception End_of_file ->
+        violation "cost phase: connection dropped")
+
+(* ------------------------------------------------------------------ *)
 (* Gate.                                                               *)
 
 let append_verdict verdict =
@@ -408,6 +652,12 @@ let () =
       (* small enough that the stalled sessions push the flood into
          admission control at least occasionally *)
       queue_depth = 32;
+      (* generous per-client quota: the mixed flood (5 requests per
+         connection) never trips it, the dedicated flooding phase does *)
+      client_quota = Some 8;
+      (* every template prices well under 2^12 tuples; only the cost
+         probe's deliberate cross product is over *)
+      max_cost_log2 = Some 12.0;
     }
   in
   let server =
@@ -433,6 +683,11 @@ let () =
   in
   List.iter Thread.join pag_threads;
 
+  (* cost-aware admission phases *)
+  let batched_flags, batch_compiles = batching_phase address in
+  let quota_shed = quota_phase address in
+  cost_phase address;
+
   (* the daemon must still be healthy after the flood *)
   let fd = connect address in
   let ic = Unix.in_channel_of_descr fd in
@@ -454,6 +709,10 @@ let () =
   if hits <= 0 then violation "no plan-cache hits across the whole soak";
   if stat "internal_errors" <> 0 then
     violation "daemon counted %d internal errors" (stat "internal_errors");
+  if stat "batched" <= 0 then
+    violation "daemon counted no batched executions";
+  if stat "shed_cost" <= 0 then violation "daemon counted no cost sheds";
+  if stat "shed_quota" <= 0 then violation "daemon counted no quota sheds";
 
   (* drain: leave stalled sessions in flight, then stop; they must still
      be answered on their open connection *)
@@ -500,6 +759,12 @@ let () =
     !drained;
   Printf.printf "soak: %d paginated sessions reassembled exactly once\n%!"
     !paginated_sessions;
+  Printf.printf
+    "soak: batching %d flags / %d compiles; quota shed %d; daemon counters \
+     batched=%d shed_cost=%d shed_quota=%d\n\
+     %!"
+    batched_flags batch_compiles quota_shed (stat "batched")
+    (stat "shed_cost") (stat "shed_quota");
   append_verdict
     (Json.Obj
        [
@@ -513,6 +778,12 @@ let () =
          ("cache_misses", Json.Int misses);
          ("drained_in_flight", Json.Int !drained);
          ("paginated_sessions", Json.Int !paginated_sessions);
+         ("batched_flags", Json.Int batched_flags);
+         ("batch_compiles", Json.Int batch_compiles);
+         ("quota_shed", Json.Int quota_shed);
+         ("batched_counter", Json.Int (stat "batched"));
+         ("shed_cost_counter", Json.Int (stat "shed_cost"));
+         ("shed_quota_counter", Json.Int (stat "shed_quota"));
          ("violations", Json.Int (List.length tally.wrong));
          ("passed", Json.Bool (tally.wrong = []));
        ]);

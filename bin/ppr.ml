@@ -1038,9 +1038,50 @@ let serve_cmd =
              before accepting connections, seeding the plan cache and the \
              feedback store. Blank lines and '#' comments are skipped.")
   in
+  let max_cost_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-cost-log2" ] ~docv:"C"
+          ~doc:
+            "Cost-aware admission: shed a query (typed 'shed-cost') when \
+             the structural gate's cost estimate — a lower bound on any \
+             evaluation route's work, in log2 tuples — exceeds C. Unset \
+             disables the gate.")
+  in
+  let max_queue_cost_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-queue-cost-log2" ] ~docv:"C"
+          ~doc:
+            "Shed a query (typed 'shed-cost') when admitting it would push \
+             the backlog's aggregate estimated cost past C log2 tuples. \
+             Only guards a nonempty queue, so an affordable query is never \
+             permanently unservable.")
+  in
+  let client_quota_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "client-quota" ] ~docv:"N"
+          ~doc:
+            "Shed a client's queries (typed 'shed-quota') while it already \
+             has N jobs queued; other clients are unaffected. Unset leaves \
+             only the global --queue-depth bound.")
+  in
+  let no_batching_arg =
+    Arg.(
+      value & flag
+      & info [ "no-batching" ]
+          ~doc:
+            "Disable coalescing of identical canonical queries admitted \
+             together into one shared execution.")
+  in
   let run socket port host data_dir workers queue_depth cache cache_file
       deadline_ms max_deadline_ms max_tuples cursor_capacity jobs
-      feedback_file warm_file planner =
+      feedback_file warm_file planner max_cost_log2 max_queue_cost_log2
+      client_quota no_batching =
     guarded @@ fun () ->
     let pool = make_pool jobs in
     let db =
@@ -1085,6 +1126,10 @@ let serve_cmd =
         default_deadline_ms = deadline_ms;
         max_deadline_ms;
         cursor_capacity;
+        max_cost_log2;
+        max_queue_cost_log2;
+        client_quota;
+        batching = not no_batching;
         budget =
           Supervise.Budget.with_max_cardinality max_tuples
             Serve.Engine.default_config.Serve.Engine.budget;
@@ -1129,7 +1174,8 @@ let serve_cmd =
       const run $ socket_arg $ port_arg $ host_arg $ data_dir $ workers_arg
       $ queue_arg $ cache_arg $ cache_file_arg $ deadline_arg
       $ max_deadline_arg $ max_tuples_arg $ cursor_capacity_arg $ jobs_arg
-      $ feedback_file_arg $ warm_arg $ planner_arg)
+      $ feedback_file_arg $ warm_arg $ planner_arg $ max_cost_arg
+      $ max_queue_cost_arg $ client_quota_arg $ no_batching_arg)
 
 (* ------------------------------------------------------------------ *)
 

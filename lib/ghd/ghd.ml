@@ -167,6 +167,33 @@ let assign_atoms hg htd =
 (* ------------------------------------------------------------------ *)
 (* The three-bound gate.                                               *)
 
+(* fhtw-scale cost: the largest bag materialization, bounded per bag by
+   the fractional edge cover of its lambda atoms (the exact subquery
+   the evaluator joins). *)
+let bag_bound_log2 db cq decomposition =
+  let atoms = Array.of_list cq.Cq.atoms in
+  Array.fold_left
+    (fun acc cover ->
+      let sub = List.map (fun e -> atoms.(e)) cover in
+      let bag = Agm.fractional_edge_cover db (Cq.make ~atoms:sub ~free:[]) in
+      Float.max acc bag.Agm.bound_log2)
+    0.0 decomposition.Hypertree.lambda
+
+type cost_bounds = {
+  cost_binary_log2 : float;
+  cost_agm_log2 : float;
+  cost_bag_log2 : float;
+}
+
+let bounds ?rng db cq =
+  let binary, agm = Wcoj.bounds ?rng db cq in
+  let decomposition = search ?rng (Hypergraph.of_query cq) in
+  {
+    cost_binary_log2 = binary;
+    cost_agm_log2 = agm;
+    cost_bag_log2 = bag_bound_log2 db cq decomposition;
+  }
+
 let prepare ?rng db cq =
   let base = Wcoj.prepare ?rng db cq in
   let hg = Hypergraph.of_query cq in
@@ -174,18 +201,7 @@ let prepare ?rng db cq =
   let htw = Hypertree.width decomposition in
   let parent, order = root_tree decomposition.Hypertree.tree in
   let assignment = assign_atoms hg decomposition in
-  let atoms = Array.of_list cq.Cq.atoms in
-  (* fhtw-scale cost: the largest bag materialization, bounded per bag by
-     the fractional edge cover of its lambda atoms (the exact subquery
-     the evaluator joins). *)
-  let ghd_bound_log2 =
-    Array.fold_left
-      (fun acc cover ->
-        let sub = List.map (fun e -> atoms.(e)) cover in
-        let bag = Agm.fractional_edge_cover db (Cq.make ~atoms:sub ~free:[]) in
-        Float.max acc bag.Agm.bound_log2)
-      0.0 decomposition.Hypertree.lambda
-  in
+  let ghd_bound_log2 = bag_bound_log2 db cq decomposition in
   let decision =
     match Sys.getenv_opt "PPR_GHD_GATE" with
     | Some "bucket" -> Bucket

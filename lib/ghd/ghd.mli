@@ -38,6 +38,23 @@ type prep = {
   decision : decision;
 }
 
+type cost_bounds = {
+  cost_binary_log2 : float;
+      (** bucket-elimination worst case, [(induced_width + 1) * log2 d] *)
+  cost_agm_log2 : float;  (** AGM fractional-cover bound, whole query *)
+  cost_bag_log2 : float;
+      (** largest per-bag fractional-cover bound (fhtw scale) *)
+}
+
+val bounds :
+  ?rng:Graphlib.Rng.t -> Conjunctive.Database.t -> Conjunctive.Cq.t ->
+  cost_bounds
+(** The three gate bounds of {!prepare} without the rest of the
+    artifact (rooted bag tree, atom assignment): what cost-aware
+    admission control needs {e before} committing to a compile. Pure —
+    touches only relation cardinalities — and polynomial in the query
+    size (the decomposition search runs, the evaluator does not). *)
+
 val search :
   ?rng:Graphlib.Rng.t -> Hypergraphs.Hypergraph.t -> Hypergraphs.Hypertree.t
 (** Find a generalized hypertree decomposition: GYO fast path (width 1,

@@ -8,7 +8,14 @@
    single-use — {!checkout} removes the entry, and serving the next
    page re-parks the cursor under a {e fresh} token — so a duplicated
    or replayed continuation request finds nothing and gets the typed
-   expired-cursor error instead of pulling someone else's stream. *)
+   expired-cursor error instead of pulling someone else's stream.
+
+   Tokens are capability handles: anyone who presents one pulls the
+   parked stream, so they must be unguessable. Each is 64 random bits
+   rendered as hex, drawn from a self-seeded PRNG state under the lock
+   and redrawn on the (astronomically unlikely) collision with a live
+   entry. Sequential schemes ("c1", "c2", ...) would let one client
+   walk another client's pagination by incrementing its own token. *)
 
 type 'a entry = { value : 'a; mutable stamp : int }
 
@@ -17,8 +24,8 @@ type 'a t = {
   capacity : int;
   on_evict : 'a -> unit;
   tbl : (string, 'a entry) Hashtbl.t;
+  rng : Random.State.t;
   mutable clock : int;
-  mutable counter : int;
   mutable evictions : int;
 }
 
@@ -29,8 +36,8 @@ let create ~capacity ~on_evict =
     capacity;
     on_evict;
     tbl = Hashtbl.create capacity;
+    rng = Random.State.make_self_init ();
     clock = 0;
-    counter = 0;
     evictions = 0;
   }
 
@@ -63,10 +70,13 @@ let park t value =
           if Hashtbl.length t.tbl >= t.capacity then evict_lru_locked t
           else None
         in
-        t.counter <- t.counter + 1;
         t.clock <- t.clock + 1;
-        let token = Printf.sprintf "c%d" t.counter in
-        Hashtbl.replace t.tbl token { value; stamp = t.clock };
+        let rec fresh () =
+          let token = Printf.sprintf "c%016Lx" (Random.State.bits64 t.rng) in
+          if Hashtbl.mem t.tbl token then fresh () else token
+        in
+        let token = fresh () in
+        Hashtbl.add t.tbl token { value; stamp = t.clock };
         (evicted, token))
   in
   (* The evicted cursor is closed outside the lock: closing may unwind a

@@ -8,8 +8,11 @@
     are consumed by {!checkout} — the next page re-parks under a fresh
     token — so replayed continuation requests miss (and the engine turns
     the miss into a typed expired-cursor error) rather than racing a
-    live stream. All operations are mutex-guarded; [on_evict] runs
-    outside the lock. *)
+    live stream. Tokens are unguessable 64-bit random hex handles
+    (collision-checked against live entries), never sequential: a token
+    is the {e capability} to pull the parked stream, so one client must
+    not be able to derive another's. All operations are mutex-guarded;
+    [on_evict] runs outside the lock. *)
 
 type 'a t
 
@@ -18,7 +21,7 @@ val create : capacity:int -> on_evict:('a -> unit) -> 'a t
 
 val park : 'a t -> 'a -> string
 (** Store a value, evicting the LRU entry if the table is full, and
-    return its fresh token. *)
+    return its fresh random token. *)
 
 val checkout : 'a t -> string -> 'a option
 (** Claim and remove the entry, or [None] if the token was never issued,

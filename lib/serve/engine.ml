@@ -15,6 +15,10 @@ type config = {
   default_max_answers : int;
   max_answers_cap : int;
   cursor_capacity : int;
+  max_cost_log2 : float option;
+  max_queue_cost_log2 : float option;
+  client_quota : int option;
+  batching : bool;
   budget : Supervise.Budget.t;
 }
 
@@ -32,22 +36,60 @@ let default_config =
     default_max_answers = 100;
     max_answers_cap = 10_000;
     cursor_capacity = 64;
+    max_cost_log2 = None;
+    max_queue_cost_log2 = None;
+    client_quota = None;
+    batching = true;
     budget = Supervise.Budget.default;
   }
+
+(* What a worker will do for a request — resolved AT ADMISSION, on the
+   submitting thread. Parse errors, unknown methods and bad chaos specs
+   are answered immediately without consuming a queue slot, and the
+   canonical key is in hand early enough for cost-aware admission and
+   batch coalescing to use it. *)
+type work =
+  | Continuation of string  (** checked-out pagination token *)
+  | Execute of {
+      cq : Conjunctive.Cq.t;  (** canonical query *)
+      meth : Driver.meth;  (** resolved, planner-substituted *)
+      key : string;  (** plan-cache key *)
+      chaos : Supervise.Chaos.t option;
+      batch_key : string option;
+          (** set iff the session is batch-eligible: identical queued
+              requests coalesce under this key *)
+      cost_log2 : float option;
+          (** structural cost estimate, when a ceiling is configured *)
+      cost_units : float;  (** its linear-space backlog contribution *)
+    }
+
+(* A coalesced request riding on another job's execution. *)
+type waiter = {
+  wid : Json.t;
+  wreply : Wire.response -> unit;
+  wenqueued_at : float;
+}
 
 type job = {
   request : Wire.query;
   reply : Wire.response -> unit;
   enqueued_at : float;
+  work : work;
+  mutable followers : waiter list;
+      (** batch followers, newest first; mutated only under the engine
+          lock while the job is queued (the batch index entry dies when
+          the job is popped, so workers read this race-free) *)
 }
 
 (* A paginated session between pages: the half-drained cursor plus what
    the next page's response needs (the free-variable column mapping into
-   the cursor's schema, the method label, the next page index). *)
+   the cursor's schema, the method label, the original cache verdict,
+   the next page index). *)
 type parked = {
   pcur : Relalg.Cursor.t;
   pcolumns : int list;
   pmeth : string;
+  pcache_hit : bool;
   ppage : int;
 }
 
@@ -66,10 +108,18 @@ type t = {
   cache : Driver.compiled Plan_cache.t;
   store : Adapt.Store.t;
   cursors : parked Cursors.t;
+  admission : Admission.t;
   lock : Mutex.t;
   nonempty : Condition.t;
   clients : (int, job Queue.t) Hashtbl.t;
   rotation : int Queue.t;
+  batch_index : (string, job) Hashtbl.t;
+      (** batch key -> the queued job leading that batch; entries are
+          removed when the leader is popped, so late identical arrivals
+          start a fresh batch instead of racing a running execution *)
+  mutable backlog_units : float;
+      (** sum of queued jobs' [cost_units] (linear space, exact
+          subtraction on dequeue) *)
   mutable queued : int;
   mutable stopped : bool;
   mutable inflight : int;
@@ -156,15 +206,16 @@ let answer_rows relation free max_answers =
   | free ->
     let schema = Relalg.Relation.schema relation in
     let columns = List.map (Relalg.Schema.index schema) free in
-    let rec take n rows =
+    (* Tail-recursive: a client asking for a hundred-thousand-row page
+       must not blow the worker's stack. *)
+    let rec take n rows acc =
       match (n, rows) with
-      | _, [] -> ([], false)
-      | 0, _ :: _ -> ([], true)
+      | _, [] -> (List.rev acc, false)
+      | 0, _ :: _ -> (List.rev acc, true)
       | n, row :: rest ->
-        let taken, truncated = take (n - 1) rest in
-        (List.map (Relalg.Tuple.get row) columns :: taken, truncated)
+        take (n - 1) rest (List.map (Relalg.Tuple.get row) columns :: acc)
     in
-    take max_answers (Relalg.Relation.to_sorted_list relation)
+    take max_answers (Relalg.Relation.to_sorted_list relation) []
 
 let page_size t (q : Wire.query) =
   min
@@ -174,10 +225,14 @@ let page_size t (q : Wire.query) =
 (* Pull one page off a (fresh or checked-out) cursor and answer with it.
    More pages pending -> the cursor parks again under a fresh token that
    rides back on [next_cursor]; exhausted or aborted -> the cursor dies
-   here. Exactly one response leaves in every case. *)
-let serve_page t ~id ~cache_hit ~compile_seconds ~queue_seconds (p : parked) k
-    =
-  let started = Unix.gettimeofday () in
+   here. Exactly one response leaves in every case. [exec_started] lets
+   the caller start the execution clock before opening the stream, so
+   cursor-open work is billed as execution (it is), not compilation. *)
+let serve_page t ~id ~cache_hit ~compile_seconds ~queue_seconds ?exec_started
+    (p : parked) k =
+  let started =
+    match exec_started with Some s -> s | None -> Unix.gettimeofday ()
+  in
   match Relalg.Cursor.take p.pcur k with
   | tuples ->
     let exhausted = Relalg.Cursor.closed p.pcur in
@@ -200,6 +255,7 @@ let serve_page t ~id ~cache_hit ~compile_seconds ~queue_seconds (p : parked) k
           answers;
           truncated = not exhausted;
           cache_hit;
+          batched = false;
           rungs = 1;
           rescued = false;
           approximate = false;
@@ -218,10 +274,122 @@ let serve_page t ~id ~cache_hit ~compile_seconds ~queue_seconds (p : parked) k
         Wire.Aborted (Relalg.Limits.reason_label reason),
         Relalg.Limits.describe reason )
 
-let run_session t (q : Wire.query) ~queue_seconds ~deadline_abs =
-  let id = q.id in
+(* ------------------------------------------------------------------ *)
+(* Admission-time classification (submitter side).                      *)
+
+(* The batch key extends the plan-cache key with every request field
+   that shapes the answer or its resource envelope; two requests with
+   equal batch keys are answerable by one execution. The appended
+   fields never contain the separator, so the (arbitrary-byte) cache
+   key prefix is recoverable and the encoding stays injective. *)
+let batch_key_of (q : Wire.query) key =
+  let num = function Some n -> string_of_int n | None -> "" in
+  String.concat "|"
+    [
+      key;
+      string_of_bool q.Wire.ladder;
+      num q.deadline_ms;
+      num q.max_tuples;
+      num q.max_total;
+      num q.fuel;
+      num q.max_answers;
+      string_of_int q.seed;
+    ]
+
+(* Resolve a query into the work a worker will run, on the submitting
+   thread: requests that can never execute (unknown method, bad chaos
+   spec, unparsable query) are refused here, before they cost a queue
+   slot, and the canonical key is in hand early enough for cost-aware
+   admission and batch coalescing to use it. The structural cost
+   estimate is computed only when a ceiling is configured; a query the
+   estimator cannot price (e.g. one naming an unregistered relation) is
+   admitted unpriced and fails in the worker with the error it always
+   produced. *)
+let classify t (q : Wire.query) : (work, Wire.error_kind * string) result =
   match q.Wire.cursor with
-  | Some token -> (
+  | Some token -> Ok (Continuation token)
+  | None -> (
+    match method_of_string q.meth with
+    | None ->
+      Error (Wire.Bad_request, Printf.sprintf "unknown method %S" q.meth)
+    | Some meth -> (
+      let chaos =
+        match q.chaos with
+        | None -> Ok None
+        | Some spec -> (
+          match chaos_of_spec spec with
+          | Some c -> Ok (Some c)
+          | None -> Error (Printf.sprintf "bad chaos spec %S" spec))
+      in
+      match chaos with
+      | Error msg -> Error (Wire.Bad_request, msg)
+      | Ok chaos -> (
+        match Conjunctive.Parse.query q.text with
+        | Error e ->
+          count t "serve.parse_errors";
+          Error
+            (Wire.Parse_error, Format.asprintf "%a" Conjunctive.Parse.pp_error e)
+        | Ok parsed ->
+          let meth = apply_planner t.cfg.planner meth in
+          let canon =
+            Hypergraphs.Canon.canonicalize parsed.Conjunctive.Parse.query
+          in
+          let cq = canon.Hypergraphs.Canon.query in
+          (* Keyed by the resolved method name (not the request string),
+             so a planner substitution never replays an artifact
+             compiled by a differently-configured daemon out of a shared
+             snapshot. *)
+          let key =
+            Plan_cache.key_of ~canon ~meth:(Driver.method_name meth)
+          in
+          let cost_log2 =
+            if t.cfg.max_cost_log2 <> None || t.cfg.max_queue_cost_log2 <> None
+            then
+              (* Memoized under the method-independent structure key:
+                 the estimate prices the query, not the route. *)
+              let skey = Plan_cache.key_of ~canon ~meth:"" in
+              match Admission.estimate t.admission t.db ~key:skey cq with
+              | b -> Some b.Admission.estimate_log2
+              | exception _ -> None
+            else None
+          in
+          let cost_units =
+            match cost_log2 with
+            | Some c -> Admission.units_of_log2 c
+            | None -> 0.0
+          in
+          let batch_key =
+            (* Streaming sessions park private state between pages and
+               chaos requests want their own fault injection: neither
+               can ride on another session's execution. *)
+            if t.cfg.batching && q.Wire.limit = None && q.Wire.chaos = None
+            then Some (batch_key_of q key)
+            else None
+          in
+          Ok (Execute { cq; meth; key; chaos; batch_key; cost_log2; cost_units }))))
+
+(* Classification is total in practice, but it runs planner analysis on
+   the submitting (transport) thread — a crash there must become a typed
+   refusal, not a dead reader. *)
+let classify t q =
+  try classify t q
+  with e ->
+    Error
+      ( Wire.Internal,
+        Printf.sprintf "admission analysis failed: %s" (Printexc.to_string e)
+      )
+
+(* ------------------------------------------------------------------ *)
+(* Session execution proper (worker side).                              *)
+
+(* By the time a job reaches a worker its query is parsed, its method
+   resolved and its canonical form keyed (see [classify]); the worker
+   compiles (through the plan cache) and executes. *)
+let run_session t (q : Wire.query) (work : work) ~queue_seconds ~deadline_abs
+    =
+  let id = q.id in
+  match work with
+  | Continuation token -> (
     match Cursors.checkout t.cursors token with
     | None ->
       count t "serve.cursor_expired";
@@ -231,49 +399,32 @@ let run_session t (q : Wire.query) ~queue_seconds ~deadline_abs =
           Printf.sprintf
             "cursor %S is unknown, already consumed, or was evicted" token )
     | Some parked ->
-      serve_page t ~id ~cache_hit:true ~compile_seconds:0.0 ~queue_seconds
-        parked (page_size t q))
-  | None -> (
-  match method_of_string q.meth with
-  | None -> Wire.Failed (id, Wire.Bad_request, Printf.sprintf "unknown method %S" q.meth)
-  | Some meth -> (
-    let chaos =
-      match q.chaos with
-      | None -> Ok None
-      | Some spec -> (
-        match chaos_of_spec spec with
-        | Some c -> Ok (Some c)
-        | None -> Error (Printf.sprintf "bad chaos spec %S" spec))
+      (* Continuation pages report the stream's original cache verdict
+         and zero compile time: whatever compile happened was paid (and
+         reported) when the stream opened. *)
+      serve_page t ~id ~cache_hit:parked.pcache_hit ~compile_seconds:0.0
+        ~queue_seconds parked (page_size t q))
+  | Execute { cq; meth; key; chaos; _ } -> (
+    let feedback = Adapt.Store.feedback t.store in
+    let observer obs = Adapt.Store.ingest t.store obs in
+    (* Compile time is measured inside the miss thunk, so cache hits
+       honestly report zero compilation. *)
+    let compile_seconds = ref 0.0 in
+    let compiled, cache_hit =
+      Plan_cache.find_or_add t.cache key (fun () ->
+          (* A fixed compile seed keeps the cached artifact
+             independent of which request warmed the cache; the
+             feedback store corrects the cost model, so a repeat of a
+             query whose first run mis-planned recompiles under the
+             measured cardinalities once its artifact ages out. *)
+          let t0 = Unix.gettimeofday () in
+          let c =
+            Driver.prepare ~rng:(Graphlib.Rng.make 17) ~feedback meth t.db cq
+          in
+          compile_seconds := Unix.gettimeofday () -. t0;
+          c)
     in
-    match chaos with
-    | Error msg -> Wire.Failed (id, Wire.Bad_request, msg)
-    | Ok chaos -> (
-      match Conjunctive.Parse.query q.text with
-      | Error e ->
-        count t "serve.parse_errors";
-        Wire.Failed
-          (id, Wire.Parse_error, Format.asprintf "%a" Conjunctive.Parse.pp_error e)
-      | Ok parsed -> (
-        let meth = apply_planner t.cfg.planner meth in
-        let canon = Hypergraphs.Canon.canonicalize parsed.Conjunctive.Parse.query in
-        let cq = canon.Hypergraphs.Canon.query in
-        (* Keyed by the resolved method name (not the request string), so
-           a planner substitution never replays an artifact compiled by a
-           differently-configured daemon out of a shared snapshot. *)
-        let key = Plan_cache.key_of ~canon ~meth:(Driver.method_name meth) in
-        let feedback = Adapt.Store.feedback t.store in
-        let observer obs = Adapt.Store.ingest t.store obs in
-        let compiled, cache_hit =
-          Plan_cache.find_or_add t.cache key (fun () ->
-              (* A fixed compile seed keeps the cached artifact
-                 independent of which request warmed the cache; the
-                 feedback store corrects the cost model, so a repeat of a
-                 query whose first run mis-planned recompiles under the
-                 measured cardinalities once its artifact ages out. *)
-              Driver.prepare ~rng:(Graphlib.Rng.make 17) ~feedback meth t.db
-                cq)
-        in
-        count t (if cache_hit then "serve.cache.hits" else "serve.cache.misses");
+    count t (if cache_hit then "serve.cache.hits" else "serve.cache.misses");
         let budget =
           let b = t.cfg.budget in
           let b =
@@ -323,16 +474,24 @@ let run_session t (q : Wire.query) ~queue_seconds ~deadline_abs =
             match meth with Driver.Minibucket _ -> false | _ -> true
           in
           count t "serve.streams";
-          let t0 = Unix.gettimeofday () in
+          (* The execution clock starts before the stream opens:
+             cursor-open work (semijoin reduction, index build) is
+             execution, not compilation. *)
+          let exec_started = Unix.gettimeofday () in
           let cur = Ppr_core.Exec.stream ~ctx:sctx ~semijoin t.db cq compiled in
           let schema = Relalg.Cursor.schema cur in
           let columns =
             List.map (Relalg.Schema.index schema) cq.Conjunctive.Cq.free
           in
-          serve_page t ~id ~cache_hit
-            ~compile_seconds:(Unix.gettimeofday () -. t0)
-            ~queue_seconds
-            { pcur = cur; pcolumns = columns; pmeth = q.meth; ppage = 0 }
+          serve_page t ~id ~cache_hit ~compile_seconds:!compile_seconds
+            ~queue_seconds ~exec_started
+            {
+              pcur = cur;
+              pcolumns = columns;
+              pmeth = q.meth;
+              pcache_hit = cache_hit;
+              ppage = 0;
+            }
             (page_size t q)
         | None ->
         (* Each session gets its own telemetry context (span stacks are
@@ -361,11 +520,15 @@ let run_session t (q : Wire.query) ~queue_seconds ~deadline_abs =
                   answers;
                   truncated;
                   cache_hit;
+                  batched = false;
                   rungs;
                   rescued;
                   approximate;
                   meth = Driver.method_name outcome.Driver.meth;
-                  compile_seconds = outcome.Driver.compile_seconds;
+                  (* The cache-miss compile plus whatever re-planning
+                     the run itself did (the supervisor's replan rung). *)
+                  compile_seconds =
+                    !compile_seconds +. outcome.Driver.compile_seconds;
                   exec_seconds = outcome.Driver.exec_seconds;
                   queue_seconds;
                   page = None;
@@ -435,7 +598,7 @@ let run_session t (q : Wire.query) ~queue_seconds ~deadline_abs =
               meth t.db cq
           in
           finish outcome ~rungs:1 ~rescued:false ~approximate:false
-        end))))
+        end)
 
 (* Crash containment: whatever a session raises — evaluator bugs, missing
    relations, arity mismatches — becomes a typed [internal] response for
@@ -464,7 +627,7 @@ let process t job =
           Wire.Aborted "deadline",
           "deadline expired while queued" )
     | _ -> (
-      try run_session t job.request ~queue_seconds ~deadline_abs
+      try run_session t job.request job.work ~queue_seconds ~deadline_abs
       with e ->
         count t "serve.internal_errors";
         Log.err (fun f ->
@@ -474,14 +637,53 @@ let process t job =
             Wire.Internal,
             Printf.sprintf "session failed: %s" (Printexc.to_string e) ))
   in
+  (* Batch fan-out: followers attached while this job was queued (never
+     after — the batch-index entry died when the job was popped, so
+     [followers] is stable here). Each gets the leader's outcome under
+     its own request id: answers with zero compile time (they paid
+     none), failures verbatim — a shared execution's typed abort is
+     every member's typed abort. *)
+  let followers = List.rev job.followers in
+  let response =
+    match (response, followers) with
+    | Wire.Answer (id, a), _ :: _ ->
+      Wire.Answer (id, { a with Wire.batched = true })
+    | r, _ -> r
+  in
   Metrics.observe
     (Metrics.histogram t.metrics "serve.session_seconds")
     (Unix.gettimeofday () -. started);
-  (* The reply callback belongs to the transport; a dead client must not
-     kill the worker. *)
-  try job.reply response
-  with e ->
-    Log.debug (fun f -> f "reply dropped: %s" (Printexc.to_string e))
+  (* The reply callbacks belong to the transport; a dead client must not
+     kill the worker (nor lose its batch-mates their replies). *)
+  (try job.reply response
+   with e ->
+     Log.debug (fun f -> f "reply dropped: %s" (Printexc.to_string e)));
+  List.iter
+    (fun w ->
+      let r =
+        match response with
+        | Wire.Answer (_, a) ->
+          count t "serve.answers";
+          Wire.Answer
+            ( w.wid,
+              {
+                a with
+                Wire.batched = true;
+                compile_seconds = 0.0;
+                queue_seconds = started -. w.wenqueued_at;
+              } )
+        | Wire.Failed (_, kind, msg) ->
+          (match kind with
+          | Wire.Aborted _ -> count t "serve.aborts"
+          | Wire.Internal -> count t "serve.internal_errors"
+          | _ -> ());
+          Wire.Failed (w.wid, kind, msg)
+        | r -> r
+      in
+      try w.wreply r
+      with e ->
+        Log.debug (fun f -> f "reply dropped: %s" (Printexc.to_string e)))
+    followers
 
 (* Pop the head of the next client's queue, then rotate that client to
    the back if it still has work. Caller holds [t.lock]. *)
@@ -492,6 +694,18 @@ let pop_job_locked t =
   if Queue.is_empty jobs then Hashtbl.remove t.clients cid
   else Queue.push cid t.rotation;
   t.queued <- t.queued - 1;
+  (match job.work with
+  | Execute { batch_key; cost_units; _ } ->
+    (* Close the batch window: identical requests arriving from here on
+       start a fresh batch instead of racing this running execution. *)
+    (match batch_key with
+    | Some bk -> (
+      match Hashtbl.find_opt t.batch_index bk with
+      | Some leader when leader == job -> Hashtbl.remove t.batch_index bk
+      | _ -> ())
+    | None -> ());
+    t.backlog_units <- Float.max 0.0 (t.backlog_units -. cost_units)
+  | Continuation _ -> ());
   job
 
 let worker_loop t =
@@ -587,10 +801,13 @@ let create ?(config = default_config) ?pool db =
       cursors =
         Cursors.create ~capacity:config.cursor_capacity
           ~on_evict:(fun p -> Relalg.Cursor.close p.pcur);
+      admission = Admission.create ();
       lock = Mutex.create ();
       nonempty = Condition.create ();
       clients = Hashtbl.create 16;
       rotation = Queue.create ();
+      batch_index = Hashtbl.create 32;
+      backlog_units = 0.0;
       queued = 0;
       stopped = false;
       inflight = 0;
@@ -627,13 +844,14 @@ let create ?(config = default_config) ?pool db =
 
 let stats_fields t =
   let c name = Metrics.value (Metrics.counter t.metrics name) in
-  let queued, clients, inflight =
+  let queued, clients, inflight, backlog_units =
     Mutex.lock t.lock;
     let q = t.queued in
     let cs = Hashtbl.length t.clients in
     let i = t.inflight in
+    let b = t.backlog_units in
     Mutex.unlock t.lock;
-    (q, cs, i)
+    (q, cs, i, b)
   in
   [
     ("queued", Json.Int queued);
@@ -641,9 +859,13 @@ let stats_fields t =
     ("inflight", Json.Int inflight);
     ("workers", Json.Int (Array.length t.workers));
     ("queue_depth", Json.Int t.cfg.queue_depth);
+    ("backlog_cost_log2", Json.Float (Admission.log2_of_units backlog_units));
     ("requests", Json.Int (c "serve.requests"));
     ("answers", Json.Int (c "serve.answers"));
+    ("batched", Json.Int (c "serve.batched"));
     ("shed", Json.Int (c "serve.shed"));
+    ("shed_cost", Json.Int (c "serve.shed_cost"));
+    ("shed_quota", Json.Int (c "serve.shed_quota"));
     ("expired", Json.Int (c "serve.expired"));
     ("aborts", Json.Int (c "serve.aborts"));
     ("parse_errors", Json.Int (c "serve.parse_errors"));
@@ -661,11 +883,15 @@ let stats_fields t =
     ("warmed", Json.Int t.warmed);
   ]
 
-(* Admission control: O(1) under the lock, never blocks the caller. The
-   queue either takes the job or the request is shed right here with a
-   typed response — the total backlog cannot grow beyond [queue_depth].
-   [client] names the submitter's fairness bucket (the transport passes
-   its connection id); all anonymous submitters share one bucket. *)
+(* Admission control: O(1) under the lock (classification — parsing,
+   canonicalization, the memoized cost estimate — runs before taking
+   it), never blocks the caller. The queue either takes the job or the
+   request is shed right here with a typed response. The gates, in
+   order: batch coalescing (a follower consumes no slot and skips every
+   shed), the per-query cost ceiling, the per-client quota, the global
+   depth bound, the backlog cost ceiling. [client] names the
+   submitter's fairness bucket (the transport passes its connection
+   id); all anonymous submitters share one bucket. *)
 let submit_async ?(client = -1) t (request : Wire.request) ~reply =
   match request with
   | Wire.Ping id -> reply (Wire.Pong id)
@@ -673,48 +899,151 @@ let submit_async ?(client = -1) t (request : Wire.request) ~reply =
     reply
       (Wire.Metrics_text (id, Format.asprintf "%a" Metrics.pp t.metrics))
   | Wire.Stats id -> reply (Wire.Stats_obj (id, stats_fields t))
-  | Wire.Query q ->
+  | Wire.Query q -> (
     count t "serve.requests";
-    let now = Unix.gettimeofday () in
-    let verdict =
-      Mutex.lock t.lock;
-      let v =
-        if t.stopped then `Shutting_down
-        else if t.queued >= t.cfg.queue_depth then `Overloaded
-        else begin
-          let jobs =
-            match Hashtbl.find_opt t.clients client with
-            | Some jobs -> jobs
-            | None ->
-              let jobs = Queue.create () in
-              Hashtbl.add t.clients client jobs;
-              Queue.push client t.rotation;
-              jobs
-          in
-          Queue.push { request = q; reply; enqueued_at = now } jobs;
-          t.queued <- t.queued + 1;
-          Metrics.observe_max
-            (Metrics.max_gauge t.metrics "serve.queue_peak")
-            t.queued;
-          Condition.signal t.nonempty;
-          `Queued
-        end
+    match classify t q with
+    | Error (kind, msg) -> reply (Wire.Failed (q.Wire.id, kind, msg))
+    | Ok work ->
+      let now = Unix.gettimeofday () in
+      let verdict =
+        Mutex.lock t.lock;
+        let v =
+          if t.stopped then `Shutting_down
+          else begin
+            let attached =
+              match work with
+              | Execute { batch_key = Some bk; _ } -> (
+                match Hashtbl.find_opt t.batch_index bk with
+                | Some leader ->
+                  leader.followers <-
+                    { wid = q.Wire.id; wreply = reply; wenqueued_at = now }
+                    :: leader.followers;
+                  true
+                | None -> false)
+              | _ -> false
+            in
+            if attached then `Batched
+            else begin
+              let over_cost =
+                match (work, t.cfg.max_cost_log2) with
+                | Execute { cost_log2 = Some cost; _ }, Some ceiling
+                  when cost > ceiling ->
+                  Some (cost, ceiling)
+                | _ -> None
+              in
+              let over_quota =
+                match t.cfg.client_quota with
+                | Some quota -> (
+                  match Hashtbl.find_opt t.clients client with
+                  | Some jobs when Queue.length jobs >= quota -> Some quota
+                  | _ -> None)
+                | None -> None
+              in
+              let over_backlog =
+                (* Only guards a nonempty queue: an idle daemon admits
+                   any affordable query no matter the aggregate ceiling,
+                   so a lone expensive-but-under-the-per-query-ceiling
+                   request is never permanently unservable. *)
+                match (work, t.cfg.max_queue_cost_log2) with
+                | Execute { cost_units; _ }, Some ceiling
+                  when t.queued > 0
+                       && Admission.log2_of_units
+                            (t.backlog_units +. cost_units)
+                          > ceiling ->
+                  Some ceiling
+                | _ -> None
+              in
+              match (over_cost, over_quota) with
+              | Some (cost, ceiling), _ -> `Shed_cost (cost, ceiling)
+              | None, Some quota -> `Shed_quota quota
+              | None, None ->
+                if t.queued >= t.cfg.queue_depth then `Overloaded
+                else (
+                  match over_backlog with
+                  | Some ceiling -> `Shed_backlog ceiling
+                  | None ->
+                    let jobs =
+                      match Hashtbl.find_opt t.clients client with
+                      | Some jobs -> jobs
+                      | None ->
+                        let jobs = Queue.create () in
+                        Hashtbl.add t.clients client jobs;
+                        Queue.push client t.rotation;
+                        jobs
+                    in
+                    let job =
+                      {
+                        request = q;
+                        reply;
+                        enqueued_at = now;
+                        work;
+                        followers = [];
+                      }
+                    in
+                    Queue.push job jobs;
+                    (match work with
+                    | Execute { batch_key = Some bk; cost_units; _ } ->
+                      Hashtbl.replace t.batch_index bk job;
+                      t.backlog_units <- t.backlog_units +. cost_units
+                    | Execute { batch_key = None; cost_units; _ } ->
+                      t.backlog_units <- t.backlog_units +. cost_units
+                    | Continuation _ -> ());
+                    t.queued <- t.queued + 1;
+                    Metrics.observe_max
+                      (Metrics.max_gauge t.metrics "serve.queue_peak")
+                      t.queued;
+                    Condition.signal t.nonempty;
+                    `Queued)
+            end
+          end
+        in
+        Mutex.unlock t.lock;
+        v
       in
-      Mutex.unlock t.lock;
-      v
-    in
-    (match verdict with
-    | `Queued -> ()
-    | `Shutting_down ->
-      reply (Wire.Failed (q.Wire.id, Wire.Shutting_down, "daemon is draining"))
-    | `Overloaded ->
-      count t "serve.shed";
-      reply
-        (Wire.Failed
-           ( q.Wire.id,
-             Wire.Overloaded,
-             Printf.sprintf "admission queue full (%d queued)" t.cfg.queue_depth
-           )))
+      (match verdict with
+      | `Queued -> ()
+      | `Batched ->
+        (* The follower's reply arrives when its leader's execution fans
+           out; nothing else to do here. *)
+        count t "serve.batched"
+      | `Shutting_down ->
+        reply
+          (Wire.Failed (q.Wire.id, Wire.Shutting_down, "daemon is draining"))
+      | `Shed_cost (cost, ceiling) ->
+        count t "serve.shed_cost";
+        reply
+          (Wire.Failed
+             ( q.Wire.id,
+               Wire.Shed_cost,
+               Printf.sprintf
+                 "estimated cost 2^%.1f tuples exceeds the admission ceiling \
+                  2^%.1f"
+                 cost ceiling ))
+      | `Shed_quota quota ->
+        count t "serve.shed_quota";
+        reply
+          (Wire.Failed
+             ( q.Wire.id,
+               Wire.Shed_quota,
+               Printf.sprintf "client already has %d job(s) queued" quota ))
+      | `Shed_backlog ceiling ->
+        count t "serve.shed_cost";
+        reply
+          (Wire.Failed
+             ( q.Wire.id,
+               Wire.Shed_cost,
+               Printf.sprintf
+                 "admitting would push the backlog's estimated cost past \
+                  2^%.1f tuples"
+                 ceiling ))
+      | `Overloaded ->
+        count t "serve.shed";
+        reply
+          (Wire.Failed
+             ( q.Wire.id,
+               Wire.Overloaded,
+               Printf.sprintf "admission queue full (%d queued)"
+                 t.cfg.queue_depth ))))
 
 let submit ?client t request =
   let slot = ref None in

@@ -11,7 +11,25 @@
 
     - {b Admission control}: {!submit_async} never blocks and never
       queues past [queue_depth]; excess load is shed immediately with a
-      typed [Overloaded] response.
+      typed [Overloaded] response. Requests that can never execute
+      (parse errors, unknown methods, bad chaos specs) are refused at
+      admission without consuming a queue slot.
+    - {b Cost-aware admission}: with [max_cost_log2] set, each query is
+      priced before queueing using the structural gate's analytic
+      bounds (a {e lower} bound on any route's work, see {!Admission}),
+      and queries over the ceiling are shed with a typed [Shed_cost]
+      response; with [max_queue_cost_log2] set, a query whose estimate
+      would push the backlog's aggregate past the ceiling is likewise
+      shed (only while the queue is nonempty — an idle daemon admits
+      any per-query-affordable request).
+    - {b Per-client quotas}: with [client_quota] set, a client with
+      that many jobs already queued is shed with [Shed_quota] — only
+      the flooder, never its neighbors.
+    - {b Batched execution}: identical canonical queries (same plan
+      key, same answer-shaping fields) admitted while one of them is
+      still queued coalesce into a single execution whose outcome fans
+      out to every member — followers consume no queue slot, pay no
+      compile and carry [batched = true] with tuple-identical answers.
     - {b Deadlines from admission}: a request's deadline starts when it
       is enqueued, so time spent waiting in the queue burns its budget —
       a request whose deadline expires in the queue is answered
@@ -65,6 +83,22 @@ type config = {
           session parks its half-drained cursor between pages; beyond
           the bound the least-recently-parked cursor is closed and its
           token answers with the typed [cursor-expired] error *)
+  max_cost_log2 : float option;
+      (** per-query admission ceiling on the structural cost estimate
+          (log2 tuples); queries whose estimate exceeds it are shed with
+          [Shed_cost]. [None] disables cost-aware admission
+          (default [None]) *)
+  max_queue_cost_log2 : float option;
+      (** ceiling on the {e backlog's} aggregate estimated cost: a
+          query that would push the queued sum past it is shed with
+          [Shed_cost] while the queue is nonempty (default [None]) *)
+  client_quota : int option;
+      (** per-client bound on queued jobs: a client at its quota is
+          shed with [Shed_quota]; other clients are unaffected
+          (default [None]) *)
+  batching : bool;
+      (** coalesce identical canonical queries admitted together into
+          one execution fanned out to all of them (default [true]) *)
   budget : Supervise.Budget.t;
       (** base resource budget; per-request fields override *)
 }
@@ -81,9 +115,12 @@ val submit_async :
   ?client:int -> t -> Wire.request -> reply:(Wire.response -> unit) -> unit
 (** Enqueue a request. Non-query ops (ping/metrics/stats) are answered
     synchronously on the calling thread. Queries are answered from a
-    worker domain — or immediately with [Overloaded] / [Shutting_down]
-    when admission fails. [reply] is called exactly once; exceptions it
-    raises are swallowed (a dead client must not kill a worker).
+    worker domain — or immediately with a typed refusal ([Overloaded],
+    [Shed_cost], [Shed_quota], [Shutting_down], [Bad_request],
+    [Parse_error]) when admission fails. A query coalesced into a
+    queued identical one is answered when that batch's single execution
+    fans out. [reply] is called exactly once; exceptions it raises are
+    swallowed (a dead client must not kill a worker).
 
     [client] names the submitter's fairness bucket — the transport
     passes its connection id. Workers drain the buckets round-robin, so

@@ -125,6 +125,8 @@ type error_kind =
   | Bad_request
   | Parse_error
   | Overloaded
+  | Shed_cost
+  | Shed_quota
   | Shutting_down
   | Cursor_expired
   | Aborted of string  (** the {!Relalg.Limits.reason_label} *)
@@ -134,6 +136,8 @@ let error_kind_label = function
   | Bad_request -> "bad-request"
   | Parse_error -> "parse"
   | Overloaded -> "overloaded"
+  | Shed_cost -> "shed-cost"
+  | Shed_quota -> "shed-quota"
   | Shutting_down -> "shutting-down"
   | Cursor_expired -> "cursor-expired"
   | Aborted _ -> "abort"
@@ -145,6 +149,10 @@ type answer = {
   answers : int list list;
   truncated : bool;
   cache_hit : bool;
+  batched : bool;
+      (** the session was coalesced with identical admitted queries:
+          set on the leader (whose execution fanned out) and on every
+          follower (which paid no compile and no execution) *)
   rungs : int;
   rescued : bool;
   approximate : bool;
@@ -182,6 +190,7 @@ let response_to_json = function
                a.answers) );
         ("truncated", Json.Bool a.truncated);
         ("cache", Json.String (if a.cache_hit then "hit" else "miss"));
+        ("batched", Json.Bool a.batched);
         ("rungs", Json.Int a.rungs);
         ("rescued", Json.Bool a.rescued);
         ("approximate", Json.Bool a.approximate);

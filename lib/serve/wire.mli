@@ -19,9 +19,10 @@
     - [{"op":"stats"}] — machine-readable serving counters.
 
     Responses carry ["status"]: ["ok"] or ["error"]; errors carry a
-    typed ["kind"] ([overloaded], [abort] (+ ["reason"]), [parse],
-    [bad-request], [shutting-down], [cursor-expired], [internal]) so
-    clients can tell load-shedding from failure. *)
+    typed ["kind"] ([overloaded], [shed-cost], [shed-quota], [abort]
+    (+ ["reason"]), [parse], [bad-request], [shutting-down],
+    [cursor-expired], [internal]) so clients can tell load-shedding
+    from failure. *)
 
 module Json = Telemetry.Json
 
@@ -64,6 +65,15 @@ type error_kind =
   | Bad_request
   | Parse_error
   | Overloaded  (** shed by admission control: retry later, not a bug *)
+  | Shed_cost
+      (** shed because the query's structural cost estimate exceeds the
+          per-query ceiling, or the backlog's aggregate estimated cost
+          exceeds the queue ceiling — rewriting the query (or retrying
+          when the backlog drains) may help; retrying verbatim against a
+          per-query shed will not *)
+  | Shed_quota
+      (** shed because this client already has its quota of queued jobs
+          — drain your own backlog first; other clients are unaffected *)
   | Shutting_down
   | Cursor_expired
       (** the continuation token was never issued, already used, or its
@@ -79,6 +89,10 @@ type answer = {
   answers : int list list;  (** rows in the query's free-variable order *)
   truncated : bool;  (** more rows existed than [max_answers] *)
   cache_hit : bool;
+  batched : bool;
+      (** the session was coalesced with identical admitted queries: set
+          on the leader (whose single execution fanned out) and on every
+          follower (which paid no compile and no execution of its own) *)
   rungs : int;  (** supervision attempts this request took *)
   rescued : bool;
   approximate : bool;  (** answered by an upper-bound rung (mini-bucket) *)

@@ -71,6 +71,10 @@ let prepare ?rng db cq =
   in
   { order; agm; induced_width; domain_estimate = d; binary_bound_log2; decision }
 
+let bounds ?rng db cq =
+  let p = prepare ?rng db cq in
+  (p.binary_bound_log2, p.agm.Agm.bound_log2)
+
 (* ------------------------------------------------------------------ *)
 (* The evaluator.                                                      *)
 

@@ -46,6 +46,15 @@ val prepare :
 
 val decision_name : decision -> string
 
+val bounds :
+  ?rng:Graphlib.Rng.t -> Conjunctive.Database.t -> Conjunctive.Cq.t ->
+  float * float
+(** [(binary_bound_log2, agm_bound_log2)] of {!prepare}, for callers —
+    like the serving layer's cost-aware admission control — that need
+    the analytic bounds {e before} committing to a compile. Pure and
+    cheap: touches only relation cardinalities (MCS order, fractional
+    edge cover), never tuples. *)
+
 val evaluate :
   ?ctx:Relalg.Ctx.t ->
   ?order:int list ->

@@ -478,6 +478,89 @@ let test_engine_cursor_tokens_single_use () =
   Alcotest.(check (option int)) "replay did not advance the stream" (Some 2)
     (Some (Option.get p2.Wire.page))
 
+let test_engine_cursor_tokens_unguessable () =
+  with_engine @@ fun e ->
+  let q = "ans(X,Y) :- edge(X,Y)." in
+  let a = answer_of e (query_req ~limit:2 q) in
+  let token = Option.get a.Wire.next_cursor in
+  let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') in
+  check_bool "token is a 64-bit random hex handle" true
+    (String.length token = 17
+    && token.[0] = 'c'
+    && String.for_all is_hex (String.sub token 1 16));
+  (* the old sequential scheme: a neighbor guessing small counters must
+     always get the typed expired-cursor error, never the stream *)
+  for i = 1 to 50 do
+    expect_expired e (query_req ~limit:2 ~cursor:(Printf.sprintf "c%d" i) q)
+  done;
+  (* incrementing a live token's bits must miss too *)
+  let bits = Int64.of_string ("0x" ^ String.sub token 1 16) in
+  expect_expired e
+    (query_req ~limit:2 ~cursor:(Printf.sprintf "c%016Lx" (Int64.add bits 1L)) q);
+  (* none of the guesses consumed the real session *)
+  let p1 = answer_of e (query_req ~limit:2 ~cursor:token q) in
+  Alcotest.(check (option int)) "real token still pages" (Some 1) p1.Wire.page
+
+let test_engine_streaming_metrics_honest () =
+  with_engine @@ fun e ->
+  let q = "ans(X,Z) :- edge(X,Y), edge(Y,Z)." in
+  let cold = answer_of e (query_req ~limit:2 q) in
+  check_bool "first stream misses" false cold.Wire.cache_hit;
+  (* continuation pages report the stream's original verdict and bill no
+     compile: the one compile happened when the stream opened *)
+  let cold_next =
+    answer_of e (query_req ~limit:2 ~cursor:(Option.get cold.Wire.next_cursor) q)
+  in
+  check_bool "continuation keeps the original miss verdict" false
+    cold_next.Wire.cache_hit;
+  check_bool "continuation bills no compile" true
+    (cold_next.Wire.compile_seconds = 0.0);
+  (* a second streamed session replays the cached artifact: an honest
+     hit with zero compile time (cursor-open work is execution) *)
+  let warm = answer_of e (query_req ~limit:2 q) in
+  check_bool "second stream hits" true warm.Wire.cache_hit;
+  check_bool "hit bills no compile" true (warm.Wire.compile_seconds = 0.0);
+  let warm_next =
+    answer_of e (query_req ~limit:2 ~cursor:(Option.get warm.Wire.next_cursor) q)
+  in
+  check_bool "warm continuation reports the hit" true warm_next.Wire.cache_hit
+
+let test_engine_large_answer_caps () =
+  (* [answer_rows] must survive (and preserve order through) a page as
+     large as the whole answer — tens of thousands of rows. *)
+  let n = 50_000 in
+  let db = Conjunctive.Database.create () in
+  Conjunctive.Database.add db "big"
+    (relation [ 0; 1 ] (List.init n (fun i -> [ i; i ])));
+  let config =
+    {
+      Serve.Engine.default_config with
+      Serve.Engine.workers = 1;
+      max_answers_cap = 2 * n;
+    }
+  in
+  let e = Serve.Engine.create ~config db in
+  Fun.protect ~finally:(fun () -> Serve.Engine.stop e) @@ fun () ->
+  (match
+     Serve.Engine.submit e (query_req ~max_answers:n "ans(X,Y) :- big(X,Y).")
+   with
+  | Wire.Answer (_, a) ->
+    check_int "every row served" n (List.length a.Wire.answers);
+    check_bool "not truncated at the exact cap" false a.Wire.truncated;
+    check_bool "rows in order" true
+      (a.Wire.answers = List.init n (fun i -> [ i; i ]))
+  | r -> Alcotest.failf "large answer failed: %s" (Wire.response_to_string r));
+  match
+    Serve.Engine.submit e
+      (query_req ~max_answers:(n - 1) "ans(X,Y) :- big(X,Y).")
+  with
+  | Wire.Answer (_, a) ->
+    check_int "capped page" (n - 1) (List.length a.Wire.answers);
+    check_bool "truncation flagged" true a.Wire.truncated;
+    check_bool "prefix preserved in order" true
+      (a.Wire.answers = List.init (n - 1) (fun i -> [ i; i ]))
+  | r -> Alcotest.failf "capped answer failed: %s" (Wire.response_to_string r)
+
 let test_engine_cursor_eviction_is_typed () =
   let config = { Serve.Engine.default_config with cursor_capacity = 1 } in
   with_engine ~config @@ fun e ->
@@ -538,9 +621,16 @@ let test_engine_admission_control () =
     query_req ~id:(Json.String "stall") ~chaos:"stall:1:0.4"
       "ans(X,Y) :- edge(X,Y)."
   in
+  (* structurally distinct queries (paths of growing length), so none
+     of them coalesce into a batch — each needs its own queue slot *)
+  let path_query n =
+    let atoms =
+      List.init n (fun i -> Printf.sprintf "edge(X%d,X%d)" i (i + 1))
+    in
+    Printf.sprintf "ans(X0,X%d) :- %s." n (String.concat ", " atoms)
+  in
   let flood =
-    List.init 8 (fun i ->
-        query_req ~id:(Json.Int i) "ans(X,Z) :- edge(X,Y), edge(Y,Z).")
+    List.init 8 (fun i -> query_req ~id:(Json.Int i) (path_query (i + 2)))
   in
   let responses = collect_async e (stall :: flood) in
   let shed, rest =
@@ -559,6 +649,319 @@ let test_engine_admission_control () =
         Alcotest.failf "unexpected response under load: %s"
           (Wire.response_to_string r))
     rest
+
+(* Like [collect_async], but each request names its fairness bucket. *)
+let collect_async_clients e reqs =
+  let lock = Mutex.create () in
+  let done_ = Condition.create () in
+  let got = ref [] in
+  let n = List.length reqs in
+  List.iter
+    (fun (client, r) ->
+      Serve.Engine.submit_async ~client e r ~reply:(fun resp ->
+          Mutex.lock lock;
+          got := resp :: !got;
+          if List.length !got = n then Condition.signal done_;
+          Mutex.unlock lock))
+    reqs;
+  Mutex.lock lock;
+  while List.length !got < n do
+    Condition.wait done_ lock
+  done;
+  let r = !got in
+  Mutex.unlock lock;
+  r
+
+let counter_value e name =
+  Telemetry.Metrics.value
+    (Telemetry.Metrics.counter (Serve.Engine.metrics e) name)
+
+let string_contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Batched execution of identical canonical queries                     *)
+
+let test_engine_batching_fans_out () =
+  let config =
+    {
+      Serve.Engine.default_config with
+      Serve.Engine.workers = 1;
+      queue_depth = 32;
+    }
+  in
+  with_engine ~config @@ fun e ->
+  let text = "ans(X,Z) :- edge(X,Y), edge(Y,Z)." in
+  (* a solo run for the reference answer (this also warms the cache),
+     plus one run of the occupier's structure so the stall below is the
+     only other compile the engine could possibly do *)
+  let solo = answer_of e (query_req text) in
+  check_bool "solo run is not batched" false solo.Wire.batched;
+  ignore (answer_of e (query_req "ans(X,Y) :- edge(X,Y)."));
+  let misses0 = Serve.Plan_cache.misses (Serve.Engine.cache e) in
+  (* stall the only worker, then pile six identical queries (distinct
+     clients) behind it: the first leads, five coalesce as followers *)
+  let stall =
+    (0, query_req ~id:(Json.String "stall") ~chaos:"stall:1:0.4"
+          "ans(X,Y) :- edge(X,Y).")
+  in
+  let flood =
+    List.init 6 (fun i -> (i + 1, query_req ~id:(Json.Int i) text))
+  in
+  let responses = collect_async_clients e (stall :: flood) in
+  let answers =
+    List.filter_map
+      (function Wire.Answer (Json.Int _, a) -> Some a | _ -> None)
+      responses
+  in
+  check_int "all six identical queries answered" 6 (List.length answers);
+  List.iter
+    (fun a ->
+      check_bool "tuple-identical to the solo run" true
+        (a.Wire.answers = solo.Wire.answers);
+      check_int "same cardinality as the solo run" solo.Wire.cardinality
+        a.Wire.cardinality;
+      check_bool "flagged batched" true a.Wire.batched)
+    answers;
+  check_bool "followers paid no compile" true
+    (List.length (List.filter (fun a -> a.Wire.compile_seconds = 0.0) answers)
+    >= 5);
+  check_int "the batch compiled nothing new" misses0
+    (Serve.Plan_cache.misses (Serve.Engine.cache e));
+  check_int "five coalesced requests counted" 5 (counter_value e "serve.batched")
+
+let engine_batch_identity_prop =
+  qtest ~count:8 "batched answers are tuple-identical to a solo run"
+    Helpers.tiny_graph_arbitrary
+    (fun g ->
+      let cq =
+        coloring_query ~mode:(Conjunctive.Encode.Fraction 0.5) ~seed:7 g
+      in
+      let text =
+        let var v = Printf.sprintf "V%d" v in
+        Printf.sprintf "q(%s) :- %s."
+          (String.concat ", " (List.map var cq.Cq.free))
+          (String.concat ", "
+             (List.map
+                (fun a ->
+                  Printf.sprintf "%s(%s)" a.Cq.rel
+                    (String.concat ", " (List.map var a.Cq.vars)))
+                cq.Cq.atoms))
+      in
+      let config =
+        {
+          Serve.Engine.default_config with
+          Serve.Engine.workers = 1;
+          queue_depth = 32;
+        }
+      in
+      with_engine ~config @@ fun e ->
+      let solo =
+        match Serve.Engine.submit e (query_req ~max_answers:10_000 text) with
+        | Wire.Answer (_, a) -> a
+        | r ->
+          QCheck.Test.fail_reportf "solo run failed: %s"
+            (Wire.response_to_string r)
+      in
+      let stall =
+        (0, query_req ~id:(Json.String "stall") ~chaos:"stall:1:0.3"
+              "ans(X,Y) :- edge(X,Y).")
+      in
+      let flood =
+        List.init 4 (fun i ->
+            (i + 1, query_req ~id:(Json.Int i) ~max_answers:10_000 text))
+      in
+      let answers =
+        List.filter_map
+          (function Wire.Answer (Json.Int _, a) -> Some a | _ -> None)
+          (collect_async_clients e (stall :: flood))
+      in
+      List.length answers = 4
+      && List.for_all
+           (fun a ->
+             a.Wire.batched && a.Wire.answers = solo.Wire.answers
+             && a.Wire.cardinality = solo.Wire.cardinality)
+           answers)
+
+let test_engine_batch_leader_abort_fans_out () =
+  (* When the shared execution aborts, every coalesced member gets the
+     same typed abort — never a hang, never an internal error. *)
+  let config =
+    {
+      Serve.Engine.default_config with
+      Serve.Engine.workers = 1;
+      queue_depth = 32;
+    }
+  in
+  with_engine ~config @@ fun e ->
+  let stall =
+    (0, query_req ~id:(Json.String "stall") ~chaos:"stall:1:0.4"
+          "ans(X,Y) :- edge(X,Y).")
+  in
+  (* six tuples against a one-tuple cap, ladder off: a certain abort *)
+  let doomed =
+    List.init 3 (fun i ->
+        (i + 1, query_req ~id:(Json.Int i) ~ladder:false ~max_tuples:1
+                  "ans(X,Z) :- edge(X,Y), edge(Y,Z)."))
+  in
+  let responses = collect_async_clients e (stall :: doomed) in
+  let aborts =
+    List.filter_map
+      (function
+        | Wire.Failed (Json.Int _, Wire.Aborted reason, _) -> Some reason
+        | _ -> None)
+      responses
+  in
+  check_int "all members aborted" 3 (List.length aborts);
+  check_bool "all with the same typed reason" true
+    (List.for_all (fun r -> r = "cardinality") aborts);
+  check_int "followers still counted as coalesced" 2
+    (counter_value e "serve.batched")
+
+(* ------------------------------------------------------------------ *)
+(* Cost-aware admission and per-client quotas                           *)
+
+let test_engine_cost_shed_is_typed () =
+  let config =
+    { Serve.Engine.default_config with Serve.Engine.max_cost_log2 = Some 10.0 }
+  in
+  with_engine ~config @@ fun e ->
+  (* four disconnected edge atoms, all free: any route must materialize
+     the 6^4-row cross product, estimate ~ 4*log2 6 ~ 10.3 > 10 *)
+  let big =
+    "ans(A,B,C,D,E,F,G,H) :- edge(A,B), edge(C,D), edge(E,F), edge(G,H)."
+  in
+  (match Serve.Engine.submit e (query_req big) with
+  | Wire.Failed (_, Wire.Shed_cost, msg) ->
+    check_bool "message names the estimate" true
+      (string_contains msg "2^10.3")
+  | r -> Alcotest.failf "expected shed-cost, got %s" (Wire.response_to_string r));
+  (* the boolean form of the same body is cheap (no output term): the
+     estimator prices routes, not atom counts *)
+  (match
+     Serve.Engine.submit e
+       (query_req "q() :- edge(A,B), edge(C,D), edge(E,F), edge(G,H).")
+   with
+  | Wire.Answer (_, a) -> check_bool "boolean form admitted" true a.Wire.nonempty
+  | r -> Alcotest.failf "boolean form shed: %s" (Wire.response_to_string r));
+  (* a cheap materializing query sails through *)
+  (match Serve.Engine.submit e (query_req "ans(X,Y) :- edge(X,Y).") with
+  | Wire.Answer _ -> ()
+  | r -> Alcotest.failf "cheap query shed: %s" (Wire.response_to_string r));
+  check_int "sheds counted" 1 (counter_value e "serve.shed_cost")
+
+let test_engine_cost_estimate_is_exact_on_single_edge () =
+  (* A single-atom query's estimate is exactly log2 of the relation's
+     cardinality (every bound collapses to the edge cover of one atom):
+     log2 6 ~ 2.58, so a 2.0 ceiling sheds it with that figure. *)
+  let config =
+    { Serve.Engine.default_config with Serve.Engine.max_cost_log2 = Some 2.0 }
+  in
+  with_engine ~config @@ fun e ->
+  match Serve.Engine.submit e (query_req "ans(X,Y) :- edge(X,Y).") with
+  | Wire.Failed (_, Wire.Shed_cost, msg) ->
+    check_bool "estimate is log2(cardinality)" true
+      (string_contains msg "2^2.6")
+  | r -> Alcotest.failf "expected shed-cost, got %s" (Wire.response_to_string r)
+
+let test_engine_backlog_cost_shed () =
+  let config =
+    {
+      Serve.Engine.default_config with
+      Serve.Engine.workers = 1;
+      queue_depth = 32;
+      max_queue_cost_log2 = Some 5.0;
+      batching = false;
+    }
+  in
+  with_engine ~config @@ fun e ->
+  let stall =
+    (0, query_req ~id:(Json.String "stall") ~chaos:"stall:1:0.4"
+          "ans(X,Y) :- edge(X,Y).")
+  in
+  (* cheap (~2^2.6) then expensive (~2^5.2): the second would push the
+     backlog past 2^5, so it is shed while the first one queues fine *)
+  let cheap = (1, query_req ~id:(Json.String "cheap") "ans(X,Y) :- edge(Y,X).") in
+  let pricey =
+    (2, query_req ~id:(Json.String "pricey") "ans(X,Z) :- edge(X,Y), edge(Y,Z).")
+  in
+  let responses = collect_async_clients e [ stall; cheap; pricey ] in
+  let by_id want =
+    List.find_opt
+      (fun r -> Wire.response_id r = Json.String want)
+      responses
+  in
+  (match by_id "cheap" with
+  | Some (Wire.Answer _) -> ()
+  | r ->
+    Alcotest.failf "cheap query should be served: %s"
+      (match r with Some r -> Wire.response_to_string r | None -> "missing"));
+  (match by_id "pricey" with
+  | Some (Wire.Failed (_, Wire.Shed_cost, msg)) ->
+    check_bool "message names the backlog ceiling" true
+      (string_contains msg "backlog")
+  | r ->
+    Alcotest.failf "pricey query should be backlog-shed: %s"
+      (match r with Some r -> Wire.response_to_string r | None -> "missing"));
+  (* an idle daemon admits the same query: the aggregate ceiling never
+     permanently blocks an affordable request *)
+  match Serve.Engine.submit e (query_req "ans(X,Z) :- edge(X,Y), edge(Y,Z).") with
+  | Wire.Answer _ -> ()
+  | r ->
+    Alcotest.failf "idle daemon should admit it: %s" (Wire.response_to_string r)
+
+let test_engine_client_quota_sheds_only_flooder () =
+  let config =
+    {
+      Serve.Engine.default_config with
+      Serve.Engine.workers = 1;
+      queue_depth = 32;
+      client_quota = Some 2;
+    }
+  in
+  with_engine ~config @@ fun e ->
+  let path_query n =
+    let atoms =
+      List.init n (fun i -> Printf.sprintf "edge(X%d,X%d)" i (i + 1))
+    in
+    Printf.sprintf "ans(X0,X%d) :- %s." n (String.concat ", " atoms)
+  in
+  let stall =
+    (9, query_req ~id:(Json.String "stall") ~chaos:"stall:1:0.4"
+          "ans(X,Y) :- edge(X,Y).")
+  in
+  (* six structurally distinct queries from one client: two fit the
+     quota, four are shed — and only the flooder's *)
+  let flood =
+    List.init 6 (fun i -> (1, query_req ~id:(Json.Int i) (path_query (i + 2))))
+  in
+  let polite = (2, query_req ~id:(Json.String "polite") (path_query 9)) in
+  let responses = collect_async_clients e ((stall :: flood) @ [ polite ]) in
+  let flood_sheds =
+    List.filter
+      (function
+        | Wire.Failed (Json.Int _, Wire.Shed_quota, _) -> true | _ -> false)
+      responses
+  in
+  let flood_answers =
+    List.filter
+      (function Wire.Answer (Json.Int _, _) -> true | _ -> false)
+      responses
+  in
+  check_int "four of six shed by quota" 4 (List.length flood_sheds);
+  check_int "two of six served" 2 (List.length flood_answers);
+  (match
+     List.find_opt
+       (fun r -> Wire.response_id r = Json.String "polite")
+       responses
+   with
+  | Some (Wire.Answer _) -> ()
+  | r ->
+    Alcotest.failf "the polite client must be unaffected: %s"
+      (match r with Some r -> Wire.response_to_string r | None -> "missing"));
+  check_int "quota sheds counted" 4 (counter_value e "serve.shed_quota")
 
 let test_engine_cache_persists_across_restart () =
   (* The daemon-restart story: engine 1 compiles (including a prepared
@@ -872,12 +1275,31 @@ let () =
             test_engine_pagination_exactly_once;
           Alcotest.test_case "cursor tokens are single-use" `Quick
             test_engine_cursor_tokens_single_use;
+          Alcotest.test_case "cursor tokens are unguessable" `Quick
+            test_engine_cursor_tokens_unguessable;
+          Alcotest.test_case "streaming metrics are honest" `Quick
+            test_engine_streaming_metrics_honest;
+          Alcotest.test_case "large answer caps" `Quick
+            test_engine_large_answer_caps;
           Alcotest.test_case "cursor eviction is typed" `Quick
             test_engine_cursor_eviction_is_typed;
           Alcotest.test_case "deadline sheds typed" `Quick
             test_engine_deadline_sheds_typed;
           Alcotest.test_case "admission control" `Quick
             test_engine_admission_control;
+          Alcotest.test_case "batching fans out" `Quick
+            test_engine_batching_fans_out;
+          engine_batch_identity_prop;
+          Alcotest.test_case "batch leader abort fans out" `Quick
+            test_engine_batch_leader_abort_fans_out;
+          Alcotest.test_case "cost shed is typed" `Quick
+            test_engine_cost_shed_is_typed;
+          Alcotest.test_case "cost estimate exact on single edge" `Quick
+            test_engine_cost_estimate_is_exact_on_single_edge;
+          Alcotest.test_case "backlog cost shed" `Quick
+            test_engine_backlog_cost_shed;
+          Alcotest.test_case "client quota sheds only the flooder" `Quick
+            test_engine_client_quota_sheds_only_flooder;
           Alcotest.test_case "cache persists across restart" `Quick
             test_engine_cache_persists_across_restart;
           Alcotest.test_case "per-client fairness" `Quick
